@@ -1,0 +1,47 @@
+//! End-to-end harness benchmark: wall-clock cost of simulating the paper
+//! testbed (events/second the simulator sustains), plus a smoke print of
+//! the virtual latencies. The *virtual* latency tables themselves are
+//! produced by the `tables` / `table2_*` / `table3_*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifot_mgmt::testbed::{paper_testbed, TestbedConfig};
+use ifot_netsim::time::SimDuration;
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for &rate in &[10.0f64, 80.0] {
+        group.bench_with_input(
+            BenchmarkId::new("paper_testbed_1s", rate as u64),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    let mut sim = paper_testbed(&TestbedConfig::paper(rate));
+                    sim.run_for(SimDuration::from_secs(1));
+                    sim.events_processed()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_latency_smoke(c: &mut Criterion) {
+    // One full rate point as a benchmark unit: keeps the e2e path under
+    // continuous perf observation.
+    let mut group = c.benchmark_group("e2e_latency");
+    group.sample_size(10);
+    group.bench_function("rate20_run2s", |b| {
+        b.iter(|| {
+            let mut sim = paper_testbed(&TestbedConfig::paper(20.0));
+            sim.run_for(SimDuration::from_secs(2));
+            let s = sim.metrics().latency_summary("sensing_to_training");
+            assert!(s.count > 0);
+            s.mean_ms
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput, bench_latency_smoke);
+criterion_main!(benches);

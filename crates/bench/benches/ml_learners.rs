@@ -1,0 +1,146 @@
+//! Microbenchmarks of the online-ML substrate: per-update and per-predict
+//! costs of each learner and detector — the operations whose (simulated)
+//! costs dominate the paper's sensing-to-training and
+//! sensing-to-predicting delays. Also serves as the learner-choice
+//! ablation: Perceptron vs PA vs AROW update cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifot_ml::anomaly::{MahalanobisDetector, RunningZScore, WindowedLof};
+use ifot_ml::classifier::{Arow, OnlineClassifier, PassiveAggressive, Perceptron};
+use ifot_ml::cluster::OnlineKMeans;
+use ifot_ml::feature::{Datum, FeatureVector};
+use ifot_ml::regression::PaRegression;
+
+fn example(i: u64) -> (FeatureVector, &'static str) {
+    let sign = if i.is_multiple_of(2) { 1.0 } else { -1.0 };
+    let x = Datum::new()
+        .with("temperature_celsius", sign * 2.0 + (i % 7) as f64 * 0.1)
+        .with("sound_db", 40.0 + (i % 5) as f64)
+        .with("illuminance_lux", 400.0 + (i % 11) as f64 * 3.0)
+        .to_vector(1 << 18);
+    (x, if sign > 0.0 { "high" } else { "low" })
+}
+
+fn bench_classifier_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml_train");
+    let data: Vec<_> = (0..256).map(example).collect();
+    group.bench_function("perceptron", |b| {
+        let mut m = Perceptron::new();
+        let mut i = 0;
+        b.iter(|| {
+            let (x, y) = &data[i % data.len()];
+            m.train(black_box(x), y);
+            i += 1;
+        })
+    });
+    group.bench_function("pa", |b| {
+        let mut m = PassiveAggressive::default();
+        let mut i = 0;
+        b.iter(|| {
+            let (x, y) = &data[i % data.len()];
+            m.train(black_box(x), y);
+            i += 1;
+        })
+    });
+    group.bench_function("arow", |b| {
+        let mut m = Arow::default();
+        let mut i = 0;
+        b.iter(|| {
+            let (x, y) = &data[i % data.len()];
+            m.train(black_box(x), y);
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_classifier_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml_predict");
+    let data: Vec<_> = (0..256).map(example).collect();
+    let mut m = PassiveAggressive::default();
+    for (x, y) in &data {
+        m.train(x, y);
+    }
+    group.bench_function("pa_classify", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (x, _) = &data[i % data.len()];
+            i += 1;
+            m.classify(black_box(x))
+        })
+    });
+    group.finish();
+}
+
+fn bench_anomaly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml_anomaly");
+    let data: Vec<_> = (0..256).map(|i| example(i).0).collect();
+    group.bench_function("zscore", |b| {
+        let mut d = RunningZScore::new(3.0);
+        let mut i = 0;
+        b.iter(|| {
+            let v = (i % 97) as f64;
+            d.observe(v);
+            i += 1;
+            d.score(black_box(v))
+        })
+    });
+    group.bench_function("mahalanobis", |b| {
+        let mut d = MahalanobisDetector::new();
+        let mut i = 0;
+        b.iter(|| {
+            let x = &data[i % data.len()];
+            i += 1;
+            let s = d.score(black_box(x));
+            d.observe(x);
+            s
+        })
+    });
+    for &window in &[32usize, 128] {
+        group.bench_with_input(BenchmarkId::new("lof", window), &window, |b, &window| {
+            let mut d = WindowedLof::new(window, 5);
+            for x in &data[..window.min(data.len())] {
+                d.observe(x.clone());
+            }
+            let mut i = 0;
+            b.iter(|| {
+                let x = &data[i % data.len()];
+                i += 1;
+                d.score(black_box(x))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_regression_and_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml_other");
+    group.bench_function("pa_regression_train", |b| {
+        let mut r = PaRegression::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            let x = FeatureVector::from_dense(&[(i % 13) as f64, (i % 7) as f64]);
+            r.train(black_box(&x), (i % 5) as f64);
+            i += 1;
+        })
+    });
+    group.bench_function("kmeans_observe", |b| {
+        let mut km = OnlineKMeans::new(4, 3);
+        let mut i = 0u64;
+        b.iter(|| {
+            let p = [(i % 13) as f64, (i % 7) as f64, (i % 3) as f64];
+            km.observe(black_box(&p));
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_classifier_train,
+    bench_classifier_predict,
+    bench_anomaly,
+    bench_regression_and_clustering
+);
+criterion_main!(benches);

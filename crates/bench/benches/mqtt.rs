@@ -1,0 +1,100 @@
+//! Microbenchmarks of the MQTT substrate: codec round trips, topic-tree
+//! matching, and broker routing throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifot_mqtt::broker::Broker;
+use ifot_mqtt::codec::{decode, encode};
+use ifot_mqtt::packet::{Connect, Packet, Publish, QoS, Subscribe, SubscribeFilter};
+use ifot_mqtt::topic::{TopicFilter, TopicName};
+use ifot_mqtt::tree::SubscriptionTree;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mqtt_codec");
+    let small = Packet::Publish(Publish::qos0(
+        TopicName::new("sensor/1/accel").expect("valid"),
+        vec![0u8; 32],
+    ));
+    let large = Packet::Publish(Publish::qos0(
+        TopicName::new("flow/app/window").expect("valid"),
+        vec![0u8; 4096],
+    ));
+    let small_bytes = encode(&small);
+    let large_bytes = encode(&large);
+
+    group.bench_function("encode_publish_32B", |b| b.iter(|| encode(black_box(&small))));
+    group.bench_function("encode_publish_4KiB", |b| b.iter(|| encode(black_box(&large))));
+    group.bench_function("decode_publish_32B", |b| {
+        b.iter(|| decode(black_box(&small_bytes)).expect("decodes"))
+    });
+    group.bench_function("decode_publish_4KiB", |b| {
+        b.iter(|| decode(black_box(&large_bytes)).expect("decodes"))
+    });
+    let connect = encode(&Packet::Connect(Connect::new("bench-client")));
+    group.bench_function("decode_connect", |b| {
+        b.iter(|| decode(black_box(&connect)).expect("decodes"))
+    });
+    group.finish();
+}
+
+fn bench_topic_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mqtt_topic_tree");
+    for &n in &[10usize, 100, 1000] {
+        let mut tree: SubscriptionTree<u32> = SubscriptionTree::new();
+        for i in 0..n {
+            let filter = match i % 4 {
+                0 => format!("sensor/{i}/+"),
+                1 => format!("sensor/{i}/#"),
+                2 => format!("flow/app{i}/out"),
+                _ => "sensor/#".to_owned(),
+            };
+            tree.subscribe(
+                i as u32,
+                &TopicFilter::new(filter).expect("valid"),
+                QoS::AtMostOnce,
+            );
+        }
+        let topic = TopicName::new("sensor/5/accel").expect("valid");
+        group.bench_with_input(BenchmarkId::new("match", n), &tree, |b, tree| {
+            b.iter(|| tree.matches(black_box(&topic)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_broker_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mqtt_broker");
+    for &subs in &[1usize, 8, 64] {
+        let mut broker: Broker<u32> = Broker::new();
+        // One publisher, `subs` subscribers on sensor/#.
+        broker.connection_opened(0, 0);
+        broker.handle_packet(&0, Packet::Connect(Connect::new("pub")), 0);
+        for i in 1..=subs as u32 {
+            broker.connection_opened(i, 0);
+            broker.handle_packet(&i, Packet::Connect(Connect::new(format!("sub{i}"))), 0);
+            broker.handle_packet(
+                &i,
+                Packet::Subscribe(Subscribe {
+                    packet_id: 1,
+                    filters: vec![SubscribeFilter {
+                        filter: TopicFilter::new("sensor/#").expect("valid"),
+                        qos: QoS::AtMostOnce,
+                    }],
+                }),
+                0,
+            );
+        }
+        let publish = Packet::Publish(Publish::qos0(
+            TopicName::new("sensor/1/accel").expect("valid"),
+            vec![0u8; 32],
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("route_qos0_32B", subs),
+            &publish,
+            |b, publish| b.iter(|| broker.handle_packet(&0, black_box(publish.clone()), 1)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_topic_tree, bench_broker_routing);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Makes the paper's **Fig. 1** paradigm comparison quantitative: the
+//! same three-sensor workload processed (a) IFoT-style on local modules
+//! and (b) cloud-style over a WAN uplink, comparing sensing-to-analysis
+//! delay. The figure itself is conceptual; this binary supplies the
+//! latency argument it rests on ("large delays" via the cloud).
+//!
+//! Usage: `cargo run -p ifot-bench --bin fig1_cloud_vs_local [seed]`
+
+use ifot_mgmt::experiment::run_rate;
+use ifot_mgmt::testbed::TestbedConfig;
+use ifot_netsim::time::SimDuration;
+use ifot_netsim::wlan::WlanConfig;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016u64);
+    let rate = 10.0;
+    let duration = SimDuration::from_secs(5);
+
+    let local = TestbedConfig::paper(rate).with_seed(seed);
+    let (local_train, local_predict) = run_rate(&local, duration);
+
+    let mut cloud = TestbedConfig::paper(rate).with_seed(seed);
+    cloud.wlan = WlanConfig::wan_uplink();
+    let (cloud_train, cloud_predict) = run_rate(&cloud, duration);
+
+    println!("Fig. 1 (quantified): sensing-to-analysis delay at {rate} Hz");
+    println!(
+        "{:>28} | {:>12} | {:>12}",
+        "path", "avg (ms)", "max (ms)"
+    );
+    println!("{}", "-".repeat(60));
+    println!(
+        "{:>28} | {:>12.3} | {:>12.3}",
+        "local IFoT (train)", local_train.mean_ms, local_train.max_ms
+    );
+    println!(
+        "{:>28} | {:>12.3} | {:>12.3}",
+        "cloud path (train)", cloud_train.mean_ms, cloud_train.max_ms
+    );
+    println!(
+        "{:>28} | {:>12.3} | {:>12.3}",
+        "local IFoT (predict)", local_predict.mean_ms, local_predict.max_ms
+    );
+    println!(
+        "{:>28} | {:>12.3} | {:>12.3}",
+        "cloud path (predict)", cloud_predict.mean_ms, cloud_predict.max_ms
+    );
+
+    assert!(
+        cloud_train.mean_ms > local_train.mean_ms,
+        "cloud path must show larger delays (Fig. 1 premise)"
+    );
+    println!("\npremise check: cloud delay exceeds local delay — OK");
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table II** (sensing → training delay vs sampling rate).
+//!
+//! Runs the Fig. 7/9 testbed at 5/10/20/40/80 Hz on the deterministic
+//! simulator and prints the measured table next to the paper's numbers.
+//!
+//! Usage: `cargo run -p ifot-bench --bin table2_sensing_training [seed]`
+
+use ifot_mgmt::experiment::{check_shape, paper_reported, run_paper_sweep};
+use ifot_mgmt::table::{render_comparison, render_table};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016u64);
+    eprintln!("running the Table II sweep (seed {seed})...");
+    let result = run_paper_sweep(seed);
+    println!(
+        "{}",
+        render_table(
+            "TABLE II. EXPERIMENTAL RESULT (SENSING-TRAINING) — reproduced",
+            &result.training
+        )
+    );
+    println!(
+        "{}",
+        render_comparison(
+            "paper vs measured (avg/max ms)",
+            &result.training,
+            &paper_reported::TABLE2_TRAINING,
+        )
+    );
+    let violations = check_shape(&result);
+    if violations.is_empty() {
+        println!("shape check: OK (knee between 20 and 40 Hz, saturation at 80 Hz)");
+    } else {
+        println!("shape check: FAILED");
+        for v in violations {
+            println!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Table III** (sensing → predicting delay vs sampling
+//! rate).
+//!
+//! Usage: `cargo run -p ifot-bench --bin table3_sensing_predicting [seed]`
+
+use ifot_mgmt::experiment::{check_shape, paper_reported, run_paper_sweep};
+use ifot_mgmt::table::{render_comparison, render_table};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016u64);
+    eprintln!("running the Table III sweep (seed {seed})...");
+    let result = run_paper_sweep(seed);
+    println!(
+        "{}",
+        render_table(
+            "TABLE III. EXPERIMENTAL RESULT (SENSING-PREDICTING) — reproduced",
+            &result.predicting
+        )
+    );
+    println!(
+        "{}",
+        render_comparison(
+            "paper vs measured (avg/max ms)",
+            &result.predicting,
+            &paper_reported::TABLE3_PREDICTING,
+        )
+    );
+    let violations = check_shape(&result);
+    if violations.is_empty() {
+        println!("shape check: OK (predict < train under overload, saturation at 80 Hz)");
+    } else {
+        println!("shape check: FAILED");
+        for v in violations {
+            println!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

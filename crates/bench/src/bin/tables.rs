@@ -1,0 +1,77 @@
+//! Prints Table I (equipment calibration) plus the full sweep of Tables
+//! II and III, and dumps the raw sweep JSON to stdout-adjacent file if a
+//! path is given.
+//!
+//! Usage: `cargo run -p ifot-bench --bin tables [seed] [json-out]`
+
+use ifot_mgmt::experiment::{check_shape, paper_reported, run_paper_sweep};
+use ifot_mgmt::table::{render_comparison, render_table, to_json};
+use ifot_netsim::cpu::CpuProfile;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016u64);
+    let json_out = std::env::args().nth(2);
+
+    println!("TABLE I. EQUIPMENT SPECIFICATION — calibration profiles");
+    for p in [CpuProfile::RASPBERRY_PI_2, CpuProfile::THINKPAD_X250] {
+        println!(
+            "    {:<16} speed x{:<4} cores {}",
+            p.name(),
+            p.speed(),
+            p.cores()
+        );
+    }
+    println!();
+
+    eprintln!("running the rate sweep (seed {seed})...");
+    let result = run_paper_sweep(seed);
+    println!(
+        "{}",
+        render_table(
+            "TABLE II. EXPERIMENTAL RESULT (SENSING-TRAINING) — reproduced",
+            &result.training
+        )
+    );
+    println!(
+        "{}",
+        render_comparison(
+            "Table II: paper vs measured",
+            &result.training,
+            &paper_reported::TABLE2_TRAINING,
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            "TABLE III. EXPERIMENTAL RESULT (SENSING-PREDICTING) — reproduced",
+            &result.predicting
+        )
+    );
+    println!(
+        "{}",
+        render_comparison(
+            "Table III: paper vs measured",
+            &result.predicting,
+            &paper_reported::TABLE3_PREDICTING,
+        )
+    );
+    let violations = check_shape(&result);
+    if violations.is_empty() {
+        println!("shape check: OK");
+    } else {
+        println!("shape check: FAILED");
+        for v in &violations {
+            println!("  - {v}");
+        }
+    }
+    if let Some(path) = json_out {
+        std::fs::write(&path, to_json(&result)).expect("write json dump");
+        eprintln!("raw sweep written to {path}");
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

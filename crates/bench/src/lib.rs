@@ -1,0 +1,1 @@
+//! Benchmark harness crate: see `src/bin/*` for table regeneration binaries and `benches/` for Criterion benches.

@@ -1,0 +1,145 @@
+//! CPU cost calibration for the middleware's processing stages.
+//!
+//! All constants are **reference-machine milliseconds** — time on the
+//! paper's Raspberry Pi 2 (ARM Cortex-A7 @ 900 MHz, Table I). The netsim
+//! CPU model divides by each node's speed factor, so the same constants
+//! describe a laptop-class management node too.
+//!
+//! The values were calibrated so the end-to-end experiment (Fig. 9)
+//! reproduces the *shape* of Tables II and III: flat ~tens-of-ms delay at
+//! 5–10 Hz, a knee between 20 and 40 Hz for training, saturation beyond.
+//! The dominant term is [`TRAIN_BATCH_MS`]: a Jubatus `train` RPC on a
+//! Pi-class ARM core costs tens of milliseconds, which places the training
+//! node's saturation rate at ~20 Hz for three 1-sample-per-period streams
+//! — exactly where the paper's knee sits.
+
+/// Reading one sensor and encoding the 32-byte sample.
+pub const SENSOR_READ_MS: f64 = 0.8;
+
+/// MQTT client publish path (packetization, socket write).
+pub const PUBLISH_MS: f64 = 1.2;
+
+/// Broker ingress handling per PUBLISH received.
+pub const BROKER_IN_MS: f64 = 0.35;
+
+/// Broker egress handling per PUBLISH forwarded.
+pub const BROKER_OUT_MS: f64 = 0.35;
+
+/// Client-side dispatch of one received message to the middleware.
+pub const DISPATCH_MS: f64 = 0.4;
+
+/// Assembling one joined tuple from per-source buffers.
+pub const JOIN_MS: f64 = 0.3;
+
+/// Windowed aggregation per flush.
+pub const WINDOW_FLUSH_MS: f64 = 0.3;
+
+/// Mean cost of one model `train` call on a joined batch (Jubatus RPC on
+/// the Pi). The stochastic components below add the variance real
+/// learners exhibit (allocation, model maintenance).
+pub const TRAIN_BATCH_MS: f64 = 40.0;
+
+/// Exponential jitter mean added to every train call.
+pub const TRAIN_JITTER_MEAN_MS: f64 = 5.0;
+
+/// Probability that a train call hits a slow path (model compaction).
+pub const TRAIN_SLOW_PROB: f64 = 0.04;
+
+/// Cost added by a slow-path train call.
+pub const TRAIN_SLOW_MS: f64 = 120.0;
+
+/// Mean cost of one model `predict`/`classify` call on a joined batch.
+pub const PREDICT_BATCH_MS: f64 = 30.0;
+
+/// Exponential jitter mean added to every predict call.
+pub const PREDICT_JITTER_MEAN_MS: f64 = 4.0;
+
+/// Probability that a predict call hits a slow path.
+pub const PREDICT_SLOW_PROB: f64 = 0.02;
+
+/// Cost added by a slow-path predict call.
+pub const PREDICT_SLOW_MS: f64 = 80.0;
+
+/// Scoring one item with a streaming anomaly detector.
+pub const ANOMALY_MS: f64 = 4.0;
+
+/// Fusing inputs into a state estimate.
+pub const ESTIMATE_MS: f64 = 3.0;
+
+/// Applying one actuator command.
+pub const ACTUATE_MS: f64 = 0.5;
+
+/// Pass-through custom operator overhead.
+pub const CUSTOM_MS: f64 = 1.0;
+
+/// Serializing/averaging one MIX model snapshot.
+pub const MIX_MS: f64 = 8.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The calibration must place the training node's saturation just
+    /// below/at 20 Hz for the three-sensor workload: the paper reports
+    /// that "when sensing rate is 20 to 40 Hz, the delay time increased
+    /// and real-time processing was no longer possible" — i.e. 20 Hz is
+    /// already marginally unstable while 10 Hz is comfortably real-time.
+    #[test]
+    fn training_knee_sits_at_the_paper_boundary() {
+        // Per sensor period the trainer handles 3 dispatches, 3 joins and
+        // one train call.
+        let per_period_ms = 3.0 * (DISPATCH_MS + JOIN_MS)
+            + TRAIN_BATCH_MS
+            + TRAIN_JITTER_MEAN_MS
+            + TRAIN_SLOW_PROB * TRAIN_SLOW_MS;
+        let saturation_hz = 1_000.0 / per_period_ms;
+        assert!(
+            (15.0..25.0).contains(&saturation_hz),
+            "training saturates at {saturation_hz:.1} Hz"
+        );
+        // 10 Hz must remain comfortably real-time.
+        assert!(saturation_hz > 12.0);
+    }
+
+    /// Predicting is cheaper than training (Table III < Table II under
+    /// overload), but must still saturate below 80 Hz.
+    #[test]
+    fn predicting_saturates_above_training_but_below_80_hz() {
+        let train_ms = 3.0 * (DISPATCH_MS + JOIN_MS)
+            + TRAIN_BATCH_MS
+            + TRAIN_JITTER_MEAN_MS
+            + TRAIN_SLOW_PROB * TRAIN_SLOW_MS;
+        let predict_ms = 3.0 * (DISPATCH_MS + JOIN_MS)
+            + PREDICT_BATCH_MS
+            + PREDICT_JITTER_MEAN_MS
+            + PREDICT_SLOW_PROB * PREDICT_SLOW_MS;
+        assert!(predict_ms < train_ms);
+        let saturation_hz = 1_000.0 / predict_ms;
+        assert!(
+            (25.0..80.0).contains(&saturation_hz),
+            "predicting saturates at {saturation_hz:.1} Hz"
+        );
+    }
+
+    /// The broker must NOT be the bottleneck at 80 Hz x 3 sensors with
+    /// two subscribers — in the paper the analysis nodes saturate, not
+    /// the broker.
+    #[test]
+    fn broker_keeps_headroom_at_max_rate() {
+        let ingress_per_sec = 80.0 * 3.0;
+        let egress_per_sec = ingress_per_sec * 2.0;
+        let busy_ms_per_sec = ingress_per_sec * BROKER_IN_MS + egress_per_sec * BROKER_OUT_MS;
+        assert!(
+            busy_ms_per_sec < 500.0,
+            "broker utilization {busy_ms_per_sec:.0} ms/s too high"
+        );
+    }
+
+    /// A publisher node (sensor + publish classes) must keep headroom at
+    /// 80 Hz.
+    #[test]
+    fn publisher_keeps_headroom_at_max_rate() {
+        let busy_ms_per_sec = 80.0 * (SENSOR_READ_MS + PUBLISH_MS);
+        assert!(busy_ms_per_sec < 500.0);
+    }
+}

@@ -1,0 +1,649 @@
+//! The application build process (paper Fig. 6).
+//!
+//! Step 1: an application submits a [`Recipe`]. Step 2: the middleware
+//! splits it and assigns tasks to modules. Step 3: every module
+//! instantiates the classes its assignment demands. This module performs
+//! steps 2–3, turning a recipe plus an assignment strategy into one
+//! [`NodeConfig`] per module, ready to run on either runtime.
+
+use std::collections::BTreeMap;
+
+use ifot_recipe::assign::{Assignment, AssignmentStrategy, ModuleInfo};
+use ifot_recipe::model::{Recipe, TaskKind};
+use ifot_sensors::sample::SensorKind;
+
+use crate::config::{ActuatorKindSpec, ActuatorSpec, NodeConfig, OperatorKind, OperatorSpec, SensorSpec};
+use crate::flow::topics;
+
+/// Errors from building a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// Task assignment failed.
+    Assign(ifot_recipe::error::AssignError),
+    /// A sense task names a sensor slug with no virtual device.
+    UnknownSensor(String),
+    /// The designated broker module is not in the module list.
+    BrokerNotInModules(String),
+    /// A task requests more replicas than there are modules.
+    TooManyReplicas {
+        /// The offending task.
+        task: String,
+        /// Replicas requested.
+        requested: u64,
+        /// Modules available.
+        available: usize,
+    },
+}
+
+impl core::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DeployError::Assign(e) => write!(f, "assignment failed: {e}"),
+            DeployError::UnknownSensor(s) => write!(f, "unknown sensor slug {s:?}"),
+            DeployError::BrokerNotInModules(m) => {
+                write!(f, "broker module {m:?} is not in the module list")
+            }
+            DeployError::TooManyReplicas {
+                task,
+                requested,
+                available,
+            } => write!(
+                f,
+                "task {task:?} requests {requested} replicas but only {available} modules exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<ifot_recipe::error::AssignError> for DeployError {
+    fn from(e: ifot_recipe::error::AssignError) -> Self {
+        DeployError::Assign(e)
+    }
+}
+
+/// Maps a recipe sensor slug to a virtual device kind.
+pub fn sensor_kind_by_slug(slug: &str) -> Option<SensorKind> {
+    Some(match slug {
+        "accel" | "accelerometer" => SensorKind::Accelerometer,
+        "illuminance" | "light" => SensorKind::Illuminance,
+        "sound" => SensorKind::Sound,
+        "motion" => SensorKind::Motion,
+        "temperature" => SensorKind::Temperature,
+        "humidity" => SensorKind::Humidity,
+        "personflow" | "person-flow" => SensorKind::PersonFlow,
+        _ => return None,
+    })
+}
+
+fn actuator_kind_by_name(name: &str) -> ActuatorKindSpec {
+    match name {
+        "ac" | "aircon" | "air-conditioner" => ActuatorKindSpec::AirConditioner,
+        "light" | "ceiling-light" => ActuatorKindSpec::CeilingLight,
+        _ => ActuatorKindSpec::AlertSink,
+    }
+}
+
+/// A built deployment: per-module configurations plus the assignment it
+/// came from.
+#[derive(Debug, Clone)]
+pub struct DeploymentPlan {
+    /// One configuration per module (same order as the module list).
+    pub configs: Vec<NodeConfig>,
+    /// The task→module assignment used.
+    pub assignment: Assignment,
+}
+
+impl DeploymentPlan {
+    /// The configuration for `module`.
+    pub fn config_for(&self, module: &str) -> Option<&NodeConfig> {
+        self.configs.iter().find(|c| c.name == module)
+    }
+}
+
+/// Builds the per-module deployment of `recipe` across `modules`.
+///
+/// `broker_module` names the module that runs the Broker class (every
+/// other module's client connects to it).
+///
+/// # Errors
+///
+/// Returns a [`DeployError`] when assignment fails, a sensor slug is
+/// unknown, or the broker module does not exist.
+pub fn deploy(
+    recipe: &Recipe,
+    modules: &[ModuleInfo],
+    strategy: &dyn AssignmentStrategy,
+    broker_module: &str,
+) -> Result<DeploymentPlan, DeployError> {
+    if !modules.iter().any(|m| m.name == broker_module) {
+        return Err(DeployError::BrokerNotInModules(broker_module.to_owned()));
+    }
+    let assignment = strategy.assign(recipe, modules)?;
+
+    // Topic of every task's output flow.
+    let mut device_counter: u16 = 1;
+    let mut task_topics: BTreeMap<&str, String> = BTreeMap::new();
+    let mut sense_devices: BTreeMap<&str, (SensorKind, u16)> = BTreeMap::new();
+    for task in recipe.tasks() {
+        match &task.kind {
+            TaskKind::Sense { sensor, .. } => {
+                let kind = sensor_kind_by_slug(sensor)
+                    .ok_or_else(|| DeployError::UnknownSensor(sensor.clone()))?;
+                let device_id = device_counter;
+                device_counter += 1;
+                sense_devices.insert(task.id.as_str(), (kind, device_id));
+                task_topics.insert(
+                    task.id.as_str(),
+                    topics::sensor(device_id, ifot_sensors::sample::kind_slug(kind)),
+                );
+            }
+            _ => {
+                task_topics.insert(
+                    task.id.as_str(),
+                    topics::flow(recipe.name(), &task.id),
+                );
+            }
+        }
+    }
+
+    let mut configs: Vec<NodeConfig> = modules
+        .iter()
+        .map(|m| {
+            let mut cfg = NodeConfig::new(m.name.clone()).with_app(recipe.name());
+            if m.name == broker_module {
+                cfg = cfg.with_broker();
+            }
+            cfg.with_broker_node(broker_module)
+        })
+        .collect();
+
+    let config_index: BTreeMap<String, usize> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.clone(), i))
+        .collect();
+
+    let mut seed = 0xD1CEu64;
+    for task in recipe.tasks() {
+        let module = assignment
+            .module_of(&task.id)
+            .expect("assignment covers every task");
+        let cfg = &mut configs[config_index[module]];
+        let inputs: Vec<String> = recipe
+            .predecessors(&task.id)
+            .iter()
+            .map(|p| task_topics[*p].clone())
+            .collect();
+        let has_successors = !recipe.successors(&task.id).is_empty();
+        let output = has_successors.then(|| task_topics[task.id.as_str()].clone());
+
+        match &task.kind {
+            TaskKind::Sense { rate_hz, .. } => {
+                let (kind, device_id) = sense_devices[task.id.as_str()];
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                cfg.sensors.push(SensorSpec::new(kind, device_id, *rate_hz, seed));
+            }
+            TaskKind::Window { size_ms } => {
+                cfg.operators.push(make_operator(
+                    &task.id,
+                    OperatorKind::Window { size_ms: *size_ms },
+                    inputs,
+                    output,
+                ));
+            }
+            TaskKind::Train { algorithm } => {
+                let mix_interval_ms = task
+                    .params
+                    .get("mix_interval_ms")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0);
+                let mut op_inputs = inputs;
+                if mix_interval_ms > 0 {
+                    // Receive the coordinator's averages.
+                    op_inputs.push(topics::mix_average(recipe.name(), &task.id));
+                }
+                let op = make_operator(
+                    &task.id,
+                    OperatorKind::Train {
+                        algorithm: algorithm.clone(),
+                        mix_interval_ms,
+                    },
+                    op_inputs,
+                    output,
+                );
+                place_replicated(task, op, module, &mut configs, &config_index)?;
+                if mix_interval_ms > 0 {
+                    // The Managing class (coordinator) lives on the broker
+                    // module.
+                    let broker_cfg = &mut configs[config_index[broker_module]];
+                    broker_cfg.operators.push(OperatorSpec::sink(
+                        format!("{}-mix", task.id),
+                        OperatorKind::MixCoordinator { expected: 1 },
+                        vec![topics::mix_offer(recipe.name(), &task.id)],
+                    ));
+                }
+            }
+            TaskKind::Predict { algorithm } => {
+                let op = make_operator(
+                    &task.id,
+                    OperatorKind::Predict {
+                        algorithm: algorithm.clone(),
+                    },
+                    inputs,
+                    output,
+                );
+                place_replicated(task, op, module, &mut configs, &config_index)?;
+            }
+            TaskKind::DetectAnomaly {
+                detector,
+                threshold,
+            } => {
+                let op = make_operator(
+                    &task.id,
+                    OperatorKind::Anomaly {
+                        detector: detector.clone(),
+                        threshold: *threshold,
+                    },
+                    inputs,
+                    output,
+                );
+                place_replicated(task, op, module, &mut configs, &config_index)?;
+            }
+            TaskKind::Estimate { model } => {
+                cfg.operators.push(make_operator(
+                    &task.id,
+                    OperatorKind::Estimate {
+                        model: model.clone(),
+                    },
+                    inputs,
+                    output,
+                ));
+            }
+            TaskKind::Policy {
+                key,
+                on_above,
+                off_below,
+                emit,
+            } => {
+                cfg.operators.push(make_operator(
+                    &task.id,
+                    OperatorKind::Policy {
+                        key: key.clone(),
+                        on_above: *on_above,
+                        off_below: *off_below,
+                        emit: emit.clone(),
+                    },
+                    inputs,
+                    output,
+                ));
+            }
+            TaskKind::Actuate { actuator } => {
+                let device_id = device_counter;
+                device_counter += 1;
+                cfg.actuators.push(ActuatorSpec {
+                    device_id,
+                    kind: actuator_kind_by_name(actuator),
+                });
+                cfg.operators.push(make_operator(
+                    &task.id,
+                    OperatorKind::Actuate { device_id },
+                    inputs,
+                    None,
+                ));
+            }
+            TaskKind::Custom { operator } => {
+                cfg.operators.push(make_operator(
+                    &task.id,
+                    OperatorKind::Custom {
+                        operator: operator.clone(),
+                    },
+                    inputs,
+                    output,
+                ));
+            }
+        }
+    }
+
+    // Co-location optimization: an output consumed only on its own module
+    // need not transit the broker.
+    optimize_local_flows(recipe, &assignment, &mut configs);
+
+    Ok(DeploymentPlan {
+        configs,
+        assignment,
+    })
+}
+
+/// Places `op` on the assigned module, or — when the task carries a
+/// `replicas = N` parameter — N sequence-sharded copies on N distinct
+/// modules starting at the assigned one (the recipe-level form of the
+/// "further parallelization / decentralization" the paper's conclusion
+/// calls for). Sharded `Train` replicas learn on disjoint sub-streams;
+/// combine with `mix_interval_ms` to keep them consistent.
+fn place_replicated(
+    task: &ifot_recipe::model::Task,
+    op: OperatorSpec,
+    module: &str,
+    configs: &mut [NodeConfig],
+    config_index: &BTreeMap<String, usize>,
+) -> Result<(), DeployError> {
+    let replicas = task
+        .params
+        .get("replicas")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1)
+        .max(1);
+    if replicas == 1 {
+        configs[config_index[module]].operators.push(op);
+        return Ok(());
+    }
+    if replicas as usize > configs.len() {
+        return Err(DeployError::TooManyReplicas {
+            task: task.id.clone(),
+            requested: replicas,
+            available: configs.len(),
+        });
+    }
+    let start = config_index[module];
+    for k in 0..replicas {
+        let idx = (start + k as usize) % configs.len();
+        configs[idx]
+            .operators
+            .push(op.clone().sharded(replicas, k));
+    }
+    Ok(())
+}
+
+fn make_operator(
+    id: &str,
+    kind: OperatorKind,
+    inputs: Vec<String>,
+    output: Option<String>,
+) -> OperatorSpec {
+    OperatorSpec {
+        id: id.to_owned(),
+        kind,
+        inputs,
+        output,
+        publish_output: true,
+        shard: None,
+    }
+}
+
+fn optimize_local_flows(recipe: &Recipe, assignment: &Assignment, configs: &mut [NodeConfig]) {
+    for task in recipe.tasks() {
+        if matches!(task.kind, TaskKind::Sense { .. }) {
+            continue; // sensor samples always go through the broker
+        }
+        let module = assignment.module_of(&task.id).expect("task assigned");
+        let successors = recipe.successors(&task.id);
+        if successors.is_empty() {
+            continue;
+        }
+        let all_local = successors
+            .iter()
+            .all(|s| assignment.module_of(s) == Some(module));
+        if all_local {
+            if let Some(cfg) = configs.iter_mut().find(|c| c.name == module) {
+                if let Some(op) = cfg.operators.iter_mut().find(|o| o.id == task.id) {
+                    op.publish_output = false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifot_recipe::assign::CapabilityAware;
+    use ifot_recipe::model::fig5_elderly_monitoring;
+
+    fn modules() -> Vec<ModuleInfo> {
+        vec![
+            ModuleInfo::new("module-a", 1.0).with_capability("sensor:accel"),
+            ModuleInfo::new("module-b", 1.0).with_capability("sensor:sound"),
+            ModuleInfo::new("module-c", 1.0)
+                .with_capability("sensor:motion")
+                .with_capability("sensor:illuminance"),
+            ModuleInfo::new("module-d", 1.0),
+            ModuleInfo::new("module-e", 1.0).with_capability("actuator:alert"),
+        ]
+    }
+
+    #[test]
+    fn fig5_recipe_deploys() {
+        let recipe = fig5_elderly_monitoring();
+        let plan = deploy(&recipe, &modules(), &CapabilityAware, "module-d").expect("deploys");
+        assert_eq!(plan.configs.len(), 5);
+        // Broker on module-d.
+        assert!(plan.config_for("module-d").expect("exists").run_broker);
+        // Every config is internally valid.
+        for cfg in &plan.configs {
+            cfg.validate().expect("valid config");
+            assert_eq!(cfg.app, "elderly-monitoring");
+            assert_eq!(cfg.broker_node.as_deref(), Some("module-d"));
+        }
+        // Four sensors somewhere.
+        let sensor_count: usize = plan.configs.iter().map(|c| c.sensors.len()).sum();
+        assert_eq!(sensor_count, 4);
+        // Alert actuator on module-e with its operator.
+        let e = plan.config_for("module-e").expect("exists");
+        assert_eq!(e.actuators.len(), 1);
+        assert!(e.operators.iter().any(|o| o.id == "alert_messaging"));
+    }
+
+    #[test]
+    fn operator_inputs_are_upstream_topics() {
+        let recipe = fig5_elderly_monitoring();
+        let plan = deploy(&recipe, &modules(), &CapabilityAware, "module-d").expect("deploys");
+        // anomaly_ab consumes the two sensor topics of sensing_a/b.
+        let op = plan
+            .configs
+            .iter()
+            .flat_map(|c| &c.operators)
+            .find(|o| o.id == "anomaly_ab")
+            .expect("anomaly_ab placed");
+        assert_eq!(op.inputs.len(), 2);
+        assert!(op.inputs.iter().all(|t| t.starts_with("sensor/")));
+        assert_eq!(
+            op.output.as_deref(),
+            Some("flow/elderly-monitoring/anomaly_ab")
+        );
+    }
+
+    #[test]
+    fn leaves_have_no_output() {
+        let recipe = fig5_elderly_monitoring();
+        let plan = deploy(&recipe, &modules(), &CapabilityAware, "module-d").expect("deploys");
+        let alert = plan
+            .configs
+            .iter()
+            .flat_map(|c| &c.operators)
+            .find(|o| o.id == "alert_messaging")
+            .expect("alert placed");
+        assert_eq!(alert.output, None);
+    }
+
+    #[test]
+    fn unknown_sensor_slug_is_an_error() {
+        let recipe = ifot_recipe::model::Recipe::builder("r")
+            .task(ifot_recipe::model::Task::new(
+                "s",
+                TaskKind::Sense {
+                    sensor: "quantum-flux".into(),
+                    rate_hz: 1.0,
+                },
+            ))
+            .build()
+            .expect("valid graph");
+        let ms = vec![ModuleInfo::new("m", 1.0).with_capability("sensor:quantum-flux")];
+        assert_eq!(
+            deploy(&recipe, &ms, &CapabilityAware, "m").expect_err("unknown slug"),
+            DeployError::UnknownSensor("quantum-flux".into())
+        );
+    }
+
+    #[test]
+    fn missing_broker_module_is_an_error() {
+        let recipe = fig5_elderly_monitoring();
+        assert_eq!(
+            deploy(&recipe, &modules(), &CapabilityAware, "nope").expect_err("missing broker"),
+            DeployError::BrokerNotInModules("nope".into())
+        );
+    }
+
+    #[test]
+    fn missing_capability_propagates_assignment_error() {
+        let recipe = fig5_elderly_monitoring();
+        let ms = vec![ModuleInfo::new("only", 1.0)];
+        assert!(matches!(
+            deploy(&recipe, &ms, &CapabilityAware, "only").expect_err("no sensors"),
+            DeployError::Assign(_)
+        ));
+    }
+
+    #[test]
+    fn mix_param_creates_coordinator_on_broker() {
+        let mut task = ifot_recipe::model::Task::new(
+            "train",
+            TaskKind::Train {
+                algorithm: "pa".into(),
+            },
+        );
+        task.params
+            .insert("mix_interval_ms".into(), "500".into());
+        let recipe = ifot_recipe::model::Recipe::builder("r")
+            .task(ifot_recipe::model::Task::new(
+                "s",
+                TaskKind::Sense {
+                    sensor: "sound".into(),
+                    rate_hz: 5.0,
+                },
+            ))
+            .task(task)
+            .edge("s", "train")
+            .build()
+            .expect("valid");
+        let ms = vec![
+            ModuleInfo::new("a", 1.0).with_capability("sensor:sound"),
+            ModuleInfo::new("b", 1.0),
+        ];
+        let plan = deploy(&recipe, &ms, &CapabilityAware, "b").expect("deploys");
+        let broker_cfg = plan.config_for("b").expect("exists");
+        assert!(broker_cfg
+            .operators
+            .iter()
+            .any(|o| matches!(o.kind, OperatorKind::MixCoordinator { .. })));
+        let trainer = plan
+            .configs
+            .iter()
+            .flat_map(|c| &c.operators)
+            .find(|o| o.id == "train")
+            .expect("trainer placed");
+        assert!(trainer
+            .inputs
+            .iter()
+            .any(|t| t == &topics::mix_average("r", "train")));
+    }
+
+    #[test]
+    fn replicas_param_shards_a_task_across_modules() {
+        let mut task = ifot_recipe::model::Task::new(
+            "detect",
+            TaskKind::DetectAnomaly {
+                detector: "zscore".into(),
+                threshold: 3.0,
+            },
+        );
+        task.params.insert("replicas".into(), "3".into());
+        let recipe = ifot_recipe::model::Recipe::builder("r")
+            .task(ifot_recipe::model::Task::new(
+                "s",
+                TaskKind::Sense {
+                    sensor: "sound".into(),
+                    rate_hz: 40.0,
+                },
+            ))
+            .task(task)
+            .edge("s", "detect")
+            .build()
+            .expect("valid");
+        let ms = vec![
+            ModuleInfo::new("a", 1.0).with_capability("sensor:sound"),
+            ModuleInfo::new("b", 1.0),
+            ModuleInfo::new("c", 1.0),
+        ];
+        let plan = deploy(&recipe, &ms, &CapabilityAware, "b").expect("deploys");
+        let replicas: Vec<_> = plan
+            .configs
+            .iter()
+            .flat_map(|c| &c.operators)
+            .filter(|o| o.id == "detect")
+            .collect();
+        assert_eq!(replicas.len(), 3);
+        // Complementary shards covering 0..3, one per module.
+        let mut shards: Vec<u64> = replicas
+            .iter()
+            .map(|o| o.shard.expect("replicas are sharded").1)
+            .collect();
+        shards.sort_unstable();
+        assert_eq!(shards, vec![0, 1, 2]);
+        assert!(replicas.iter().all(|o| o.shard.expect("sharded").0 == 3));
+        // Each config is still valid (ids unique per node).
+        for cfg in &plan.configs {
+            cfg.validate().expect("valid");
+        }
+    }
+
+    #[test]
+    fn too_many_replicas_is_an_error() {
+        let mut task = ifot_recipe::model::Task::new(
+            "p",
+            TaskKind::Predict {
+                algorithm: "pa".into(),
+            },
+        );
+        task.params.insert("replicas".into(), "5".into());
+        let recipe = ifot_recipe::model::Recipe::builder("r")
+            .task(task)
+            .build()
+            .expect("valid");
+        let ms = vec![ModuleInfo::new("only", 1.0)];
+        assert!(matches!(
+            deploy(&recipe, &ms, &CapabilityAware, "only").expect_err("too many"),
+            DeployError::TooManyReplicas { requested: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn local_chains_skip_the_broker() {
+        // Two chained compute tasks forced onto one module: the upstream
+        // output must be local-only.
+        let recipe = ifot_recipe::model::Recipe::builder("r")
+            .task(ifot_recipe::model::Task::new(
+                "w",
+                TaskKind::Window { size_ms: 100 },
+            ))
+            .task(ifot_recipe::model::Task::new(
+                "p",
+                TaskKind::Predict {
+                    algorithm: "pa".into(),
+                },
+            ))
+            .edge("w", "p")
+            .build()
+            .expect("valid");
+        let ms = vec![ModuleInfo::new("solo", 1.0)];
+        let plan = deploy(&recipe, &ms, &CapabilityAware, "solo").expect("deploys");
+        let w = plan
+            .configs
+            .iter()
+            .flat_map(|c| &c.operators)
+            .find(|o| o.id == "w")
+            .expect("w placed");
+        assert!(!w.publish_output, "co-located flow must not transit the broker");
+    }
+}

@@ -1,0 +1,210 @@
+//! Flow items: the data units the middleware's classes exchange.
+//!
+//! Two encodings coexist, exactly as in the paper's prototype:
+//!
+//! * **Raw sensor samples** — the 32-byte binary image
+//!   ([`ifot_sensors::sample::Sample`]) published by the Sensor/Publish
+//!   classes on `sensor/<device>/<kind>` topics.
+//! * **Flow messages** — JSON-encoded [`FlowMessage`]s carrying a datum,
+//!   optional label and provenance, published by analysis operators on
+//!   `flow/<recipe>/<task>` topics.
+//!
+//! [`FlowItem::from_payload`] normalizes both into one in-memory form.
+
+use ifot_ml::feature::Datum;
+use ifot_sensors::sample::{kind_slug, Sample};
+use serde::{Deserialize, Serialize};
+
+/// A flow message: the JSON unit exchanged between analysis operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowMessage {
+    /// The task that produced this message.
+    pub producer: String,
+    /// Earliest sensing timestamp contributing to this message
+    /// (nanoseconds) — carried through the pipeline so every stage can
+    /// report sensing-to-X latency, the paper's measured quantity.
+    pub origin_ts_ns: u64,
+    /// Monotone sequence number at the producer.
+    pub seq: u64,
+    /// The payload features.
+    pub datum: Datum,
+    /// Optional label / decision attached by an upstream stage.
+    pub label: Option<String>,
+    /// Optional numeric score (anomaly score, confidence).
+    pub score: Option<f64>,
+}
+
+impl FlowMessage {
+    /// Serializes to the wire payload.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("flow messages are serializable")
+    }
+
+    /// Parses from a wire payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message for malformed payloads.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        serde_json::from_slice(bytes).map_err(|e| e.to_string())
+    }
+}
+
+/// Normalized in-memory flow unit handed to operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowItem {
+    /// Topic the item arrived on.
+    pub topic: String,
+    /// Earliest sensing timestamp (nanoseconds).
+    pub origin_ts_ns: u64,
+    /// Producer-side sequence number.
+    pub seq: u64,
+    /// Features.
+    pub datum: Datum,
+    /// Optional upstream label.
+    pub label: Option<String>,
+    /// Optional upstream score.
+    pub score: Option<f64>,
+}
+
+impl FlowItem {
+    /// Decodes a payload arriving on `topic` into a flow item.
+    ///
+    /// 32-byte payloads are parsed as raw sensor samples (datum keys
+    /// `"<kind>_<channel>"`); anything else is parsed as a JSON
+    /// [`FlowMessage`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when neither decoding applies.
+    pub fn from_payload(topic: &str, payload: &[u8]) -> Result<FlowItem, String> {
+        if payload.len() == ifot_sensors::sample::SAMPLE_WIRE_SIZE {
+            if let Ok(sample) = Sample::decode(payload) {
+                return Ok(FlowItem::from_sample(topic, &sample));
+            }
+        }
+        let msg = FlowMessage::decode(payload)?;
+        Ok(FlowItem {
+            topic: topic.to_owned(),
+            origin_ts_ns: msg.origin_ts_ns,
+            seq: msg.seq,
+            datum: msg.datum,
+            label: msg.label,
+            score: msg.score,
+        })
+    }
+
+    /// Converts a raw sensor sample into a flow item.
+    pub fn from_sample(topic: &str, sample: &Sample) -> FlowItem {
+        let mut datum = Datum::new();
+        let slug = kind_slug(sample.kind);
+        for (name, value) in sample
+            .kind
+            .channel_names()
+            .iter()
+            .zip(sample.values.iter())
+        {
+            datum.set(format!("{slug}_{name}"), *value as f64);
+        }
+        FlowItem {
+            topic: topic.to_owned(),
+            origin_ts_ns: sample.timestamp_ns,
+            seq: sample.seq as u64,
+            datum,
+            label: None,
+            score: None,
+        }
+    }
+}
+
+/// Topic conventions used by the middleware.
+pub mod topics {
+    /// Topic sensors publish on: `sensor/<device>/<kind>`.
+    pub fn sensor(device_id: u16, kind_slug: &str) -> String {
+        format!("sensor/{device_id}/{kind_slug}")
+    }
+
+    /// Topic an operator publishes on: `flow/<recipe>/<task>`.
+    pub fn flow(recipe: &str, task: &str) -> String {
+        format!("flow/{recipe}/{task}")
+    }
+
+    /// Topic actuator commands are sent on: `actuator/<device>`.
+    pub fn actuator(device_id: u16) -> String {
+        format!("actuator/{device_id}")
+    }
+
+    /// Topic a training task publishes MIX snapshots on.
+    pub fn mix_offer(recipe: &str, task: &str) -> String {
+        format!("mix/{recipe}/{task}/offer")
+    }
+
+    /// Topic the MIX coordinator publishes averages on.
+    pub fn mix_average(recipe: &str, task: &str) -> String {
+        format!("mix/{recipe}/{task}/avg")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifot_sensors::sample::SensorKind;
+
+    #[test]
+    fn flow_message_round_trip() {
+        let m = FlowMessage {
+            producer: "agg".into(),
+            origin_ts_ns: 123,
+            seq: 7,
+            datum: Datum::new().with("x", 1.0),
+            label: Some("ok".into()),
+            score: Some(0.5),
+        };
+        let back = FlowMessage::decode(&m.encode()).expect("round trip");
+        assert_eq!(back, m);
+        assert!(FlowMessage::decode(b"junk").is_err());
+    }
+
+    #[test]
+    fn sample_payload_normalizes_to_item() {
+        let sample = Sample::new(SensorKind::Accelerometer, 3, 9, 555, &[1.0, 2.0, 3.0]);
+        let item =
+            FlowItem::from_payload("sensor/3/accel", &sample.encode()).expect("decodes");
+        assert_eq!(item.origin_ts_ns, 555);
+        assert_eq!(item.seq, 9);
+        assert_eq!(item.datum.get("accel_x"), Some(1.0));
+        assert_eq!(item.datum.get("accel_z"), Some(3.0));
+        assert_eq!(item.label, None);
+    }
+
+    #[test]
+    fn json_payload_normalizes_to_item() {
+        let m = FlowMessage {
+            producer: "p".into(),
+            origin_ts_ns: 1,
+            seq: 2,
+            datum: Datum::new().with("a", 4.0),
+            label: None,
+            score: None,
+        };
+        let item = FlowItem::from_payload("flow/r/p", &m.encode()).expect("decodes");
+        assert_eq!(item.datum.get("a"), Some(4.0));
+        assert_eq!(item.topic, "flow/r/p");
+    }
+
+    #[test]
+    fn garbage_payload_is_an_error() {
+        assert!(FlowItem::from_payload("t", &[0u8; 10]).is_err());
+        // 32 bytes of garbage is not a valid sample and not JSON.
+        assert!(FlowItem::from_payload("t", &[0xFFu8; 32]).is_err());
+    }
+
+    #[test]
+    fn topic_helpers() {
+        assert_eq!(topics::sensor(3, "accel"), "sensor/3/accel");
+        assert_eq!(topics::flow("r", "t"), "flow/r/t");
+        assert_eq!(topics::actuator(9), "actuator/9");
+        assert_eq!(topics::mix_offer("r", "t"), "mix/r/t/offer");
+        assert_eq!(topics::mix_average("r", "t"), "mix/r/t/avg");
+    }
+}

@@ -1,0 +1,923 @@
+//! The IFoT middleware node — the software running on every neuron
+//! module.
+//!
+//! One [`MiddlewareNode`] hosts the classes of the paper's architecture
+//! (Fig. 4) according to its [`NodeConfig`]:
+//!
+//! * **Sensor + Publish classes** — sample virtual devices on absolute
+//!   timers and publish 32-byte samples over MQTT.
+//! * **Broker class** — an embedded MQTT broker (when configured).
+//! * **Subscribe class** — an MQTT client subscribing to the union of the
+//!   operators' input filters and dispatching received flows.
+//! * **Learning / Judging / Managing classes** — the analysis operators
+//!   ([`crate::operators`]), including MIX model synchronization.
+//! * **Actuator class** — locally hosted virtual actuators driven by
+//!   `Actuate` operators.
+//!
+//! The node is runtime-agnostic: all side effects go through
+//! [`crate::env::NodeEnv`], so the identical logic runs on the
+//! deterministic simulator and on real threads.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ifot_mqtt::broker::{Action, Broker};
+use ifot_mqtt::client::{Client, ClientConfig, ClientEvent, ClientState};
+use ifot_mqtt::codec::{encode, StreamDecoder};
+use ifot_mqtt::packet::{Packet, QoS};
+use ifot_mqtt::topic::{TopicFilter, TopicName};
+use ifot_sensors::actuator::{Actuator, AirConditioner, AlertSink, CeilingLight, Command};
+use ifot_sensors::device::VirtualSensor;
+use ifot_sensors::inject::AnomalyInjector;
+
+use crate::config::{ActuatorKindSpec, NodeConfig};
+use crate::costs;
+use crate::env::NodeEnv;
+use crate::flow::{topics, FlowItem};
+use crate::operators::{MixEnvelope, NodeEvent, OpOutput, OperatorInstance};
+
+/// Port MQTT clients send to (broker ingress).
+pub const MQTT_BROKER_PORT: u16 = 1883;
+/// Port the broker sends to (client ingress).
+pub const MQTT_CLIENT_PORT: u16 = 1884;
+
+const TAG_KIND_SHIFT: u64 = 32;
+const TAG_SENSOR: u64 = 1;
+const TAG_CLIENT_POLL: u64 = 2;
+const TAG_BROKER_POLL: u64 = 3;
+const TAG_FLUSH: u64 = 4;
+const TAG_MIX: u64 = 5;
+
+const CLIENT_POLL_NS: u64 = 200_000_000;
+const BROKER_POLL_NS: u64 = 500_000_000;
+const CONNECT_RETRY_NS: u64 = 1_000_000_000;
+
+fn tag(kind: u64, index: usize) -> u64 {
+    (kind << TAG_KIND_SHIFT) | index as u64
+}
+
+#[derive(Debug)]
+struct SensorRuntime {
+    injector: AnomalyInjector,
+    topic: String,
+    period_ns: u64,
+    next_sample_ns: u64,
+    published: u64,
+    dropped_unconnected: u64,
+}
+
+#[derive(Debug)]
+enum ActuatorDevice {
+    Ac(AirConditioner),
+    Light(CeilingLight),
+    Alert(AlertSink),
+}
+
+impl ActuatorDevice {
+    fn as_actuator_mut(&mut self) -> &mut dyn Actuator {
+        match self {
+            ActuatorDevice::Ac(a) => a,
+            ActuatorDevice::Light(a) => a,
+            ActuatorDevice::Alert(a) => a,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            ActuatorDevice::Ac(a) => a.describe(),
+            ActuatorDevice::Light(a) => a.describe(),
+            ActuatorDevice::Alert(a) => a.describe(),
+        }
+    }
+}
+
+/// The middleware runtime of one neuron module. See the module docs.
+#[derive(Debug)]
+pub struct MiddlewareNode {
+    config: NodeConfig,
+    broker: Option<Broker<String>>,
+    broker_decoders: BTreeMap<String, StreamDecoder>,
+    client: Option<Client>,
+    client_decoder: StreamDecoder,
+    connected: bool,
+    connect_sent_at_ns: Option<u64>,
+    sensors: Vec<SensorRuntime>,
+    operators: Vec<OperatorInstance>,
+    actuators: BTreeMap<u16, ActuatorDevice>,
+    events: Vec<NodeEvent>,
+    directory: crate::discovery::FlowDirectory,
+    broker_polls: u64,
+    sys_view: BTreeMap<String, String>,
+}
+
+impl MiddlewareNode {
+    /// Instantiates the classes described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NodeConfig::validate`].
+    pub fn new(config: NodeConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid node config for {:?}: {e}", config.name));
+        let sensors = config
+            .sensors
+            .iter()
+            .map(|spec| {
+                let mut injector = AnomalyInjector::new(VirtualSensor::preset(
+                    spec.kind,
+                    spec.device_id,
+                    spec.seed,
+                ));
+                for w in &spec.faults {
+                    injector.schedule(*w);
+                }
+                let period_ns = (1.0e9 / spec.rate_hz.max(1e-6)).round() as u64;
+                SensorRuntime {
+                    injector,
+                    topic: spec.topic.clone(),
+                    period_ns,
+                    next_sample_ns: period_ns,
+                    published: 0,
+                    dropped_unconnected: 0,
+                }
+            })
+            .collect();
+        let operators = config
+            .operators
+            .iter()
+            .cloned()
+            .map(OperatorInstance::new)
+            .collect();
+        let actuators = config
+            .actuators
+            .iter()
+            .map(|spec| {
+                let dev = match spec.kind {
+                    ActuatorKindSpec::AirConditioner => {
+                        ActuatorDevice::Ac(AirConditioner::new(spec.device_id))
+                    }
+                    ActuatorKindSpec::CeilingLight => {
+                        ActuatorDevice::Light(CeilingLight::new(spec.device_id))
+                    }
+                    ActuatorKindSpec::AlertSink => {
+                        ActuatorDevice::Alert(AlertSink::new(spec.device_id))
+                    }
+                };
+                (spec.device_id, dev)
+            })
+            .collect();
+        let client = config.broker_node.as_ref().map(|_| {
+            // Discovery: an ungraceful death publishes a retained offline
+            // tombstone so directories notice the leave.
+            let will = config.announce.then(|| ifot_mqtt::packet::LastWill {
+                topic: TopicName::new(crate::discovery::announce_topic(&config.name))
+                    .expect("announce topics are valid"),
+                payload: crate::discovery::NodeAnnouncement::offline(&config.name).encode(),
+                qos: QoS::AtMostOnce,
+                retain: true,
+            });
+            Client::new(
+                config.name.clone(),
+                ClientConfig {
+                    keep_alive_secs: config.keep_alive_secs,
+                    clean_session: true,
+                    retransmit_timeout_ns: 1_500_000_000,
+                    will,
+                },
+            )
+        });
+        MiddlewareNode {
+            broker: config.run_broker.then(Broker::new),
+            broker_decoders: BTreeMap::new(),
+            client,
+            client_decoder: StreamDecoder::new(),
+            connected: false,
+            connect_sent_at_ns: None,
+            sensors,
+            operators,
+            actuators,
+            events: Vec::new(),
+            directory: crate::discovery::FlowDirectory::new(),
+            broker_polls: 0,
+            sys_view: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// The last-seen `$SYS/...` broker status values (populated when an
+    /// operator subscription covers the `$SYS` plane).
+    pub fn sys_view(&self) -> &BTreeMap<String, String> {
+        &self.sys_view
+    }
+
+    /// The locally tracked stream directory (populated when the node is
+    /// configured with [`NodeConfig::with_directory`]).
+    pub fn directory(&self) -> &crate::discovery::FlowDirectory {
+        &self.directory
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// Application events recorded so far.
+    pub fn events(&self) -> &[NodeEvent] {
+        &self.events
+    }
+
+    /// Whether the MQTT client session is established.
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// Broker statistics, when this node runs the Broker class.
+    pub fn broker_stats(&self) -> Option<ifot_mqtt::broker::BrokerStats> {
+        self.broker.as_ref().map(|b| b.stats())
+    }
+
+    /// The operator with the given id, if hosted here.
+    pub fn operator(&self, id: &str) -> Option<&OperatorInstance> {
+        self.operators.iter().find(|o| o.spec().id == id)
+    }
+
+    /// One-line descriptions of every hosted class (monitoring screen).
+    pub fn describe_classes(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.broker.is_some() {
+            let stats = self.broker_stats().expect("broker present");
+            out.push(format!(
+                "broker clients={} in={} out={}",
+                stats.clients_connected, stats.messages_in, stats.messages_out
+            ));
+        }
+        for s in &self.sensors {
+            out.push(format!(
+                "sensor[{}] published={} dropped={}",
+                s.topic, s.published, s.dropped_unconnected
+            ));
+        }
+        for o in &self.operators {
+            out.push(o.describe());
+        }
+        for a in self.actuators.values() {
+            out.push(a.describe());
+        }
+        out
+    }
+
+    /// Samples published per sensor topic.
+    pub fn sensor_published(&self) -> Vec<(String, u64)> {
+        self.sensors
+            .iter()
+            .map(|s| (s.topic.clone(), s.published))
+            .collect()
+    }
+
+    /// The alert sink hosted under `device_id`, if any — lets harnesses
+    /// inspect received alerts.
+    pub fn alert_sink(&self, device_id: u16) -> Option<&AlertSink> {
+        match self.actuators.get(&device_id) {
+            Some(ActuatorDevice::Alert(a)) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The air conditioner hosted under `device_id`, if any.
+    pub fn air_conditioner(&self, device_id: u16) -> Option<&AirConditioner> {
+        match self.actuators.get(&device_id) {
+            Some(ActuatorDevice::Ac(a)) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The ceiling light hosted under `device_id`, if any.
+    pub fn ceiling_light(&self, device_id: u16) -> Option<&CeilingLight> {
+        match self.actuators.get(&device_id) {
+            Some(ActuatorDevice::Light(a)) => Some(a),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle entry points (called by the runtime adapter)
+    // ------------------------------------------------------------------
+
+    /// Starts (or warm-restarts) the node: connects the client, arms
+    /// sampling/poll timers. Safe to call again after a crash-stop: the
+    /// session is re-established and stale sampling schedules are
+    /// fast-forwarded to the current grid point instead of bursting.
+    pub fn on_start(&mut self, env: &mut dyn NodeEnv) {
+        if self.broker.is_some() {
+            env.set_timer_after_ns(BROKER_POLL_NS, tag(TAG_BROKER_POLL, 0));
+        }
+        if self.client.is_some() {
+            // After a warm restart the session object may still think it
+            // is connected; reset it so CONNECT is valid.
+            self.connected = false;
+            if let Some(client) = self.client.as_mut() {
+                if client.state() != ClientState::Disconnected {
+                    client.transport_lost();
+                }
+            }
+            self.send_connect(env);
+            env.set_timer_after_ns(CLIENT_POLL_NS, tag(TAG_CLIENT_POLL, 0));
+        }
+        let now = env.now_ns();
+        for (i, s) in self.sensors.iter_mut().enumerate() {
+            if s.next_sample_ns <= now {
+                // Fast-forward a stale schedule to the next grid point.
+                let periods = (now - s.next_sample_ns) / s.period_ns + 1;
+                s.next_sample_ns += periods * s.period_ns;
+            }
+            env.set_timer_at_ns(s.next_sample_ns, tag(TAG_SENSOR, i));
+        }
+        for (i, op) in self.operators.iter().enumerate() {
+            if let Some(ms) = op.flush_period_ms() {
+                env.set_timer_after_ns(ms * 1_000_000, tag(TAG_FLUSH, i));
+            }
+            if let Some(ms) = op.mix_period_ms() {
+                env.set_timer_after_ns(ms * 1_000_000, tag(TAG_MIX, i));
+            }
+        }
+    }
+
+    /// Handles a timer previously armed by this node.
+    pub fn on_timer(&mut self, env: &mut dyn NodeEnv, t: u64) {
+        let kind = t >> TAG_KIND_SHIFT;
+        let index = (t & 0xFFFF_FFFF) as usize;
+        match kind {
+            TAG_SENSOR => self.on_sensor_timer(env, index),
+            TAG_CLIENT_POLL => self.on_client_poll(env),
+            TAG_BROKER_POLL => self.on_broker_poll(env),
+            TAG_FLUSH => {
+                if let Some(op) = self.operators.get_mut(index) {
+                    let outputs = op.on_flush(env);
+                    let period = op.flush_period_ms().unwrap_or(0) * 1_000_000;
+                    self.handle_outputs(env, index, outputs);
+                    if period > 0 {
+                        env.set_timer_after_ns(period, tag(TAG_FLUSH, index));
+                    }
+                }
+            }
+            TAG_MIX => {
+                if let Some(op) = self.operators.get_mut(index) {
+                    let outputs = op.on_mix_offer(env);
+                    let period = op.mix_period_ms().unwrap_or(0) * 1_000_000;
+                    self.handle_outputs(env, index, outputs);
+                    if period > 0 {
+                        env.set_timer_after_ns(period, tag(TAG_MIX, index));
+                    }
+                }
+            }
+            _ => env.incr("unknown_timer"),
+        }
+    }
+
+    /// Handles a transport packet addressed to this node.
+    pub fn on_packet(&mut self, env: &mut dyn NodeEnv, src: &str, port: u16, payload: &[u8]) {
+        match port {
+            MQTT_BROKER_PORT => self.on_broker_ingress(env, src, payload),
+            MQTT_CLIENT_PORT => self.on_client_ingress(env, payload),
+            _ => env.incr("unknown_port"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sensor + Publish classes
+    // ------------------------------------------------------------------
+
+    fn on_sensor_timer(&mut self, env: &mut dyn NodeEnv, index: usize) {
+        let now = env.now_ns();
+        let Some(s) = self.sensors.get_mut(index) else {
+            return;
+        };
+        env.consume_ref_ms(costs::SENSOR_READ_MS);
+        let labelled = s.injector.read(now);
+        let payload = labelled.sample.encode().to_vec();
+        let topic = s.topic.clone();
+        // Schedule the next sample on the nominal grid (no drift).
+        s.next_sample_ns += s.period_ns;
+        let next = s.next_sample_ns;
+        env.set_timer_at_ns(next, tag(TAG_SENSOR, index));
+        env.incr("samples_taken");
+        if labelled.anomalous {
+            env.incr("samples_anomalous");
+        }
+
+        if self.connected {
+            self.sensors[index].published += 1;
+            self.publish(env, &topic, payload);
+        } else {
+            self.sensors[index].dropped_unconnected += 1;
+            env.incr("samples_dropped_unconnected");
+        }
+    }
+
+    /// Publishes a payload through the client (consuming publish CPU).
+    fn publish(&mut self, env: &mut dyn NodeEnv, topic: &str, payload: Vec<u8>) {
+        self.publish_opts(env, topic, payload, false);
+    }
+
+    /// Publishes with an explicit retain flag.
+    fn publish_opts(&mut self, env: &mut dyn NodeEnv, topic: &str, payload: Vec<u8>, retain: bool) {
+        let Some(client) = self.client.as_mut() else {
+            env.incr("publish_without_client");
+            return;
+        };
+        let Ok(topic_name) = TopicName::new(topic) else {
+            env.incr("publish_bad_topic");
+            return;
+        };
+        env.consume_ref_ms(costs::PUBLISH_MS);
+        match client.publish(
+            topic_name,
+            payload,
+            self.config.publish_qos,
+            retain,
+            env.now_ns(),
+        ) {
+            Ok(packet) => {
+                let broker = self
+                    .config
+                    .broker_node
+                    .clone()
+                    .expect("client implies broker_node");
+                env.send(&broker, MQTT_BROKER_PORT, encode(&packet));
+                env.incr("published");
+            }
+            Err(_) => env.incr("publish_not_connected"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Broker class
+    // ------------------------------------------------------------------
+
+    fn on_broker_ingress(&mut self, env: &mut dyn NodeEnv, src: &str, payload: &[u8]) {
+        if self.broker.is_none() {
+            env.incr("broker_ingress_without_broker");
+            return;
+        }
+        let now = env.now_ns();
+        let decoder = self.broker_decoders.entry(src.to_owned()).or_default();
+        decoder.feed(payload);
+        let mut packets = Vec::new();
+        loop {
+            match decoder.next_packet() {
+                Ok(Some(p)) => packets.push(p),
+                Ok(None) => break,
+                Err(_) => {
+                    env.incr("broker_decode_errors");
+                    self.broker_decoders.remove(src);
+                    return;
+                }
+            }
+        }
+        let broker = self.broker.as_mut().expect("checked above");
+        let mut actions = Vec::new();
+        for packet in packets {
+            env.consume_ref_ms(costs::BROKER_IN_MS);
+            if matches!(packet, Packet::Connect(_)) {
+                broker.connection_opened(src.to_owned(), now);
+            }
+            // Stage probe (Fig. 9 breakdown): raw sensor samples carry
+            // their sensing timestamp; record the sensing→broker leg.
+            if let Packet::Publish(p) = &packet {
+                if p.payload.len() == ifot_sensors::sample::SAMPLE_WIRE_SIZE {
+                    if let Ok(sample) = ifot_sensors::sample::Sample::decode(&p.payload) {
+                        env.record_latency_since_ns("sensing_to_broker", sample.timestamp_ns);
+                    }
+                }
+            }
+            actions.extend(broker.handle_packet(&src.to_owned(), packet, now));
+        }
+        self.apply_broker_actions(env, actions);
+    }
+
+    fn on_broker_poll(&mut self, env: &mut dyn NodeEnv) {
+        let now = env.now_ns();
+        if let Some(broker) = self.broker.as_mut() {
+            let mut actions = broker.poll(now);
+            // $SYS status publications (Mosquitto-style), every 4th poll
+            // (~2 s): subscribers of `$SYS/#` observe the broker load.
+            self.broker_polls += 1;
+            if self.broker_polls.is_multiple_of(4) {
+                for publish in broker.sys_stats_packets() {
+                    actions.extend(broker.publish_internal(publish, now));
+                }
+            }
+            self.apply_broker_actions(env, actions);
+            env.set_timer_after_ns(BROKER_POLL_NS, tag(TAG_BROKER_POLL, 0));
+        }
+    }
+
+    fn apply_broker_actions(&mut self, env: &mut dyn NodeEnv, actions: Vec<Action<String>>) {
+        for action in actions {
+            match action {
+                Action::Send { conn, packet } => {
+                    if matches!(packet, Packet::Publish(_)) {
+                        env.consume_ref_ms(costs::BROKER_OUT_MS);
+                    }
+                    env.send(&conn, MQTT_CLIENT_PORT, encode(&packet));
+                }
+                Action::Close { conn } => {
+                    self.broker_decoders.remove(&conn);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Subscribe class (client) and flow dispatch
+    // ------------------------------------------------------------------
+
+    fn send_connect(&mut self, env: &mut dyn NodeEnv) {
+        let Some(client) = self.client.as_mut() else {
+            return;
+        };
+        if let Ok(packet) = client.connect() {
+            let broker = self
+                .config
+                .broker_node
+                .clone()
+                .expect("client implies broker_node");
+            env.send(&broker, MQTT_BROKER_PORT, encode(&packet));
+            self.connect_sent_at_ns = Some(env.now_ns());
+            env.incr("connects_sent");
+        }
+    }
+
+    fn on_client_poll(&mut self, env: &mut dyn NodeEnv) {
+        let now = env.now_ns();
+        let mut to_send = Vec::new();
+        let mut reconnect = false;
+        if let Some(client) = self.client.as_mut() {
+            to_send.extend(client.poll(now));
+            if client.state() != ClientState::Connected {
+                let stale = self
+                    .connect_sent_at_ns
+                    .map(|t| now.saturating_sub(t) > CONNECT_RETRY_NS)
+                    .unwrap_or(true);
+                if stale {
+                    client.transport_lost();
+                    reconnect = true;
+                }
+            }
+        }
+        for packet in to_send {
+            let broker = self
+                .config
+                .broker_node
+                .clone()
+                .expect("client implies broker_node");
+            env.send(&broker, MQTT_BROKER_PORT, encode(&packet));
+        }
+        if reconnect {
+            self.connected = false;
+            self.send_connect(env);
+            env.incr("reconnects");
+        }
+        if self.client.is_some() {
+            env.set_timer_after_ns(CLIENT_POLL_NS, tag(TAG_CLIENT_POLL, 0));
+        }
+    }
+
+    fn on_client_ingress(&mut self, env: &mut dyn NodeEnv, payload: &[u8]) {
+        let now = env.now_ns();
+        self.client_decoder.feed(payload);
+        let mut packets = Vec::new();
+        loop {
+            match self.client_decoder.next_packet() {
+                Ok(Some(p)) => packets.push(p),
+                Ok(None) => break,
+                Err(_) => {
+                    env.incr("client_decode_errors");
+                    self.client_decoder = StreamDecoder::new();
+                    return;
+                }
+            }
+        }
+        for packet in packets {
+            let Some(client) = self.client.as_mut() else {
+                return;
+            };
+            let Ok((events, out)) = client.handle_packet(packet, now) else {
+                env.incr("client_protocol_errors");
+                continue;
+            };
+            for p in out {
+                let broker = self
+                    .config
+                    .broker_node
+                    .clone()
+                    .expect("client implies broker_node");
+                env.send(&broker, MQTT_BROKER_PORT, encode(&p));
+            }
+            for event in events {
+                match event {
+                    ClientEvent::Connected { .. } => {
+                        self.connected = true;
+                        env.incr("client_connected");
+                        self.subscribe_all(env);
+                        if self.config.announce {
+                            self.announce(env);
+                        }
+                    }
+                    ClientEvent::Message(publish) => {
+                        env.consume_ref_ms(costs::DISPATCH_MS);
+                        env.incr("messages_received");
+                        // Stage probe (Fig. 9 breakdown): sensing→subscribe
+                        // leg for raw samples.
+                        if publish.payload.len() == ifot_sensors::sample::SAMPLE_WIRE_SIZE {
+                            if let Ok(sample) =
+                                ifot_sensors::sample::Sample::decode(&publish.payload)
+                            {
+                                env.record_latency_since_ns(
+                                    "sensing_to_subscribe",
+                                    sample.timestamp_ns,
+                                );
+                            }
+                        }
+                        self.dispatch_flow(
+                            env,
+                            publish.topic.as_str().to_owned(),
+                            publish.payload,
+                        );
+                    }
+                    ClientEvent::Refused(_) => {
+                        env.incr("client_refused");
+                        self.connected = false;
+                    }
+                    ClientEvent::Published(_)
+                    | ClientEvent::Subscribed(_)
+                    | ClientEvent::Unsubscribed(_)
+                    | ClientEvent::Pong => {}
+                }
+            }
+        }
+    }
+
+    /// Publishes the retained self-description on the discovery plane.
+    fn announce(&mut self, env: &mut dyn NodeEnv) {
+        use crate::discovery::{announce_topic, NodeAnnouncement, StreamInfo};
+        let mut streams: Vec<StreamInfo> = self
+            .config
+            .sensors
+            .iter()
+            .map(|s| StreamInfo {
+                topic: s.topic.clone(),
+                kind: Some(ifot_sensors::sample::kind_slug(s.kind).to_owned()),
+                rate_hz: Some(s.rate_hz),
+            })
+            .collect();
+        for op in &self.config.operators {
+            if let (Some(output), true) = (&op.output, op.publish_output) {
+                streams.push(StreamInfo {
+                    topic: output.clone(),
+                    kind: None,
+                    rate_hz: None,
+                });
+            }
+        }
+        let mut capabilities: Vec<String> = self
+            .config
+            .sensors
+            .iter()
+            .map(|s| format!("sensor:{}", ifot_sensors::sample::kind_slug(s.kind)))
+            .collect();
+        for a in &self.config.actuators {
+            let slug = match a.kind {
+                ActuatorKindSpec::AirConditioner => "ac",
+                ActuatorKindSpec::CeilingLight => "light",
+                ActuatorKindSpec::AlertSink => "alert",
+            };
+            capabilities.push(format!("actuator:{slug}"));
+        }
+        capabilities.sort();
+        capabilities.dedup();
+        let announcement = NodeAnnouncement {
+            node: self.config.name.clone(),
+            online: true,
+            streams,
+            capabilities,
+            at_ns: env.now_ns(),
+        };
+        let topic = announce_topic(&self.config.name);
+        self.publish_opts(env, &topic, announcement.encode(), true);
+        env.incr("announcements");
+    }
+
+    fn subscribe_all(&mut self, env: &mut dyn NodeEnv) {
+        let filters: Vec<(TopicFilter, QoS)> = self
+            .config
+            .subscription_filters()
+            .into_iter()
+            .filter_map(|f| TopicFilter::new(f).ok())
+            .map(|f| (f, self.config.publish_qos))
+            .collect();
+        if filters.is_empty() {
+            return;
+        }
+        let Some(client) = self.client.as_mut() else {
+            return;
+        };
+        if let Ok(packet) = client.subscribe(filters, env.now_ns()) {
+            let broker = self
+                .config
+                .broker_node
+                .clone()
+                .expect("client implies broker_node");
+            env.send(&broker, MQTT_BROKER_PORT, encode(&packet));
+        }
+    }
+
+    /// Routes a payload on `topic` to every matching local operator,
+    /// iteratively following local operator chains.
+    fn dispatch_flow(&mut self, env: &mut dyn NodeEnv, topic: String, payload: Vec<u8>) {
+        let mut queue: VecDeque<(String, Vec<u8>)> = VecDeque::new();
+        queue.push_back((topic, payload));
+        let mut hops = 0;
+        while let Some((topic, payload)) = queue.pop_front() {
+            hops += 1;
+            if hops > 64 {
+                env.incr("local_dispatch_overflow");
+                break;
+            }
+            if topic.starts_with(crate::discovery::ANNOUNCE_PREFIX) {
+                self.directory.apply(&topic, &payload);
+                env.incr("directory_updates");
+                continue;
+            }
+            if topic.starts_with("$SYS/") {
+                self.sys_view
+                    .insert(topic, String::from_utf8_lossy(&payload).into_owned());
+                env.incr("sys_updates");
+                continue;
+            }
+            if topic.starts_with("mix/") {
+                let Ok(envelope) = MixEnvelope::decode(&payload) else {
+                    env.incr("mix_decode_errors");
+                    continue;
+                };
+                for i in 0..self.operators.len() {
+                    if !self.operators[i].accepts(&topic) {
+                        continue;
+                    }
+                    let outputs = self.operators[i].on_mix(env, &envelope);
+                    self.process_outputs(env, i, outputs, &mut queue);
+                }
+                continue;
+            }
+            let item = match FlowItem::from_payload(&topic, &payload) {
+                Ok(item) => item,
+                Err(_) => {
+                    env.incr("flow_decode_errors");
+                    continue;
+                }
+            };
+            for i in 0..self.operators.len() {
+                if !self.operators[i].accepts(&topic) {
+                    continue;
+                }
+                // Sequence sharding: replicated operators split the flow.
+                if let Some((modulus, index)) = self.operators[i].spec().shard {
+                    if item.seq % modulus != index {
+                        continue;
+                    }
+                }
+                let outputs = self.operators[i].on_item(env, item.clone());
+                self.process_outputs(env, i, outputs, &mut queue);
+            }
+        }
+    }
+
+    fn handle_outputs(&mut self, env: &mut dyn NodeEnv, op_index: usize, outputs: Vec<OpOutput>) {
+        let mut queue = VecDeque::new();
+        self.process_outputs(env, op_index, outputs, &mut queue);
+        // Timer-triggered outputs may feed local chains too.
+        while let Some((topic, payload)) = queue.pop_front() {
+            self.dispatch_flow(env, topic, payload);
+        }
+    }
+
+    /// Whether this node's own broker subscription covers `topic` — in
+    /// that case a published message loops back through the broker and
+    /// must not also be dispatched locally (it would arrive twice).
+    fn subscription_covers(&self, topic: &str) -> bool {
+        let Ok(name) = TopicName::new(topic) else {
+            return false;
+        };
+        self.config.subscription_filters().iter().any(|f| {
+            TopicFilter::new(f.clone())
+                .map(|f| f.matches(&name))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Routes one emitted payload: local dispatch for co-located
+    /// consumers unless the broker echo already covers them, plus the
+    /// optional broker publication.
+    fn route_output(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        op_index: Option<usize>,
+        topic: &str,
+        payload: Vec<u8>,
+        publish: bool,
+        queue: &mut VecDeque<(String, Vec<u8>)>,
+    ) {
+        let has_local_consumer = self
+            .operators
+            .iter()
+            .enumerate()
+            .any(|(j, o)| Some(j) != op_index && o.accepts(topic));
+        let echoed_back = publish && self.connected && self.subscription_covers(topic);
+        if has_local_consumer && !echoed_back {
+            queue.push_back((topic.to_owned(), payload.clone()));
+        }
+        if publish {
+            self.publish(env, topic, payload);
+        }
+    }
+
+    fn process_outputs(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        op_index: usize,
+        outputs: Vec<OpOutput>,
+        queue: &mut VecDeque<(String, Vec<u8>)>,
+    ) {
+        for output in outputs {
+            match output {
+                OpOutput::Emit(message) => {
+                    let spec = self.operators[op_index].spec().clone();
+                    let Some(topic) = spec.output else {
+                        continue;
+                    };
+                    let payload = message.encode();
+                    self.route_output(
+                        env,
+                        Some(op_index),
+                        &topic,
+                        payload,
+                        spec.publish_output,
+                        queue,
+                    );
+                }
+                OpOutput::MixOffer(diff) => {
+                    let task = self.operators[op_index].spec().id.clone();
+                    let topic = topics::mix_offer(&self.config.app, &task);
+                    let payload = MixEnvelope {
+                        role: "offer".into(),
+                        task,
+                        diff,
+                    }
+                    .encode();
+                    self.route_output(env, None, &topic, payload, true, queue);
+                }
+                OpOutput::MixAverage { task, diff } => {
+                    let topic = topics::mix_average(&self.config.app, &task);
+                    let payload = MixEnvelope {
+                        role: "avg".into(),
+                        task,
+                        diff,
+                    }
+                    .encode();
+                    self.route_output(env, None, &topic, payload, true, queue);
+                }
+                OpOutput::Command { device_id, command } => {
+                    self.apply_command(env, device_id, &command);
+                }
+                OpOutput::Event(event) => {
+                    self.events.push(event);
+                }
+            }
+        }
+    }
+
+    fn apply_command(&mut self, env: &mut dyn NodeEnv, device_id: u16, command: &Command) {
+        match self.actuators.get_mut(&device_id) {
+            Some(device) => {
+                let applied = device.as_actuator_mut().apply(command);
+                if applied {
+                    env.incr("commands_applied");
+                    let description = device.describe();
+                    self.events.push(NodeEvent::ActuatorApplied {
+                        device_id,
+                        description,
+                        at_ns: env.now_ns(),
+                    });
+                } else {
+                    env.incr("commands_rejected");
+                }
+            }
+            None => env.incr("commands_unroutable"),
+        }
+    }
+}

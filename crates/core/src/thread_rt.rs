@@ -1,0 +1,428 @@
+//! Real-time thread runtime: runs middleware nodes on OS threads with
+//! crossbeam channels as the transport.
+//!
+//! This is the deployment runtime used by the runnable examples: every
+//! node is one thread, packets travel through unbounded channels, timers
+//! come from a per-node heap driven by `recv_timeout`. The node logic is
+//! byte-for-byte the same as on the simulator; only the [`NodeEnv`]
+//! implementation differs. Optionally, a CPU speed factor turns declared
+//! work into real `thread::sleep`s to emulate constrained devices.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use ifot_netsim::metrics::Metrics;
+use ifot_netsim::time::SimDuration;
+
+use crate::config::NodeConfig;
+use crate::env::NodeEnv;
+use crate::node::MiddlewareNode;
+
+enum ThreadMsg {
+    Packet {
+        src: String,
+        port: u16,
+        payload: Vec<u8>,
+    },
+    Stop,
+}
+
+/// A cluster of middleware nodes to run on threads.
+#[derive(Default)]
+pub struct ClusterBuilder {
+    nodes: Vec<(NodeConfig, Option<f64>)>,
+}
+
+impl std::fmt::Debug for ClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl ClusterBuilder {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node running at full host speed.
+    pub fn node(mut self, config: NodeConfig) -> Self {
+        self.nodes.push((config, None));
+        self
+    }
+
+    /// Adds a node whose declared CPU work is slept out at the given
+    /// speed factor (1.0 = Raspberry Pi 2 pace), emulating a constrained
+    /// device in real time.
+    pub fn node_with_speed(mut self, config: NodeConfig, speed: f64) -> Self {
+        self.nodes.push((config, Some(speed)));
+        self
+    }
+
+    /// Starts every node thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two nodes share a name.
+    pub fn start(self) -> RunningCluster {
+        let mut senders: HashMap<String, Sender<ThreadMsg>> = HashMap::new();
+        let mut receivers: Vec<(NodeConfig, Option<f64>, Receiver<ThreadMsg>)> = Vec::new();
+        for (config, speed) in self.nodes {
+            let (tx, rx) = unbounded();
+            assert!(
+                senders.insert(config.name.clone(), tx).is_none(),
+                "duplicate node name {:?}",
+                config.name
+            );
+            receivers.push((config, speed, rx));
+        }
+        let senders = Arc::new(senders);
+        let metrics = Arc::new(Mutex::new(Metrics::new()));
+        let epoch = Instant::now();
+
+        let handles = receivers
+            .into_iter()
+            .map(|(config, speed, rx)| {
+                let senders = Arc::clone(&senders);
+                let metrics = Arc::clone(&metrics);
+                let name = config.name.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("ifot-{name}"))
+                    .spawn(move || run_node(config, speed, rx, senders, metrics, epoch))
+                    .expect("spawning a node thread succeeds");
+                (name, handle)
+            })
+            .collect();
+
+        RunningCluster {
+            senders,
+            handles,
+            metrics,
+            epoch,
+        }
+    }
+}
+
+/// Handle to a running cluster.
+pub struct RunningCluster {
+    senders: Arc<HashMap<String, Sender<ThreadMsg>>>,
+    handles: Vec<(String, std::thread::JoinHandle<MiddlewareNode>)>,
+    metrics: Arc<Mutex<Metrics>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for RunningCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunningCluster")
+            .field("nodes", &self.handles.len())
+            .finish()
+    }
+}
+
+impl RunningCluster {
+    /// Nanoseconds since the cluster started.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// A snapshot of the shared metrics hub.
+    pub fn metrics_snapshot(&self) -> Metrics {
+        self.metrics.lock().clone()
+    }
+
+    /// Injects a packet into a node from outside the cluster.
+    pub fn inject(&self, dst: &str, src: &str, port: u16, payload: Vec<u8>) -> bool {
+        match self.senders.get(dst) {
+            Some(tx) => tx
+                .send(ThreadMsg::Packet {
+                    src: src.to_owned(),
+                    port,
+                    payload,
+                })
+                .is_ok(),
+            None => false,
+        }
+    }
+
+    /// Runs the cluster for `duration` of wall time, then stops it.
+    pub fn run_for(self, duration: Duration) -> ClusterReport {
+        std::thread::sleep(duration);
+        self.stop()
+    }
+
+    /// Stops every node and collects the final state.
+    pub fn stop(self) -> ClusterReport {
+        for tx in self.senders.values() {
+            let _ = tx.send(ThreadMsg::Stop);
+        }
+        let mut nodes = Vec::new();
+        for (name, handle) in self.handles {
+            match handle.join() {
+                Ok(node) => nodes.push(node),
+                Err(_) => eprintln!("node thread {name} panicked"),
+            }
+        }
+        let metrics = self.metrics.lock().clone();
+        ClusterReport { metrics, nodes }
+    }
+}
+
+/// Final state of a stopped cluster.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// The shared metrics hub contents.
+    pub metrics: Metrics,
+    /// The middleware nodes in registration order.
+    pub nodes: Vec<MiddlewareNode>,
+}
+
+impl ClusterReport {
+    /// The node with the given name.
+    pub fn node(&self, name: &str) -> Option<&MiddlewareNode> {
+        self.nodes.iter().find(|n| n.name() == name)
+    }
+}
+
+struct ThreadEnv<'a> {
+    now_ns: u64,
+    name: String,
+    senders: &'a HashMap<String, Sender<ThreadMsg>>,
+    metrics: &'a Mutex<Metrics>,
+    timers: &'a mut BinaryHeap<Reverse<(u64, u64)>>,
+    speed: Option<f64>,
+    rng_state: u64,
+}
+
+impl NodeEnv for ThreadEnv<'_> {
+    fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    fn send(&mut self, dst: &str, port: u16, payload: Vec<u8>) {
+        match self.senders.get(dst) {
+            Some(tx) => {
+                let _ = tx.send(ThreadMsg::Packet {
+                    src: self.name.clone(),
+                    port,
+                    payload,
+                });
+            }
+            None => self.incr("send_unknown_node"),
+        }
+    }
+
+    fn set_timer_after_ns(&mut self, delay_ns: u64, tag: u64) {
+        self.timers.push(Reverse((self.now_ns + delay_ns, tag)));
+    }
+
+    fn set_timer_at_ns(&mut self, at_ns: u64, tag: u64) {
+        self.timers.push(Reverse((at_ns.max(self.now_ns), tag)));
+    }
+
+    fn consume_ref_ms(&mut self, ms: f64) {
+        if let Some(speed) = self.speed {
+            let real_ms = ms / speed.max(1e-9);
+            std::thread::sleep(Duration::from_secs_f64(real_ms / 1_000.0));
+        }
+    }
+
+    fn record_latency_since_ns(&mut self, name: &str, since_ns: u64) {
+        let d = self.now_ns.saturating_sub(since_ns);
+        self.metrics
+            .lock()
+            .record_latency(name, SimDuration::from_nanos(d));
+    }
+
+    fn incr(&mut self, counter: &str) {
+        self.metrics.lock().incr(counter);
+    }
+
+    fn add(&mut self, counter: &str, delta: u64) {
+        self.metrics.lock().add(counter, delta);
+    }
+
+    fn rand_u64(&mut self) -> u64 {
+        // SplitMix64 seeded from the node name at construction.
+        self.rng_state = self.rng_state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn run_node(
+    config: NodeConfig,
+    speed: Option<f64>,
+    rx: Receiver<ThreadMsg>,
+    senders: Arc<HashMap<String, Sender<ThreadMsg>>>,
+    metrics: Arc<Mutex<Metrics>>,
+    epoch: Instant,
+) -> MiddlewareNode {
+    let name = config.name.clone();
+    let seed = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+    let mut node = MiddlewareNode::new(config);
+    let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut rng_state = seed;
+
+    macro_rules! env {
+        () => {{
+            ThreadEnv {
+                now_ns: epoch.elapsed().as_nanos() as u64,
+                name: name.clone(),
+                senders: &senders,
+                metrics: &metrics,
+                timers: &mut timers,
+                speed,
+                rng_state,
+            }
+        }};
+    }
+
+    let mut env0 = env!();
+    node.on_start(&mut env0);
+    rng_state = env0.rng_state;
+
+    loop {
+        let now = epoch.elapsed().as_nanos() as u64;
+        // Fire due timers.
+        while let Some(Reverse((at, _))) = timers.peek().copied() {
+            if at > now {
+                break;
+            }
+            let Reverse((_, tag)) = timers.pop().expect("peeked");
+            let mut env = env!();
+            node.on_timer(&mut env, tag);
+            rng_state = env.rng_state;
+        }
+        // Wait for the next message or timer deadline.
+        let timeout = match timers.peek() {
+            Some(Reverse((at, _))) => {
+                let now = epoch.elapsed().as_nanos() as u64;
+                Duration::from_nanos(at.saturating_sub(now))
+            }
+            None => Duration::from_millis(50),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(ThreadMsg::Packet { src, port, payload }) => {
+                let mut env = env!();
+                node.on_packet(&mut env, &src, port, &payload);
+                rng_state = env.rng_state;
+            }
+            Ok(ThreadMsg::Stop) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OperatorKind, OperatorSpec, SensorSpec};
+    use ifot_sensors::sample::SensorKind;
+
+    /// Full middleware pipeline on real threads: sensor -> broker ->
+    /// anomaly scorer.
+    #[test]
+    fn thread_cluster_end_to_end() {
+        let cluster = ClusterBuilder::new()
+            .node(NodeConfig::new("broker").with_broker())
+            .node(
+                NodeConfig::new("sensor-node")
+                    .with_broker_node("broker")
+                    .with_sensor(SensorSpec::new(SensorKind::Temperature, 1, 50.0, 7)),
+            )
+            .node(
+                NodeConfig::new("analysis")
+                    .with_broker_node("broker")
+                    .with_operator(OperatorSpec::sink(
+                        "score",
+                        OperatorKind::Anomaly {
+                            detector: "zscore".into(),
+                            threshold: 3.0,
+                        },
+                        vec!["sensor/#".into()],
+                    )),
+            )
+            .start();
+        let report = cluster.run_for(Duration::from_millis(900));
+        assert!(report.metrics.counter("published") > 5);
+        assert!(report.metrics.counter("anomaly_scored") > 5);
+        let analysis = report.node("analysis").expect("analysis node present");
+        assert!(analysis.is_connected());
+        let lat = report.metrics.latency_summary("sensing_to_anomaly");
+        assert!(lat.count > 0);
+        assert!(lat.mean_ms < 200.0, "thread pipeline too slow: {}", lat.mean_ms);
+    }
+
+    #[test]
+    fn inject_reaches_a_node() {
+        let cluster = ClusterBuilder::new()
+            .node(NodeConfig::new("broker").with_broker())
+            .start();
+        assert!(cluster.inject(
+            "broker",
+            "outsider",
+            crate::node::MQTT_BROKER_PORT,
+            ifot_mqtt::codec::encode(&ifot_mqtt::packet::Packet::Connect(
+                ifot_mqtt::packet::Connect::new("outsider")
+            )),
+        ));
+        assert!(!cluster.inject("ghost", "x", 1, vec![]));
+        let report = cluster.run_for(Duration::from_millis(200));
+        let stats = report.node("broker").expect("broker").broker_stats().expect("stats");
+        assert_eq!(stats.clients_connected, 1);
+    }
+
+    #[test]
+    fn simulated_speed_slows_processing() {
+        // With speed emulation the declared train cost (~40 ms) is slept
+        // out, so a 300 ms run trains only a handful of times.
+        let cluster = ClusterBuilder::new()
+            .node(NodeConfig::new("broker").with_broker())
+            .node(
+                NodeConfig::new("s")
+                    .with_broker_node("broker")
+                    .with_sensor(SensorSpec::new(SensorKind::Sound, 1, 100.0, 3)),
+            )
+            .node_with_speed(
+                NodeConfig::new("t")
+                    .with_broker_node("broker")
+                    .with_operator(OperatorSpec::sink(
+                        "train",
+                        OperatorKind::Train {
+                            algorithm: "pa".into(),
+                            mix_interval_ms: 0,
+                        },
+                        vec!["sensor/#".into()],
+                    )),
+                1.0,
+            )
+            .start();
+        let report = cluster.run_for(Duration::from_millis(700));
+        let trained = report.metrics.counter("trained");
+        assert!(trained > 0, "nothing trained");
+        // 100 Hz offered, ~40 ms slept per train call: the trainer falls
+        // behind and the backlog shows up as sensing-to-training latency.
+        let lat = report.metrics.latency_summary("sensing_to_training");
+        assert!(
+            lat.mean_ms > 100.0,
+            "speed emulation had no effect: mean latency {} ms",
+            lat.mean_ms
+        );
+        assert!(lat.max_ms > lat.mean_ms);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ifot-mgmt — the IFoT management node
+//!
+//! The paper's evaluation uses a management node (ThinkPad x250) running
+//! management software (based on OpenRTM-aist) that deploys classes onto
+//! the neuron modules and drives the experiment. This crate plays that
+//! role for the reproduction:
+//!
+//! * [`testbed`] — builds the Fig. 7 evaluation system (six Raspberry Pi
+//!   modules + management node on one WLAN) with the Fig. 9 class wiring,
+//! * [`experiment`] — runs the rate sweep of Tables II/III and checks the
+//!   reproduction's shape criteria,
+//! * [`table`] — renders the tables (text and JSON),
+//! * [`monitor`] — the Fig. 8 management screen as a textual console.
+//!
+//! ```
+//! use ifot_mgmt::experiment::run_rate;
+//! use ifot_mgmt::testbed::TestbedConfig;
+//! use ifot_netsim::time::SimDuration;
+//!
+//! let (train, predict) = run_rate(&TestbedConfig::paper(10.0), SimDuration::from_secs(2));
+//! assert!(train.count > 0);
+//! assert!(predict.count > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiment;
+pub mod monitor;
+pub mod table;
+pub mod testbed;
+
+pub use experiment::{check_shape, run_paper_sweep, run_rate, run_sweep, RatePoint, SweepResult, PAPER_RATES_HZ};
+pub use monitor::{capture_simulation, render_screen, ModuleStatus};
+pub use table::{render_comparison, render_table, to_csv, to_json};
+pub use testbed::{paper_testbed, TestbedConfig, MANAGEMENT_NODE, MODULE_NAMES};

@@ -1,0 +1,226 @@
+//! Testbed construction — the paper's evaluation system (Fig. 7).
+//!
+//! Six IFoT neuron prototypes (Raspberry Pi 2) plus one management node
+//! (ThinkPad x250), all on one wireless LAN. This module builds that
+//! topology on the deterministic simulator, with the class placement of
+//! Fig. 9:
+//!
+//! * modules **A, B, C** — Sensor + Publish classes (one 32-byte sample
+//!   stream each),
+//! * module **D** — Broker class,
+//! * module **E** — Subscribe + aggregation + **Train** classes,
+//! * module **F** — Subscribe + aggregation + **Predict** classes.
+
+use ifot_core::config::{NodeConfig, OperatorKind, OperatorSpec, SensorSpec};
+use ifot_core::sim_adapter::add_middleware_node;
+use ifot_netsim::cpu::CpuProfile;
+use ifot_netsim::sim::Simulation;
+use ifot_netsim::wlan::WlanConfig;
+use ifot_mqtt::packet::QoS;
+use ifot_sensors::sample::SensorKind;
+
+/// Parameters of the paper testbed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestbedConfig {
+    /// Per-sensor sampling rate in Hz (the swept variable: 5–80).
+    pub rate_hz: f64,
+    /// RNG seed (drives WLAN jitter, waveforms, service-time variance).
+    pub seed: u64,
+    /// QoS for sample publication (paper prototype: QoS 0).
+    pub qos: QoS,
+    /// Classifier algorithm on the Train/Predict modules.
+    pub algorithm: String,
+    /// Join tuple width (three sensor streams in the paper).
+    pub sensors: usize,
+    /// WLAN model.
+    pub wlan: WlanConfig,
+    /// Ingress backlog bound of the analysis modules (models the bounded
+    /// Mosquitto/Jubatus buffers of the prototype; `None` = unbounded).
+    pub analysis_backlog: Option<ifot_netsim::time::SimDuration>,
+}
+
+impl TestbedConfig {
+    /// The paper's configuration at the given sampling rate.
+    pub fn paper(rate_hz: f64) -> Self {
+        TestbedConfig {
+            rate_hz,
+            seed: 2016,
+            qos: QoS::AtMostOnce,
+            algorithm: "pa".to_owned(),
+            sensors: 3,
+            wlan: WlanConfig::paper_testbed(),
+            analysis_backlog: Some(ifot_netsim::time::SimDuration::from_millis(1600)),
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the QoS (builder style).
+    pub fn with_qos(mut self, qos: QoS) -> Self {
+        self.qos = qos;
+        self
+    }
+}
+
+/// Node names of the paper testbed, in Fig. 7 order.
+pub const MODULE_NAMES: [&str; 6] = [
+    "module-a", "module-b", "module-c", "module-d", "module-e", "module-f",
+];
+
+/// Name of the management node.
+pub const MANAGEMENT_NODE: &str = "management";
+
+/// Builds the Fig. 7 testbed on a fresh simulation, wired as in Fig. 9.
+///
+/// Returns the simulation with all seven nodes registered; run it with
+/// [`Simulation::run_for`] and read the latency series
+/// `sensing_to_training` / `sensing_to_predicting` from its metrics.
+pub fn paper_testbed(config: &TestbedConfig) -> Simulation {
+    let mut sim = Simulation::with_wlan(config.wlan.clone(), config.seed);
+
+    let sensor_kinds = [
+        SensorKind::Temperature,
+        SensorKind::Sound,
+        SensorKind::Illuminance,
+        SensorKind::Humidity,
+        SensorKind::Motion,
+    ];
+
+    // Modules A..C (or more): Sensor + Publish classes.
+    for i in 0..config.sensors {
+        let name = if i < 3 {
+            MODULE_NAMES[i].to_owned()
+        } else {
+            format!("module-x{i}")
+        };
+        let kind = sensor_kinds[i % sensor_kinds.len()];
+        let cfg = NodeConfig::new(name)
+            .with_app("experiment")
+            .with_broker_node(MODULE_NAMES[3])
+            .with_qos(config.qos)
+            .with_sensor(SensorSpec::new(
+                kind,
+                (i + 1) as u16,
+                config.rate_hz,
+                config.seed ^ (i as u64 + 1),
+            ));
+        add_middleware_node(&mut sim, CpuProfile::RASPBERRY_PI_2, cfg);
+    }
+
+    // Module D: Broker class.
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new(MODULE_NAMES[3])
+            .with_app("experiment")
+            .with_broker(),
+    );
+
+    // Module E: Subscribe -> Join -> Train.
+    let analysis_node = |name: &str, terminal: OperatorKind, terminal_id: &str| {
+        NodeConfig::new(name)
+            .with_app("experiment")
+            .with_broker_node(MODULE_NAMES[3])
+            .with_qos(config.qos)
+            .with_operator(
+                OperatorSpec::through(
+                    format!("agg-{terminal_id}"),
+                    OperatorKind::Join {
+                        expected_sources: config.sensors,
+                    },
+                    vec!["sensor/#".to_owned()],
+                    format!("flow/experiment/agg-{terminal_id}"),
+                )
+                .local_only(),
+            )
+            .with_operator(OperatorSpec::sink(
+                terminal_id,
+                terminal,
+                vec![format!("flow/experiment/agg-{terminal_id}")],
+            ))
+    };
+    let module_e = add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        analysis_node(
+            MODULE_NAMES[4],
+            OperatorKind::Train {
+                algorithm: config.algorithm.clone(),
+                mix_interval_ms: 0,
+            },
+            "train",
+        ),
+    );
+    sim.set_backlog_limit(module_e, config.analysis_backlog);
+
+    // Module F: Subscribe -> Join -> Predict.
+    let module_f = add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        analysis_node(
+            MODULE_NAMES[5],
+            OperatorKind::Predict {
+                algorithm: config.algorithm.clone(),
+            },
+            "predict",
+        ),
+    );
+    sim.set_backlog_limit(module_f, config.analysis_backlog);
+
+    // Management node: present on the WLAN (it configures the modules in
+    // the paper; here the harness plays that role, the node just loads
+    // the channel with its keep-alive like the real laptop did).
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::THINKPAD_X250,
+        NodeConfig::new(MANAGEMENT_NODE)
+            .with_app("experiment")
+            .with_broker_node(MODULE_NAMES[3]),
+    );
+
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifot_netsim::time::SimDuration;
+
+    #[test]
+    fn testbed_has_seven_nodes() {
+        let sim = paper_testbed(&TestbedConfig::paper(5.0));
+        assert_eq!(sim.node_count(), 7);
+        for name in MODULE_NAMES {
+            assert!(sim.node_id(name).is_some(), "{name} missing");
+        }
+        assert!(sim.node_id(MANAGEMENT_NODE).is_some());
+    }
+
+    #[test]
+    fn low_rate_run_produces_both_latency_series() {
+        let mut sim = paper_testbed(&TestbedConfig::paper(10.0));
+        sim.run_for(SimDuration::from_secs(3));
+        let train = sim.metrics().latency_summary("sensing_to_training");
+        let predict = sim.metrics().latency_summary("sensing_to_predicting");
+        assert!(train.count > 10, "only {} trained tuples", train.count);
+        assert!(predict.count > 10, "only {} predicted tuples", predict.count);
+        // At 10 Hz the system is unloaded: tens of milliseconds.
+        assert!(train.mean_ms < 150.0, "train mean {} ms", train.mean_ms);
+        assert!(predict.mean_ms < 150.0, "predict mean {} ms", predict.mean_ms);
+    }
+
+    #[test]
+    fn same_seed_reproduces_results() {
+        let run = |seed: u64| {
+            let mut sim = paper_testbed(&TestbedConfig::paper(20.0).with_seed(seed));
+            sim.run_for(SimDuration::from_secs(2));
+            let s = sim.metrics().latency_summary("sensing_to_training");
+            (s.count, s.mean_ms)
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,60 @@
+//! # ifot-ml — online machine learning substrate for the IFoT flow
+//! analysis function
+//!
+//! The IFoT paper builds its *flow analysis function* (Learning, Judging
+//! and Managing classes) on Jubatus, a distributed online machine-learning
+//! framework. This crate is the from-scratch substitute, covering the
+//! services the middleware uses:
+//!
+//! * [`feature`] — string-keyed datums hashed into sparse vectors,
+//! * [`classifier`] — online multiclass linear classifiers (Perceptron,
+//!   Passive-Aggressive, AROW),
+//! * [`regression`] — Passive-Aggressive regression,
+//! * [`anomaly`] — streaming anomaly detectors (z-score, Mahalanobis,
+//!   windowed LOF),
+//! * [`cluster`] — sequential k-means,
+//! * [`knn`] — sliding-window k-NN and an item recommender,
+//! * [`eval`] — confusion/accuracy counters for honest quality reports,
+//! * [`stat`] — running statistics,
+//! * [`mix`] — Jubatus-style distributed model averaging (MIX).
+//!
+//! Every learner is incremental — an update touches only the features of
+//! the incoming example — which is the property that lets IFoT nodes train
+//! on live streams without storing them.
+//!
+//! ```
+//! use ifot_ml::classifier::{OnlineClassifier, PassiveAggressive};
+//! use ifot_ml::feature::Datum;
+//!
+//! let mut model = PassiveAggressive::default();
+//! let hot = Datum::new().with("temp", 31.0).to_vector(1 << 16);
+//! let cold = Datum::new().with("temp", -3.0).to_vector(1 << 16);
+//! for _ in 0..10 {
+//!     model.train(&hot, "hot");
+//!     model.train(&cold, "cold");
+//! }
+//! assert_eq!(model.classify(&hot).as_deref(), Some("hot"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod anomaly;
+pub mod classifier;
+pub mod cluster;
+pub mod eval;
+pub mod feature;
+pub mod knn;
+pub mod mix;
+pub mod regression;
+pub mod stat;
+
+pub use anomaly::{MahalanobisDetector, RunningZScore, WindowedLof};
+pub use classifier::{Algorithm, Arow, OnlineClassifier, PassiveAggressive, Perceptron};
+pub use cluster::OnlineKMeans;
+pub use eval::{AccuracyCounter, BinaryConfusion};
+pub use feature::{Datum, FeatureVector, SparseWeights};
+pub use knn::{cosine, KnnClassifier, Recommender};
+pub use mix::{mix_average, LinearModel, MixCoordinator, ModelDiff};
+pub use regression::PaRegression;
+pub use stat::{Ewma, RunningStats, SlidingWindow};

@@ -1,0 +1,1271 @@
+//! The MQTT broker — the IFoT *Broker class* substrate (Mosquitto
+//! substitute).
+//!
+//! The broker is **sans-I/O**: it owns no sockets and no clock. A transport
+//! (the netsim actor in the experiments, a thread loop in the real-time
+//! runtime) feeds it decoded packets together with the current time in
+//! nanoseconds, and executes the [`Action`]s it returns. This keeps the
+//! protocol logic identical across the simulated and real deployments and
+//! makes every path unit-testable.
+//!
+//! Supported semantics: clean and persistent sessions, QoS 0/1/2 routing
+//! (including the full exactly-once PUBREC/PUBREL/PUBCOMP handshake on
+//! both the inbound and outbound legs) with per-client in-flight tracking
+//! and retransmission, retained messages, last-will publication on
+//! ungraceful disconnect, keep-alive expiry, and offline queueing for
+//! persistent sessions.
+
+use std::collections::BTreeMap;
+
+use crate::packet::{
+    Connack, Connect, ConnectReturnCode, LastWill, Packet, PacketId, Publish, QoS, Suback,
+    SubackCode, Subscribe, Unsubscribe,
+};
+use crate::topic::{TopicFilter, TopicName};
+use crate::tree::SubscriptionTree;
+
+/// Broker tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrokerConfig {
+    /// Resend an unacked QoS 1 publish after this many nanoseconds.
+    pub retransmit_timeout_ns: u64,
+    /// Maximum QoS 1 publishes in flight per client before queueing.
+    pub max_inflight: usize,
+    /// Maximum messages queued for an offline persistent session.
+    pub max_offline_queue: usize,
+    /// Keep-alive grace factor (spec mandates 1.5).
+    pub keep_alive_factor: f64,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            retransmit_timeout_ns: 2_000_000_000,
+            max_inflight: 32,
+            max_offline_queue: 1_000,
+            keep_alive_factor: 1.5,
+        }
+    }
+}
+
+/// An instruction from the broker to its transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<C> {
+    /// Encode and send `packet` to connection `conn`.
+    Send {
+        /// Target connection.
+        conn: C,
+        /// Packet to send.
+        packet: Packet,
+    },
+    /// Close the connection (protocol error, keep-alive expiry, takeover).
+    Close {
+        /// Connection to close.
+        conn: C,
+    },
+}
+
+/// Broker-side stage of an outbound acknowledged delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // the MQTT packet names share the prefix
+enum OutStage {
+    /// QoS 1: awaiting PUBACK.
+    AwaitPuback,
+    /// QoS 2: awaiting PUBREC.
+    AwaitPubrec,
+    /// QoS 2: PUBREL sent, awaiting PUBCOMP.
+    AwaitPubcomp,
+}
+
+#[derive(Debug)]
+struct InflightMessage {
+    publish: Publish,
+    sent_at_ns: u64,
+    stage: OutStage,
+}
+
+/// Per-client-id session state (survives reconnects when persistent).
+#[derive(Debug, Default)]
+struct Session {
+    subscriptions: Vec<(TopicFilter, QoS)>,
+    persistent: bool,
+    next_pid: u16,
+    inflight: BTreeMap<PacketId, InflightMessage>,
+    /// Messages waiting because the client is offline (persistent
+    /// sessions) or the in-flight window is full.
+    queue: std::collections::VecDeque<Publish>,
+    /// Packet ids of inbound QoS 2 publishes whose PUBREL is pending —
+    /// duplicates of these must not be routed again (exactly once).
+    incoming_qos2: std::collections::BTreeSet<PacketId>,
+    dropped: u64,
+}
+
+impl Session {
+    fn alloc_pid(&mut self) -> PacketId {
+        // Packet ids are nonzero; wrap at u16::MAX.
+        loop {
+            self.next_pid = self.next_pid.wrapping_add(1);
+            if self.next_pid != 0 && !self.inflight.contains_key(&self.next_pid) {
+                return self.next_pid;
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Connection<C> {
+    conn: C,
+    client_id: Option<String>,
+    keep_alive_ns: u64,
+    last_activity_ns: u64,
+    will: Option<LastWill>,
+}
+
+/// Statistics exposed by the broker (also published under `$SYS/…` when
+/// [`Broker::sys_stats_packets`] is called).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// PUBLISH packets received from clients.
+    pub messages_in: u64,
+    /// PUBLISH packets sent to clients.
+    pub messages_out: u64,
+    /// Messages dropped (offline queue overflow).
+    pub messages_dropped: u64,
+    /// Currently connected clients.
+    pub clients_connected: usize,
+    /// Retained messages stored.
+    pub retained_count: usize,
+    /// QoS 1 retransmissions performed.
+    pub retransmissions: u64,
+}
+
+/// The broker state machine. `C` identifies a transport connection
+/// (e.g. a simulated node id, a socket handle, a thread channel index).
+///
+/// ```
+/// use ifot_mqtt::broker::{Action, Broker};
+/// use ifot_mqtt::packet::{Connect, Packet, Publish, QoS, Subscribe, SubscribeFilter};
+/// use ifot_mqtt::topic::{TopicFilter, TopicName};
+///
+/// let mut broker: Broker<u32> = Broker::new();
+/// broker.connection_opened(1, 0);
+/// let acks = broker.handle_packet(&1, Packet::Connect(Connect::new("sub")), 0);
+/// assert_eq!(acks.len(), 1); // CONNACK
+///
+/// broker.connection_opened(2, 0);
+/// broker.handle_packet(&2, Packet::Connect(Connect::new("pub")), 0);
+///
+/// broker.handle_packet(&1, Packet::Subscribe(Subscribe {
+///     packet_id: 1,
+///     filters: vec![SubscribeFilter { filter: TopicFilter::new("s/#")?, qos: QoS::AtMostOnce }],
+/// }), 1);
+///
+/// let out = broker.handle_packet(&2, Packet::Publish(
+///     Publish::qos0(TopicName::new("s/a")?, b"hi".to_vec())), 2);
+/// assert!(matches!(&out[0], Action::Send { conn: 1, packet: Packet::Publish(p) } if p.payload == b"hi"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Broker<C> {
+    config: BrokerConfig,
+    connections: BTreeMap<C, Connection<C>>,
+    /// client id -> live connection.
+    online: BTreeMap<String, C>,
+    sessions: BTreeMap<String, Session>,
+    tree: SubscriptionTree<String>,
+    retained: BTreeMap<String, Publish>,
+    stats: BrokerStats,
+}
+
+impl<C: Ord + Clone> Default for Broker<C> {
+    fn default() -> Self {
+        Broker::with_config(BrokerConfig::default())
+    }
+}
+
+impl<C: Ord + Clone> Broker<C> {
+    /// Creates a broker with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a broker with explicit configuration.
+    pub fn with_config(config: BrokerConfig) -> Self {
+        Broker {
+            config,
+            connections: BTreeMap::new(),
+            online: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            tree: SubscriptionTree::new(),
+            retained: BTreeMap::new(),
+            stats: BrokerStats::default(),
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> BrokerStats {
+        let mut s = self.stats;
+        s.clients_connected = self.online.len();
+        s.retained_count = self.retained.len();
+        s
+    }
+
+    /// Registers a fresh transport connection (pre-CONNECT).
+    pub fn connection_opened(&mut self, conn: C, now_ns: u64) {
+        self.connections.insert(
+            conn.clone(),
+            Connection {
+                conn,
+                client_id: None,
+                keep_alive_ns: 0,
+                last_activity_ns: now_ns,
+                will: None,
+            },
+        );
+    }
+
+    /// Handles a transport-level connection loss (no DISCONNECT seen):
+    /// publishes the will, keeps persistent session state.
+    pub fn connection_lost(&mut self, conn: &C, now_ns: u64) -> Vec<Action<C>> {
+        self.teardown(conn, now_ns, true)
+    }
+
+    /// Feeds one decoded packet from `conn`; returns the actions to apply.
+    pub fn handle_packet(&mut self, conn: &C, packet: Packet, now_ns: u64) -> Vec<Action<C>> {
+        if let Some(c) = self.connections.get_mut(conn) {
+            c.last_activity_ns = now_ns;
+        } else {
+            return Vec::new();
+        }
+        match packet {
+            Packet::Connect(c) => self.on_connect(conn, c, now_ns),
+            Packet::Publish(p) => self.on_publish(conn, p, now_ns),
+            Packet::Puback(pid) => self.on_puback(conn, pid, now_ns),
+            Packet::Pubrec(pid) => self.on_pubrec(conn, pid, now_ns),
+            Packet::Pubrel(pid) => self.on_pubrel(conn, pid),
+            Packet::Pubcomp(pid) => self.on_pubcomp(conn, pid, now_ns),
+            Packet::Subscribe(s) => self.on_subscribe(conn, s, now_ns),
+            Packet::Unsubscribe(u) => self.on_unsubscribe(conn, u),
+            Packet::Pingreq => vec![Action::Send {
+                conn: conn.clone(),
+                packet: Packet::Pingresp,
+            }],
+            Packet::Disconnect => {
+                // Graceful: the will is discarded per spec.
+                if let Some(c) = self.connections.get_mut(conn) {
+                    c.will = None;
+                }
+                self.teardown(conn, now_ns, false)
+            }
+            // Server-bound only; receiving broker-bound packets is a
+            // protocol violation.
+            Packet::Connack(_) | Packet::Suback(_) | Packet::Unsuback(_) | Packet::Pingresp => {
+                self.protocol_error(conn, now_ns)
+            }
+        }
+    }
+
+    /// Periodic maintenance: QoS 1 retransmission and keep-alive expiry.
+    /// Call at least every few hundred milliseconds of transport time.
+    pub fn poll(&mut self, now_ns: u64) -> Vec<Action<C>> {
+        let mut actions = Vec::new();
+
+        // Keep-alive expiry (will is published — ungraceful).
+        let expired: Vec<C> = self
+            .connections
+            .values()
+            .filter(|c| {
+                c.keep_alive_ns > 0
+                    && now_ns.saturating_sub(c.last_activity_ns)
+                        > (c.keep_alive_ns as f64 * self.config.keep_alive_factor) as u64
+            })
+            .map(|c| c.conn.clone())
+            .collect();
+        for conn in expired {
+            actions.extend(self.teardown(&conn, now_ns, true));
+            actions.push(Action::Close { conn });
+        }
+
+        // Retransmissions for connected clients.
+        let timeout = self.config.retransmit_timeout_ns;
+        for (client_id, conn) in self.online.clone() {
+            let Some(session) = self.sessions.get_mut(&client_id) else {
+                continue;
+            };
+            for (pid, inflight) in session.inflight.iter_mut() {
+                if now_ns.saturating_sub(inflight.sent_at_ns) >= timeout {
+                    inflight.sent_at_ns = now_ns;
+                    self.stats.retransmissions += 1;
+                    let packet = match inflight.stage {
+                        OutStage::AwaitPuback | OutStage::AwaitPubrec => {
+                            let mut publish = inflight.publish.clone();
+                            publish.dup = true;
+                            publish.packet_id = Some(*pid);
+                            self.stats.messages_out += 1;
+                            Packet::Publish(publish)
+                        }
+                        OutStage::AwaitPubcomp => Packet::Pubrel(*pid),
+                    };
+                    actions.push(Action::Send {
+                        conn: conn.clone(),
+                        packet,
+                    });
+                }
+            }
+        }
+        actions
+    }
+
+    /// The earliest instant at which [`Broker::poll`] has work, if any.
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        let mut deadline: Option<u64> = None;
+        let mut consider = |t: u64| {
+            deadline = Some(match deadline {
+                Some(d) if d <= t => d,
+                _ => t,
+            });
+        };
+        for c in self.connections.values() {
+            if c.keep_alive_ns > 0 {
+                consider(
+                    c.last_activity_ns
+                        + (c.keep_alive_ns as f64 * self.config.keep_alive_factor) as u64,
+                );
+            }
+        }
+        for (client_id, _) in self.online.iter() {
+            if let Some(s) = self.sessions.get(client_id) {
+                for inflight in s.inflight.values() {
+                    consider(inflight.sent_at_ns + self.config.retransmit_timeout_ns);
+                }
+            }
+        }
+        deadline
+    }
+
+    /// Publishes a message originating from the broker itself (e.g. the
+    /// `$SYS` status topics), honouring retention and routing to matching
+    /// subscribers exactly like an external publish.
+    pub fn publish_internal(&mut self, publish: Publish, now_ns: u64) -> Vec<Action<C>> {
+        if publish.retain {
+            if publish.payload.is_empty() {
+                self.retained.remove(publish.topic.as_str());
+            } else {
+                let mut stored = publish.clone();
+                stored.dup = false;
+                stored.packet_id = None;
+                self.retained
+                    .insert(publish.topic.as_str().to_owned(), stored);
+            }
+        }
+        self.route(&publish, now_ns)
+    }
+
+    /// Builds `$SYS` status publications describing the broker load; the
+    /// transport may feed them back through a loopback publish.
+    pub fn sys_stats_packets(&self) -> Vec<Publish> {
+        let stats = self.stats();
+        let mk = |suffix: &str, value: String| {
+            Publish::qos0(
+                TopicName::new(format!("$SYS/broker/{suffix}"))
+                    .expect("static $SYS topics are valid"),
+                value.into_bytes(),
+            )
+        };
+        vec![
+            mk("clients/connected", stats.clients_connected.to_string()),
+            mk("messages/received", stats.messages_in.to_string()),
+            mk("messages/sent", stats.messages_out.to_string()),
+            mk("messages/dropped", stats.messages_dropped.to_string()),
+            mk("retained/count", stats.retained_count.to_string()),
+        ]
+    }
+
+    fn protocol_error(&mut self, conn: &C, now_ns: u64) -> Vec<Action<C>> {
+        let mut actions = self.teardown(conn, now_ns, true);
+        actions.push(Action::Close { conn: conn.clone() });
+        actions
+    }
+
+    fn on_connect(&mut self, conn: &C, c: Connect, now_ns: u64) -> Vec<Action<C>> {
+        let mut actions = Vec::new();
+
+        if c.client_id.is_empty() && !c.clean_session {
+            actions.push(Action::Send {
+                conn: conn.clone(),
+                packet: Packet::Connack(Connack {
+                    session_present: false,
+                    code: ConnectReturnCode::IdentifierRejected,
+                }),
+            });
+            actions.push(Action::Close { conn: conn.clone() });
+            return actions;
+        }
+        let client_id = if c.client_id.is_empty() {
+            // Auto-assign an id derived from the session count.
+            format!("auto-{}", self.sessions.len())
+        } else {
+            c.client_id.clone()
+        };
+
+        // Session takeover: disconnect an existing connection of this id.
+        if let Some(old_conn) = self.online.get(&client_id).cloned() {
+            if &old_conn != conn {
+                let mut t = self.teardown(&old_conn, now_ns, true);
+                actions.append(&mut t);
+                actions.push(Action::Close { conn: old_conn });
+            }
+        }
+
+        let session_present = if c.clean_session {
+            if let Some(old) = self.sessions.remove(&client_id) {
+                drop(old);
+            }
+            self.tree.remove_key(&client_id);
+            false
+        } else {
+            self.sessions.contains_key(&client_id)
+        };
+
+        let session = self.sessions.entry(client_id.clone()).or_default();
+        session.persistent = !c.clean_session;
+
+        if let Some(connection) = self.connections.get_mut(conn) {
+            connection.client_id = Some(client_id.clone());
+            connection.keep_alive_ns = c.keep_alive_secs as u64 * 1_000_000_000;
+            connection.last_activity_ns = now_ns;
+            connection.will = c.will;
+        }
+        self.online.insert(client_id.clone(), conn.clone());
+
+        actions.push(Action::Send {
+            conn: conn.clone(),
+            packet: Packet::Connack(Connack {
+                session_present,
+                code: ConnectReturnCode::Accepted,
+            }),
+        });
+
+        // Flush messages queued while the persistent session was offline.
+        actions.extend(self.flush_queue(&client_id, now_ns));
+        actions
+    }
+
+    fn client_of(&self, conn: &C) -> Option<String> {
+        self.connections.get(conn).and_then(|c| c.client_id.clone())
+    }
+
+    fn on_publish(&mut self, conn: &C, publish: Publish, now_ns: u64) -> Vec<Action<C>> {
+        let Some(client) = self.client_of(conn) else {
+            return self.protocol_error(conn, now_ns);
+        };
+        self.stats.messages_in += 1;
+        let mut actions = Vec::new();
+
+        match publish.qos {
+            QoS::AtMostOnce => {}
+            // QoS 1 from the publisher's perspective is complete once
+            // the broker owns the message.
+            QoS::AtLeastOnce => {
+                actions.push(Action::Send {
+                    conn: conn.clone(),
+                    packet: Packet::Puback(publish.packet_id.expect("qos1 has pid")),
+                });
+            }
+            QoS::ExactlyOnce => {
+                let pid = publish.packet_id.expect("qos2 has pid");
+                actions.push(Action::Send {
+                    conn: conn.clone(),
+                    packet: Packet::Pubrec(pid),
+                });
+                // Exactly once: duplicates of a pid whose PUBREL has not
+                // arrived yet must not be routed again.
+                let session = self.sessions.entry(client).or_default();
+                if !session.incoming_qos2.insert(pid) {
+                    return actions;
+                }
+            }
+        }
+
+        // Retained handling: empty retained payload clears the slot.
+        if publish.retain {
+            if publish.payload.is_empty() {
+                self.retained.remove(publish.topic.as_str());
+            } else {
+                let mut stored = publish.clone();
+                stored.dup = false;
+                stored.packet_id = None;
+                self.retained
+                    .insert(publish.topic.as_str().to_owned(), stored);
+            }
+        }
+
+        actions.extend(self.route(&publish, now_ns));
+        actions
+    }
+
+    /// Routes a publish to every matching subscriber.
+    fn route(&mut self, publish: &Publish, now_ns: u64) -> Vec<Action<C>> {
+        let mut actions = Vec::new();
+        for sub in self.tree.matches(&publish.topic) {
+            let effective_qos = publish.qos.min(sub.qos);
+            let mut out = publish.clone();
+            out.dup = false;
+            out.retain = false;
+            out.qos = effective_qos;
+            out.packet_id = None;
+            actions.extend(self.deliver(&sub.key, out, now_ns));
+        }
+        actions
+    }
+
+    /// Delivers one message to one client, queueing when offline or when
+    /// the in-flight window is full.
+    fn deliver(&mut self, client_id: &str, mut publish: Publish, now_ns: u64) -> Vec<Action<C>> {
+        let conn = self.online.get(client_id).cloned();
+        let Some(session) = self.sessions.get_mut(client_id) else {
+            return Vec::new();
+        };
+        match conn {
+            Some(conn) => {
+                if publish.qos != QoS::AtMostOnce {
+                    if session.inflight.len() >= self.config.max_inflight {
+                        if session.queue.len() >= self.config.max_offline_queue {
+                            session.dropped += 1;
+                            self.stats.messages_dropped += 1;
+                            return Vec::new();
+                        }
+                        session.queue.push_back(publish);
+                        return Vec::new();
+                    }
+                    let pid = session.alloc_pid();
+                    publish.packet_id = Some(pid);
+                    let stage = if publish.qos == QoS::ExactlyOnce {
+                        OutStage::AwaitPubrec
+                    } else {
+                        OutStage::AwaitPuback
+                    };
+                    session.inflight.insert(
+                        pid,
+                        InflightMessage {
+                            publish: publish.clone(),
+                            sent_at_ns: now_ns,
+                            stage,
+                        },
+                    );
+                }
+                self.stats.messages_out += 1;
+                vec![Action::Send {
+                    conn,
+                    packet: Packet::Publish(publish),
+                }]
+            }
+            None => {
+                if session.persistent && publish.qos != QoS::AtMostOnce {
+                    if session.queue.len() >= self.config.max_offline_queue {
+                        session.dropped += 1;
+                        self.stats.messages_dropped += 1;
+                    } else {
+                        session.queue.push_back(publish);
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn flush_queue(&mut self, client_id: &str, now_ns: u64) -> Vec<Action<C>> {
+        let mut actions = Vec::new();
+        while let Some(session) = self.sessions.get_mut(client_id) {
+            if session.inflight.len() >= self.config.max_inflight {
+                break;
+            }
+            let Some(next) = session.queue.pop_front() else {
+                break;
+            };
+            actions.extend(self.deliver(client_id, next, now_ns));
+        }
+        actions
+    }
+
+    fn on_puback(&mut self, conn: &C, pid: PacketId, now_ns: u64) -> Vec<Action<C>> {
+        let Some(client_id) = self.client_of(conn) else {
+            return Vec::new();
+        };
+        if let Some(session) = self.sessions.get_mut(&client_id) {
+            session.inflight.remove(&pid);
+        }
+        // Window freed: push queued messages out.
+        self.flush_queue(&client_id, now_ns)
+    }
+
+    /// Subscriber acknowledged a QoS 2 delivery: release it with PUBREL.
+    fn on_pubrec(&mut self, conn: &C, pid: PacketId, now_ns: u64) -> Vec<Action<C>> {
+        let Some(client_id) = self.client_of(conn) else {
+            return Vec::new();
+        };
+        if let Some(session) = self.sessions.get_mut(&client_id) {
+            if let Some(inflight) = session.inflight.get_mut(&pid) {
+                inflight.stage = OutStage::AwaitPubcomp;
+                inflight.sent_at_ns = now_ns;
+                return vec![Action::Send {
+                    conn: conn.clone(),
+                    packet: Packet::Pubrel(pid),
+                }];
+            }
+        }
+        Vec::new()
+    }
+
+    /// Publisher released an inbound QoS 2 message: close the window.
+    fn on_pubrel(&mut self, conn: &C, pid: PacketId) -> Vec<Action<C>> {
+        if let Some(client_id) = self.client_of(conn) {
+            if let Some(session) = self.sessions.get_mut(&client_id) {
+                session.incoming_qos2.remove(&pid);
+            }
+        }
+        vec![Action::Send {
+            conn: conn.clone(),
+            packet: Packet::Pubcomp(pid),
+        }]
+    }
+
+    /// Subscriber completed a QoS 2 delivery.
+    fn on_pubcomp(&mut self, conn: &C, pid: PacketId, now_ns: u64) -> Vec<Action<C>> {
+        let Some(client_id) = self.client_of(conn) else {
+            return Vec::new();
+        };
+        if let Some(session) = self.sessions.get_mut(&client_id) {
+            session.inflight.remove(&pid);
+        }
+        self.flush_queue(&client_id, now_ns)
+    }
+
+    fn on_subscribe(&mut self, conn: &C, sub: Subscribe, now_ns: u64) -> Vec<Action<C>> {
+        let Some(client_id) = self.client_of(conn) else {
+            return self.protocol_error(conn, now_ns);
+        };
+        let mut codes = Vec::with_capacity(sub.filters.len());
+        let mut retained_out: Vec<Publish> = Vec::new();
+        for f in &sub.filters {
+            let granted = f.qos;
+            self.tree.subscribe(client_id.clone(), &f.filter, granted);
+            let session = self.sessions.entry(client_id.clone()).or_default();
+            session.subscriptions.retain(|(sf, _)| sf != &f.filter);
+            session.subscriptions.push((f.filter.clone(), granted));
+            codes.push(SubackCode::Granted(granted));
+
+            for (topic, retained) in &self.retained {
+                let name = TopicName::new(topic.clone()).expect("retained topics are valid");
+                if f.filter.matches(&name) {
+                    let mut out = retained.clone();
+                    out.retain = true;
+                    out.qos = retained.qos.min(granted);
+                    retained_out.push(out);
+                }
+            }
+        }
+        let mut actions = vec![Action::Send {
+            conn: conn.clone(),
+            packet: Packet::Suback(Suback {
+                packet_id: sub.packet_id,
+                codes,
+            }),
+        }];
+        for out in retained_out {
+            actions.extend(self.deliver(&client_id, out, now_ns));
+        }
+        actions
+    }
+
+    fn on_unsubscribe(&mut self, conn: &C, unsub: Unsubscribe) -> Vec<Action<C>> {
+        let Some(client_id) = self.client_of(conn) else {
+            return Vec::new();
+        };
+        for f in &unsub.filters {
+            self.tree.unsubscribe(&client_id, f);
+            if let Some(session) = self.sessions.get_mut(&client_id) {
+                session.subscriptions.retain(|(sf, _)| sf != f);
+            }
+        }
+        vec![Action::Send {
+            conn: conn.clone(),
+            packet: Packet::Unsuback(unsub.packet_id),
+        }]
+    }
+
+    /// Removes the connection; `publish_will` selects ungraceful semantics.
+    fn teardown(&mut self, conn: &C, now_ns: u64, publish_will: bool) -> Vec<Action<C>> {
+        let Some(connection) = self.connections.remove(conn) else {
+            return Vec::new();
+        };
+        let mut actions = Vec::new();
+        if let Some(client_id) = connection.client_id {
+            if self.online.get(&client_id) == Some(conn) {
+                self.online.remove(&client_id);
+            }
+            let persistent = self
+                .sessions
+                .get(&client_id)
+                .map(|s| s.persistent)
+                .unwrap_or(false);
+            if !persistent {
+                self.sessions.remove(&client_id);
+                self.tree.remove_key(&client_id);
+            }
+            if publish_will {
+                if let Some(will) = connection.will {
+                    let publish = Publish {
+                        dup: false,
+                        qos: will.qos,
+                        retain: will.retain,
+                        topic: will.topic,
+                        packet_id: None,
+                        payload: will.payload,
+                    };
+                    if publish.retain {
+                        if publish.payload.is_empty() {
+                            self.retained.remove(publish.topic.as_str());
+                        } else {
+                            let mut stored = publish.clone();
+                            stored.packet_id = None;
+                            self.retained
+                                .insert(publish.topic.as_str().to_owned(), stored);
+                        }
+                    }
+                    actions.extend(self.route(&publish, now_ns));
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::SubscribeFilter;
+
+    fn topic(s: &str) -> TopicName {
+        TopicName::new(s).expect("valid topic")
+    }
+
+    fn filter(s: &str) -> TopicFilter {
+        TopicFilter::new(s).expect("valid filter")
+    }
+
+    fn connect(broker: &mut Broker<u32>, conn: u32, id: &str) {
+        broker.connection_opened(conn, 0);
+        let out = broker.handle_packet(&conn, Packet::Connect(Connect::new(id)), 0);
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                packet: Packet::Connack(Connack {
+                    code: ConnectReturnCode::Accepted,
+                    ..
+                }),
+                ..
+            }
+        ));
+    }
+
+    fn subscribe(broker: &mut Broker<u32>, conn: u32, f: &str, qos: QoS) {
+        let out = broker.handle_packet(
+            &conn,
+            Packet::Subscribe(Subscribe {
+                packet_id: 1,
+                filters: vec![SubscribeFilter {
+                    filter: filter(f),
+                    qos,
+                }],
+            }),
+            0,
+        );
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                packet: Packet::Suback(_),
+                ..
+            }
+        ));
+    }
+
+    fn sends_to(actions: &[Action<u32>], conn: u32) -> Vec<&Packet> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { conn: c, packet } if *c == conn => Some(packet),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn qos0_publish_reaches_subscriber() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "sub");
+        connect(&mut b, 2, "pub");
+        subscribe(&mut b, 1, "s/#", QoS::AtMostOnce);
+        let out = b.handle_packet(
+            &2,
+            Packet::Publish(Publish::qos0(topic("s/a"), b"x".to_vec())),
+            1,
+        );
+        let to_sub = sends_to(&out, 1);
+        assert_eq!(to_sub.len(), 1);
+        match to_sub[0] {
+            Packet::Publish(p) => {
+                assert_eq!(p.payload, b"x");
+                assert_eq!(p.qos, QoS::AtMostOnce);
+            }
+            other => panic!("expected publish, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qos1_publish_is_acked_and_tracked() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "sub");
+        connect(&mut b, 2, "pub");
+        subscribe(&mut b, 1, "s/a", QoS::AtLeastOnce);
+        let out = b.handle_packet(
+            &2,
+            Packet::Publish(Publish::qos1(topic("s/a"), b"x".to_vec(), 9)),
+            1,
+        );
+        // Publisher gets PUBACK(9).
+        assert!(sends_to(&out, 2)
+            .iter()
+            .any(|p| matches!(p, Packet::Puback(9))));
+        // Subscriber gets a QoS1 publish with a broker-assigned pid.
+        let pid = match sends_to(&out, 1)[0] {
+            Packet::Publish(p) => {
+                assert_eq!(p.qos, QoS::AtLeastOnce);
+                p.packet_id.expect("broker assigns pid")
+            }
+            other => panic!("expected publish, got {other:?}"),
+        };
+        // Unacked: retransmitted after timeout with dup set.
+        let re = b.poll(3_000_000_000);
+        let re_pub = sends_to(&re, 1);
+        assert_eq!(re_pub.len(), 1);
+        assert!(matches!(re_pub[0], Packet::Publish(p) if p.dup && p.packet_id == Some(pid)));
+        // Acked: no more retransmissions.
+        b.handle_packet(&1, Packet::Puback(pid), 4_000_000_000);
+        assert!(b.poll(10_000_000_000).is_empty());
+    }
+
+    #[test]
+    fn subscriber_qos_caps_effective_qos() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "sub");
+        connect(&mut b, 2, "pub");
+        subscribe(&mut b, 1, "s/a", QoS::AtMostOnce);
+        let out = b.handle_packet(
+            &2,
+            Packet::Publish(Publish::qos1(topic("s/a"), b"x".to_vec(), 3)),
+            1,
+        );
+        match sends_to(&out, 1)[0] {
+            Packet::Publish(p) => assert_eq!(p.qos, QoS::AtMostOnce),
+            other => panic!("expected publish, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retained_message_delivered_on_subscribe() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 2, "pub");
+        let mut p = Publish::qos0(topic("conf/x"), b"v1".to_vec());
+        p.retain = true;
+        b.handle_packet(&2, Packet::Publish(p), 0);
+
+        connect(&mut b, 1, "late-sub");
+        let out = b.handle_packet(
+            &1,
+            Packet::Subscribe(Subscribe {
+                packet_id: 1,
+                filters: vec![SubscribeFilter {
+                    filter: filter("conf/#"),
+                    qos: QoS::AtMostOnce,
+                }],
+            }),
+            1,
+        );
+        let pubs: Vec<_> = sends_to(&out, 1)
+            .into_iter()
+            .filter(|p| matches!(p, Packet::Publish(_)))
+            .collect();
+        assert_eq!(pubs.len(), 1);
+        assert!(matches!(pubs[0], Packet::Publish(p) if p.retain && p.payload == b"v1"));
+    }
+
+    #[test]
+    fn empty_retained_payload_clears_slot() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 2, "pub");
+        let mut p = Publish::qos0(topic("conf/x"), b"v1".to_vec());
+        p.retain = true;
+        b.handle_packet(&2, Packet::Publish(p), 0);
+        let mut clear = Publish::qos0(topic("conf/x"), Vec::new());
+        clear.retain = true;
+        b.handle_packet(&2, Packet::Publish(clear), 1);
+        assert_eq!(b.stats().retained_count, 0);
+    }
+
+    #[test]
+    fn will_published_on_ungraceful_close_only() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "watcher");
+        subscribe(&mut b, 1, "status/#", QoS::AtMostOnce);
+
+        // Client with a will, lost ungracefully.
+        b.connection_opened(2, 0);
+        let mut c = Connect::new("dev");
+        c.will = Some(LastWill {
+            topic: topic("status/dev"),
+            payload: b"offline".to_vec(),
+            qos: QoS::AtMostOnce,
+            retain: false,
+        });
+        b.handle_packet(&2, Packet::Connect(c.clone()), 0);
+        let out = b.connection_lost(&2, 1);
+        assert!(sends_to(&out, 1)
+            .iter()
+            .any(|p| matches!(p, Packet::Publish(p) if p.payload == b"offline")));
+
+        // Same client, graceful DISCONNECT: no will.
+        b.connection_opened(3, 2);
+        b.handle_packet(&3, Packet::Connect(c), 2);
+        let out = b.handle_packet(&3, Packet::Disconnect, 3);
+        assert!(sends_to(&out, 1).is_empty());
+    }
+
+    #[test]
+    fn keep_alive_expiry_closes_connection() {
+        let mut b: Broker<u32> = Broker::new();
+        b.connection_opened(1, 0);
+        let mut c = Connect::new("dev");
+        c.keep_alive_secs = 1;
+        b.handle_packet(&1, Packet::Connect(c), 0);
+        // Within 1.5x keep-alive: nothing.
+        assert!(b.poll(1_400_000_000).is_empty());
+        // Beyond: closed.
+        let out = b.poll(1_600_000_000);
+        assert!(out.iter().any(|a| matches!(a, Action::Close { conn: 1 })));
+        assert_eq!(b.stats().clients_connected, 0);
+    }
+
+    #[test]
+    fn pingreq_refreshes_keep_alive() {
+        let mut b: Broker<u32> = Broker::new();
+        b.connection_opened(1, 0);
+        let mut c = Connect::new("dev");
+        c.keep_alive_secs = 1;
+        b.handle_packet(&1, Packet::Connect(c), 0);
+        let out = b.handle_packet(&1, Packet::Pingreq, 1_200_000_000);
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                packet: Packet::Pingresp,
+                ..
+            }
+        ));
+        // Activity refreshed: still alive at 2.0 s.
+        assert!(b.poll(2_000_000_000).is_empty());
+    }
+
+    #[test]
+    fn persistent_session_queues_while_offline() {
+        let mut b: Broker<u32> = Broker::new();
+        // Durable subscriber.
+        b.connection_opened(1, 0);
+        let mut c = Connect::new("durable");
+        c.clean_session = false;
+        b.handle_packet(&1, Packet::Connect(c.clone()), 0);
+        subscribe(&mut b, 1, "s/a", QoS::AtLeastOnce);
+        b.handle_packet(&1, Packet::Disconnect, 1);
+
+        // Publisher sends while the subscriber is away.
+        connect(&mut b, 2, "pub");
+        let out = b.handle_packet(
+            &2,
+            Packet::Publish(Publish::qos1(topic("s/a"), b"missed".to_vec(), 5)),
+            2,
+        );
+        assert!(sends_to(&out, 1).is_empty());
+
+        // Subscriber returns with clean_session=false: message flushed.
+        b.connection_opened(3, 3);
+        let out = b.handle_packet(&3, Packet::Connect(c), 3);
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                packet: Packet::Connack(Connack {
+                    session_present: true,
+                    ..
+                }),
+                ..
+            }
+        ));
+        assert!(sends_to(&out, 3)
+            .iter()
+            .any(|p| matches!(p, Packet::Publish(p) if p.payload == b"missed")));
+    }
+
+    #[test]
+    fn clean_session_discards_state() {
+        let mut b: Broker<u32> = Broker::new();
+        let mut c = Connect::new("cs");
+        c.clean_session = false;
+        b.connection_opened(1, 0);
+        b.handle_packet(&1, Packet::Connect(c), 0);
+        subscribe(&mut b, 1, "s/a", QoS::AtLeastOnce);
+        b.handle_packet(&1, Packet::Disconnect, 1);
+
+        // Reconnect with clean_session=true: subscription gone.
+        b.connection_opened(2, 2);
+        let out = b.handle_packet(&2, Packet::Connect(Connect::new("cs")), 2);
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                packet: Packet::Connack(Connack {
+                    session_present: false,
+                    ..
+                }),
+                ..
+            }
+        ));
+        connect(&mut b, 3, "pub");
+        let out = b.handle_packet(
+            &3,
+            Packet::Publish(Publish::qos0(topic("s/a"), b"x".to_vec())),
+            3,
+        );
+        assert!(sends_to(&out, 2).is_empty());
+    }
+
+    #[test]
+    fn session_takeover_closes_old_connection() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "dup");
+        b.connection_opened(2, 1);
+        let out = b.handle_packet(&2, Packet::Connect(Connect::new("dup")), 1);
+        assert!(out.iter().any(|a| matches!(a, Action::Close { conn: 1 })));
+        assert_eq!(b.stats().clients_connected, 1);
+    }
+
+    #[test]
+    fn publish_before_connect_is_protocol_error() {
+        let mut b: Broker<u32> = Broker::new();
+        b.connection_opened(1, 0);
+        let out = b.handle_packet(
+            &1,
+            Packet::Publish(Publish::qos0(topic("a"), vec![])),
+            0,
+        );
+        assert!(out.iter().any(|a| matches!(a, Action::Close { conn: 1 })));
+    }
+
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "sub");
+        connect(&mut b, 2, "pub");
+        subscribe(&mut b, 1, "s/a", QoS::AtMostOnce);
+        let out = b.handle_packet(
+            &1,
+            Packet::Unsubscribe(Unsubscribe {
+                packet_id: 2,
+                filters: vec![filter("s/a")],
+            }),
+            1,
+        );
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                packet: Packet::Unsuback(2),
+                ..
+            }
+        ));
+        let out = b.handle_packet(
+            &2,
+            Packet::Publish(Publish::qos0(topic("s/a"), b"x".to_vec())),
+            2,
+        );
+        assert!(sends_to(&out, 1).is_empty());
+    }
+
+    #[test]
+    fn inflight_window_limits_and_flushes() {
+        let mut b: Broker<u32> = Broker::with_config(BrokerConfig {
+            max_inflight: 2,
+            ..BrokerConfig::default()
+        });
+        connect(&mut b, 1, "sub");
+        connect(&mut b, 2, "pub");
+        subscribe(&mut b, 1, "s/a", QoS::AtLeastOnce);
+        let mut pids = Vec::new();
+        for i in 0..4u16 {
+            let out = b.handle_packet(
+                &2,
+                Packet::Publish(Publish::qos1(topic("s/a"), vec![i as u8], i + 1)),
+                0,
+            );
+            for p in sends_to(&out, 1) {
+                if let Packet::Publish(p) = p {
+                    pids.push(p.packet_id.expect("pid"));
+                }
+            }
+        }
+        // Only two in flight.
+        assert_eq!(pids.len(), 2);
+        // Acking one releases one queued message.
+        let out = b.handle_packet(&1, Packet::Puback(pids[0]), 1);
+        assert_eq!(sends_to(&out, 1).len(), 1);
+    }
+
+    #[test]
+    fn offline_queue_overflow_drops() {
+        let mut b: Broker<u32> = Broker::with_config(BrokerConfig {
+            max_offline_queue: 2,
+            ..BrokerConfig::default()
+        });
+        b.connection_opened(1, 0);
+        let mut c = Connect::new("durable");
+        c.clean_session = false;
+        b.handle_packet(&1, Packet::Connect(c), 0);
+        subscribe(&mut b, 1, "s/a", QoS::AtLeastOnce);
+        b.handle_packet(&1, Packet::Disconnect, 1);
+
+        connect(&mut b, 2, "pub");
+        for i in 0..5u16 {
+            b.handle_packet(
+                &2,
+                Packet::Publish(Publish::qos1(topic("s/a"), vec![i as u8], i + 1)),
+                2,
+            );
+        }
+        assert_eq!(b.stats().messages_dropped, 3);
+    }
+
+    #[test]
+    fn sys_stats_reflect_traffic() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "sub");
+        connect(&mut b, 2, "pub");
+        subscribe(&mut b, 1, "s/#", QoS::AtMostOnce);
+        for _ in 0..3 {
+            b.handle_packet(
+                &2,
+                Packet::Publish(Publish::qos0(topic("s/a"), b"x".to_vec())),
+                0,
+            );
+        }
+        let stats = b.stats();
+        assert_eq!(stats.messages_in, 3);
+        assert_eq!(stats.messages_out, 3);
+        assert_eq!(stats.clients_connected, 2);
+        let sys = b.sys_stats_packets();
+        assert!(sys.iter().any(|p| p.topic.as_str() == "$SYS/broker/messages/received"
+            && p.payload == b"3"));
+    }
+
+    #[test]
+    fn qos2_inbound_is_exactly_once() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "sub");
+        connect(&mut b, 2, "pub");
+        subscribe(&mut b, 1, "s/a", QoS::AtMostOnce);
+        let mut p = Publish::qos1(topic("s/a"), b"x".to_vec(), 9);
+        p.qos = QoS::ExactlyOnce;
+        // First PUBLISH: PUBREC to the publisher, message routed once.
+        let out = b.handle_packet(&2, Packet::Publish(p.clone()), 0);
+        assert!(sends_to(&out, 2).contains(&&Packet::Pubrec(9)));
+        assert_eq!(sends_to(&out, 1).len(), 1);
+        // Duplicate before PUBREL: PUBREC again, NOT routed again.
+        let mut dup = p.clone();
+        dup.dup = true;
+        let out = b.handle_packet(&2, Packet::Publish(dup), 1);
+        assert!(sends_to(&out, 2).contains(&&Packet::Pubrec(9)));
+        assert!(sends_to(&out, 1).is_empty(), "duplicate must not be routed");
+        // PUBREL closes the window with PUBCOMP.
+        let out = b.handle_packet(&2, Packet::Pubrel(9), 2);
+        assert!(sends_to(&out, 2).contains(&&Packet::Pubcomp(9)));
+        // A fresh publish with the same pid is a new message.
+        let out = b.handle_packet(&2, Packet::Publish(p), 3);
+        assert_eq!(sends_to(&out, 1).len(), 1);
+    }
+
+    #[test]
+    fn qos2_outbound_walks_the_handshake() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "sub");
+        connect(&mut b, 2, "pub");
+        subscribe(&mut b, 1, "s/a", QoS::ExactlyOnce);
+        let mut p = Publish::qos1(topic("s/a"), b"x".to_vec(), 5);
+        p.qos = QoS::ExactlyOnce;
+        let out = b.handle_packet(&2, Packet::Publish(p), 0);
+        let pid = match sends_to(&out, 1)[0] {
+            Packet::Publish(p) => {
+                assert_eq!(p.qos, QoS::ExactlyOnce);
+                p.packet_id.expect("pid")
+            }
+            other => panic!("expected publish, got {other:?}"),
+        };
+        // Unanswered: the PUBLISH is retransmitted (dup).
+        let re = b.poll(3_000_000_000);
+        assert!(sends_to(&re, 1)
+            .iter()
+            .any(|pk| matches!(pk, Packet::Publish(p) if p.dup)));
+        // PUBREC -> broker sends PUBREL; a stalled PUBCOMP retransmits
+        // the PUBREL, not the PUBLISH.
+        let out = b.handle_packet(&1, Packet::Pubrec(pid), 4_000_000_000);
+        assert!(sends_to(&out, 1).contains(&&Packet::Pubrel(pid)));
+        let re = b.poll(7_000_000_000);
+        assert!(sends_to(&re, 1).contains(&&Packet::Pubrel(pid)));
+        assert!(!sends_to(&re, 1).iter().any(|pk| matches!(pk, Packet::Publish(_))));
+        // PUBCOMP finishes the flow: nothing left to retransmit.
+        b.handle_packet(&1, Packet::Pubcomp(pid), 8_000_000_000);
+        assert!(b.poll(20_000_000_000).is_empty());
+    }
+
+    #[test]
+    fn internal_publish_routes_and_retains() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "watcher");
+        subscribe(&mut b, 1, "$SYS/#", QoS::AtMostOnce);
+        let mut p = Publish::qos0(topic("$SYS/broker/uptime"), b"1".to_vec());
+        p.retain = true;
+        let out = b.publish_internal(p, 0);
+        assert!(sends_to(&out, 1)
+            .iter()
+            .any(|p| matches!(p, Packet::Publish(p) if p.payload == b"1")));
+        assert_eq!(b.stats().retained_count, 1);
+        // Leading-$ topics stay invisible to plain wildcard subscribers.
+        connect(&mut b, 2, "plain");
+        subscribe(&mut b, 2, "#", QoS::AtMostOnce);
+        let out = b.publish_internal(Publish::qos0(topic("$SYS/broker/uptime"), b"2".to_vec()), 1);
+        assert!(sends_to(&out, 2).is_empty());
+    }
+
+    #[test]
+    fn sys_packets_describe_every_counter() {
+        let b: Broker<u32> = Broker::new();
+        let sys = b.sys_stats_packets();
+        assert!(sys.len() >= 5);
+        assert!(sys.iter().all(|p| p.topic.as_str().starts_with("$SYS/broker/")));
+    }
+
+    #[test]
+    fn next_deadline_tracks_keepalive_and_inflight() {
+        let mut b: Broker<u32> = Broker::new();
+        assert_eq!(b.next_deadline_ns(), None);
+        b.connection_opened(1, 0);
+        let mut c = Connect::new("dev");
+        c.keep_alive_secs = 2;
+        b.handle_packet(&1, Packet::Connect(c), 0);
+        assert_eq!(b.next_deadline_ns(), Some(3_000_000_000));
+    }
+}

@@ -1,0 +1,794 @@
+//! MQTT 3.1.1 wire codec.
+//!
+//! Encodes [`Packet`]s to bytes and decodes bytes back, implementing the
+//! fixed header (packet type, flags, remaining-length varint) and each
+//! variable header/payload of the supported subset. Decoding never panics
+//! on malformed input — every anomaly maps to a [`DecodeError`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::DecodeError;
+use crate::packet::{
+    Connack, Connect, ConnectReturnCode, LastWill, Packet, Publish, QoS, Suback, SubackCode,
+    Subscribe, SubscribeFilter, Unsubscribe,
+};
+use crate::topic::{TopicFilter, TopicName};
+
+/// Maximum value of the remaining-length varint.
+pub const MAX_REMAINING_LENGTH: usize = 268_435_455;
+
+/// Encodes a packet to bytes.
+///
+/// ```
+/// use ifot_mqtt::codec::{decode, encode};
+/// use ifot_mqtt::packet::Packet;
+///
+/// let bytes = encode(&Packet::Pingreq);
+/// let (packet, used) = decode(&bytes)?.expect("complete packet");
+/// assert_eq!(packet, Packet::Pingreq);
+/// assert_eq!(used, bytes.len());
+/// # Ok::<(), ifot_mqtt::error::DecodeError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if the encoded body would exceed [`MAX_REMAINING_LENGTH`]
+/// (requires a payload of ~256 MiB, far beyond any IFoT flow message).
+pub fn encode(packet: &Packet) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    let (type_nibble, flags) = match packet {
+        Packet::Connect(c) => {
+            encode_connect(&mut body, c);
+            (1u8, 0u8)
+        }
+        Packet::Connack(c) => {
+            body.put_u8(u8::from(c.session_present));
+            body.put_u8(c.code.to_byte());
+            (2, 0)
+        }
+        Packet::Publish(p) => {
+            let mut flags = 0u8;
+            if p.dup {
+                flags |= 0b1000;
+            }
+            flags |= p.qos.bits() << 1;
+            if p.retain {
+                flags |= 0b0001;
+            }
+            put_string(&mut body, p.topic.as_str());
+            if p.qos != QoS::AtMostOnce {
+                body.put_u16(p.packet_id.expect("qos>0 publish carries a packet id"));
+            }
+            body.put_slice(&p.payload);
+            (3, flags)
+        }
+        Packet::Puback(pid) => {
+            body.put_u16(*pid);
+            (4, 0)
+        }
+        Packet::Pubrec(pid) => {
+            body.put_u16(*pid);
+            (5, 0)
+        }
+        Packet::Pubrel(pid) => {
+            body.put_u16(*pid);
+            (6, 0b0010)
+        }
+        Packet::Pubcomp(pid) => {
+            body.put_u16(*pid);
+            (7, 0)
+        }
+        Packet::Subscribe(s) => {
+            body.put_u16(s.packet_id);
+            for f in &s.filters {
+                put_string(&mut body, f.filter.as_str());
+                body.put_u8(f.qos.bits());
+            }
+            (8, 0b0010)
+        }
+        Packet::Suback(s) => {
+            body.put_u16(s.packet_id);
+            for c in &s.codes {
+                body.put_u8(c.to_byte());
+            }
+            (9, 0)
+        }
+        Packet::Unsubscribe(u) => {
+            body.put_u16(u.packet_id);
+            for f in &u.filters {
+                put_string(&mut body, f.as_str());
+            }
+            (10, 0b0010)
+        }
+        Packet::Unsuback(pid) => {
+            body.put_u16(*pid);
+            (11, 0)
+        }
+        Packet::Pingreq => (12, 0),
+        Packet::Pingresp => (13, 0),
+        Packet::Disconnect => (14, 0),
+    };
+
+    assert!(
+        body.len() <= MAX_REMAINING_LENGTH,
+        "packet body of {} bytes exceeds the MQTT remaining-length limit",
+        body.len()
+    );
+    let mut out = Vec::with_capacity(body.len() + 5);
+    out.push((type_nibble << 4) | flags);
+    encode_remaining_length(&mut out, body.len());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn encode_connect(body: &mut BytesMut, c: &Connect) {
+    put_string(body, "MQTT");
+    body.put_u8(4); // protocol level 3.1.1
+    let mut flags = 0u8;
+    if c.clean_session {
+        flags |= 0b0000_0010;
+    }
+    if let Some(w) = &c.will {
+        flags |= 0b0000_0100;
+        flags |= w.qos.bits() << 3;
+        if w.retain {
+            flags |= 0b0010_0000;
+        }
+    }
+    if c.password.is_some() {
+        flags |= 0b0100_0000;
+    }
+    if c.username.is_some() {
+        flags |= 0b1000_0000;
+    }
+    body.put_u8(flags);
+    body.put_u16(c.keep_alive_secs);
+    put_string(body, &c.client_id);
+    if let Some(w) = &c.will {
+        put_string(body, w.topic.as_str());
+        put_bytes(body, &w.payload);
+    }
+    if let Some(u) = &c.username {
+        put_string(body, u);
+    }
+    if let Some(p) = &c.password {
+        put_bytes(body, p);
+    }
+}
+
+fn encode_remaining_length(out: &mut Vec<u8>, mut len: usize) {
+    loop {
+        let mut byte = (len % 128) as u8;
+        len /= 128;
+        if len > 0 {
+            byte |= 0x80;
+        }
+        out.push(byte);
+        if len == 0 {
+            break;
+        }
+    }
+}
+
+fn put_string(body: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "string too long for MQTT");
+    body.put_u16(s.len() as u16);
+    body.put_slice(s.as_bytes());
+}
+
+fn put_bytes(body: &mut BytesMut, b: &[u8]) {
+    debug_assert!(b.len() <= u16::MAX as usize, "binary field too long for MQTT");
+    body.put_u16(b.len() as u16);
+    body.put_slice(b);
+}
+
+/// Attempts to decode one packet from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds only a packet prefix (read more
+/// bytes and retry), or `Ok(Some((packet, consumed)))` on success.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for any malformed input; the caller should
+/// treat the stream as broken (MQTT has no resynchronization).
+pub fn decode(buf: &[u8]) -> Result<Option<(Packet, usize)>, DecodeError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    let first = buf[0];
+    let packet_type = first >> 4;
+    let flags = first & 0x0F;
+
+    let (remaining, header_len) = match decode_remaining_length(&buf[1..])? {
+        Some(v) => v,
+        None => return Ok(None),
+    };
+    let total = 1 + header_len + remaining;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = &buf[1 + header_len..total];
+    let packet = decode_body(packet_type, flags, body)?;
+    Ok(Some((packet, total)))
+}
+
+/// Decodes the remaining-length varint; `Ok(None)` means incomplete.
+fn decode_remaining_length(buf: &[u8]) -> Result<Option<(usize, usize)>, DecodeError> {
+    let mut value = 0usize;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if i >= 4 {
+            return Err(DecodeError::MalformedRemainingLength);
+        }
+        value |= ((b & 0x7F) as usize) << shift;
+        if b & 0x80 == 0 {
+            return Ok(Some((value, i + 1)));
+        }
+        shift += 7;
+    }
+    if buf.len() >= 4 {
+        Err(DecodeError::MalformedRemainingLength)
+    } else {
+        Ok(None)
+    }
+}
+
+struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    fn new(body: &[u8]) -> Self {
+        Reader {
+            buf: Bytes::copy_from_slice(body),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        if self.buf.remaining() < 1 {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        if self.buf.remaining() < 2 {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        Ok(self.buf.get_u16())
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u16()? as usize;
+        if self.buf.remaining() < len {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        Ok(self.buf.copy_to_bytes(len).to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        String::from_utf8(self.bytes()?).map_err(|_| DecodeError::InvalidString)
+    }
+
+    fn rest(&mut self) -> Vec<u8> {
+        let len = self.buf.remaining();
+        self.buf.copy_to_bytes(len).to_vec()
+    }
+
+    fn expect_empty(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+}
+
+fn require_flags(packet_type: u8, flags: u8, expected: u8) -> Result<(), DecodeError> {
+    if flags == expected {
+        Ok(())
+    } else {
+        Err(DecodeError::InvalidFlags { packet_type, flags })
+    }
+}
+
+fn decode_body(packet_type: u8, flags: u8, body: &[u8]) -> Result<Packet, DecodeError> {
+    let mut r = Reader::new(body);
+    match packet_type {
+        1 => {
+            require_flags(1, flags, 0)?;
+            decode_connect(&mut r)
+        }
+        2 => {
+            require_flags(2, flags, 0)?;
+            let ack_flags = r.u8()?;
+            if ack_flags & !0x01 != 0 {
+                return Err(DecodeError::MalformedPacket("connack flags"));
+            }
+            let code = ConnectReturnCode::from_byte(r.u8()?)
+                .map_err(|_| DecodeError::MalformedPacket("connack return code"))?;
+            r.expect_empty()?;
+            Ok(Packet::Connack(Connack {
+                session_present: ack_flags & 0x01 != 0,
+                code,
+            }))
+        }
+        3 => {
+            let dup = flags & 0b1000 != 0;
+            let qos = QoS::from_bits((flags >> 1) & 0b11).map_err(DecodeError::InvalidQos)?;
+            let retain = flags & 0b0001 != 0;
+            if dup && qos == QoS::AtMostOnce {
+                return Err(DecodeError::MalformedPacket("dup set on qos 0 publish"));
+            }
+            let topic = TopicName::new(r.string()?)
+                .map_err(|_| DecodeError::MalformedPacket("publish topic"))?;
+            let packet_id = if qos != QoS::AtMostOnce {
+                let pid = r.u16()?;
+                if pid == 0 {
+                    return Err(DecodeError::MalformedPacket("zero packet id"));
+                }
+                Some(pid)
+            } else {
+                None
+            };
+            let payload = r.rest();
+            Ok(Packet::Publish(Publish {
+                dup,
+                qos,
+                retain,
+                topic,
+                packet_id,
+                payload,
+            }))
+        }
+        4 => {
+            require_flags(4, flags, 0)?;
+            let pid = r.u16()?;
+            r.expect_empty()?;
+            Ok(Packet::Puback(pid))
+        }
+        5 => {
+            require_flags(5, flags, 0)?;
+            let pid = r.u16()?;
+            r.expect_empty()?;
+            Ok(Packet::Pubrec(pid))
+        }
+        6 => {
+            require_flags(6, flags, 0b0010)?;
+            let pid = r.u16()?;
+            r.expect_empty()?;
+            Ok(Packet::Pubrel(pid))
+        }
+        7 => {
+            require_flags(7, flags, 0)?;
+            let pid = r.u16()?;
+            r.expect_empty()?;
+            Ok(Packet::Pubcomp(pid))
+        }
+        8 => {
+            require_flags(8, flags, 0b0010)?;
+            let packet_id = r.u16()?;
+            let mut filters = Vec::new();
+            while r.remaining() > 0 {
+                let filter = TopicFilter::new(r.string()?)
+                    .map_err(|_| DecodeError::MalformedPacket("subscribe filter"))?;
+                let qos = QoS::from_bits(r.u8()?).map_err(DecodeError::InvalidQos)?;
+                filters.push(SubscribeFilter { filter, qos });
+            }
+            if filters.is_empty() {
+                return Err(DecodeError::MalformedPacket("subscribe without filters"));
+            }
+            Ok(Packet::Subscribe(Subscribe { packet_id, filters }))
+        }
+        9 => {
+            require_flags(9, flags, 0)?;
+            let packet_id = r.u16()?;
+            let mut codes = Vec::new();
+            while r.remaining() > 0 {
+                codes.push(
+                    SubackCode::from_byte(r.u8()?)
+                        .map_err(|_| DecodeError::MalformedPacket("suback code"))?,
+                );
+            }
+            if codes.is_empty() {
+                return Err(DecodeError::MalformedPacket("suback without codes"));
+            }
+            Ok(Packet::Suback(Suback { packet_id, codes }))
+        }
+        10 => {
+            require_flags(10, flags, 0b0010)?;
+            let packet_id = r.u16()?;
+            let mut filters = Vec::new();
+            while r.remaining() > 0 {
+                filters.push(
+                    TopicFilter::new(r.string()?)
+                        .map_err(|_| DecodeError::MalformedPacket("unsubscribe filter"))?,
+                );
+            }
+            if filters.is_empty() {
+                return Err(DecodeError::MalformedPacket("unsubscribe without filters"));
+            }
+            Ok(Packet::Unsubscribe(Unsubscribe { packet_id, filters }))
+        }
+        11 => {
+            require_flags(11, flags, 0)?;
+            let pid = r.u16()?;
+            r.expect_empty()?;
+            Ok(Packet::Unsuback(pid))
+        }
+        12 => {
+            require_flags(12, flags, 0)?;
+            r.expect_empty()?;
+            Ok(Packet::Pingreq)
+        }
+        13 => {
+            require_flags(13, flags, 0)?;
+            r.expect_empty()?;
+            Ok(Packet::Pingresp)
+        }
+        14 => {
+            require_flags(14, flags, 0)?;
+            r.expect_empty()?;
+            Ok(Packet::Disconnect)
+        }
+        other => Err(DecodeError::UnknownPacketType(other)),
+    }
+}
+
+fn decode_connect(r: &mut Reader) -> Result<Packet, DecodeError> {
+    let proto = r.string()?;
+    let level = r.u8()?;
+    if proto != "MQTT" || level != 4 {
+        return Err(DecodeError::UnsupportedProtocol);
+    }
+    let flags = r.u8()?;
+    if flags & 0x01 != 0 {
+        return Err(DecodeError::MalformedPacket("reserved connect flag set"));
+    }
+    let clean_session = flags & 0b0000_0010 != 0;
+    let has_will = flags & 0b0000_0100 != 0;
+    let will_qos = QoS::from_bits((flags >> 3) & 0b11).map_err(DecodeError::InvalidQos)?;
+    let will_retain = flags & 0b0010_0000 != 0;
+    let has_password = flags & 0b0100_0000 != 0;
+    let has_username = flags & 0b1000_0000 != 0;
+    if !has_will && (will_qos != QoS::AtMostOnce || will_retain) {
+        return Err(DecodeError::MalformedPacket("will flags without will"));
+    }
+    let keep_alive_secs = r.u16()?;
+    let client_id = r.string()?;
+    let will = if has_will {
+        let topic = TopicName::new(r.string()?)
+            .map_err(|_| DecodeError::MalformedPacket("will topic"))?;
+        let payload = r.bytes()?;
+        Some(LastWill {
+            topic,
+            payload,
+            qos: will_qos,
+            retain: will_retain,
+        })
+    } else {
+        None
+    };
+    let username = if has_username { Some(r.string()?) } else { None };
+    let password = if has_password { Some(r.bytes()?) } else { None };
+    r.expect_empty()?;
+    Ok(Packet::Connect(Connect {
+        client_id,
+        clean_session,
+        keep_alive_secs,
+        will,
+        username,
+        password,
+    }))
+}
+
+/// Incremental decoder over a byte stream: feed arbitrary chunks, pop
+/// complete packets.
+///
+/// ```
+/// use ifot_mqtt::codec::{encode, StreamDecoder};
+/// use ifot_mqtt::packet::Packet;
+///
+/// let mut dec = StreamDecoder::new();
+/// let bytes = encode(&Packet::Pingreq);
+/// dec.feed(&bytes[..1]);
+/// assert!(dec.next_packet()?.is_none());
+/// dec.feed(&bytes[1..]);
+/// assert_eq!(dec.next_packet()?, Some(Packet::Pingreq));
+/// # Ok::<(), ifot_mqtt::error::DecodeError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+}
+
+impl StreamDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete packet, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeError`] on malformed input; the stream should be
+    /// dropped afterwards.
+    pub fn next_packet(&mut self) -> Result<Option<Packet>, DecodeError> {
+        match decode(&self.buf)? {
+            Some((packet, used)) => {
+                self.buf.drain(..used);
+                Ok(Some(packet))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Connack, Suback, SubackCode, Subscribe, SubscribeFilter, Unsubscribe};
+
+    fn topic(s: &str) -> TopicName {
+        TopicName::new(s).expect("valid topic")
+    }
+
+    fn filter(s: &str) -> TopicFilter {
+        TopicFilter::new(s).expect("valid filter")
+    }
+
+    fn round_trip(p: Packet) {
+        let bytes = encode(&p);
+        let (decoded, used) = decode(&bytes)
+            .expect("decodes")
+            .expect("complete");
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn round_trip_simple_packets() {
+        round_trip(Packet::Pingreq);
+        round_trip(Packet::Pingresp);
+        round_trip(Packet::Disconnect);
+        round_trip(Packet::Puback(77));
+        round_trip(Packet::Pubrec(78));
+        round_trip(Packet::Pubrel(79));
+        round_trip(Packet::Pubcomp(80));
+        round_trip(Packet::Unsuback(13));
+    }
+
+    #[test]
+    fn pubrel_requires_its_reserved_flags() {
+        // PUBREL must carry flags 0b0010; zero is rejected.
+        assert!(matches!(
+            decode(&[0x60, 0x02, 0x00, 0x01]),
+            Err(DecodeError::InvalidFlags { packet_type: 6, .. })
+        ));
+        assert!(decode(&[0x62, 0x02, 0x00, 0x01]).expect("valid").is_some());
+    }
+
+    #[test]
+    fn round_trip_connect_variants() {
+        round_trip(Packet::Connect(Connect::new("node-a")));
+        let mut c = Connect::new("node-b");
+        c.clean_session = false;
+        c.keep_alive_secs = 0;
+        c.username = Some("user".into());
+        c.password = Some(vec![1, 2, 3]);
+        c.will = Some(LastWill {
+            topic: topic("status/node-b"),
+            payload: b"offline".to_vec(),
+            qos: QoS::AtLeastOnce,
+            retain: true,
+        });
+        round_trip(Packet::Connect(c));
+    }
+
+    #[test]
+    fn round_trip_connack() {
+        round_trip(Packet::Connack(Connack {
+            session_present: true,
+            code: ConnectReturnCode::Accepted,
+        }));
+        round_trip(Packet::Connack(Connack {
+            session_present: false,
+            code: ConnectReturnCode::NotAuthorized,
+        }));
+    }
+
+    #[test]
+    fn round_trip_publish_variants() {
+        round_trip(Packet::Publish(Publish::qos0(topic("a/b"), vec![9; 32])));
+        let mut p = Publish::qos1(topic("sensor/x"), vec![0; 300], 42);
+        p.retain = true;
+        round_trip(Packet::Publish(p));
+        let mut d = Publish::qos1(topic("sensor/x"), vec![], 43);
+        d.dup = true;
+        round_trip(Packet::Publish(d));
+    }
+
+    #[test]
+    fn round_trip_subscription_packets() {
+        round_trip(Packet::Subscribe(Subscribe {
+            packet_id: 5,
+            filters: vec![
+                SubscribeFilter {
+                    filter: filter("sensor/#"),
+                    qos: QoS::AtLeastOnce,
+                },
+                SubscribeFilter {
+                    filter: filter("+/status"),
+                    qos: QoS::AtMostOnce,
+                },
+            ],
+        }));
+        round_trip(Packet::Suback(Suback {
+            packet_id: 5,
+            codes: vec![SubackCode::Granted(QoS::AtLeastOnce), SubackCode::Failure],
+        }));
+        round_trip(Packet::Unsubscribe(Unsubscribe {
+            packet_id: 6,
+            filters: vec![filter("sensor/#")],
+        }));
+    }
+
+    #[test]
+    fn large_payload_uses_multibyte_remaining_length() {
+        let p = Packet::Publish(Publish::qos0(topic("big"), vec![7; 20_000]));
+        let bytes = encode(&p);
+        // Remaining length must occupy 3 bytes for a 20 kB body.
+        assert!(bytes[1] & 0x80 != 0);
+        assert!(bytes[2] & 0x80 != 0);
+        round_trip(p);
+    }
+
+    #[test]
+    fn incomplete_input_returns_none() {
+        let bytes = encode(&Packet::Publish(Publish::qos0(topic("a"), vec![1, 2, 3])));
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode(&bytes[..cut]).expect("prefix is not an error"),
+                None,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert_eq!(
+            decode(&[0x00, 0x00]),
+            Err(DecodeError::UnknownPacketType(0))
+        );
+        assert_eq!(
+            decode(&[0xF0, 0x00]),
+            Err(DecodeError::UnknownPacketType(15))
+        );
+    }
+
+    #[test]
+    fn bad_flags_rejected() {
+        // PUBACK with nonzero flags.
+        assert_eq!(
+            decode(&[0x41, 0x02, 0x00, 0x01]),
+            Err(DecodeError::InvalidFlags {
+                packet_type: 4,
+                flags: 1
+            })
+        );
+        // SUBSCRIBE must carry flags 0b0010.
+        assert!(matches!(
+            decode(&[0x80, 0x05, 0x00, 0x01, 0x00, 0x01, b'a']),
+            Err(DecodeError::InvalidFlags { packet_type: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn qos3_publish_rejected() {
+        // Flags 0b0110 = QoS 3.
+        assert_eq!(
+            decode(&[0x36, 0x04, 0x00, 0x01, b'a', 0x00]),
+            Err(DecodeError::InvalidQos(3))
+        );
+    }
+
+    #[test]
+    fn zero_packet_id_rejected() {
+        let mut bytes = encode(&Packet::Publish(Publish::qos1(topic("a"), vec![], 1)));
+        // Patch the packet id to zero: topic "a" = 2 len + 1 char after 2-byte header.
+        let pid_offset = 2 + 2 + 1;
+        bytes[pid_offset] = 0;
+        bytes[pid_offset + 1] = 0;
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::MalformedPacket("zero packet id"))
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_topic_rejected() {
+        // PUBLISH with a 1-byte topic 0xFF.
+        let bytes = [0x30, 0x03, 0x00, 0x01, 0xFF];
+        assert_eq!(decode(&bytes), Err(DecodeError::InvalidString));
+    }
+
+    #[test]
+    fn overlong_remaining_length_rejected() {
+        let bytes = [0xC0, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert_eq!(decode(&bytes), Err(DecodeError::MalformedRemainingLength));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        // PINGREQ declaring 1 byte of body.
+        assert_eq!(decode(&[0xC0, 0x01, 0x00]), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn empty_subscribe_rejected() {
+        assert_eq!(
+            decode(&[0x82, 0x02, 0x00, 0x01]),
+            Err(DecodeError::MalformedPacket("subscribe without filters"))
+        );
+    }
+
+    #[test]
+    fn wrong_protocol_rejected() {
+        let mut c = encode(&Packet::Connect(Connect::new("x")));
+        c[4] = b'X'; // corrupt protocol name "MQTT" -> "MXTT"
+        assert_eq!(decode(&c), Err(DecodeError::UnsupportedProtocol));
+    }
+
+    #[test]
+    fn stream_decoder_handles_fragmentation_and_pipelining() {
+        let a = encode(&Packet::Pingreq);
+        let b = encode(&Packet::Publish(Publish::qos0(topic("t"), vec![1, 2])));
+        let mut all = Vec::new();
+        all.extend_from_slice(&a);
+        all.extend_from_slice(&b);
+
+        let mut dec = StreamDecoder::new();
+        // Feed one byte at a time.
+        let mut got = Vec::new();
+        for byte in all {
+            dec.feed(&[byte]);
+            while let Some(p) = dec.next_packet().expect("valid stream") {
+                got.push(p);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], Packet::Pingreq);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage() {
+        // A light fuzz: decode must return Ok(None)/Ok(Some)/Err, not panic.
+        let mut seed = 0x12345678u64;
+        for _ in 0..2000 {
+            let len = (seed % 64) as usize;
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                bytes.push((seed >> 33) as u8);
+            }
+            let _ = decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Error types of the MQTT substrate.
+
+use core::fmt;
+
+/// Errors produced while decoding an MQTT packet from bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the packet was complete.
+    UnexpectedEof,
+    /// The remaining-length varint is malformed (more than four bytes).
+    MalformedRemainingLength,
+    /// The first header byte carries an unknown packet type.
+    UnknownPacketType(u8),
+    /// The fixed-header flags are invalid for the packet type.
+    InvalidFlags {
+        /// Packet type nibble.
+        packet_type: u8,
+        /// Offending flag nibble.
+        flags: u8,
+    },
+    /// A length-prefixed string is not valid UTF-8.
+    InvalidString,
+    /// The protocol name or level in CONNECT is unsupported.
+    UnsupportedProtocol,
+    /// A QoS field holds a value outside 0..=2.
+    InvalidQos(u8),
+    /// The packet body is inconsistent (lengths, missing fields).
+    MalformedPacket(&'static str),
+    /// Trailing bytes after the declared remaining length were consumed.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of packet"),
+            DecodeError::MalformedRemainingLength => {
+                write!(f, "malformed remaining-length varint")
+            }
+            DecodeError::UnknownPacketType(t) => write!(f, "unknown packet type {t}"),
+            DecodeError::InvalidFlags { packet_type, flags } => {
+                write!(f, "invalid flags {flags:#06b} for packet type {packet_type}")
+            }
+            DecodeError::InvalidString => write!(f, "string field is not valid utf-8"),
+            DecodeError::UnsupportedProtocol => write!(f, "unsupported protocol name or level"),
+            DecodeError::InvalidQos(q) => write!(f, "invalid qos value {q}"),
+            DecodeError::MalformedPacket(what) => write!(f, "malformed packet: {what}"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after packet body"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Errors produced while validating topic names and filters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopicError {
+    /// Topics must be non-empty.
+    Empty,
+    /// Topic names may not contain the wildcard characters `+` or `#`.
+    WildcardInName,
+    /// `#` must be the last character and occupy a whole level.
+    InvalidMultiLevelWildcard,
+    /// `+` must occupy a whole level.
+    InvalidSingleLevelWildcard,
+    /// Topics may not contain the NUL character.
+    NulCharacter,
+    /// Topic exceeds the maximum encodable length (65535 bytes).
+    TooLong,
+}
+
+impl fmt::Display for TopicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicError::Empty => write!(f, "topic must be non-empty"),
+            TopicError::WildcardInName => write!(f, "topic name may not contain wildcards"),
+            TopicError::InvalidMultiLevelWildcard => {
+                write!(f, "'#' must be last and occupy a whole level")
+            }
+            TopicError::InvalidSingleLevelWildcard => {
+                write!(f, "'+' must occupy a whole level")
+            }
+            TopicError::NulCharacter => write!(f, "topic may not contain NUL"),
+            TopicError::TooLong => write!(f, "topic exceeds 65535 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for TopicError {}
+
+/// Errors surfaced by the broker or client session logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The peer violated the protocol (e.g. PUBLISH before CONNECT).
+    ProtocolViolation(&'static str),
+    /// The broker rejected the connection with the given CONNACK code.
+    ConnectionRefused(crate::packet::ConnectReturnCode),
+    /// An operation was attempted on a session in the wrong state.
+    NotConnected,
+    /// Historical: QoS 2 was once rejected by the sessions. The full
+    /// exactly-once handshake is now implemented and this variant is no
+    /// longer returned; it remains for API stability.
+    QosNotSupported,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
+            SessionError::ConnectionRefused(code) => {
+                write!(f, "connection refused: {code:?}")
+            }
+            SessionError::NotConnected => write!(f, "session is not connected"),
+            SessionError::QosNotSupported => write!(f, "qos 2 is not supported"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_lowercase_messages() {
+        let msgs = [
+            DecodeError::UnexpectedEof.to_string(),
+            DecodeError::UnknownPacketType(0).to_string(),
+            TopicError::Empty.to_string(),
+            SessionError::NotConnected.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().expect("non-empty").is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecodeError>();
+        assert_send_sync::<TopicError>();
+        assert_send_sync::<SessionError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! # ifot-mqtt — MQTT 3.1.1 substrate for the IFoT flow-distribution
+//! function
+//!
+//! The IFoT paper implements its *flow distribution function* (Publish,
+//! Broker and Subscribe classes) on top of Mosquitto and the MQTT
+//! protocol. This crate is the from-scratch substitute:
+//!
+//! * [`codec`] — the MQTT 3.1.1 wire format (fixed header,
+//!   remaining-length varint, every packet of the supported subset),
+//! * [`topic`] — validated topic names and filters with `+`/`#` wildcard
+//!   matching,
+//! * [`tree`] — a subscription trie for efficient fan-out matching,
+//! * [`broker`] — a sans-I/O broker with QoS 0/1/2 (full exactly-once
+//!   handshake), retained messages, persistent sessions, wills and
+//!   keep-alive,
+//! * [`client`] — a sans-I/O client session with retransmission and
+//!   keep-alive,
+//! * [`net`] — a blocking TCP transport serving the same broker on real
+//!   sockets (std only).
+//!
+//! "Sans-I/O" means broker and client own neither sockets nor clocks: the
+//! caller feeds packets and timestamps and applies returned actions. The
+//! IFoT middleware runs the exact same state machines on the deterministic
+//! network simulator and on real threads.
+//!
+//! ```
+//! use ifot_mqtt::codec::{decode, encode};
+//! use ifot_mqtt::packet::{Packet, Publish};
+//! use ifot_mqtt::topic::TopicName;
+//!
+//! let packet = Packet::Publish(Publish::qos0(
+//!     TopicName::new("sensor/a")?,
+//!     vec![1, 2, 3],
+//! ));
+//! let bytes = encode(&packet);
+//! let (back, _) = decode(&bytes)?.expect("complete");
+//! assert_eq!(back, packet);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod broker;
+pub mod client;
+pub mod codec;
+pub mod error;
+pub mod net;
+pub mod packet;
+pub mod topic;
+pub mod tree;
+
+pub use broker::{Action, Broker, BrokerConfig};
+pub use client::{Client, ClientConfig, ClientEvent};
+pub use codec::{decode, encode, StreamDecoder};
+pub use error::{DecodeError, SessionError, TopicError};
+pub use net::{TcpBroker, TcpClient};
+pub use packet::{Packet, Publish, QoS};
+pub use topic::{TopicFilter, TopicName};

@@ -1,0 +1,498 @@
+//! Blocking TCP transport: run the sans-I/O broker and client over real
+//! sockets (std only, no async runtime).
+//!
+//! This is the deployment face of the substrate: [`TcpBroker`] serves
+//! MQTT on a socket address exactly like Mosquitto would, and
+//! [`TcpClient`] is a small blocking client. Internally both reuse the
+//! identical state machines the simulator exercises — the transport only
+//! moves bytes and timestamps.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::broker::{Action, Broker, BrokerConfig};
+use crate::client::{Client, ClientConfig, ClientEvent};
+use crate::codec::{encode, StreamDecoder};
+use crate::packet::{Publish, QoS};
+use crate::topic::{TopicFilter, TopicName};
+
+fn now_ns(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
+}
+
+struct Shared {
+    broker: Mutex<Broker<usize>>,
+    writers: Mutex<HashMap<usize, TcpStream>>,
+    epoch: Instant,
+    shutdown: AtomicBool,
+    next_conn: AtomicUsize,
+}
+
+impl Shared {
+    fn apply(&self, actions: Vec<Action<usize>>) {
+        let mut writers = self.writers.lock();
+        for action in actions {
+            match action {
+                Action::Send { conn, packet } => {
+                    if let Some(stream) = writers.get_mut(&conn) {
+                        let _ = stream.write_all(&encode(&packet));
+                    }
+                }
+                Action::Close { conn } => {
+                    if let Some(stream) = writers.remove(&conn) {
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A broker served over TCP on a background thread pool.
+///
+/// ```no_run
+/// use ifot_mqtt::net::TcpBroker;
+///
+/// let broker = TcpBroker::bind("127.0.0.1:1883")?;
+/// println!("serving MQTT on {}", broker.local_addr());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct TcpBroker {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    poll_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpBroker")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpBroker {
+    /// Binds and starts serving with the default broker configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<TcpBroker> {
+        TcpBroker::bind_with(addr, BrokerConfig::default())
+    }
+
+    /// Binds and starts serving with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        config: BrokerConfig,
+    ) -> std::io::Result<TcpBroker> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            broker: Mutex::new(Broker::with_config(config)),
+            writers: Mutex::new(HashMap::new()),
+            epoch: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicUsize::new(1),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("mqtt-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawning the accept thread succeeds");
+
+        let poll_shared = Arc::clone(&shared);
+        let poll_handle = std::thread::Builder::new()
+            .name("mqtt-poll".into())
+            .spawn(move || {
+                while !poll_shared.shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    let now = now_ns(poll_shared.epoch);
+                    let actions = poll_shared.broker.lock().poll(now);
+                    poll_shared.apply(actions);
+                }
+            })
+            .expect("spawning the poll thread succeeds");
+
+        Ok(TcpBroker {
+            shared,
+            local_addr,
+            accept_handle: Some(accept_handle),
+            poll_handle: Some(poll_handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the broker statistics.
+    pub fn stats(&self) -> crate::broker::BrokerStats {
+        self.shared.broker.lock().stats()
+    }
+
+    /// Stops serving and joins the background threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Close every live connection so reader threads exit.
+        {
+            let mut writers = self.shared.writers.lock();
+            for (_, stream) in writers.drain() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.poll_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpBroker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                let now = now_ns(shared.epoch);
+                if stream.set_read_timeout(Some(Duration::from_millis(100))).is_err() {
+                    continue;
+                }
+                if let Ok(writer) = stream.try_clone() {
+                    shared.writers.lock().insert(conn, writer);
+                    shared.broker.lock().connection_opened(conn, now);
+                    let conn_shared = Arc::clone(&shared);
+                    let _ = std::thread::Builder::new()
+                        .name(format!("mqtt-conn-{conn}"))
+                        .spawn(move || reader_loop(stream, conn, conn_shared));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, conn: usize, shared: Arc<Shared>) {
+    let mut decoder = StreamDecoder::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break, // peer closed
+            Ok(n) => {
+                decoder.feed(&buf[..n]);
+                loop {
+                    match decoder.next_packet() {
+                        Ok(Some(packet)) => {
+                            let now = now_ns(shared.epoch);
+                            let actions = shared.broker.lock().handle_packet(&conn, packet, now);
+                            shared.apply(actions);
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Broken stream: tear the connection down.
+                            let now = now_ns(shared.epoch);
+                            let actions = shared.broker.lock().connection_lost(&conn, now);
+                            shared.apply(actions);
+                            shared.writers.lock().remove(&conn);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    let now = now_ns(shared.epoch);
+    let actions = shared.broker.lock().connection_lost(&conn, now);
+    shared.apply(actions);
+    shared.writers.lock().remove(&conn);
+}
+
+/// A small blocking MQTT client over TCP.
+///
+/// Drives the sans-I/O [`Client`] session: connects synchronously, then
+/// exposes publish/subscribe plus a polling receive. A background call to
+/// [`TcpClient::drive`] (or any receive) pumps retransmissions.
+pub struct TcpClient {
+    stream: TcpStream,
+    session: Client,
+    decoder: StreamDecoder,
+    epoch: Instant,
+    inbox: Vec<Publish>,
+}
+
+impl std::fmt::Debug for TcpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClient")
+            .field("id", &self.session.id())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpClient {
+    /// Connects to a broker and completes the MQTT session handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` for socket failures, a refused session, or
+    /// a handshake timeout (2 s).
+    pub fn connect(addr: impl ToSocketAddrs, client_id: &str) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        stream.set_nodelay(true)?;
+        let mut this = TcpClient {
+            stream,
+            session: Client::new(client_id, ClientConfig::default()),
+            decoder: StreamDecoder::new(),
+            epoch: Instant::now(),
+            inbox: Vec::new(),
+        };
+        let connect = this
+            .session
+            .connect()
+            .expect("fresh session can always connect");
+        this.stream.write_all(&encode(&connect))?;
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while this.session.state() != crate::client::ClientState::Connected {
+            if Instant::now() > deadline {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "mqtt session handshake timed out",
+                ));
+            }
+            this.drive()?;
+        }
+        Ok(this)
+    }
+
+    fn now(&self) -> u64 {
+        now_ns(self.epoch)
+    }
+
+    /// Pumps the socket once: reads available bytes, handles packets,
+    /// sends acknowledgements and retransmissions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and protocol violations.
+    pub fn drive(&mut self) -> std::io::Result<()> {
+        let mut buf = [0u8; 4096];
+        match self.stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::ConnectionReset,
+                    "broker closed the connection",
+                ))
+            }
+            Ok(n) => self.decoder.feed(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+        loop {
+            match self.decoder.next_packet() {
+                Ok(Some(packet)) => {
+                    let now = self.now();
+                    let (events, out) = self
+                        .session
+                        .handle_packet(packet, now)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+                    for event in events {
+                        if let ClientEvent::Message(p) = event {
+                            self.inbox.push(p);
+                        }
+                    }
+                    for p in out {
+                        self.stream.write_all(&encode(&p))?;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string()))
+                }
+            }
+        }
+        let now = self.now();
+        for p in self.session.poll(now) {
+            self.stream.write_all(&encode(&p))?;
+        }
+        Ok(())
+    }
+
+    /// Publishes a message.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; `InvalidInput` for session misuse.
+    pub fn publish(
+        &mut self,
+        topic: &str,
+        payload: Vec<u8>,
+        qos: QoS,
+        retain: bool,
+    ) -> std::io::Result<()> {
+        let topic = TopicName::new(topic)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+        let now = self.now();
+        let packet = self
+            .session
+            .publish(topic, payload, qos, retain, now)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+        self.stream.write_all(&encode(&packet))
+    }
+
+    /// Subscribes to a filter and waits for the SUBACK (2 s timeout).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; `InvalidInput` for a bad filter;
+    /// `TimedOut` when no SUBACK arrives.
+    pub fn subscribe(&mut self, filter: &str, qos: QoS) -> std::io::Result<()> {
+        let filter = TopicFilter::new(filter)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+        let now = self.now();
+        let packet = self
+            .session
+            .subscribe(vec![(filter.clone(), qos)], now)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+        self.stream.write_all(&encode(&packet))?;
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !self.session.subscriptions().contains(&filter) {
+            if Instant::now() > deadline {
+                return Err(std::io::Error::new(ErrorKind::TimedOut, "no suback"));
+            }
+            self.drive()?;
+        }
+        Ok(())
+    }
+
+    /// Receives the next message, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (timeouts return `Ok(None)`).
+    pub fn recv(&mut self, timeout: Duration) -> std::io::Result<Option<Publish>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if !self.inbox.is_empty() {
+                return Ok(Some(self.inbox.remove(0)));
+            }
+            if Instant::now() > deadline {
+                return Ok(None);
+            }
+            self.drive()?;
+        }
+    }
+
+    /// Sends DISCONNECT and closes the socket.
+    pub fn disconnect(mut self) {
+        let packet = self.session.disconnect();
+        let _ = self.stream.write_all(&encode(&packet));
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_round_trip_qos0_and_retained() {
+        let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
+        let addr = broker.local_addr();
+
+        let mut publisher = TcpClient::connect(addr, "pub").expect("connect");
+        publisher
+            .publish("conf/x", b"retained-v1".to_vec(), QoS::AtMostOnce, true)
+            .expect("publish retained");
+
+        let mut subscriber = TcpClient::connect(addr, "sub").expect("connect");
+        subscriber
+            .subscribe("conf/#", QoS::AtMostOnce)
+            .expect("subscribe");
+        // Retained message arrives on subscribe.
+        let retained = subscriber
+            .recv(Duration::from_secs(2))
+            .expect("recv ok")
+            .expect("retained message");
+        assert_eq!(retained.payload, b"retained-v1");
+        assert!(retained.retain);
+
+        // Live publish flows through.
+        publisher
+            .publish("conf/y", b"live".to_vec(), QoS::AtMostOnce, false)
+            .expect("publish");
+        let live = subscriber
+            .recv(Duration::from_secs(2))
+            .expect("recv ok")
+            .expect("live message");
+        assert_eq!(live.payload, b"live");
+        assert_eq!(broker.stats().clients_connected, 2);
+
+        publisher.disconnect();
+        subscriber.disconnect();
+        broker.shutdown();
+    }
+
+    #[test]
+    fn tcp_qos2_exactly_once() {
+        let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
+        let addr = broker.local_addr();
+        let mut subscriber = TcpClient::connect(addr, "sub2").expect("connect");
+        subscriber
+            .subscribe("q2/#", QoS::ExactlyOnce)
+            .expect("subscribe");
+        let mut publisher = TcpClient::connect(addr, "pub2").expect("connect");
+        for i in 0..5u8 {
+            publisher
+                .publish("q2/t", vec![i], QoS::ExactlyOnce, false)
+                .expect("publish");
+        }
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got.len() < 5 && Instant::now() < deadline {
+            publisher.drive().expect("pump publisher");
+            if let Some(p) = subscriber.recv(Duration::from_millis(100)).expect("recv") {
+                got.push(p.payload[0]);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        publisher.disconnect();
+        subscriber.disconnect();
+        broker.shutdown();
+    }
+}

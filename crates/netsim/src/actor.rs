@@ -1,0 +1,187 @@
+//! Actors: the unit of simulated computation.
+//!
+//! Each simulated node hosts exactly one [`Actor`] — in the IFoT stack this
+//! is the middleware node runtime, which internally multiplexes its classes
+//! (sensor, publish, broker, subscribe, learning, …). The actor reacts to
+//! packets and timers through a [`Context`] that records CPU work and defers
+//! outgoing effects to the handler's completion instant, which is how CPU
+//! queueing delay propagates into downstream latency.
+
+use core::any::Any;
+use core::fmt;
+
+use crate::cpu::Work;
+use crate::metrics::Metrics;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a simulated node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index of the node within the simulation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index. Only meaningful for indices below
+    /// the owning simulation's node count.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// A datagram travelling between nodes.
+///
+/// `port` multiplexes protocols on a node (e.g. 1883 for MQTT, 7000 for the
+/// management plane); `payload` is opaque bytes — the MQTT substrate speaks
+/// its real wire format over this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Protocol multiplexing port.
+    pub port: u16,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Behaviour of a simulated node. See the [module docs](self).
+///
+/// All methods default to no-ops so simple actors implement only what they
+/// need. The `Any` supertrait allows the harness to downcast and inspect
+/// actor state after a run.
+pub trait Actor: Any {
+    /// Invoked once at simulation start (time zero, in node-creation order).
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when a packet addressed to this node arrives.
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let _ = (ctx, packet);
+    }
+
+    /// Invoked when a timer previously set by this node fires; `tag` is the
+    /// caller-chosen discriminator.
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+}
+
+/// Effects accumulated while a handler runs; applied by the simulator at
+/// the handler's completion instant.
+#[derive(Debug, Default)]
+pub(crate) struct Effects {
+    pub(crate) work: Work,
+    pub(crate) sends: Vec<(NodeId, u16, Vec<u8>)>,
+    pub(crate) timers_rel: Vec<(SimDuration, u64)>,
+    pub(crate) timers_abs: Vec<(SimTime, u64)>,
+    pub(crate) latencies: Vec<(String, SimTime)>,
+}
+
+/// Handler-side view of the simulation.
+///
+/// # Timing semantics
+///
+/// [`Context::now`] returns the *arrival* time of the event being handled —
+/// the nominal instant the packet landed or the timer fired. CPU work
+/// declared via [`Context::consume`] pushes the handler's *completion*
+/// later (possibly much later if the node is backlogged). Sends and
+/// relative timers take effect at completion; latency recordings via
+/// [`Context::record_latency_since`] measure up to completion. This makes
+/// CPU queueing visible end-to-end without actors having to know their own
+/// completion time.
+pub struct Context<'a> {
+    pub(crate) node: NodeId,
+    pub(crate) arrival: SimTime,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) names: &'a [String],
+    pub(crate) effects: Effects,
+}
+
+impl<'a> Context<'a> {
+    /// The node this handler runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Arrival time of the event being handled (see type docs for the
+    /// distinction from completion time).
+    pub fn now(&self) -> SimTime {
+        self.arrival
+    }
+
+    /// Declares that the handler performs `work`; accumulates.
+    pub fn consume(&mut self, work: Work) {
+        self.effects.work += work;
+    }
+
+    /// Queues a packet to `dst`; it departs onto the medium at this
+    /// handler's completion instant.
+    pub fn send(&mut self, dst: NodeId, port: u16, payload: Vec<u8>) {
+        self.effects.sends.push((dst, port, payload));
+    }
+
+    /// Arms a timer firing `delay` after this handler's completion.
+    pub fn set_timer_after(&mut self, delay: SimDuration, tag: u64) {
+        self.effects.timers_rel.push((delay, tag));
+    }
+
+    /// Arms a timer at an absolute instant. If the instant is not after the
+    /// handler's completion, the timer fires at completion — absolute timers
+    /// cannot travel into the past.
+    pub fn set_timer_at(&mut self, at: SimTime, tag: u64) {
+        self.effects.timers_abs.push((at, tag));
+    }
+
+    /// Records `completion - t0` into the latency series `name` once this
+    /// handler completes.
+    pub fn record_latency_since(&mut self, name: &str, t0: SimTime) {
+        self.effects.latencies.push((name.to_owned(), t0));
+    }
+
+    /// Mutable access to the global metrics hub (counters take effect
+    /// immediately).
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+
+    /// The simulation's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Resolves a node name registered at
+    /// [`crate::sim::Simulation::add_node`] to its id.
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+}
+
+impl fmt::Debug for Context<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("node", &self.node)
+            .field("arrival", &self.arrival)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,313 @@
+//! CPU execution model for simulated nodes.
+//!
+//! Every event handler on a node declares how much *work* it performs.
+//! Work is expressed in milliseconds on a reference machine (defined as the
+//! paper's Raspberry Pi 2), and each node's [`CpuProfile`] scales it by a
+//! speed factor. A node executes at most `cores` handlers concurrently;
+//! excess events queue FIFO. This queueing is exactly the mechanism that
+//! produces the paper's latency knee between 20 and 40 Hz.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Static description of a node's compute capability.
+///
+/// `speed` is relative to the reference machine (Raspberry Pi 2, ARM
+/// Cortex-A7 @ 900 MHz): `speed == 1.0` means work units elapse 1:1,
+/// `speed == 4.0` means the node is four times faster.
+///
+/// ```
+/// use ifot_netsim::cpu::CpuProfile;
+///
+/// let pi = CpuProfile::RASPBERRY_PI_2;
+/// assert_eq!(pi.speed(), 1.0);
+/// assert!(CpuProfile::THINKPAD_X250.speed() > pi.speed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuProfile {
+    name: &'static str,
+    speed: f64,
+    cores: u32,
+}
+
+impl CpuProfile {
+    /// The paper's neuron module: Raspberry Pi 2, ARM Cortex-A7 900 MHz,
+    /// 1 GB RAM (Table I). This is the reference machine: speed 1.0.
+    ///
+    /// The middleware prototype pins its pipeline stages to single threads,
+    /// so the model exposes one effective core even though the Pi 2 has
+    /// four; per-stage handling is serialized exactly as in the prototype.
+    pub const RASPBERRY_PI_2: CpuProfile = CpuProfile {
+        name: "raspberry-pi-2",
+        speed: 1.0,
+        cores: 1,
+    };
+
+    /// The paper's management node: ThinkPad x250, Core i5-5200U 2.2 GHz,
+    /// 8 GB RAM (Table I). Roughly an order of magnitude faster per core
+    /// than the Cortex-A7 for the scalar workloads involved.
+    pub const THINKPAD_X250: CpuProfile = CpuProfile {
+        name: "thinkpad-x250",
+        speed: 8.0,
+        cores: 2,
+    };
+
+    /// A generic cloud server profile, used by the Fig. 1 style
+    /// cloud-vs-local comparison.
+    pub const CLOUD_SERVER: CpuProfile = CpuProfile {
+        name: "cloud-server",
+        speed: 16.0,
+        cores: 8,
+    };
+
+    /// Creates a custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not strictly positive and finite, or if
+    /// `cores == 0`.
+    pub fn new(name: &'static str, speed: f64, cores: u32) -> Self {
+        assert!(speed.is_finite() && speed > 0.0, "cpu speed must be positive, got {speed}");
+        assert!(cores > 0, "a cpu needs at least one core");
+        CpuProfile { name, speed, cores }
+    }
+
+    /// Human-readable profile name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Speed factor relative to the reference machine.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Number of cores executing handlers concurrently.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Wall-clock (virtual) time this profile needs for `work`.
+    pub fn execution_time(&self, work: Work) -> SimDuration {
+        SimDuration::from_nanos((work.as_ref_nanos() as f64 / self.speed).round() as u64)
+    }
+}
+
+/// An amount of computation, measured in time on the reference machine.
+///
+/// ```
+/// use ifot_netsim::cpu::Work;
+///
+/// let w = Work::from_ref_millis(2.0) + Work::from_ref_micros(500.0);
+/// assert_eq!(w.as_ref_nanos(), 2_500_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Work(u64);
+
+impl Work {
+    /// No computation.
+    pub const ZERO: Work = Work(0);
+
+    /// Work taking `ms` milliseconds on the reference machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_ref_millis(ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "work must be non-negative, got {ms}");
+        Work((ms * 1.0e6).round() as u64)
+    }
+
+    /// Work taking `us` microseconds on the reference machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    pub fn from_ref_micros(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "work must be non-negative, got {us}");
+        Work((us * 1.0e3).round() as u64)
+    }
+
+    /// Reference-machine nanoseconds.
+    pub fn as_ref_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Reference-machine milliseconds.
+    pub fn as_ref_millis(&self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+}
+
+impl core::ops::Add for Work {
+    type Output = Work;
+    fn add(self, rhs: Work) -> Work {
+        Work(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl core::ops::AddAssign for Work {
+    fn add_assign(&mut self, rhs: Work) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+/// Runtime execution state of one node's CPU: when each core becomes free.
+///
+/// Scheduling an event that arrives at `arrival` with cost `work` proceeds:
+/// the earliest-free core is chosen, execution starts at
+/// `max(arrival, core_free)`, runs for `profile.execution_time(work)`, and
+/// the completion instant is returned. This conserves work and keeps
+/// handling FIFO per node (ties broken by core index).
+#[derive(Debug, Clone)]
+pub struct CpuState {
+    profile: CpuProfile,
+    core_free_at: Vec<SimTime>,
+    busy_accum: SimDuration,
+}
+
+impl CpuState {
+    /// Creates an idle CPU with the given profile.
+    pub fn new(profile: CpuProfile) -> Self {
+        CpuState {
+            profile,
+            core_free_at: vec![SimTime::ZERO; profile.cores() as usize],
+            busy_accum: SimDuration::ZERO,
+        }
+    }
+
+    /// The node's static profile.
+    pub fn profile(&self) -> CpuProfile {
+        self.profile
+    }
+
+    /// Schedules `work` arriving at `arrival`; returns `(start, completion)`.
+    pub fn schedule(&mut self, arrival: SimTime, work: Work) -> (SimTime, SimTime) {
+        let (idx, &free) = self
+            .core_free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("cpu has at least one core");
+        let start = if arrival > free { arrival } else { free };
+        let dur = self.profile.execution_time(work);
+        let completion = start + dur;
+        self.core_free_at[idx] = completion;
+        self.busy_accum += dur;
+        (start, completion)
+    }
+
+    /// The earliest instant at which some core is free.
+    pub fn earliest_free(&self) -> SimTime {
+        *self
+            .core_free_at
+            .iter()
+            .min()
+            .expect("cpu has at least one core")
+    }
+
+    /// Total busy time accumulated across cores (for utilization reports).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_accum
+    }
+
+    /// Utilization in `[0, 1]` over the horizon `now` (1.0 = all cores busy
+    /// the whole time). Returns 0 when `now` is the simulation start.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let horizon = now.as_nanos() as f64 * self.core_free_at.len() as f64;
+        if horizon == 0.0 {
+            0.0
+        } else {
+            (self.busy_accum.as_nanos() as f64 / horizon).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn idle_cpu_starts_immediately() {
+        let mut cpu = CpuState::new(CpuProfile::RASPBERRY_PI_2);
+        let (start, done) = cpu.schedule(t(10), Work::from_ref_millis(5.0));
+        assert_eq!(start, t(10));
+        assert_eq!(done, t(15));
+    }
+
+    #[test]
+    fn busy_single_core_queues_fifo() {
+        let mut cpu = CpuState::new(CpuProfile::RASPBERRY_PI_2);
+        let (_, d1) = cpu.schedule(t(0), Work::from_ref_millis(10.0));
+        assert_eq!(d1, t(10));
+        // Arrives while busy: starts when the core frees.
+        let (s2, d2) = cpu.schedule(t(1), Work::from_ref_millis(10.0));
+        assert_eq!(s2, t(10));
+        assert_eq!(d2, t(20));
+    }
+
+    #[test]
+    fn faster_profile_shortens_execution() {
+        let mut slow = CpuState::new(CpuProfile::RASPBERRY_PI_2);
+        let mut fast = CpuState::new(CpuProfile::new("fast", 4.0, 1));
+        let (_, d_slow) = slow.schedule(t(0), Work::from_ref_millis(8.0));
+        let (_, d_fast) = fast.schedule(t(0), Work::from_ref_millis(8.0));
+        assert_eq!(d_slow, t(8));
+        assert_eq!(d_fast, t(2));
+    }
+
+    #[test]
+    fn multicore_runs_in_parallel() {
+        let mut cpu = CpuState::new(CpuProfile::new("dual", 1.0, 2));
+        let (_, d1) = cpu.schedule(t(0), Work::from_ref_millis(10.0));
+        let (s2, d2) = cpu.schedule(t(0), Work::from_ref_millis(10.0));
+        assert_eq!(d1, t(10));
+        assert_eq!(s2, t(0));
+        assert_eq!(d2, t(10));
+        // Third job queues behind whichever core frees first.
+        let (s3, _) = cpu.schedule(t(0), Work::from_ref_millis(1.0));
+        assert_eq!(s3, t(10));
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let mut cpu = CpuState::new(CpuProfile::RASPBERRY_PI_2);
+        for _ in 0..10 {
+            cpu.schedule(t(0), Work::from_ref_millis(3.0));
+        }
+        assert_eq!(cpu.busy_time().as_millis(), 30);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut cpu = CpuState::new(CpuProfile::RASPBERRY_PI_2);
+        assert_eq!(cpu.utilization(SimTime::ZERO), 0.0);
+        cpu.schedule(t(0), Work::from_ref_millis(50.0));
+        let u = cpu.utilization(t(100));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+        assert!(cpu.utilization(t(10)) <= 1.0);
+    }
+
+    #[test]
+    fn zero_work_completes_instantly() {
+        let mut cpu = CpuState::new(CpuProfile::RASPBERRY_PI_2);
+        let (s, d) = cpu.schedule(t(5), Work::ZERO);
+        assert_eq!(s, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = CpuProfile::new("broken", 1.0, 0);
+    }
+
+    #[test]
+    fn work_arithmetic() {
+        let mut w = Work::from_ref_millis(1.0);
+        w += Work::from_ref_micros(250.0);
+        assert_eq!(w.as_ref_millis(), 1.25);
+    }
+}

@@ -1,0 +1,749 @@
+//! The discrete-event simulation engine.
+//!
+//! Events (packet deliveries, timers, node starts) are processed in
+//! non-decreasing time order with a monotone sequence number breaking ties,
+//! which — together with the single seeded RNG — makes every run
+//! bit-for-bit reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::actor::{Actor, Context, Effects, NodeId, Packet};
+use crate::cpu::{CpuProfile, CpuState};
+use crate::metrics::Metrics;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEntry};
+use crate::wlan::{TxOutcome, WlanConfig, WlanState};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    Start,
+    Timer { tag: u64 },
+    Deliver { packet: Packet },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event simulation of nodes on one wireless LAN.
+///
+/// ```
+/// use ifot_netsim::prelude::*;
+///
+/// struct Ping { peer: Option<NodeId> }
+/// struct Pong;
+///
+/// impl Actor for Ping {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) {
+///         self.peer = ctx.lookup("pong");
+///         let peer = self.peer.expect("pong exists");
+///         ctx.send(peer, 7, b"ping".to_vec());
+///     }
+///     fn on_packet(&mut self, ctx: &mut Context<'_>, _packet: Packet) {
+///         ctx.metrics().incr("pongs");
+///     }
+/// }
+/// impl Actor for Pong {
+///     fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+///         ctx.send(packet.src, 7, b"pong".to_vec());
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(1);
+/// sim.add_node("ping", CpuProfile::RASPBERRY_PI_2, Box::new(Ping { peer: None }));
+/// sim.add_node("pong", CpuProfile::RASPBERRY_PI_2, Box::new(Pong));
+/// sim.run_for(SimDuration::from_secs(1));
+/// assert_eq!(sim.metrics().counter("pongs"), 1);
+/// ```
+pub struct Simulation {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    rng: SimRng,
+    wlan: WlanState,
+    metrics: Metrics,
+    names: Vec<String>,
+    cpus: Vec<CpuState>,
+    up: Vec<bool>,
+    blocked_links: std::collections::BTreeSet<(NodeId, NodeId)>,
+    backlog_limits: Vec<Option<SimDuration>>,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    trace: Option<Trace>,
+    processed: u64,
+}
+
+impl Simulation {
+    /// Creates a simulation with the default (paper testbed) WLAN.
+    pub fn new(seed: u64) -> Self {
+        Simulation::with_wlan(WlanConfig::default(), seed)
+    }
+
+    /// Creates a simulation with an explicit WLAN configuration.
+    pub fn with_wlan(config: WlanConfig, seed: u64) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng: SimRng::seed_from(seed),
+            wlan: WlanState::new(config),
+            metrics: Metrics::new(),
+            names: Vec::new(),
+            cpus: Vec::new(),
+            up: Vec::new(),
+            blocked_links: std::collections::BTreeSet::new(),
+            backlog_limits: Vec::new(),
+            actors: Vec::new(),
+            trace: None,
+            processed: 0,
+        }
+    }
+
+    /// Registers a node and schedules its `on_start` at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn add_node(&mut self, name: &str, profile: CpuProfile, actor: Box<dyn Actor>) -> NodeId {
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate node name {name:?}"
+        );
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.cpus.push(CpuState::new(profile));
+        self.up.push(true);
+        self.backlog_limits.push(None);
+        self.actors.push(Some(actor));
+        self.push_event(SimTime::ZERO, id, EventKind::Start);
+        id
+    }
+
+    /// Resolves a node name to its id.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The metrics hub.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access, e.g. for harness-side annotations.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Channel state (utilization, loss counters).
+    pub fn wlan(&self) -> &WlanState {
+        &self.wlan
+    }
+
+    /// CPU state of a node (for utilization reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this simulation.
+    pub fn cpu(&self, id: NodeId) -> &CpuState {
+        &self.cpus[id.index()]
+    }
+
+    /// Blocks or unblocks the directed link from `src` to `dst`: blocked
+    /// packets are silently dropped at send time (counted under
+    /// `link_blocked_drops`). Block both directions to model a network
+    /// partition between two stations that still share the medium.
+    pub fn set_link_blocked(&mut self, src: NodeId, dst: NodeId, blocked: bool) {
+        if blocked {
+            self.blocked_links.insert((src, dst));
+        } else {
+            self.blocked_links.remove(&(src, dst));
+        }
+    }
+
+    /// Convenience: blocks (or heals) both directions between two nodes.
+    pub fn set_partitioned(&mut self, a: NodeId, b: NodeId, partitioned: bool) {
+        self.set_link_blocked(a, b, partitioned);
+        self.set_link_blocked(b, a, partitioned);
+    }
+
+    /// Bounds a node's ingress backlog: a packet arriving while the
+    /// node's CPU is already busy more than `limit` into the future is
+    /// dropped (counted under the `backlog_dropped` metric). This models
+    /// the bounded socket/queue buffers of a real middleware stack —
+    /// without it, an overloaded node's delay grows without bound, which
+    /// no real deployment exhibits. Timers are exempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this simulation.
+    pub fn set_backlog_limit(&mut self, id: NodeId, limit: Option<SimDuration>) {
+        self.backlog_limits[id.index()] = limit;
+    }
+
+    /// Marks a node up or down. Events addressed to a down node are
+    /// silently dropped (packets vanish, timers are suppressed), modelling
+    /// a crash-stop failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this simulation.
+    pub fn set_node_up(&mut self, id: NodeId, up: bool) {
+        self.up[id.index()] = up;
+    }
+
+    /// Whether a node is currently up.
+    pub fn is_node_up(&self, id: NodeId) -> bool {
+        self.up.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Restarts a crashed node: marks it up and schedules a fresh
+    /// `on_start` at the current time. The actor keeps its in-memory
+    /// state (a warm restart); actors that need to re-arm timers or
+    /// re-establish sessions must handle repeated `on_start` calls.
+    ///
+    /// Calling this on a node that is still up would double its timer
+    /// chains; only use it after [`Simulation::set_node_up`]`(id, false)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this simulation, or if the node is
+    /// currently up.
+    pub fn restart_node(&mut self, id: NodeId) {
+        assert!(
+            !self.up[id.index()],
+            "restart_node on a running node would duplicate its timers"
+        );
+        self.up[id.index()] = true;
+        let now = self.now;
+        self.push_event(now, id, EventKind::Start);
+    }
+
+    /// Turns on event tracing (cleared of prior content).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::new());
+    }
+
+    /// Takes the recorded trace, leaving tracing enabled with a fresh one.
+    pub fn take_trace(&mut self) -> Trace {
+        self.trace.replace(Trace::new()).unwrap_or_default()
+    }
+
+    /// Immutable view of the actor on `id`, downcast to `T`.
+    ///
+    /// Returns `None` if the node does not exist or hosts a different type.
+    pub fn actor_as<T: Actor>(&self, id: NodeId) -> Option<&T> {
+        let boxed = self.actors.get(id.index())?.as_ref()?;
+        (boxed.as_ref() as &dyn core::any::Any).downcast_ref::<T>()
+    }
+
+    /// Mutable view of the actor on `id`, downcast to `T`.
+    pub fn actor_as_mut<T: Actor>(&mut self, id: NodeId) -> Option<&mut T> {
+        let boxed = self.actors.get_mut(id.index())?.as_mut()?;
+        (boxed.as_mut() as &mut dyn core::any::Any).downcast_mut::<T>()
+    }
+
+    /// Injects a packet from outside the simulation (e.g. a harness acting
+    /// as an external client); it is delivered through the medium.
+    pub fn inject_packet(&mut self, packet: Packet) {
+        let arrival = match self.wlan.transmit(self.now, packet.payload.len(), &mut self.rng) {
+            TxOutcome::Delivered(t) => t,
+            TxOutcome::Lost => return,
+        };
+        self.push_event(arrival, packet.dst, EventKind::Deliver { packet });
+    }
+
+    /// Runs until the event queue is empty or `limit` is reached; returns
+    /// the number of events processed. The clock ends at `min(limit, last
+    /// event time)`.
+    pub fn run_until(&mut self, limit: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.queue.peek().cloned() {
+            if ev.time > limit {
+                break;
+            }
+            self.queue.pop();
+            self.now = ev.time;
+            self.dispatch(ev);
+            n += 1;
+        }
+        if self.now < limit && limit != SimTime::MAX {
+            self.now = limit;
+        }
+        self.processed += n;
+        n
+    }
+
+    /// Runs for `d` of virtual time from the current clock.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let limit = self.now + d;
+        self.run_until(limit)
+    }
+
+    /// Runs until no events remain.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    fn push_event(&mut self, time: SimTime, node: NodeId, kind: EventKind) {
+        let ev = Event {
+            time,
+            seq: self.seq,
+            node,
+            kind,
+        };
+        self.seq += 1;
+        self.queue.push(Reverse(ev));
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        if !self.up[ev.node.index()] {
+            return;
+        }
+        if let (EventKind::Deliver { .. }, Some(limit)) =
+            (&ev.kind, self.backlog_limits[ev.node.index()])
+        {
+            let free_at = self.cpus[ev.node.index()].earliest_free();
+            if free_at > ev.time + limit {
+                self.metrics.incr("backlog_dropped");
+                return;
+            }
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            let kind = match &ev.kind {
+                EventKind::Start => "start".to_owned(),
+                EventKind::Timer { tag } => format!("timer({tag})"),
+                EventKind::Deliver { packet } => {
+                    format!("packet({}, {}B)", packet.port, packet.payload.len())
+                }
+            };
+            trace.push(TraceEntry {
+                time: ev.time,
+                node: ev.node,
+                kind,
+            });
+        }
+
+        // Take the actor out so the context can borrow the rest of the world.
+        let mut actor = self.actors[ev.node.index()]
+            .take()
+            .expect("actor present unless re-entrant dispatch");
+        let mut ctx = Context {
+            node: ev.node,
+            arrival: ev.time,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            names: &self.names,
+            effects: Effects::default(),
+        };
+        match &ev.kind {
+            EventKind::Start => actor.on_start(&mut ctx),
+            EventKind::Timer { tag } => actor.on_timer(&mut ctx, *tag),
+            EventKind::Deliver { packet } => actor.on_packet(&mut ctx, packet.clone()),
+        }
+        let effects = ctx.effects;
+        self.actors[ev.node.index()] = Some(actor);
+
+        // CPU accounting: the handler occupies the node for its declared
+        // work; all effects materialize at the completion instant.
+        let (_start, completion) = self.cpus[ev.node.index()].schedule(ev.time, effects.work);
+
+        for (name, t0) in effects.latencies {
+            self.metrics
+                .record_latency(&name, completion.saturating_since(t0));
+        }
+        for (delay, tag) in effects.timers_rel {
+            self.push_event(completion + delay, ev.node, EventKind::Timer { tag });
+        }
+        for (at, tag) in effects.timers_abs {
+            let fire = if at > completion { at } else { completion };
+            self.push_event(fire, ev.node, EventKind::Timer { tag });
+        }
+        for (dst, port, payload) in effects.sends {
+            debug_assert!(
+                dst.index() < self.names.len(),
+                "send to unknown node {dst}"
+            );
+            if self.blocked_links.contains(&(ev.node, dst)) {
+                self.metrics.incr("link_blocked_drops");
+                continue;
+            }
+            let arrival = match self.wlan.transmit(completion, payload.len(), &mut self.rng) {
+                TxOutcome::Delivered(t) => t,
+                TxOutcome::Lost => continue,
+            };
+            let packet = Packet {
+                src: ev.node,
+                dst,
+                port,
+                payload,
+            };
+            self.push_event(arrival, dst, EventKind::Deliver { packet });
+        }
+    }
+}
+
+impl core::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("nodes", &self.names)
+            .field("pending_events", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Work;
+
+    /// Emits `count` packets to a peer at a fixed interval.
+    struct Emitter {
+        peer: &'static str,
+        interval: SimDuration,
+        count: u64,
+        sent: u64,
+    }
+
+    impl Actor for Emitter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer_after(self.interval, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+            if self.sent < self.count {
+                let peer = ctx.lookup(self.peer).expect("peer registered");
+                let t0 = ctx.now();
+                ctx.send(peer, 9, t0.as_nanos().to_be_bytes().to_vec());
+                self.sent += 1;
+                ctx.set_timer_after(self.interval, 0);
+            }
+        }
+    }
+
+    /// Counts received packets and records their one-way latency.
+    #[derive(Default)]
+    struct Sink {
+        received: u64,
+        work: Work,
+    }
+
+    impl Actor for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+            self.received += 1;
+            ctx.consume(self.work);
+            let nanos = u64::from_be_bytes(packet.payload[..8].try_into().expect("8-byte stamp"));
+            ctx.record_latency_since("oneway", SimTime::from_nanos(nanos));
+            ctx.metrics().incr("received");
+        }
+    }
+
+    fn ideal_sim(seed: u64) -> Simulation {
+        Simulation::with_wlan(WlanConfig::ideal(), seed)
+    }
+
+    #[test]
+    fn packets_flow_and_latency_is_recorded() {
+        let mut sim = ideal_sim(1);
+        sim.add_node(
+            "src",
+            CpuProfile::RASPBERRY_PI_2,
+            Box::new(Emitter {
+                peer: "dst",
+                interval: SimDuration::from_millis(10),
+                count: 5,
+                sent: 0,
+            }),
+        );
+        let dst = sim.add_node("dst", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+        sim.run_to_completion();
+        let sink: &Sink = sim.actor_as(dst).expect("sink present");
+        assert_eq!(sink.received, 5);
+        let sum = sim.metrics().latency_summary("oneway");
+        assert_eq!(sum.count, 5);
+        assert!(sum.mean_ms < 1.0, "ideal path is sub-millisecond, got {}", sum.mean_ms);
+    }
+
+    #[test]
+    fn cpu_backlog_inflates_latency() {
+        // Sink takes 30 ms per packet but packets arrive every 10 ms:
+        // the queue grows and so does the recorded latency.
+        let mut sim = ideal_sim(2);
+        sim.add_node(
+            "src",
+            CpuProfile::RASPBERRY_PI_2,
+            Box::new(Emitter {
+                peer: "dst",
+                interval: SimDuration::from_millis(10),
+                count: 10,
+                sent: 0,
+            }),
+        );
+        sim.add_node(
+            "dst",
+            CpuProfile::RASPBERRY_PI_2,
+            Box::new(Sink {
+                received: 0,
+                work: Work::from_ref_millis(30.0),
+            }),
+        );
+        sim.run_to_completion();
+        let sum = sim.metrics().latency_summary("oneway");
+        assert_eq!(sum.count, 10);
+        // Last packet waits behind nine 30 ms jobs that arrived 10 ms apart.
+        assert!(sum.max_ms > 150.0, "expected overload growth, got {}", sum.max_ms);
+        assert!(sum.max_ms > sum.mean_ms);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(seed);
+            sim.enable_trace();
+            sim.add_node(
+                "src",
+                CpuProfile::RASPBERRY_PI_2,
+                Box::new(Emitter {
+                    peer: "dst",
+                    interval: SimDuration::from_millis(7),
+                    count: 50,
+                    sent: 0,
+                }),
+            );
+            sim.add_node("dst", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+            sim.run_to_completion();
+            sim.take_trace().digest()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn down_node_drops_events() {
+        let mut sim = ideal_sim(3);
+        sim.add_node(
+            "src",
+            CpuProfile::RASPBERRY_PI_2,
+            Box::new(Emitter {
+                peer: "dst",
+                interval: SimDuration::from_millis(10),
+                count: 5,
+                sent: 0,
+            }),
+        );
+        let dst = sim.add_node("dst", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+        sim.set_node_up(dst, false);
+        sim.run_to_completion();
+        assert_eq!(sim.metrics().counter("received"), 0);
+        let sink: &Sink = sim.actor_as(dst).expect("sink present");
+        assert_eq!(sink.received, 0);
+    }
+
+    #[test]
+    fn run_until_respects_limit() {
+        let mut sim = ideal_sim(4);
+        sim.add_node(
+            "src",
+            CpuProfile::RASPBERRY_PI_2,
+            Box::new(Emitter {
+                peer: "dst",
+                interval: SimDuration::from_millis(10),
+                count: 100,
+                sent: 0,
+            }),
+        );
+        sim.add_node("dst", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+        sim.run_until(SimTime::from_millis(35));
+        assert_eq!(sim.now(), SimTime::from_millis(35));
+        let received = sim.metrics().counter("received");
+        assert!((2..=4).contains(&received), "received {received}");
+        // Continue to completion: everything arrives.
+        sim.run_to_completion();
+        assert_eq!(sim.metrics().counter("received"), 100);
+    }
+
+    #[test]
+    fn inject_packet_reaches_target() {
+        let mut sim = ideal_sim(5);
+        let dst = sim.add_node("dst", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+        sim.inject_packet(Packet {
+            src: dst,
+            dst,
+            port: 9,
+            payload: 0u64.to_be_bytes().to_vec(),
+        });
+        sim.run_to_completion();
+        assert_eq!(sim.metrics().counter("received"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_rejected() {
+        let mut sim = ideal_sim(6);
+        sim.add_node("a", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+        sim.add_node("a", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+    }
+
+    #[test]
+    fn actor_downcast_honours_type() {
+        let mut sim = ideal_sim(7);
+        let id = sim.add_node("dst", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+        assert!(sim.actor_as::<Sink>(id).is_some());
+        assert!(sim.actor_as::<Emitter>(id).is_none());
+        assert!(sim.actor_as_mut::<Sink>(id).is_some());
+    }
+
+    #[test]
+    fn backlog_limit_sheds_deliveries() {
+        let mut sim = ideal_sim(10);
+        sim.add_node(
+            "src",
+            CpuProfile::RASPBERRY_PI_2,
+            Box::new(Emitter {
+                peer: "dst",
+                interval: SimDuration::from_millis(10),
+                count: 50,
+                sent: 0,
+            }),
+        );
+        // 30 ms of work per 10 ms arrival: unbounded backlog would grow.
+        let dst = sim.add_node(
+            "dst",
+            CpuProfile::RASPBERRY_PI_2,
+            Box::new(Sink {
+                received: 0,
+                work: Work::from_ref_millis(30.0),
+            }),
+        );
+        sim.set_backlog_limit(dst, Some(SimDuration::from_millis(100)));
+        sim.run_to_completion();
+        let dropped = sim.metrics().counter("backlog_dropped");
+        assert!(dropped > 10, "expected shedding, dropped {dropped}");
+        // Delay is bounded near the limit plus one service time.
+        let sum = sim.metrics().latency_summary("oneway");
+        assert!(
+            sum.max_ms < 100.0 + 30.0 + 10.0,
+            "delay not bounded: {} ms",
+            sum.max_ms
+        );
+    }
+
+    #[test]
+    fn blocked_links_drop_only_that_direction() {
+        let mut sim = ideal_sim(11);
+        let src = sim.add_node(
+            "src",
+            CpuProfile::RASPBERRY_PI_2,
+            Box::new(Emitter {
+                peer: "dst",
+                interval: SimDuration::from_millis(10),
+                count: 10,
+                sent: 0,
+            }),
+        );
+        let dst = sim.add_node("dst", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+        sim.set_link_blocked(src, dst, true);
+        sim.run_to_completion();
+        assert_eq!(sim.metrics().counter("received"), 0);
+        assert_eq!(sim.metrics().counter("link_blocked_drops"), 10);
+        // Heal and emit again via a fresh emitter.
+        sim.set_link_blocked(src, dst, false);
+        sim.add_node(
+            "src2",
+            CpuProfile::RASPBERRY_PI_2,
+            Box::new(Emitter {
+                peer: "dst",
+                interval: SimDuration::from_millis(10),
+                count: 3,
+                sent: 0,
+            }),
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.metrics().counter("received"), 3);
+    }
+
+    #[test]
+    fn restart_reschedules_start() {
+        let mut sim = ideal_sim(12);
+        let src = sim.add_node(
+            "src",
+            CpuProfile::RASPBERRY_PI_2,
+            Box::new(Emitter {
+                peer: "dst",
+                interval: SimDuration::from_millis(10),
+                count: 1000,
+                sent: 0,
+            }),
+        );
+        sim.add_node("dst", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+        sim.run_until(SimTime::from_millis(55));
+        let before = sim.metrics().counter("received");
+        sim.set_node_up(src, false);
+        sim.run_until(SimTime::from_millis(200));
+        assert_eq!(sim.metrics().counter("received"), before, "down node is silent");
+        sim.restart_node(src);
+        sim.run_until(SimTime::from_millis(300));
+        assert!(
+            sim.metrics().counter("received") > before,
+            "restart must resume the emitter (on_start re-arms its timer)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "restart_node on a running node")]
+    fn restart_of_running_node_is_rejected() {
+        let mut sim = ideal_sim(13);
+        let id = sim.add_node("a", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+        sim.restart_node(id);
+    }
+
+    #[test]
+    fn node_lookup_roundtrip() {
+        let mut sim = ideal_sim(8);
+        let a = sim.add_node("alpha", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+        assert_eq!(sim.node_id("alpha"), Some(a));
+        assert_eq!(sim.node_name(a), Some("alpha"));
+        assert_eq!(sim.node_id("missing"), None);
+        assert_eq!(sim.node_count(), 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Virtual time primitives.
+//!
+//! The simulator keeps its own clock, independent of the wall clock, so that
+//! every run is deterministic and can be replayed bit-for-bit. Time is stored
+//! as unsigned nanoseconds since simulation start.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// `SimTime` is ordered, cheap to copy, and saturates at the representable
+/// maximum instead of overflowing.
+///
+/// ```
+/// use ifot_netsim::time::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(5);
+/// assert_eq!(t.as_micros(), 5_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// ```
+/// use ifot_netsim::time::SimDuration;
+///
+/// let d = SimDuration::from_micros(1_500);
+/// assert_eq!(d.as_millis_f64(), 1.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant from raw nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Builds an instant from microseconds since simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros.saturating_mul(1_000))
+    }
+
+    /// Builds an instant from milliseconds since simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis.saturating_mul(1_000_000))
+    }
+
+    /// Builds an instant from whole seconds since simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs.saturating_mul(1_000_000_000))
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since simulation start (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since simulation start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Milliseconds since simulation start as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Seconds since simulation start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            earlier <= self,
+            "SimTime::since called with a later instant ({earlier:?} > {self:?})"
+        );
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The greatest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Builds a duration from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Builds a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros.saturating_mul(1_000))
+    }
+
+    /// Builds a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis.saturating_mul(1_000_000))
+    }
+
+    /// Builds a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs.saturating_mul(1_000_000_000))
+    }
+
+    /// Builds a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration seconds must be finite and non-negative, got {secs}"
+        );
+        SimDuration((secs * 1.0e9).round() as u64)
+    }
+
+    /// Builds a duration from fractional milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis` is negative or not finite.
+    pub fn from_millis_f64(millis: f64) -> Self {
+        assert!(
+            millis.is_finite() && millis >= 0.0,
+            "duration milliseconds must be finite and non-negative, got {millis}"
+        );
+        SimDuration((millis * 1.0e6).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Milliseconds as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// Saturating duration addition.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies the duration by an integer factor, saturating.
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Scales the duration by a non-negative float factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "duration scale factor must be finite and non-negative, got {factor}"
+        );
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimDuration::from_millis(1).as_micros(), 1_000);
+        assert_eq!(SimDuration::from_secs(1).as_millis(), 1_000);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t.as_millis(), 15);
+        let d = t - SimTime::from_millis(5);
+        assert_eq!(d.as_millis(), 10);
+    }
+
+    #[test]
+    fn saturating_subtraction_clamps_to_zero() {
+        let early = SimTime::from_millis(1);
+        let late = SimTime::from_millis(9);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early).as_millis(), 8);
+    }
+
+    #[test]
+    fn float_constructors_round() {
+        assert_eq!(SimDuration::from_secs_f64(0.001).as_millis(), 1);
+        assert_eq!(SimDuration::from_millis_f64(2.5).as_micros(), 2_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let d = SimDuration::from_millis(10).mul_f64(2.5);
+        assert_eq!(d.as_millis(), 25);
+        assert_eq!(SimDuration::from_millis(10).saturating_mul(3).as_millis(), 30);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert!(!format!("{}", SimTime::from_millis(1)).is_empty());
+        assert!(!format!("{:?}", SimDuration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn add_assign_advances_clock() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_secs(1);
+        assert_eq!(t.as_secs_f64(), 1.0);
+        let mut d = SimDuration::from_millis(1);
+        d += SimDuration::from_millis(2);
+        assert_eq!(d.as_millis(), 3);
+    }
+
+    #[test]
+    fn time_saturates_at_max() {
+        let t = SimTime::MAX + SimDuration::from_secs(1);
+        assert_eq!(t, SimTime::MAX);
+    }
+}

@@ -1,0 +1,110 @@
+//! Event tracing for determinism checks and debugging.
+
+use core::fmt;
+
+use crate::actor::NodeId;
+use crate::time::SimTime;
+
+/// One processed simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Event arrival time.
+    pub time: SimTime,
+    /// Node the event targeted.
+    pub node: NodeId,
+    /// Event kind label, e.g. `start`, `timer(3)`, `packet(1883, 42B)`.
+    pub kind: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.time, self.node, self.kind)
+    }
+}
+
+/// A recorded event sequence; comparable across runs to assert determinism.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The recorded entries in processing order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A short stable digest of the trace (FNV-1a over the rendered
+    /// entries), handy for cross-run determinism assertions.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for e in &self.entries {
+            for b in format!("{e}").bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ms: u64, node: u32, kind: &str) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::from_millis(ms),
+            node: NodeId(node),
+            kind: kind.to_owned(),
+        }
+    }
+
+    #[test]
+    fn equal_traces_have_equal_digests() {
+        let mut a = Trace::new();
+        let mut b = Trace::new();
+        for t in [entry(1, 0, "start"), entry(2, 1, "timer(7)")] {
+            a.push(t.clone());
+            b.push(t);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn different_traces_have_different_digests() {
+        let mut a = Trace::new();
+        a.push(entry(1, 0, "start"));
+        let mut b = Trace::new();
+        b.push(entry(1, 1, "start"));
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = entry(3, 2, "packet(1883, 10B)");
+        assert!(format!("{e}").contains("node#2"));
+        assert!(Trace::new().is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Shared-medium wireless LAN model.
+//!
+//! The paper's testbed (Fig. 7) connects six Raspberry Pi modules and one
+//! management laptop to a single wireless LAN. The model captures the three
+//! properties of that medium which shape the measured latency:
+//!
+//! 1. **Serialized airtime** — only one frame occupies the channel at a
+//!    time; per-frame airtime is MAC/PHY overhead plus payload bits over the
+//!    effective bitrate. Under load this queues frames (contention).
+//! 2. **Heavy-tailed jitter** — Wi-Fi occasionally stalls for tens to
+//!    hundreds of milliseconds (retransmissions, co-channel interference).
+//!    This is what makes the paper's *maximum* delays (~350 ms at 5 Hz) far
+//!    exceed the averages (~59 ms). Modelled as a Pareto spike with small
+//!    probability, capped.
+//! 3. **Loss** — frames are occasionally dropped; reliability above this is
+//!    the transport/application's job (e.g. MQTT QoS 1 retransmission).
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Static configuration of the wireless medium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WlanConfig {
+    /// Effective application-layer bitrate in bits per second.
+    pub bitrate_bps: f64,
+    /// Fixed per-frame channel occupation (preamble, MAC overhead, ACK).
+    pub per_packet_overhead: SimDuration,
+    /// Propagation delay (speed of light; negligible indoors but modelled).
+    pub propagation: SimDuration,
+    /// Mean of the exponential per-frame jitter.
+    pub jitter_mean: SimDuration,
+    /// Probability that a frame suffers a heavy-tail latency spike.
+    pub spike_prob: f64,
+    /// Pareto scale (minimum) of a spike.
+    pub spike_min: SimDuration,
+    /// Pareto shape of a spike; smaller means heavier tail.
+    pub spike_alpha: f64,
+    /// Upper bound applied to a spike.
+    pub spike_cap: SimDuration,
+    /// Probability that a frame is lost outright.
+    pub loss_prob: f64,
+}
+
+impl WlanConfig {
+    /// The calibration used for the paper testbed reproduction: 802.11n-era
+    /// link shared by seven stations, ~24 Mbit/s effective.
+    pub fn paper_testbed() -> Self {
+        WlanConfig {
+            bitrate_bps: 24.0e6,
+            per_packet_overhead: SimDuration::from_micros(1000),
+            propagation: SimDuration::from_micros(1),
+            jitter_mean: SimDuration::from_micros(1500),
+            spike_prob: 0.012,
+            spike_min: SimDuration::from_millis(40),
+            spike_alpha: 1.7,
+            spike_cap: SimDuration::from_millis(320),
+            loss_prob: 0.004,
+        }
+    }
+
+    /// An idealized lossless, jitter-free medium — useful in unit tests
+    /// where deterministic single-path latencies are wanted.
+    pub fn ideal() -> Self {
+        WlanConfig {
+            bitrate_bps: 100.0e6,
+            per_packet_overhead: SimDuration::from_micros(100),
+            propagation: SimDuration::from_micros(1),
+            jitter_mean: SimDuration::ZERO,
+            spike_prob: 0.0,
+            spike_min: SimDuration::from_millis(1),
+            spike_alpha: 2.0,
+            spike_cap: SimDuration::ZERO,
+            loss_prob: 0.0,
+        }
+    }
+
+    /// A WAN uplink profile (to a simulated cloud): higher base latency,
+    /// moderate jitter. Used by the Fig. 1 cloud-vs-local comparison.
+    pub fn wan_uplink() -> Self {
+        WlanConfig {
+            bitrate_bps: 10.0e6,
+            per_packet_overhead: SimDuration::from_micros(200),
+            propagation: SimDuration::from_millis(25),
+            jitter_mean: SimDuration::from_millis(8),
+            spike_prob: 0.02,
+            spike_min: SimDuration::from_millis(60),
+            spike_alpha: 1.5,
+            spike_cap: SimDuration::from_millis(800),
+            loss_prob: 0.01,
+        }
+    }
+
+    /// Channel occupation time for a frame carrying `bytes` of payload.
+    pub fn airtime(&self, bytes: usize) -> SimDuration {
+        let tx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bitrate_bps);
+        self.per_packet_overhead + tx
+    }
+}
+
+impl Default for WlanConfig {
+    fn default() -> Self {
+        WlanConfig::paper_testbed()
+    }
+}
+
+/// Aggregate channel statistics, for utilization reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WlanStats {
+    /// Frames offered to the channel.
+    pub frames: u64,
+    /// Frames dropped by the loss process.
+    pub lost: u64,
+    /// Payload bytes carried (including lost frames' airtime).
+    pub bytes: u64,
+    /// Total channel busy time in nanoseconds.
+    pub busy_nanos: u64,
+}
+
+/// Runtime state of the shared medium.
+#[derive(Debug, Clone)]
+pub struct WlanState {
+    config: WlanConfig,
+    air_free_at: SimTime,
+    stats: WlanStats,
+}
+
+/// Outcome of offering one frame to the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Frame will arrive at the receiver at the given instant.
+    Delivered(SimTime),
+    /// Frame was lost after occupying the channel.
+    Lost,
+}
+
+impl WlanState {
+    /// Creates an idle channel.
+    pub fn new(config: WlanConfig) -> Self {
+        WlanState {
+            config,
+            air_free_at: SimTime::ZERO,
+            stats: WlanStats::default(),
+        }
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &WlanConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> WlanStats {
+        self.stats
+    }
+
+    /// Channel utilization in `[0, 1]` over the horizon `now`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.as_nanos() == 0 {
+            0.0
+        } else {
+            (self.stats.busy_nanos as f64 / now.as_nanos() as f64).min(1.0)
+        }
+    }
+
+    /// Offers a frame of `bytes` payload to the channel at `now`.
+    ///
+    /// The frame waits for the channel, occupies it for its airtime, then
+    /// either arrives (after propagation and jitter) or is lost.
+    pub fn transmit(&mut self, now: SimTime, bytes: usize, rng: &mut SimRng) -> TxOutcome {
+        let start = if now > self.air_free_at { now } else { self.air_free_at };
+        let airtime = self.config.airtime(bytes);
+        self.air_free_at = start + airtime;
+        self.stats.frames += 1;
+        self.stats.bytes += bytes as u64;
+        self.stats.busy_nanos += airtime.as_nanos();
+
+        if rng.chance(self.config.loss_prob) {
+            self.stats.lost += 1;
+            return TxOutcome::Lost;
+        }
+
+        let mut arrival = start + airtime + self.config.propagation;
+        arrival += rng.exp_duration(self.config.jitter_mean);
+        if rng.chance(self.config.spike_prob) {
+            let spike_ms = rng
+                .pareto(self.config.spike_min.as_millis_f64().max(1e-9), self.config.spike_alpha)
+                .min(self.config.spike_cap.as_millis_f64());
+            arrival += SimDuration::from_millis_f64(spike_ms.max(0.0));
+        }
+        TxOutcome::Delivered(arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(99)
+    }
+
+    #[test]
+    fn airtime_scales_with_size() {
+        let cfg = WlanConfig::ideal();
+        let small = cfg.airtime(32);
+        let big = cfg.airtime(32_000);
+        assert!(big > small);
+        // 32 bytes at 100 Mbit/s is ~2.56 us plus 100 us overhead.
+        assert_eq!(small.as_micros(), 102);
+    }
+
+    #[test]
+    fn ideal_channel_is_deterministic() {
+        let mut w = WlanState::new(WlanConfig::ideal());
+        let mut r = rng();
+        match w.transmit(SimTime::from_millis(10), 32, &mut r) {
+            TxOutcome::Delivered(t) => {
+                assert_eq!(t.as_micros(), 10_000 + 102 + 1);
+            }
+            TxOutcome::Lost => panic!("ideal channel never loses"),
+        }
+    }
+
+    #[test]
+    fn channel_serializes_back_to_back_frames() {
+        let mut w = WlanState::new(WlanConfig::ideal());
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        let a1 = match w.transmit(t0, 1000, &mut r) {
+            TxOutcome::Delivered(t) => t,
+            TxOutcome::Lost => unreachable!(),
+        };
+        let a2 = match w.transmit(t0, 1000, &mut r) {
+            TxOutcome::Delivered(t) => t,
+            TxOutcome::Lost => unreachable!(),
+        };
+        // Second frame waits for the first frame's airtime.
+        assert!(a2 > a1);
+        let airtime = WlanConfig::ideal().airtime(1000);
+        assert_eq!((a2 - a1).as_nanos(), airtime.as_nanos());
+    }
+
+    #[test]
+    fn utilization_grows_with_traffic() {
+        let mut w = WlanState::new(WlanConfig::ideal());
+        let mut r = rng();
+        for _ in 0..100 {
+            let _ = w.transmit(SimTime::ZERO, 1500, &mut r);
+        }
+        assert!(w.utilization(SimTime::from_millis(100)) > 0.0);
+        assert!(w.utilization(SimTime::from_millis(100)) <= 1.0);
+        assert_eq!(w.stats().frames, 100);
+        assert_eq!(w.stats().lost, 0);
+    }
+
+    #[test]
+    fn lossy_channel_loses_roughly_at_rate() {
+        let mut cfg = WlanConfig::ideal();
+        cfg.loss_prob = 0.2;
+        let mut w = WlanState::new(cfg);
+        let mut r = rng();
+        let n = 10_000;
+        for _ in 0..n {
+            let _ = w.transmit(SimTime::ZERO, 100, &mut r);
+        }
+        let ratio = w.stats().lost as f64 / n as f64;
+        assert!((ratio - 0.2).abs() < 0.02, "loss ratio {ratio}");
+    }
+
+    #[test]
+    fn spikes_are_capped() {
+        let mut cfg = WlanConfig::ideal();
+        cfg.spike_prob = 1.0;
+        cfg.spike_cap = SimDuration::from_millis(50);
+        cfg.spike_min = SimDuration::from_millis(10);
+        let mut w = WlanState::new(cfg.clone());
+        let mut r = rng();
+        for _ in 0..1000 {
+            if let TxOutcome::Delivered(t) = w.transmit(SimTime::ZERO, 10, &mut r) {
+                // Arrival cannot exceed queueing + airtime + cap + prop.
+                let bound = w.air_free_at + cfg.spike_cap + cfg.propagation;
+                assert!(t <= bound, "arrival {t:?} beyond bound {bound:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_testbed_has_heavy_tail() {
+        let mut w = WlanState::new(WlanConfig::paper_testbed());
+        let mut r = rng();
+        let mut delays: Vec<f64> = Vec::new();
+        for i in 0..20_000u64 {
+            // Sparse traffic: channel idle each time.
+            let now = SimTime::from_millis(i * 10);
+            if let TxOutcome::Delivered(t) = w.transmit(now, 32, &mut r) {
+                delays.push((t - now).as_millis_f64());
+            }
+        }
+        let mean = delays.iter().sum::<f64>() / delays.len() as f64;
+        let max = delays.iter().cloned().fold(0.0, f64::max);
+        assert!(mean < 10.0, "sparse mean should be a few ms, got {mean}");
+        assert!(max > 40.0, "tail should reach spikes, got {max}");
+    }
+}

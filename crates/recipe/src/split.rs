@@ -1,0 +1,176 @@
+//! Recipe splitting — the IFoT *Recipe split class*.
+//!
+//! Divides a recipe into **stages** of tasks that can execute in parallel:
+//! stage *k* contains every task whose longest path from a root has length
+//! *k* (level sets of the DAG). Within a stage there are no edges, so the
+//! tasks are mutually independent and can be assigned to different neuron
+//! modules.
+
+use std::collections::BTreeMap;
+
+use crate::model::Recipe;
+
+/// The parallel-stage decomposition of a recipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitPlan {
+    stages: Vec<Vec<String>>,
+}
+
+impl SplitPlan {
+    /// Stages in execution order; each stage lists task ids that may run
+    /// in parallel.
+    pub fn stages(&self) -> &[Vec<String>] {
+        &self.stages
+    }
+
+    /// Number of stages (the critical-path length of the recipe).
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The widest stage size — the maximum parallelism the recipe offers.
+    pub fn max_parallelism(&self) -> usize {
+        self.stages.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The stage index of a task, if present.
+    pub fn stage_of(&self, task_id: &str) -> Option<usize> {
+        self.stages
+            .iter()
+            .position(|stage| stage.iter().any(|t| t == task_id))
+    }
+
+    /// Total number of tasks across stages.
+    pub fn task_count(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+}
+
+/// Splits a recipe into parallel stages.
+///
+/// ```
+/// use ifot_recipe::model::fig5_elderly_monitoring;
+/// use ifot_recipe::split::split;
+///
+/// let plan = split(&fig5_elderly_monitoring());
+/// assert_eq!(plan.depth(), 4); // sense -> anomaly -> monitor/estimate -> alert
+/// assert_eq!(plan.stages()[0].len(), 4); // four parallel sensing tasks
+/// ```
+pub fn split(recipe: &Recipe) -> SplitPlan {
+    // Longest path from any root, computed over a topological order.
+    let mut level: BTreeMap<&str, usize> = BTreeMap::new();
+    for id in recipe.topo_order() {
+        let lvl = recipe
+            .predecessors(id)
+            .iter()
+            .map(|p| level.get(p).copied().unwrap_or(0) + 1)
+            .max()
+            .unwrap_or(0);
+        level.insert(id, lvl);
+    }
+    let depth = level.values().max().map(|d| d + 1).unwrap_or(0);
+    let mut stages = vec![Vec::new(); depth];
+    // Preserve declaration order inside each stage for determinism.
+    for task in recipe.tasks() {
+        let lvl = level[task.id.as_str()];
+        stages[lvl].push(task.id.clone());
+    }
+    SplitPlan { stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{fig5_elderly_monitoring, Recipe, Task, TaskKind};
+
+    fn window(id: &str) -> Task {
+        Task::new(id, TaskKind::Window { size_ms: 1 })
+    }
+
+    #[test]
+    fn linear_chain_has_one_task_per_stage() {
+        let r = Recipe::builder("chain")
+            .task(window("a"))
+            .task(window("b"))
+            .task(window("c"))
+            .edge("a", "b")
+            .edge("b", "c")
+            .build()
+            .expect("valid");
+        let plan = split(&r);
+        assert_eq!(plan.depth(), 3);
+        assert_eq!(plan.max_parallelism(), 1);
+        assert_eq!(plan.stages(), &[vec!["a".to_owned()], vec!["b".into()], vec!["c".into()]]);
+    }
+
+    #[test]
+    fn independent_tasks_share_a_stage() {
+        let r = Recipe::builder("par")
+            .task(window("a"))
+            .task(window("b"))
+            .task(window("c"))
+            .build()
+            .expect("valid");
+        let plan = split(&r);
+        assert_eq!(plan.depth(), 1);
+        assert_eq!(plan.max_parallelism(), 3);
+    }
+
+    #[test]
+    fn diamond_levels_are_longest_path() {
+        //    a
+        //   / \
+        //  b   |
+        //   \  |
+        //     c      (c depends on a directly AND via b)
+        let r = Recipe::builder("diamond")
+            .task(window("a"))
+            .task(window("b"))
+            .task(window("c"))
+            .edge("a", "b")
+            .edge("a", "c")
+            .edge("b", "c")
+            .build()
+            .expect("valid");
+        let plan = split(&r);
+        assert_eq!(plan.stage_of("a"), Some(0));
+        assert_eq!(plan.stage_of("b"), Some(1));
+        // c must wait for b, so it lands at level 2 despite the short edge.
+        assert_eq!(plan.stage_of("c"), Some(2));
+    }
+
+    #[test]
+    fn stages_partition_the_tasks() {
+        let r = fig5_elderly_monitoring();
+        let plan = split(&r);
+        assert_eq!(plan.task_count(), r.tasks().len());
+        // No task appears twice.
+        let mut all: Vec<&String> = plan.stages().iter().flatten().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), r.tasks().len());
+    }
+
+    #[test]
+    fn no_edge_within_a_stage() {
+        let r = fig5_elderly_monitoring();
+        let plan = split(&r);
+        for (from, to) in r.edges() {
+            let sf = plan.stage_of(from).expect("from placed");
+            let st = plan.stage_of(to).expect("to placed");
+            assert!(sf < st, "edge {from}->{to} not strictly forward");
+        }
+    }
+
+    #[test]
+    fn fig5_depth_and_widths() {
+        let plan = split(&fig5_elderly_monitoring());
+        assert_eq!(plan.depth(), 4);
+        assert_eq!(plan.stages()[0].len(), 4);
+        assert_eq!(plan.stages()[1].len(), 2);
+        assert_eq!(plan.stages()[2].len(), 2);
+        assert_eq!(plan.stages()[3].len(), 1);
+        assert_eq!(plan.max_parallelism(), 4);
+        assert_eq!(plan.stage_of("ghost"), None);
+    }
+}

@@ -1,0 +1,291 @@
+//! Virtual actuators: devices the middleware drives in response to
+//! analysis results (the paper's air conditioner, ceiling light, alert
+//! messaging).
+
+use serde::{Deserialize, Serialize};
+
+/// A command addressed to an actuator, serialized as an MQTT payload on
+/// `actuator/<device_id>/<verb>` topics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Switch a device on or off.
+    SetPower {
+        /// Desired power state.
+        on: bool,
+    },
+    /// Set a continuous level (dimmer, fan speed) in `[0, 1]`.
+    SetLevel {
+        /// Desired level.
+        level: f64,
+    },
+    /// Set a target temperature in Celsius.
+    SetTarget {
+        /// Desired target.
+        celsius: f64,
+    },
+    /// Raise an alert with a message (elderly-monitoring scenario).
+    Alert {
+        /// Severity 0 (info) to 2 (critical).
+        severity: u8,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Command {
+    /// Serializes to a JSON payload.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("commands are always serializable")
+    }
+
+    /// Parses from a JSON payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message for malformed payloads.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        serde_json::from_slice(bytes).map_err(|e| e.to_string())
+    }
+}
+
+/// Common behaviour of virtual actuators.
+pub trait Actuator: Send {
+    /// Numeric device identifier.
+    fn device_id(&self) -> u16;
+
+    /// Applies a command; unsupported commands are ignored and reported
+    /// as `false`.
+    fn apply(&mut self, command: &Command) -> bool;
+
+    /// A one-line state description for monitoring screens.
+    fn describe(&self) -> String;
+}
+
+impl std::fmt::Debug for dyn Actuator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Actuator({})", self.describe())
+    }
+}
+
+/// A simulated air conditioner with a power state and target temperature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AirConditioner {
+    id: u16,
+    on: bool,
+    target_celsius: f64,
+    commands_applied: u64,
+}
+
+impl AirConditioner {
+    /// Creates an idle unit targeting 24 °C.
+    pub fn new(id: u16) -> Self {
+        AirConditioner {
+            id,
+            on: false,
+            target_celsius: 24.0,
+            commands_applied: 0,
+        }
+    }
+
+    /// Whether the unit is running.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Current target temperature.
+    pub fn target_celsius(&self) -> f64 {
+        self.target_celsius
+    }
+
+    /// Commands applied so far.
+    pub fn commands_applied(&self) -> u64 {
+        self.commands_applied
+    }
+}
+
+impl Actuator for AirConditioner {
+    fn device_id(&self) -> u16 {
+        self.id
+    }
+
+    fn apply(&mut self, command: &Command) -> bool {
+        match command {
+            Command::SetPower { on } => {
+                self.on = *on;
+            }
+            Command::SetTarget { celsius } => {
+                self.target_celsius = celsius.clamp(16.0, 32.0);
+            }
+            _ => return false,
+        }
+        self.commands_applied += 1;
+        true
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "ac#{} {} target={:.1}C",
+            self.id,
+            if self.on { "on" } else { "off" },
+            self.target_celsius
+        )
+    }
+}
+
+/// A simulated dimmable ceiling light.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CeilingLight {
+    id: u16,
+    level: f64,
+    commands_applied: u64,
+}
+
+impl CeilingLight {
+    /// Creates a light that is off.
+    pub fn new(id: u16) -> Self {
+        CeilingLight {
+            id,
+            level: 0.0,
+            commands_applied: 0,
+        }
+    }
+
+    /// Current brightness in `[0, 1]`.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Commands applied so far.
+    pub fn commands_applied(&self) -> u64 {
+        self.commands_applied
+    }
+}
+
+impl Actuator for CeilingLight {
+    fn device_id(&self) -> u16 {
+        self.id
+    }
+
+    fn apply(&mut self, command: &Command) -> bool {
+        match command {
+            Command::SetPower { on } => {
+                self.level = if *on { 1.0 } else { 0.0 };
+            }
+            Command::SetLevel { level } => {
+                if !level.is_finite() {
+                    return false;
+                }
+                self.level = level.clamp(0.0, 1.0);
+            }
+            _ => return false,
+        }
+        self.commands_applied += 1;
+        true
+    }
+
+    fn describe(&self) -> String {
+        format!("light#{} level={:.0}%", self.id, self.level * 100.0)
+    }
+}
+
+/// A simulated alert sink (pager / messaging endpoint) recording alerts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AlertSink {
+    id: u16,
+    alerts: Vec<(u8, String)>,
+}
+
+impl AlertSink {
+    /// Creates an empty sink.
+    pub fn new(id: u16) -> Self {
+        AlertSink {
+            id,
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Alerts received so far, in arrival order.
+    pub fn alerts(&self) -> &[(u8, String)] {
+        &self.alerts
+    }
+}
+
+impl Actuator for AlertSink {
+    fn device_id(&self) -> u16 {
+        self.id
+    }
+
+    fn apply(&mut self, command: &Command) -> bool {
+        match command {
+            Command::Alert { severity, message } => {
+                self.alerts.push((*severity, message.clone()));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("alerts#{} received={}", self.id, self.alerts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_json_round_trip() {
+        let cmds = [
+            Command::SetPower { on: true },
+            Command::SetLevel { level: 0.5 },
+            Command::SetTarget { celsius: 21.0 },
+            Command::Alert {
+                severity: 2,
+                message: "fall detected".into(),
+            },
+        ];
+        for c in cmds {
+            let bytes = c.encode();
+            assert_eq!(Command::decode(&bytes).expect("round trip"), c);
+        }
+        assert!(Command::decode(b"not json").is_err());
+    }
+
+    #[test]
+    fn air_conditioner_clamps_target() {
+        let mut ac = AirConditioner::new(1);
+        assert!(ac.apply(&Command::SetPower { on: true }));
+        assert!(ac.apply(&Command::SetTarget { celsius: 99.0 }));
+        assert!(ac.is_on());
+        assert_eq!(ac.target_celsius(), 32.0);
+        assert!(!ac.apply(&Command::SetLevel { level: 0.5 }));
+        assert_eq!(ac.commands_applied(), 2);
+        assert!(ac.describe().contains("on"));
+    }
+
+    #[test]
+    fn light_level_control() {
+        let mut light = CeilingLight::new(2);
+        assert!(light.apply(&Command::SetLevel { level: 0.3 }));
+        assert_eq!(light.level(), 0.3);
+        assert!(light.apply(&Command::SetPower { on: false }));
+        assert_eq!(light.level(), 0.0);
+        assert!(light.apply(&Command::SetLevel { level: 7.0 }));
+        assert_eq!(light.level(), 1.0);
+        assert!(!light.apply(&Command::SetLevel { level: f64::NAN }));
+        assert!(!light.apply(&Command::SetTarget { celsius: 20.0 }));
+    }
+
+    #[test]
+    fn alert_sink_records_alerts_only() {
+        let mut sink = AlertSink::new(3);
+        assert!(sink.apply(&Command::Alert {
+            severity: 1,
+            message: "check".into()
+        }));
+        assert!(!sink.apply(&Command::SetPower { on: true }));
+        assert_eq!(sink.alerts(), &[(1, "check".to_owned())]);
+        assert_eq!(sink.device_id(), 3);
+    }
+}

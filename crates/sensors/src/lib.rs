@@ -1,0 +1,47 @@
+//! # ifot-sensors — virtual device layer for the IFoT middleware
+//!
+//! The paper's *sensor/actuator integration function* abstracts physical
+//! devices (accelerometers, illuminance/sound/motion sensors, air
+//! conditioners, ceiling lights) behind uniform stream interfaces. Since
+//! no physical hardware is available here, this crate provides faithful
+//! virtual substitutes:
+//!
+//! * [`sample`] — the exact **32-byte** sensor sample the paper's
+//!   experiment transmits, with its binary wire codec,
+//! * [`waveform`] — deterministic signal generators (sine, random walk,
+//!   Gaussian noise, pulse trains, composites),
+//! * [`device`] — multi-channel virtual sensors with realistic presets,
+//! * [`inject`] — scheduled anomaly injection with ground-truth labels,
+//! * [`actuator`] — virtual actuators (air conditioner, light, alert
+//!   sink) and their command codec,
+//! * [`registry`] — the device catalogue used for discovery and
+//!   capability-aware task assignment.
+//!
+//! ```
+//! use ifot_sensors::device::VirtualSensor;
+//! use ifot_sensors::sample::{Sample, SensorKind};
+//!
+//! let mut sensor = VirtualSensor::preset(SensorKind::Accelerometer, 1, 42);
+//! let sample = sensor.read(1_000_000);
+//! let wire = sample.encode();
+//! assert_eq!(wire.len(), 32);
+//! assert_eq!(Sample::decode(&wire)?, sample);
+//! # Ok::<(), ifot_sensors::sample::SampleError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod actuator;
+pub mod device;
+pub mod inject;
+pub mod registry;
+pub mod sample;
+pub mod waveform;
+
+pub use actuator::{Actuator, AirConditioner, AlertSink, CeilingLight, Command};
+pub use device::VirtualSensor;
+pub use inject::{AnomalyInjector, FaultKind, FaultWindow, LabelledSample};
+pub use registry::{DeviceDescriptor, DeviceRegistry, DeviceRole, LinkTechnology};
+pub use sample::{Sample, SampleError, SensorKind, SAMPLE_WIRE_SIZE};
+pub use waveform::{Composite, Constant, GaussianNoise, Pulse, RandomWalk, Signal, Sine, TraceReplay};

@@ -1,0 +1,346 @@
+//! The sensor sample: the unit of data flowing through IFoT.
+//!
+//! The paper's experiment transmits **32-byte sensor samples**; this module
+//! defines that exact wire image. Layout (big-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic "IF"
+//! 2       1     version (1)
+//! 3       1     sensor kind
+//! 4       2     device id
+//! 6       1     number of valid channel values (0..=3)
+//! 7       1     reserved (0)
+//! 8       8     timestamp, nanoseconds since epoch/sim start
+//! 16      4     sequence number
+//! 20      12    three f32 channel values
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Exact encoded size of a [`Sample`], per the paper's experiment.
+pub const SAMPLE_WIRE_SIZE: usize = 32;
+
+const MAGIC: [u8; 2] = *b"IF";
+const VERSION: u8 = 1;
+
+/// What a sensor measures. Mirrors the devices named in the paper's
+/// application scenarios (Section III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// Three-axis accelerometer (elderly monitoring).
+    Accelerometer,
+    /// Ambient light level (home appliance control).
+    Illuminance,
+    /// Sound pressure level (home appliance control).
+    Sound,
+    /// Binary/graded motion detection (home appliance control).
+    Motion,
+    /// Air temperature.
+    Temperature,
+    /// Relative humidity.
+    Humidity,
+    /// Person-flow count (mobility support).
+    PersonFlow,
+}
+
+impl SensorKind {
+    /// Wire byte of the kind.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            SensorKind::Accelerometer => 0,
+            SensorKind::Illuminance => 1,
+            SensorKind::Sound => 2,
+            SensorKind::Motion => 3,
+            SensorKind::Temperature => 4,
+            SensorKind::Humidity => 5,
+            SensorKind::PersonFlow => 6,
+        }
+    }
+
+    /// Parses the wire byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns the raw value for unknown kinds.
+    pub fn from_byte(b: u8) -> Result<Self, u8> {
+        Ok(match b {
+            0 => SensorKind::Accelerometer,
+            1 => SensorKind::Illuminance,
+            2 => SensorKind::Sound,
+            3 => SensorKind::Motion,
+            4 => SensorKind::Temperature,
+            5 => SensorKind::Humidity,
+            6 => SensorKind::PersonFlow,
+            other => return Err(other),
+        })
+    }
+
+    /// Number of channels this kind produces.
+    pub fn channels(self) -> usize {
+        match self {
+            SensorKind::Accelerometer => 3,
+            _ => 1,
+        }
+    }
+
+    /// Conventional channel names, used to build ML datum keys.
+    pub fn channel_names(self) -> &'static [&'static str] {
+        match self {
+            SensorKind::Accelerometer => &["x", "y", "z"],
+            SensorKind::Illuminance => &["lux"],
+            SensorKind::Sound => &["db"],
+            SensorKind::Motion => &["level"],
+            SensorKind::Temperature => &["celsius"],
+            SensorKind::Humidity => &["percent"],
+            SensorKind::PersonFlow => &["count"],
+        }
+    }
+}
+
+/// Errors decoding a sample from its 32-byte wire image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleError {
+    /// Input is not exactly [`SAMPLE_WIRE_SIZE`] bytes.
+    WrongSize(usize),
+    /// Magic bytes missing.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// Unknown sensor kind byte.
+    BadKind(u8),
+    /// Channel count exceeds 3.
+    BadChannelCount(u8),
+}
+
+impl core::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SampleError::WrongSize(n) => write!(f, "sample must be 32 bytes, got {n}"),
+            SampleError::BadMagic => write!(f, "sample magic bytes missing"),
+            SampleError::BadVersion(v) => write!(f, "unknown sample version {v}"),
+            SampleError::BadKind(k) => write!(f, "unknown sensor kind {k}"),
+            SampleError::BadChannelCount(c) => write!(f, "invalid channel count {c}"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// One timestamped sensor reading (up to three channels).
+///
+/// ```
+/// use ifot_sensors::sample::{Sample, SensorKind};
+///
+/// let s = Sample::new(SensorKind::Temperature, 7, 123, 1_000_000, &[21.5]);
+/// let bytes = s.encode();
+/// assert_eq!(bytes.len(), 32);
+/// assert_eq!(Sample::decode(&bytes)?, s);
+/// # Ok::<(), ifot_sensors::sample::SampleError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// What produced the reading.
+    pub kind: SensorKind,
+    /// Numeric device identifier.
+    pub device_id: u16,
+    /// Monotone per-device sequence number.
+    pub seq: u32,
+    /// Sensing instant in nanoseconds.
+    pub timestamp_ns: u64,
+    /// Channel values (1..=3 entries).
+    pub values: Vec<f32>,
+}
+
+impl Sample {
+    /// Builds a sample, truncating `values` to three channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(
+        kind: SensorKind,
+        device_id: u16,
+        seq: u32,
+        timestamp_ns: u64,
+        values: &[f32],
+    ) -> Self {
+        assert!(!values.is_empty(), "a sample carries at least one value");
+        Sample {
+            kind,
+            device_id,
+            seq,
+            timestamp_ns,
+            values: values.iter().copied().take(3).collect(),
+        }
+    }
+
+    /// Encodes to the fixed 32-byte wire image.
+    pub fn encode(&self) -> [u8; SAMPLE_WIRE_SIZE] {
+        let mut out = [0u8; SAMPLE_WIRE_SIZE];
+        out[0..2].copy_from_slice(&MAGIC);
+        out[2] = VERSION;
+        out[3] = self.kind.to_byte();
+        out[4..6].copy_from_slice(&self.device_id.to_be_bytes());
+        out[6] = self.values.len() as u8;
+        out[7] = 0;
+        out[8..16].copy_from_slice(&self.timestamp_ns.to_be_bytes());
+        out[16..20].copy_from_slice(&self.seq.to_be_bytes());
+        for (i, v) in self.values.iter().take(3).enumerate() {
+            let off = 20 + i * 4;
+            out[off..off + 4].copy_from_slice(&v.to_be_bytes());
+        }
+        out
+    }
+
+    /// Decodes from a 32-byte wire image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SampleError`] for wrong size, magic, version, kind or
+    /// channel count.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SampleError> {
+        if bytes.len() != SAMPLE_WIRE_SIZE {
+            return Err(SampleError::WrongSize(bytes.len()));
+        }
+        if bytes[0..2] != MAGIC {
+            return Err(SampleError::BadMagic);
+        }
+        if bytes[2] != VERSION {
+            return Err(SampleError::BadVersion(bytes[2]));
+        }
+        let kind = SensorKind::from_byte(bytes[3]).map_err(SampleError::BadKind)?;
+        let device_id = u16::from_be_bytes([bytes[4], bytes[5]]);
+        let count = bytes[6];
+        if count == 0 || count > 3 {
+            return Err(SampleError::BadChannelCount(count));
+        }
+        let timestamp_ns = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let seq = u32::from_be_bytes(bytes[16..20].try_into().expect("4 bytes"));
+        let mut values = Vec::with_capacity(count as usize);
+        for i in 0..count as usize {
+            let off = 20 + i * 4;
+            values.push(f32::from_be_bytes(
+                bytes[off..off + 4].try_into().expect("4 bytes"),
+            ));
+        }
+        Ok(Sample {
+            kind,
+            device_id,
+            seq,
+            timestamp_ns,
+            values,
+        })
+    }
+
+    /// The MQTT topic this sample is published to:
+    /// `sensor/<device_id>/<kind>` (lower-case kind).
+    pub fn topic(&self) -> String {
+        format!("sensor/{}/{}", self.device_id, kind_slug(self.kind))
+    }
+}
+
+/// Lower-case slug of a kind, used in topics.
+pub fn kind_slug(kind: SensorKind) -> &'static str {
+    match kind {
+        SensorKind::Accelerometer => "accel",
+        SensorKind::Illuminance => "illuminance",
+        SensorKind::Sound => "sound",
+        SensorKind::Motion => "motion",
+        SensorKind::Temperature => "temperature",
+        SensorKind::Humidity => "humidity",
+        SensorKind::PersonFlow => "personflow",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_image_is_exactly_32_bytes() {
+        let s = Sample::new(SensorKind::Accelerometer, 1, 2, 3, &[0.1, 0.2, 0.3]);
+        assert_eq!(s.encode().len(), SAMPLE_WIRE_SIZE);
+    }
+
+    #[test]
+    fn round_trip_all_kinds() {
+        for (i, kind) in [
+            SensorKind::Accelerometer,
+            SensorKind::Illuminance,
+            SensorKind::Sound,
+            SensorKind::Motion,
+            SensorKind::Temperature,
+            SensorKind::Humidity,
+            SensorKind::PersonFlow,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let n = kind.channels();
+            let values: Vec<f32> = (0..n).map(|j| (i * 10 + j) as f32 * 0.5).collect();
+            let s = Sample::new(kind, i as u16, i as u32 * 7, i as u64 * 1000, &values);
+            let decoded = Sample::decode(&s.encode()).expect("round trip");
+            assert_eq!(decoded, s);
+        }
+    }
+
+    #[test]
+    fn kind_bytes_round_trip() {
+        for b in 0..7u8 {
+            let k = SensorKind::from_byte(b).expect("known kind");
+            assert_eq!(k.to_byte(), b);
+        }
+        assert_eq!(SensorKind::from_byte(99), Err(99));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let good = Sample::new(SensorKind::Sound, 1, 1, 1, &[1.0]).encode();
+        assert_eq!(Sample::decode(&good[..31]), Err(SampleError::WrongSize(31)));
+        let mut bad = good;
+        bad[0] = b'X';
+        assert_eq!(Sample::decode(&bad), Err(SampleError::BadMagic));
+        let mut bad = good;
+        bad[2] = 9;
+        assert_eq!(Sample::decode(&bad), Err(SampleError::BadVersion(9)));
+        let mut bad = good;
+        bad[3] = 200;
+        assert_eq!(Sample::decode(&bad), Err(SampleError::BadKind(200)));
+        let mut bad = good;
+        bad[6] = 0;
+        assert_eq!(Sample::decode(&bad), Err(SampleError::BadChannelCount(0)));
+        let mut bad = good;
+        bad[6] = 4;
+        assert_eq!(Sample::decode(&bad), Err(SampleError::BadChannelCount(4)));
+    }
+
+    #[test]
+    fn values_truncated_to_three() {
+        let s = Sample::new(SensorKind::Accelerometer, 1, 1, 1, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.values.len(), 3);
+    }
+
+    #[test]
+    fn topic_shape() {
+        let s = Sample::new(SensorKind::Motion, 42, 0, 0, &[1.0]);
+        assert_eq!(s.topic(), "sensor/42/motion");
+    }
+
+    #[test]
+    fn channel_names_match_counts() {
+        for kind in [
+            SensorKind::Accelerometer,
+            SensorKind::Illuminance,
+            SensorKind::PersonFlow,
+        ] {
+            assert_eq!(kind.channel_names().len(), kind.channels());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_values_rejected() {
+        let _ = Sample::new(SensorKind::Sound, 1, 1, 1, &[]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Elderly monitoring (paper Section III-A.1 and Fig. 5).
+//!
+//! An accelerometer, sound, motion and illuminance sensor watch a living
+//! environment. The recipe — written in the IFoT recipe DSL — routes the
+//! streams through anomaly detectors into state estimation and alert
+//! messaging. A fall is injected into the accelerometer halfway through
+//! the run; the alert sink must receive an alert.
+//!
+//! Runs on the deterministic simulator so the outcome is reproducible.
+//!
+//! Run with: `cargo run --example elderly_monitoring`
+
+use ifot::core::deploy::deploy;
+use ifot::core::sim_adapter::{add_middleware_node, SimNode};
+use ifot::core::NodeEvent;
+use ifot::netsim::cpu::CpuProfile;
+use ifot::netsim::sim::Simulation;
+use ifot::netsim::time::SimDuration;
+use ifot::recipe::assign::{CapabilityAware, ModuleInfo};
+use ifot::recipe::dsl;
+use ifot::sensors::inject::{FaultKind, FaultWindow};
+
+const RECIPE: &str = r#"
+    # Fig. 5: on-site elderly monitoring.
+    recipe elderly {
+        task accel:    sense(sensor = "accel", rate_hz = 20);
+        task sound:    sense(sensor = "sound", rate_hz = 20);
+        task motion:   sense(sensor = "motion", rate_hz = 10);
+        task fall:     anomaly(detector = "mahalanobis", threshold = 6);
+        task ambient:  anomaly(detector = "zscore", threshold = 6);
+        task estimate: estimate(model = "activity");
+        task alert:    actuate(actuator = "alert");
+
+        accel -> fall;
+        sound -> ambient;
+        motion -> ambient;
+        fall -> estimate;
+        ambient -> estimate;
+        fall -> alert;
+    }
+"#;
+
+fn main() {
+    // Step 1 (Fig. 6): the application submits its recipe.
+    let recipe = dsl::parse(RECIPE).expect("the bundled recipe is valid");
+    println!("recipe {:?}: {} tasks", recipe.name(), recipe.tasks().len());
+
+    // Step 2: split and assign onto the available neuron modules.
+    let modules = vec![
+        ModuleInfo::new("bedroom", 1.0).with_capability("sensor:accel"),
+        ModuleInfo::new("living-room", 1.0)
+            .with_capability("sensor:sound")
+            .with_capability("sensor:motion"),
+        ModuleInfo::new("gateway", 1.0).with_capability("actuator:alert"),
+    ];
+    let plan =
+        deploy(&recipe, &modules, &CapabilityAware, "gateway").expect("deployment succeeds");
+    for (task, module) in plan.assignment.iter() {
+        println!("  task {task:<10} -> {module}");
+    }
+
+    // Step 3: instantiate the classes on a simulated testbed and inject a
+    // fall (a large accelerometer spike) between t=4s and t=4.5s.
+    let mut sim = Simulation::new(7);
+    let mut ids = Vec::new();
+    for mut cfg in plan.configs.clone() {
+        for sensor in &mut cfg.sensors {
+            if sensor.kind == ifot::sensors::sample::SensorKind::Accelerometer {
+                sensor.faults.push(FaultWindow {
+                    from_ns: 4_000_000_000,
+                    until_ns: 4_500_000_000,
+                    kind: FaultKind::Spike { magnitude: 30.0 },
+                });
+            }
+        }
+        ids.push(add_middleware_node(&mut sim, CpuProfile::RASPBERRY_PI_2, cfg));
+    }
+    sim.run_for(SimDuration::from_secs(8));
+
+    // Harvest results.
+    println!("\n--- run complete at {} ---", sim.now());
+    println!(
+        "samples: {} taken, {} injected anomalous",
+        sim.metrics().counter("samples_taken"),
+        sim.metrics().counter("samples_anomalous"),
+    );
+    println!(
+        "anomalies flagged: {}",
+        sim.metrics().counter("anomaly_flagged")
+    );
+
+    let mut alerts = 0;
+    for &id in &ids {
+        let node: &SimNode = sim.actor_as(id).expect("middleware node");
+        for event in node.middleware().events() {
+            if let NodeEvent::ActuatorApplied {
+                device_id,
+                description,
+                at_ns,
+            } = event
+            {
+                alerts += 1;
+                println!(
+                    "  alert via device {} at t={:.2}s: {}",
+                    device_id,
+                    *at_ns as f64 / 1e9,
+                    description
+                );
+            }
+        }
+    }
+    assert!(alerts > 0, "the injected fall must raise an alert");
+    println!("\nfall detected and alerted — OK");
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the whole IFoT middleware stack.
+pub use ifot_core as core;
+pub use ifot_mgmt as mgmt;
+pub use ifot_ml as ml;
+pub use ifot_mqtt as mqtt;
+pub use ifot_netsim as netsim;
+pub use ifot_recipe as recipe;
+pub use ifot_sensors as sensors;

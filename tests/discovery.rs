@@ -1,0 +1,154 @@
+//! Integration: dynamic join/leave and stream search (the paper's
+//! future-work item, implemented over retained MQTT announcements).
+
+use ifot::core::config::{NodeConfig, SensorSpec};
+use ifot::core::sim_adapter::{add_middleware_node, SimNode};
+use ifot::netsim::cpu::CpuProfile;
+use ifot::netsim::sim::Simulation;
+use ifot::netsim::time::SimDuration;
+use ifot::netsim::wlan::WlanConfig;
+use ifot::sensors::sample::SensorKind;
+
+fn announcing_sensor(name: &str, kind: SensorKind, device: u16, seed: u64) -> NodeConfig {
+    NodeConfig::new(name)
+        .with_broker_node("broker")
+        .with_announce()
+        .with_sensor(SensorSpec::new(kind, device, 10.0, seed))
+}
+
+#[test]
+fn directory_sees_joins_searches_and_leaves() {
+    let mut sim = Simulation::with_wlan(WlanConfig::ideal(), 13);
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("broker").with_broker(),
+    );
+    // The observer joins FIRST, before any sensor announces.
+    let observer = add_middleware_node(
+        &mut sim,
+        CpuProfile::THINKPAD_X250,
+        NodeConfig::new("observer")
+            .with_broker_node("broker")
+            .with_directory(),
+    );
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        announcing_sensor("kitchen", SensorKind::Temperature, 1, 3),
+    );
+    sim.run_for(SimDuration::from_secs(2));
+
+    {
+        let node: &SimNode = sim.actor_as(observer).expect("observer");
+        let dir = node.middleware().directory();
+        assert_eq!(dir.online_nodes(), vec!["kitchen"]);
+        let hits = dir.search_kind("temperature");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.topic, "sensor/1/temperature");
+        assert_eq!(hits[0].1.rate_hz, Some(10.0));
+        assert_eq!(dir.search_capability("sensor:temperature"), vec!["kitchen"]);
+    }
+
+    // A second module joins dynamically, two seconds in.
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        announcing_sensor("porch", SensorKind::Motion, 2, 4),
+    );
+    sim.run_for(SimDuration::from_secs(2));
+    {
+        let node: &SimNode = sim.actor_as(observer).expect("observer");
+        let dir = node.middleware().directory();
+        assert_eq!(dir.online_nodes(), vec!["kitchen", "porch"]);
+        assert_eq!(dir.search_topic("sensor/#").len(), 2);
+    }
+
+    // The kitchen module dies ungracefully: keep-alive expiry fires its
+    // will and the directory marks it offline.
+    let kitchen = sim.node_id("kitchen").expect("registered");
+    sim.set_node_up(kitchen, false);
+    sim.run_for(SimDuration::from_secs(60)); // beyond 1.5x keep-alive (30 s)
+    let node: &SimNode = sim.actor_as(observer).expect("observer");
+    let dir = node.middleware().directory();
+    assert_eq!(
+        dir.online_nodes(),
+        vec!["porch"],
+        "dead node must leave the directory via its will"
+    );
+    assert_eq!(dir.len(), 2, "tombstone kept");
+    assert!(dir.search_kind("temperature").is_empty());
+}
+
+#[test]
+fn late_joining_observer_learns_from_retained_announcements() {
+    let mut sim = Simulation::with_wlan(WlanConfig::ideal(), 14);
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("broker").with_broker(),
+    );
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        announcing_sensor("kitchen", SensorKind::Sound, 1, 5),
+    );
+    sim.run_for(SimDuration::from_secs(2));
+
+    // Observer joins AFTER the announcement was published: retention
+    // must replay it on subscribe.
+    let observer = add_middleware_node(
+        &mut sim,
+        CpuProfile::THINKPAD_X250,
+        NodeConfig::new("late-observer")
+            .with_broker_node("broker")
+            .with_directory(),
+    );
+    sim.run_for(SimDuration::from_secs(2));
+    let node: &SimNode = sim.actor_as(observer).expect("observer");
+    assert_eq!(
+        node.middleware().directory().online_nodes(),
+        vec!["kitchen"],
+        "retained announcement must reach late joiners"
+    );
+}
+
+#[test]
+fn announcements_include_operator_output_streams() {
+    use ifot::core::config::{OperatorKind, OperatorSpec};
+    let mut sim = Simulation::with_wlan(WlanConfig::ideal(), 15);
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("broker").with_broker(),
+    );
+    let observer = add_middleware_node(
+        &mut sim,
+        CpuProfile::THINKPAD_X250,
+        NodeConfig::new("observer")
+            .with_broker_node("broker")
+            .with_directory(),
+    );
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("analysis")
+            .with_broker_node("broker")
+            .with_announce()
+            .with_sensor(SensorSpec::new(SensorKind::Humidity, 3, 5.0, 9))
+            .with_operator(OperatorSpec::through(
+                "smooth",
+                OperatorKind::Window { size_ms: 200 },
+                vec!["sensor/#".into()],
+                "flow/app/smooth",
+            )),
+    );
+    sim.run_for(SimDuration::from_secs(2));
+    let node: &SimNode = sim.actor_as(observer).expect("observer");
+    let dir = node.middleware().directory();
+    // Both the raw sensor stream and the derived flow are discoverable —
+    // the "secondary/tertiary use" of curated flows from the paper's
+    // conclusion.
+    assert_eq!(dir.search_topic("sensor/3/humidity").len(), 1);
+    assert_eq!(dir.search_topic("flow/app/smooth").len(), 1);
+}

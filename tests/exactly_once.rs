@@ -1,0 +1,197 @@
+//! Integration: delivery guarantees of the MQTT substrate under a lossy
+//! transport, driven deterministically through the sans-I/O state
+//! machines (no simulator — pure protocol logic).
+//!
+//! * QoS 1 — every message arrives **at least once** (duplicates allowed).
+//! * QoS 2 — every message arrives **exactly once**.
+
+use std::collections::BTreeMap;
+
+use ifot::mqtt::broker::{Action, Broker};
+use ifot::mqtt::client::{Client, ClientConfig, ClientEvent};
+use ifot::mqtt::packet::{Packet, QoS};
+use ifot::mqtt::topic::{TopicFilter, TopicName};
+
+const PUB: u8 = 1;
+const SUB: u8 = 2;
+
+/// Deterministic loss decision (LCG), ~`loss_pct`% drops.
+struct Loss {
+    state: u64,
+    loss_pct: u64,
+}
+
+impl Loss {
+    fn drop(&mut self) -> bool {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.state >> 33) % 100 < self.loss_pct
+    }
+}
+
+/// Runs `count` publications at `qos` through a lossy transport; returns
+/// payload → delivery count at the subscriber.
+fn run(qos: QoS, count: u32, loss_pct: u64) -> BTreeMap<Vec<u8>, u32> {
+    let cfg = || ClientConfig {
+        retransmit_timeout_ns: 50,
+        ..ClientConfig::default()
+    };
+    let mut publisher = Client::new("pub", cfg());
+    let mut subscriber = Client::new("sub", cfg());
+    let mut broker: Broker<u8> = Broker::with_config(ifot::mqtt::broker::BrokerConfig {
+        retransmit_timeout_ns: 50,
+        ..Default::default()
+    });
+    let mut loss = Loss {
+        state: 42,
+        loss_pct,
+    };
+    let mut delivered: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
+
+    // Queues of packets in flight on each leg (loss applied at enqueue).
+    let mut to_broker: Vec<(u8, Packet)> = Vec::new();
+    let mut to_client: Vec<(u8, Packet)> = Vec::new();
+
+    broker.connection_opened(PUB, 0);
+    broker.connection_opened(SUB, 0);
+    // Session setup on a lossless prefix (connection setup retries are
+    // exercised elsewhere; here the guarantees under test are delivery).
+    for (conn, client) in [(PUB, &mut publisher), (SUB, &mut subscriber)] {
+        let connect = client.connect().expect("first connect");
+        for action in broker.handle_packet(&conn, connect, 0) {
+            if let Action::Send { packet, .. } = action {
+                let (_, out) = client.handle_packet(packet, 0).expect("connack");
+                assert!(out.is_empty());
+            }
+        }
+    }
+    let subscribe = subscriber
+        .subscribe(vec![(TopicFilter::new("t/#").expect("valid"), qos)], 0)
+        .expect("subscribe");
+    for action in broker.handle_packet(&SUB, subscribe, 0) {
+        if let Action::Send { packet, .. } = action {
+            let _ = subscriber.handle_packet(packet, 0).expect("suback");
+        }
+    }
+
+    // Publish everything up front.
+    let mut now = 0u64;
+    for i in 0..count {
+        let packet = publisher
+            .publish(
+                TopicName::new("t/x").expect("valid"),
+                i.to_be_bytes().to_vec(),
+                qos,
+                false,
+                now,
+            )
+            .expect("publish");
+        if !loss.drop() {
+            to_broker.push((PUB, packet));
+        }
+    }
+
+    // Tick until every retransmission window has drained.
+    for _ in 0..10_000 {
+        now += 10;
+        // Broker ingress.
+        for (conn, packet) in std::mem::take(&mut to_broker) {
+            for action in broker.handle_packet(&conn, packet, now) {
+                if let Action::Send { conn, packet } = action {
+                    if !loss.drop() {
+                        to_client.push((conn, packet));
+                    }
+                }
+            }
+        }
+        // Client ingress.
+        for (conn, packet) in std::mem::take(&mut to_client) {
+            let client = if conn == PUB {
+                &mut publisher
+            } else {
+                &mut subscriber
+            };
+            let (events, out) = client.handle_packet(packet, now).expect("valid stream");
+            for event in events {
+                if let ClientEvent::Message(p) = event {
+                    *delivered.entry(p.payload).or_insert(0) += 1;
+                }
+            }
+            for packet in out {
+                if !loss.drop() {
+                    to_broker.push((conn, packet));
+                }
+            }
+        }
+        // Retransmissions.
+        for (conn, client) in [(PUB, &mut publisher), (SUB, &mut subscriber)] {
+            for packet in client.poll(now) {
+                if !loss.drop() {
+                    to_broker.push((conn, packet));
+                }
+            }
+        }
+        for action in broker.poll(now) {
+            if let Action::Send { conn, packet } = action {
+                if !loss.drop() {
+                    to_client.push((conn, packet));
+                }
+            }
+        }
+        if to_broker.is_empty()
+            && to_client.is_empty()
+            && publisher.inflight_count() == 0
+            && publisher.inflight2_count() == 0
+            && delivered.len() == count as usize
+        {
+            break;
+        }
+    }
+    delivered
+}
+
+#[test]
+fn qos1_is_at_least_once_under_loss() {
+    let delivered = run(QoS::AtLeastOnce, 50, 20);
+    assert_eq!(delivered.len(), 50, "every message must arrive");
+    assert!(
+        delivered.values().all(|&n| n >= 1),
+        "at-least-once violated"
+    );
+    // Under 20% loss, some PUBACK losses must have caused duplicates —
+    // otherwise the test is not exercising redelivery at all.
+    assert!(
+        delivered.values().any(|&n| n > 1),
+        "expected at least one duplicate delivery at QoS 1 under loss"
+    );
+}
+
+#[test]
+fn qos2_is_exactly_once_under_loss() {
+    let delivered = run(QoS::ExactlyOnce, 50, 20);
+    assert_eq!(delivered.len(), 50, "every message must arrive");
+    for (payload, n) in &delivered {
+        assert_eq!(
+            *n, 1,
+            "exactly-once violated for payload {payload:?}: delivered {n} times"
+        );
+    }
+}
+
+#[test]
+fn qos2_survives_brutal_loss() {
+    let delivered = run(QoS::ExactlyOnce, 20, 40);
+    assert_eq!(delivered.len(), 20);
+    assert!(delivered.values().all(|&n| n == 1));
+}
+
+#[test]
+fn lossless_transport_is_trivially_exact() {
+    for qos in [QoS::AtLeastOnce, QoS::ExactlyOnce] {
+        let delivered = run(qos, 30, 0);
+        assert_eq!(delivered.len(), 30);
+        assert!(delivered.values().all(|&n| n == 1));
+    }
+}

@@ -1,0 +1,204 @@
+//! Integration: failure injection across the middleware stack.
+
+use ifot::core::config::{NodeConfig, OperatorKind, OperatorSpec, SensorSpec};
+use ifot::core::sim_adapter::{add_middleware_node, SimNode};
+use ifot::netsim::cpu::CpuProfile;
+use ifot::netsim::sim::Simulation;
+use ifot::netsim::time::{SimDuration, SimTime};
+use ifot::netsim::wlan::WlanConfig;
+use ifot::sensors::sample::SensorKind;
+
+fn small_pipeline(seed: u64, wlan: WlanConfig) -> Simulation {
+    let mut sim = Simulation::with_wlan(wlan, seed);
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("broker").with_broker(),
+    );
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("sensor-node")
+            .with_broker_node("broker")
+            .with_sensor(SensorSpec::new(SensorKind::Sound, 1, 20.0, seed)),
+    );
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("analysis")
+            .with_broker_node("broker")
+            .with_operator(OperatorSpec::sink(
+                "score",
+                OperatorKind::Anomaly {
+                    detector: "zscore".into(),
+                    threshold: 4.0,
+                },
+                vec!["sensor/#".into()],
+            )),
+    );
+    sim
+}
+
+#[test]
+fn broker_crash_and_recovery() {
+    let mut sim = small_pipeline(5, WlanConfig::ideal());
+    let broker = sim.node_id("broker").expect("registered");
+    sim.run_for(SimDuration::from_secs(2));
+    let scored_before = sim.metrics().counter("anomaly_scored");
+    assert!(scored_before > 20);
+
+    // Crash the broker: the pipeline stalls but nothing panics.
+    sim.set_node_up(broker, false);
+    sim.run_for(SimDuration::from_secs(2));
+    let scored_during = sim.metrics().counter("anomaly_scored") - scored_before;
+    assert!(
+        scored_during < 10,
+        "pipeline should stall without the broker, scored {scored_during}"
+    );
+
+    // Recovery: clients reconnect and flow resumes.
+    sim.set_node_up(broker, true);
+    sim.run_for(SimDuration::from_secs(4));
+    let scored_after =
+        sim.metrics().counter("anomaly_scored") - scored_before - scored_during;
+    assert!(
+        scored_after > 10,
+        "pipeline must resume after broker recovery, scored {scored_after}"
+    );
+    // Note: no client reconnect is needed here — the broker actor's
+    // session state survives the outage (only in-flight packets were
+    // lost), so QoS 0 flow resumes as soon as the node is back. The
+    // reconnect path is exercised by `sensor_node_recovers_when_broker_returns`
+    // in ifot-core, where the broker is down from the start.
+}
+
+#[test]
+fn analysis_crash_does_not_stop_publishers() {
+    let mut sim = small_pipeline(6, WlanConfig::ideal());
+    let analysis = sim.node_id("analysis").expect("registered");
+    sim.run_for(SimDuration::from_secs(1));
+    sim.set_node_up(analysis, false);
+    let published_before = sim.metrics().counter("published");
+    sim.run_for(SimDuration::from_secs(2));
+    let published_after = sim.metrics().counter("published");
+    assert!(
+        published_after > published_before + 20,
+        "publishers must continue while a subscriber is down"
+    );
+}
+
+#[test]
+fn lossy_network_degrades_but_does_not_wedge() {
+    let mut wlan = WlanConfig::paper_testbed();
+    wlan.loss_prob = 0.25; // brutal
+    let mut sim = small_pipeline(7, wlan);
+    sim.run_for(SimDuration::from_secs(10));
+    let published = sim.metrics().counter("published");
+    let scored = sim.metrics().counter("anomaly_scored");
+    assert!(published > 50, "publishing survived: {published}");
+    assert!(scored > 10, "some flow still reached analysis: {scored}");
+    assert!(
+        scored < published,
+        "loss must be visible end-to-end ({scored} of {published})"
+    );
+}
+
+#[test]
+fn sensor_fault_windows_surface_in_counters() {
+    let mut sim = Simulation::with_wlan(WlanConfig::ideal(), 8);
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("broker").with_broker(),
+    );
+    let mut spec = SensorSpec::new(SensorKind::Temperature, 1, 50.0, 3);
+    spec.faults.push(ifot::sensors::inject::FaultWindow {
+        from_ns: 500_000_000,
+        until_ns: 1_000_000_000,
+        kind: ifot::sensors::inject::FaultKind::StuckAt,
+    });
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("s")
+            .with_broker_node("broker")
+            .with_sensor(spec),
+    );
+    sim.run_for(SimDuration::from_secs(2));
+    let anomalous = sim.metrics().counter("samples_anomalous");
+    // 0.5 s of 50 Hz sampling inside the window.
+    assert!(
+        (15..=35).contains(&anomalous),
+        "expected ~25 anomalous samples, got {anomalous}"
+    );
+}
+
+#[test]
+fn down_node_drops_are_not_backlog_drops() {
+    // Sanity: the backlog-shedding metric stays clean when a node is
+    // simply down — crash-stop drops are a different mechanism.
+    let mut sim = small_pipeline(9, WlanConfig::ideal());
+    let analysis = sim.node_id("analysis").expect("registered");
+    sim.set_node_up(analysis, false);
+    sim.run_until(SimTime::from_secs(2));
+    assert_eq!(sim.metrics().counter("backlog_dropped"), 0);
+    // A crash-stopped node loses its timer chain; `restart_node` issues
+    // a fresh on_start which re-establishes the session.
+    sim.restart_node(analysis);
+    sim.run_for(SimDuration::from_secs(3));
+    let node: &SimNode = sim.actor_as(analysis).expect("node");
+    assert!(
+        node.middleware().is_connected(),
+        "restarted node must rejoin the broker"
+    );
+}
+
+#[test]
+fn network_partition_heals_transparently_for_qos0_flow() {
+    let mut sim = small_pipeline(11, WlanConfig::ideal());
+    let sensor = sim.node_id("sensor-node").expect("registered");
+    let broker = sim.node_id("broker").expect("registered");
+    sim.run_for(SimDuration::from_secs(1));
+    let before = sim.metrics().counter("anomaly_scored");
+
+    // Partition the sensor from the broker: samples vanish on the link.
+    sim.set_partitioned(sensor, broker, true);
+    sim.run_for(SimDuration::from_secs(2));
+    let during = sim.metrics().counter("anomaly_scored") - before;
+    assert!(during < 5, "flow must stall during the partition: {during}");
+    assert!(sim.metrics().counter("link_blocked_drops") > 0);
+
+    // Heal: the client reconnects (its keep-alive state may have been
+    // torn down broker-side) and the flow resumes.
+    sim.set_partitioned(sensor, broker, false);
+    sim.run_for(SimDuration::from_secs(4));
+    let after = sim.metrics().counter("anomaly_scored") - before - during;
+    assert!(after > 10, "flow must resume after healing: {after}");
+}
+
+#[test]
+fn restarted_sensor_node_resumes_sampling_without_bursting() {
+    let mut sim = small_pipeline(10, WlanConfig::ideal());
+    let sensor = sim.node_id("sensor-node").expect("registered");
+    sim.run_for(SimDuration::from_secs(2));
+    let before = sim.metrics().counter("samples_taken");
+    sim.set_node_up(sensor, false);
+    sim.run_for(SimDuration::from_secs(3));
+    assert_eq!(
+        sim.metrics().counter("samples_taken"),
+        before,
+        "a down sensor must not sample"
+    );
+    sim.restart_node(sensor);
+    sim.run_for(SimDuration::from_secs(2));
+    let resumed = sim.metrics().counter("samples_taken") - before;
+    // 20 Hz over 2 s: ~40 samples. A catch-up burst replaying the 3 s
+    // outage would show ~100.
+    assert!(
+        (30..=50).contains(&resumed),
+        "expected ~40 samples after restart, got {resumed}"
+    );
+    // And the flow reaches analysis again.
+    let node: &SimNode = sim.actor_as(sensor).expect("node");
+    assert!(node.middleware().is_connected());
+}

@@ -1,0 +1,151 @@
+//! Integration: distributed model synchronization (MIX) over MQTT on the
+//! simulated testbed — the Managing class end-to-end.
+
+use ifot::core::config::{NodeConfig, OperatorKind, OperatorSpec, SensorSpec};
+use ifot::core::sim_adapter::{add_middleware_node, SimNode};
+use ifot::core::NodeEvent;
+use ifot::netsim::cpu::CpuProfile;
+use ifot::netsim::sim::Simulation;
+use ifot::netsim::time::SimDuration;
+use ifot::netsim::wlan::WlanConfig;
+use ifot::sensors::sample::SensorKind;
+
+fn mix_world(mix_interval_ms: u64, seed: u64) -> (Simulation, [ifot::netsim::actor::NodeId; 3]) {
+    let mut sim = Simulation::with_wlan(WlanConfig::ideal(), seed);
+    let mut gateway = NodeConfig::new("gateway")
+        .with_app("m")
+        .with_broker()
+        .with_broker_node("gateway");
+    if mix_interval_ms > 0 {
+        gateway = gateway.with_operator(OperatorSpec::sink(
+            "coord",
+            OperatorKind::MixCoordinator { expected: 2 },
+            vec!["mix/m/ta/offer".into(), "mix/m/tb/offer".into()],
+        ));
+    }
+    let g = add_middleware_node(&mut sim, CpuProfile::THINKPAD_X250, gateway);
+
+    let area = |name: &str, task: &str, kind: SensorKind, slug: &str, dev: u16, s: u64| {
+        let mut inputs = vec![format!("sensor/{dev}/{slug}")];
+        if mix_interval_ms > 0 {
+            inputs.push(format!("mix/m/{task}/avg"));
+        }
+        NodeConfig::new(name)
+            .with_app("m")
+            .with_broker_node("gateway")
+            .with_sensor(SensorSpec::new(kind, dev, 10.0, s))
+            .with_operator(OperatorSpec::sink(
+                task,
+                OperatorKind::Train {
+                    algorithm: "pa".into(),
+                    mix_interval_ms,
+                },
+                inputs,
+            ))
+    };
+    let a = add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        area("na", "ta", SensorKind::PersonFlow, "personflow", 1, 1),
+    );
+    let b = add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        area("nb", "tb", SensorKind::Sound, "sound", 2, 2),
+    );
+    (sim, [g, a, b])
+}
+
+fn model_of(sim: &Simulation, id: ifot::netsim::actor::NodeId, task: &str) -> ifot::ml::mix::ModelDiff {
+    let node: &SimNode = sim.actor_as(id).expect("node present");
+    node.middleware()
+        .operator(task)
+        .and_then(|op| op.model())
+        .map(|m| m.export_diff())
+        .expect("trainer holds a model")
+}
+
+fn distance(a: &ifot::ml::mix::ModelDiff, b: &ifot::ml::mix::ModelDiff) -> f64 {
+    let mut labels: Vec<&str> = a.labels().chain(b.labels()).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    let empty = ifot::ml::feature::SparseWeights::new();
+    let mut sum = 0.0;
+    for label in labels {
+        let wa = a.label(label).unwrap_or(&empty);
+        let wb = b.label(label).unwrap_or(&empty);
+        let mut idx: Vec<u32> = wa.iter().map(|(i, _)| i).chain(wb.iter().map(|(i, _)| i)).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        for i in idx {
+            let d = wa.get(i) - wb.get(i);
+            sum += d * d;
+        }
+    }
+    sum
+}
+
+#[test]
+fn mix_rounds_complete_and_models_converge() {
+    let (mut sim, [g, a, b]) = mix_world(800, 3);
+    sim.run_for(SimDuration::from_secs(10));
+
+    assert!(sim.metrics().counter("mix_offered") >= 10);
+    assert!(sim.metrics().counter("mix_imports") >= 10);
+    let gateway: &SimNode = sim.actor_as(g).expect("gateway");
+    let rounds = gateway
+        .middleware()
+        .events()
+        .iter()
+        .filter(|e| matches!(e, NodeEvent::MixRound { .. }))
+        .count();
+    assert!(rounds >= 5, "only {rounds} rounds completed");
+
+    let mixed = distance(&model_of(&sim, a, "ta"), &model_of(&sim, b, "tb"));
+
+    // Control: the same world without MIX diverges more.
+    let (mut lone, [_, la, lb]) = mix_world(0, 3);
+    lone.run_for(SimDuration::from_secs(10));
+    let unmixed = distance(&model_of(&lone, la, "ta"), &model_of(&lone, lb, "tb"));
+
+    assert!(
+        mixed < unmixed * 0.5,
+        "mixing must pull models together: mixed {mixed} vs unmixed {unmixed}"
+    );
+}
+
+#[test]
+fn mixed_models_know_both_feature_spaces() {
+    let (mut sim, [_, a, b]) = mix_world(800, 4);
+    sim.run_for(SimDuration::from_secs(10));
+    // Node B never saw person-flow features, yet after mixing its model
+    // carries weights for them (learned at node A).
+    let model_b = model_of(&sim, b, "tb");
+    let knows_foreign = model_b.labels().any(|label| {
+        model_b
+            .label(label)
+            .map(|w| w.nnz() > 0)
+            .unwrap_or(false)
+    });
+    assert!(knows_foreign, "model B is empty after mixing");
+
+    // And both classify a person-flow probe consistently with node A's
+    // training data distribution.
+    let probe = ifot::ml::feature::Datum::new()
+        .with("personflow_count", 9.0)
+        .to_vector(1 << 18);
+    let node_a: &SimNode = sim.actor_as(a).expect("node a");
+    let node_b: &SimNode = sim.actor_as(b).expect("node b");
+    let label_a = node_a
+        .middleware()
+        .operator("ta")
+        .and_then(|op| op.model())
+        .and_then(|m| m.classify(&probe));
+    let label_b = node_b
+        .middleware()
+        .operator("tb")
+        .and_then(|op| op.model())
+        .and_then(|m| m.classify(&probe));
+    assert!(label_a.is_some());
+    assert!(label_b.is_some(), "B cannot classify A's modality");
+}

@@ -1,0 +1,589 @@
+//! Property-based tests over the substrates' core invariants
+//! (DESIGN.md §7).
+
+use proptest::prelude::*;
+
+use ifot::mqtt::codec::{decode, encode};
+use ifot::mqtt::packet::{
+    Connack, Connect, ConnectReturnCode, LastWill, Packet, Publish, QoS, Suback, SubackCode,
+    Subscribe, SubscribeFilter, Unsubscribe,
+};
+use ifot::mqtt::topic::{TopicFilter, TopicName};
+use ifot::mqtt::tree::SubscriptionTree;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn topic_level() -> impl Strategy<Value = String> {
+    prop::string::string_regex("[a-z0-9_]{1,6}").expect("valid regex")
+}
+
+fn topic_name_str() -> impl Strategy<Value = String> {
+    prop::collection::vec(topic_level(), 1..5).prop_map(|levels| levels.join("/"))
+}
+
+fn topic_filter_str() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => topic_level(),
+            1 => Just("+".to_owned()),
+        ],
+        1..5,
+    )
+    .prop_map(|levels| levels.join("/"))
+    .prop_flat_map(|base| {
+        prop_oneof![
+            3 => Just(base.clone()),
+            1 => Just(format!("{base}/#")),
+        ]
+    })
+}
+
+fn qos() -> impl Strategy<Value = QoS> {
+    prop_oneof![
+        Just(QoS::AtMostOnce),
+        Just(QoS::AtLeastOnce),
+        Just(QoS::ExactlyOnce),
+    ]
+}
+
+fn arb_publish() -> impl Strategy<Value = Publish> {
+    (
+        topic_name_str(),
+        qos(),
+        any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec(any::<u8>(), 0..128),
+        1u16..=u16::MAX,
+    )
+        .prop_map(|(topic, qos, dup, retain, payload, pid)| Publish {
+            dup: dup && qos != QoS::AtMostOnce,
+            qos,
+            retain,
+            topic: TopicName::new(topic).expect("generated topics are valid"),
+            packet_id: (qos != QoS::AtMostOnce).then_some(pid),
+            payload,
+        })
+}
+
+fn arb_connect() -> impl Strategy<Value = Connect> {
+    (
+        prop::string::string_regex("[a-z0-9-]{0,12}").expect("valid regex"),
+        any::<bool>(),
+        any::<u16>(),
+        prop::option::of((topic_name_str(), prop::collection::vec(any::<u8>(), 0..32), qos(), any::<bool>())),
+        prop::option::of(prop::string::string_regex("[a-z]{1,8}").expect("valid regex")),
+        prop::option::of(prop::collection::vec(any::<u8>(), 0..16)),
+    )
+        .prop_map(|(client_id, clean_session, keep_alive_secs, will, username, password)| Connect {
+            client_id,
+            clean_session,
+            keep_alive_secs,
+            will: will.map(|(topic, payload, qos, retain)| LastWill {
+                topic: TopicName::new(topic).expect("generated topics are valid"),
+                payload,
+                qos,
+                retain,
+            }),
+            username,
+            password,
+        })
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        arb_connect().prop_map(Packet::Connect),
+        (any::<bool>(), 0u8..=5).prop_map(|(sp, code)| Packet::Connack(Connack {
+            session_present: sp,
+            code: ConnectReturnCode::from_byte(code).expect("generated codes are valid"),
+        })),
+        arb_publish().prop_map(Packet::Publish),
+        (1u16..=u16::MAX).prop_map(Packet::Puback),
+        (1u16..=u16::MAX).prop_map(Packet::Pubrec),
+        (1u16..=u16::MAX).prop_map(Packet::Pubrel),
+        (1u16..=u16::MAX).prop_map(Packet::Pubcomp),
+        (
+            1u16..=u16::MAX,
+            prop::collection::vec((topic_filter_str(), qos()), 1..4)
+        )
+            .prop_map(|(pid, filters)| Packet::Subscribe(Subscribe {
+                packet_id: pid,
+                filters: filters
+                    .into_iter()
+                    .map(|(f, q)| SubscribeFilter {
+                        filter: TopicFilter::new(f).expect("generated filters are valid"),
+                        qos: q,
+                    })
+                    .collect(),
+            })),
+        (
+            1u16..=u16::MAX,
+            prop::collection::vec(prop_oneof![0u8..=2, Just(0x80u8)], 1..4)
+        )
+            .prop_map(|(pid, codes)| Packet::Suback(Suback {
+                packet_id: pid,
+                codes: codes
+                    .into_iter()
+                    .map(|c| SubackCode::from_byte(c).expect("generated codes are valid"))
+                    .collect(),
+            })),
+        (
+            1u16..=u16::MAX,
+            prop::collection::vec(topic_filter_str(), 1..4)
+        )
+            .prop_map(|(pid, filters)| Packet::Unsubscribe(Unsubscribe {
+                packet_id: pid,
+                filters: filters
+                    .into_iter()
+                    .map(|f| TopicFilter::new(f).expect("generated filters are valid"))
+                    .collect(),
+            })),
+        (1u16..=u16::MAX).prop_map(Packet::Unsuback),
+        Just(Packet::Pingreq),
+        Just(Packet::Pingresp),
+        Just(Packet::Disconnect),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// MQTT codec
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// decode(encode(p)) == p for every representable packet.
+    #[test]
+    fn codec_round_trips(packet in arb_packet()) {
+        let bytes = encode(&packet);
+        let (decoded, used) = decode(&bytes)
+            .expect("own encoding decodes")
+            .expect("own encoding is complete");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, packet);
+    }
+
+    /// Every strict prefix of a valid packet is "incomplete", never an
+    /// error and never a bogus success.
+    #[test]
+    fn codec_prefixes_are_incomplete(packet in arb_packet(), cut_ratio in 0.0f64..1.0) {
+        let bytes = encode(&packet);
+        let cut = ((bytes.len() as f64) * cut_ratio) as usize;
+        if cut < bytes.len() {
+            prop_assert_eq!(decode(&bytes[..cut]).expect("prefixes are not errors"), None);
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn codec_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Topic matching: trie vs reference matcher
+// ---------------------------------------------------------------------
+
+/// The obvious reference implementation of MQTT filter matching.
+fn reference_matches(filter: &str, topic: &str) -> bool {
+    if topic.starts_with('$') && (filter.starts_with('+') || filter.starts_with('#')) {
+        return false;
+    }
+    let f: Vec<&str> = filter.split('/').collect();
+    let t: Vec<&str> = topic.split('/').collect();
+    let mut i = 0;
+    loop {
+        match (f.get(i), t.get(i)) {
+            (Some(&"#"), _) => return true,
+            (Some(&"+"), Some(_)) => i += 1,
+            (Some(a), Some(b)) if a == b => i += 1,
+            (None, None) => return true,
+            _ => return false,
+        }
+    }
+}
+
+proptest! {
+    /// `TopicFilter::matches` agrees with the reference matcher.
+    #[test]
+    fn filter_matching_agrees_with_reference(
+        filter in topic_filter_str(),
+        topic in topic_name_str(),
+    ) {
+        let f = TopicFilter::new(filter.clone()).expect("generated filters are valid");
+        let t = TopicName::new(topic.clone()).expect("generated topics are valid");
+        prop_assert_eq!(f.matches(&t), reference_matches(&filter, &topic));
+    }
+
+    /// The subscription trie returns exactly the keys whose filters match
+    /// (per the reference matcher), deduplicated.
+    #[test]
+    fn tree_matches_equal_linear_scan(
+        filters in prop::collection::vec(topic_filter_str(), 1..12),
+        topic in topic_name_str(),
+    ) {
+        let mut tree: SubscriptionTree<usize> = SubscriptionTree::new();
+        for (i, f) in filters.iter().enumerate() {
+            tree.subscribe(i, &TopicFilter::new(f.clone()).expect("valid"), QoS::AtMostOnce);
+        }
+        let mut expected: Vec<usize> = filters
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| reference_matches(f, &topic))
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let got: Vec<usize> = tree
+            .matches(&TopicName::new(topic.clone()).expect("valid"))
+            .into_iter()
+            .map(|s| s.key)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Unsubscribing everything empties the trie.
+    #[test]
+    fn tree_unsubscribe_is_complete(
+        filters in prop::collection::vec(topic_filter_str(), 1..12),
+    ) {
+        let mut tree: SubscriptionTree<usize> = SubscriptionTree::new();
+        let parsed: Vec<TopicFilter> = filters
+            .iter()
+            .map(|f| TopicFilter::new(f.clone()).expect("valid"))
+            .collect();
+        for (i, f) in parsed.iter().enumerate() {
+            tree.subscribe(i, f, QoS::AtMostOnce);
+        }
+        for (i, f) in parsed.iter().enumerate() {
+            prop_assert!(tree.unsubscribe(&i, f));
+        }
+        prop_assert!(tree.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// ML invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Running stats match a batch recomputation on arbitrary data.
+    #[test]
+    fn running_stats_match_batch(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = ifot::ml::stat::RunningStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-3 * (1.0 + var));
+    }
+
+    /// Merging partitioned stats equals the whole.
+    #[test]
+    fn stats_merge_is_associative(
+        left in prop::collection::vec(-1e3f64..1e3, 0..50),
+        right in prop::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let mut whole = ifot::ml::stat::RunningStats::new();
+        for v in left.iter().chain(right.iter()) {
+            whole.push(*v);
+        }
+        let mut a = ifot::ml::stat::RunningStats::new();
+        let mut b = ifot::ml::stat::RunningStats::new();
+        for v in &left {
+            a.push(*v);
+        }
+        for v in &right {
+            b.push(*v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 + 1e-9 * whole.mean().abs());
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance()));
+    }
+
+    /// The PA update never breaks on arbitrary sparse inputs and keeps
+    /// scores finite.
+    #[test]
+    fn pa_scores_stay_finite(
+        examples in prop::collection::vec(
+            (prop::collection::vec((0u32..64, -100.0f64..100.0), 1..6), any::<bool>()),
+            1..60,
+        )
+    ) {
+        use ifot::ml::classifier::OnlineClassifier;
+        let mut m = ifot::ml::classifier::PassiveAggressive::default();
+        for (pairs, positive) in &examples {
+            let x = ifot::ml::feature::FeatureVector::from_pairs(pairs.clone());
+            m.train(&x, if *positive { "p" } else { "n" });
+        }
+        let (pairs, _) = &examples[0];
+        let x = ifot::ml::feature::FeatureVector::from_pairs(pairs.clone());
+        for score in m.scores(&x) {
+            prop_assert!(score.score.is_finite());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recipe invariants
+// ---------------------------------------------------------------------
+
+/// Generates a random DAG as (task count, forward edges).
+fn arb_dag() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n - 1, 1..n), 0..n * 2).prop_map(move |raw| {
+            raw.into_iter()
+                .filter(|(a, b)| a < b) // forward edges only: acyclic
+                .collect::<Vec<_>>()
+        });
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// The split plan is a partition respecting every edge, for random
+    /// DAGs.
+    #[test]
+    fn split_respects_random_dags((n, edges) in arb_dag()) {
+        use ifot::recipe::model::{Recipe, Task, TaskKind};
+        let mut builder = Recipe::builder("prop");
+        for i in 0..n {
+            builder = builder.task(Task::new(format!("t{i}"), TaskKind::Window { size_ms: 1 }));
+        }
+        let mut dedup = edges.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        for (a, b) in &dedup {
+            builder = builder.edge(format!("t{a}"), format!("t{b}"));
+        }
+        let recipe = builder.build().expect("forward edges cannot cycle");
+        let plan = ifot::recipe::split::split(&recipe);
+        prop_assert_eq!(plan.task_count(), n);
+        for (a, b) in &dedup {
+            let sa = plan.stage_of(&format!("t{a}")).expect("placed");
+            let sb = plan.stage_of(&format!("t{b}")).expect("placed");
+            prop_assert!(sa < sb, "edge t{} -> t{} not forward in stages", a, b);
+        }
+    }
+
+    /// Every assignment strategy places every task on a capable module.
+    #[test]
+    fn assignment_respects_capabilities((n, edges) in arb_dag(), strategy_pick in 0usize..3) {
+        use ifot::recipe::assign::{
+            AssignmentStrategy, CapabilityAware, LoadAware, ModuleInfo, RoundRobin,
+        };
+        use ifot::recipe::model::{Recipe, Task, TaskKind};
+        let mut builder = Recipe::builder("prop");
+        for i in 0..n {
+            // Alternate sensing and compute tasks.
+            let kind = if i % 3 == 0 {
+                TaskKind::Sense { sensor: "sound".into(), rate_hz: 1.0 }
+            } else {
+                TaskKind::Window { size_ms: 1 }
+            };
+            builder = builder.task(Task::new(format!("t{i}"), kind));
+        }
+        let mut dedup = edges.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        for (a, b) in &dedup {
+            builder = builder.edge(format!("t{a}"), format!("t{b}"));
+        }
+        let recipe = builder.build().expect("valid");
+        let modules = vec![
+            ModuleInfo::new("sensing", 1.0).with_capability("sensor:sound"),
+            ModuleInfo::new("compute", 2.0),
+        ];
+        let strategy: &dyn AssignmentStrategy = match strategy_pick {
+            0 => &RoundRobin,
+            1 => &CapabilityAware,
+            _ => &LoadAware,
+        };
+        let assignment = strategy.assign(&recipe, &modules).expect("assignable");
+        prop_assert_eq!(assignment.len(), n);
+        for task in recipe.tasks() {
+            let module = assignment.module_of(&task.id).expect("placed");
+            if task.kind.required_capability().is_some() {
+                prop_assert_eq!(module, "sensing");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recipe DSL: render ∘ parse = identity
+// ---------------------------------------------------------------------
+
+fn arb_task_kind() -> impl Strategy<Value = ifot::recipe::model::TaskKind> {
+    use ifot::recipe::model::TaskKind;
+    let name = || prop::string::string_regex("[a-z]{1,8}").expect("valid regex");
+    prop_oneof![
+        (name(), 1.0f64..100.0).prop_map(|(sensor, rate_hz)| TaskKind::Sense {
+            sensor: "sound".into(),
+            rate_hz: rate_hz.round(),
+        }
+        .pick_sensor(sensor)),
+        (1u64..10_000).prop_map(|size_ms| TaskKind::Window { size_ms }),
+        name().prop_map(|algorithm| TaskKind::Train { algorithm }),
+        name().prop_map(|algorithm| TaskKind::Predict { algorithm }),
+        (name(), -10.0f64..10.0).prop_map(|(detector, threshold)| TaskKind::DetectAnomaly {
+            detector,
+            threshold: (threshold * 4.0).round() / 4.0,
+        }),
+        name().prop_map(|model| TaskKind::Estimate { model }),
+        (name(), name(), 0.0f64..50.0, 50.0f64..100.0).prop_map(
+            |(key, emit, off, on)| TaskKind::Policy {
+                key,
+                on_above: on.round(),
+                off_below: off.round(),
+                emit,
+            }
+        ),
+        name().prop_map(|actuator| TaskKind::Actuate { actuator }),
+        name().prop_map(|operator| TaskKind::Custom { operator }),
+    ]
+}
+
+/// Helper so the Sense arm above can use a generated sensor name.
+trait PickSensor {
+    fn pick_sensor(self, sensor: String) -> Self;
+}
+impl PickSensor for ifot::recipe::model::TaskKind {
+    fn pick_sensor(mut self, new: String) -> Self {
+        if let ifot::recipe::model::TaskKind::Sense { sensor, .. } = &mut self {
+            *sensor = new;
+        }
+        self
+    }
+}
+
+proptest! {
+    /// Rendering a random valid recipe to DSL and parsing it back yields
+    /// the identical recipe.
+    #[test]
+    fn dsl_render_parse_round_trips(
+        kinds in prop::collection::vec(arb_task_kind(), 1..8),
+        edge_picks in prop::collection::vec((0usize..7, 1usize..8), 0..10),
+    ) {
+        use ifot::recipe::model::{Recipe, Task};
+        let n = kinds.len();
+        let mut builder = Recipe::builder("prop_recipe");
+        for (i, kind) in kinds.into_iter().enumerate() {
+            builder = builder.task(Task::new(format!("t{i}"), kind));
+        }
+        let mut edges: Vec<(usize, usize)> = edge_picks
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .filter(|(a, b)| a < b)
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        for (a, b) in edges {
+            builder = builder.edge(format!("t{a}"), format!("t{b}"));
+        }
+        let recipe = builder.build().expect("forward edges cannot cycle");
+        let rendered = ifot::recipe::dsl::render(&recipe);
+        let parsed = ifot::recipe::dsl::parse(&rendered)
+            .expect("rendered recipes parse");
+        prop_assert_eq!(parsed, recipe);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator: event ordering and determinism under random workloads
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// For random emitter topologies, the simulator processes events in
+    /// non-decreasing time order and identical seeds replay identically.
+    #[test]
+    fn simulator_ordering_and_determinism(
+        seed in 0u64..1_000,
+        intervals in prop::collection::vec(1u64..40, 1..5),
+    ) {
+        use ifot::netsim::actor::{Actor, Context, Packet};
+        use ifot::netsim::cpu::CpuProfile;
+        use ifot::netsim::sim::Simulation;
+        use ifot::netsim::time::SimDuration;
+
+        struct Emitter {
+            interval_ms: u64,
+            peer: String,
+        }
+        impl Actor for Emitter {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer_after(SimDuration::from_millis(self.interval_ms), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+                if let Some(peer) = ctx.lookup(&self.peer) {
+                    ctx.send(peer, 1, vec![0u8; 16]);
+                }
+                ctx.set_timer_after(SimDuration::from_millis(self.interval_ms), 0);
+            }
+        }
+        struct Sink;
+        impl Actor for Sink {
+            fn on_packet(&mut self, ctx: &mut Context<'_>, _p: Packet) {
+                ctx.metrics().incr("got");
+            }
+        }
+
+        let build = |seed: u64, intervals: &[u64]| {
+            let mut sim = Simulation::new(seed);
+            sim.enable_trace();
+            sim.add_node("sink", CpuProfile::RASPBERRY_PI_2, Box::new(Sink));
+            for (i, &interval_ms) in intervals.iter().enumerate() {
+                sim.add_node(
+                    &format!("e{i}"),
+                    CpuProfile::RASPBERRY_PI_2,
+                    Box::new(Emitter {
+                        interval_ms,
+                        peer: "sink".into(),
+                    }),
+                );
+            }
+            sim.run_for(SimDuration::from_millis(500));
+            (sim.metrics().counter("got"), sim.take_trace())
+        };
+
+        let (got_a, trace_a) = build(seed, &intervals);
+        // Ordering: processing times never go backwards.
+        let mut last = ifot::netsim::time::SimTime::ZERO;
+        for entry in trace_a.entries() {
+            prop_assert!(entry.time >= last, "time went backwards");
+            last = entry.time;
+        }
+        prop_assert!(got_a > 0);
+        // Determinism: same seed, same trace.
+        let (got_b, trace_b) = build(seed, &intervals);
+        prop_assert_eq!(got_a, got_b);
+        prop_assert_eq!(trace_a.digest(), trace_b.digest());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sensor sample codec
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The 32-byte sample image round-trips for arbitrary field values.
+    #[test]
+    fn sample_wire_round_trips(
+        kind_byte in 0u8..7,
+        device in any::<u16>(),
+        seq in any::<u32>(),
+        ts in any::<u64>(),
+        values in prop::collection::vec(-1e30f32..1e30, 1..4),
+    ) {
+        use ifot::sensors::sample::{Sample, SensorKind};
+        let kind = SensorKind::from_byte(kind_byte).expect("generated kinds are valid");
+        let sample = Sample::new(kind, device, seq, ts, &values);
+        let decoded = Sample::decode(&sample.encode()).expect("round trip");
+        prop_assert_eq!(decoded, sample);
+    }
+}
