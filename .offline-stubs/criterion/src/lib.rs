@@ -1,0 +1,121 @@
+//! Typecheck-only offline stand-in for `criterion`: benchmarks compile
+//! and each closure runs once (no measurement). Real runs happen in the
+//! driver environment against the real crate.
+
+use std::fmt::Display;
+use std::time::Duration;
+
+pub use std::hint::black_box;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, _name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher { _private: () });
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        _id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher { _private: () });
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher { _private: () }, input);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+    }
+}
+
+pub struct BenchmarkId {
+    _private: (),
+}
+
+impl BenchmarkId {
+    pub fn new(_name: impl Into<String>, _param: impl Display) -> BenchmarkId {
+        BenchmarkId { _private: () }
+    }
+
+    pub fn from_parameter(_param: impl Display) -> BenchmarkId {
+        BenchmarkId { _private: () }
+    }
+}
+
+pub trait IntoBenchmarkId {}
+impl IntoBenchmarkId for BenchmarkId {}
+impl IntoBenchmarkId for &str {}
+impl IntoBenchmarkId for String {}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,239 @@
+//! Typecheck-only offline stand-in for `proptest`. The combinator and
+//! macro surface matches what this workspace's property tests use, so the
+//! tests compile offline; actually *running* them panics immediately.
+//! The driver environment runs them against the real crate.
+
+pub mod strategy {
+    use std::marker::PhantomData;
+
+    /// A value generator (typecheck-level: carries only the value type).
+    pub trait Strategy: Sized {
+        type Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, _f: F) -> Map<O> {
+            Map(PhantomData)
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, _f: F) -> Map<S::Value> {
+            Map(PhantomData)
+        }
+    }
+
+    pub struct Map<O>(PhantomData<O>);
+    impl<O> Strategy for Map<O> {
+        type Value = O;
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+    impl<T> Strategy for Just<T> {
+        type Value = T;
+    }
+
+    pub struct Union<V>(PhantomData<V>);
+    impl<V> Union<V> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Union<V> {
+            Union(PhantomData)
+        }
+
+        pub fn or<S: Strategy<Value = V>>(self, _s: S) -> Union<V> {
+            self
+        }
+    }
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+    }
+
+    impl<T> Strategy for std::ops::Range<T> {
+        type Value = T;
+    }
+    impl<T> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+            }
+        };
+    }
+    tuple_strategy!(S1, S2);
+    tuple_strategy!(S1, S2, S3);
+    tuple_strategy!(S1, S2, S3, S4);
+    tuple_strategy!(S1, S2, S3, S4, S5);
+    tuple_strategy!(S1, S2, S3, S4, S5, S6);
+    tuple_strategy!(S1, S2, S3, S4, S5, S6, S7);
+    tuple_strategy!(S1, S2, S3, S4, S5, S6, S7, S8);
+
+    /// Entry point used by the expanded `proptest!` macro.
+    pub fn sample<S: Strategy>(_s: S) -> S::Value {
+        panic!("proptest offline stub cannot generate values; run under the real crate")
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    pub struct Any<T>(PhantomData<T>);
+    impl<T> Strategy for Any<T> {
+        type Value = T;
+    }
+
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    pub struct VecStrategy<T>(PhantomData<T>);
+    impl<T> Strategy for VecStrategy<T> {
+        type Value = Vec<T>;
+    }
+
+    pub fn vec<S: Strategy, R>(_element: S, _size: R) -> VecStrategy<S::Value> {
+        VecStrategy(PhantomData)
+    }
+}
+
+pub mod string {
+    use super::strategy::Strategy;
+
+    #[derive(Debug)]
+    pub struct Error;
+
+    pub struct RegexGeneratorStrategy;
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+    }
+
+    pub fn string_regex(_regex: &str) -> Result<RegexGeneratorStrategy, Error> {
+        Ok(RegexGeneratorStrategy)
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    pub struct OptionStrategy<T>(PhantomData<T>);
+    impl<T> Strategy for OptionStrategy<T> {
+        type Value = Option<T>;
+    }
+
+    pub fn of<S: Strategy>(_s: S) -> OptionStrategy<S::Value> {
+        OptionStrategy(PhantomData)
+    }
+}
+
+pub mod test_runner {
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError(reason.into())
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#![proptest_config($cfg:expr)])?
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $(let $arg = $crate::strategy::sample($strat);)+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                result.unwrap();
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, "assertion failed: {:?} != {:?}", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, "assertion failed: {:?} == {:?}", left, right);
+    }};
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::string;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let union = $crate::strategy::Union::new();
+        $(let union = { let _ = $weight; union.or($strat) };)+
+        union
+    }};
+    ($($strat:expr),+ $(,)?) => {{
+        let union = $crate::strategy::Union::new();
+        $(let union = union.or($strat);)+
+        union
+    }};
+}

@@ -1,0 +1,175 @@
+//! Functional offline stand-in for `rand` 0.8: a deterministic
+//! SplitMix64-backed `SmallRng` with the `Rng`/`SeedableRng` surface this
+//! workspace uses. Streams differ from the real crate but have the same
+//! statistical shape for the tests that matter here.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64(raw: u64) -> u64 {
+        raw
+    }
+}
+impl Standard for u32 {
+    fn from_u64(raw: u64) -> u32 {
+        (raw >> 32) as u32
+    }
+}
+impl Standard for u16 {
+    fn from_u64(raw: u64) -> u16 {
+        (raw >> 48) as u16
+    }
+}
+impl Standard for u8 {
+    fn from_u64(raw: u64) -> u8 {
+        (raw >> 56) as u8
+    }
+}
+impl Standard for usize {
+    fn from_u64(raw: u64) -> usize {
+        raw as usize
+    }
+}
+impl Standard for bool {
+    fn from_u64(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> f64 {
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl Standard for f32 {
+    fn from_u64(raw: u64) -> f32 {
+        ((raw >> 40) as f32) / (1u32 << 24) as f32
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample(self, raw: u64) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, raw: u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (raw as u128 % span) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, raw: u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u128 + 1;
+                lo + (raw as u128 % span) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, raw: u64) -> $t {
+                let unit = f64::from_u64(raw) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self.next_u64())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> SmallRng {
+            SmallRng { state }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+            let f = a.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            b.gen::<f64>();
+            assert!(a.gen_range(0..10u64) < 10);
+            b.gen_range(0..10u64);
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! Microbenchmarks of the MQTT substrate: codec round trips, topic-tree
 //! matching, and broker routing throughput.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use ifot_mqtt::broker::Broker;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ifot_mqtt::broker::{Action, Broker};
 use ifot_mqtt::codec::{decode, encode};
 use ifot_mqtt::packet::{Connect, Packet, Publish, QoS, Subscribe, SubscribeFilter};
 use ifot_mqtt::topic::{TopicFilter, TopicName};
@@ -96,5 +96,70 @@ fn bench_broker_routing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_topic_tree, bench_broker_routing);
+/// End-to-end fan-out: one QoS 0 publisher to N subscribers, including
+/// the per-connection transport work (wire encode for `Send`, buffer
+/// hand-off for the pre-encoded `SendFrame`). This is the path the
+/// zero-copy refactor targets: the broker encodes once per publish and
+/// shares the frame across all matching connections.
+fn bench_broker_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mqtt_broker_fanout");
+    for &subs in &[1usize, 10, 100] {
+        let mut broker: Broker<u32> = Broker::new();
+        broker.connection_opened(0, 0);
+        broker.handle_packet(&0, Packet::Connect(Connect::new("pub")), 0);
+        for i in 1..=subs as u32 {
+            broker.connection_opened(i, 0);
+            broker.handle_packet(&i, Packet::Connect(Connect::new(format!("sub{i}"))), 0);
+            broker.handle_packet(
+                &i,
+                Packet::Subscribe(Subscribe {
+                    packet_id: 1,
+                    filters: vec![SubscribeFilter {
+                        filter: TopicFilter::new("sensor/#").expect("valid"),
+                        qos: QoS::AtMostOnce,
+                    }],
+                }),
+                0,
+            );
+        }
+        let topic = TopicName::new("sensor/1/accel").expect("valid");
+        let payload = bytes::Bytes::from(vec![0u8; 32]);
+        group.throughput(Throughput::Elements(subs as u64));
+        group.bench_with_input(
+            BenchmarkId::new("publish_qos0_32B", subs),
+            &subs,
+            |b, _| {
+                b.iter(|| {
+                    let publish =
+                        Packet::Publish(Publish::qos0(topic.clone(), payload.clone()));
+                    let actions = broker.handle_packet(&0, black_box(publish), 1);
+                    let mut deliveries = 0u64;
+                    for action in &actions {
+                        match action {
+                            Action::Send { packet, .. } => {
+                                deliveries += 1;
+                                black_box(encode(packet));
+                            }
+                            Action::SendFrame { frame, .. } => {
+                                deliveries += 1;
+                                black_box(frame);
+                            }
+                            Action::Close { .. } => {}
+                        }
+                    }
+                    deliveries
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_topic_tree,
+    bench_broker_routing,
+    bench_broker_fanout
+);
 criterion_main!(benches);

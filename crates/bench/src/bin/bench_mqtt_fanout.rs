@@ -1,0 +1,92 @@
+//! Standalone broker fan-out throughput measurement (no criterion), used
+//! to record `BENCH_mqtt_fanout.json`: one QoS 0 publisher fanning out to
+//! N subscribers, end-to-end through routing *and* the per-connection
+//! wire encode a transport would perform.
+//!
+//! Run with `cargo run --release -p ifot-bench --bin bench_mqtt_fanout`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ifot_mqtt::broker::{Action, Broker};
+use ifot_mqtt::codec::encode;
+use ifot_mqtt::packet::{Connect, Packet, Publish, QoS, Subscribe, SubscribeFilter};
+use ifot_mqtt::topic::{TopicFilter, TopicName};
+
+/// Builds a broker with one publisher (conn 0) and `subs` QoS 0
+/// subscribers on `sensor/#`.
+fn build_broker(subs: usize) -> Broker<u32> {
+    let mut broker: Broker<u32> = Broker::new();
+    broker.connection_opened(0, 0);
+    broker.handle_packet(&0, Packet::Connect(Connect::new("pub")), 0);
+    for i in 1..=subs as u32 {
+        broker.connection_opened(i, 0);
+        broker.handle_packet(&i, Packet::Connect(Connect::new(format!("sub{i}"))), 0);
+        broker.handle_packet(
+            &i,
+            Packet::Subscribe(Subscribe {
+                packet_id: 1,
+                filters: vec![SubscribeFilter {
+                    filter: TopicFilter::new("sensor/#").expect("valid"),
+                    qos: QoS::AtMostOnce,
+                }],
+            }),
+            0,
+        );
+    }
+    broker
+}
+
+/// Publishes `iters` QoS 0 messages and simulates the transport work for
+/// every resulting action (encoding packets to wire bytes, as net.rs and
+/// the node runtime do). Returns total subscriber deliveries.
+fn run(broker: &mut Broker<u32>, iters: u64) -> u64 {
+    let topic = TopicName::new("sensor/1/accel").expect("valid");
+    let payload = bytes::Bytes::from(vec![0u8; 32]);
+    let mut deliveries = 0u64;
+    for n in 0..iters {
+        let publish = Packet::Publish(Publish::qos0(topic.clone(), payload.clone()));
+        let actions = broker.handle_packet(&0, publish, n);
+        for action in &actions {
+            match action {
+                Action::Send { packet, .. } => {
+                    deliveries += 1;
+                    black_box(encode(packet));
+                }
+                // Pre-encoded fan-out frame: the transport hands the same
+                // buffer to every subscriber without re-encoding.
+                Action::SendFrame { frame, .. } => {
+                    deliveries += 1;
+                    black_box(frame);
+                }
+                Action::Close { .. } => {}
+            }
+        }
+    }
+    deliveries
+}
+
+fn main() {
+    println!("{{");
+    println!("  \"bench\": \"mqtt_broker_fanout_qos0_32B\",");
+    println!("  \"unit\": \"subscriber deliveries per second (publish + route + per-connection encode)\",");
+    println!("  \"results\": [");
+    let cases = [1usize, 10, 100];
+    for (i, &subs) in cases.iter().enumerate() {
+        let mut broker = build_broker(subs);
+        // Warm-up (also populates any steady-state caches, matching the
+        // repeated-sensor-topic workload from the paper).
+        run(&mut broker, 2_000 / subs as u64 + 10);
+        let iters = 2_000_000 / subs as u64;
+        let start = Instant::now();
+        let deliveries = run(&mut broker, iters);
+        let secs = start.elapsed().as_secs_f64();
+        let rate = deliveries as f64 / secs;
+        let comma = if i + 1 == cases.len() { "" } else { "," };
+        println!(
+            "    {{ \"subscribers\": {subs}, \"publishes\": {iters}, \"deliveries\": {deliveries}, \"seconds\": {secs:.4}, \"deliveries_per_sec\": {rate:.0} }}{comma}"
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -5,14 +5,18 @@
 //! real threads (the examples). The environment supplies time, transport,
 //! timers, CPU accounting and metrics.
 
+use bytes::Bytes;
+
 /// Services a runtime provides to a [`crate::node::MiddlewareNode`].
 pub trait NodeEnv {
     /// Current time in nanoseconds. On the simulator this is virtual
     /// time; on threads it is monotone wall time.
     fn now_ns(&self) -> u64;
 
-    /// Sends `payload` to the node named `dst` on `port`.
-    fn send(&mut self, dst: &str, port: u16, payload: Vec<u8>);
+    /// Sends `payload` to the node named `dst` on `port`. The payload is
+    /// reference-counted: runtimes hand the same buffer to their
+    /// transport without copying.
+    fn send(&mut self, dst: &str, port: u16, payload: Bytes);
 
     /// Arms a timer that fires `delay_ns` after the current handler
     /// completes, delivering `tag` back to the node.
@@ -76,7 +80,7 @@ pub struct MockEnv {
     /// Manually advanced clock.
     pub now_ns: u64,
     /// Sent packets `(dst, port, payload)`.
-    pub sent: Vec<(String, u16, Vec<u8>)>,
+    pub sent: Vec<(String, u16, Bytes)>,
     /// Armed relative timers `(delay_ns, tag)`.
     pub timers_rel: Vec<(u64, u64)>,
     /// Armed absolute timers `(at_ns, tag)`.
@@ -104,7 +108,7 @@ impl MockEnv {
         self.sent
             .iter()
             .filter(|(d, p, _)| d == dst && *p == port)
-            .map(|(_, _, b)| b.as_slice())
+            .map(|(_, _, b)| &b[..])
             .collect()
     }
 
@@ -128,7 +132,7 @@ impl NodeEnv for MockEnv {
         self.now_ns
     }
 
-    fn send(&mut self, dst: &str, port: u16, payload: Vec<u8>) {
+    fn send(&mut self, dst: &str, port: u16, payload: Bytes) {
         self.sent.push((dst.to_owned(), port, payload));
     }
 
@@ -173,7 +177,7 @@ mod tests {
     #[test]
     fn mock_records_effects() {
         let mut env = MockEnv::new();
-        env.send("peer", 1883, vec![1, 2]);
+        env.send("peer", 1883, vec![1, 2].into());
         env.set_timer_after_ns(10, 7);
         env.set_timer_at_ns(99, 8);
         env.consume_ref_ms(1.5);

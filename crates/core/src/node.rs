@@ -20,6 +20,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use bytes::Bytes;
+
 use ifot_mqtt::broker::{Action, Broker};
 use ifot_mqtt::client::{Client, ClientConfig, ClientEvent, ClientState};
 use ifot_mqtt::codec::{encode, StreamDecoder};
@@ -172,7 +174,9 @@ impl MiddlewareNode {
             let will = config.announce.then(|| ifot_mqtt::packet::LastWill {
                 topic: TopicName::new(crate::discovery::announce_topic(&config.name))
                     .expect("announce topics are valid"),
-                payload: crate::discovery::NodeAnnouncement::offline(&config.name).encode(),
+                payload: crate::discovery::NodeAnnouncement::offline(&config.name)
+                    .encode()
+                    .into(),
                 qos: QoS::AtMostOnce,
                 retain: true,
             });
@@ -399,7 +403,9 @@ impl MiddlewareNode {
         };
         env.consume_ref_ms(costs::SENSOR_READ_MS);
         let labelled = s.injector.read(now);
-        let payload = labelled.sample.encode().to_vec();
+        // One allocation per sample: this buffer is reference-shared
+        // through codec, broker fan-out and subscriber dispatch.
+        let payload = labelled.sample.encode_bytes();
         let topic = s.topic.clone();
         // Schedule the next sample on the nominal grid (no drift).
         s.next_sample_ns += s.period_ns;
@@ -420,12 +426,12 @@ impl MiddlewareNode {
     }
 
     /// Publishes a payload through the client (consuming publish CPU).
-    fn publish(&mut self, env: &mut dyn NodeEnv, topic: &str, payload: Vec<u8>) {
+    fn publish(&mut self, env: &mut dyn NodeEnv, topic: &str, payload: Bytes) {
         self.publish_opts(env, topic, payload, false);
     }
 
     /// Publishes with an explicit retain flag.
-    fn publish_opts(&mut self, env: &mut dyn NodeEnv, topic: &str, payload: Vec<u8>, retain: bool) {
+    fn publish_opts(&mut self, env: &mut dyn NodeEnv, topic: &str, payload: Bytes, retain: bool) {
         let Some(client) = self.client.as_mut() else {
             env.incr("publish_without_client");
             return;
@@ -525,6 +531,12 @@ impl MiddlewareNode {
                         env.consume_ref_ms(costs::BROKER_OUT_MS);
                     }
                     env.send(&conn, MQTT_CLIENT_PORT, encode(&packet));
+                }
+                Action::SendFrame { conn, frame } => {
+                    // Pre-encoded QoS 0 fan-out: the broker encoded the
+                    // PUBLISH once; every subscriber gets the same buffer.
+                    env.consume_ref_ms(costs::BROKER_OUT_MS);
+                    env.send(&conn, MQTT_CLIENT_PORT, frame);
                 }
                 Action::Close { conn } => {
                     self.broker_decoders.remove(&conn);
@@ -709,7 +721,7 @@ impl MiddlewareNode {
             at_ns: env.now_ns(),
         };
         let topic = announce_topic(&self.config.name);
-        self.publish_opts(env, &topic, announcement.encode(), true);
+        self.publish_opts(env, &topic, announcement.encode().into(), true);
         env.incr("announcements");
     }
 
@@ -739,8 +751,8 @@ impl MiddlewareNode {
 
     /// Routes a payload on `topic` to every matching local operator,
     /// iteratively following local operator chains.
-    fn dispatch_flow(&mut self, env: &mut dyn NodeEnv, topic: String, payload: Vec<u8>) {
-        let mut queue: VecDeque<(String, Vec<u8>)> = VecDeque::new();
+    fn dispatch_flow(&mut self, env: &mut dyn NodeEnv, topic: String, payload: Bytes) {
+        let mut queue: VecDeque<(String, Bytes)> = VecDeque::new();
         queue.push_back((topic, payload));
         let mut hops = 0;
         while let Some((topic, payload)) = queue.pop_front() {
@@ -828,9 +840,9 @@ impl MiddlewareNode {
         env: &mut dyn NodeEnv,
         op_index: Option<usize>,
         topic: &str,
-        payload: Vec<u8>,
+        payload: Bytes,
         publish: bool,
-        queue: &mut VecDeque<(String, Vec<u8>)>,
+        queue: &mut VecDeque<(String, Bytes)>,
     ) {
         let has_local_consumer = self
             .operators
@@ -851,7 +863,7 @@ impl MiddlewareNode {
         env: &mut dyn NodeEnv,
         op_index: usize,
         outputs: Vec<OpOutput>,
-        queue: &mut VecDeque<(String, Vec<u8>)>,
+        queue: &mut VecDeque<(String, Bytes)>,
     ) {
         for output in outputs {
             match output {
@@ -860,7 +872,7 @@ impl MiddlewareNode {
                     let Some(topic) = spec.output else {
                         continue;
                     };
-                    let payload = message.encode();
+                    let payload = message.encode().into();
                     self.route_output(
                         env,
                         Some(op_index),
@@ -878,7 +890,8 @@ impl MiddlewareNode {
                         task,
                         diff,
                     }
-                    .encode();
+                    .encode()
+                    .into();
                     self.route_output(env, None, &topic, payload, true, queue);
                 }
                 OpOutput::MixAverage { task, diff } => {
@@ -888,7 +901,8 @@ impl MiddlewareNode {
                         task,
                         diff,
                     }
-                    .encode();
+                    .encode()
+                    .into();
                     self.route_output(env, None, &topic, payload, true, queue);
                 }
                 OpOutput::Command { device_id, command } => {

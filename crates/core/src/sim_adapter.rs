@@ -45,7 +45,7 @@ impl NodeEnv for SimEnv<'_, '_> {
         self.ctx.now().as_nanos()
     }
 
-    fn send(&mut self, dst: &str, port: u16, payload: Vec<u8>) {
+    fn send(&mut self, dst: &str, port: u16, payload: bytes::Bytes) {
         match self.ctx.lookup(dst) {
             Some(id) => self.ctx.send(id, port, payload),
             None => self.ctx.metrics().incr("send_unknown_node"),

@@ -13,6 +13,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
@@ -27,7 +28,9 @@ enum ThreadMsg {
     Packet {
         src: String,
         port: u16,
-        payload: Vec<u8>,
+        // Reference-counted: a broker fan-out to N local subscribers
+        // sends the same buffer N times without copying it.
+        payload: Bytes,
     },
     Stop,
 }
@@ -138,13 +141,13 @@ impl RunningCluster {
     }
 
     /// Injects a packet into a node from outside the cluster.
-    pub fn inject(&self, dst: &str, src: &str, port: u16, payload: Vec<u8>) -> bool {
+    pub fn inject(&self, dst: &str, src: &str, port: u16, payload: impl Into<Bytes>) -> bool {
         match self.senders.get(dst) {
             Some(tx) => tx
                 .send(ThreadMsg::Packet {
                     src: src.to_owned(),
                     port,
-                    payload,
+                    payload: payload.into(),
                 })
                 .is_ok(),
             None => false,
@@ -205,7 +208,7 @@ impl NodeEnv for ThreadEnv<'_> {
         self.now_ns
     }
 
-    fn send(&mut self, dst: &str, port: u16, payload: Vec<u8>) {
+    fn send(&mut self, dst: &str, port: u16, payload: Bytes) {
         match self.senders.get(dst) {
             Some(tx) => {
                 let _ = tx.send(ThreadMsg::Packet {
@@ -381,7 +384,7 @@ mod tests {
                 ifot_mqtt::packet::Connect::new("outsider")
             )),
         ));
-        assert!(!cluster.inject("ghost", "x", 1, vec![]));
+        assert!(!cluster.inject("ghost", "x", 1, Bytes::new()));
         let report = cluster.run_for(Duration::from_millis(200));
         let stats = report.node("broker").expect("broker").broker_stats().expect("stats");
         assert_eq!(stats.clients_connected, 1);

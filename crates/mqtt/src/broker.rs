@@ -17,6 +17,9 @@
 
 use std::collections::BTreeMap;
 
+use bytes::Bytes;
+
+use crate::codec;
 use crate::packet::{
     Connack, Connect, ConnectReturnCode, LastWill, Packet, PacketId, Publish, QoS, Suback,
     SubackCode, Subscribe, Unsubscribe,
@@ -57,6 +60,18 @@ pub enum Action<C> {
         conn: C,
         /// Packet to send.
         packet: Packet,
+    },
+    /// Send pre-encoded wire bytes to connection `conn`.
+    ///
+    /// Emitted on the QoS 0 fan-out path: the broker encodes the outgoing
+    /// publish once per topic and shares the same reference-counted frame
+    /// across every matching subscriber, so a transport writes the bytes
+    /// as-is instead of re-encoding per connection.
+    SendFrame {
+        /// Target connection.
+        conn: C,
+        /// Complete wire frame, ready to write.
+        frame: Bytes,
     },
     /// Close the connection (protocol error, keep-alive expiry, takeover).
     Close {
@@ -162,7 +177,10 @@ pub struct BrokerStats {
 ///
 /// let out = broker.handle_packet(&2, Packet::Publish(
 ///     Publish::qos0(TopicName::new("s/a")?, b"hi".to_vec())), 2);
-/// assert!(matches!(&out[0], Action::Send { conn: 1, packet: Packet::Publish(p) } if p.payload == b"hi"));
+/// // QoS 0 fan-out ships one shared, pre-encoded frame per subscriber.
+/// let Action::SendFrame { conn: 1, frame } = &out[0] else { panic!("expected frame") };
+/// let (packet, _) = ifot_mqtt::codec::decode(frame)?.expect("complete packet");
+/// assert!(matches!(packet, Packet::Publish(p) if p.payload.as_ref() == b"hi"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
@@ -286,10 +304,11 @@ impl<C: Ord + Clone> Broker<C> {
             actions.push(Action::Close { conn });
         }
 
-        // Retransmissions for connected clients.
+        // Retransmissions for connected clients. `online` and `sessions`
+        // are disjoint fields, so iterate by reference — no map clone.
         let timeout = self.config.retransmit_timeout_ns;
-        for (client_id, conn) in self.online.clone() {
-            let Some(session) = self.sessions.get_mut(&client_id) else {
+        for (client_id, conn) in self.online.iter() {
+            let Some(session) = self.sessions.get_mut(client_id) else {
                 continue;
             };
             for (pid, inflight) in session.inflight.iter_mut() {
@@ -505,16 +524,50 @@ impl<C: Ord + Clone> Broker<C> {
     }
 
     /// Routes a publish to every matching subscriber.
+    ///
+    /// QoS 0 deliveries are byte-for-byte identical across subscribers
+    /// (no packet id, dup/retain cleared), so the outgoing frame is
+    /// encoded **once** and shared via [`Action::SendFrame`]. QoS 1/2
+    /// deliveries carry per-subscriber packet ids and go through
+    /// [`deliver`](Self::deliver); their in-flight copies still share the
+    /// payload `Bytes` with the original, so only the small header state
+    /// is per-subscriber.
     fn route(&mut self, publish: &Publish, now_ns: u64) -> Vec<Action<C>> {
         let mut actions = Vec::new();
-        for sub in self.tree.matches(&publish.topic) {
+        let subs = self.tree.matches_shared(&publish.topic);
+        // Lazily encoded: first QoS 0 subscriber pays the single encode,
+        // the rest bump a refcount.
+        let mut qos0_frame: Option<Bytes> = None;
+        for sub in subs.iter() {
             let effective_qos = publish.qos.min(sub.qos);
-            let mut out = publish.clone();
-            out.dup = false;
-            out.retain = false;
-            out.qos = effective_qos;
-            out.packet_id = None;
-            actions.extend(self.deliver(&sub.key, out, now_ns));
+            if effective_qos == QoS::AtMostOnce {
+                let Some(conn) = self.online.get(&sub.key) else {
+                    continue; // QoS 0 is never queued for offline sessions.
+                };
+                if !self.sessions.contains_key(&sub.key) {
+                    continue;
+                }
+                let frame = qos0_frame.get_or_insert_with(|| {
+                    let mut out = publish.clone();
+                    out.dup = false;
+                    out.retain = false;
+                    out.qos = QoS::AtMostOnce;
+                    out.packet_id = None;
+                    codec::encode(&Packet::Publish(out))
+                });
+                self.stats.messages_out += 1;
+                actions.push(Action::SendFrame {
+                    conn: conn.clone(),
+                    frame: frame.clone(),
+                });
+            } else {
+                let mut out = publish.clone();
+                out.dup = false;
+                out.retain = false;
+                out.qos = effective_qos;
+                out.packet_id = None;
+                actions.extend(self.deliver(&sub.key, out, now_ns));
+            }
         }
         actions
     }
@@ -790,11 +843,20 @@ mod tests {
         ));
     }
 
-    fn sends_to(actions: &[Action<u32>], conn: u32) -> Vec<&Packet> {
+    /// Packets sent to `conn`, decoding pre-encoded fan-out frames so
+    /// tests assert on packet semantics regardless of the action kind.
+    fn sends_to(actions: &[Action<u32>], conn: u32) -> Vec<Packet> {
         actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send { conn: c, packet } if *c == conn => Some(packet),
+                Action::Send { conn: c, packet } if *c == conn => Some(packet.clone()),
+                Action::SendFrame { conn: c, frame } if *c == conn => {
+                    let (packet, used) = crate::codec::decode(frame)
+                        .expect("frame decodes")
+                        .expect("frame is complete");
+                    assert_eq!(used, frame.len(), "frame holds exactly one packet");
+                    Some(packet)
+                }
                 _ => None,
             })
             .collect()
@@ -813,13 +875,39 @@ mod tests {
         );
         let to_sub = sends_to(&out, 1);
         assert_eq!(to_sub.len(), 1);
-        match to_sub[0] {
+        match &to_sub[0] {
             Packet::Publish(p) => {
-                assert_eq!(p.payload, b"x");
+                assert_eq!(p.payload.as_ref(), b"x");
                 assert_eq!(p.qos, QoS::AtMostOnce);
             }
             other => panic!("expected publish, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn qos0_fanout_shares_one_encoded_frame() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 9, "pub");
+        for i in 1..=3u32 {
+            connect(&mut b, i, &format!("sub{i}"));
+            subscribe(&mut b, i, "s/#", QoS::AtMostOnce);
+        }
+        let out = b.handle_packet(
+            &9,
+            Packet::Publish(Publish::qos0(topic("s/a"), b"x".to_vec())),
+            1,
+        );
+        let frames: Vec<&Bytes> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::SendFrame { frame, .. } => Some(frame),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frames.len(), 3);
+        // One encode for the whole fan-out: every frame is a refcounted
+        // view of the same allocation, not an equal copy.
+        assert!(frames.iter().all(|f| f.as_ptr() == frames[0].as_ptr()));
     }
 
     #[test]
@@ -838,7 +926,7 @@ mod tests {
             .iter()
             .any(|p| matches!(p, Packet::Puback(9))));
         // Subscriber gets a QoS1 publish with a broker-assigned pid.
-        let pid = match sends_to(&out, 1)[0] {
+        let pid = match &sends_to(&out, 1)[0] {
             Packet::Publish(p) => {
                 assert_eq!(p.qos, QoS::AtLeastOnce);
                 p.packet_id.expect("broker assigns pid")
@@ -849,7 +937,7 @@ mod tests {
         let re = b.poll(3_000_000_000);
         let re_pub = sends_to(&re, 1);
         assert_eq!(re_pub.len(), 1);
-        assert!(matches!(re_pub[0], Packet::Publish(p) if p.dup && p.packet_id == Some(pid)));
+        assert!(matches!(&re_pub[0], Packet::Publish(p) if p.dup && p.packet_id == Some(pid)));
         // Acked: no more retransmissions.
         b.handle_packet(&1, Packet::Puback(pid), 4_000_000_000);
         assert!(b.poll(10_000_000_000).is_empty());
@@ -866,7 +954,7 @@ mod tests {
             Packet::Publish(Publish::qos1(topic("s/a"), b"x".to_vec(), 3)),
             1,
         );
-        match sends_to(&out, 1)[0] {
+        match &sends_to(&out, 1)[0] {
             Packet::Publish(p) => assert_eq!(p.qos, QoS::AtMostOnce),
             other => panic!("expected publish, got {other:?}"),
         }
@@ -897,7 +985,9 @@ mod tests {
             .filter(|p| matches!(p, Packet::Publish(_)))
             .collect();
         assert_eq!(pubs.len(), 1);
-        assert!(matches!(pubs[0], Packet::Publish(p) if p.retain && p.payload == b"v1"));
+        assert!(
+            matches!(&pubs[0], Packet::Publish(p) if p.retain && p.payload.as_ref() == b"v1")
+        );
     }
 
     #[test]
@@ -907,7 +997,7 @@ mod tests {
         let mut p = Publish::qos0(topic("conf/x"), b"v1".to_vec());
         p.retain = true;
         b.handle_packet(&2, Packet::Publish(p), 0);
-        let mut clear = Publish::qos0(topic("conf/x"), Vec::new());
+        let mut clear = Publish::qos0(topic("conf/x"), Bytes::new());
         clear.retain = true;
         b.handle_packet(&2, Packet::Publish(clear), 1);
         assert_eq!(b.stats().retained_count, 0);
@@ -924,7 +1014,7 @@ mod tests {
         let mut c = Connect::new("dev");
         c.will = Some(LastWill {
             topic: topic("status/dev"),
-            payload: b"offline".to_vec(),
+            payload: Bytes::from_static(b"offline"),
             qos: QoS::AtMostOnce,
             retain: false,
         });
@@ -932,7 +1022,7 @@ mod tests {
         let out = b.connection_lost(&2, 1);
         assert!(sends_to(&out, 1)
             .iter()
-            .any(|p| matches!(p, Packet::Publish(p) if p.payload == b"offline")));
+            .any(|p| matches!(p, Packet::Publish(p) if p.payload.as_ref() == b"offline")));
 
         // Same client, graceful DISCONNECT: no will.
         b.connection_opened(3, 2);
@@ -1010,7 +1100,7 @@ mod tests {
         ));
         assert!(sends_to(&out, 3)
             .iter()
-            .any(|p| matches!(p, Packet::Publish(p) if p.payload == b"missed")));
+            .any(|p| matches!(p, Packet::Publish(p) if p.payload.as_ref() == b"missed")));
     }
 
     #[test]
@@ -1061,7 +1151,7 @@ mod tests {
         b.connection_opened(1, 0);
         let out = b.handle_packet(
             &1,
-            Packet::Publish(Publish::qos0(topic("a"), vec![])),
+            Packet::Publish(Publish::qos0(topic("a"), Bytes::new())),
             0,
         );
         assert!(out.iter().any(|a| matches!(a, Action::Close { conn: 1 })));
@@ -1169,7 +1259,7 @@ mod tests {
         assert_eq!(stats.clients_connected, 2);
         let sys = b.sys_stats_packets();
         assert!(sys.iter().any(|p| p.topic.as_str() == "$SYS/broker/messages/received"
-            && p.payload == b"3"));
+            && p.payload.as_ref() == b"3"));
     }
 
     #[test]
@@ -1182,17 +1272,17 @@ mod tests {
         p.qos = QoS::ExactlyOnce;
         // First PUBLISH: PUBREC to the publisher, message routed once.
         let out = b.handle_packet(&2, Packet::Publish(p.clone()), 0);
-        assert!(sends_to(&out, 2).contains(&&Packet::Pubrec(9)));
+        assert!(sends_to(&out, 2).contains(&Packet::Pubrec(9)));
         assert_eq!(sends_to(&out, 1).len(), 1);
         // Duplicate before PUBREL: PUBREC again, NOT routed again.
         let mut dup = p.clone();
         dup.dup = true;
         let out = b.handle_packet(&2, Packet::Publish(dup), 1);
-        assert!(sends_to(&out, 2).contains(&&Packet::Pubrec(9)));
+        assert!(sends_to(&out, 2).contains(&Packet::Pubrec(9)));
         assert!(sends_to(&out, 1).is_empty(), "duplicate must not be routed");
         // PUBREL closes the window with PUBCOMP.
         let out = b.handle_packet(&2, Packet::Pubrel(9), 2);
-        assert!(sends_to(&out, 2).contains(&&Packet::Pubcomp(9)));
+        assert!(sends_to(&out, 2).contains(&Packet::Pubcomp(9)));
         // A fresh publish with the same pid is a new message.
         let out = b.handle_packet(&2, Packet::Publish(p), 3);
         assert_eq!(sends_to(&out, 1).len(), 1);
@@ -1207,7 +1297,7 @@ mod tests {
         let mut p = Publish::qos1(topic("s/a"), b"x".to_vec(), 5);
         p.qos = QoS::ExactlyOnce;
         let out = b.handle_packet(&2, Packet::Publish(p), 0);
-        let pid = match sends_to(&out, 1)[0] {
+        let pid = match &sends_to(&out, 1)[0] {
             Packet::Publish(p) => {
                 assert_eq!(p.qos, QoS::ExactlyOnce);
                 p.packet_id.expect("pid")
@@ -1222,9 +1312,9 @@ mod tests {
         // PUBREC -> broker sends PUBREL; a stalled PUBCOMP retransmits
         // the PUBREL, not the PUBLISH.
         let out = b.handle_packet(&1, Packet::Pubrec(pid), 4_000_000_000);
-        assert!(sends_to(&out, 1).contains(&&Packet::Pubrel(pid)));
+        assert!(sends_to(&out, 1).contains(&Packet::Pubrel(pid)));
         let re = b.poll(7_000_000_000);
-        assert!(sends_to(&re, 1).contains(&&Packet::Pubrel(pid)));
+        assert!(sends_to(&re, 1).contains(&Packet::Pubrel(pid)));
         assert!(!sends_to(&re, 1).iter().any(|pk| matches!(pk, Packet::Publish(_))));
         // PUBCOMP finishes the flow: nothing left to retransmit.
         b.handle_packet(&1, Packet::Pubcomp(pid), 8_000_000_000);
@@ -1241,7 +1331,7 @@ mod tests {
         let out = b.publish_internal(p, 0);
         assert!(sends_to(&out, 1)
             .iter()
-            .any(|p| matches!(p, Packet::Publish(p) if p.payload == b"1")));
+            .any(|p| matches!(p, Packet::Publish(p) if p.payload.as_ref() == b"1")));
         assert_eq!(b.stats().retained_count, 1);
         // Leading-$ topics stay invisible to plain wildcard subscribers.
         connect(&mut b, 2, "plain");

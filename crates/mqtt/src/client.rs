@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use bytes::Bytes;
+
 use crate::error::SessionError;
 use crate::packet::{
     Connack, Connect, ConnectReturnCode, LastWill, Packet, PacketId, Publish, QoS, Subscribe,
@@ -196,7 +198,7 @@ impl Client {
     pub fn publish(
         &mut self,
         topic: TopicName,
-        payload: Vec<u8>,
+        payload: impl Into<Bytes>,
         qos: QoS,
         retain: bool,
         now_ns: u64,
@@ -204,6 +206,9 @@ impl Client {
         if self.state != ClientState::Connected {
             return Err(SessionError::NotConnected);
         }
+        // Convert once: the tracked in-flight copy and the wire packet
+        // share the same payload allocation.
+        let payload: Bytes = payload.into();
         let mut publish = match qos {
             QoS::AtMostOnce => Publish::qos0(topic, payload),
             QoS::AtLeastOnce => {
@@ -570,7 +575,7 @@ mod tests {
     fn publish_requires_connection() {
         let mut c = Client::new("t", ClientConfig::default());
         assert_eq!(
-            c.publish(topic("a"), vec![], QoS::AtMostOnce, false, 0),
+            c.publish(topic("a"), Bytes::new(), QoS::AtMostOnce, false, 0),
             Err(SessionError::NotConnected)
         );
     }
@@ -617,7 +622,7 @@ mod tests {
                 0,
             )
             .expect("handled");
-        assert!(matches!(&ev[0], ClientEvent::Message(p) if p.payload == b"m"));
+        assert!(matches!(&ev[0], ClientEvent::Message(p) if p.payload.as_ref() == b"m"));
         assert_eq!(out, vec![Packet::Puback(7)]);
     }
 

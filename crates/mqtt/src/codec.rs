@@ -17,7 +17,11 @@ use crate::topic::{TopicFilter, TopicName};
 /// Maximum value of the remaining-length varint.
 pub const MAX_REMAINING_LENGTH: usize = 268_435_455;
 
-/// Encodes a packet to bytes.
+/// Encodes a packet to a frozen wire frame.
+///
+/// The returned [`Bytes`] is reference-counted: the broker encodes a
+/// fan-out frame once and shares it across every matching connection
+/// without re-serialising or copying per subscriber.
 ///
 /// ```
 /// use ifot_mqtt::codec::{decode, encode};
@@ -34,7 +38,7 @@ pub const MAX_REMAINING_LENGTH: usize = 268_435_455;
 ///
 /// Panics if the encoded body would exceed [`MAX_REMAINING_LENGTH`]
 /// (requires a payload of ~256 MiB, far beyond any IFoT flow message).
-pub fn encode(packet: &Packet) -> Vec<u8> {
+pub fn encode(packet: &Packet) -> Bytes {
     let mut body = BytesMut::new();
     let (type_nibble, flags) = match packet {
         Packet::Connect(c) => {
@@ -114,11 +118,11 @@ pub fn encode(packet: &Packet) -> Vec<u8> {
         "packet body of {} bytes exceeds the MQTT remaining-length limit",
         body.len()
     );
-    let mut out = Vec::with_capacity(body.len() + 5);
-    out.push((type_nibble << 4) | flags);
+    let mut out = BytesMut::with_capacity(body.len() + 5);
+    out.put_u8((type_nibble << 4) | flags);
     encode_remaining_length(&mut out, body.len());
-    out.extend_from_slice(&body);
-    out
+    out.put_slice(&body);
+    out.freeze()
 }
 
 fn encode_connect(body: &mut BytesMut, c: &Connect) {
@@ -156,14 +160,14 @@ fn encode_connect(body: &mut BytesMut, c: &Connect) {
     }
 }
 
-fn encode_remaining_length(out: &mut Vec<u8>, mut len: usize) {
+fn encode_remaining_length(out: &mut BytesMut, mut len: usize) {
     loop {
         let mut byte = (len % 128) as u8;
         len /= 128;
         if len > 0 {
             byte |= 0x80;
         }
-        out.push(byte);
+        out.put_u8(byte);
         if len == 0 {
             break;
         }
@@ -207,7 +211,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Packet, usize)>, DecodeError> {
     if buf.len() < total {
         return Ok(None);
     }
-    let body = &buf[1 + header_len..total];
+    let body = Bytes::copy_from_slice(&buf[1 + header_len..total]);
     let packet = decode_body(packet_type, flags, body)?;
     Ok(Some((packet, total)))
 }
@@ -233,15 +237,16 @@ fn decode_remaining_length(buf: &[u8]) -> Result<Option<(usize, usize)>, DecodeE
     }
 }
 
+/// Cursor over a packet body held as [`Bytes`]: length-prefixed binary
+/// fields and the publish payload are *sliced* out of the shared frame
+/// (reference-count bump) rather than copied into fresh allocations.
 struct Reader {
     buf: Bytes,
 }
 
 impl Reader {
-    fn new(body: &[u8]) -> Self {
-        Reader {
-            buf: Bytes::copy_from_slice(body),
-        }
+    fn new(body: Bytes) -> Self {
+        Reader { buf: body }
     }
 
     fn remaining(&self) -> usize {
@@ -262,21 +267,20 @@ impl Reader {
         Ok(self.buf.get_u16())
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+    fn bytes(&mut self) -> Result<Bytes, DecodeError> {
         let len = self.u16()? as usize;
         if self.buf.remaining() < len {
             return Err(DecodeError::UnexpectedEof);
         }
-        Ok(self.buf.copy_to_bytes(len).to_vec())
+        Ok(self.buf.split_to(len))
     }
 
     fn string(&mut self) -> Result<String, DecodeError> {
-        String::from_utf8(self.bytes()?).map_err(|_| DecodeError::InvalidString)
+        String::from_utf8(self.bytes()?.to_vec()).map_err(|_| DecodeError::InvalidString)
     }
 
-    fn rest(&mut self) -> Vec<u8> {
-        let len = self.buf.remaining();
-        self.buf.copy_to_bytes(len).to_vec()
+    fn rest(&mut self) -> Bytes {
+        self.buf.split_to(self.buf.remaining())
     }
 
     fn expect_empty(&self) -> Result<(), DecodeError> {
@@ -296,7 +300,7 @@ fn require_flags(packet_type: u8, flags: u8, expected: u8) -> Result<(), DecodeE
     }
 }
 
-fn decode_body(packet_type: u8, flags: u8, body: &[u8]) -> Result<Packet, DecodeError> {
+fn decode_body(packet_type: u8, flags: u8, body: Bytes) -> Result<Packet, DecodeError> {
     let mut r = Reader::new(body);
     match packet_type {
         1 => {
@@ -503,7 +507,7 @@ fn decode_connect(r: &mut Reader) -> Result<Packet, DecodeError> {
 /// ```
 #[derive(Debug, Default)]
 pub struct StreamDecoder {
-    buf: Vec<u8>,
+    buf: BytesMut,
 }
 
 impl StreamDecoder {
@@ -519,18 +523,32 @@ impl StreamDecoder {
 
     /// Pops the next complete packet, if any.
     ///
+    /// A complete frame is split off the stream buffer and frozen, so a
+    /// decoded publish payload is a zero-copy slice of that frame rather
+    /// than a fresh allocation.
+    ///
     /// # Errors
     ///
     /// Propagates [`DecodeError`] on malformed input; the stream should be
     /// dropped afterwards.
     pub fn next_packet(&mut self) -> Result<Option<Packet>, DecodeError> {
-        match decode(&self.buf)? {
-            Some((packet, used)) => {
-                self.buf.drain(..used);
-                Ok(Some(packet))
-            }
-            None => Ok(None),
+        if self.buf.is_empty() {
+            return Ok(None);
         }
+        let first = self.buf[0];
+        let packet_type = first >> 4;
+        let flags = first & 0x0F;
+        let (remaining, header_len) = match decode_remaining_length(&self.buf[1..])? {
+            Some(v) => v,
+            None => return Ok(None),
+        };
+        let total = 1 + header_len + remaining;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = self.buf.split_to(total).freeze();
+        let body = frame.slice(1 + header_len..total);
+        Ok(Some(decode_body(packet_type, flags, body)?))
     }
 
     /// Bytes currently buffered but not yet consumed.
@@ -590,10 +608,10 @@ mod tests {
         c.clean_session = false;
         c.keep_alive_secs = 0;
         c.username = Some("user".into());
-        c.password = Some(vec![1, 2, 3]);
+        c.password = Some(vec![1, 2, 3].into());
         c.will = Some(LastWill {
             topic: topic("status/node-b"),
-            payload: b"offline".to_vec(),
+            payload: Bytes::from_static(b"offline"),
             qos: QoS::AtLeastOnce,
             retain: true,
         });
@@ -618,7 +636,7 @@ mod tests {
         let mut p = Publish::qos1(topic("sensor/x"), vec![0; 300], 42);
         p.retain = true;
         round_trip(Packet::Publish(p));
-        let mut d = Publish::qos1(topic("sensor/x"), vec![], 43);
+        let mut d = Publish::qos1(topic("sensor/x"), Bytes::new(), 43);
         d.dup = true;
         round_trip(Packet::Publish(d));
     }
@@ -710,7 +728,7 @@ mod tests {
 
     #[test]
     fn zero_packet_id_rejected() {
-        let mut bytes = encode(&Packet::Publish(Publish::qos1(topic("a"), vec![], 1)));
+        let mut bytes = encode(&Packet::Publish(Publish::qos1(topic("a"), Bytes::new(), 1))).to_vec();
         // Patch the packet id to zero: topic "a" = 2 len + 1 char after 2-byte header.
         let pid_offset = 2 + 2 + 1;
         bytes[pid_offset] = 0;
@@ -750,7 +768,7 @@ mod tests {
 
     #[test]
     fn wrong_protocol_rejected() {
-        let mut c = encode(&Packet::Connect(Connect::new("x")));
+        let mut c = encode(&Packet::Connect(Connect::new("x"))).to_vec();
         c[4] = b'X'; // corrupt protocol name "MQTT" -> "MXTT"
         assert_eq!(decode(&c), Err(DecodeError::UnsupportedProtocol));
     }

@@ -44,6 +44,12 @@ impl Shared {
                         let _ = stream.write_all(&encode(&packet));
                     }
                 }
+                // Pre-encoded fan-out frame: write the shared bytes as-is.
+                Action::SendFrame { conn, frame } => {
+                    if let Some(stream) = writers.get_mut(&conn) {
+                        let _ = stream.write_all(&frame);
+                    }
+                }
                 Action::Close { conn } => {
                     if let Some(stream) = writers.remove(&conn) {
                         let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -360,7 +366,7 @@ impl TcpClient {
     pub fn publish(
         &mut self,
         topic: &str,
-        payload: Vec<u8>,
+        payload: impl Into<bytes::Bytes>,
         qos: QoS,
         retain: bool,
     ) -> std::io::Result<()> {
@@ -448,7 +454,7 @@ mod tests {
             .recv(Duration::from_secs(2))
             .expect("recv ok")
             .expect("retained message");
-        assert_eq!(retained.payload, b"retained-v1");
+        assert_eq!(retained.payload.as_ref(), b"retained-v1");
         assert!(retained.retain);
 
         // Live publish flows through.
@@ -459,7 +465,7 @@ mod tests {
             .recv(Duration::from_secs(2))
             .expect("recv ok")
             .expect("live message");
-        assert_eq!(live.payload, b"live");
+        assert_eq!(live.payload.as_ref(), b"live");
         assert_eq!(broker.stats().clients_connected, 2);
 
         publisher.disconnect();

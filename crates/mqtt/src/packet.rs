@@ -6,6 +6,8 @@
 //! DISCONNECT — the protocol surface Mosquitto exercised in the paper's
 //! prototype.
 
+use bytes::Bytes;
+
 use crate::topic::{TopicFilter, TopicName};
 
 /// Message delivery quality of service.
@@ -106,8 +108,8 @@ impl ConnectReturnCode {
 pub struct LastWill {
     /// Topic the will is published to.
     pub topic: TopicName,
-    /// Will payload.
-    pub payload: Vec<u8>,
+    /// Will payload (cheaply cloneable, shared).
+    pub payload: Bytes,
     /// QoS of the will publication.
     pub qos: QoS,
     /// Whether the will is retained.
@@ -128,7 +130,7 @@ pub struct Connect {
     /// Optional user name.
     pub username: Option<String>,
     /// Optional password bytes.
-    pub password: Option<Vec<u8>>,
+    pub password: Option<Bytes>,
 }
 
 impl Connect {
@@ -167,32 +169,34 @@ pub struct Publish {
     pub topic: TopicName,
     /// Packet id; present iff `qos > 0`.
     pub packet_id: Option<PacketId>,
-    /// Application payload.
-    pub payload: Vec<u8>,
+    /// Application payload. Stored as [`Bytes`] so one allocation made at
+    /// the producer is reference-shared through codec, broker fan-out,
+    /// inflight/retained state and every subscriber without copying.
+    pub payload: Bytes,
 }
 
 impl Publish {
     /// A QoS 0 publication.
-    pub fn qos0(topic: TopicName, payload: Vec<u8>) -> Self {
+    pub fn qos0(topic: TopicName, payload: impl Into<Bytes>) -> Self {
         Publish {
             dup: false,
             qos: QoS::AtMostOnce,
             retain: false,
             topic,
             packet_id: None,
-            payload,
+            payload: payload.into(),
         }
     }
 
     /// A QoS 1 publication with the given packet id.
-    pub fn qos1(topic: TopicName, payload: Vec<u8>, packet_id: PacketId) -> Self {
+    pub fn qos1(topic: TopicName, payload: impl Into<Bytes>, packet_id: PacketId) -> Self {
         Publish {
             dup: false,
             qos: QoS::AtLeastOnce,
             retain: false,
             topic,
             packet_id: Some(packet_id),
-            payload,
+            payload: payload.into(),
         }
     }
 }

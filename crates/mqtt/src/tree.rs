@@ -7,10 +7,18 @@
 //! to the number of levels times the branching of wildcards actually
 //! present — not to the total number of subscriptions.
 
+use std::cell::RefCell;
 use std::collections::btree_map::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::packet::QoS;
 use crate::topic::{TopicFilter, TopicName};
+
+/// Maximum number of memoised topic lookups kept in the match cache.
+/// The broker's steady-state workload cycles over a bounded set of sensor
+/// topics; the cap only guards against unbounded adversarial topic churn.
+const MATCH_CACHE_CAP: usize = 1024;
 
 /// One stored subscription: the subscriber key and its granted QoS.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +75,13 @@ impl<K: Ord + Clone> Node<K> {
 pub struct SubscriptionTree<K> {
     root: Node<K>,
     len: usize,
+    /// Memoised lookup results keyed by topic name, shared as `Arc` slices
+    /// so a cache hit is allocation-free. Invalidation rule: *every*
+    /// mutating call ([`subscribe`](Self::subscribe),
+    /// [`unsubscribe`](Self::unsubscribe), [`remove_key`](Self::remove_key))
+    /// clears the whole cache — coarse, but mutations are rare next to
+    /// per-publish lookups in the steady-state flow workload.
+    cache: RefCell<HashMap<String, Arc<[Subscription<K>]>>>,
 }
 
 impl<K> Default for SubscriptionTree<K> {
@@ -74,6 +89,7 @@ impl<K> Default for SubscriptionTree<K> {
         SubscriptionTree {
             root: Node::default(),
             len: 0,
+            cache: RefCell::new(HashMap::new()),
         }
     }
 }
@@ -97,6 +113,7 @@ impl<K: Ord + Clone> SubscriptionTree<K> {
     /// Inserts or updates the subscription of `key` under `filter`,
     /// returning the previous QoS if the subscription already existed.
     pub fn subscribe(&mut self, key: K, filter: &TopicFilter, qos: QoS) -> Option<QoS> {
+        self.cache.get_mut().clear();
         let mut node = &mut self.root;
         for level in filter.levels() {
             node = node.children.entry(level.to_owned()).or_default();
@@ -115,6 +132,7 @@ impl<K: Ord + Clone> SubscriptionTree<K> {
     /// Removes the subscription of `key` under `filter`; returns whether
     /// it existed.
     pub fn unsubscribe(&mut self, key: &K, filter: &TopicFilter) -> bool {
+        self.cache.get_mut().clear();
         let mut node = &mut self.root;
         for level in filter.levels() {
             match node.children.get_mut(level) {
@@ -134,6 +152,7 @@ impl<K: Ord + Clone> SubscriptionTree<K> {
 
     /// Removes every subscription of `key`; returns how many were removed.
     pub fn remove_key(&mut self, key: &K) -> usize {
+        self.cache.get_mut().clear();
         fn walk<K: Ord>(node: &mut Node<K>, key: &K) -> usize {
             let before = node.subscribers.len();
             node.subscribers.retain(|s| &s.key != key);
@@ -152,75 +171,109 @@ impl<K: Ord + Clone> SubscriptionTree<K> {
     /// All subscriptions whose filter matches `topic`. A subscriber
     /// matching through several filters appears once with the maximum
     /// granted QoS (the overlapping-subscription rule brokers apply).
+    ///
+    /// Convenience wrapper over [`matches_shared`](Self::matches_shared)
+    /// that clones the shared result into an owned `Vec`.
     pub fn matches(&self, topic: &TopicName) -> Vec<Subscription<K>> {
-        let levels: Vec<&str> = topic.as_str().split('/').collect();
-        let skip_wildcard_root = topic.as_str().starts_with('$');
-        let mut raw: Vec<Subscription<K>> = Vec::new();
-        collect(&self.root, &levels, 0, skip_wildcard_root, &mut raw);
+        self.matches_shared(topic).to_vec()
+    }
 
-        // Deduplicate by key keeping the strongest QoS; deterministic order.
-        let mut best: BTreeMap<K, QoS> = BTreeMap::new();
-        for sub in raw {
-            best.entry(sub.key)
-                .and_modify(|q| {
-                    if (sub.qos as u8) > (*q as u8) {
-                        *q = sub.qos;
-                    }
-                })
-                .or_insert(sub.qos);
+    /// Like [`matches`](Self::matches), but returns the memoised
+    /// reference-counted result: a cache hit performs zero heap
+    /// allocations (one `Arc` refcount bump). This is the broker's
+    /// per-publish fast path — sensor flows publish the same few topics
+    /// at high rate, so steady state is all hits.
+    pub fn matches_shared(&self, topic: &TopicName) -> Arc<[Subscription<K>]> {
+        let name = topic.as_str();
+        if let Some(hit) = self.cache.borrow().get(name) {
+            return Arc::clone(hit);
         }
-        best.into_iter()
-            .map(|(key, qos)| Subscription { key, qos })
-            .collect()
+
+        // Miss: walk the trie over `split('/')` positions directly — no
+        // intermediate level Vec — then dedup in place.
+        let mut raw: Vec<Subscription<K>> = Vec::new();
+        collect(&self.root, Some(name), true, name.starts_with('$'), &mut raw);
+
+        // Deduplicate by key keeping the strongest QoS; sort ascending by
+        // key (descending QoS within a key) so the retained first element
+        // per key carries the maximum granted QoS, in deterministic order.
+        raw.sort_by(|a, b| {
+            a.key
+                .cmp(&b.key)
+                .then_with(|| (b.qos as u8).cmp(&(a.qos as u8)))
+        });
+        raw.dedup_by(|next, kept| next.key == kept.key);
+
+        let shared: Arc<[Subscription<K>]> = raw.into();
+        let mut cache = self.cache.borrow_mut();
+        if cache.len() >= MATCH_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(name.to_owned(), Arc::clone(&shared));
+        shared
     }
 
     /// Iterates over every stored (filter, key, qos) triple, mainly for
-    /// introspection and tests. Filters are reconstructed from the trie.
+    /// introspection and tests. Filters are reconstructed from the trie
+    /// into a single scratch buffer that grows and shrinks with the walk,
+    /// instead of cloning every level string at every node.
     pub fn iter(&self) -> Vec<(String, K, QoS)> {
-        fn walk<K: Clone>(node: &Node<K>, prefix: &str, out: &mut Vec<(String, K, QoS)>) {
+        fn walk<K: Clone>(node: &Node<K>, prefix: &mut String, out: &mut Vec<(String, K, QoS)>) {
             for sub in &node.subscribers {
-                out.push((prefix.to_owned(), sub.key.clone(), sub.qos));
+                out.push((prefix.clone(), sub.key.clone(), sub.qos));
             }
             for (level, child) in &node.children {
-                let next = if prefix.is_empty() {
-                    level.clone()
-                } else {
-                    format!("{prefix}/{level}")
-                };
-                walk(child, &next, out);
+                let saved = prefix.len();
+                if !prefix.is_empty() {
+                    prefix.push('/');
+                }
+                prefix.push_str(level);
+                walk(child, prefix, out);
+                prefix.truncate(saved);
             }
         }
         let mut out = Vec::new();
-        walk(&self.root, "", &mut out);
+        let mut prefix = String::new();
+        walk(&self.root, &mut prefix, &mut out);
         out
     }
 }
 
+/// Trie walk over the unconsumed topic suffix. `remainder` is `None` once
+/// every level is consumed; `Some(s)` holds the rest of the topic string
+/// (its first `/`-separated segment is the current level, so no level
+/// vector is ever materialised).
 fn collect<K: Ord + Clone>(
     node: &Node<K>,
-    levels: &[&str],
-    depth: usize,
+    remainder: Option<&str>,
+    at_root: bool,
     skip_wildcard_root: bool,
     out: &mut Vec<Subscription<K>>,
 ) {
-    if depth == levels.len() {
-        out.extend(node.subscribers.iter().cloned());
-        // "a/#" also matches "a": a trailing "#" child matches the parent.
-        if let Some(hash) = node.children.get("#") {
-            if !(skip_wildcard_root && depth == 0) {
-                out.extend(hash.subscribers.iter().cloned());
+    let rem = match remainder {
+        None => {
+            out.extend(node.subscribers.iter().cloned());
+            // "a/#" also matches "a": a trailing "#" child matches the parent.
+            if let Some(hash) = node.children.get("#") {
+                if !(skip_wildcard_root && at_root) {
+                    out.extend(hash.subscribers.iter().cloned());
+                }
             }
+            return;
         }
-        return;
-    }
-    let level = levels[depth];
+        Some(rem) => rem,
+    };
+    let (level, rest) = match rem.find('/') {
+        Some(i) => (&rem[..i], Some(&rem[i + 1..])),
+        None => (rem, None),
+    };
     if let Some(child) = node.children.get(level) {
-        collect(child, levels, depth + 1, skip_wildcard_root, out);
+        collect(child, rest, false, skip_wildcard_root, out);
     }
-    let wildcards_allowed = !(skip_wildcard_root && depth == 0);
+    let wildcards_allowed = !(skip_wildcard_root && at_root);
     if wildcards_allowed {
         if let Some(plus) = node.children.get("+") {
-            collect(plus, levels, depth + 1, skip_wildcard_root, out);
+            collect(plus, rest, false, skip_wildcard_root, out);
         }
         if let Some(hash) = node.children.get("#") {
             out.extend(hash.subscribers.iter().cloned());
@@ -347,5 +400,49 @@ mod tests {
         }
         assert!(t.is_empty());
         assert!(t.root.children.is_empty(), "trie not pruned");
+    }
+
+    #[test]
+    fn repeated_lookup_hits_cache_without_reallocating() {
+        let mut t = SubscriptionTree::new();
+        t.subscribe("e", &filter("a/#"), QoS::AtMostOnce);
+        let first = t.matches_shared(&name("a/b"));
+        let second = t.matches_shared(&name("a/b"));
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "cache hit must return the same shared slice"
+        );
+        assert_eq!(first.len(), 1);
+    }
+
+    #[test]
+    fn mutations_invalidate_the_match_cache() {
+        let mut t = SubscriptionTree::new();
+        t.subscribe("e", &filter("a/#"), QoS::AtMostOnce);
+        assert_eq!(t.matches_shared(&name("a/b")).len(), 1);
+
+        t.subscribe("f", &filter("a/b"), QoS::AtLeastOnce);
+        assert_eq!(t.matches_shared(&name("a/b")).len(), 2, "after subscribe");
+
+        t.unsubscribe(&"f", &filter("a/b"));
+        assert_eq!(t.matches_shared(&name("a/b")).len(), 1, "after unsubscribe");
+
+        t.remove_key(&"e");
+        assert_eq!(t.matches_shared(&name("a/b")).len(), 0, "after remove_key");
+    }
+
+    #[test]
+    fn shared_and_owned_lookups_agree() {
+        let mut t = SubscriptionTree::new();
+        t.subscribe("exact", &filter("a/b"), QoS::AtMostOnce);
+        t.subscribe("plus", &filter("a/+"), QoS::AtLeastOnce);
+        t.subscribe("hash", &filter("#"), QoS::ExactlyOnce);
+        for topic in ["a/b", "a/c", "a", "x/y/z", "$SYS/x"] {
+            assert_eq!(
+                t.matches(&name(topic)),
+                t.matches_shared(&name(topic)).to_vec(),
+                "topic {topic}"
+            );
+        }
     }
 }

@@ -10,6 +10,8 @@
 use core::any::Any;
 use core::fmt;
 
+use bytes::Bytes;
+
 use crate::cpu::Work;
 use crate::metrics::Metrics;
 use crate::rng::SimRng;
@@ -51,8 +53,9 @@ pub struct Packet {
     pub dst: NodeId,
     /// Protocol multiplexing port.
     pub port: u16,
-    /// Opaque payload bytes.
-    pub payload: Vec<u8>,
+    /// Opaque payload bytes (reference-counted: cloning a packet shares
+    /// the buffer instead of copying it).
+    pub payload: Bytes,
 }
 
 /// Behaviour of a simulated node. See the [module docs](self).
@@ -83,7 +86,7 @@ pub trait Actor: Any {
 #[derive(Debug, Default)]
 pub(crate) struct Effects {
     pub(crate) work: Work,
-    pub(crate) sends: Vec<(NodeId, u16, Vec<u8>)>,
+    pub(crate) sends: Vec<(NodeId, u16, Bytes)>,
     pub(crate) timers_rel: Vec<(SimDuration, u64)>,
     pub(crate) timers_abs: Vec<(SimTime, u64)>,
     pub(crate) latencies: Vec<(String, SimTime)>,
@@ -129,8 +132,8 @@ impl<'a> Context<'a> {
 
     /// Queues a packet to `dst`; it departs onto the medium at this
     /// handler's completion instant.
-    pub fn send(&mut self, dst: NodeId, port: u16, payload: Vec<u8>) {
-        self.effects.sends.push((dst, port, payload));
+    pub fn send(&mut self, dst: NodeId, port: u16, payload: impl Into<Bytes>) {
+        self.effects.sends.push((dst, port, payload.into()));
     }
 
     /// Arms a timer firing `delay` after this handler's completion.

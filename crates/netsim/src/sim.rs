@@ -610,7 +610,7 @@ mod tests {
             src: dst,
             dst,
             port: 9,
-            payload: 0u64.to_be_bytes().to_vec(),
+            payload: 0u64.to_be_bytes().to_vec().into(),
         });
         sim.run_to_completion();
         assert_eq!(sim.metrics().counter("received"), 1);

@@ -193,6 +193,12 @@ impl Sample {
         out
     }
 
+    /// Encodes to a shared [`bytes::Bytes`] buffer — the allocation the
+    /// zero-copy publish path reference-shares all the way to subscribers.
+    pub fn encode_bytes(&self) -> bytes::Bytes {
+        bytes::Bytes::copy_from_slice(&self.encode())
+    }
+
     /// Decodes from a 32-byte wire image.
     ///
     /// # Errors

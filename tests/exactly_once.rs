@@ -116,7 +116,7 @@ fn run(qos: QoS, count: u32, loss_pct: u64) -> BTreeMap<Vec<u8>, u32> {
             let (events, out) = client.handle_packet(packet, now).expect("valid stream");
             for event in events {
                 if let ClientEvent::Message(p) = event {
-                    *delivered.entry(p.payload).or_insert(0) += 1;
+                    *delivered.entry(p.payload.to_vec()).or_insert(0) += 1;
                 }
             }
             for packet in out {

@@ -63,7 +63,7 @@ fn arb_publish() -> impl Strategy<Value = Publish> {
             retain,
             topic: TopicName::new(topic).expect("generated topics are valid"),
             packet_id: (qos != QoS::AtMostOnce).then_some(pid),
-            payload,
+            payload: payload.into(),
         })
 }
 
@@ -82,12 +82,12 @@ fn arb_connect() -> impl Strategy<Value = Connect> {
             keep_alive_secs,
             will: will.map(|(topic, payload, qos, retain)| LastWill {
                 topic: TopicName::new(topic).expect("generated topics are valid"),
-                payload,
+                payload: payload.into(),
                 qos,
                 retain,
             }),
             username,
-            password,
+            password: password.map(Into::into),
         })
 }
 
@@ -177,6 +177,212 @@ proptest! {
     #[test]
     fn codec_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = decode(&bytes);
+    }
+
+    /// The buffering stream decoder yields the same packet sequence no
+    /// matter how the wire bytes are chunked (the zero-copy BytesMut path
+    /// agrees with whole-buffer decoding).
+    #[test]
+    fn stream_decoder_chunking_invariance(
+        packets in prop::collection::vec(arb_packet(), 1..6),
+        cuts in prop::collection::vec(1usize..16, 0..8),
+    ) {
+        use ifot::mqtt::codec::StreamDecoder;
+        let mut wire = Vec::new();
+        for p in &packets {
+            wire.extend_from_slice(&encode(p));
+        }
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut i = 0;
+        while pos < wire.len() {
+            let step = if cuts.is_empty() { wire.len() } else { cuts[i % cuts.len()] };
+            let end = (pos + step).min(wire.len());
+            dec.feed(&wire[pos..end]);
+            pos = end;
+            i += 1;
+            while let Some(p) = dec.next_packet().expect("valid stream") {
+                got.push(p);
+            }
+        }
+        prop_assert_eq!(got, packets);
+    }
+
+    /// A payload built from a `Vec<u8>` and one built from a shared
+    /// `Bytes` of the same content produce byte-identical encodings.
+    #[test]
+    fn bytes_and_vec_payloads_encode_identically(
+        topic in topic_name_str(),
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let from_vec = Publish::qos0(
+            TopicName::new(topic.clone()).expect("valid"),
+            payload.clone(),
+        );
+        let from_bytes = Publish::qos0(
+            TopicName::new(topic).expect("valid"),
+            bytes::Bytes::from(payload),
+        );
+        prop_assert_eq!(
+            encode(&Packet::Publish(from_vec)),
+            encode(&Packet::Publish(from_bytes))
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Broker semantics preserved by the zero-copy fan-out
+// ---------------------------------------------------------------------
+
+/// Decodes every delivery (plain or pre-encoded frame) sent to `conn`.
+fn deliveries_to(actions: &[ifot::mqtt::broker::Action<u8>], conn: u8) -> Vec<Packet> {
+    use ifot::mqtt::broker::Action;
+    let mut out = Vec::new();
+    for a in actions {
+        match a {
+            Action::Send { conn: c, packet } if *c == conn => out.push(packet.clone()),
+            Action::SendFrame { conn: c, frame } if *c == conn => {
+                let (p, used) = decode(frame).expect("frames decode").expect("complete");
+                assert_eq!(used, frame.len(), "frame holds exactly one packet");
+                out.push(p);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Retained messages: a late subscriber on `#` sees exactly the last
+    /// non-empty retained payload per topic (empty payloads clear).
+    #[test]
+    fn retained_last_writer_wins(
+        ops in prop::collection::vec((0usize..4, prop::collection::vec(any::<u8>(), 0..8)), 1..16),
+    ) {
+        use ifot::mqtt::broker::Broker;
+        use std::collections::BTreeMap;
+
+        let topics = ["r/a", "r/b", "r/c/d", "r/c/e"];
+        let mut broker: Broker<u8> = Broker::new();
+        broker.connection_opened(0, 0);
+        broker.handle_packet(&0, Packet::Connect(Connect::new("pub")), 0);
+        let mut expected: BTreeMap<&str, Vec<u8>> = BTreeMap::new();
+        for (idx, payload) in &ops {
+            let topic = topics[*idx];
+            if payload.is_empty() {
+                expected.remove(topic);
+            } else {
+                expected.insert(topic, payload.clone());
+            }
+            let mut publish = Publish::qos0(
+                TopicName::new(topic).expect("valid"),
+                payload.clone(),
+            );
+            publish.retain = true;
+            broker.handle_packet(&0, Packet::Publish(publish), 0);
+        }
+        broker.connection_opened(1, 0);
+        broker.handle_packet(&1, Packet::Connect(Connect::new("sub")), 0);
+        let actions = broker.handle_packet(
+            &1,
+            Packet::Subscribe(Subscribe {
+                packet_id: 1,
+                filters: vec![SubscribeFilter {
+                    filter: TopicFilter::new("#").expect("valid"),
+                    qos: QoS::AtMostOnce,
+                }],
+            }),
+            0,
+        );
+        let mut got: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for p in deliveries_to(&actions, 1) {
+            if let Packet::Publish(p) = p {
+                prop_assert!(p.retain, "retained delivery keeps the retain flag");
+                got.insert(p.topic.as_str().to_owned(), p.payload.to_vec());
+            }
+        }
+        let expected: BTreeMap<String, Vec<u8>> = expected
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// QoS 1/2 delivery and timeout redelivery carry the original payload
+    /// unchanged (per-subscriber headers over the shared body).
+    #[test]
+    fn qos12_redelivery_preserves_payload(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        exactly_once in any::<bool>(),
+    ) {
+        use ifot::mqtt::broker::Broker;
+
+        let qos = if exactly_once { QoS::ExactlyOnce } else { QoS::AtLeastOnce };
+        let mut broker: Broker<u8> = Broker::new();
+        broker.connection_opened(1, 0);
+        broker.handle_packet(&1, Packet::Connect(Connect::new("sub")), 0);
+        broker.handle_packet(
+            &1,
+            Packet::Subscribe(Subscribe {
+                packet_id: 1,
+                filters: vec![SubscribeFilter {
+                    filter: TopicFilter::new("t").expect("valid"),
+                    qos,
+                }],
+            }),
+            0,
+        );
+        broker.connection_opened(0, 0);
+        broker.handle_packet(&0, Packet::Connect(Connect::new("pub")), 0);
+        let publish = Publish {
+            dup: false,
+            qos,
+            retain: false,
+            topic: TopicName::new("t").expect("valid"),
+            packet_id: Some(7),
+            payload: payload.clone().into(),
+        };
+        // The broker routes on first receipt for both QoS levels (QoS 2
+        // deduplicates repeats of the pid until PUBREL closes the window).
+        let actions = broker.handle_packet(&0, Packet::Publish(publish.clone()), 0);
+        if exactly_once {
+            let mut dup = publish;
+            dup.dup = true;
+            let repeat = broker.handle_packet(&0, Packet::Publish(dup), 0);
+            prop_assert!(
+                deliveries_to(&repeat, 1)
+                    .iter()
+                    .all(|p| !matches!(p, Packet::Publish(_))),
+                "duplicate QoS 2 publish must not be re-routed"
+            );
+        }
+        let first: Vec<_> = deliveries_to(&actions, 1)
+            .into_iter()
+            .filter_map(|p| match p {
+                Packet::Publish(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(first.len(), 1);
+        prop_assert!(!first[0].dup);
+        prop_assert_eq!(first[0].qos, qos);
+        prop_assert_eq!(first[0].payload.as_ref(), &payload[..]);
+        let pid = first[0].packet_id.expect("qos > 0 carries a packet id");
+
+        // No ack from the subscriber: the broker redelivers after its
+        // retransmit timeout with the dup flag and the same payload.
+        let redelivered: Vec<_> = deliveries_to(&broker.poll(3_000_000_000), 1)
+            .into_iter()
+            .filter_map(|p| match p {
+                Packet::Publish(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(redelivered.len(), 1);
+        prop_assert!(redelivered[0].dup);
+        prop_assert_eq!(redelivered[0].packet_id, Some(pid));
+        prop_assert_eq!(redelivered[0].payload.as_ref(), &payload[..]);
     }
 }
 

@@ -1,0 +1,210 @@
+//! Deterministic smoke tests of the zero-copy data path: concrete-value
+//! counterparts of the property tests in `proptests.rs`, runnable without
+//! a property-testing harness. They pin the externally observable
+//! semantics the `Bytes` refactor must preserve — wire compatibility,
+//! retained-message behaviour, and QoS 1/2 redelivery.
+
+use bytes::Bytes;
+
+use ifot::mqtt::broker::{Action, Broker};
+use ifot::mqtt::codec::{decode, encode, StreamDecoder};
+use ifot::mqtt::packet::{Connect, Packet, Publish, QoS, Subscribe, SubscribeFilter};
+use ifot::mqtt::topic::{TopicFilter, TopicName};
+
+fn topic(name: &str) -> TopicName {
+    TopicName::new(name).expect("valid topic")
+}
+
+fn subscribe_packet(filter: &str, qos: QoS) -> Packet {
+    Packet::Subscribe(Subscribe {
+        packet_id: 1,
+        filters: vec![SubscribeFilter {
+            filter: TopicFilter::new(filter).expect("valid filter"),
+            qos,
+        }],
+    })
+}
+
+/// Decodes every delivery (plain packet or pre-encoded frame) to `conn`.
+fn deliveries_to(actions: &[Action<u8>], conn: u8) -> Vec<Publish> {
+    let mut out = Vec::new();
+    for action in actions {
+        match action {
+            Action::Send {
+                conn: c,
+                packet: Packet::Publish(p),
+            } if *c == conn => out.push(p.clone()),
+            Action::SendFrame { conn: c, frame } if *c == conn => {
+                let (packet, used) = decode(frame).expect("frames decode").expect("complete");
+                assert_eq!(used, frame.len(), "frame holds exactly one packet");
+                if let Packet::Publish(p) = packet {
+                    out.push(p);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[test]
+fn bytes_and_vec_payloads_encode_identically() {
+    let payload = vec![7u8, 0, 255, 42];
+    let from_vec = Publish::qos0(topic("a/b"), payload.clone());
+    let from_bytes = Publish::qos0(topic("a/b"), Bytes::from(payload));
+    assert_eq!(
+        encode(&Packet::Publish(from_vec)),
+        encode(&Packet::Publish(from_bytes))
+    );
+}
+
+#[test]
+fn stream_decoder_is_chunking_invariant() {
+    let packets = vec![
+        Packet::Connect(Connect::new("c")),
+        Packet::Publish(Publish::qos0(topic("x/y"), vec![1u8; 40])),
+        Packet::Pingreq,
+        Packet::Publish(Publish::qos1(topic("x/z"), vec![2u8; 3], 9)),
+    ];
+    let mut wire = Vec::new();
+    for p in &packets {
+        wire.extend_from_slice(&encode(p));
+    }
+    for chunk in 1..=7usize {
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            dec.feed(piece);
+            while let Some(p) = dec.next_packet().expect("valid stream") {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, packets, "chunk size {chunk}");
+    }
+}
+
+#[test]
+fn retained_messages_keep_last_writer_per_topic() {
+    let mut broker: Broker<u8> = Broker::new();
+    broker.connection_opened(0, 0);
+    broker.handle_packet(&0, Packet::Connect(Connect::new("pub")), 0);
+    let retained = |t: &str, body: &[u8]| {
+        let mut p = Publish::qos0(topic(t), body.to_vec());
+        p.retain = true;
+        Packet::Publish(p)
+    };
+    broker.handle_packet(&0, retained("r/a", b"first"), 0);
+    broker.handle_packet(&0, retained("r/a", b"second"), 0);
+    broker.handle_packet(&0, retained("r/b", b"kept"), 0);
+    broker.handle_packet(&0, retained("r/c", b"cleared"), 0);
+    broker.handle_packet(&0, retained("r/c", b""), 0);
+
+    broker.connection_opened(1, 0);
+    broker.handle_packet(&1, Packet::Connect(Connect::new("sub")), 0);
+    let actions = broker.handle_packet(&1, subscribe_packet("r/#", QoS::AtMostOnce), 0);
+    let mut got: Vec<(String, Vec<u8>)> = deliveries_to(&actions, 1)
+        .into_iter()
+        .inspect(|p| assert!(p.retain, "retained delivery keeps the retain flag"))
+        .map(|p| (p.topic.as_str().to_owned(), p.payload.to_vec()))
+        .collect();
+    got.sort();
+    assert_eq!(
+        got,
+        vec![
+            ("r/a".to_owned(), b"second".to_vec()),
+            ("r/b".to_owned(), b"kept".to_vec()),
+        ]
+    );
+}
+
+#[test]
+fn qos1_redelivery_preserves_payload_and_pid() {
+    let mut broker: Broker<u8> = Broker::new();
+    broker.connection_opened(1, 0);
+    broker.handle_packet(&1, Packet::Connect(Connect::new("sub")), 0);
+    broker.handle_packet(&1, subscribe_packet("t", QoS::AtLeastOnce), 0);
+    broker.connection_opened(0, 0);
+    broker.handle_packet(&0, Packet::Connect(Connect::new("pub")), 0);
+
+    let actions = broker.handle_packet(
+        &0,
+        Packet::Publish(Publish::qos1(topic("t"), b"body".as_slice().to_vec(), 7)),
+        0,
+    );
+    let first = deliveries_to(&actions, 1);
+    assert_eq!(first.len(), 1);
+    assert!(!first[0].dup);
+    assert_eq!(first[0].qos, QoS::AtLeastOnce);
+    assert_eq!(first[0].payload.as_ref(), b"body");
+    let pid = first[0].packet_id.expect("qos 1 carries a packet id");
+
+    // No PUBACK: redelivered after the retransmit timeout, dup set.
+    let redelivered = deliveries_to(&broker.poll(3_000_000_000), 1);
+    assert_eq!(redelivered.len(), 1);
+    assert!(redelivered[0].dup);
+    assert_eq!(redelivered[0].packet_id, Some(pid));
+    assert_eq!(redelivered[0].payload.as_ref(), b"body");
+}
+
+#[test]
+fn qos2_release_preserves_payload() {
+    let mut broker: Broker<u8> = Broker::new();
+    broker.connection_opened(1, 0);
+    broker.handle_packet(&1, Packet::Connect(Connect::new("sub")), 0);
+    broker.handle_packet(&1, subscribe_packet("t", QoS::ExactlyOnce), 0);
+    broker.connection_opened(0, 0);
+    broker.handle_packet(&0, Packet::Connect(Connect::new("pub")), 0);
+
+    let publish = Publish {
+        dup: false,
+        qos: QoS::ExactlyOnce,
+        retain: false,
+        topic: topic("t"),
+        packet_id: Some(7),
+        payload: Bytes::from_static(b"exactly"),
+    };
+    let first = deliveries_to(&broker.handle_packet(&0, Packet::Publish(publish.clone()), 0), 1);
+    assert_eq!(first.len(), 1, "first PUBLISH routes once");
+    assert_eq!(first[0].qos, QoS::ExactlyOnce);
+    assert_eq!(first[0].payload.as_ref(), b"exactly");
+    // A duplicate before PUBREL is deduplicated, not routed again.
+    let mut dup = publish;
+    dup.dup = true;
+    let repeat = broker.handle_packet(&0, Packet::Publish(dup), 0);
+    assert!(deliveries_to(&repeat, 1).is_empty(), "duplicate not re-routed");
+    let done = broker.handle_packet(&0, Packet::Pubrel(7), 0);
+    assert!(deliveries_to(&done, 1).is_empty());
+    assert!(
+        done.iter().any(|a| matches!(a, Action::Send { conn: 0, packet: Packet::Pubcomp(7) })),
+        "PUBREL answered with PUBCOMP"
+    );
+}
+
+#[test]
+fn qos0_fanout_frames_share_one_buffer() {
+    let mut broker: Broker<u8> = Broker::new();
+    broker.connection_opened(0, 0);
+    broker.handle_packet(&0, Packet::Connect(Connect::new("pub")), 0);
+    for i in 1..=3u8 {
+        broker.connection_opened(i, 0);
+        broker.handle_packet(&i, Packet::Connect(Connect::new(format!("sub{i}"))), 0);
+        broker.handle_packet(&i, subscribe_packet("sensor/#", QoS::AtMostOnce), 0);
+    }
+    let actions = broker.handle_packet(
+        &0,
+        Packet::Publish(Publish::qos0(topic("sensor/1"), vec![9u8; 32])),
+        0,
+    );
+    let frames: Vec<&Bytes> = actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::SendFrame { frame, .. } => Some(frame),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(frames.len(), 3, "one pre-encoded frame per subscriber");
+    assert!(
+        frames.iter().all(|f| f.as_ptr() == frames[0].as_ptr()),
+        "fan-out must share a single encoded buffer"
+    );
+}
