@@ -5,6 +5,7 @@
 //! module receives the sensor, analysis and actuator classes it must run.
 
 use ifot_mqtt::packet::QoS;
+use ifot_mqtt::supervisor::ReconnectConfig;
 use ifot_sensors::inject::FaultWindow;
 use ifot_sensors::sample::SensorKind;
 use serde::{Deserialize, Serialize};
@@ -224,6 +225,17 @@ pub struct NodeConfig {
     pub publish_qos: QoS,
     /// MQTT keep-alive in seconds.
     pub keep_alive_secs: u16,
+    /// Request a persistent broker session (`clean_session = false`):
+    /// the broker queues QoS 1/2 deliveries across disconnects and
+    /// resumes subscriptions on reconnect.
+    pub persistent_session: bool,
+    /// Capacity of the offline publish queue: payloads produced while
+    /// the client is disconnected are buffered (oldest dropped beyond
+    /// this bound) and flushed on reconnect. 0 disables buffering.
+    pub offline_queue_capacity: usize,
+    /// Reconnect supervision tuning (dead-peer grace, CONNACK timeout,
+    /// backoff bounds and jitter).
+    pub reconnect: ReconnectConfig,
     /// Participate in the discovery plane: publish a retained
     /// announcement on connect and an offline last will (see
     /// [`crate::discovery`]).
@@ -246,6 +258,9 @@ impl NodeConfig {
             actuators: Vec::new(),
             publish_qos: QoS::AtMostOnce,
             keep_alive_secs: 30,
+            persistent_session: false,
+            offline_queue_capacity: 64,
+            reconnect: ReconnectConfig::default(),
             announce: false,
             track_directory: false,
         }
@@ -303,6 +318,31 @@ impl NodeConfig {
     /// Sets the publication QoS.
     pub fn with_qos(mut self, qos: QoS) -> Self {
         self.publish_qos = qos;
+        self
+    }
+
+    /// Sets the MQTT keep-alive interval (also the base of dead-peer
+    /// detection: a peer silent for 1.5× this is declared lost).
+    pub fn with_keep_alive(mut self, secs: u16) -> Self {
+        self.keep_alive_secs = secs;
+        self
+    }
+
+    /// Requests a persistent broker session (builder style).
+    pub fn with_persistent_session(mut self) -> Self {
+        self.persistent_session = true;
+        self
+    }
+
+    /// Sets the offline publish-queue capacity (builder style).
+    pub fn with_offline_queue(mut self, capacity: usize) -> Self {
+        self.offline_queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the reconnect supervision tuning (builder style).
+    pub fn with_reconnect(mut self, reconnect: ReconnectConfig) -> Self {
+        self.reconnect = reconnect;
         self
     }
 

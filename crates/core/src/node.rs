@@ -18,12 +18,13 @@
 //! [`crate::env::NodeEnv`], so the identical logic runs on the
 //! deterministic simulator and on real threads.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::Bytes;
 
 use ifot_mqtt::broker::{Action, Broker};
 use ifot_mqtt::client::{Client, ClientConfig, ClientEvent, ClientState};
+use ifot_mqtt::supervisor::{ReconnectSupervisor, SupervisorAction};
 use ifot_mqtt::codec::{encode, StreamDecoder};
 use ifot_mqtt::packet::{Packet, QoS};
 use ifot_mqtt::topic::{TopicFilter, TopicName};
@@ -51,7 +52,9 @@ const TAG_MIX: u64 = 5;
 
 const CLIENT_POLL_NS: u64 = 200_000_000;
 const BROKER_POLL_NS: u64 = 500_000_000;
-const CONNECT_RETRY_NS: u64 = 1_000_000_000;
+
+/// Largest seq gap tracked individually; wider gaps are counted in bulk.
+const SEQ_GAP_TRACK_MAX: u64 = 1024;
 
 fn tag(kind: u64, index: usize) -> u64 {
     (kind << TAG_KIND_SHIFT) | index as u64
@@ -64,7 +67,77 @@ struct SensorRuntime {
     period_ns: u64,
     next_sample_ns: u64,
     published: u64,
+    buffered: u64,
     dropped_unconnected: u64,
+}
+
+/// Per-topic ledger of sensor sequence numbers, distinguishing permanent
+/// gaps (lost samples) from duplicates (redelivered samples). Used to
+/// prove end-to-end loss/duplication properties under fault injection.
+#[derive(Debug, Default)]
+struct SeqTracker {
+    started: bool,
+    highest: u64,
+    missing: BTreeSet<u64>,
+    missing_overflow: u64,
+    duplicates: u64,
+}
+
+impl SeqTracker {
+    fn observe(&mut self, seq: u64) {
+        if !self.started {
+            self.started = true;
+            self.highest = seq;
+            return;
+        }
+        if seq > self.highest {
+            let gap = seq - self.highest - 1;
+            if gap <= SEQ_GAP_TRACK_MAX {
+                self.missing.extend(self.highest + 1..seq);
+            } else {
+                self.missing_overflow += gap;
+            }
+            self.highest = seq;
+        } else if !self.missing.remove(&seq) {
+            self.duplicates += 1;
+        }
+    }
+
+    fn gaps(&self) -> u64 {
+        self.missing.len() as u64 + self.missing_overflow
+    }
+}
+
+/// Connection-resilience counters for one node, aggregated from the
+/// reconnect supervisor, the client session, the offline publish queue
+/// and the received-flow sequence ledger. Surfaced on the monitoring
+/// screen by `ifot-mgmt`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// CONNECT attempts after the first (automatic reconnects).
+    pub reconnects: u64,
+    /// Times the transport was declared lost (all causes).
+    pub transport_lost: u64,
+    /// Transport losses declared by keep-alive dead-peer detection.
+    pub dead_peer_detections: u64,
+    /// Transport losses declared by CONNACK timeout.
+    pub connect_timeouts: u64,
+    /// Session resumes (CONNACK with `session_present`).
+    pub session_resumes: u64,
+    /// Payloads buffered while disconnected.
+    pub offline_buffered: u64,
+    /// Oldest payloads dropped because the offline queue was full.
+    pub offline_dropped: u64,
+    /// Buffered payloads re-published after reconnecting.
+    pub offline_flushed: u64,
+    /// Payloads currently waiting in the offline queue.
+    pub offline_queued: usize,
+    /// QoS 1/2 packets replayed from the session on resume.
+    pub replayed_packets: u64,
+    /// Received sensor samples that were redeliveries.
+    pub seq_duplicates: u64,
+    /// Sensor sequence numbers never received (permanent gaps).
+    pub seq_gaps: u64,
 }
 
 #[derive(Debug)]
@@ -101,7 +174,13 @@ pub struct MiddlewareNode {
     client: Option<Client>,
     client_decoder: StreamDecoder,
     connected: bool,
-    connect_sent_at_ns: Option<u64>,
+    supervisor: ReconnectSupervisor,
+    offline_queue: VecDeque<(String, Bytes, bool)>,
+    offline_buffered: u64,
+    offline_dropped: u64,
+    offline_flushed: u64,
+    session_resumes: u64,
+    seq_ledger: BTreeMap<String, SeqTracker>,
     sensors: Vec<SensorRuntime>,
     operators: Vec<OperatorInstance>,
     actuators: BTreeMap<u16, ActuatorDevice>,
@@ -140,6 +219,7 @@ impl MiddlewareNode {
                     period_ns,
                     next_sample_ns: period_ns,
                     published: 0,
+                    buffered: 0,
                     dropped_unconnected: 0,
                 }
             })
@@ -184,19 +264,26 @@ impl MiddlewareNode {
                 config.name.clone(),
                 ClientConfig {
                     keep_alive_secs: config.keep_alive_secs,
-                    clean_session: true,
+                    clean_session: !config.persistent_session,
                     retransmit_timeout_ns: 1_500_000_000,
                     will,
                 },
             )
         });
+        let supervisor = ReconnectSupervisor::new(config.reconnect.clone(), config.keep_alive_secs);
         MiddlewareNode {
             broker: config.run_broker.then(Broker::new),
             broker_decoders: BTreeMap::new(),
             client,
             client_decoder: StreamDecoder::new(),
             connected: false,
-            connect_sent_at_ns: None,
+            supervisor,
+            offline_queue: VecDeque::new(),
+            offline_buffered: 0,
+            offline_dropped: 0,
+            offline_flushed: 0,
+            session_resumes: 0,
+            seq_ledger: BTreeMap::new(),
             sensors,
             operators,
             actuators,
@@ -245,6 +332,30 @@ impl MiddlewareNode {
         self.broker.as_ref().map(|b| b.stats())
     }
 
+    /// Connection-resilience counters (reconnects, offline buffering,
+    /// replay, and the received-flow sequence ledger).
+    pub fn resilience(&self) -> ResilienceStats {
+        let sup = self.supervisor.stats();
+        ResilienceStats {
+            reconnects: sup.reconnects,
+            transport_lost: sup.transport_lost,
+            dead_peer_detections: sup.dead_peer_detections,
+            connect_timeouts: sup.connect_timeouts,
+            session_resumes: self.session_resumes,
+            offline_buffered: self.offline_buffered,
+            offline_dropped: self.offline_dropped,
+            offline_flushed: self.offline_flushed,
+            offline_queued: self.offline_queue.len(),
+            replayed_packets: self
+                .client
+                .as_ref()
+                .map(|c| c.replayed_packets())
+                .unwrap_or(0),
+            seq_duplicates: self.seq_ledger.values().map(|t| t.duplicates).sum(),
+            seq_gaps: self.seq_ledger.values().map(SeqTracker::gaps).sum(),
+        }
+    }
+
     /// The operator with the given id, if hosted here.
     pub fn operator(&self, id: &str) -> Option<&OperatorInstance> {
         self.operators.iter().find(|o| o.spec().id == id)
@@ -262,8 +373,16 @@ impl MiddlewareNode {
         }
         for s in &self.sensors {
             out.push(format!(
-                "sensor[{}] published={} dropped={}",
-                s.topic, s.published, s.dropped_unconnected
+                "sensor[{}] published={} buffered={} dropped={}",
+                s.topic, s.published, s.buffered, s.dropped_unconnected
+            ));
+        }
+        if self.client.is_some() {
+            let r = self.resilience();
+            out.push(format!(
+                "resilience reconnects={} lost={} buffered={} flushed={} replayed={}",
+                r.reconnects, r.transport_lost, r.offline_buffered, r.offline_flushed,
+                r.replayed_packets
             ));
         }
         for o in &self.operators {
@@ -419,9 +538,46 @@ impl MiddlewareNode {
         if self.connected {
             self.sensors[index].published += 1;
             self.publish(env, &topic, payload);
+        } else if self.config.offline_queue_capacity > 0 {
+            // Publish class offline buffering: hold samples through the
+            // outage, flushed in order on reconnect.
+            self.sensors[index].buffered += 1;
+            self.buffer_offline(env, &topic, payload, false);
         } else {
             self.sensors[index].dropped_unconnected += 1;
             env.incr("samples_dropped_unconnected");
+        }
+    }
+
+    /// Queues a payload produced while disconnected, dropping the oldest
+    /// entry when the configured bound is reached.
+    fn buffer_offline(&mut self, env: &mut dyn NodeEnv, topic: &str, payload: Bytes, retain: bool) {
+        let capacity = self.config.offline_queue_capacity;
+        if capacity == 0 {
+            env.incr("offline_disabled_drop");
+            return;
+        }
+        if self.offline_queue.len() >= capacity {
+            self.offline_queue.pop_front();
+            self.offline_dropped += 1;
+            env.incr("offline_dropped_oldest");
+        }
+        self.offline_queue.push_back((topic.to_owned(), payload, retain));
+        self.offline_buffered += 1;
+        env.incr("offline_buffered");
+    }
+
+    /// Re-publishes everything buffered during the outage (in order).
+    fn flush_offline(&mut self, env: &mut dyn NodeEnv) {
+        if self.offline_queue.is_empty() {
+            return;
+        }
+        let drained: Vec<(String, Bytes, bool)> = self.offline_queue.drain(..).collect();
+        let n = drained.len() as u64;
+        self.offline_flushed += n;
+        env.add("offline_flushed", n);
+        for (topic, payload, retain) in drained {
+            self.publish_opts(env, &topic, payload, retain);
         }
     }
 
@@ -430,17 +586,25 @@ impl MiddlewareNode {
         self.publish_opts(env, topic, payload, false);
     }
 
-    /// Publishes with an explicit retain flag.
+    /// Publishes with an explicit retain flag. While disconnected the
+    /// payload goes to the offline queue instead of being lost.
     fn publish_opts(&mut self, env: &mut dyn NodeEnv, topic: &str, payload: Bytes, retain: bool) {
-        let Some(client) = self.client.as_mut() else {
+        if self.client.is_none() {
             env.incr("publish_without_client");
             return;
-        };
+        }
         let Ok(topic_name) = TopicName::new(topic) else {
             env.incr("publish_bad_topic");
             return;
         };
+        let state = self.client.as_ref().expect("checked above").state();
+        if state != ClientState::Connected {
+            env.incr("publish_not_connected");
+            self.buffer_offline(env, topic, payload, retain);
+            return;
+        }
         env.consume_ref_ms(costs::PUBLISH_MS);
+        let client = self.client.as_mut().expect("checked above");
         match client.publish(
             topic_name,
             payload,
@@ -560,7 +724,11 @@ impl MiddlewareNode {
                 .clone()
                 .expect("client implies broker_node");
             env.send(&broker, MQTT_BROKER_PORT, encode(&packet));
-            self.connect_sent_at_ns = Some(env.now_ns());
+            let before = self.supervisor.stats().reconnects;
+            self.supervisor.on_connect_sent(env.now_ns());
+            if self.supervisor.stats().reconnects > before {
+                env.incr("reconnects");
+            }
             env.incr("connects_sent");
         }
     }
@@ -568,19 +736,10 @@ impl MiddlewareNode {
     fn on_client_poll(&mut self, env: &mut dyn NodeEnv) {
         let now = env.now_ns();
         let mut to_send = Vec::new();
-        let mut reconnect = false;
+        let mut state = None;
         if let Some(client) = self.client.as_mut() {
             to_send.extend(client.poll(now));
-            if client.state() != ClientState::Connected {
-                let stale = self
-                    .connect_sent_at_ns
-                    .map(|t| now.saturating_sub(t) > CONNECT_RETRY_NS)
-                    .unwrap_or(true);
-                if stale {
-                    client.transport_lost();
-                    reconnect = true;
-                }
-            }
+            state = Some(client.state());
         }
         for packet in to_send {
             let broker = self
@@ -590,10 +749,22 @@ impl MiddlewareNode {
                 .expect("client implies broker_node");
             env.send(&broker, MQTT_BROKER_PORT, encode(&packet));
         }
-        if reconnect {
-            self.connected = false;
-            self.send_connect(env);
-            env.incr("reconnects");
+        if let Some(state) = state {
+            // Reconnect supervision: dead-peer detection, CONNACK
+            // timeout and backoff-scheduled reconnects. Jitter is drawn
+            // from the runtime's deterministic RNG.
+            let action = self.supervisor.poll(state, now, &mut || env.rand_u64());
+            match action {
+                SupervisorAction::TransportLost => {
+                    if let Some(client) = self.client.as_mut() {
+                        client.transport_lost();
+                    }
+                    self.connected = false;
+                    env.incr("transport_lost");
+                }
+                SupervisorAction::Connect => self.send_connect(env),
+                SupervisorAction::None => {}
+            }
         }
         if self.client.is_some() {
             env.set_timer_after_ns(CLIENT_POLL_NS, tag(TAG_CLIENT_POLL, 0));
@@ -615,6 +786,10 @@ impl MiddlewareNode {
                 }
             }
         }
+        if !packets.is_empty() {
+            // Any inbound broker traffic proves the peer is alive.
+            self.supervisor.on_inbound(now);
+        }
         for packet in packets {
             let Some(client) = self.client.as_mut() else {
                 return;
@@ -633,13 +808,19 @@ impl MiddlewareNode {
             }
             for event in events {
                 match event {
-                    ClientEvent::Connected { .. } => {
+                    ClientEvent::Connected { session_present } => {
                         self.connected = true;
+                        self.supervisor.on_connected(now);
                         env.incr("client_connected");
+                        if session_present {
+                            self.session_resumes += 1;
+                            env.incr("session_resumed");
+                        }
                         self.subscribe_all(env);
                         if self.config.announce {
                             self.announce(env);
                         }
+                        self.flush_offline(env);
                     }
                     ClientEvent::Message(publish) => {
                         env.consume_ref_ms(costs::DISPATCH_MS);
@@ -793,6 +974,12 @@ impl MiddlewareNode {
                     continue;
                 }
             };
+            // Sequence ledger: sensor streams carry a per-device monotone
+            // seq, so received flows can be audited for permanent gaps
+            // (loss) and duplicates after faults and session resumes.
+            if topic.starts_with("sensor/") {
+                self.seq_ledger.entry(topic.clone()).or_default().observe(item.seq);
+            }
             for i in 0..self.operators.len() {
                 if !self.operators[i].accepts(&topic) {
                     continue;

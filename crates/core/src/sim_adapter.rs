@@ -276,13 +276,20 @@ mod tests {
         sim.set_node_up(broker, false);
         sim.run_for(SimDuration::from_secs(2));
         assert_eq!(sim.metrics().counter("published"), 0);
-        assert!(sim.metrics().counter("samples_dropped_unconnected") > 0);
-        // Broker comes back: the client's retry loop reconnects.
+        // Samples produced during the outage are buffered, not lost.
+        assert_eq!(sim.metrics().counter("samples_dropped_unconnected"), 0);
+        assert!(sim.metrics().counter("offline_buffered") > 0);
+        // Broker comes back: the reconnect supervisor re-establishes the
+        // session and the offline queue is flushed.
         sim.set_node_up(broker, true);
         sim.run_for(SimDuration::from_secs(4));
         assert!(
             sim.metrics().counter("published") > 0,
             "client failed to reconnect after broker recovery"
+        );
+        assert!(
+            sim.metrics().counter("offline_flushed") > 0,
+            "offline queue was not flushed after reconnect"
         );
     }
 }

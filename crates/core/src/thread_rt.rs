@@ -390,6 +390,31 @@ mod tests {
         assert_eq!(stats.clients_connected, 1);
     }
 
+    /// A sensor node whose broker never answers buffers samples in the
+    /// offline queue instead of dropping them (thread runtime wiring of
+    /// the resilience layer).
+    #[test]
+    fn offline_samples_are_buffered_not_dropped() {
+        let cluster = ClusterBuilder::new()
+            .node(
+                NodeConfig::new("lone-sensor")
+                    .with_broker_node("void")
+                    .with_sensor(SensorSpec::new(SensorKind::Temperature, 1, 50.0, 7))
+                    .with_offline_queue(8),
+            )
+            .start();
+        let report = cluster.run_for(Duration::from_millis(500));
+        assert_eq!(report.metrics.counter("published"), 0);
+        assert_eq!(report.metrics.counter("samples_dropped_unconnected"), 0);
+        assert!(report.metrics.counter("offline_buffered") > 0);
+        let node = report.node("lone-sensor").expect("node present");
+        let r = node.resilience();
+        assert!(r.offline_buffered > 0, "no samples buffered: {r:?}");
+        assert_eq!(r.offline_queued, 8, "queue should sit at its bound");
+        assert!(r.offline_dropped > 0, "oldest-drop policy never engaged");
+        assert_eq!(r.offline_flushed, 0);
+    }
+
     #[test]
     fn simulated_speed_slows_processing() {
         // With speed emulation the declared train cost (~40 ms) is slept

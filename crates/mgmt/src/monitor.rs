@@ -1,7 +1,7 @@
 //! The management software screen (paper Fig. 8): a textual cluster
 //! monitor showing every module's classes and their live statistics.
 
-use ifot_core::node::MiddlewareNode;
+use ifot_core::node::{MiddlewareNode, ResilienceStats};
 use ifot_core::sim_adapter::SimNode;
 use ifot_netsim::sim::Simulation;
 
@@ -14,6 +14,9 @@ pub struct ModuleStatus {
     pub connected: bool,
     /// One line per hosted class.
     pub classes: Vec<String>,
+    /// Connection-resilience counters (reconnects, offline buffering,
+    /// session replay, sequence-ledger loss accounting).
+    pub resilience: ResilienceStats,
 }
 
 impl ModuleStatus {
@@ -23,6 +26,7 @@ impl ModuleStatus {
             name: node.name().to_owned(),
             connected: node.is_connected(),
             classes: node.describe_classes(),
+            resilience: node.resilience(),
         }
     }
 }
@@ -58,6 +62,22 @@ pub fn render_screen(statuses: &[ModuleStatus], now_label: &str) -> String {
         for class in &status.classes {
             out.push_str(&format!("    {class}\n"));
         }
+        let r = &status.resilience;
+        if r.reconnects > 0 || r.transport_lost > 0 || r.offline_buffered > 0 || r.seq_gaps > 0 {
+            out.push_str(&format!(
+                "    resilience: reconnects={} lost={} resumed={} \
+                 offline(buf={} drop={} flush={}) replayed={} seq(gaps={} dup={})\n",
+                r.reconnects,
+                r.transport_lost,
+                r.session_resumes,
+                r.offline_buffered,
+                r.offline_dropped,
+                r.offline_flushed,
+                r.replayed_packets,
+                r.seq_gaps,
+                r.seq_duplicates,
+            ));
+        }
     }
     out
 }
@@ -89,9 +109,31 @@ mod tests {
             name: "idle".into(),
             connected: false,
             classes: vec![],
+            resilience: ResilienceStats::default(),
         };
         let screen = render_screen(&[status], "t=0");
         assert!(screen.contains("no classes deployed"));
         assert!(screen.contains("offline"));
+        // A module that never struggled shows no resilience line.
+        assert!(!screen.contains("resilience:"));
+    }
+
+    #[test]
+    fn resilience_counters_render_when_active() {
+        let status = ModuleStatus {
+            name: "edge".into(),
+            connected: true,
+            classes: vec![],
+            resilience: ResilienceStats {
+                reconnects: 2,
+                transport_lost: 2,
+                offline_buffered: 5,
+                offline_flushed: 5,
+                ..ResilienceStats::default()
+            },
+        };
+        let screen = render_screen(&[status], "t=9");
+        assert!(screen.contains("resilience: reconnects=2"), "screen:\n{screen}");
+        assert!(screen.contains("offline(buf=5 drop=0 flush=5)"), "screen:\n{screen}");
     }
 }

@@ -109,7 +109,9 @@ pub struct Client {
     pending_subs: BTreeMap<PacketId, (Vec<(TopicFilter, QoS)>, u64)>,
     subscriptions: Vec<TopicFilter>,
     last_sent_ns: u64,
+    last_rx_ns: u64,
     ping_outstanding: bool,
+    replayed_packets: u64,
 }
 
 impl Client {
@@ -126,7 +128,9 @@ impl Client {
             pending_subs: BTreeMap::new(),
             subscriptions: Vec::new(),
             last_sent_ns: 0,
+            last_rx_ns: 0,
             ping_outstanding: false,
+            replayed_packets: 0,
         }
     }
 
@@ -153,6 +157,17 @@ impl Client {
     /// Number of QoS 2 publishes in the exactly-once handshake.
     pub fn inflight2_count(&self) -> usize {
         self.inflight2.len()
+    }
+
+    /// When the last packet from the broker was received (0 before any).
+    pub fn last_rx_ns(&self) -> u64 {
+        self.last_rx_ns
+    }
+
+    /// Packets replayed after reconnects (QoS 1 dups, QoS 2
+    /// PUBLISH/PUBREL resumes) — a session-resume activity counter.
+    pub fn replayed_packets(&self) -> u64 {
+        self.replayed_packets
     }
 
     fn alloc_pid(&mut self) -> PacketId {
@@ -331,6 +346,16 @@ impl Client {
         packet: Packet,
         now_ns: u64,
     ) -> Result<(Vec<ClientEvent>, Vec<Packet>), SessionError> {
+        // Packets arriving after the transport was declared lost — or
+        // before the new connection's CONNACK — belong to a previous
+        // incarnation of the connection and are discarded, exactly as a
+        // TCP client never reads bytes from a closed socket.
+        if self.state == ClientState::Disconnected
+            || (self.state == ClientState::Connecting && !matches!(packet, Packet::Connack(_)))
+        {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        self.last_rx_ns = self.last_rx_ns.max(now_ns);
         let mut events = Vec::new();
         let mut out = Vec::new();
         match packet {
@@ -441,6 +466,7 @@ impl Client {
                 }
             }
         }
+        self.replayed_packets += out.len() as u64;
         out
     }
 
@@ -495,10 +521,14 @@ impl Client {
                 }));
             }
         }
-        // Keep-alive: ping when idle for the keep-alive interval.
+        // Keep-alive: ping when nothing was sent for the keep-alive
+        // interval (the MQTT rule), and also when nothing was *received*
+        // for it — an outbound-busy QoS 0 publisher would otherwise never
+        // solicit broker traffic, leaving dead-peer detection blind.
         let ka_ns = self.config.keep_alive_secs as u64 * 1_000_000_000;
-        if ka_ns > 0 && !self.ping_outstanding && now_ns.saturating_sub(self.last_sent_ns) >= ka_ns
-        {
+        let idle_out = now_ns.saturating_sub(self.last_sent_ns) >= ka_ns;
+        let idle_in = now_ns.saturating_sub(self.last_rx_ns) >= ka_ns;
+        if ka_ns > 0 && !self.ping_outstanding && (idle_out || idle_in) {
             self.ping_outstanding = true;
             out.push(Packet::Pingreq);
         }
@@ -681,6 +711,91 @@ mod tests {
         assert!(c.poll(62_000_000_000).is_empty());
         let (ev, _) = c.handle_packet(Packet::Pingresp, 63_000_000_000).expect("pong");
         assert_eq!(ev, vec![ClientEvent::Pong]);
+    }
+
+    #[test]
+    fn keep_alive_pings_when_only_inbound_is_idle() {
+        // A busy QoS 0 publisher never goes outbound-idle, but it still
+        // must probe a silent broker so dead-peer detection can work.
+        let mut c = connected_client();
+        let mut now = 0u64;
+        for _ in 0..12 {
+            now += 10_000_000_000; // publish every 10 s < keep-alive 60 s
+            let _ = c
+                .publish(topic("a"), b"x".to_vec(), QoS::AtMostOnce, false, now)
+                .expect("publish");
+        }
+        // 120 s without any inbound traffic: the poll solicits a PINGRESP
+        // even though the last publish was recent.
+        let out = c.poll(now + 1_000_000_000);
+        assert!(out.contains(&Packet::Pingreq), "expected an inbound-idle ping");
+    }
+
+    #[test]
+    fn inbound_traffic_defers_the_inbound_idle_ping() {
+        let mut c = connected_client();
+        // Broker traffic at t=30s refreshes the inbound clock...
+        let _ = c
+            .handle_packet(
+                Packet::Publish(Publish::qos0(topic("s"), b"m".to_vec())),
+                30_000_000_000,
+            )
+            .expect("handled");
+        // ...and outbound activity at t=50s refreshes the outbound clock,
+        // so at t=80s neither direction is 60s-idle yet.
+        let _ = c
+            .publish(topic("a"), b"x".to_vec(), QoS::AtMostOnce, false, 50_000_000_000)
+            .expect("publish");
+        assert!(!c.poll(80_000_000_000).contains(&Packet::Pingreq));
+        // At t=95s the inbound side crosses 60 s of silence.
+        assert!(c.poll(95_000_000_000).contains(&Packet::Pingreq));
+    }
+
+    #[test]
+    fn stale_packets_after_transport_loss_are_discarded() {
+        let mut c = connected_client();
+        let _ = c
+            .publish(topic("a"), b"x".to_vec(), QoS::AtLeastOnce, false, 0)
+            .expect("publish");
+        c.transport_lost();
+        // A PUBACK from the dead connection must not complete the flow.
+        let (ev, out) = c.handle_packet(Packet::Puback(1), 1).expect("ignored");
+        assert!(ev.is_empty() && out.is_empty());
+        assert_eq!(c.inflight_count(), 1, "inflight survives for replay");
+        // While reconnecting, only CONNACK is accepted.
+        let _ = c.connect().expect("reconnect");
+        let (ev, out) = c
+            .handle_packet(
+                Packet::Publish(Publish::qos0(topic("s"), b"m".to_vec())),
+                2,
+            )
+            .expect("ignored");
+        assert!(ev.is_empty() && out.is_empty());
+    }
+
+    #[test]
+    fn replayed_packet_counter_tracks_session_resume() {
+        let mut c = connected_client();
+        let _ = c
+            .publish(topic("a"), b"x".to_vec(), QoS::AtLeastOnce, false, 0)
+            .expect("publish");
+        let _ = c
+            .publish(topic("b"), b"y".to_vec(), QoS::ExactlyOnce, false, 0)
+            .expect("publish");
+        assert_eq!(c.replayed_packets(), 0);
+        c.transport_lost();
+        let _ = c.connect().expect("reconnect");
+        let (_, replays) = c
+            .handle_packet(
+                Packet::Connack(Connack {
+                    session_present: true,
+                    code: ConnectReturnCode::Accepted,
+                }),
+                5,
+            )
+            .expect("connack");
+        assert_eq!(replays.len(), 2);
+        assert_eq!(c.replayed_packets(), 2);
     }
 
     #[test]

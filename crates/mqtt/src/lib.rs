@@ -15,6 +15,8 @@
 //!   keep-alive,
 //! * [`client`] — a sans-I/O client session with retransmission and
 //!   keep-alive,
+//! * [`supervisor`] — client-side dead-peer detection and reconnect
+//!   backoff around the session,
 //! * [`net`] — a blocking TCP transport serving the same broker on real
 //!   sockets (std only).
 //!
@@ -47,6 +49,7 @@ pub mod codec;
 pub mod error;
 pub mod net;
 pub mod packet;
+pub mod supervisor;
 pub mod topic;
 pub mod tree;
 
@@ -56,4 +59,5 @@ pub use codec::{decode, encode, StreamDecoder};
 pub use error::{DecodeError, SessionError, TopicError};
 pub use net::{TcpBroker, TcpClient};
 pub use packet::{Packet, Publish, QoS};
+pub use supervisor::{ReconnectConfig, ReconnectSupervisor, SupervisorAction};
 pub use topic::{TopicFilter, TopicName};

@@ -1,0 +1,322 @@
+//! Shared harness for the delivery-guarantee suites: a sans-I/O
+//! publisher → broker → subscriber triangle with persistent sessions,
+//! driven under arbitrary packet loss *and* arbitrary forced-disconnect
+//! schedules, with reconnection handled by the real
+//! [`ReconnectSupervisor`] — the same component the middleware node
+//! runs. Used by `tests/exactly_once.rs` (concrete regression
+//! schedules) and `tests/proptests.rs` (property-based schedules).
+#![allow(dead_code)]
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ifot::mqtt::broker::{Action, Broker, BrokerConfig};
+use ifot::mqtt::client::{Client, ClientConfig, ClientEvent, ClientState};
+use ifot::mqtt::packet::{Packet, QoS};
+use ifot::mqtt::supervisor::{ReconnectConfig, ReconnectSupervisor, SupervisorAction};
+use ifot::mqtt::topic::{TopicFilter, TopicName};
+
+pub const PUB: u8 = 1;
+pub const SUB: u8 = 2;
+
+/// Deterministic loss decision (LCG), ~`loss_pct`% drops.
+pub struct Loss {
+    state: u64,
+    loss_pct: u64,
+}
+
+impl Loss {
+    pub fn new(state: u64, loss_pct: u64) -> Self {
+        Loss { state, loss_pct }
+    }
+
+    pub fn drop(&mut self) -> bool {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.state >> 33) % 100 < self.loss_pct
+    }
+}
+
+/// SplitMix64 step — a tiny deterministic RNG for jitter draws.
+pub fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What a chaotic run produced at the subscriber.
+#[derive(Debug)]
+pub struct ReconnectRun {
+    /// payload → delivery count.
+    pub delivered: BTreeMap<Vec<u8>, u32>,
+    /// Session resumes observed (CONNACK with `session_present`).
+    pub session_resumes: u64,
+    /// Whether the run drained completely (all retransmission windows
+    /// closed and both sides reconnected).
+    pub settled: bool,
+}
+
+/// Publishes `count` messages at `qos` through a transport with
+/// `loss_pct`% loss while `schedule` forcibly kills connections:
+/// each entry `(time_ns, is_publisher)` tears down that side's
+/// transport at the given virtual time (broker *and* client side, like
+/// a TCP reset). Both sessions are persistent (`clean_session = false`)
+/// and come back solely through the [`ReconnectSupervisor`], so QoS 1/2
+/// in-flight state must survive arbitrary loss + reconnect schedules.
+pub fn run_with_reconnects(
+    qos: QoS,
+    count: u32,
+    loss_pct: u64,
+    schedule: &[(u64, bool)],
+    seed: u64,
+) -> ReconnectRun {
+    let cfg = || ClientConfig {
+        retransmit_timeout_ns: 50,
+        clean_session: false,
+        ..ClientConfig::default()
+    };
+    // Timeouts in the same tiny virtual-nanosecond units as the tick.
+    let sup = || {
+        ReconnectSupervisor::new(
+            ReconnectConfig {
+                keep_alive_factor: 1.5,
+                connect_timeout_ns: 200,
+                backoff_base_ns: 100,
+                backoff_max_ns: 1_000,
+                jitter_frac: 0.25,
+            },
+            0, // keep-alive disabled: the schedule forces the failures
+        )
+    };
+    let mut publisher = Client::new("pub", cfg());
+    let mut subscriber = Client::new("sub", cfg());
+    let mut pub_sup = sup();
+    let mut sub_sup = sup();
+    let mut broker: Broker<u8> = Broker::with_config(BrokerConfig {
+        retransmit_timeout_ns: 50,
+        ..Default::default()
+    });
+    let mut loss = Loss::new(seed | 1, loss_pct);
+    let mut rng_state = seed ^ 0xD1B5_4A32_D192_ED03;
+    let mut delivered: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
+    let mut session_resumes = 0u64;
+
+    let mut schedule: Vec<(u64, bool)> = schedule.to_vec();
+    schedule.sort_unstable();
+    let mut next_disruption = 0usize;
+
+    let mut to_broker: Vec<(u8, Packet)> = Vec::new();
+    let mut to_client: Vec<(u8, Packet)> = Vec::new();
+
+    // Session setup on a lossless prefix at t=0: both CONNECTs and the
+    // subscription land. Everything after is fair game (the persistent
+    // sessions keep the subscription across every reconnect).
+    broker.connection_opened(PUB, 0);
+    broker.connection_opened(SUB, 0);
+    for (conn, client, sup) in [
+        (PUB, &mut publisher, &mut pub_sup),
+        (SUB, &mut subscriber, &mut sub_sup),
+    ] {
+        let connect = client.connect().expect("first connect");
+        sup.on_connect_sent(0);
+        for action in broker.handle_packet(&conn, connect, 0) {
+            if let Action::Send { packet, .. } = action {
+                let (_, out) = client.handle_packet(packet, 0).expect("connack");
+                assert!(out.is_empty(), "fresh session has nothing to replay");
+            }
+        }
+        sup.on_connected(0);
+    }
+    let subscribe = subscriber
+        .subscribe(vec![(TopicFilter::new("t/#").expect("valid"), qos)], 0)
+        .expect("subscribe");
+    for action in broker.handle_packet(&SUB, subscribe, 0) {
+        if let Action::Send { packet, .. } = action {
+            let _ = subscriber.handle_packet(packet, 0).expect("suback");
+        }
+    }
+
+    // One new message enters the pipeline every 50 ticks; messages that
+    // cannot be published while disconnected wait here (the harness
+    // mirror of the node's offline queue).
+    let mut pending: VecDeque<u32> = VecDeque::new();
+    let mut next_pub: u32 = 0;
+    let mut settled = false;
+
+    let mut now = 0u64;
+    for _ in 0..60_000 {
+        now += 10;
+
+        // Forced disconnects due at this tick.
+        while next_disruption < schedule.len() && schedule[next_disruption].0 <= now {
+            let (_, is_publisher) = schedule[next_disruption];
+            next_disruption += 1;
+            let (conn, client) = if is_publisher {
+                (PUB, &mut publisher)
+            } else {
+                (SUB, &mut subscriber)
+            };
+            if client.state() != ClientState::Disconnected {
+                client.transport_lost();
+            }
+            for action in broker.connection_lost(&conn, now) {
+                if let Action::Send { conn, packet } = action {
+                    if !loss.drop() {
+                        to_client.push((conn, packet));
+                    }
+                }
+            }
+        }
+
+        // Reconnect supervision for both sides.
+        for (conn, client, sup) in [
+            (PUB, &mut publisher, &mut pub_sup),
+            (SUB, &mut subscriber, &mut sub_sup),
+        ] {
+            let action = sup.poll(client.state(), now, &mut || splitmix(&mut rng_state));
+            match action {
+                SupervisorAction::TransportLost => client.transport_lost(),
+                SupervisorAction::Connect => {
+                    broker.connection_opened(conn, now);
+                    let packet = client.connect().expect("connect while disconnected");
+                    sup.on_connect_sent(now);
+                    if !loss.drop() {
+                        to_broker.push((conn, packet));
+                    }
+                }
+                SupervisorAction::None => {}
+            }
+        }
+
+        // Offered load, buffered while the publisher is offline.
+        if next_pub < count && now >= u64::from(next_pub) * 50 {
+            pending.push_back(next_pub);
+            next_pub += 1;
+        }
+        while publisher.state() == ClientState::Connected {
+            let Some(i) = pending.pop_front() else { break };
+            let packet = publisher
+                .publish(
+                    TopicName::new("t/x").expect("valid"),
+                    i.to_be_bytes().to_vec(),
+                    qos,
+                    false,
+                    now,
+                )
+                .expect("connected publish");
+            if !loss.drop() {
+                to_broker.push((PUB, packet));
+            }
+        }
+
+        // Broker ingress.
+        for (conn, packet) in std::mem::take(&mut to_broker) {
+            for action in broker.handle_packet(&conn, packet, now) {
+                if let Action::Send { conn, packet } = action {
+                    if !loss.drop() {
+                        to_client.push((conn, packet));
+                    }
+                }
+            }
+        }
+        // Client ingress.
+        for (conn, packet) in std::mem::take(&mut to_client) {
+            let (client, sup) = if conn == PUB {
+                (&mut publisher, &mut pub_sup)
+            } else {
+                (&mut subscriber, &mut sub_sup)
+            };
+            sup.on_inbound(now);
+            let Ok((events, out)) = client.handle_packet(packet, now) else {
+                continue;
+            };
+            for event in events {
+                match event {
+                    ClientEvent::Message(p) => {
+                        *delivered.entry(p.payload.to_vec()).or_insert(0) += 1;
+                    }
+                    ClientEvent::Connected { session_present } => {
+                        sup.on_connected(now);
+                        if session_present {
+                            session_resumes += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for packet in out {
+                if !loss.drop() {
+                    to_broker.push((conn, packet));
+                }
+            }
+        }
+        // Retransmissions.
+        for (conn, client) in [(PUB, &mut publisher), (SUB, &mut subscriber)] {
+            for packet in client.poll(now) {
+                if !loss.drop() {
+                    to_broker.push((conn, packet));
+                }
+            }
+        }
+        for action in broker.poll(now) {
+            if let Action::Send { conn, packet } = action {
+                if !loss.drop() {
+                    to_client.push((conn, packet));
+                }
+            }
+        }
+
+        if next_disruption == schedule.len()
+            && next_pub == count
+            && pending.is_empty()
+            && to_broker.is_empty()
+            && to_client.is_empty()
+            && publisher.state() == ClientState::Connected
+            && subscriber.state() == ClientState::Connected
+            && publisher.inflight_count() == 0
+            && publisher.inflight2_count() == 0
+            && delivered.len() == count as usize
+        {
+            settled = true;
+            break;
+        }
+    }
+
+    ReconnectRun {
+        delivered,
+        session_resumes,
+        settled,
+    }
+}
+
+/// Asserts the QoS-level delivery guarantee plus payload preservation
+/// for a finished run.
+pub fn assert_guarantee(run: &ReconnectRun, qos: QoS, count: u32) {
+    assert!(run.settled, "run never drained: {run:?}");
+    assert_eq!(
+        run.delivered.len(),
+        count as usize,
+        "every message must arrive: {run:?}"
+    );
+    // Payload preservation: the delivered set is exactly the sent set.
+    for i in 0..count {
+        assert!(
+            run.delivered.contains_key(i.to_be_bytes().as_slice()),
+            "payload of message {i} was lost or corrupted"
+        );
+    }
+    match qos {
+        QoS::AtLeastOnce => assert!(
+            run.delivered.values().all(|&n| n >= 1),
+            "at-least-once violated: {run:?}"
+        ),
+        QoS::ExactlyOnce => assert!(
+            run.delivered.values().all(|&n| n == 1),
+            "exactly-once violated: {run:?}"
+        ),
+        QoS::AtMostOnce => unreachable!("QoS 0 has no delivery guarantee to assert"),
+    }
+}

@@ -4,8 +4,18 @@
 //!
 //! * QoS 1 — every message arrives **at least once** (duplicates allowed).
 //! * QoS 2 — every message arrives **exactly once**.
+//!
+//! The `*_across_session_resume` tests add forced-disconnect schedules
+//! on top of the loss: the guarantees must also survive transport
+//! teardowns and supervisor-driven session resumes (see
+//! `tests/common/mod.rs` for the harness; `tests/proptests.rs` runs the
+//! same harness under generated schedules).
+
+mod common;
 
 use std::collections::BTreeMap;
+
+use common::{assert_guarantee, run_with_reconnects};
 
 use ifot::mqtt::broker::{Action, Broker};
 use ifot::mqtt::client::{Client, ClientConfig, ClientEvent};
@@ -193,5 +203,63 @@ fn lossless_transport_is_trivially_exact() {
         let delivered = run(qos, 30, 0);
         assert_eq!(delivered.len(), 30);
         assert!(delivered.values().all(|&n| n == 1));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loss + reconnect schedules (session resume)
+// ---------------------------------------------------------------------
+
+/// Both sides are killed (at different times) while QoS 1 publishes are
+/// in flight; the persistent sessions replay them on resume.
+#[test]
+fn qos1_at_least_once_across_session_resume() {
+    let run = run_with_reconnects(
+        QoS::AtLeastOnce,
+        40,
+        15,
+        &[(500, true), (900, false), (1_500, true)],
+        7,
+    );
+    assert!(
+        run.session_resumes >= 3,
+        "every forced teardown must end in a session resume: {run:?}"
+    );
+    assert_guarantee(&run, QoS::AtLeastOnce, 40);
+}
+
+/// The same schedule at QoS 2: teardowns land between PUBLISH, PUBREC,
+/// PUBREL and PUBCOMP, and redelivery across the resume must still
+/// collapse to exactly one delivery per message.
+#[test]
+fn qos2_exactly_once_across_session_resume() {
+    let run = run_with_reconnects(
+        QoS::ExactlyOnce,
+        40,
+        15,
+        &[(500, true), (900, false), (1_500, true)],
+        7,
+    );
+    assert!(run.session_resumes >= 3, "{run:?}");
+    assert_guarantee(&run, QoS::ExactlyOnce, 40);
+}
+
+/// Publisher and subscriber die at the same instant.
+#[test]
+fn simultaneous_teardown_of_both_sides_recovers() {
+    for qos in [QoS::AtLeastOnce, QoS::ExactlyOnce] {
+        let run = run_with_reconnects(qos, 30, 10, &[(700, true), (700, false)], 11);
+        assert_guarantee(&run, qos, 30);
+    }
+}
+
+/// A teardown storm: six kills in close succession, under loss heavy
+/// enough that reconnect handshakes themselves need retries.
+#[test]
+fn reconnect_storm_under_heavy_loss_converges() {
+    let schedule: Vec<(u64, bool)> = (1..=6).map(|k| (k * 400, k % 2 == 0)).collect();
+    for qos in [QoS::AtLeastOnce, QoS::ExactlyOnce] {
+        let run = run_with_reconnects(qos, 25, 30, &schedule, 13);
+        assert_guarantee(&run, qos, 25);
     }
 }

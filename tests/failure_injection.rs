@@ -1,7 +1,15 @@
 //! Integration: failure injection across the middleware stack.
+//!
+//! The `chaos_*` tests are a deterministic fault-schedule corpus: each
+//! one drives a fixed seeded schedule (crash/restart/partition at exact
+//! virtual times) against the resilience layer and asserts both the
+//! recovery property and bit-identical reproducibility of the run.
 
 use ifot::core::config::{NodeConfig, OperatorKind, OperatorSpec, SensorSpec};
+use ifot::core::node::ResilienceStats;
 use ifot::core::sim_adapter::{add_middleware_node, SimNode};
+use ifot::mgmt::monitor;
+use ifot::mqtt::packet::QoS;
 use ifot::netsim::cpu::CpuProfile;
 use ifot::netsim::sim::Simulation;
 use ifot::netsim::time::{SimDuration, SimTime};
@@ -39,9 +47,58 @@ fn small_pipeline(seed: u64, wlan: WlanConfig) -> Simulation {
     sim
 }
 
+/// `small_pipeline` with the resilience layer turned all the way up:
+/// 1 s keep-alive (dead peers noticed within 1.5 s), persistent
+/// sessions, and an offline queue deep enough that no sample is ever
+/// shed during the outages these tests inject.
+fn resilient_pipeline(seed: u64, wlan: WlanConfig, qos: QoS) -> Simulation {
+    let mut sim = Simulation::with_wlan(wlan, seed);
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("broker").with_broker(),
+    );
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("sensor-node")
+            .with_broker_node("broker")
+            .with_sensor(SensorSpec::new(SensorKind::Sound, 1, 20.0, seed))
+            .with_qos(qos)
+            .with_keep_alive(1)
+            .with_persistent_session()
+            .with_offline_queue(4096),
+    );
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("analysis")
+            .with_broker_node("broker")
+            .with_operator(OperatorSpec::sink(
+                "score",
+                OperatorKind::Anomaly {
+                    detector: "zscore".into(),
+                    threshold: 4.0,
+                },
+                vec!["sensor/#".into()],
+            ))
+            .with_qos(qos)
+            .with_keep_alive(1)
+            .with_persistent_session()
+            .with_offline_queue(4096),
+    );
+    sim
+}
+
+fn resilience_of(sim: &Simulation, name: &str) -> ResilienceStats {
+    let id = sim.node_id(name).expect("registered");
+    let node: &SimNode = sim.actor_as(id).expect("node");
+    node.middleware().resilience()
+}
+
 #[test]
 fn broker_crash_and_recovery() {
-    let mut sim = small_pipeline(5, WlanConfig::ideal());
+    let mut sim = resilient_pipeline(5, WlanConfig::ideal(), QoS::AtMostOnce);
     let broker = sim.node_id("broker").expect("registered");
     sim.run_for(SimDuration::from_secs(2));
     let scored_before = sim.metrics().counter("anomaly_scored");
@@ -55,9 +112,21 @@ fn broker_crash_and_recovery() {
         scored_during < 10,
         "pipeline should stall without the broker, scored {scored_during}"
     );
+    // Dead-peer detection: 1.5× the 1 s keep-alive of broker silence is
+    // enough for the clients to declare the transport lost on their own.
+    let sensor_res = resilience_of(&sim, "sensor-node");
+    assert!(
+        sensor_res.dead_peer_detections >= 1,
+        "client never noticed the dead broker: {sensor_res:?}"
+    );
+    assert!(
+        sensor_res.offline_buffered > 0,
+        "samples during the outage must be buffered: {sensor_res:?}"
+    );
 
-    // Recovery: clients reconnect and flow resumes.
-    sim.set_node_up(broker, true);
+    // Recovery: the broker restarts; every client reconnects by itself
+    // (no test-side choreography on the client nodes).
+    sim.restart_node(broker);
     sim.run_for(SimDuration::from_secs(4));
     let scored_after =
         sim.metrics().counter("anomaly_scored") - scored_before - scored_during;
@@ -65,11 +134,20 @@ fn broker_crash_and_recovery() {
         scored_after > 10,
         "pipeline must resume after broker recovery, scored {scored_after}"
     );
-    // Note: no client reconnect is needed here — the broker actor's
-    // session state survives the outage (only in-flight packets were
-    // lost), so QoS 0 flow resumes as soon as the node is back. The
-    // reconnect path is exercised by `sensor_node_recovers_when_broker_returns`
-    // in ifot-core, where the broker is down from the start.
+    let sensor_res = resilience_of(&sim, "sensor-node");
+    assert!(
+        sensor_res.reconnects >= 1,
+        "recovery must come from the reconnect supervisor: {sensor_res:?}"
+    );
+    assert!(
+        sensor_res.offline_flushed > 0,
+        "buffered samples must be flushed on reconnect: {sensor_res:?}"
+    );
+    for name in ["sensor-node", "analysis"] {
+        let id = sim.node_id(name).expect("registered");
+        let node: &SimNode = sim.actor_as(id).expect("node");
+        assert!(node.middleware().is_connected(), "{name} must rejoin");
+    }
 }
 
 #[test]
@@ -155,7 +233,7 @@ fn down_node_drops_are_not_backlog_drops() {
 
 #[test]
 fn network_partition_heals_transparently_for_qos0_flow() {
-    let mut sim = small_pipeline(11, WlanConfig::ideal());
+    let mut sim = resilient_pipeline(11, WlanConfig::ideal(), QoS::AtMostOnce);
     let sensor = sim.node_id("sensor-node").expect("registered");
     let broker = sim.node_id("broker").expect("registered");
     sim.run_for(SimDuration::from_secs(1));
@@ -168,12 +246,26 @@ fn network_partition_heals_transparently_for_qos0_flow() {
     assert!(during < 5, "flow must stall during the partition: {during}");
     assert!(sim.metrics().counter("link_blocked_drops") > 0);
 
-    // Heal: the client reconnects (its keep-alive state may have been
-    // torn down broker-side) and the flow resumes.
+    // Heal: the sensor's supervisor has already declared the peer dead
+    // and keeps retrying on backoff, so the session comes back without
+    // any test-side help and the buffered samples are recovered.
     sim.set_partitioned(sensor, broker, false);
     sim.run_for(SimDuration::from_secs(4));
     let after = sim.metrics().counter("anomaly_scored") - before - during;
     assert!(after > 10, "flow must resume after healing: {after}");
+    let sensor_res = resilience_of(&sim, "sensor-node");
+    assert!(
+        sensor_res.dead_peer_detections >= 1,
+        "partition must be detected by keep-alive: {sensor_res:?}"
+    );
+    assert!(
+        sensor_res.reconnects >= 1,
+        "healing must come from the reconnect supervisor: {sensor_res:?}"
+    );
+    assert!(
+        sensor_res.offline_flushed > 0,
+        "samples buffered during the partition must be flushed: {sensor_res:?}"
+    );
 }
 
 #[test]
@@ -201,4 +293,192 @@ fn restarted_sensor_node_resumes_sampling_without_bursting() {
     // And the flow reaches analysis again.
     let node: &SimNode = sim.actor_as(sensor).expect("node");
     assert!(node.middleware().is_connected());
+}
+
+// ---------------------------------------------------------------------
+// Deterministic chaos-schedule corpus
+// ---------------------------------------------------------------------
+
+/// Everything observable about one chaos run; two runs with the same
+/// seed must compare equal, down to the event-trace digest.
+#[derive(Debug, PartialEq)]
+struct ChaosOutcome {
+    trace_digest: u64,
+    published: u64,
+    scored: u64,
+    sensor: ResilienceStats,
+    analysis: ResilienceStats,
+}
+
+fn outcome_of(sim: &mut Simulation) -> ChaosOutcome {
+    ChaosOutcome {
+        trace_digest: sim.take_trace().digest(),
+        published: sim.metrics().counter("published"),
+        scored: sim.metrics().counter("anomaly_scored"),
+        sensor: resilience_of(sim, "sensor-node"),
+        analysis: resilience_of(sim, "analysis"),
+    }
+}
+
+/// Schedule: the broker is dead from t=0, so the client's very first
+/// CONNECT goes unanswered — the handshake is abandoned by CONNACK
+/// timeout, retried on backoff, and succeeds once the broker appears.
+fn schedule_crash_mid_connect(seed: u64) -> ChaosOutcome {
+    let mut sim = resilient_pipeline(seed, WlanConfig::ideal(), QoS::AtLeastOnce);
+    sim.enable_trace();
+    let broker = sim.node_id("broker").expect("registered");
+    sim.set_node_up(broker, false);
+    sim.run_until(SimTime::from_secs(4));
+    let sensor_res = resilience_of(&sim, "sensor-node");
+    assert!(
+        sensor_res.connect_timeouts >= 2,
+        "unanswered CONNECTs must time out and back off: {sensor_res:?}"
+    );
+    assert_eq!(sim.metrics().counter("published"), 0);
+    assert!(sensor_res.offline_buffered > 0, "{sensor_res:?}");
+    sim.restart_node(broker);
+    sim.run_until(SimTime::from_secs(9));
+    let sensor_res = resilience_of(&sim, "sensor-node");
+    assert!(
+        sensor_res.offline_flushed > 0,
+        "backlog must flush once the handshake finally lands: {sensor_res:?}"
+    );
+    assert!(sim.metrics().counter("anomaly_scored") > 10);
+    let sensor_id = sim.node_id("sensor-node").expect("registered");
+    let node: &SimNode = sim.actor_as(sensor_id).expect("node");
+    assert!(node.middleware().is_connected());
+    outcome_of(&mut sim)
+}
+
+#[test]
+fn chaos_broker_crash_mid_connect_handshake() {
+    let first = schedule_crash_mid_connect(21);
+    let second = schedule_crash_mid_connect(21);
+    assert_eq!(first, second, "same seed must reproduce the same run");
+}
+
+/// Schedule: a 2 s partition dropped onto a steady 20 Hz QoS 2 flow, so
+/// PUBLISH/PUBREC/PUBREL/PUBCOMP exchanges are cut mid-handshake. The
+/// session resume must replay them without losing or duplicating a
+/// single sample end-to-end.
+fn schedule_partition_during_qos2(seed: u64) -> ChaosOutcome {
+    let mut sim = resilient_pipeline(seed, WlanConfig::ideal(), QoS::ExactlyOnce);
+    sim.enable_trace();
+    let sensor = sim.node_id("sensor-node").expect("registered");
+    let broker = sim.node_id("broker").expect("registered");
+    sim.run_until(SimTime::from_millis(1_500));
+    sim.set_partitioned(sensor, broker, true);
+    sim.run_until(SimTime::from_millis(3_500));
+    sim.set_partitioned(sensor, broker, false);
+    sim.run_until(SimTime::from_secs(10));
+    let sensor_res = resilience_of(&sim, "sensor-node");
+    let analysis_res = resilience_of(&sim, "analysis");
+    assert!(
+        sensor_res.session_resumes >= 1,
+        "the persistent session must be resumed: {sensor_res:?}"
+    );
+    assert_eq!(
+        analysis_res.seq_gaps, 0,
+        "QoS 2 must lose nothing: {analysis_res:?}"
+    );
+    assert_eq!(
+        analysis_res.seq_duplicates, 0,
+        "QoS 2 must stay exactly-once: {analysis_res:?}"
+    );
+    assert!(sim.metrics().counter("anomaly_scored") > 100);
+    outcome_of(&mut sim)
+}
+
+#[test]
+fn chaos_partition_during_qos2_pubrel_stays_exactly_once() {
+    let first = schedule_partition_during_qos2(33);
+    let second = schedule_partition_during_qos2(33);
+    assert_eq!(first, second, "same seed must reproduce the same run");
+}
+
+/// Schedule: the broker dies again while clients are still in their
+/// reconnect backoff from the previous death. The supervisor must keep
+/// backing off and still land the session on the third broker life.
+fn schedule_repeated_crash_during_backoff(seed: u64) -> ChaosOutcome {
+    let mut sim = resilient_pipeline(seed, WlanConfig::ideal(), QoS::AtLeastOnce);
+    sim.enable_trace();
+    let broker = sim.node_id("broker").expect("registered");
+    sim.set_node_up(broker, false);
+    sim.run_until(SimTime::from_secs(2));
+    sim.restart_node(broker);
+    // A sliver of uptime: some clients may just have reconnected, some
+    // are still waiting out their backoff.
+    sim.run_until(SimTime::from_millis(2_300));
+    sim.set_node_up(broker, false);
+    sim.run_until(SimTime::from_secs(4));
+    sim.restart_node(broker);
+    sim.run_until(SimTime::from_secs(10));
+    let sensor_res = resilience_of(&sim, "sensor-node");
+    assert!(
+        sensor_res.transport_lost >= 2,
+        "both broker deaths must be observed: {sensor_res:?}"
+    );
+    assert!(sim.metrics().counter("anomaly_scored") > 10);
+    for name in ["sensor-node", "analysis"] {
+        let id = sim.node_id(name).expect("registered");
+        let node: &SimNode = sim.actor_as(id).expect("node");
+        assert!(node.middleware().is_connected(), "{name} must recover");
+    }
+    outcome_of(&mut sim)
+}
+
+#[test]
+fn chaos_repeated_crash_during_backoff() {
+    let first = schedule_repeated_crash_during_backoff(44);
+    let second = schedule_repeated_crash_during_backoff(44);
+    assert_eq!(first, second, "same seed must reproduce the same run");
+}
+
+/// The acceptance schedule: broker crash at t=2 s (restarted at
+/// t=3.8 s, past the clients' dead-peer grace so the supervisor — not
+/// mere QoS retransmission — must carry the recovery), then a 1 s
+/// sensor↔broker partition at t=4 s. The pipeline must resume on its
+/// own with zero QoS 1 loss, the counters must be visible on the
+/// management screen, and the whole run must be bit-identical for a
+/// fixed seed.
+fn schedule_acceptance(seed: u64) -> (ChaosOutcome, String) {
+    let mut sim = resilient_pipeline(seed, WlanConfig::ideal(), QoS::AtLeastOnce);
+    sim.enable_trace();
+    let sensor = sim.node_id("sensor-node").expect("registered");
+    let broker = sim.node_id("broker").expect("registered");
+    sim.run_until(SimTime::from_secs(2));
+    sim.set_node_up(broker, false);
+    sim.run_until(SimTime::from_millis(3_800));
+    sim.restart_node(broker);
+    sim.run_until(SimTime::from_secs(4));
+    sim.set_partitioned(sensor, broker, true);
+    sim.run_until(SimTime::from_secs(5));
+    sim.set_partitioned(sensor, broker, false);
+    sim.run_until(SimTime::from_secs(12));
+    let screen = monitor::render_screen(&monitor::capture_simulation(&sim), "t=12s");
+    (outcome_of(&mut sim), screen)
+}
+
+#[test]
+fn chaos_acceptance_crash_then_partition_zero_qos1_loss() {
+    let (first, screen) = schedule_acceptance(42);
+    assert!(
+        first.scored > 100,
+        "flow must resume end-to-end after the schedule: {first:?}"
+    );
+    // Recovery was automatic and client-driven.
+    assert!(first.sensor.transport_lost >= 1, "{first:?}");
+    assert!(first.sensor.reconnects >= 1, "{first:?}");
+    assert!(first.sensor.session_resumes >= 1, "{first:?}");
+    // Zero QoS 1 loss end-to-end: every sensor sequence number made it
+    // to the analysis node (duplicates are allowed at-least-once).
+    assert_eq!(first.analysis.seq_gaps, 0, "{first:?}");
+    // Counters are on the management screen.
+    assert!(
+        screen.contains("resilience:"),
+        "monitor must surface resilience counters:\n{screen}"
+    );
+    // Bit-identical reproduction.
+    let (second, _) = schedule_acceptance(42);
+    assert_eq!(first, second, "same seed must reproduce the same run");
 }

@@ -1,6 +1,8 @@
 //! Property-based tests over the substrates' core invariants
 //! (DESIGN.md §7).
 
+mod common;
+
 use proptest::prelude::*;
 
 use ifot::mqtt::codec::{decode, encode};
@@ -791,5 +793,142 @@ proptest! {
         let sample = Sample::new(kind, device, seq, ts, &values);
         let decoded = Sample::decode(&sample.encode()).expect("round trip");
         prop_assert_eq!(decoded, sample);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Delivery guarantees under arbitrary loss + reconnect schedules
+// ---------------------------------------------------------------------
+
+fn arb_disruption_schedule() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    prop::collection::vec((100u64..20_000, any::<bool>()), 0..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// QoS 1 stays at-least-once — with every payload preserved — no
+    /// matter where loss strikes or when either side's transport is
+    /// forcibly torn down and resumed via the reconnect supervisor.
+    #[test]
+    fn qos1_at_least_once_under_arbitrary_loss_and_reconnects(
+        loss_pct in 0u64..=25,
+        schedule in arb_disruption_schedule(),
+        seed in any::<u64>(),
+    ) {
+        let run = common::run_with_reconnects(
+            QoS::AtLeastOnce, 30, loss_pct, &schedule, seed);
+        prop_assert!(run.settled, "run never drained: {run:?}");
+        prop_assert_eq!(run.delivered.len(), 30);
+        for i in 0u32..30 {
+            let n = run.delivered.get(i.to_be_bytes().as_slice());
+            prop_assert!(n.is_some_and(|&n| n >= 1),
+                "message {} violated at-least-once: {:?}", i, run);
+        }
+    }
+
+    /// QoS 2 stays exactly-once across the same schedules: session
+    /// resume may replay PUBLISH/PUBREL, but never into a duplicate
+    /// delivery.
+    #[test]
+    fn qos2_exactly_once_under_arbitrary_loss_and_reconnects(
+        loss_pct in 0u64..=25,
+        schedule in arb_disruption_schedule(),
+        seed in any::<u64>(),
+    ) {
+        let run = common::run_with_reconnects(
+            QoS::ExactlyOnce, 30, loss_pct, &schedule, seed);
+        prop_assert!(run.settled, "run never drained: {run:?}");
+        prop_assert_eq!(run.delivered.len(), 30);
+        for i in 0u32..30 {
+            let n = run.delivered.get(i.to_be_bytes().as_slice());
+            prop_assert!(n == Some(&1),
+                "message {} violated exactly-once: {:?}", i, run);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reconnect supervisor invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// A connected peer whose inbound gaps all stay below the grace
+    /// period is never declared dead, regardless of how the gaps
+    /// jitter.
+    #[test]
+    fn live_peer_with_bounded_gaps_is_never_declared_dead(
+        gaps in prop::collection::vec(0u64..1_499_999_999, 1..50),
+    ) {
+        use ifot::mqtt::client::ClientState;
+        use ifot::mqtt::supervisor::{
+            ReconnectConfig, ReconnectSupervisor, SupervisorAction,
+        };
+        let mut sup = ReconnectSupervisor::new(ReconnectConfig::default(), 1);
+        let mut rng = 1u64;
+        sup.on_connect_sent(0);
+        sup.on_connected(0);
+        let mut now = 0u64;
+        for gap in gaps {
+            now += gap;
+            let action =
+                sup.poll(ClientState::Connected, now, &mut || common::splitmix(&mut rng));
+            prop_assert_eq!(action, SupervisorAction::None,
+                "falsely declared dead after a {}ns gap", gap);
+            sup.on_inbound(now);
+        }
+        prop_assert_eq!(sup.stats().transport_lost, 0);
+    }
+
+    /// Consecutive failed attempts are scheduled with exponentially
+    /// growing, capped, jitter-bounded delays, and the whole schedule
+    /// is a pure function of the RNG stream.
+    #[test]
+    fn backoff_schedule_is_bounded_and_deterministic(
+        seed in any::<u64>(),
+        failures in 1u32..16,
+    ) {
+        use ifot::mqtt::client::ClientState;
+        use ifot::mqtt::supervisor::{
+            ReconnectConfig, ReconnectSupervisor, SupervisorAction,
+        };
+        let config = ReconnectConfig::default();
+        let run = |mut rng: u64| -> Vec<u64> {
+            let mut sup = ReconnectSupervisor::new(config.clone(), 0);
+            let mut now = 1u64;
+            let mut delays = Vec::new();
+            for _ in 0..failures {
+                // Nothing scheduled yet: this poll books the retry.
+                let action = sup.poll(ClientState::Disconnected, now, &mut || {
+                    common::splitmix(&mut rng)
+                });
+                assert_eq!(action, SupervisorAction::None);
+                let at = sup.next_attempt_ns().expect("retry booked");
+                delays.push(at - now);
+                // The attempt fires, the CONNECT goes out and times out.
+                now = at;
+                let action = sup.poll(ClientState::Disconnected, now, &mut || {
+                    common::splitmix(&mut rng)
+                });
+                assert_eq!(action, SupervisorAction::Connect);
+                sup.on_connect_sent(now);
+                now += config.connect_timeout_ns;
+                let action = sup.poll(ClientState::Connecting, now, &mut || {
+                    common::splitmix(&mut rng)
+                });
+                assert_eq!(action, SupervisorAction::TransportLost);
+            }
+            delays
+        };
+        let delays = run(seed);
+        for (k, &delay) in delays.iter().enumerate() {
+            let pre_jitter = (config.backoff_base_ns << k.min(32)).min(config.backoff_max_ns);
+            let ceiling = pre_jitter + (pre_jitter as f64 * config.jitter_frac) as u64;
+            prop_assert!(delay >= pre_jitter,
+                "attempt {} fired before its backoff: {} < {}", k, delay, pre_jitter);
+            prop_assert!(delay <= ceiling,
+                "attempt {} exceeded jitter ceiling: {} > {}", k, delay, ceiling);
+        }
+        // Same RNG stream, same schedule — the determinism rule.
+        prop_assert_eq!(delays, run(seed));
     }
 }
