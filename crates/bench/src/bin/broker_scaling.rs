@@ -1,0 +1,310 @@
+//! TCP end-to-end broker scaling measurement (no criterion), used to
+//! record `BENCH_broker_scaling.json`: real client connections publishing
+//! QoS 0 through [`TcpBroker`] to a fan-out of subscriber connections,
+//! swept over the two knobs the sharded front-end added —
+//! `BrokerConfig::shards` (service threads / routing partitions) and
+//! `BrokerConfig::write_batch` (frames coalesced per vectored write).
+//!
+//! The `shards: 1, write_batch: 1` cell is the seed-equivalent baseline:
+//! one service loop, one `write` syscall per delivered frame. On a
+//! single-core host the shard sweep isolates partitioning overhead while
+//! the batch sweep isolates syscall coalescing; on multi-core hosts the
+//! shard sweep additionally shows routing parallelism.
+//!
+//! Subscribers are minimal sink clients (manual CONNECT/SUBSCRIBE
+//! handshake, then a read loop counting complete PUBLISH frames by MQTT
+//! fixed-header framing) so the measurement tracks broker capacity
+//! rather than client-session bookkeeping; every counted delivery still
+//! crossed a real TCP socket as a complete spec-framed packet. Each
+//! cell runs several repetitions and keeps the fastest, the usual guard
+//! against scheduler noise on a shared host.
+//!
+//! Run with `cargo run --release -p ifot-bench --bin broker_scaling`
+//! (add `--quick` for a CI smoke run with a small fan-out).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use ifot_mqtt::broker::BrokerConfig;
+use ifot_mqtt::codec::{encode, StreamDecoder};
+use ifot_mqtt::net::{TcpBroker, TcpClient};
+use ifot_mqtt::packet::{Connect, Packet, QoS, Subscribe, SubscribeFilter};
+use ifot_mqtt::topic::TopicFilter;
+
+/// One measured configuration.
+struct CellResult {
+    shards: usize,
+    write_batch: usize,
+    expected: u64,
+    delivered: u64,
+    seconds: f64,
+    rate: f64,
+    timer_wakeups: u64,
+}
+
+/// Reads packets until `want` matches one (handshake helper). Panics on
+/// timeout — a cell that cannot even handshake is a benchmark bug.
+fn read_until(
+    stream: &mut TcpStream,
+    decoder: &mut StreamDecoder,
+    what: &str,
+    want: impl Fn(&Packet) -> bool,
+) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut buf = [0u8; 4096];
+    loop {
+        while let Ok(Some(packet)) = decoder.next_packet() {
+            if want(&packet) {
+                return;
+            }
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        match stream.read(&mut buf) {
+            Ok(0) => panic!("broker closed the connection before {what}"),
+            Ok(n) => decoder.feed(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("socket error before {what}: {e}"),
+        }
+    }
+}
+
+/// Counts complete MQTT frames in `buf` (fixed header + remaining-length
+/// varint, per the spec's framing rules), returning how many were
+/// PUBLISH packets and draining the consumed bytes. Incomplete trailing
+/// frames stay buffered for the next read. This is the sink's hot path:
+/// framing without per-packet decode allocations, so the measurement
+/// tracks broker capacity rather than sink-side parsing.
+fn count_publish_frames(buf: &mut Vec<u8>) -> u64 {
+    let mut count = 0u64;
+    let mut pos = 0usize;
+    loop {
+        if buf.len() - pos < 2 {
+            break;
+        }
+        // Remaining-length varint (1-4 bytes after the type byte).
+        let mut remaining = 0usize;
+        let mut shift = 0u32;
+        let mut i = pos + 1;
+        let mut complete = false;
+        while i < buf.len() && shift <= 21 {
+            let byte = buf[i];
+            remaining |= ((byte & 0x7f) as usize) << shift;
+            shift += 7;
+            i += 1;
+            if byte & 0x80 == 0 {
+                complete = true;
+                break;
+            }
+        }
+        assert!(shift <= 28, "malformed remaining-length varint");
+        if !complete || i + remaining > buf.len() {
+            break;
+        }
+        if buf[pos] >> 4 == 3 {
+            count += 1;
+        }
+        pos = i + remaining;
+    }
+    buf.drain(..pos);
+    count
+}
+
+/// Minimal QoS 0 sink: handshakes, subscribes to `sensor/#`, then counts
+/// PUBLISH frames until it saw `publishes` of them or `stop` is raised.
+fn sink_subscriber(
+    addr: SocketAddr,
+    id: String,
+    publishes: u64,
+    delivered: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    ready: Arc<Barrier>,
+) {
+    let mut stream = TcpStream::connect(addr).expect("subscriber connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("read timeout");
+    let mut decoder = StreamDecoder::new();
+    let mut connect = Connect::new(id);
+    connect.keep_alive_secs = 0; // no keep-alive: idle shards stay parked
+    stream
+        .write_all(&encode(&Packet::Connect(connect)))
+        .expect("send connect");
+    read_until(&mut stream, &mut decoder, "CONNACK", |p| {
+        matches!(p, Packet::Connack(_))
+    });
+    stream
+        .write_all(&encode(&Packet::Subscribe(Subscribe {
+            packet_id: 1,
+            filters: vec![SubscribeFilter {
+                filter: TopicFilter::new("sensor/#").expect("valid filter"),
+                qos: QoS::AtMostOnce,
+            }],
+        })))
+        .expect("send subscribe");
+    read_until(&mut stream, &mut decoder, "SUBACK", |p| {
+        matches!(p, Packet::Suback(_))
+    });
+
+    ready.wait();
+    // The handshake consumed every byte the broker sent so far (nothing
+    // is published before the barrier), so the decoder holds no
+    // leftovers and the raw frame counter starts on a packet boundary.
+    let mut got = 0u64;
+    let mut pending: Vec<u8> = Vec::with_capacity(32 * 1024);
+    let mut buf = [0u8; 16384];
+    while got < publishes && !stop.load(Ordering::Relaxed) {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                pending.extend_from_slice(&buf[..n]);
+                let batch = count_publish_frames(&mut pending);
+                got += batch;
+                delivered.fetch_add(batch, Ordering::Relaxed);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    let _ = stream.write_all(&encode(&Packet::Disconnect));
+}
+
+/// Runs one repetition: a broker with `shards`×`write_batch`, `subs`
+/// sink subscribers on `sensor/#`, one publisher sending `publishes`
+/// QoS 0 messages. Returns deliveries/s measured from the first publish
+/// to the last counted receipt.
+fn run_cell(shards: usize, write_batch: usize, subs: usize, publishes: u64) -> CellResult {
+    let config = BrokerConfig {
+        shards,
+        write_batch,
+        ..BrokerConfig::default()
+    };
+    let broker = TcpBroker::bind_with("127.0.0.1:0", config).expect("bind broker");
+    let addr = broker.local_addr();
+
+    let delivered = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    // Subscribers + the publisher rendezvous here once every SUBACK has
+    // been confirmed, so the timed window contains no setup.
+    let ready = Arc::new(Barrier::new(subs + 1));
+
+    let mut handles = Vec::with_capacity(subs);
+    for i in 0..subs {
+        let delivered = Arc::clone(&delivered);
+        let stop = Arc::clone(&stop);
+        let ready = Arc::clone(&ready);
+        handles.push(std::thread::spawn(move || {
+            sink_subscriber(addr, format!("scale-sub-{i}"), publishes, delivered, stop, ready);
+        }));
+    }
+
+    let mut publisher = TcpClient::connect(addr, "scale-pub").expect("publisher connect");
+    ready.wait();
+    let expected = publishes * subs as u64;
+    let payload = vec![0u8; 32];
+    let start = Instant::now();
+    for _ in 0..publishes {
+        publisher
+            .publish("sensor/scale/accel", payload.clone(), QoS::AtMostOnce, false)
+            .expect("publish");
+    }
+    // Wait (bounded) for the fan-out to drain to every subscriber.
+    let deadline = start + Duration::from_secs(120);
+    while delivered.load(Ordering::Relaxed) < expected && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    publisher.disconnect();
+    let timer_wakeups = broker.timer_wakeups();
+    broker.shutdown();
+
+    let got = delivered.load(Ordering::Relaxed);
+    CellResult {
+        shards,
+        write_batch,
+        expected,
+        delivered: got,
+        seconds,
+        rate: got as f64 / seconds,
+        timer_wakeups,
+    }
+}
+
+/// Best-of-`reps` for one configuration (guards against scheduler noise;
+/// a repetition that lost deliveries never wins).
+fn best_of(reps: usize, shards: usize, write_batch: usize, subs: usize, publishes: u64) -> CellResult {
+    let mut best: Option<CellResult> = None;
+    for _ in 0..reps {
+        let r = run_cell(shards, write_batch, subs, publishes);
+        let better = match &best {
+            Some(b) => (r.delivered, r.rate as u64) > (b.delivered, b.rate as u64),
+            None => true,
+        };
+        if better {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (subs, publishes, reps, cells): (usize, u64, usize, &[(usize, usize)]) = if quick {
+        (24, 300, 1, &[(1, 1), (4, 32)])
+    } else {
+        (
+            200,
+            1_000,
+            3,
+            &[(1, 1), (1, 32), (2, 32), (4, 1), (4, 32), (8, 32)],
+        )
+    };
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!("{{");
+    println!("  \"bench\": \"broker_scaling_tcp_e2e_qos0_32B\",");
+    println!("  \"unit\": \"subscriber deliveries per second, TCP end-to-end (publish -> route -> shard fan-out -> vectored write -> client frame scan)\",");
+    println!("  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    println!("  \"host_cores\": {cores},");
+    println!("  \"subscribers\": {subs},");
+    println!("  \"publishes\": {publishes},");
+    println!("  \"reps\": {reps},");
+    println!("  \"baseline\": {{ \"shards\": 1, \"write_batch\": 1 }},");
+    println!("  \"results\": [");
+    let mut baseline_rate = None;
+    let mut default_rate = None;
+    for (i, &(shards, write_batch)) in cells.iter().enumerate() {
+        let r = best_of(reps, shards, write_batch, subs, publishes);
+        if r.shards == 1 && r.write_batch == 1 {
+            baseline_rate = Some(r.rate);
+        }
+        if r.shards == 4 && r.write_batch == 32 {
+            default_rate = Some(r.rate);
+        }
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        println!(
+            "    {{ \"shards\": {}, \"write_batch\": {}, \"expected\": {}, \"delivered\": {}, \"seconds\": {:.4}, \"deliveries_per_sec\": {:.0}, \"timer_wakeups\": {} }}{comma}",
+            r.shards, r.write_batch, r.expected, r.delivered, r.seconds, r.rate, r.timer_wakeups
+        );
+    }
+    println!("  ],");
+    let speedup = match (baseline_rate, default_rate) {
+        (Some(b), Some(d)) if b > 0.0 => d / b,
+        _ => 0.0,
+    };
+    println!("  \"speedup_defaults_vs_baseline\": {speedup:.2}");
+    println!("}}");
+}

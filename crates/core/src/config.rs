@@ -212,6 +212,10 @@ pub struct NodeConfig {
     pub app: String,
     /// Run a Broker class on this node.
     pub run_broker: bool,
+    /// Routing shards for the embedded broker (hash of client id).
+    /// `1` reproduces single-broker behaviour; the default follows
+    /// [`ifot_mqtt::BrokerConfig`].
+    pub broker_shards: usize,
     /// Node name of the broker to connect the client to (`None` for a
     /// broker-only or isolated node).
     pub broker_node: Option<String>,
@@ -252,6 +256,7 @@ impl NodeConfig {
             name: name.into(),
             app: "app".to_owned(),
             run_broker: false,
+            broker_shards: ifot_mqtt::BrokerConfig::default().shards,
             broker_node: None,
             sensors: Vec::new(),
             operators: Vec::new(),
@@ -288,6 +293,12 @@ impl NodeConfig {
     /// Enables the Broker class (builder style).
     pub fn with_broker(mut self) -> Self {
         self.run_broker = true;
+        self
+    }
+
+    /// Sets the embedded broker's routing shard count (builder style).
+    pub fn with_broker_shards(mut self, shards: usize) -> Self {
+        self.broker_shards = shards.max(1);
         self
     }
 

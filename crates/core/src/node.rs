@@ -22,7 +22,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::Bytes;
 
-use ifot_mqtt::broker::{Action, Broker};
+use ifot_mqtt::broker::{Action, BrokerConfig};
+use ifot_mqtt::shard::ShardedBroker;
 use ifot_mqtt::client::{Client, ClientConfig, ClientEvent, ClientState};
 use ifot_mqtt::supervisor::{ReconnectSupervisor, SupervisorAction};
 use ifot_mqtt::codec::{encode, StreamDecoder};
@@ -169,7 +170,10 @@ impl ActuatorDevice {
 #[derive(Debug)]
 pub struct MiddlewareNode {
     config: NodeConfig,
-    broker: Option<Broker<String>>,
+    /// Embedded Broker class: the sharded routing layer (shard count
+    /// from [`NodeConfig::broker_shards`]; transports identify peer
+    /// connections by node name).
+    broker: Option<ShardedBroker<String>>,
     broker_decoders: BTreeMap<String, StreamDecoder>,
     client: Option<Client>,
     client_decoder: StreamDecoder,
@@ -272,7 +276,12 @@ impl MiddlewareNode {
         });
         let supervisor = ReconnectSupervisor::new(config.reconnect.clone(), config.keep_alive_secs);
         MiddlewareNode {
-            broker: config.run_broker.then(Broker::new),
+            broker: config.run_broker.then(|| {
+                ShardedBroker::new(BrokerConfig {
+                    shards: config.broker_shards,
+                    ..BrokerConfig::default()
+                })
+            }),
             broker_decoders: BTreeMap::new(),
             client,
             client_decoder: StreamDecoder::new(),
@@ -364,11 +373,14 @@ impl MiddlewareNode {
     /// One-line descriptions of every hosted class (monitoring screen).
     pub fn describe_classes(&self) -> Vec<String> {
         let mut out = Vec::new();
-        if self.broker.is_some() {
-            let stats = self.broker_stats().expect("broker present");
+        if let Some(broker) = self.broker.as_ref() {
+            let stats = broker.stats();
             out.push(format!(
-                "broker clients={} in={} out={}",
-                stats.clients_connected, stats.messages_in, stats.messages_out
+                "broker shards={} clients={} in={} out={}",
+                broker.shard_count(),
+                stats.clients_connected,
+                stats.messages_in,
+                stats.messages_out
             ));
         }
         for s in &self.sensors {
@@ -649,7 +661,7 @@ impl MiddlewareNode {
                 }
             }
         }
-        let broker = self.broker.as_mut().expect("checked above");
+        let broker = self.broker.as_ref().expect("checked above");
         let mut actions = Vec::new();
         for packet in packets {
             env.consume_ref_ms(costs::BROKER_IN_MS);
@@ -665,15 +677,19 @@ impl MiddlewareNode {
                     }
                 }
             }
-            actions.extend(broker.handle_packet(&src.to_owned(), packet, now));
+            // Single-threaded embedding: apply cross-shard forwards
+            // inline so delivery stays deterministic.
+            let out = broker.handle_packet(&src.to_owned(), packet, now);
+            actions.extend(broker.resolve(out, now));
         }
         self.apply_broker_actions(env, actions);
     }
 
     fn on_broker_poll(&mut self, env: &mut dyn NodeEnv) {
         let now = env.now_ns();
-        if let Some(broker) = self.broker.as_mut() {
-            let mut actions = broker.poll(now);
+        if let Some(broker) = self.broker.as_ref() {
+            let out = broker.poll(now);
+            let mut actions = broker.resolve(out, now);
             // $SYS status publications (Mosquitto-style), every 4th poll
             // (~2 s): subscribers of `$SYS/#` observe the broker load.
             self.broker_polls += 1;

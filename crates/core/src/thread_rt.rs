@@ -371,6 +371,56 @@ mod tests {
         assert!(lat.mean_ms < 200.0, "thread pipeline too slow: {}", lat.mean_ms);
     }
 
+    /// The embedded broker's sharded routing layer serves a real
+    /// multi-node cluster: several publisher nodes (whose client-id
+    /// hashes spread across shards) must reach a subscriber on a
+    /// different shard, proving cross-shard forwards flow through the
+    /// thread runtime.
+    #[test]
+    fn thread_cluster_routes_across_broker_shards() {
+        let mut builder = ClusterBuilder::new()
+            .node(NodeConfig::new("broker").with_broker().with_broker_shards(4))
+            .node(
+                NodeConfig::new("analysis")
+                    .with_broker_node("broker")
+                    .with_operator(OperatorSpec::sink(
+                        "score",
+                        OperatorKind::Anomaly {
+                            detector: "zscore".into(),
+                            threshold: 3.0,
+                        },
+                        vec!["sensor/#".into()],
+                    )),
+            );
+        // Four sensor nodes: with FNV shard assignment over four shards
+        // at least two land on a shard other than the analysis node's.
+        for i in 0..4u16 {
+            builder = builder.node(
+                NodeConfig::new(format!("sensor-{i}"))
+                    .with_broker_node("broker")
+                    .with_sensor(SensorSpec::new(SensorKind::Temperature, i, 50.0, 7)),
+            );
+        }
+        let cluster = builder.start();
+        let report = cluster.run_for(Duration::from_millis(900));
+        assert!(report.metrics.counter("published") > 5);
+        assert!(
+            report.metrics.counter("anomaly_scored") > 5,
+            "cross-shard routed samples must reach the analysis operator"
+        );
+        let broker = report.node("broker").expect("broker node present");
+        let described = broker.describe_classes().join("\n");
+        assert!(
+            described.contains("shards=4"),
+            "monitor line must surface the shard count: {described}"
+        );
+        assert_eq!(
+            broker.broker_stats().expect("stats").clients_connected,
+            5,
+            "analysis + four sensor nodes stay connected"
+        );
+    }
+
     #[test]
     fn inject_reaches_a_node() {
         let cluster = ClusterBuilder::new()

@@ -28,6 +28,12 @@ use crate::topic::{TopicFilter, TopicName};
 use crate::tree::SubscriptionTree;
 
 /// Broker tuning knobs.
+///
+/// The first four fields configure the sans-I/O protocol state machine
+/// itself; the remaining fields are transport-level knobs that the TCP
+/// front-end ([`crate::net::TcpBroker`]) and the sharded routing layer
+/// ([`crate::shard::ShardedBroker`]) honour. Keeping them on one struct
+/// means a deployment tunes the broker in one place.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BrokerConfig {
     /// Resend an unacked QoS 1 publish after this many nanoseconds.
@@ -38,6 +44,21 @@ pub struct BrokerConfig {
     pub max_offline_queue: usize,
     /// Keep-alive grace factor (spec mandates 1.5).
     pub keep_alive_factor: f64,
+    /// Number of routing shards the concurrent front-ends partition
+    /// sessions across (hash of client id). `1` reproduces the classic
+    /// single-broker behaviour; the sans-I/O [`Broker`] itself ignores
+    /// this field.
+    pub shards: usize,
+    /// Maximum frames coalesced into a single `write_vectored` call by
+    /// the TCP front-end's shard writer loops.
+    pub write_batch: usize,
+    /// Whether the TCP front-end sets `TCP_NODELAY` on accepted sockets
+    /// (latency over throughput for small frames).
+    pub tcp_nodelay: bool,
+    /// TCP write timeout in nanoseconds before a connection is declared a
+    /// slow consumer and closed (protects a shard's writer loop from one
+    /// stalled subscriber).
+    pub write_timeout_ns: u64,
 }
 
 impl Default for BrokerConfig {
@@ -47,6 +68,10 @@ impl Default for BrokerConfig {
             max_inflight: 32,
             max_offline_queue: 1_000,
             keep_alive_factor: 1.5,
+            shards: 4,
+            write_batch: 32,
+            tcp_nodelay: true,
+            write_timeout_ns: 2_000_000_000,
         }
     }
 }
@@ -77,6 +102,44 @@ pub enum Action<C> {
     Close {
         /// Connection to close.
         conn: C,
+    },
+}
+
+/// A state-change notification captured by the broker when event capture
+/// is enabled (see [`Broker::set_event_capture`]).
+///
+/// The sharded routing layer uses these to keep its replicated
+/// subscription views coherent and to forward routed publishes across
+/// shards: the broker reports *exactly* the mutations it applied to its
+/// own subscription tree (so persistence rules, session takeover and
+/// clean-session semantics never have to be re-derived by observers),
+/// plus every publish it accepted for routing (external publishes,
+/// last-will publications and internal `$SYS` traffic alike).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerEvent {
+    /// A publish was accepted and routed to local subscribers.
+    Routed(Publish),
+    /// `client` subscribed to `filter` with granted QoS `qos`.
+    Subscribed {
+        /// Subscribing client id.
+        client: String,
+        /// The topic filter subscribed to.
+        filter: TopicFilter,
+        /// Granted maximum QoS.
+        qos: QoS,
+    },
+    /// `client` unsubscribed from `filter`.
+    Unsubscribed {
+        /// Unsubscribing client id.
+        client: String,
+        /// The topic filter removed.
+        filter: TopicFilter,
+    },
+    /// Every subscription of `client` was dropped (clean-session connect
+    /// or non-persistent session teardown).
+    SessionCleared {
+        /// The client id whose subscriptions were removed.
+        client: String,
     },
 }
 
@@ -193,6 +256,10 @@ pub struct Broker<C> {
     tree: SubscriptionTree<String>,
     retained: BTreeMap<String, Publish>,
     stats: BrokerStats,
+    /// When true, tree mutations and routed publishes are recorded in
+    /// `events` for the embedding layer to drain via `take_events`.
+    capture_events: bool,
+    events: Vec<BrokerEvent>,
 }
 
 impl<C: Ord + Clone> Default for Broker<C> {
@@ -217,6 +284,29 @@ impl<C: Ord + Clone> Broker<C> {
             tree: SubscriptionTree::new(),
             retained: BTreeMap::new(),
             stats: BrokerStats::default(),
+            capture_events: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Enables or disables [`BrokerEvent`] capture. Off by default; a
+    /// layer that enables it must drain [`Broker::take_events`] after
+    /// every call or the buffer grows without bound.
+    pub fn set_event_capture(&mut self, on: bool) {
+        self.capture_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Drains the events captured since the last call.
+    pub fn take_events(&mut self) -> Vec<BrokerEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn capture(&mut self, event: impl FnOnce() -> BrokerEvent) {
+        if self.capture_events {
+            self.events.push(event());
         }
     }
 
@@ -383,7 +473,13 @@ impl<C: Ord + Clone> Broker<C> {
     /// Builds `$SYS` status publications describing the broker load; the
     /// transport may feed them back through a loopback publish.
     pub fn sys_stats_packets(&self) -> Vec<Publish> {
-        let stats = self.stats();
+        Self::sys_packets_for(self.stats())
+    }
+
+    /// Builds the `$SYS` publications for an arbitrary statistics
+    /// snapshot — shared with the sharded layer, which aggregates stats
+    /// across shards before formatting.
+    pub fn sys_packets_for(stats: BrokerStats) -> Vec<Publish> {
         let mk = |suffix: &str, value: String| {
             Publish::qos0(
                 TopicName::new(format!("$SYS/broker/{suffix}"))
@@ -441,6 +537,9 @@ impl<C: Ord + Clone> Broker<C> {
                 drop(old);
             }
             self.tree.remove_key(&client_id);
+            self.capture(|| BrokerEvent::SessionCleared {
+                client: client_id.clone(),
+            });
             false
         } else {
             self.sessions.contains_key(&client_id)
@@ -533,6 +632,7 @@ impl<C: Ord + Clone> Broker<C> {
     /// payload `Bytes` with the original, so only the small header state
     /// is per-subscriber.
     fn route(&mut self, publish: &Publish, now_ns: u64) -> Vec<Action<C>> {
+        self.capture(|| BrokerEvent::Routed(publish.clone()));
         let mut actions = Vec::new();
         let subs = self.tree.matches_shared(&publish.topic);
         // Lazily encoded: first QoS 0 subscriber pays the single encode,
@@ -703,6 +803,11 @@ impl<C: Ord + Clone> Broker<C> {
         for f in &sub.filters {
             let granted = f.qos;
             self.tree.subscribe(client_id.clone(), &f.filter, granted);
+            self.capture(|| BrokerEvent::Subscribed {
+                client: client_id.clone(),
+                filter: f.filter.clone(),
+                qos: granted,
+            });
             let session = self.sessions.entry(client_id.clone()).or_default();
             session.subscriptions.retain(|(sf, _)| sf != &f.filter);
             session.subscriptions.push((f.filter.clone(), granted));
@@ -737,6 +842,10 @@ impl<C: Ord + Clone> Broker<C> {
         };
         for f in &unsub.filters {
             self.tree.unsubscribe(&client_id, f);
+            self.capture(|| BrokerEvent::Unsubscribed {
+                client: client_id.clone(),
+                filter: f.clone(),
+            });
             if let Some(session) = self.sessions.get_mut(&client_id) {
                 session.subscriptions.retain(|(sf, _)| sf != f);
             }
@@ -765,6 +874,9 @@ impl<C: Ord + Clone> Broker<C> {
             if !persistent {
                 self.sessions.remove(&client_id);
                 self.tree.remove_key(&client_id);
+                self.capture(|| BrokerEvent::SessionCleared {
+                    client: client_id.clone(),
+                });
             }
             if publish_will {
                 if let Some(will) = connection.will {
@@ -1357,5 +1469,162 @@ mod tests {
         c.keep_alive_secs = 2;
         b.handle_packet(&1, Packet::Connect(c), 0);
         assert_eq!(b.next_deadline_ns(), Some(3_000_000_000));
+    }
+
+    #[test]
+    fn next_deadline_none_while_sessions_idle() {
+        // Connected clients without keep-alive and without in-flight
+        // deliveries give the poll loop nothing to do — ever. The old
+        // transport still woke every 100 ms; `next_deadline_ns` lets it
+        // sleep indefinitely.
+        let mut b: Broker<u32> = Broker::new();
+        for (conn, id) in [(1, "sub"), (2, "pub")] {
+            b.connection_opened(conn, 0);
+            let mut c = Connect::new(id);
+            c.keep_alive_secs = 0;
+            b.handle_packet(&conn, Packet::Connect(c), 0);
+        }
+        subscribe(&mut b, 1, "s/#", QoS::AtMostOnce);
+        b.handle_packet(
+            &2,
+            Packet::Publish(Publish::qos0(topic("s/a"), b"x".to_vec())),
+            5,
+        );
+        assert_eq!(b.next_deadline_ns(), None);
+        assert!(b.poll(u64::MAX / 2).is_empty());
+    }
+
+    #[test]
+    fn next_deadline_matches_earliest_retransmit() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "sub");
+        connect(&mut b, 2, "pub");
+        subscribe(&mut b, 1, "s/a", QoS::AtLeastOnce);
+        // Two QoS 1 deliveries sent at t=1 and t=500.
+        b.handle_packet(
+            &2,
+            Packet::Publish(Publish::qos1(topic("s/a"), b"a".to_vec(), 1)),
+            1,
+        );
+        b.handle_packet(
+            &2,
+            Packet::Publish(Publish::qos1(topic("s/a"), b"b".to_vec(), 2)),
+            500,
+        );
+        let timeout = BrokerConfig::default().retransmit_timeout_ns;
+        let deadline = b.next_deadline_ns().expect("inflight implies deadline");
+        assert_eq!(deadline, 1 + timeout, "earliest unacked send wins");
+        // Exactly what the old poll loop would have done: nothing fires
+        // strictly before the deadline, the retransmit fires at it.
+        assert!(b.poll(deadline - 1).is_empty());
+        let fired = b.poll(deadline);
+        assert!(
+            sends_to(&fired, 1)
+                .iter()
+                .any(|p| matches!(p, Packet::Publish(p) if p.dup)),
+            "deadline must coincide with the first retransmission"
+        );
+    }
+
+    #[test]
+    fn next_deadline_is_min_of_keepalive_and_retransmit() {
+        let mut b: Broker<u32> = Broker::new();
+        // Subscriber with a short keep-alive.
+        b.connection_opened(1, 0);
+        let mut c = Connect::new("sub");
+        c.keep_alive_secs = 1; // expiry at 1.5 s
+        b.handle_packet(&1, Packet::Connect(c), 0);
+        subscribe(&mut b, 1, "s/a", QoS::AtLeastOnce);
+        connect(&mut b, 2, "pub");
+        b.handle_packet(
+            &2,
+            Packet::Publish(Publish::qos1(topic("s/a"), b"x".to_vec(), 1)),
+            0,
+        );
+        // Keep-alive expiry (1.5e9) beats the retransmit (2e9).
+        assert_eq!(b.next_deadline_ns(), Some(1_500_000_000));
+        assert!(b.poll(1_499_999_999).is_empty());
+        let fired = b.poll(1_500_000_001);
+        assert!(fired.iter().any(|a| matches!(a, Action::Close { conn: 1 })));
+    }
+
+    #[test]
+    fn event_capture_reports_tree_mutations_and_routes() {
+        let mut b: Broker<u32> = Broker::new();
+        b.set_event_capture(true);
+        connect(&mut b, 1, "sub");
+        connect(&mut b, 2, "pub");
+        b.take_events();
+        subscribe(&mut b, 1, "s/#", QoS::AtLeastOnce);
+        assert_eq!(
+            b.take_events(),
+            vec![BrokerEvent::Subscribed {
+                client: "sub".into(),
+                filter: filter("s/#"),
+                qos: QoS::AtLeastOnce,
+            }]
+        );
+        b.handle_packet(
+            &2,
+            Packet::Publish(Publish::qos0(topic("s/a"), b"x".to_vec())),
+            1,
+        );
+        assert!(matches!(
+            b.take_events().as_slice(),
+            [BrokerEvent::Routed(p)] if p.topic.as_str() == "s/a"
+        ));
+        b.handle_packet(
+            &1,
+            Packet::Unsubscribe(Unsubscribe {
+                packet_id: 7,
+                filters: vec![filter("s/#")],
+            }),
+            2,
+        );
+        assert_eq!(
+            b.take_events(),
+            vec![BrokerEvent::Unsubscribed {
+                client: "sub".into(),
+                filter: filter("s/#"),
+            }]
+        );
+        // Non-persistent teardown clears the session.
+        b.handle_packet(&1, Packet::Disconnect, 3);
+        assert!(b
+            .take_events()
+            .contains(&BrokerEvent::SessionCleared { client: "sub".into() }));
+    }
+
+    #[test]
+    fn event_capture_reports_will_routes_from_poll() {
+        let mut b: Broker<u32> = Broker::new();
+        b.set_event_capture(true);
+        b.connection_opened(1, 0);
+        let mut c = Connect::new("dev");
+        c.keep_alive_secs = 1;
+        c.will = Some(LastWill {
+            topic: topic("status/dev"),
+            payload: Bytes::from_static(b"gone"),
+            qos: QoS::AtMostOnce,
+            retain: false,
+        });
+        b.handle_packet(&1, Packet::Connect(c), 0);
+        b.take_events();
+        b.poll(2_000_000_000);
+        let events = b.take_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, BrokerEvent::Routed(p) if p.payload.as_ref() == b"gone")),
+            "keep-alive expiry must surface the will as a routed event: {events:?}"
+        );
+    }
+
+    #[test]
+    fn event_capture_off_records_nothing() {
+        let mut b: Broker<u32> = Broker::new();
+        connect(&mut b, 1, "sub");
+        subscribe(&mut b, 1, "s/#", QoS::AtMostOnce);
+        assert!(b.take_events().is_empty());
     }
 }

@@ -17,8 +17,12 @@
 //!   keep-alive,
 //! * [`supervisor`] — client-side dead-peer detection and reconnect
 //!   backoff around the session,
-//! * [`net`] — a blocking TCP transport serving the same broker on real
-//!   sockets (std only).
+//! * [`shard`] — a multi-core routing layer partitioning sessions across
+//!   per-shard brokers with a replicated subscription tree,
+//! * [`wheel`] — event-driven timer arithmetic so transports park until
+//!   the broker's next deadline instead of sleep-polling,
+//! * [`net`] — a threaded TCP transport serving the sharded broker on
+//!   real sockets (std only).
 //!
 //! "Sans-I/O" means broker and client own neither sockets nor clocks: the
 //! caller feeds packets and timestamps and applies returned actions. The
@@ -49,15 +53,19 @@ pub mod codec;
 pub mod error;
 pub mod net;
 pub mod packet;
+pub mod shard;
 pub mod supervisor;
 pub mod topic;
 pub mod tree;
+pub mod wheel;
 
-pub use broker::{Action, Broker, BrokerConfig};
+pub use broker::{Action, Broker, BrokerConfig, BrokerEvent};
 pub use client::{Client, ClientConfig, ClientEvent};
 pub use codec::{decode, encode, StreamDecoder};
 pub use error::{DecodeError, SessionError, TopicError};
 pub use net::{TcpBroker, TcpClient};
 pub use packet::{Packet, Publish, QoS};
+pub use shard::{shard_of, ShardOutput, ShardedBroker};
 pub use supervisor::{ReconnectConfig, ReconnectSupervisor, SupervisorAction};
 pub use topic::{TopicFilter, TopicName};
+pub use wheel::TimerWheel;

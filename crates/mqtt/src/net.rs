@@ -1,66 +1,279 @@
-//! Blocking TCP transport: run the sans-I/O broker and client over real
-//! sockets (std only, no async runtime).
+//! Threaded TCP transport: the sharded broker over real sockets (std
+//! only, no async runtime).
 //!
 //! This is the deployment face of the substrate: [`TcpBroker`] serves
 //! MQTT on a socket address exactly like Mosquitto would, and
 //! [`TcpClient`] is a small blocking client. Internally both reuse the
-//! identical state machines the simulator exercises — the transport only
-//! moves bytes and timestamps.
+//! identical sans-I/O state machines the simulator exercises — the
+//! transport only moves bytes and timestamps.
+//!
+//! ## Threading model
+//!
+//! One blocking **accept** thread, one **reader** thread per connection,
+//! and one **service** thread per routing shard (see
+//! [`ShardedBroker`]). A reader decodes frames and calls into its
+//! connection's shard; resulting outbound frames are appended to
+//! per-connection queues and written by the owning shard's service
+//! thread with `write_vectored` over batches of up to
+//! [`BrokerConfig::write_batch`] frames — **no TCP write ever happens
+//! under a broker lock**, so one slow subscriber cannot stall routing
+//! or any other connection (a consumer that stays blocked past
+//! [`BrokerConfig::write_timeout_ns`] is declared slow and closed).
+//!
+//! Cross-shard publishes travel between service threads over bounded
+//! channels carrying the shared-payload [`Publish`] (the payload
+//! `Bytes` is reference-counted, not copied). Readers apply
+//! backpressure by blocking on a full channel; service threads never
+//! block on a channel — a full target falls back to applying the
+//! forward inline — so the shard threads cannot deadlock.
+//!
+//! Timer work is event-driven through a per-shard [`TimerWheel`]: a
+//! service thread parks until exactly its broker's
+//! [`next_deadline_ns`](crate::broker::Broker::next_deadline_ns) (or
+//! forever when idle) and readers wake it only when they create an
+//! *earlier* deadline. An idle broker makes zero timer wakeups.
 
-use std::collections::HashMap;
-use std::io::{ErrorKind, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
 
-use crate::broker::{Action, Broker, BrokerConfig};
+use crate::broker::{Action, BrokerConfig};
 use crate::client::{Client, ClientConfig, ClientEvent};
 use crate::codec::{encode, StreamDecoder};
-use crate::packet::{Publish, QoS};
+use crate::packet::{Packet, Publish, QoS};
+use crate::shard::{ShardOutput, ShardedBroker};
 use crate::topic::{TopicFilter, TopicName};
+use crate::wheel::TimerWheel;
+
+/// Connection not yet assigned to a shard (pre-CONNECT).
+const UNASSIGNED: usize = usize::MAX;
+
+/// Capacity of each shard's inbound message channel. Readers block on a
+/// full channel (backpressure toward the publisher's socket); service
+/// threads fall back to inline application instead of blocking.
+const SHARD_CHANNEL_CAP: usize = 1024;
+
+/// How long a client may sit on an accepted socket without sending
+/// CONNECT before the reader gives up on it.
+const PRE_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
 fn now_ns(epoch: Instant) -> u64 {
     epoch.elapsed().as_nanos() as u64
 }
 
+/// Work for a shard service thread.
+enum ShardMsg {
+    /// A publish routed on another shard that matches subscribers here.
+    Forward(Publish),
+    /// Re-evaluate: new frames were queued or an earlier deadline
+    /// appeared. Carries no data — the dirty list and the broker itself
+    /// hold the state.
+    Wake,
+}
+
+/// Outbound half of one connection. The queue is filled by whichever
+/// thread produced the frames; only the owning shard's service thread
+/// drains it and touches the socket.
+struct ConnState {
+    /// Write half of the socket (the reader owns the read half).
+    writer: TcpStream,
+    /// Owning shard, [`UNASSIGNED`] until CONNECT fixes it.
+    shard: AtomicUsize,
+    /// Pending outbound frames.
+    queue: Mutex<VecDeque<Bytes>>,
+    /// Producer/consumer handshake: set by the first producer to queue
+    /// into an idle connection (that producer marks the conn dirty),
+    /// cleared by the service thread before draining.
+    signaled: AtomicBool,
+    /// Close after the queue drains (broker issued `Action::Close`).
+    closing: AtomicBool,
+}
+
+/// Per-shard service-thread handles.
+struct ShardHandle {
+    tx: Sender<ShardMsg>,
+    /// Connections with queued frames, drained each service iteration.
+    dirty: Mutex<Vec<usize>>,
+    wheel: TimerWheel,
+}
+
 struct Shared {
-    broker: Mutex<Broker<usize>>,
-    writers: Mutex<HashMap<usize, TcpStream>>,
+    broker: ShardedBroker<usize>,
+    shards: Vec<ShardHandle>,
+    conns: RwLock<HashMap<usize, Arc<ConnState>>>,
     epoch: Instant,
     shutdown: AtomicBool,
     next_conn: AtomicUsize,
 }
 
 impl Shared {
-    fn apply(&self, actions: Vec<Action<usize>>) {
-        let mut writers = self.writers.lock();
-        for action in actions {
-            match action {
-                Action::Send { conn, packet } => {
-                    if let Some(stream) = writers.get_mut(&conn) {
-                        let _ = stream.write_all(&encode(&packet));
-                    }
-                }
-                // Pre-encoded fan-out frame: write the shared bytes as-is.
-                Action::SendFrame { conn, frame } => {
-                    if let Some(stream) = writers.get_mut(&conn) {
-                        let _ = stream.write_all(&frame);
-                    }
-                }
-                Action::Close { conn } => {
-                    if let Some(stream) = writers.remove(&conn) {
-                        let _ = stream.shutdown(std::net::Shutdown::Both);
-                    }
+    fn now(&self) -> u64 {
+        now_ns(self.epoch)
+    }
+
+    /// Queues a frame for `conn` and nudges the owning shard's service
+    /// thread if the connection was idle. Never blocks: a full channel
+    /// means the service thread is already awake and will drain the
+    /// dirty list before parking again.
+    fn enqueue(&self, conn: usize, frame: Bytes) {
+        let Some(state) = self.conns.read().get(&conn).cloned() else {
+            return;
+        };
+        let shard = state.shard.load(Ordering::Acquire);
+        if shard == UNASSIGNED {
+            // Pre-CONNECT connections have no writer thread yet; the
+            // only traffic here is a refused CONNACK, which the reader
+            // writes itself via `flush_conn`.
+            self.flush_conn_now(conn, &state, frame);
+            return;
+        }
+        state.queue.lock().push_back(frame);
+        if !state.signaled.swap(true, Ordering::AcqRel) {
+            self.shards[shard].dirty.lock().push(conn);
+            let _ = self.shards[shard].tx.try_send(ShardMsg::Wake);
+        }
+    }
+
+    /// Direct write used only for pre-CONNECT connections (no shard
+    /// owns them yet, so there is no queue consumer).
+    fn flush_conn_now(&self, conn: usize, state: &ConnState, frame: Bytes) {
+        let mut w = &state.writer;
+        if w.write_all(&frame).is_err() {
+            self.remove_conn(conn);
+        }
+    }
+
+    /// Marks `conn` for close-after-flush and nudges its service
+    /// thread. Pre-CONNECT connections close immediately.
+    fn close_conn(&self, conn: usize) {
+        let Some(state) = self.conns.read().get(&conn).cloned() else {
+            return;
+        };
+        state.closing.store(true, Ordering::Release);
+        let shard = state.shard.load(Ordering::Acquire);
+        if shard == UNASSIGNED {
+            self.remove_conn(conn);
+            return;
+        }
+        if !state.signaled.swap(true, Ordering::AcqRel) {
+            self.shards[shard].dirty.lock().push(conn);
+            let _ = self.shards[shard].tx.try_send(ShardMsg::Wake);
+        }
+    }
+
+    /// Drops the connection's socket (both halves — the reader unblocks
+    /// on EOF and performs the broker-side teardown if it is still
+    /// registered there).
+    fn remove_conn(&self, conn: usize) {
+        if let Some(state) = self.conns.write().remove(&conn) {
+            let _ = state.writer.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Applies one shard operation's output from a **reader** thread:
+    /// frames are queued for the shard writers, forwards go over the
+    /// channels with blocking backpressure.
+    fn dispatch_from_reader(&self, out: ShardOutput<usize>) {
+        self.apply_actions(out.actions);
+        for (shard, publish) in out.forwards {
+            // Blocking send: a full shard applies backpressure all the
+            // way to this connection's socket. Bounded retry so a
+            // shutdown cannot strand the reader.
+            let mut msg = ShardMsg::Forward(publish);
+            while !self.shutdown.load(Ordering::Relaxed) {
+                match self.shards[shard]
+                    .tx
+                    .send_timeout(msg, Duration::from_millis(50))
+                {
+                    Ok(()) => break,
+                    Err(crossbeam::channel::SendTimeoutError::Timeout(m)) => msg = m,
+                    Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => break,
                 }
             }
         }
     }
+
+    /// Applies one shard operation's output from a **service** thread:
+    /// like [`dispatch_from_reader`](Self::dispatch_from_reader), except
+    /// forwards must never block (two shards forwarding into each
+    /// other's full channels would deadlock) — a full target shard gets
+    /// the forward applied inline instead.
+    fn dispatch_from_service(&self, out: ShardOutput<usize>) {
+        self.apply_actions(out.actions);
+        for (shard, publish) in out.forwards {
+            match self.shards[shard].tx.try_send(ShardMsg::Forward(publish)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(ShardMsg::Forward(p))) => {
+                    let actions = self.broker.apply_forward(shard, p, self.now());
+                    self.apply_actions(actions);
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    fn apply_actions(&self, actions: Vec<Action<usize>>) {
+        for action in actions {
+            match action {
+                Action::Send { conn, packet } => self.enqueue(conn, encode(&packet)),
+                Action::SendFrame { conn, frame } => self.enqueue(conn, frame),
+                Action::Close { conn } => self.close_conn(conn),
+            }
+        }
+    }
+
+    /// Wakes shard `shard` iff `deadline_ns` is earlier than whatever
+    /// its service thread is parked on.
+    fn note_deadline(&self, shard: usize, deadline_ns: u64) {
+        if self.shards[shard].wheel.note_deadline(deadline_ns) {
+            let _ = self.shards[shard].tx.try_send(ShardMsg::Wake);
+        }
+    }
+
+    /// Conservative reader-side deadline accounting: packets that can
+    /// only move deadlines *later* (activity refreshes) are ignored —
+    /// the parked service thread just re-arms after its (now harmless)
+    /// timeout. Only operations that create a possibly-earlier deadline
+    /// signal the wheel.
+    fn note_deadlines_for(&self, shard: usize, packet_in: &Packet, actions: &[Action<usize>]) {
+        let cfg = self.broker.config();
+        let now = self.now();
+        if let Packet::Connect(c) = packet_in {
+            if c.keep_alive_secs > 0 {
+                let grace =
+                    (f64::from(c.keep_alive_secs) * 1e9 * cfg.keep_alive_factor) as u64;
+                self.note_deadline(shard, now + grace);
+            }
+        }
+        let starts_retransmit_timer = actions.iter().any(|a| {
+            matches!(
+                a,
+                Action::Send {
+                    packet: Packet::Publish(p),
+                    ..
+                } if p.qos != QoS::AtMostOnce
+            ) || matches!(
+                a,
+                Action::Send {
+                    packet: Packet::Pubrel(_),
+                    ..
+                }
+            )
+        });
+        if starts_retransmit_timer {
+            self.note_deadline(shard, now + cfg.retransmit_timeout_ns);
+        }
+    }
 }
 
-/// A broker served over TCP on a background thread pool.
+/// A broker served over TCP by a sharded thread pool.
 ///
 /// ```no_run
 /// use ifot_mqtt::net::TcpBroker;
@@ -73,13 +286,14 @@ pub struct TcpBroker {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_handle: Option<std::thread::JoinHandle<()>>,
-    poll_handle: Option<std::thread::JoinHandle<()>>,
+    shard_handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for TcpBroker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpBroker")
             .field("local_addr", &self.local_addr)
+            .field("shards", &self.shared.shards.len())
             .finish_non_exhaustive()
     }
 }
@@ -94,7 +308,9 @@ impl TcpBroker {
         TcpBroker::bind_with(addr, BrokerConfig::default())
     }
 
-    /// Binds and starts serving with an explicit configuration.
+    /// Binds and starts serving with an explicit configuration
+    /// (`config.shards` service threads, `config.write_batch` frames per
+    /// vectored write, `config.tcp_nodelay` on accepted sockets).
     ///
     /// # Errors
     ///
@@ -105,14 +321,38 @@ impl TcpBroker {
     ) -> std::io::Result<TcpBroker> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
+        let n_shards = config.shards.max(1);
+
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut receivers = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (tx, rx) = bounded(SHARD_CHANNEL_CAP);
+            shards.push(ShardHandle {
+                tx,
+                dirty: Mutex::new(Vec::new()),
+                wheel: TimerWheel::new(),
+            });
+            receivers.push(rx);
+        }
         let shared = Arc::new(Shared {
-            broker: Mutex::new(Broker::with_config(config)),
-            writers: Mutex::new(HashMap::new()),
+            broker: ShardedBroker::new(config),
+            shards,
+            conns: RwLock::new(HashMap::new()),
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
             next_conn: AtomicUsize::new(1),
         });
+
+        let mut shard_handles = Vec::with_capacity(n_shards);
+        for (idx, rx) in receivers.into_iter().enumerate() {
+            let shard_shared = Arc::clone(&shared);
+            shard_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mqtt-shard-{idx}"))
+                    .spawn(move || shard_service(shard_shared, idx, rx))
+                    .expect("spawning a shard service thread succeeds"),
+            );
+        }
 
         let accept_shared = Arc::clone(&shared);
         let accept_handle = std::thread::Builder::new()
@@ -120,24 +360,11 @@ impl TcpBroker {
             .spawn(move || accept_loop(listener, accept_shared))
             .expect("spawning the accept thread succeeds");
 
-        let poll_shared = Arc::clone(&shared);
-        let poll_handle = std::thread::Builder::new()
-            .name("mqtt-poll".into())
-            .spawn(move || {
-                while !poll_shared.shutdown.load(Ordering::Relaxed) {
-                    std::thread::sleep(Duration::from_millis(100));
-                    let now = now_ns(poll_shared.epoch);
-                    let actions = poll_shared.broker.lock().poll(now);
-                    poll_shared.apply(actions);
-                }
-            })
-            .expect("spawning the poll thread succeeds");
-
         Ok(TcpBroker {
             shared,
             local_addr,
             accept_handle: Some(accept_handle),
-            poll_handle: Some(poll_handle),
+            shard_handles,
         })
     }
 
@@ -146,9 +373,15 @@ impl TcpBroker {
         self.local_addr
     }
 
-    /// A snapshot of the broker statistics.
+    /// A snapshot of the aggregated broker statistics.
     pub fn stats(&self) -> crate::broker::BrokerStats {
-        self.shared.broker.lock().stats()
+        self.shared.broker.stats()
+    }
+
+    /// Total timer wakeups across shard service threads (diagnostics:
+    /// an idle broker's count stays frozen).
+    pub fn timer_wakeups(&self) -> u64 {
+        self.shared.shards.iter().map(|s| s.wheel.wakeups()).sum()
     }
 
     /// Stops serving and joins the background threads.
@@ -158,17 +391,22 @@ impl TcpBroker {
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
-        // Close every live connection so reader threads exit.
-        {
-            let mut writers = self.shared.writers.lock();
-            for (_, stream) in writers.drain() {
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-            }
-        }
+        // Unblock the accept thread: it is parked in a blocking
+        // `accept`, so poke it with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.poll_handle.take() {
+        // Close every live connection so reader threads exit.
+        let conns: Vec<usize> = self.shared.conns.read().keys().copied().collect();
+        for conn in conns {
+            self.shared.remove_conn(conn);
+        }
+        // Wake the service threads; they observe the flag and exit.
+        for shard in &self.shared.shards {
+            let _ = shard.tx.try_send(ShardMsg::Wake);
+        }
+        for h in self.shard_handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -180,35 +418,82 @@ impl Drop for TcpBroker {
     }
 }
 
+/// Blocking accept loop. Transient resource exhaustion (EMFILE/ENFILE)
+/// backs off briefly with the cause logged; aborted handshakes are
+/// skipped; anything else (including the listener dying) stops the
+/// loop.
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    const EMFILE: i32 = 24; // process fd limit
+    const ENFILE: i32 = 23; // system fd limit
     while !shared.shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _)) => {
-                let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-                let now = now_ns(shared.epoch);
-                if stream.set_read_timeout(Some(Duration::from_millis(100))).is_err() {
-                    continue;
+            Ok((stream, peer)) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
                 }
-                if let Ok(writer) = stream.try_clone() {
-                    shared.writers.lock().insert(conn, writer);
-                    shared.broker.lock().connection_opened(conn, now);
-                    let conn_shared = Arc::clone(&shared);
-                    let _ = std::thread::Builder::new()
-                        .name(format!("mqtt-conn-{conn}"))
-                        .spawn(move || reader_loop(stream, conn, conn_shared));
+                if let Err(e) = register_conn(stream, &shared) {
+                    eprintln!("mqtt-accept: dropping connection from {peer}: {e}");
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
+            Err(e) if matches!(e.raw_os_error(), Some(EMFILE) | Some(ENFILE)) => {
+                eprintln!("mqtt-accept: out of file descriptors ({e}), backing off");
+                std::thread::sleep(Duration::from_millis(50));
             }
-            Err(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionAborted | ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => {
+                if !shared.shutdown.load(Ordering::Relaxed) {
+                    eprintln!("mqtt-accept: listener failed ({e}), stopping");
+                }
+                return;
+            }
         }
     }
 }
 
+/// Sets up socket options, registers the connection and spawns its
+/// reader thread.
+fn register_conn(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let config = shared.broker.config();
+    let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let now = shared.now();
+    stream.set_nodelay(config.tcp_nodelay)?;
+    // Slow-consumer guard: a write that stays blocked past this bound
+    // fails and the connection is closed instead of wedging its shard's
+    // writer loop.
+    stream.set_write_timeout(Some(Duration::from_nanos(config.write_timeout_ns.max(1))))?;
+    // Until CONNECT arrives the reader polls with a bounded timeout so
+    // a silent socket cannot hold a thread forever.
+    stream.set_read_timeout(Some(PRE_CONNECT_TIMEOUT))?;
+    let writer = stream.try_clone()?;
+    shared.conns.write().insert(
+        conn,
+        Arc::new(ConnState {
+            writer,
+            shard: AtomicUsize::new(UNASSIGNED),
+            queue: Mutex::new(VecDeque::new()),
+            signaled: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
+        }),
+    );
+    shared.broker.connection_opened(conn, now);
+    let conn_shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("mqtt-conn-{conn}"))
+        .spawn(move || reader_loop(stream, conn, conn_shared))?;
+    Ok(())
+}
+
 fn reader_loop(mut stream: TcpStream, conn: usize, shared: Arc<Shared>) {
     let mut decoder = StreamDecoder::new();
-    let mut buf = [0u8; 4096];
+    let mut buf = [0u8; 16 * 1024];
+    let mut shard = UNASSIGNED;
     loop {
         if shared.shutdown.load(Ordering::Relaxed) {
             return;
@@ -220,32 +505,180 @@ fn reader_loop(mut stream: TcpStream, conn: usize, shared: Arc<Shared>) {
                 loop {
                     match decoder.next_packet() {
                         Ok(Some(packet)) => {
-                            let now = now_ns(shared.epoch);
-                            let actions = shared.broker.lock().handle_packet(&conn, packet, now);
-                            shared.apply(actions);
+                            let now = shared.now();
+                            let out = shared.broker.handle_packet(&conn, packet.clone(), now);
+                            if shard == UNASSIGNED {
+                                if let Some(s) = shared.broker.shard_of_conn(&conn) {
+                                    shard = s;
+                                    if let Some(state) = shared.conns.read().get(&conn) {
+                                        state.shard.store(s, Ordering::Release);
+                                    }
+                                    // CONNECT accepted: keep-alive (or
+                                    // the broker's Close) polices the
+                                    // connection from here on — reads
+                                    // block indefinitely.
+                                    let _ = stream.set_read_timeout(None);
+                                }
+                            }
+                            if shard != UNASSIGNED {
+                                shared.note_deadlines_for(shard, &packet, &out.actions);
+                            }
+                            shared.dispatch_from_reader(out);
                         }
                         Ok(None) => break,
                         Err(_) => {
                             // Broken stream: tear the connection down.
-                            let now = now_ns(shared.epoch);
-                            let actions = shared.broker.lock().connection_lost(&conn, now);
-                            shared.apply(actions);
-                            shared.writers.lock().remove(&conn);
+                            let now = shared.now();
+                            let out = shared.broker.connection_lost(&conn, now);
+                            shared.dispatch_from_reader(out);
+                            shared.remove_conn(conn);
                             return;
                         }
                     }
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue;
+                if shard == UNASSIGNED {
+                    break; // no CONNECT within the grace period
+                }
             }
             Err(_) => break,
         }
     }
-    let now = now_ns(shared.epoch);
-    let actions = shared.broker.lock().connection_lost(&conn, now);
-    shared.apply(actions);
-    shared.writers.lock().remove(&conn);
+    let now = shared.now();
+    let out = shared.broker.connection_lost(&conn, now);
+    shared.dispatch_from_reader(out);
+    shared.remove_conn(conn);
+}
+
+/// One shard's service loop: drain dirty connection queues with
+/// vectored writes, park until the shard's next broker deadline, apply
+/// cross-shard forwards, poll timers when the deadline fires.
+fn shard_service(shared: Arc<Shared>, idx: usize, rx: Receiver<ShardMsg>) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        flush_dirty(&shared, idx);
+
+        let deadline = shared.broker.next_deadline_ns(idx);
+        let wheel = &shared.shards[idx].wheel;
+        let msg = match wheel.arm(shared.now(), deadline) {
+            // Idle: park until a message arrives — zero timer wakeups.
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            Some(timeout) => rx.recv_timeout(timeout),
+        };
+        wheel.on_wake(shared.now());
+        match msg {
+            Ok(first) => {
+                // Drain a bounded batch so timer work cannot starve.
+                let mut budget = SHARD_CHANNEL_CAP;
+                let mut next = Some(first);
+                while let Some(msg) = next {
+                    if let ShardMsg::Forward(publish) = msg {
+                        let actions = shared.broker.apply_forward(idx, publish, shared.now());
+                        shared.apply_actions(actions);
+                    }
+                    budget -= 1;
+                    next = if budget > 0 { rx.try_recv().ok() } else { None };
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let out = shared.broker.poll_shard(idx, shared.now());
+                shared.dispatch_from_service(out);
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Writes every dirty connection's queue. Only this shard's service
+/// thread calls this for its conns, so each socket has exactly one
+/// writer and the frames of a queue never interleave.
+fn flush_dirty(shared: &Arc<Shared>, idx: usize) {
+    loop {
+        let dirty: Vec<usize> = std::mem::take(&mut *shared.shards[idx].dirty.lock());
+        if dirty.is_empty() {
+            return;
+        }
+        for conn in dirty {
+            let Some(state) = shared.conns.read().get(&conn).cloned() else {
+                continue;
+            };
+            // Clear-before-drain: a producer appending after this point
+            // re-marks the connection dirty, so nothing is lost.
+            state.signaled.store(false, Ordering::Release);
+            if !flush_conn(shared, conn, &state) {
+                // Slow consumer or dead socket: broker-side teardown
+                // (this conn belongs to this shard, so no cross-thread
+                // coordination is needed).
+                let out = shared.broker.connection_lost(&conn, shared.now());
+                shared.dispatch_from_service(out);
+                shared.remove_conn(conn);
+                continue;
+            }
+            if state.closing.load(Ordering::Acquire) {
+                shared.remove_conn(conn);
+            }
+        }
+    }
+}
+
+/// Drains one connection's outbound queue in `write_batch`-sized
+/// vectored writes. Returns `false` when the socket failed (including a
+/// write timeout — the slow-consumer case).
+fn flush_conn(shared: &Arc<Shared>, _conn: usize, state: &ConnState) -> bool {
+    let batch_cap = shared.broker.config().write_batch.max(1);
+    loop {
+        let batch: Vec<Bytes> = {
+            let mut queue = state.queue.lock();
+            let take = queue.len().min(batch_cap);
+            queue.drain(..take).collect()
+        };
+        if batch.is_empty() {
+            return true;
+        }
+        // The socket write happens here — after the queue lock is
+        // dropped and far away from any broker lock.
+        if !write_vectored_all(&state.writer, &batch) {
+            return false;
+        }
+    }
+}
+
+/// Writes a batch of frames with `write_vectored`, advancing across
+/// partial writes. One syscall per batch in the common case, versus one
+/// per frame in the unsharded transport.
+fn write_vectored_all(mut writer: &TcpStream, batch: &[Bytes]) -> bool {
+    let mut buf_idx = 0usize;
+    let mut offset = 0usize;
+    while buf_idx < batch.len() {
+        let slices: Vec<IoSlice<'_>> = std::iter::once(IoSlice::new(&batch[buf_idx][offset..]))
+            .chain(batch[buf_idx + 1..].iter().map(|b| IoSlice::new(b)))
+            .collect();
+        let mut written = match writer.write_vectored(&slices) {
+            Ok(0) => return false,
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false, // incl. WouldBlock/TimedOut: slow consumer
+        };
+        while written > 0 {
+            let remaining = batch[buf_idx].len() - offset;
+            if written >= remaining {
+                written -= remaining;
+                buf_idx += 1;
+                offset = 0;
+                if buf_idx == batch.len() {
+                    debug_assert_eq!(written, 0, "wrote more than was submitted");
+                    break;
+                }
+            } else {
+                offset += written;
+                written = 0;
+            }
+        }
+    }
+    true
 }
 
 /// A small blocking MQTT client over TCP.
@@ -277,12 +710,27 @@ impl TcpClient {
     /// Returns an `io::Error` for socket failures, a refused session, or
     /// a handshake timeout (2 s).
     pub fn connect(addr: impl ToSocketAddrs, client_id: &str) -> std::io::Result<TcpClient> {
+        TcpClient::connect_with(addr, client_id, ClientConfig::default())
+    }
+
+    /// Connects with an explicit session configuration (retransmission
+    /// timeout, clean-session flag, keep-alive).
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` for socket failures, a refused session, or
+    /// a handshake timeout (2 s).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        client_id: &str,
+        config: ClientConfig,
+    ) -> std::io::Result<TcpClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(Duration::from_millis(50)))?;
         stream.set_nodelay(true)?;
         let mut this = TcpClient {
             stream,
-            session: Client::new(client_id, ClientConfig::default()),
+            session: Client::new(client_id, config),
             decoder: StreamDecoder::new(),
             epoch: Instant::now(),
             inbox: Vec::new(),
@@ -307,6 +755,16 @@ impl TcpClient {
 
     fn now(&self) -> u64 {
         now_ns(self.epoch)
+    }
+
+    /// QoS 1 publications awaiting PUBACK.
+    pub fn inflight(&self) -> usize {
+        self.session.inflight_count()
+    }
+
+    /// QoS 2 publications awaiting handshake completion.
+    pub fn inflight2(&self) -> usize {
+        self.session.inflight2_count()
     }
 
     /// Pumps the socket once: reads available bytes, handles packets,
@@ -499,6 +957,84 @@ mod tests {
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
         publisher.disconnect();
         subscriber.disconnect();
+        broker.shutdown();
+    }
+
+    #[test]
+    fn tcp_single_shard_still_serves() {
+        let broker = TcpBroker::bind_with(
+            "127.0.0.1:0",
+            BrokerConfig {
+                shards: 1,
+                write_batch: 1,
+                ..BrokerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = broker.local_addr();
+        let mut subscriber = TcpClient::connect(addr, "s1").expect("connect");
+        subscriber.subscribe("t/#", QoS::AtMostOnce).expect("subscribe");
+        let mut publisher = TcpClient::connect(addr, "p1").expect("connect");
+        publisher
+            .publish("t/x", b"one-shard".to_vec(), QoS::AtMostOnce, false)
+            .expect("publish");
+        let got = subscriber
+            .recv(Duration::from_secs(2))
+            .expect("recv")
+            .expect("message");
+        assert_eq!(got.payload.as_ref(), b"one-shard");
+        publisher.disconnect();
+        subscriber.disconnect();
+        broker.shutdown();
+    }
+
+    #[test]
+    fn tcp_idle_broker_makes_no_timer_wakeups() {
+        let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
+        // No connections, no deadlines: every shard parks indefinitely.
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(
+            broker.timer_wakeups(),
+            0,
+            "the old transport would have woken ~3 times per shard here"
+        );
+        broker.shutdown();
+    }
+
+    #[test]
+    fn tcp_cross_shard_fanout_reaches_all_subscribers() {
+        let broker = TcpBroker::bind_with(
+            "127.0.0.1:0",
+            BrokerConfig {
+                shards: 4,
+                ..BrokerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = broker.local_addr();
+        // Enough subscribers that every shard almost surely owns one.
+        let mut subs: Vec<TcpClient> = (0..12)
+            .map(|i| {
+                let mut c = TcpClient::connect(addr, &format!("fan-sub-{i}")).expect("connect");
+                c.subscribe("fan/#", QoS::AtMostOnce).expect("subscribe");
+                c
+            })
+            .collect();
+        let mut publisher = TcpClient::connect(addr, "fan-pub").expect("connect");
+        publisher
+            .publish("fan/x", b"blast".to_vec(), QoS::AtMostOnce, false)
+            .expect("publish");
+        for (i, sub) in subs.iter_mut().enumerate() {
+            let got = sub
+                .recv(Duration::from_secs(2))
+                .expect("recv")
+                .unwrap_or_else(|| panic!("subscriber {i} missed the fan-out"));
+            assert_eq!(got.payload.as_ref(), b"blast");
+        }
+        publisher.disconnect();
+        for sub in subs {
+            sub.disconnect();
+        }
         broker.shutdown();
     }
 }
