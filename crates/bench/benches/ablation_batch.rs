@@ -83,7 +83,10 @@ fn main() {
         },
         "join",
     );
-    println!("{:>16} | {:>12} | {:>12.3} | {:>12.3}", "join(seq)", n, avg, max);
+    println!(
+        "{:>16} | {:>12} | {:>12.3} | {:>12.3}",
+        "join(seq)", n, avg, max
+    );
 
     for size_ms in [25u64, 50, 100, 200, 400] {
         let (n, avg, max) =

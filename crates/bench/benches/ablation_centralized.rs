@@ -89,10 +89,7 @@ fn main() {
     let mut dist10 = 0.0;
     for rate in [5.0f64, 10.0, 20.0] {
         let (mt, mp) = run_centralized(rate);
-        let (dt, dp) = run_rate(
-            &TestbedConfig::paper(rate),
-            SimDuration::from_secs(5),
-        );
+        let (dt, dp) = run_rate(&TestbedConfig::paper(rate), SimDuration::from_secs(5));
         println!(
             "{:>8} | {:>16.3} | {:>16.3} | {:>16.3} | {:>16.3}",
             format!("{rate} Hz"),

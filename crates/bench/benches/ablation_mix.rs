@@ -26,7 +26,11 @@ fn model_distance(a: &ifot_ml::mix::ModelDiff, b: &ifot_ml::mix::ModelDiff) -> f
     for label in labels {
         let wa = a.label(label).unwrap_or(&empty);
         let wb = b.label(label).unwrap_or(&empty);
-        let mut idx: Vec<u32> = wa.iter().map(|(i, _)| i).chain(wb.iter().map(|(i, _)| i)).collect();
+        let mut idx: Vec<u32> = wa
+            .iter()
+            .map(|(i, _)| i)
+            .chain(wb.iter().map(|(i, _)| i))
+            .collect();
         idx.sort_unstable();
         idx.dedup();
         for i in idx {
@@ -47,10 +51,7 @@ fn run(mix_interval_ms: u64) -> (u64, u64, u64, f64) {
         gateway = gateway.with_operator(OperatorSpec::sink(
             "coordinator",
             OperatorKind::MixCoordinator { expected: 2 },
-            vec![
-                "mix/mob/area-a/offer".into(),
-                "mix/mob/area-b/offer".into(),
-            ],
+            vec!["mix/mob/area-a/offer".into(), "mix/mob/area-b/offer".into()],
         ));
     }
     add_middleware_node(&mut sim, CpuProfile::THINKPAD_X250, gateway);
@@ -78,7 +79,14 @@ fn run(mix_interval_ms: u64) -> (u64, u64, u64, f64) {
     let a = add_middleware_node(
         &mut sim,
         CpuProfile::RASPBERRY_PI_2,
-        area("area-a-node", "area-a", SensorKind::PersonFlow, "personflow", 1, 1),
+        area(
+            "area-a-node",
+            "area-a",
+            SensorKind::PersonFlow,
+            "personflow",
+            1,
+            1,
+        ),
     );
     let b = add_middleware_node(
         &mut sim,
@@ -90,8 +98,7 @@ fn run(mix_interval_ms: u64) -> (u64, u64, u64, f64) {
     let export = |id, task: &str| -> ifot_ml::mix::ModelDiff {
         let node: &SimNode = sim.actor_as(id).expect("node present");
         node.middleware()
-            .operator(task)
-            .and_then(|op| op.model())
+            .classifier(task)
             .map(|m| m.export_diff())
             .expect("trainer has a model")
     };

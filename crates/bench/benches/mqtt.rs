@@ -21,8 +21,12 @@ fn bench_codec(c: &mut Criterion) {
     let small_bytes = encode(&small);
     let large_bytes = encode(&large);
 
-    group.bench_function("encode_publish_32B", |b| b.iter(|| encode(black_box(&small))));
-    group.bench_function("encode_publish_4KiB", |b| b.iter(|| encode(black_box(&large))));
+    group.bench_function("encode_publish_32B", |b| {
+        b.iter(|| encode(black_box(&small)))
+    });
+    group.bench_function("encode_publish_4KiB", |b| {
+        b.iter(|| encode(black_box(&large)))
+    });
     group.bench_function("decode_publish_32B", |b| {
         b.iter(|| decode(black_box(&small_bytes)).expect("decodes"))
     });
@@ -125,32 +129,27 @@ fn bench_broker_fanout(c: &mut Criterion) {
         let topic = TopicName::new("sensor/1/accel").expect("valid");
         let payload = bytes::Bytes::from(vec![0u8; 32]);
         group.throughput(Throughput::Elements(subs as u64));
-        group.bench_with_input(
-            BenchmarkId::new("publish_qos0_32B", subs),
-            &subs,
-            |b, _| {
-                b.iter(|| {
-                    let publish =
-                        Packet::Publish(Publish::qos0(topic.clone(), payload.clone()));
-                    let actions = broker.handle_packet(&0, black_box(publish), 1);
-                    let mut deliveries = 0u64;
-                    for action in &actions {
-                        match action {
-                            Action::Send { packet, .. } => {
-                                deliveries += 1;
-                                black_box(encode(packet));
-                            }
-                            Action::SendFrame { frame, .. } => {
-                                deliveries += 1;
-                                black_box(frame);
-                            }
-                            Action::Close { .. } => {}
+        group.bench_with_input(BenchmarkId::new("publish_qos0_32B", subs), &subs, |b, _| {
+            b.iter(|| {
+                let publish = Packet::Publish(Publish::qos0(topic.clone(), payload.clone()));
+                let actions = broker.handle_packet(&0, black_box(publish), 1);
+                let mut deliveries = 0u64;
+                for action in &actions {
+                    match action {
+                        Action::Send { packet, .. } => {
+                            deliveries += 1;
+                            black_box(encode(packet));
                         }
+                        Action::SendFrame { frame, .. } => {
+                            deliveries += 1;
+                            black_box(frame);
+                        }
+                        Action::Close { .. } => {}
                     }
-                    deliveries
-                })
-            },
-        );
+                }
+                deliveries
+            })
+        });
     }
     group.finish();
 }

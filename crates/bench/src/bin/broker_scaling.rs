@@ -201,7 +201,14 @@ fn run_cell(shards: usize, write_batch: usize, subs: usize, publishes: u64) -> C
         let stop = Arc::clone(&stop);
         let ready = Arc::clone(&ready);
         handles.push(std::thread::spawn(move || {
-            sink_subscriber(addr, format!("scale-sub-{i}"), publishes, delivered, stop, ready);
+            sink_subscriber(
+                addr,
+                format!("scale-sub-{i}"),
+                publishes,
+                delivered,
+                stop,
+                ready,
+            );
         }));
     }
 
@@ -212,7 +219,12 @@ fn run_cell(shards: usize, write_batch: usize, subs: usize, publishes: u64) -> C
     let start = Instant::now();
     for _ in 0..publishes {
         publisher
-            .publish("sensor/scale/accel", payload.clone(), QoS::AtMostOnce, false)
+            .publish(
+                "sensor/scale/accel",
+                payload.clone(),
+                QoS::AtMostOnce,
+                false,
+            )
             .expect("publish");
     }
     // Wait (bounded) for the fan-out to drain to every subscriber.
@@ -243,7 +255,13 @@ fn run_cell(shards: usize, write_batch: usize, subs: usize, publishes: u64) -> C
 
 /// Best-of-`reps` for one configuration (guards against scheduler noise;
 /// a repetition that lost deliveries never wins).
-fn best_of(reps: usize, shards: usize, write_batch: usize, subs: usize, publishes: u64) -> CellResult {
+fn best_of(
+    reps: usize,
+    shards: usize,
+    write_batch: usize,
+    subs: usize,
+    publishes: u64,
+) -> CellResult {
     let mut best: Option<CellResult> = None;
     for _ in 0..reps {
         let r = run_cell(shards, write_batch, subs, publishes);

@@ -27,10 +27,7 @@ fn main() {
     let (cloud_train, cloud_predict) = run_rate(&cloud, duration);
 
     println!("Fig. 1 (quantified): sensing-to-analysis delay at {rate} Hz");
-    println!(
-        "{:>28} | {:>12} | {:>12}",
-        "path", "avg (ms)", "max (ms)"
-    );
+    println!("{:>28} | {:>12} | {:>12}", "path", "avg (ms)", "max (ms)");
     println!("{}", "-".repeat(60));
     println!(
         "{:>28} | {:>12.3} | {:>12.3}",

@@ -1,0 +1,211 @@
+//! Staged-executor scaling measurement (no criterion), used to record
+//! `BENCH_pipeline.json`: a real thread cluster (sensor -> embedded
+//! broker -> analysis node) where the analysis node runs a multi-stage
+//! recipe — an ingest accounting stage alongside four sequence-sharded
+//! replicas of a `Predict` task — under speed emulation, so every item
+//! carries its reference CPU cost (~30 ms per prediction) as wall time.
+//!
+//! Swept knobs are exactly the executor's tuning surface (DESIGN.md §5):
+//! worker threads (`ExecutorConfig::workers` ∈ {1, 2, 4}), and the
+//! bounded-mailbox shed policy (`Block` / `ShedOldest` / `ShedNewest`)
+//! at sensing rates from a comfortable 5 Hz to an overloading 80 Hz.
+//! With one worker the four predict shards serialize (~28 items/s of
+//! capacity); with four workers they run concurrently, so the 80 Hz
+//! sweep shows the ≥2× throughput step the staged executor exists for,
+//! while the policy column shows what happens to the excess: `Block`
+//! backpressures the node loop, the shed policies bound the mailbox and
+//! count their drops.
+//!
+//! Reported per cell: sensed publishes, ingested items, predictions,
+//! predictions/s, mailbox drops, and the sensing-to-predicting delay
+//! (mean/max ms). A `speedup_w4_over_w1` summary compares the
+//! highest-rate shed-oldest cells.
+//!
+//! Run with `cargo run --release -p ifot-bench --bin pipeline_scaling`
+//! (add `--quick` for a CI smoke run with two cells).
+
+use std::time::{Duration, Instant};
+
+use ifot_core::config::{NodeConfig, OperatorKind, OperatorSpec, SensorSpec, ShedPolicy};
+use ifot_core::thread_rt::ClusterBuilder;
+use ifot_sensors::sample::SensorKind;
+
+/// Replicas of the predict task (complementary sequence shards).
+const SHARDS: u64 = 4;
+/// Per-stage mailbox bound: small enough that an 80 Hz overload engages
+/// the shed policy within a cell's runtime.
+const MAILBOX: usize = 32;
+
+struct CellResult {
+    rate_hz: f64,
+    workers: usize,
+    policy: ShedPolicy,
+    sensed: u64,
+    ingested: u64,
+    predicted: u64,
+    seconds: f64,
+    items_per_sec: f64,
+    shed: u64,
+    delay_mean_ms: f64,
+    delay_max_ms: f64,
+}
+
+fn policy_name(policy: ShedPolicy) -> &'static str {
+    match policy {
+        ShedPolicy::Block => "block",
+        ShedPolicy::ShedOldest => "shed_oldest",
+        ShedPolicy::ShedNewest => "shed_newest",
+    }
+}
+
+/// Runs one cell: `seconds` of wall time at `rate_hz` sensing with the
+/// analysis node's executor configured to `workers`/`policy`.
+fn run_cell(rate_hz: f64, workers: usize, policy: ShedPolicy, seconds: f64) -> CellResult {
+    // Multi-stage recipe: an ingest accounting stage plus `SHARDS`
+    // replicas of the predict task with complementary sequence shards,
+    // all fed from the raw sensor stream (binary sample payloads; the
+    // per-device monotone seq splits the flow round-robin).
+    let mut analysis = NodeConfig::new("analysis")
+        .with_broker_node("broker")
+        .with_operator(OperatorSpec::sink(
+            "ingest",
+            OperatorKind::Custom {
+                operator: "ingest".into(),
+            },
+            vec!["sensor/#".into()],
+        ))
+        .with_workers(workers)
+        .with_mailbox(MAILBOX, policy);
+    for k in 0..SHARDS {
+        analysis = analysis.with_operator(
+            OperatorSpec::sink(
+                format!("predict-{k}"),
+                OperatorKind::Predict {
+                    algorithm: "pa".into(),
+                },
+                vec!["sensor/#".into()],
+            )
+            .sharded(SHARDS, k),
+        );
+    }
+    let cluster = ClusterBuilder::new()
+        .node(NodeConfig::new("broker").with_broker())
+        .node(
+            NodeConfig::new("sensor-node")
+                .with_broker_node("broker")
+                .with_sensor(SensorSpec::new(SensorKind::Sound, 1, rate_hz, 7)),
+        )
+        // Speed 1.0: the analysis node sleeps out each operator's
+        // reference CPU cost, so stage parallelism is measurable.
+        .node_with_speed(analysis, 1.0)
+        .start();
+    // Time the full cell including shutdown: under overload the node
+    // drains its backlog (still sleeping out costs) after the nominal
+    // window, and that drain time is part of the honest throughput.
+    let start = Instant::now();
+    let report = cluster.run_for(Duration::from_secs_f64(seconds));
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let predicted = report.metrics.counter("predicted");
+    let delay = report.metrics.latency_summary("sensing_to_predicting");
+    let shed: u64 = report
+        .node("analysis")
+        .expect("analysis node present")
+        .stage_stats()
+        .iter()
+        .map(|s| s.shed_oldest + s.shed_newest)
+        .sum();
+    CellResult {
+        rate_hz,
+        workers,
+        policy,
+        sensed: report.metrics.counter("published"),
+        ingested: report.metrics.counter("custom_ingest"),
+        predicted,
+        seconds: elapsed,
+        items_per_sec: predicted as f64 / elapsed,
+        shed,
+        delay_mean_ms: delay.mean_ms,
+        delay_max_ms: delay.max_ms,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seconds = if quick { 1.5 } else { 3.0 };
+    let cells: Vec<(f64, usize, ShedPolicy)> = if quick {
+        vec![
+            (80.0, 1, ShedPolicy::ShedOldest),
+            (80.0, 4, ShedPolicy::ShedOldest),
+        ]
+    } else {
+        let mut cells = Vec::new();
+        for &rate in &[5.0, 20.0, 80.0] {
+            for &workers in &[1usize, 2, 4] {
+                for &policy in &[
+                    ShedPolicy::Block,
+                    ShedPolicy::ShedOldest,
+                    ShedPolicy::ShedNewest,
+                ] {
+                    cells.push((rate, workers, policy));
+                }
+            }
+        }
+        cells
+    };
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!("{{");
+    println!("  \"bench\": \"pipeline_scaling_thread_rt_sharded_predict\",");
+    println!("  \"unit\": \"predictions per second through a 1-ingest + {SHARDS}-shard predict recipe under reference CPU cost emulation\",");
+    println!("  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    println!("  \"host_cores\": {cores},");
+    println!("  \"seconds_per_cell\": {seconds},");
+    println!("  \"mailbox_capacity\": {MAILBOX},");
+    println!("  \"results\": [");
+    let mut w1_peak: Option<f64> = None;
+    let mut w4_peak: Option<f64> = None;
+    let max_rate = cells.iter().map(|&(r, _, _)| r).fold(0.0f64, f64::max);
+    for (i, &(rate, workers, policy)) in cells.iter().enumerate() {
+        let r = run_cell(rate, workers, policy, seconds);
+        if rate == max_rate && policy == ShedPolicy::ShedOldest {
+            if workers == 1 {
+                w1_peak = Some(r.items_per_sec);
+            }
+            if workers == 4 {
+                w4_peak = Some(r.items_per_sec);
+            }
+        }
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        println!(
+            "    {{ \"rate_hz\": {}, \"workers\": {}, \"policy\": \"{}\", \"sensed\": {}, \"ingested\": {}, \"predicted\": {}, \"seconds\": {:.2}, \"items_per_sec\": {:.1}, \"shed\": {}, \"delay_mean_ms\": {:.2}, \"delay_max_ms\": {:.2} }}{comma}",
+            r.rate_hz,
+            r.workers,
+            policy_name(r.policy),
+            r.sensed,
+            r.ingested,
+            r.predicted,
+            r.seconds,
+            r.items_per_sec,
+            r.shed,
+            r.delay_mean_ms,
+            r.delay_max_ms,
+        );
+    }
+    println!("  ],");
+    let speedup = match (w1_peak, w4_peak) {
+        (Some(one), Some(four)) if one > 0.0 => four / one,
+        _ => 0.0,
+    };
+    println!("  \"speedup_w4_over_w1\": {speedup:.2}");
+    println!("}}");
+    if quick {
+        // CI smoke: the pooled path must make progress on both cells.
+        assert!(
+            w1_peak.unwrap_or(0.0) > 0.0 && w4_peak.unwrap_or(0.0) > 0.0,
+            "pooled executor produced no predictions"
+        );
+    }
+}

@@ -180,6 +180,74 @@ impl OperatorSpec {
         self.shard = Some((modulus, index));
         self
     }
+
+    /// Whether this operator consumes messages arriving on `topic`.
+    pub fn accepts(&self, topic: &str) -> bool {
+        let Ok(name) = ifot_mqtt::topic::TopicName::new(topic) else {
+            return false;
+        };
+        self.inputs.iter().any(|f| {
+            ifot_mqtt::topic::TopicFilter::new(f.clone())
+                .map(|f| f.matches(&name))
+                .unwrap_or(false)
+        })
+    }
+
+    /// The flush period for window operators, if any.
+    pub fn flush_period_ms(&self) -> Option<u64> {
+        match &self.kind {
+            OperatorKind::Window { size_ms } => Some(*size_ms),
+            _ => None,
+        }
+    }
+
+    /// The MIX offer period for training operators, if enabled.
+    pub fn mix_period_ms(&self) -> Option<u64> {
+        match &self.kind {
+            OperatorKind::Train {
+                mix_interval_ms, ..
+            } if *mix_interval_ms > 0 => Some(*mix_interval_ms),
+            _ => None,
+        }
+    }
+}
+
+/// What a bounded stage mailbox does when it is full and another work
+/// item arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedPolicy {
+    /// The producer waits for space (lossless backpressure; on the
+    /// deterministic runtime the mailbox grows instead — virtual time
+    /// already models the queueing delay).
+    Block,
+    /// Drop the oldest queued item to admit the new one (bounded
+    /// staleness: fresh data wins).
+    ShedOldest,
+    /// Drop the incoming item (bounded loss: in-flight data wins).
+    ShedNewest,
+}
+
+/// Tuning of the staged dataflow executor that runs a node's operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// Worker threads executing stages (`0` = inline: operators run on
+    /// the node's own event loop, the only mode on the deterministic
+    /// runtime).
+    pub workers: usize,
+    /// Bounded mailbox depth per stage.
+    pub mailbox_capacity: usize,
+    /// Overflow behaviour of a full mailbox.
+    pub shed_policy: ShedPolicy,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 0,
+            mailbox_capacity: 256,
+            shed_policy: ShedPolicy::Block,
+        }
+    }
 }
 
 /// Actuator class instance hosted on a node.
@@ -247,6 +315,8 @@ pub struct NodeConfig {
     /// Maintain a local [`crate::discovery::FlowDirectory`] by
     /// subscribing to the announcement plane.
     pub track_directory: bool,
+    /// Staged-executor tuning (worker pool, mailbox bounds, shedding).
+    pub executor: ExecutorConfig,
 }
 
 impl NodeConfig {
@@ -268,7 +338,28 @@ impl NodeConfig {
             reconnect: ReconnectConfig::default(),
             announce: false,
             track_directory: false,
+            executor: ExecutorConfig::default(),
         }
+    }
+
+    /// Sets the staged-executor tuning (builder style).
+    pub fn with_executor(mut self, executor: ExecutorConfig) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Sets the executor worker-pool size (builder style; `0` = inline).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.executor.workers = workers;
+        self
+    }
+
+    /// Sets the per-stage mailbox capacity and shed policy (builder
+    /// style).
+    pub fn with_mailbox(mut self, capacity: usize, policy: ShedPolicy) -> Self {
+        self.executor.mailbox_capacity = capacity.max(1);
+        self.executor.shed_policy = policy;
+        self
     }
 
     /// Enables discovery-plane announcements (builder style).
@@ -509,6 +600,17 @@ mod tests {
         assert!(cfg.validate().is_err());
         assert!(cfg.clone().with_broker_node("d").validate().is_ok());
         assert!(cfg.with_broker().validate().is_ok());
+    }
+
+    #[test]
+    fn executor_config_builders() {
+        let cfg = NodeConfig::new("n")
+            .with_workers(4)
+            .with_mailbox(0, ShedPolicy::ShedOldest);
+        assert_eq!(cfg.executor.workers, 4);
+        assert_eq!(cfg.executor.mailbox_capacity, 1, "capacity clamps to 1");
+        assert_eq!(cfg.executor.shed_policy, ShedPolicy::ShedOldest);
+        assert_eq!(NodeConfig::new("m").executor, ExecutorConfig::default());
     }
 
     #[test]

@@ -12,7 +12,9 @@ use ifot_recipe::assign::{Assignment, AssignmentStrategy, ModuleInfo};
 use ifot_recipe::model::{Recipe, TaskKind};
 use ifot_sensors::sample::SensorKind;
 
-use crate::config::{ActuatorKindSpec, ActuatorSpec, NodeConfig, OperatorKind, OperatorSpec, SensorSpec};
+use crate::config::{
+    ActuatorKindSpec, ActuatorSpec, NodeConfig, OperatorKind, OperatorSpec, SensorSpec,
+};
 use crate::flow::topics;
 
 /// Errors from building a deployment.
@@ -95,10 +97,53 @@ pub struct DeploymentPlan {
     pub assignment: Assignment,
 }
 
+/// Where one module's share of a deployment runs (see
+/// [`DeploymentPlan::placement_summary`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModulePlacement {
+    /// The module name.
+    pub module: String,
+    /// Recipe task ids the assignment put on this module.
+    pub tasks: Vec<String>,
+    /// Executor stages the compiled config instantiates — one per
+    /// operator spec, so a replicated task placed here via
+    /// `replicas = N` still counts once per local shard.
+    pub stages: usize,
+    /// Stages carrying a `sharded(modulus, index)` filter; the delta
+    /// between assigned tasks and stages comes from replication and
+    /// broker-side helpers (e.g. mix coordinators).
+    pub sharded_stages: usize,
+}
+
 impl DeploymentPlan {
     /// The configuration for `module`.
     pub fn config_for(&self, module: &str) -> Option<&NodeConfig> {
         self.configs.iter().find(|c| c.name == module)
+    }
+
+    /// Per-module view of the build: which recipe tasks the assignment
+    /// placed on each module, and how many executor stages the compiled
+    /// config actually runs there (replication and coordinator helpers
+    /// make these differ). One entry per module, in config order.
+    pub fn placement_summary(&self) -> Vec<ModulePlacement> {
+        self.configs
+            .iter()
+            .map(|cfg| {
+                let mut tasks: Vec<String> = self
+                    .assignment
+                    .tasks_on(&cfg.name)
+                    .into_iter()
+                    .map(str::to_owned)
+                    .collect();
+                tasks.sort_unstable();
+                ModulePlacement {
+                    module: cfg.name.clone(),
+                    tasks,
+                    stages: cfg.operators.len(),
+                    sharded_stages: cfg.operators.iter().filter(|o| o.shard.is_some()).count(),
+                }
+            })
+            .collect()
     }
 }
 
@@ -140,10 +185,7 @@ pub fn deploy(
                 );
             }
             _ => {
-                task_topics.insert(
-                    task.id.as_str(),
-                    topics::flow(recipe.name(), &task.id),
-                );
+                task_topics.insert(task.id.as_str(), topics::flow(recipe.name(), &task.id));
             }
         }
     }
@@ -183,7 +225,8 @@ pub fn deploy(
             TaskKind::Sense { rate_hz, .. } => {
                 let (kind, device_id) = sense_devices[task.id.as_str()];
                 seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-                cfg.sensors.push(SensorSpec::new(kind, device_id, *rate_hz, seed));
+                cfg.sensors
+                    .push(SensorSpec::new(kind, device_id, *rate_hz, seed));
             }
             TaskKind::Window { size_ms } => {
                 cfg.operators.push(make_operator(
@@ -349,9 +392,7 @@ fn place_replicated(
     let start = config_index[module];
     for k in 0..replicas {
         let idx = (start + k as usize) % configs.len();
-        configs[idx]
-            .operators
-            .push(op.clone().sharded(replicas, k));
+        configs[idx].operators.push(op.clone().sharded(replicas, k));
     }
     Ok(())
 }
@@ -513,8 +554,7 @@ mod tests {
                 algorithm: "pa".into(),
             },
         );
-        task.params
-            .insert("mix_interval_ms".into(), "500".into());
+        task.params.insert("mix_interval_ms".into(), "500".into());
         let recipe = ifot_recipe::model::Recipe::builder("r")
             .task(ifot_recipe::model::Task::new(
                 "s",
@@ -599,6 +639,54 @@ mod tests {
     }
 
     #[test]
+    fn placement_summary_reports_tasks_and_stages_per_module() {
+        // Reuse the replicated-detect recipe: the assignment puts
+        // "detect" on one module, but the compiled plan runs a shard of
+        // it on every module.
+        let mut task = ifot_recipe::model::Task::new(
+            "detect",
+            TaskKind::DetectAnomaly {
+                detector: "zscore".into(),
+                threshold: 3.0,
+            },
+        );
+        task.params.insert("replicas".into(), "3".into());
+        let recipe = ifot_recipe::model::Recipe::builder("r")
+            .task(ifot_recipe::model::Task::new(
+                "s",
+                TaskKind::Sense {
+                    sensor: "sound".into(),
+                    rate_hz: 40.0,
+                },
+            ))
+            .task(task)
+            .edge("s", "detect")
+            .build()
+            .expect("valid");
+        let ms = vec![
+            ModuleInfo::new("a", 1.0).with_capability("sensor:sound"),
+            ModuleInfo::new("b", 1.0),
+            ModuleInfo::new("c", 1.0),
+        ];
+        let plan = deploy(&recipe, &ms, &CapabilityAware, "b").expect("deploys");
+        let summary = plan.placement_summary();
+        assert_eq!(summary.len(), 3);
+        // Every module runs exactly one stage: its shard of "detect".
+        for placement in &summary {
+            assert_eq!(placement.stages, 1);
+            assert_eq!(placement.sharded_stages, 1);
+        }
+        // The assignment itself names a single home module for each
+        // task; replication shows up only in the stage counts.
+        let assigned: usize = summary.iter().map(|p| p.tasks.len()).sum();
+        assert_eq!(assigned, 2); // "s" and "detect"
+        summary
+            .iter()
+            .find(|p| p.tasks.iter().any(|t| t == "detect"))
+            .expect("detect has a home module");
+    }
+
+    #[test]
     fn too_many_replicas_is_an_error() {
         let mut task = ifot_recipe::model::Task::new(
             "p",
@@ -644,6 +732,9 @@ mod tests {
             .flat_map(|c| &c.operators)
             .find(|o| o.id == "w")
             .expect("w placed");
-        assert!(!w.publish_output, "co-located flow must not transit the broker");
+        assert!(
+            !w.publish_output,
+            "co-located flow must not transit the broker"
+        );
     }
 }

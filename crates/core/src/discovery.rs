@@ -218,7 +218,10 @@ mod tests {
                     rate_hz: Some(10.0),
                 })
                 .collect(),
-            capabilities: vec![format!("sensor:{}", topics.first().map(|(_, k)| *k).unwrap_or(""))],
+            capabilities: vec![format!(
+                "sensor:{}",
+                topics.first().map(|(_, k)| *k).unwrap_or("")
+            )],
             at_ns: 1,
         }
     }
@@ -292,7 +295,10 @@ mod tests {
     #[test]
     fn announcement_round_trip() {
         let a = ann("n", true, &[("sensor/9/humidity", "humidity")]);
-        assert_eq!(NodeAnnouncement::decode(&a.encode()).expect("round trip"), a);
+        assert_eq!(
+            NodeAnnouncement::decode(&a.encode()).expect("round trip"),
+            a
+        );
         assert!(NodeAnnouncement::decode(b"{").is_err());
     }
 }

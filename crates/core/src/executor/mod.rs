@@ -1,0 +1,407 @@
+//! Staged dataflow executor — the node-side compute path.
+//!
+//! Every analysis operator of a node becomes one **stage**: a
+//! [`StreamOperator`] state machine behind a bounded mailbox. The node
+//! runtime feeds stages through [`ExecutorGraph`] and routes the typed
+//! [`OpOutput`]s they return; how the stages are *driven* depends on the
+//! runtime:
+//!
+//! * **Inline** (`workers = 0`, the only mode on the deterministic
+//!   simulator): [`ExecutorGraph::offer_item`] enqueues and immediately
+//!   drains the stage on the caller's thread. The sequence of
+//!   environment calls (CPU charges, RNG draws, metric updates) is
+//!   byte-for-byte the sequence the old monolithic dispatch produced,
+//!   which keeps seeded trace digests bit-identical.
+//! * **Pooled** (`workers > 0` on the thread runtime): the node thread
+//!   only enqueues; a worker pool ([`pool::WorkerPool`]) pops and
+//!   executes stages concurrently and ships the outputs back to the
+//!   node thread, which remains the sole router/publisher.
+//!
+//! Mailboxes are bounded with an explicit overflow policy
+//! ([`ShedPolicy`]): block the producer, shed the oldest queued item, or
+//! shed the newcomer — each counted in per-stage [`StageStats`] that the
+//! management monitor surfaces.
+
+pub mod ops;
+pub mod pool;
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::{ExecutorConfig, OperatorSpec, ShedPolicy};
+use crate::env::NodeEnv;
+use crate::flow::FlowItem;
+use crate::operators::{MixEnvelope, OpOutput};
+use ifot_ml::runtime::AnyClassifier;
+
+/// A periodic tick delivered to a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpTimer {
+    /// Window flush tick.
+    Flush,
+    /// Periodic MIX snapshot offer tick.
+    Mix,
+}
+
+/// A control-plane message delivered to a stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMsg {
+    /// A model-plane envelope from the `mix/...` topics.
+    Mix(MixEnvelope),
+}
+
+/// A sans-I/O stream operator: consumes items, timers and control
+/// messages, returns typed outputs, performs no I/O of its own. All
+/// side effects (CPU cost, RNG, metrics) go through the [`NodeEnv`].
+pub trait StreamOperator: std::fmt::Debug + Send {
+    /// The operator's configuration.
+    fn spec(&self) -> &OperatorSpec;
+
+    /// Consumes one flow item.
+    fn on_item(&mut self, env: &mut dyn NodeEnv, item: FlowItem) -> Vec<OpOutput>;
+
+    /// Handles a periodic tick (window flush, MIX offer).
+    fn on_timer(&mut self, _env: &mut dyn NodeEnv, _timer: OpTimer) -> Vec<OpOutput> {
+        Vec::new()
+    }
+
+    /// Handles a control-plane message.
+    fn on_control(&mut self, _env: &mut dyn NodeEnv, _msg: &ControlMsg) -> Vec<OpOutput> {
+        Vec::new()
+    }
+
+    /// A one-line statistics summary for monitoring screens.
+    fn describe(&self) -> String;
+
+    /// The trained/serving classifier, for harness inspection.
+    fn model(&self) -> Option<&AnyClassifier> {
+        None
+    }
+}
+
+/// One unit of work queued into a stage mailbox.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkItem {
+    /// A flow item to process.
+    Item(FlowItem),
+    /// A control-plane message.
+    Control(ControlMsg),
+    /// A periodic tick.
+    Timer(OpTimer),
+}
+
+/// Per-stage mailbox and throughput counters, surfaced by the monitor.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct StageStats {
+    /// Work items admitted into the mailbox.
+    pub enqueued: u64,
+    /// Work items executed.
+    pub processed: u64,
+    /// Queued items dropped to admit newer ones (shed-oldest).
+    pub shed_oldest: u64,
+    /// Incoming items dropped at a full mailbox (shed-newest).
+    pub shed_newest: u64,
+    /// Current mailbox depth.
+    pub depth: usize,
+    /// High-water mailbox depth.
+    pub max_depth: usize,
+    /// Total nanoseconds items spent queued before execution.
+    pub wait_ns_total: u64,
+}
+
+impl StageStats {
+    /// Total items dropped by either shedding policy.
+    pub fn shed(&self) -> u64 {
+        self.shed_oldest + self.shed_newest
+    }
+
+    /// Mean queue wait in milliseconds over processed items.
+    pub fn mean_wait_ms(&self) -> f64 {
+        if self.processed == 0 {
+            0.0
+        } else {
+            self.wait_ns_total as f64 / self.processed as f64 / 1e6
+        }
+    }
+}
+
+/// One executor stage: an operator behind its bounded mailbox.
+///
+/// The mailbox policy only governs [`WorkItem::Item`] entries — timers
+/// and control messages are always admitted (shedding a MIX round or a
+/// flush tick would silently wedge the protocol, and both are rare and
+/// cheap relative to the data plane).
+#[derive(Debug)]
+pub struct ExecutorStage {
+    op: Box<dyn StreamOperator>,
+    mailbox: VecDeque<(WorkItem, u64)>,
+    capacity: usize,
+    policy: ShedPolicy,
+    /// Mailbox and throughput counters.
+    pub stats: StageStats,
+}
+
+impl ExecutorStage {
+    /// Wraps an operator with a bounded mailbox.
+    pub fn new(op: Box<dyn StreamOperator>, capacity: usize, policy: ShedPolicy) -> Self {
+        ExecutorStage {
+            op,
+            mailbox: VecDeque::new(),
+            capacity: capacity.max(1),
+            policy,
+            stats: StageStats::default(),
+        }
+    }
+
+    /// The wrapped operator's monitor line.
+    pub fn describe(&self) -> String {
+        self.op.describe()
+    }
+
+    /// The wrapped operator's classifier, if it serves one.
+    pub fn model(&self) -> Option<&AnyClassifier> {
+        self.op.model()
+    }
+
+    /// Whether an item can be admitted without shedding or blocking.
+    pub fn has_space(&self) -> bool {
+        self.mailbox.len() < self.capacity
+    }
+
+    /// Admits one work item, applying the shed policy to a full mailbox.
+    ///
+    /// Under [`ShedPolicy::Block`] the item is admitted even when full —
+    /// blocking producers are expected to wait on the stage's space
+    /// signal *before* calling (the inline driver drains immediately, so
+    /// its mailbox never fills).
+    pub fn enqueue(&mut self, work: WorkItem, now_ns: u64) {
+        if matches!(work, WorkItem::Item(_)) && self.mailbox.len() >= self.capacity {
+            match self.policy {
+                ShedPolicy::Block => {}
+                ShedPolicy::ShedOldest => {
+                    // Evict the oldest queued *item*; timers and control
+                    // messages are never shed.
+                    if let Some(pos) = self
+                        .mailbox
+                        .iter()
+                        .position(|(w, _)| matches!(w, WorkItem::Item(_)))
+                    {
+                        self.mailbox.remove(pos);
+                        self.stats.shed_oldest += 1;
+                    }
+                }
+                ShedPolicy::ShedNewest => {
+                    self.stats.shed_newest += 1;
+                    return;
+                }
+            }
+        }
+        self.stats.enqueued += 1;
+        self.mailbox.push_back((work, now_ns));
+        self.stats.depth = self.mailbox.len();
+        self.stats.max_depth = self.stats.max_depth.max(self.mailbox.len());
+    }
+
+    /// Pops and executes one queued work item; `None` when idle.
+    pub fn step(&mut self, env: &mut dyn NodeEnv) -> Option<Vec<OpOutput>> {
+        let (work, enqueued_ns) = self.mailbox.pop_front()?;
+        self.stats.depth = self.mailbox.len();
+        self.stats.processed += 1;
+        self.stats.wait_ns_total += env.now_ns().saturating_sub(enqueued_ns);
+        Some(match work {
+            WorkItem::Item(item) => self.op.on_item(env, item),
+            WorkItem::Control(msg) => self.op.on_control(env, &msg),
+            WorkItem::Timer(timer) => self.op.on_timer(env, timer),
+        })
+    }
+
+    /// Queued work items.
+    pub fn depth(&self) -> usize {
+        self.mailbox.len()
+    }
+
+    /// The monitor line for this stage's mailbox.
+    pub fn describe_stats(&self) -> String {
+        format!(
+            "stage[{}] depth={} max={} in={} out={} shed={} wait_ms={:.2}",
+            self.op.spec().id,
+            self.stats.depth,
+            self.stats.max_depth,
+            self.stats.enqueued,
+            self.stats.processed,
+            self.stats.shed(),
+            self.stats.mean_wait_ms(),
+        )
+    }
+}
+
+/// A stage behind a lock, shareable with the worker pool. The condvar
+/// signals mailbox space to producers blocked under
+/// [`ShedPolicy::Block`].
+#[derive(Debug)]
+pub struct StageCell {
+    stage: Mutex<ExecutorStage>,
+    space: Condvar,
+}
+
+impl StageCell {
+    fn new(stage: ExecutorStage) -> Self {
+        StageCell {
+            stage: Mutex::new(stage),
+            space: Condvar::new(),
+        }
+    }
+
+    /// Enqueues and immediately drains the stage on the caller's thread,
+    /// returning every output in order (the inline driver).
+    pub fn offer_inline(&self, env: &mut dyn NodeEnv, work: WorkItem) -> Vec<OpOutput> {
+        let mut stage = self.stage.lock();
+        stage.enqueue(work, env.now_ns());
+        let mut out = Vec::new();
+        while let Some(mut outputs) = stage.step(env) {
+            out.append(&mut outputs);
+        }
+        out
+    }
+
+    /// Enqueues for asynchronous execution by the worker pool. Under
+    /// [`ShedPolicy::Block`] the caller waits here until the mailbox has
+    /// space (workers signal after every pop).
+    pub fn enqueue_pooled(&self, work: WorkItem, now_ns: u64) {
+        let mut stage = self.stage.lock();
+        if matches!(work, WorkItem::Item(_)) && stage.policy == ShedPolicy::Block {
+            while !stage.has_space() {
+                self.space.wait(&mut stage);
+            }
+        }
+        stage.enqueue(work, now_ns);
+    }
+
+    /// Pops and executes one work item if any is queued (the pooled
+    /// driver; called from worker threads). Signals waiting producers.
+    ///
+    /// Uses `try_lock`: a stage already executing on another worker is
+    /// skipped rather than waited on — the operator runs (and sleeps out
+    /// its emulated CPU cost) *under* the stage lock, so blocking here
+    /// would convoy every worker behind one slow stage and serialize the
+    /// whole pool.
+    pub fn step_pooled(&self, env: &mut dyn NodeEnv) -> Option<Vec<OpOutput>> {
+        let mut stage = self.stage.try_lock()?;
+        let outputs = stage.step(env);
+        if outputs.is_some() {
+            self.space.notify_one();
+        }
+        outputs
+    }
+
+    /// Runs `f` on the locked stage (monitoring, tests).
+    pub fn with_stage<R>(&self, f: impl FnOnce(&mut ExecutorStage) -> R) -> R {
+        f(&mut self.stage.lock())
+    }
+}
+
+/// The compiled executor graph of a node: one stage per configured
+/// operator, plus a lock-free copy of every spec so admission checks
+/// (topic filters, shards) never take a stage lock.
+#[derive(Debug)]
+pub struct ExecutorGraph {
+    cells: Vec<Arc<StageCell>>,
+    specs: Vec<OperatorSpec>,
+}
+
+impl ExecutorGraph {
+    /// Compiles the node's assigned operator specs into stages.
+    pub fn compile(specs: Vec<OperatorSpec>, config: &ExecutorConfig) -> Self {
+        let cells = specs
+            .iter()
+            .map(|spec| {
+                Arc::new(StageCell::new(ExecutorStage::new(
+                    ops::build_operator(spec.clone()),
+                    config.mailbox_capacity,
+                    config.shed_policy,
+                )))
+            })
+            .collect();
+        ExecutorGraph { cells, specs }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the graph has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The operator specs, indexed like the stages.
+    pub fn specs(&self) -> &[OperatorSpec] {
+        &self.specs
+    }
+
+    /// Shared handles to every stage, for the worker pool.
+    pub fn cells(&self) -> Vec<Arc<StageCell>> {
+        self.cells.clone()
+    }
+
+    /// Inline: runs one item through stage `index` to completion.
+    pub fn offer_item(&self, env: &mut dyn NodeEnv, index: usize, item: FlowItem) -> Vec<OpOutput> {
+        self.cells[index].offer_inline(env, WorkItem::Item(item))
+    }
+
+    /// Inline: runs one control message through stage `index`.
+    pub fn offer_control(
+        &self,
+        env: &mut dyn NodeEnv,
+        index: usize,
+        msg: ControlMsg,
+    ) -> Vec<OpOutput> {
+        self.cells[index].offer_inline(env, WorkItem::Control(msg))
+    }
+
+    /// Inline: delivers one timer tick to stage `index`.
+    pub fn offer_timer(
+        &self,
+        env: &mut dyn NodeEnv,
+        index: usize,
+        timer: OpTimer,
+    ) -> Vec<OpOutput> {
+        self.cells[index].offer_inline(env, WorkItem::Timer(timer))
+    }
+
+    /// Pooled: admits work into stage `index` without executing it.
+    pub fn enqueue(&self, index: usize, work: WorkItem, now_ns: u64) {
+        self.cells[index].enqueue_pooled(work, now_ns);
+    }
+
+    /// The classifier served by the operator with the given id, cloned
+    /// out of its stage (train/predict operators only).
+    pub fn classifier(&self, id: &str) -> Option<AnyClassifier> {
+        let index = self.specs.iter().position(|s| s.id == id)?;
+        self.cells[index].with_stage(|stage| stage.model().cloned())
+    }
+
+    /// A stage's mailbox counters.
+    pub fn stats(&self, index: usize) -> StageStats {
+        self.cells[index].with_stage(|stage| stage.stats.clone())
+    }
+
+    /// Monitor lines: each operator's summary followed by its stage
+    /// mailbox counters (the latter only once traffic has flowed, to
+    /// keep idle screens compact).
+    pub fn describe(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for cell in &self.cells {
+            cell.with_stage(|stage| {
+                out.push(stage.describe());
+                if stage.stats.enqueued > 0 {
+                    out.push(stage.describe_stats());
+                }
+            });
+        }
+        out
+    }
+}

@@ -1,0 +1,1101 @@
+//! Per-kind [`StreamOperator`] implementations — the IFoT flow-analysis
+//! classes, one type per recipe operator kind.
+//!
+//! These are verbatim ports of the former monolithic dispatch: the
+//! sequence of environment calls (CPU charges, RNG draws, counters,
+//! latency recordings) each operator makes per input is unchanged, which
+//! is what keeps seeded simulator runs bit-identical across the
+//! executor refactor.
+
+use std::collections::BTreeMap;
+
+use ifot_ml::feature::{Datum, DEFAULT_DIMENSIONS};
+use ifot_ml::mix::MixCoordinator;
+use ifot_ml::runtime::{AnyClassifier, AnyDetector};
+use ifot_ml::stat::Ewma;
+use ifot_sensors::actuator::Command;
+
+use crate::config::{OperatorKind, OperatorSpec};
+use crate::costs;
+use crate::env::{NodeEnv, NodeEnvExt};
+use crate::executor::{ControlMsg, OpTimer, StreamOperator};
+use crate::flow::{FlowItem, FlowMessage};
+use crate::operators::{AutoLabeller, NodeEvent, OpOutput};
+
+/// How many joined-but-incomplete sequences a join keeps before dropping
+/// the oldest (lost QoS 0 samples would otherwise leak memory).
+pub const JOIN_MAX_PENDING: usize = 256;
+
+/// Observations an anomaly operator absorbs before it may flag: with
+/// fewer samples the running variance estimate is meaningless and any
+/// ordinary value can score arbitrarily high (detector cold start).
+pub const ANOMALY_WARMUP: u64 = 10;
+
+/// Instantiates the [`StreamOperator`] for a spec's kind.
+pub fn build_operator(spec: OperatorSpec) -> Box<dyn StreamOperator> {
+    match &spec.kind {
+        OperatorKind::Join { expected_sources } => {
+            let expected = *expected_sources;
+            Box::new(JoinOp {
+                spec,
+                expected,
+                pending: BTreeMap::new(),
+                emitted: 0,
+                incomplete_dropped: 0,
+            })
+        }
+        OperatorKind::Window { .. } => Box::new(WindowOp {
+            spec,
+            buffer: Vec::new(),
+            flushes: 0,
+            seq: 0,
+        }),
+        OperatorKind::Train { algorithm, .. } => {
+            let model = AnyClassifier::by_name(algorithm);
+            Box::new(TrainOp {
+                spec,
+                model,
+                labeller: AutoLabeller::default(),
+                trained: 0,
+            })
+        }
+        OperatorKind::Predict { algorithm } => {
+            let model = AnyClassifier::by_name(algorithm);
+            Box::new(PredictOp {
+                spec,
+                model,
+                predicted: 0,
+                seq: 0,
+            })
+        }
+        OperatorKind::Anomaly {
+            detector,
+            threshold,
+        } => {
+            let detector = AnyDetector::by_name(detector);
+            let threshold = *threshold;
+            Box::new(AnomalyOp {
+                spec,
+                detector,
+                threshold,
+                flagged: 0,
+                scored: 0,
+                seq: 0,
+            })
+        }
+        OperatorKind::Estimate { model } => {
+            let model_name = model.clone();
+            Box::new(EstimateOp {
+                spec,
+                model_name,
+                fused: Ewma::new(0.2),
+                updates: 0,
+                seq: 0,
+            })
+        }
+        OperatorKind::Policy {
+            key,
+            on_above,
+            off_below,
+            emit,
+        } => {
+            let (key, emit) = (key.clone(), emit.clone());
+            let (on_above, off_below) = (*on_above, *off_below);
+            Box::new(PolicyOp {
+                spec,
+                key,
+                on_above,
+                off_below,
+                emit,
+                engaged: None,
+                decisions: 0,
+                seq: 0,
+            })
+        }
+        OperatorKind::Actuate { device_id } => {
+            let device_id = *device_id;
+            Box::new(ActuateOp {
+                spec,
+                device_id,
+                applied: 0,
+            })
+        }
+        OperatorKind::Custom { operator } => {
+            let operator = operator.clone();
+            Box::new(CustomOp {
+                spec,
+                operator,
+                passed: 0,
+                seq: 0,
+            })
+        }
+        OperatorKind::MixCoordinator { expected } => {
+            let coordinator = MixCoordinator::new((*expected).max(1));
+            Box::new(MixCoordinatorOp {
+                spec,
+                coordinator,
+                round_tasks: Vec::new(),
+            })
+        }
+    }
+}
+
+fn next_seq(seq: &mut u64) -> u64 {
+    *seq += 1;
+    *seq
+}
+
+/// Join one item per source (by sequence number) into a merged datum —
+/// the `[data]` aggregation of Fig. 9.
+#[derive(Debug)]
+pub struct JoinOp {
+    spec: OperatorSpec,
+    expected: usize,
+    pending: BTreeMap<u64, BTreeMap<String, FlowItem>>,
+    emitted: u64,
+    incomplete_dropped: u64,
+}
+
+impl StreamOperator for JoinOp {
+    fn spec(&self) -> &OperatorSpec {
+        &self.spec
+    }
+
+    fn on_item(&mut self, env: &mut dyn NodeEnv, item: FlowItem) -> Vec<OpOutput> {
+        env.consume_ref_ms(costs::JOIN_MS);
+        let tuple_seq = item.seq;
+        let slot = self.pending.entry(tuple_seq).or_default();
+        slot.insert(item.topic.clone(), item);
+        let complete = slot.len() >= self.expected;
+        if complete {
+            let parts = self.pending.remove(&tuple_seq).expect("slot present");
+            self.emitted += 1;
+            let mut datum = Datum::new();
+            let mut origin = u64::MAX;
+            let mut seq = 0;
+            for part in parts.values() {
+                origin = origin.min(part.origin_ts_ns);
+                seq = seq.max(part.seq);
+                for (k, v) in part.datum.iter() {
+                    datum.set(k.to_owned(), v);
+                }
+            }
+            env.incr("join_emitted");
+            return vec![OpOutput::Emit(FlowMessage {
+                producer: self.spec.id.clone(),
+                origin_ts_ns: origin,
+                seq,
+                datum,
+                label: None,
+                score: None,
+            })];
+        }
+        // Bound the pending map: evict the oldest sequence.
+        if self.pending.len() > JOIN_MAX_PENDING {
+            let oldest = *self.pending.keys().next().expect("non-empty");
+            self.pending.remove(&oldest);
+            self.incomplete_dropped += 1;
+            env.incr("join_incomplete_dropped");
+        }
+        Vec::new()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "join[{}] emitted={} pending={} dropped={}",
+            self.spec.id,
+            self.emitted,
+            self.pending.len(),
+            self.incomplete_dropped
+        )
+    }
+}
+
+/// Time-window aggregation (mean per datum key), flushed by timer.
+#[derive(Debug)]
+pub struct WindowOp {
+    spec: OperatorSpec,
+    buffer: Vec<FlowItem>,
+    flushes: u64,
+    seq: u64,
+}
+
+impl StreamOperator for WindowOp {
+    fn spec(&self) -> &OperatorSpec {
+        &self.spec
+    }
+
+    fn on_item(&mut self, _env: &mut dyn NodeEnv, item: FlowItem) -> Vec<OpOutput> {
+        // Buffering is cheap; the cost lands on the flush.
+        self.buffer.push(item);
+        Vec::new()
+    }
+
+    fn on_timer(&mut self, env: &mut dyn NodeEnv, timer: OpTimer) -> Vec<OpOutput> {
+        if timer != OpTimer::Flush || self.buffer.is_empty() {
+            return Vec::new();
+        }
+        env.consume_ref_ms(costs::WINDOW_FLUSH_MS);
+        self.flushes += 1;
+        env.incr("window_flushes");
+        // Mean per key plus a count feature.
+        let mut sums: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+        let mut origin = u64::MAX;
+        let mut seq = 0;
+        for item in self.buffer.iter() {
+            origin = origin.min(item.origin_ts_ns);
+            seq = seq.max(item.seq);
+            for (k, v) in item.datum.iter() {
+                let e = sums.entry(k.to_owned()).or_insert((0.0, 0));
+                e.0 += v;
+                e.1 += 1;
+            }
+        }
+        let count = self.buffer.len();
+        self.buffer.clear();
+        let mut datum = Datum::new();
+        for (k, (sum, n)) in sums {
+            datum.set(k, sum / n as f64);
+        }
+        datum.set("window_count", count as f64);
+        let seq_out = next_seq(&mut self.seq).max(seq);
+        vec![OpOutput::Emit(FlowMessage {
+            producer: self.spec.id.clone(),
+            origin_ts_ns: origin,
+            seq: seq_out,
+            datum,
+            label: None,
+            score: None,
+        })]
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "window[{}] buffered={} flushes={}",
+            self.spec.id,
+            self.buffer.len(),
+            self.flushes
+        )
+    }
+}
+
+/// Online training (Learning class): trains on every item, offers MIX
+/// snapshots on timer, imports round averages on control.
+#[derive(Debug)]
+pub struct TrainOp {
+    spec: OperatorSpec,
+    model: AnyClassifier,
+    labeller: AutoLabeller,
+    trained: u64,
+}
+
+impl StreamOperator for TrainOp {
+    fn spec(&self) -> &OperatorSpec {
+        &self.spec
+    }
+
+    fn on_item(&mut self, env: &mut dyn NodeEnv, item: FlowItem) -> Vec<OpOutput> {
+        let mut cost = costs::TRAIN_BATCH_MS + env.rand_exp_ms(costs::TRAIN_JITTER_MEAN_MS);
+        if env.rand_chance(costs::TRAIN_SLOW_PROB) {
+            cost += costs::TRAIN_SLOW_MS;
+        }
+        env.consume_ref_ms(cost);
+        let label = item
+            .label
+            .clone()
+            .unwrap_or_else(|| self.labeller.label(&item.datum).to_owned());
+        let x = item.datum.to_vector(DEFAULT_DIMENSIONS);
+        self.model.train(&x, &label);
+        self.trained += 1;
+        env.incr("trained");
+        env.record_latency_since_ns("sensing_to_training", item.origin_ts_ns);
+        Vec::new()
+    }
+
+    fn on_timer(&mut self, env: &mut dyn NodeEnv, timer: OpTimer) -> Vec<OpOutput> {
+        if timer != OpTimer::Mix {
+            return Vec::new();
+        }
+        env.consume_ref_ms(costs::MIX_MS);
+        env.incr("mix_offered");
+        vec![OpOutput::MixOffer(self.model.export_diff())]
+    }
+
+    fn on_control(&mut self, env: &mut dyn NodeEnv, msg: &ControlMsg) -> Vec<OpOutput> {
+        let ControlMsg::Mix(envelope) = msg;
+        if envelope.role == "avg" {
+            env.consume_ref_ms(costs::MIX_MS);
+            env.incr("mix_imports");
+            self.model.import_diff(&envelope.diff);
+        }
+        Vec::new()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "train[{}] trained={} examples={}",
+            self.spec.id,
+            self.trained,
+            self.model.examples_seen()
+        )
+    }
+
+    fn model(&self) -> Option<&AnyClassifier> {
+        Some(&self.model)
+    }
+}
+
+/// Online prediction (Judging class).
+#[derive(Debug)]
+pub struct PredictOp {
+    spec: OperatorSpec,
+    model: AnyClassifier,
+    predicted: u64,
+    seq: u64,
+}
+
+impl StreamOperator for PredictOp {
+    fn spec(&self) -> &OperatorSpec {
+        &self.spec
+    }
+
+    fn on_item(&mut self, env: &mut dyn NodeEnv, item: FlowItem) -> Vec<OpOutput> {
+        let mut cost = costs::PREDICT_BATCH_MS + env.rand_exp_ms(costs::PREDICT_JITTER_MEAN_MS);
+        if env.rand_chance(costs::PREDICT_SLOW_PROB) {
+            cost += costs::PREDICT_SLOW_MS;
+        }
+        env.consume_ref_ms(cost);
+        let x = item.datum.to_vector(DEFAULT_DIMENSIONS);
+        let label = self.model.classify(&x);
+        self.predicted += 1;
+        env.incr("predicted");
+        env.record_latency_since_ns("sensing_to_predicting", item.origin_ts_ns);
+        let at_ns = env.now_ns();
+        let seq = next_seq(&mut self.seq);
+        let mut out = vec![OpOutput::Event(NodeEvent::Prediction {
+            task: self.spec.id.clone(),
+            label: label.clone(),
+            at_ns,
+        })];
+        if self.spec.output.is_some() {
+            out.push(OpOutput::Emit(FlowMessage {
+                producer: self.spec.id.clone(),
+                origin_ts_ns: item.origin_ts_ns,
+                seq,
+                datum: item.datum,
+                label,
+                score: None,
+            }));
+        }
+        out
+    }
+
+    fn on_control(&mut self, env: &mut dyn NodeEnv, msg: &ControlMsg) -> Vec<OpOutput> {
+        let ControlMsg::Mix(envelope) = msg;
+        if envelope.role == "avg" {
+            env.consume_ref_ms(costs::MIX_MS);
+            env.incr("mix_imports");
+            self.model.import_diff(&envelope.diff);
+        }
+        Vec::new()
+    }
+
+    fn describe(&self) -> String {
+        format!("predict[{}] predicted={}", self.spec.id, self.predicted)
+    }
+
+    fn model(&self) -> Option<&AnyClassifier> {
+        Some(&self.model)
+    }
+}
+
+/// Streaming anomaly scoring (Judging class) with warmup and a
+/// contamination guard.
+#[derive(Debug)]
+pub struct AnomalyOp {
+    spec: OperatorSpec,
+    detector: AnyDetector,
+    threshold: f64,
+    flagged: u64,
+    scored: u64,
+    seq: u64,
+}
+
+impl StreamOperator for AnomalyOp {
+    fn spec(&self) -> &OperatorSpec {
+        &self.spec
+    }
+
+    fn on_item(&mut self, env: &mut dyn NodeEnv, item: FlowItem) -> Vec<OpOutput> {
+        env.consume_ref_ms(costs::ANOMALY_MS);
+        let score = self.detector.score(&item.datum);
+        self.scored += 1;
+        env.incr("anomaly_scored");
+        env.record_latency_since_ns("sensing_to_anomaly", item.origin_ts_ns);
+        let flagging = self.scored > ANOMALY_WARMUP && score > self.threshold;
+        // Contamination guard: never learn the baseline from samples we
+        // are flagging as anomalous.
+        if !flagging {
+            self.detector.observe(&item.datum);
+        }
+        if flagging {
+            self.flagged += 1;
+            env.incr("anomaly_flagged");
+            let at_ns = env.now_ns();
+            let seq = next_seq(&mut self.seq);
+            let mut out = vec![OpOutput::Event(NodeEvent::AnomalyFlagged {
+                task: self.spec.id.clone(),
+                score,
+                at_ns,
+            })];
+            if self.spec.output.is_some() {
+                out.push(OpOutput::Emit(FlowMessage {
+                    producer: self.spec.id.clone(),
+                    origin_ts_ns: item.origin_ts_ns,
+                    seq,
+                    datum: item.datum,
+                    label: Some("anomaly".into()),
+                    score: Some(score),
+                }));
+            }
+            out
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "anomaly[{}] scored={} flagged={}",
+            self.spec.id, self.scored, self.flagged
+        )
+    }
+}
+
+/// State estimation by exponential fusion of inputs.
+#[derive(Debug)]
+pub struct EstimateOp {
+    spec: OperatorSpec,
+    model_name: String,
+    fused: Ewma,
+    updates: u64,
+    seq: u64,
+}
+
+impl StreamOperator for EstimateOp {
+    fn spec(&self) -> &OperatorSpec {
+        &self.spec
+    }
+
+    fn on_item(&mut self, env: &mut dyn NodeEnv, item: FlowItem) -> Vec<OpOutput> {
+        env.consume_ref_ms(costs::ESTIMATE_MS);
+        let v: f64 = item.datum.iter().map(|(_, x)| x).sum();
+        self.fused.push(v);
+        self.updates += 1;
+        let value = self.fused.value().unwrap_or(0.0);
+        env.incr("estimates");
+        let at_ns = env.now_ns();
+        let seq = next_seq(&mut self.seq);
+        let mut out = vec![OpOutput::Event(NodeEvent::EstimateUpdated {
+            task: self.spec.id.clone(),
+            value,
+            at_ns,
+        })];
+        if self.spec.output.is_some() {
+            out.push(OpOutput::Emit(FlowMessage {
+                producer: self.spec.id.clone(),
+                origin_ts_ns: item.origin_ts_ns,
+                seq,
+                datum: Datum::new().with(format!("estimate_{}", self.model_name), value),
+                label: item.label,
+                score: Some(value),
+            }));
+        }
+        out
+    }
+
+    fn describe(&self) -> String {
+        format!("estimate[{}] updates={}", self.spec.id, self.updates)
+    }
+}
+
+/// Hysteresis policy: maps an upstream value into on/off decisions.
+#[derive(Debug)]
+pub struct PolicyOp {
+    spec: OperatorSpec,
+    key: String,
+    on_above: f64,
+    off_below: f64,
+    emit: String,
+    /// Current decision (None until the first crossing).
+    engaged: Option<bool>,
+    decisions: u64,
+    seq: u64,
+}
+
+impl StreamOperator for PolicyOp {
+    fn spec(&self) -> &OperatorSpec {
+        &self.spec
+    }
+
+    fn on_item(&mut self, env: &mut dyn NodeEnv, item: FlowItem) -> Vec<OpOutput> {
+        env.consume_ref_ms(costs::ACTUATE_MS);
+        let value = if self.key == "score" {
+            item.score.unwrap_or(0.0)
+        } else {
+            item.datum.get(&self.key).unwrap_or(0.0)
+        };
+        let next = if value > self.on_above {
+            Some(true)
+        } else if value < self.off_below {
+            Some(false)
+        } else {
+            self.engaged
+        };
+        if next == self.engaged {
+            return Vec::new();
+        }
+        self.engaged = next;
+        self.decisions += 1;
+        env.incr("policy_decisions");
+        let on = next.unwrap_or(false);
+        let seq = next_seq(&mut self.seq);
+        if self.spec.output.is_some() {
+            vec![OpOutput::Emit(FlowMessage {
+                producer: self.spec.id.clone(),
+                origin_ts_ns: item.origin_ts_ns,
+                seq,
+                datum: Datum::new().with(self.emit.clone(), if on { 1.0 } else { 0.0 }),
+                label: None,
+                score: Some(value),
+            })]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "policy[{}] engaged={:?} decisions={}",
+            self.spec.id, self.engaged, self.decisions
+        )
+    }
+}
+
+/// Drive an actuator from upstream decisions.
+#[derive(Debug)]
+pub struct ActuateOp {
+    spec: OperatorSpec,
+    device_id: u16,
+    applied: u64,
+}
+
+impl StreamOperator for ActuateOp {
+    fn spec(&self) -> &OperatorSpec {
+        &self.spec
+    }
+
+    fn on_item(&mut self, env: &mut dyn NodeEnv, item: FlowItem) -> Vec<OpOutput> {
+        env.consume_ref_ms(costs::ACTUATE_MS);
+        let command =
+            Command::from_decision(|k| item.datum.get(k), item.label.as_deref(), item.score);
+        self.applied += 1;
+        env.incr("actuations");
+        env.record_latency_since_ns("sensing_to_actuation", item.origin_ts_ns);
+        vec![OpOutput::Command {
+            device_id: self.device_id,
+            command,
+        }]
+    }
+
+    fn describe(&self) -> String {
+        format!("actuate[{}] applied={}", self.spec.id, self.applied)
+    }
+}
+
+/// Named pass-through operator.
+#[derive(Debug)]
+pub struct CustomOp {
+    spec: OperatorSpec,
+    operator: String,
+    passed: u64,
+    seq: u64,
+}
+
+impl StreamOperator for CustomOp {
+    fn spec(&self) -> &OperatorSpec {
+        &self.spec
+    }
+
+    fn on_item(&mut self, env: &mut dyn NodeEnv, item: FlowItem) -> Vec<OpOutput> {
+        env.consume_ref_ms(costs::CUSTOM_MS);
+        self.passed += 1;
+        env.incr(&format!("custom_{}", self.operator));
+        let seq = next_seq(&mut self.seq);
+        if self.spec.output.is_some() {
+            vec![OpOutput::Emit(FlowMessage {
+                producer: self.spec.id.clone(),
+                origin_ts_ns: item.origin_ts_ns,
+                seq,
+                datum: item.datum,
+                label: item.label,
+                score: item.score,
+            })]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("custom[{}] passed={}", self.spec.id, self.passed)
+    }
+}
+
+/// MIX coordinator (Managing class): average offered snapshots.
+#[derive(Debug)]
+pub struct MixCoordinatorOp {
+    spec: OperatorSpec,
+    coordinator: MixCoordinator,
+    /// Task ids that contributed to the current round.
+    round_tasks: Vec<String>,
+}
+
+impl StreamOperator for MixCoordinatorOp {
+    fn spec(&self) -> &OperatorSpec {
+        &self.spec
+    }
+
+    fn on_item(&mut self, _env: &mut dyn NodeEnv, _item: FlowItem) -> Vec<OpOutput> {
+        Vec::new()
+    }
+
+    fn on_control(&mut self, env: &mut dyn NodeEnv, msg: &ControlMsg) -> Vec<OpOutput> {
+        let ControlMsg::Mix(envelope) = msg;
+        if envelope.role != "offer" {
+            return Vec::new();
+        }
+        env.consume_ref_ms(costs::MIX_MS);
+        env.incr("mix_offers");
+        if !self.round_tasks.contains(&envelope.task) {
+            self.round_tasks.push(envelope.task.clone());
+        }
+        if let Some(avg) = self.coordinator.offer(envelope.diff.clone()) {
+            let round = self.coordinator.rounds_completed();
+            let at_ns = env.now_ns();
+            let tasks = std::mem::take(&mut self.round_tasks);
+            let mut out = vec![OpOutput::Event(NodeEvent::MixRound {
+                task: envelope.task.clone(),
+                round,
+                at_ns,
+            })];
+            // Every contributing task receives the round average.
+            for task in tasks {
+                out.push(OpOutput::MixAverage {
+                    task,
+                    diff: avg.clone(),
+                });
+            }
+            out
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "mix[{}] rounds={} collected={}",
+            self.spec.id,
+            self.coordinator.rounds_completed(),
+            self.coordinator.collected()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MockEnv;
+    use crate::operators::MixEnvelope;
+
+    fn item(topic: &str, seq: u64, origin: u64, pairs: &[(&str, f64)]) -> FlowItem {
+        let mut datum = Datum::new();
+        for (k, v) in pairs {
+            datum.set(*k, *v);
+        }
+        FlowItem {
+            topic: topic.into(),
+            origin_ts_ns: origin,
+            seq,
+            datum,
+            label: None,
+            score: None,
+        }
+    }
+
+    fn join3() -> Box<dyn StreamOperator> {
+        build_operator(OperatorSpec::through(
+            "agg",
+            OperatorKind::Join {
+                expected_sources: 3,
+            },
+            vec!["sensor/#".into()],
+            "flow/exp/agg",
+        ))
+    }
+
+    #[test]
+    fn topic_matching_uses_filters() {
+        let op = join3();
+        assert!(op.spec().accepts("sensor/1/accel"));
+        assert!(op.spec().accepts("sensor/2/sound"));
+        assert!(!op.spec().accepts("flow/exp/agg"));
+        assert!(!op.spec().accepts("sensor/+")); // wildcard is not a valid name
+    }
+
+    #[test]
+    fn join_emits_on_complete_tuple() {
+        let mut env = MockEnv::new();
+        let mut op = join3();
+        assert!(op
+            .on_item(&mut env, item("sensor/1/a", 5, 100, &[("a", 1.0)]))
+            .is_empty());
+        assert!(op
+            .on_item(&mut env, item("sensor/2/b", 5, 90, &[("b", 2.0)]))
+            .is_empty());
+        let out = op.on_item(&mut env, item("sensor/3/c", 5, 110, &[("c", 3.0)]));
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            OpOutput::Emit(m) => {
+                assert_eq!(m.origin_ts_ns, 90, "earliest sensing time");
+                assert_eq!(m.datum.get("a"), Some(1.0));
+                assert_eq!(m.datum.get("c"), Some(3.0));
+            }
+            other => panic!("expected emit, got {other:?}"),
+        }
+        // Different seq tuples do not interfere.
+        assert!(op
+            .on_item(&mut env, item("sensor/1/a", 6, 1, &[("a", 1.0)]))
+            .is_empty());
+    }
+
+    #[test]
+    fn join_bounds_pending() {
+        let mut env = MockEnv::new();
+        let mut op = join3();
+        for seq in 0..(JOIN_MAX_PENDING as u64 + 50) {
+            let _ = op.on_item(&mut env, item("sensor/1/a", seq, seq, &[("a", 1.0)]));
+        }
+        assert!(env.counter("join_incomplete_dropped") > 0);
+    }
+
+    #[test]
+    fn window_aggregates_means() {
+        let mut env = MockEnv::new();
+        let spec = OperatorSpec::through(
+            "w",
+            OperatorKind::Window { size_ms: 100 },
+            vec!["sensor/#".into()],
+            "flow/r/w",
+        );
+        assert_eq!(spec.flush_period_ms(), Some(100));
+        let mut op = build_operator(spec);
+        assert!(
+            op.on_timer(&mut env, OpTimer::Flush).is_empty(),
+            "empty window flush is silent"
+        );
+        let _ = op.on_item(&mut env, item("sensor/1/a", 1, 50, &[("x", 2.0)]));
+        let _ = op.on_item(&mut env, item("sensor/1/a", 2, 60, &[("x", 4.0)]));
+        let out = op.on_timer(&mut env, OpTimer::Flush);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            OpOutput::Emit(m) => {
+                assert_eq!(m.datum.get("x"), Some(3.0));
+                assert_eq!(m.datum.get("window_count"), Some(2.0));
+                assert_eq!(m.origin_ts_ns, 50);
+            }
+            other => panic!("expected emit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn train_consumes_cpu_and_records_latency() {
+        let mut env = MockEnv::new();
+        env.now_ns = 10_000_000;
+        let mut op = build_operator(OperatorSpec::sink(
+            "t",
+            OperatorKind::Train {
+                algorithm: "pa".into(),
+                mix_interval_ms: 0,
+            },
+            vec!["flow/#".into()],
+        ));
+        let out = op.on_item(&mut env, item("flow/r/x", 1, 5_000_000, &[("x", 1.0)]));
+        assert!(out.is_empty());
+        assert!(env.cpu_ms >= costs::TRAIN_BATCH_MS);
+        assert_eq!(env.latencies[0].0, "sensing_to_training");
+        assert_eq!(env.latencies[0].1, 5_000_000);
+        assert_eq!(env.counter("trained"), 1);
+        assert_eq!(op.model().expect("train has model").examples_seen(), 1);
+    }
+
+    #[test]
+    fn predict_emits_event_and_message() {
+        let mut env = MockEnv::new();
+        let mut op = build_operator(OperatorSpec::through(
+            "p",
+            OperatorKind::Predict {
+                algorithm: "pa".into(),
+            },
+            vec!["flow/#".into()],
+            "flow/r/p",
+        ));
+        let out = op.on_item(&mut env, item("flow/r/x", 1, 0, &[("x", 1.0)]));
+        assert_eq!(out.len(), 2);
+        assert!(matches!(
+            out[0],
+            OpOutput::Event(NodeEvent::Prediction { .. })
+        ));
+        assert!(matches!(out[1], OpOutput::Emit(_)));
+        assert_eq!(env.latencies[0].0, "sensing_to_predicting");
+    }
+
+    #[test]
+    fn anomaly_flags_only_above_threshold() {
+        let mut env = MockEnv::new();
+        let mut op = build_operator(OperatorSpec::through(
+            "a",
+            OperatorKind::Anomaly {
+                detector: "zscore".into(),
+                threshold: 3.0,
+            },
+            vec!["sensor/#".into()],
+            "flow/r/a",
+        ));
+        for i in 0..50 {
+            let out = op.on_item(
+                &mut env,
+                item("sensor/1/t", i, 0, &[("t", 20.0 + (i % 3) as f64 * 0.1)]),
+            );
+            assert!(out.is_empty(), "normal values must not flag");
+        }
+        let out = op.on_item(&mut env, item("sensor/1/t", 99, 0, &[("t", 500.0)]));
+        assert_eq!(out.len(), 2);
+        assert!(matches!(
+            out[0],
+            OpOutput::Event(NodeEvent::AnomalyFlagged { score, .. }) if score > 3.0
+        ));
+        assert_eq!(env.counter("anomaly_flagged"), 1);
+    }
+
+    #[test]
+    fn estimate_fuses_with_ewma() {
+        let mut env = MockEnv::new();
+        let mut op = build_operator(OperatorSpec::through(
+            "e",
+            OperatorKind::Estimate {
+                model: "comfort".into(),
+            },
+            vec!["flow/#".into()],
+            "flow/r/e",
+        ));
+        let out1 = op.on_item(&mut env, item("flow/r/x", 1, 0, &[("x", 10.0)]));
+        let v1 = match &out1[0] {
+            OpOutput::Event(NodeEvent::EstimateUpdated { value, .. }) => *value,
+            other => panic!("expected estimate event, got {other:?}"),
+        };
+        assert_eq!(v1, 10.0);
+        let out2 = op.on_item(&mut env, item("flow/r/x", 2, 0, &[("x", 0.0)]));
+        match &out2[1] {
+            OpOutput::Emit(m) => {
+                let fused = m.score.expect("estimate score");
+                assert!(fused < 10.0 && fused > 0.0);
+                assert!(m.datum.get("estimate_comfort").is_some());
+            }
+            other => panic!("expected emit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_applies_hysteresis() {
+        let mut env = MockEnv::new();
+        let mut op = build_operator(OperatorSpec::through(
+            "pol",
+            OperatorKind::Policy {
+                key: "comfort".into(),
+                on_above: 10.0,
+                off_below: 5.0,
+                emit: "power".into(),
+            },
+            vec!["flow/#".into()],
+            "flow/r/pol",
+        ));
+        // Below both thresholds with no prior state: no decision.
+        assert!(op
+            .on_item(&mut env, item("flow/r/e", 1, 0, &[("comfort", 7.0)]))
+            .is_empty());
+        // Crossing on_above: ON decision.
+        let out = op.on_item(&mut env, item("flow/r/e", 2, 0, &[("comfort", 12.0)]));
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0], OpOutput::Emit(m) if m.datum.get("power") == Some(1.0)));
+        // Still above off_below: hysteresis holds, no repeat decision.
+        assert!(op
+            .on_item(&mut env, item("flow/r/e", 3, 0, &[("comfort", 7.0)]))
+            .is_empty());
+        assert!(op
+            .on_item(&mut env, item("flow/r/e", 4, 0, &[("comfort", 11.0)]))
+            .is_empty());
+        // Dropping below off_below: OFF decision.
+        let out = op.on_item(&mut env, item("flow/r/e", 5, 0, &[("comfort", 2.0)]));
+        assert!(matches!(&out[0], OpOutput::Emit(m) if m.datum.get("power") == Some(0.0)));
+        assert_eq!(env.counter("policy_decisions"), 2);
+        assert!(op.describe().contains("policy[pol]"));
+    }
+
+    #[test]
+    fn policy_reads_score_field() {
+        let mut env = MockEnv::new();
+        let mut op = build_operator(OperatorSpec::through(
+            "pol",
+            OperatorKind::Policy {
+                key: "score".into(),
+                on_above: 0.5,
+                off_below: 0.2,
+                emit: "level".into(),
+            },
+            vec!["flow/#".into()],
+            "flow/r/pol",
+        ));
+        let mut scored = item("flow/r/e", 1, 0, &[]);
+        scored.score = Some(0.9);
+        let out = op.on_item(&mut env, scored);
+        assert!(matches!(&out[0], OpOutput::Emit(m) if m.datum.get("level") == Some(1.0)));
+    }
+
+    #[test]
+    fn actuate_maps_datum_keys_to_commands() {
+        let mut env = MockEnv::new();
+        let mut op = build_operator(OperatorSpec::sink(
+            "act",
+            OperatorKind::Actuate { device_id: 7 },
+            vec!["flow/#".into()],
+        ));
+        let out = op.on_item(&mut env, item("flow/r/d", 1, 0, &[("power", 1.0)]));
+        assert_eq!(
+            out,
+            vec![OpOutput::Command {
+                device_id: 7,
+                command: Command::SetPower { on: true }
+            }]
+        );
+        let out = op.on_item(&mut env, item("flow/r/d", 2, 0, &[("level", 0.4)]));
+        assert!(matches!(
+            out[0],
+            OpOutput::Command {
+                command: Command::SetLevel { level },
+                ..
+            } if level == 0.4
+        ));
+        // Labelled item becomes an alert.
+        let mut alert_item = item("flow/r/d", 3, 0, &[]);
+        alert_item.label = Some("anomaly".into());
+        alert_item.score = Some(4.5);
+        let out = op.on_item(&mut env, alert_item);
+        assert!(matches!(
+            &out[0],
+            OpOutput::Command {
+                command: Command::Alert { severity: 2, .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn custom_passes_through() {
+        let mut env = MockEnv::new();
+        let mut op = build_operator(OperatorSpec::through(
+            "c",
+            OperatorKind::Custom {
+                operator: "camera-monitoring".into(),
+            },
+            vec!["flow/#".into()],
+            "flow/r/c",
+        ));
+        let out = op.on_item(&mut env, item("flow/r/x", 1, 42, &[("x", 1.0)]));
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0], OpOutput::Emit(m) if m.origin_ts_ns == 42));
+        assert_eq!(env.counter("custom_camera-monitoring"), 1);
+    }
+
+    #[test]
+    fn mix_round_trips_through_coordinator() {
+        let mut env = MockEnv::new();
+        // Two trainers and one coordinator expecting two offers.
+        let train_spec = |id: &str| {
+            OperatorSpec::sink(
+                id,
+                OperatorKind::Train {
+                    algorithm: "pa".into(),
+                    mix_interval_ms: 500,
+                },
+                vec!["flow/#".into()],
+            )
+        };
+        let spec = train_spec("t1");
+        assert_eq!(spec.mix_period_ms(), Some(500));
+        let mut t1 = build_operator(spec);
+        let mut t2 = build_operator(train_spec("t2"));
+        let mut coord = build_operator(OperatorSpec::sink(
+            "coord",
+            OperatorKind::MixCoordinator { expected: 2 },
+            vec!["mix/#".into()],
+        ));
+
+        let _ = t1.on_item(&mut env, item("flow/r/x", 1, 0, &[("x", 5.0)]));
+        let _ = t2.on_item(&mut env, item("flow/r/x", 1, 0, &[("x", -5.0)]));
+
+        let offer1 = match &t1.on_timer(&mut env, OpTimer::Mix)[0] {
+            OpOutput::MixOffer(d) => d.clone(),
+            other => panic!("expected offer, got {other:?}"),
+        };
+        let offer2 = match &t2.on_timer(&mut env, OpTimer::Mix)[0] {
+            OpOutput::MixOffer(d) => d.clone(),
+            other => panic!("expected offer, got {other:?}"),
+        };
+
+        let env1 = ControlMsg::Mix(MixEnvelope {
+            role: "offer".into(),
+            task: "t".into(),
+            diff: offer1,
+        });
+        assert!(coord.on_control(&mut env, &env1).is_empty());
+        let env2 = ControlMsg::Mix(MixEnvelope {
+            role: "offer".into(),
+            task: "t".into(),
+            diff: offer2,
+        });
+        let out = coord.on_control(&mut env, &env2);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(
+            out[0],
+            OpOutput::Event(NodeEvent::MixRound { round: 1, .. })
+        ));
+        let avg = match &out[1] {
+            OpOutput::MixAverage { diff, .. } => diff.clone(),
+            other => panic!("expected average, got {other:?}"),
+        };
+        // Import back into a trainer.
+        let import = ControlMsg::Mix(MixEnvelope {
+            role: "avg".into(),
+            task: "t".into(),
+            diff: avg,
+        });
+        assert!(t1.on_control(&mut env, &import).is_empty());
+        assert_eq!(env.counter("mix_imports"), 1);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let op = join3();
+        assert!(op.describe().contains("join[agg]"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Worker pool: drives executor stages on OS threads (the thread
+//! runtime's pooled mode).
+//!
+//! Workers scan the node's stages round-robin, popping one work item per
+//! stage per pass so a deep mailbox cannot starve its neighbours. A
+//! stage executes under its own lock — one stage is always serialized
+//! (operators are stateful) — so parallel speedup comes from *multiple*
+//! stages, e.g. a sequence-sharded operator replicated across stages.
+//!
+//! Workers perform no routing: every output batch is handed to the
+//! `deliver` callback, which the thread runtime wires back to the node
+//! thread's own channel. The node thread stays the sole router,
+//! publisher and mailbox producer, which is what makes the blocking
+//! backpressure policy deadlock-free (workers only ever *drain*
+//! mailboxes and push to an unbounded channel).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use ifot_netsim::metrics::Metrics;
+use ifot_netsim::time::SimDuration;
+
+use crate::env::NodeEnv;
+use crate::executor::StageCell;
+use crate::operators::OpOutput;
+
+/// Receives `(stage_index, outputs)` batches from worker threads.
+pub type DeliverFn = Arc<dyn Fn(usize, Vec<OpOutput>) + Send + Sync>;
+
+/// The [`NodeEnv`] worker threads execute operators against: live
+/// monotone time, the cluster's shared metrics hub, optional CPU speed
+/// emulation, and a per-worker deterministic RNG. Operators never send
+/// packets or arm timers themselves (the node routes their outputs), so
+/// those environment calls only count a diagnostic metric.
+struct WorkerEnv {
+    epoch: Instant,
+    metrics: Arc<Mutex<Metrics>>,
+    speed: Option<f64>,
+    rng_state: u64,
+}
+
+impl NodeEnv for WorkerEnv {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn send(&mut self, _dst: &str, _port: u16, _payload: Bytes) {
+        self.incr("worker_env_send_ignored");
+    }
+
+    fn set_timer_after_ns(&mut self, _delay_ns: u64, _tag: u64) {
+        self.incr("worker_env_timer_ignored");
+    }
+
+    fn set_timer_at_ns(&mut self, _at_ns: u64, _tag: u64) {
+        self.incr("worker_env_timer_ignored");
+    }
+
+    fn consume_ref_ms(&mut self, ms: f64) {
+        if let Some(speed) = self.speed {
+            let real_ms = ms / speed.max(1e-9);
+            std::thread::sleep(Duration::from_secs_f64(real_ms / 1_000.0));
+        }
+    }
+
+    fn record_latency_since_ns(&mut self, name: &str, since_ns: u64) {
+        let d = self.now_ns().saturating_sub(since_ns);
+        self.metrics
+            .lock()
+            .record_latency(name, SimDuration::from_nanos(d));
+    }
+
+    fn incr(&mut self, counter: &str) {
+        self.metrics.lock().incr(counter);
+    }
+
+    fn add(&mut self, counter: &str, delta: u64) {
+        self.metrics.lock().add(counter, delta);
+    }
+
+    fn rand_u64(&mut self) -> u64 {
+        // SplitMix64 seeded per worker at spawn.
+        self.rng_state = self.rng_state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Environment the pool's workers execute operators in: the cluster's
+/// monotone epoch and metrics hub, optional CPU speed emulation, and the
+/// seed the per-worker RNGs derive from.
+pub struct WorkerRuntime {
+    /// Cluster epoch; worker `now_ns` is elapsed time since it.
+    pub epoch: Instant,
+    /// Shared metrics hub (counters and latency summaries).
+    pub metrics: Arc<Mutex<Metrics>>,
+    /// `Some(speed)` sleeps out `ref_ms / speed` per operator charge.
+    pub speed: Option<f64>,
+    /// Base seed; each worker derives its own RNG stream from it.
+    pub seed: u64,
+}
+
+impl std::fmt::Debug for WorkerRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerRuntime")
+            .field("speed", &self.speed)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+/// A running pool of stage workers for one node.
+pub struct WorkerPool {
+    stop: Arc<AtomicBool>,
+    signal: Arc<(Mutex<u64>, Condvar)>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads draining `cells`; outputs go to
+    /// `deliver`.
+    pub fn spawn(
+        name: &str,
+        workers: usize,
+        cells: Vec<Arc<StageCell>>,
+        deliver: DeliverFn,
+        runtime: WorkerRuntime,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let signal = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let handles = (0..workers)
+            .map(|w| {
+                let cells = cells.clone();
+                let deliver = Arc::clone(&deliver);
+                let stop = Arc::clone(&stop);
+                let signal = Arc::clone(&signal);
+                let mut env = WorkerEnv {
+                    epoch: runtime.epoch,
+                    metrics: Arc::clone(&runtime.metrics),
+                    speed: runtime.speed,
+                    rng_state: runtime.seed
+                        ^ (0xA076_1D64_78BD_642F_u64.wrapping_mul(w as u64 + 1)),
+                };
+                std::thread::Builder::new()
+                    .name(format!("ifot-{name}-w{w}"))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            let observed = *signal.0.lock();
+                            let mut did_work = false;
+                            // One item per stage per pass: fairness over
+                            // throughput so no stage starves. Each worker
+                            // starts its scan at a different stage so the
+                            // pool spreads across stages instead of
+                            // convoying on the first busy one.
+                            for i in 0..cells.len() {
+                                let index = (w + i) % cells.len();
+                                if let Some(outputs) = cells[index].step_pooled(&mut env) {
+                                    did_work = true;
+                                    if !outputs.is_empty() {
+                                        deliver(index, outputs);
+                                    }
+                                }
+                            }
+                            if !did_work {
+                                let (lock, cvar) = &*signal;
+                                let mut version = lock.lock();
+                                if *version == observed && !stop.load(Ordering::Acquire) {
+                                    cvar.wait_for(&mut version, Duration::from_millis(5));
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawning a stage worker succeeds")
+            })
+            .collect();
+        WorkerPool {
+            stop,
+            signal,
+            handles,
+        }
+    }
+
+    /// Wakes idle workers after new work was enqueued.
+    pub fn notify_work(&self) {
+        let (lock, cvar) = &*self.signal;
+        *lock.lock() += 1;
+        cvar.notify_all();
+    }
+
+    /// Stops and joins every worker (queued work may remain unprocessed;
+    /// the caller drains or discards it).
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Release);
+        self.notify_work();
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}

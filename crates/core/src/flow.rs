@@ -98,12 +98,7 @@ impl FlowItem {
     pub fn from_sample(topic: &str, sample: &Sample) -> FlowItem {
         let mut datum = Datum::new();
         let slug = kind_slug(sample.kind);
-        for (name, value) in sample
-            .kind
-            .channel_names()
-            .iter()
-            .zip(sample.values.iter())
-        {
+        for (name, value) in sample.kind.channel_names().iter().zip(sample.values.iter()) {
             datum.set(format!("{slug}_{name}"), *value as f64);
         }
         FlowItem {
@@ -168,8 +163,7 @@ mod tests {
     #[test]
     fn sample_payload_normalizes_to_item() {
         let sample = Sample::new(SensorKind::Accelerometer, 3, 9, 555, &[1.0, 2.0, 3.0]);
-        let item =
-            FlowItem::from_payload("sensor/3/accel", &sample.encode()).expect("decodes");
+        let item = FlowItem::from_payload("sensor/3/accel", &sample.encode()).expect("decodes");
         assert_eq!(item.origin_ts_ns, 555);
         assert_eq!(item.seq, 9);
         assert_eq!(item.datum.get("accel_x"), Some(1.0));

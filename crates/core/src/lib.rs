@@ -29,18 +29,23 @@ pub mod costs;
 pub mod deploy;
 pub mod discovery;
 pub mod env;
+pub mod executor;
 pub mod flow;
 pub mod node;
 pub mod operators;
 pub mod sim_adapter;
 pub mod thread_rt;
 
-pub use config::{ActuatorKindSpec, ActuatorSpec, NodeConfig, OperatorKind, OperatorSpec, SensorSpec};
+pub use config::{
+    ActuatorKindSpec, ActuatorSpec, ExecutorConfig, NodeConfig, OperatorKind, OperatorSpec,
+    SensorSpec, ShedPolicy,
+};
 pub use deploy::{deploy, DeployError, DeploymentPlan};
 pub use discovery::{FlowDirectory, NodeAnnouncement, StreamInfo};
 pub use env::{MockEnv, NodeEnv};
+pub use executor::{ExecutorGraph, StageStats, StreamOperator};
 pub use flow::{topics, FlowItem, FlowMessage};
 pub use node::{MiddlewareNode, MQTT_BROKER_PORT, MQTT_CLIENT_PORT};
-pub use operators::{NodeEvent, OperatorInstance};
+pub use operators::NodeEvent;
 pub use sim_adapter::{add_middleware_node, SimNode};
 pub use thread_rt::{ClusterBuilder, ClusterReport, RunningCluster};

@@ -19,15 +19,16 @@
 //! deterministic simulator and on real threads.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use bytes::Bytes;
 
 use ifot_mqtt::broker::{Action, BrokerConfig};
-use ifot_mqtt::shard::ShardedBroker;
 use ifot_mqtt::client::{Client, ClientConfig, ClientEvent, ClientState};
-use ifot_mqtt::supervisor::{ReconnectSupervisor, SupervisorAction};
 use ifot_mqtt::codec::{encode, StreamDecoder};
 use ifot_mqtt::packet::{Packet, QoS};
+use ifot_mqtt::shard::ShardedBroker;
+use ifot_mqtt::supervisor::{ReconnectSupervisor, SupervisorAction};
 use ifot_mqtt::topic::{TopicFilter, TopicName};
 use ifot_sensors::actuator::{Actuator, AirConditioner, AlertSink, CeilingLight, Command};
 use ifot_sensors::device::VirtualSensor;
@@ -36,8 +37,9 @@ use ifot_sensors::inject::AnomalyInjector;
 use crate::config::{ActuatorKindSpec, NodeConfig};
 use crate::costs;
 use crate::env::NodeEnv;
+use crate::executor::{ControlMsg, ExecutorGraph, OpTimer, StageCell, StageStats, WorkItem};
 use crate::flow::{topics, FlowItem};
-use crate::operators::{MixEnvelope, NodeEvent, OpOutput, OperatorInstance};
+use crate::operators::{ClassifierModel, MixEnvelope, NodeEvent, OpOutput};
 
 /// Port MQTT clients send to (broker ingress).
 pub const MQTT_BROKER_PORT: u16 = 1883;
@@ -186,7 +188,10 @@ pub struct MiddlewareNode {
     session_resumes: u64,
     seq_ledger: BTreeMap<String, SeqTracker>,
     sensors: Vec<SensorRuntime>,
-    operators: Vec<OperatorInstance>,
+    executor: ExecutorGraph,
+    /// Pooled mode (thread runtime with workers): dispatch enqueues into
+    /// stage mailboxes instead of draining them inline.
+    pooled: bool,
     actuators: BTreeMap<u16, ActuatorDevice>,
     events: Vec<NodeEvent>,
     directory: crate::discovery::FlowDirectory,
@@ -228,12 +233,7 @@ impl MiddlewareNode {
                 }
             })
             .collect();
-        let operators = config
-            .operators
-            .iter()
-            .cloned()
-            .map(OperatorInstance::new)
-            .collect();
+        let executor = ExecutorGraph::compile(config.operators.clone(), &config.executor);
         let actuators = config
             .actuators
             .iter()
@@ -294,7 +294,8 @@ impl MiddlewareNode {
             session_resumes: 0,
             seq_ledger: BTreeMap::new(),
             sensors,
-            operators,
+            executor,
+            pooled: false,
             actuators,
             events: Vec::new(),
             directory: crate::discovery::FlowDirectory::new(),
@@ -365,9 +366,29 @@ impl MiddlewareNode {
         }
     }
 
-    /// The operator with the given id, if hosted here.
-    pub fn operator(&self, id: &str) -> Option<&OperatorInstance> {
-        self.operators.iter().find(|o| o.spec().id == id)
+    /// The classifier served by the operator with the given id, cloned
+    /// out of its executor stage (train/predict stages only).
+    pub fn classifier(&self, id: &str) -> Option<ClassifierModel> {
+        self.executor.classifier(id)
+    }
+
+    /// Per-stage mailbox counters, indexed like
+    /// [`NodeConfig::operators`].
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        (0..self.executor.len())
+            .map(|i| self.executor.stats(i))
+            .collect()
+    }
+
+    /// Shared stage handles for the worker pool (thread runtime).
+    pub(crate) fn executor_cells(&self) -> Vec<Arc<StageCell>> {
+        self.executor.cells()
+    }
+
+    /// Switches dispatch to pooled mode: stages are enqueued for a
+    /// worker pool instead of being drained inline on this thread.
+    pub(crate) fn engage_pool(&mut self) {
+        self.pooled = true;
     }
 
     /// One-line descriptions of every hosted class (monitoring screen).
@@ -393,13 +414,14 @@ impl MiddlewareNode {
             let r = self.resilience();
             out.push(format!(
                 "resilience reconnects={} lost={} buffered={} flushed={} replayed={}",
-                r.reconnects, r.transport_lost, r.offline_buffered, r.offline_flushed,
+                r.reconnects,
+                r.transport_lost,
+                r.offline_buffered,
+                r.offline_flushed,
                 r.replayed_packets
             ));
         }
-        for o in &self.operators {
-            out.push(o.describe());
-        }
+        out.extend(self.executor.describe());
         for a in self.actuators.values() {
             out.push(a.describe());
         }
@@ -472,11 +494,11 @@ impl MiddlewareNode {
             }
             env.set_timer_at_ns(s.next_sample_ns, tag(TAG_SENSOR, i));
         }
-        for (i, op) in self.operators.iter().enumerate() {
-            if let Some(ms) = op.flush_period_ms() {
+        for (i, spec) in self.executor.specs().iter().enumerate() {
+            if let Some(ms) = spec.flush_period_ms() {
                 env.set_timer_after_ns(ms * 1_000_000, tag(TAG_FLUSH, i));
             }
-            if let Some(ms) = op.mix_period_ms() {
+            if let Some(ms) = spec.mix_period_ms() {
                 env.set_timer_after_ns(ms * 1_000_000, tag(TAG_MIX, i));
             }
         }
@@ -490,27 +512,35 @@ impl MiddlewareNode {
             TAG_SENSOR => self.on_sensor_timer(env, index),
             TAG_CLIENT_POLL => self.on_client_poll(env),
             TAG_BROKER_POLL => self.on_broker_poll(env),
-            TAG_FLUSH => {
-                if let Some(op) = self.operators.get_mut(index) {
-                    let outputs = op.on_flush(env);
-                    let period = op.flush_period_ms().unwrap_or(0) * 1_000_000;
-                    self.handle_outputs(env, index, outputs);
-                    if period > 0 {
-                        env.set_timer_after_ns(period, tag(TAG_FLUSH, index));
-                    }
-                }
-            }
-            TAG_MIX => {
-                if let Some(op) = self.operators.get_mut(index) {
-                    let outputs = op.on_mix_offer(env);
-                    let period = op.mix_period_ms().unwrap_or(0) * 1_000_000;
-                    self.handle_outputs(env, index, outputs);
-                    if period > 0 {
-                        env.set_timer_after_ns(period, tag(TAG_MIX, index));
-                    }
-                }
-            }
+            TAG_FLUSH => self.on_stage_timer(env, index, OpTimer::Flush),
+            TAG_MIX => self.on_stage_timer(env, index, OpTimer::Mix),
             _ => env.incr("unknown_timer"),
+        }
+    }
+
+    /// Delivers a periodic tick to a stage and re-arms its timer.
+    fn on_stage_timer(&mut self, env: &mut dyn NodeEnv, index: usize, timer: OpTimer) {
+        let Some(spec) = self.executor.specs().get(index) else {
+            return;
+        };
+        let period_ms = match timer {
+            OpTimer::Flush => spec.flush_period_ms(),
+            OpTimer::Mix => spec.mix_period_ms(),
+        };
+        let period = period_ms.unwrap_or(0) * 1_000_000;
+        if self.pooled {
+            self.executor
+                .enqueue(index, WorkItem::Timer(timer), env.now_ns());
+        } else {
+            let outputs = self.executor.offer_timer(env, index, timer);
+            self.handle_outputs(env, index, outputs);
+        }
+        if period > 0 {
+            let kind = match timer {
+                OpTimer::Flush => TAG_FLUSH,
+                OpTimer::Mix => TAG_MIX,
+            };
+            env.set_timer_after_ns(period, tag(kind, index));
         }
     }
 
@@ -574,7 +604,8 @@ impl MiddlewareNode {
             self.offline_dropped += 1;
             env.incr("offline_dropped_oldest");
         }
-        self.offline_queue.push_back((topic.to_owned(), payload, retain));
+        self.offline_queue
+            .push_back((topic.to_owned(), payload, retain));
         self.offline_buffered += 1;
         env.incr("offline_buffered");
     }
@@ -853,11 +884,7 @@ impl MiddlewareNode {
                                 );
                             }
                         }
-                        self.dispatch_flow(
-                            env,
-                            publish.topic.as_str().to_owned(),
-                            publish.payload,
-                        );
+                        self.dispatch_flow(env, publish.topic.as_str().to_owned(), publish.payload);
                     }
                     ClientEvent::Refused(_) => {
                         env.incr("client_refused");
@@ -974,12 +1001,18 @@ impl MiddlewareNode {
                     env.incr("mix_decode_errors");
                     continue;
                 };
-                for i in 0..self.operators.len() {
-                    if !self.operators[i].accepts(&topic) {
+                for i in 0..self.executor.len() {
+                    if !self.executor.specs()[i].accepts(&topic) {
                         continue;
                     }
-                    let outputs = self.operators[i].on_mix(env, &envelope);
-                    self.process_outputs(env, i, outputs, &mut queue);
+                    let msg = ControlMsg::Mix(envelope.clone());
+                    if self.pooled {
+                        self.executor
+                            .enqueue(i, WorkItem::Control(msg), env.now_ns());
+                    } else {
+                        let outputs = self.executor.offer_control(env, i, msg);
+                        self.process_outputs(env, i, outputs, &mut queue);
+                    }
                 }
                 continue;
             }
@@ -994,25 +1027,38 @@ impl MiddlewareNode {
             // seq, so received flows can be audited for permanent gaps
             // (loss) and duplicates after faults and session resumes.
             if topic.starts_with("sensor/") {
-                self.seq_ledger.entry(topic.clone()).or_default().observe(item.seq);
+                self.seq_ledger
+                    .entry(topic.clone())
+                    .or_default()
+                    .observe(item.seq);
             }
-            for i in 0..self.operators.len() {
-                if !self.operators[i].accepts(&topic) {
+            for i in 0..self.executor.len() {
+                if !self.executor.specs()[i].accepts(&topic) {
                     continue;
                 }
                 // Sequence sharding: replicated operators split the flow.
-                if let Some((modulus, index)) = self.operators[i].spec().shard {
+                if let Some((modulus, index)) = self.executor.specs()[i].shard {
                     if item.seq % modulus != index {
                         continue;
                     }
                 }
-                let outputs = self.operators[i].on_item(env, item.clone());
-                self.process_outputs(env, i, outputs, &mut queue);
+                if self.pooled {
+                    self.executor
+                        .enqueue(i, WorkItem::Item(item.clone()), env.now_ns());
+                } else {
+                    let outputs = self.executor.offer_item(env, i, item.clone());
+                    self.process_outputs(env, i, outputs, &mut queue);
+                }
             }
         }
     }
 
-    fn handle_outputs(&mut self, env: &mut dyn NodeEnv, op_index: usize, outputs: Vec<OpOutput>) {
+    pub(crate) fn handle_outputs(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        op_index: usize,
+        outputs: Vec<OpOutput>,
+    ) {
         let mut queue = VecDeque::new();
         self.process_outputs(env, op_index, outputs, &mut queue);
         // Timer-triggered outputs may feed local chains too.
@@ -1048,10 +1094,11 @@ impl MiddlewareNode {
         queue: &mut VecDeque<(String, Bytes)>,
     ) {
         let has_local_consumer = self
-            .operators
+            .executor
+            .specs()
             .iter()
             .enumerate()
-            .any(|(j, o)| Some(j) != op_index && o.accepts(topic));
+            .any(|(j, s)| Some(j) != op_index && s.accepts(topic));
         let echoed_back = publish && self.connected && self.subscription_covers(topic);
         if has_local_consumer && !echoed_back {
             queue.push_back((topic.to_owned(), payload.clone()));
@@ -1071,7 +1118,7 @@ impl MiddlewareNode {
         for output in outputs {
             match output {
                 OpOutput::Emit(message) => {
-                    let spec = self.operators[op_index].spec().clone();
+                    let spec = self.executor.specs()[op_index].clone();
                     let Some(topic) = spec.output else {
                         continue;
                     };
@@ -1086,7 +1133,7 @@ impl MiddlewareNode {
                     );
                 }
                 OpOutput::MixOffer(diff) => {
-                    let task = self.operators[op_index].spec().id.clone();
+                    let task = self.executor.specs()[op_index].id.clone();
                     let topic = topics::mix_offer(&self.config.app, &task);
                     let payload = MixEnvelope {
                         role: "offer".into(),

@@ -53,7 +53,8 @@ impl NodeEnv for SimEnv<'_, '_> {
     }
 
     fn set_timer_after_ns(&mut self, delay_ns: u64, tag: u64) {
-        self.ctx.set_timer_after(SimDuration::from_nanos(delay_ns), tag);
+        self.ctx
+            .set_timer_after(SimDuration::from_nanos(delay_ns), tag);
     }
 
     fn set_timer_at_ns(&mut self, at_ns: u64, tag: u64) {
@@ -89,12 +90,10 @@ impl Actor for SimNode {
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
-        let src = ctx
-            .node_name(packet.src)
-            .unwrap_or_default()
-            .to_owned();
+        let src = ctx.node_name(packet.src).unwrap_or_default().to_owned();
         let mut env = SimEnv { ctx };
-        self.node.on_packet(&mut env, &src, packet.port, &packet.payload);
+        self.node
+            .on_packet(&mut env, &src, packet.port, &packet.payload);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {

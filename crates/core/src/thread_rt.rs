@@ -22,7 +22,9 @@ use ifot_netsim::time::SimDuration;
 
 use crate::config::NodeConfig;
 use crate::env::NodeEnv;
+use crate::executor::pool::{WorkerPool, WorkerRuntime};
 use crate::node::MiddlewareNode;
+use crate::operators::OpOutput;
 
 enum ThreadMsg {
     Packet {
@@ -31,6 +33,12 @@ enum ThreadMsg {
         // Reference-counted: a broker fan-out to N local subscribers
         // sends the same buffer N times without copying it.
         payload: Bytes,
+    },
+    /// Outputs a worker thread produced for one executor stage; routed
+    /// by the node thread (the sole router/publisher).
+    StageOutputs {
+        op_index: usize,
+        outputs: Vec<OpOutput>,
     },
     Stop,
 }
@@ -270,14 +278,41 @@ fn run_node(
     epoch: Instant,
 ) -> MiddlewareNode {
     let name = config.name.clone();
-    let seed = name
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-        });
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
     let mut node = MiddlewareNode::new(config);
     let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
     let mut rng_state = seed;
+
+    // Pooled executor mode: workers drain the stage mailboxes while this
+    // thread keeps routing; their outputs come back through our own
+    // channel as `StageOutputs`.
+    let workers = node.config().executor.workers;
+    let pool = if workers > 0 && !node.executor_cells().is_empty() {
+        node.engage_pool();
+        let own_tx = senders
+            .get(&name)
+            .cloned()
+            .expect("own sender is registered");
+        let deliver = Arc::new(move |op_index: usize, outputs: Vec<OpOutput>| {
+            let _ = own_tx.send(ThreadMsg::StageOutputs { op_index, outputs });
+        });
+        Some(WorkerPool::spawn(
+            &name,
+            workers,
+            node.executor_cells(),
+            deliver,
+            WorkerRuntime {
+                epoch,
+                metrics: Arc::clone(&metrics),
+                speed,
+                seed,
+            },
+        ))
+    } else {
+        None
+    };
 
     macro_rules! env {
         () => {{
@@ -308,6 +343,9 @@ fn run_node(
             let mut env = env!();
             node.on_timer(&mut env, tag);
             rng_state = env.rng_state;
+            if let Some(pool) = pool.as_ref() {
+                pool.notify_work();
+            }
         }
         // Wait for the next message or timer deadline.
         let timeout = match timers.peek() {
@@ -322,10 +360,27 @@ fn run_node(
                 let mut env = env!();
                 node.on_packet(&mut env, &src, port, &payload);
                 rng_state = env.rng_state;
+                if let Some(pool) = pool.as_ref() {
+                    pool.notify_work();
+                }
+            }
+            Ok(ThreadMsg::StageOutputs { op_index, outputs }) => {
+                let mut env = env!();
+                node.handle_outputs(&mut env, op_index, outputs);
+                rng_state = env.rng_state;
             }
             Ok(ThreadMsg::Stop) => break,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    if let Some(pool) = pool {
+        pool.stop();
+        // Route whatever the workers delivered before stopping.
+        while let Ok(ThreadMsg::StageOutputs { op_index, outputs }) = rx.try_recv() {
+            let mut env = env!();
+            node.handle_outputs(&mut env, op_index, outputs);
+            rng_state = env.rng_state;
         }
     }
     node
@@ -368,7 +423,11 @@ mod tests {
         assert!(analysis.is_connected());
         let lat = report.metrics.latency_summary("sensing_to_anomaly");
         assert!(lat.count > 0);
-        assert!(lat.mean_ms < 200.0, "thread pipeline too slow: {}", lat.mean_ms);
+        assert!(
+            lat.mean_ms < 200.0,
+            "thread pipeline too slow: {}",
+            lat.mean_ms
+        );
     }
 
     /// The embedded broker's sharded routing layer serves a real
@@ -379,7 +438,11 @@ mod tests {
     #[test]
     fn thread_cluster_routes_across_broker_shards() {
         let mut builder = ClusterBuilder::new()
-            .node(NodeConfig::new("broker").with_broker().with_broker_shards(4))
+            .node(
+                NodeConfig::new("broker")
+                    .with_broker()
+                    .with_broker_shards(4),
+            )
             .node(
                 NodeConfig::new("analysis")
                     .with_broker_node("broker")
@@ -436,7 +499,11 @@ mod tests {
         ));
         assert!(!cluster.inject("ghost", "x", 1, Bytes::new()));
         let report = cluster.run_for(Duration::from_millis(200));
-        let stats = report.node("broker").expect("broker").broker_stats().expect("stats");
+        let stats = report
+            .node("broker")
+            .expect("broker")
+            .broker_stats()
+            .expect("stats");
         assert_eq!(stats.clients_connected, 1);
     }
 

@@ -28,10 +28,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("check") => with_recipe(&args, check),
         Some("run") => with_recipe(&args, |recipe, args| {
-            let seconds = args
-                .get(2)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(5u64);
+            let seconds = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5u64);
             run(recipe, seconds)
         }),
         Some("render") => with_recipe(&args, |recipe, _| {
@@ -107,7 +104,12 @@ fn plan(recipe: &Recipe) -> Result<(DeploymentPlan, Vec<ModuleInfo>, String), St
 }
 
 fn check(recipe: Recipe, _args: &[String]) -> Result<(), String> {
-    println!("recipe {:?}: {} tasks, {} edges", recipe.name(), recipe.tasks().len(), recipe.edges().len());
+    println!(
+        "recipe {:?}: {} tasks, {} edges",
+        recipe.name(),
+        recipe.tasks().len(),
+        recipe.edges().len()
+    );
     let split_plan = split::split(&recipe);
     println!(
         "split: {} stages, max parallelism {}",
@@ -118,7 +120,10 @@ fn check(recipe: Recipe, _args: &[String]) -> Result<(), String> {
         println!("  stage {i}: {}", stage.join(", "));
     }
     let (plan, modules, broker) = plan(&recipe)?;
-    println!("assignment over {} auto-provisioned modules (broker: {broker}):", modules.len());
+    println!(
+        "assignment over {} auto-provisioned modules (broker: {broker}):",
+        modules.len()
+    );
     for (task, module) in plan.assignment.iter() {
         println!("  {task:<24} -> {module}");
     }
@@ -131,7 +136,10 @@ fn run(recipe: Recipe, seconds: u64) -> Result<(), String> {
     for cfg in plan.configs.clone() {
         add_middleware_node(&mut sim, CpuProfile::RASPBERRY_PI_2, cfg.with_announce());
     }
-    println!("running {:?} for {seconds}s of virtual time...", recipe.name());
+    println!(
+        "running {:?} for {seconds}s of virtual time...",
+        recipe.name()
+    );
     sim.run_for(SimDuration::from_secs(seconds));
 
     let statuses = ifot_mgmt::monitor::capture_simulation(&sim);

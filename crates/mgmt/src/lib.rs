@@ -30,7 +30,9 @@ pub mod monitor;
 pub mod table;
 pub mod testbed;
 
-pub use experiment::{check_shape, run_paper_sweep, run_rate, run_sweep, RatePoint, SweepResult, PAPER_RATES_HZ};
+pub use experiment::{
+    check_shape, run_paper_sweep, run_rate, run_sweep, RatePoint, SweepResult, PAPER_RATES_HZ,
+};
 pub use monitor::{capture_simulation, render_screen, ModuleStatus};
 pub use table::{render_comparison, render_table, to_csv, to_json};
 pub use testbed::{paper_testbed, TestbedConfig, MANAGEMENT_NODE, MODULE_NAMES};

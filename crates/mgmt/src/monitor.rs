@@ -54,7 +54,11 @@ pub fn render_screen(statuses: &[ModuleStatus], now_label: &str) -> String {
         out.push_str(&format!(
             "{} [{}]\n",
             status.name,
-            if status.connected { "connected" } else { "offline" }
+            if status.connected {
+                "connected"
+            } else {
+                "offline"
+            }
         ));
         if status.classes.is_empty() {
             out.push_str("    (no classes deployed)\n");
@@ -133,7 +137,13 @@ mod tests {
             },
         };
         let screen = render_screen(&[status], "t=9");
-        assert!(screen.contains("resilience: reconnects=2"), "screen:\n{screen}");
-        assert!(screen.contains("offline(buf=5 drop=0 flush=5)"), "screen:\n{screen}");
+        assert!(
+            screen.contains("resilience: reconnects=2"),
+            "screen:\n{screen}"
+        );
+        assert!(
+            screen.contains("offline(buf=5 drop=0 flush=5)"),
+            "screen:\n{screen}"
+        );
     }
 }

@@ -24,11 +24,7 @@ pub fn render_table(title: &str, points: &[RatePoint]) -> String {
 }
 
 /// Renders a measured-vs-paper comparison table.
-pub fn render_comparison(
-    title: &str,
-    measured: &[RatePoint],
-    paper: &[(f64, f64, f64)],
-) -> String {
+pub fn render_comparison(title: &str, measured: &[RatePoint], paper: &[(f64, f64, f64)]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
@@ -38,9 +34,7 @@ pub fn render_comparison(
     out.push_str(&"-".repeat(78));
     out.push('\n');
     for p in measured {
-        let reference = paper
-            .iter()
-            .find(|(r, _, _)| (*r - p.rate_hz).abs() < 1e-9);
+        let reference = paper.iter().find(|(r, _, _)| (*r - p.rate_hz).abs() < 1e-9);
         match reference {
             Some((_, avg, max)) => out.push_str(&format!(
                 "{:>10} | {:>14.3} | {:>14.3} | {:>14.3} | {:>14.3}\n",

@@ -13,10 +13,10 @@
 
 use ifot_core::config::{NodeConfig, OperatorKind, OperatorSpec, SensorSpec};
 use ifot_core::sim_adapter::add_middleware_node;
+use ifot_mqtt::packet::QoS;
 use ifot_netsim::cpu::CpuProfile;
 use ifot_netsim::sim::Simulation;
 use ifot_netsim::wlan::WlanConfig;
-use ifot_mqtt::packet::QoS;
 use ifot_sensors::sample::SensorKind;
 
 /// Parameters of the paper testbed.
@@ -207,10 +207,18 @@ mod tests {
         let train = sim.metrics().latency_summary("sensing_to_training");
         let predict = sim.metrics().latency_summary("sensing_to_predicting");
         assert!(train.count > 10, "only {} trained tuples", train.count);
-        assert!(predict.count > 10, "only {} predicted tuples", predict.count);
+        assert!(
+            predict.count > 10,
+            "only {} predicted tuples",
+            predict.count
+        );
         // At 10 Hz the system is unloaded: tens of milliseconds.
         assert!(train.mean_ms < 150.0, "train mean {} ms", train.mean_ms);
-        assert!(predict.mean_ms < 150.0, "predict mean {} ms", predict.mean_ms);
+        assert!(
+            predict.mean_ms < 150.0,
+            "predict mean {} ms",
+            predict.mean_ms
+        );
     }
 
     #[test]

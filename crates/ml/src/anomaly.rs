@@ -44,7 +44,10 @@ impl RunningZScore {
     ///
     /// Panics if `threshold` is not strictly positive.
     pub fn new(threshold: f64) -> Self {
-        assert!(threshold.is_finite() && threshold > 0.0, "threshold must be positive");
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "threshold must be positive"
+        );
         RunningZScore {
             stats: RunningStats::new(),
             threshold,

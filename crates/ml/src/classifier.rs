@@ -75,7 +75,11 @@ fn strongest_rival<'a>(
         .iter()
         .filter(|(label, _)| label.as_str() != except)
         .map(|(label, w)| (label.as_str(), w.score(x)))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores").then_with(|| b.0.cmp(a.0)))
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite scores")
+                .then_with(|| b.0.cmp(a.0))
+        })
 }
 
 /// The classic multiclass perceptron.
@@ -167,7 +171,10 @@ impl PassiveAggressive {
     ///
     /// Panics if `c` is not strictly positive and finite.
     pub fn new(variant: PaVariant, c: f64) -> Self {
-        assert!(c.is_finite() && c > 0.0, "aggressiveness must be positive, got {c}");
+        assert!(
+            c.is_finite() && c > 0.0,
+            "aggressiveness must be positive, got {c}"
+        );
         PassiveAggressive {
             variant,
             c,
@@ -280,7 +287,10 @@ impl Arow {
     ///
     /// Panics if `r` is not strictly positive and finite.
     pub fn new(r: f64) -> Self {
-        assert!(r.is_finite() && r > 0.0, "regularization must be positive, got {r}");
+        assert!(
+            r.is_finite() && r > 0.0,
+            "regularization must be positive, got {r}"
+        );
         Arow {
             r,
             weights: BTreeMap::new(),
@@ -361,7 +371,9 @@ impl OnlineClassifier for Arow {
         if loss > 0.0 {
             let conf_own = Self::confidence(&self.sigma[label], x);
             let conf_rival = Self::confidence(
-                self.sigma.get(&rival_label).unwrap_or(&SparseWeights::new()),
+                self.sigma
+                    .get(&rival_label)
+                    .unwrap_or(&SparseWeights::new()),
                 x,
             );
             let beta_own = 1.0 / (conf_own + self.r);
@@ -424,7 +436,9 @@ mod tests {
         let mut data = Vec::new();
         let mut seed = 1234u64;
         let mut noise = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for _ in 0..200 {
@@ -536,8 +550,16 @@ mod tests {
         m.train(&b, "neg");
         m.train(&a, "pos");
         let scores = m.scores(&a);
-        let own = scores.iter().find(|s| s.label == "pos").expect("pos scored").score;
-        let rival = scores.iter().find(|s| s.label == "neg").expect("neg scored").score;
+        let own = scores
+            .iter()
+            .find(|s| s.label == "pos")
+            .expect("pos scored")
+            .score;
+        let rival = scores
+            .iter()
+            .find(|s| s.label == "neg")
+            .expect("neg scored")
+            .score;
         assert!(
             own - rival >= 1.0 - 1e-9,
             "margin violated: {own} - {rival}"

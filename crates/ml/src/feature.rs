@@ -187,7 +187,9 @@ impl FeatureVector {
 
     /// Euclidean distance to another sparse vector.
     pub fn distance(&self, other: &FeatureVector) -> f64 {
-        (self.norm_sq() - 2.0 * self.dot(other) + other.norm_sq()).max(0.0).sqrt()
+        (self.norm_sq() - 2.0 * self.dot(other) + other.norm_sq())
+            .max(0.0)
+            .sqrt()
     }
 
     /// Returns the vector scaled by `factor`.

@@ -16,7 +16,9 @@
 //! * [`knn`] — sliding-window k-NN and an item recommender,
 //! * [`eval`] — confusion/accuracy counters for honest quality reports,
 //! * [`stat`] — running statistics,
-//! * [`mix`] — Jubatus-style distributed model averaging (MIX).
+//! * [`mix`] — Jubatus-style distributed model averaging (MIX),
+//! * [`runtime`] — name-keyed model containers the middleware's stream
+//!   operators plug in behind.
 //!
 //! Every learner is incremental — an update touches only the features of
 //! the incoming example — which is the property that lets IFoT nodes train
@@ -47,6 +49,7 @@ pub mod feature;
 pub mod knn;
 pub mod mix;
 pub mod regression;
+pub mod runtime;
 pub mod stat;
 
 pub use anomaly::{MahalanobisDetector, RunningZScore, WindowedLof};
@@ -57,4 +60,5 @@ pub use feature::{Datum, FeatureVector, SparseWeights};
 pub use knn::{cosine, KnnClassifier, Recommender};
 pub use mix::{mix_average, LinearModel, MixCoordinator, ModelDiff};
 pub use regression::PaRegression;
+pub use runtime::{AnyClassifier, AnyDetector};
 pub use stat::{Ewma, RunningStats, SlidingWindow};

@@ -105,10 +105,7 @@ pub fn mix_average(diffs: &[ModelDiff]) -> Option<ModelDiff> {
                 }
             }
         }
-        let averaged: SparseWeights = acc
-            .into_iter()
-            .map(|(i, v)| (i, v / n))
-            .collect();
+        let averaged: SparseWeights = acc.into_iter().map(|(i, v)| (i, v / n)).collect();
         out.insert(label.to_owned(), averaged);
     }
     Some(ModelDiff { weights: out })

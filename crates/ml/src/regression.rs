@@ -44,7 +44,10 @@ impl PaRegression {
     ///
     /// Panics if `epsilon` is negative or `c` is not strictly positive.
     pub fn new(epsilon: f64, c: f64) -> Self {
-        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be non-negative");
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be non-negative"
+        );
         assert!(c.is_finite() && c > 0.0, "aggressiveness must be positive");
         let mut weights = BTreeMap::new();
         weights.insert(REGRESSION_LABEL.to_owned(), SparseWeights::new());
@@ -63,9 +66,7 @@ impl PaRegression {
     }
 
     fn w_mut(&mut self) -> &mut SparseWeights {
-        self.weights
-            .entry(REGRESSION_LABEL.to_owned())
-            .or_default()
+        self.weights.entry(REGRESSION_LABEL.to_owned()).or_default()
     }
 
     /// Predicted value for `x`.
@@ -200,7 +201,10 @@ mod tests {
         r.train(&fv(vec![(0, 1.0)]), 2.0);
         let json = serde_json::to_string(&r).expect("serialize");
         let back: PaRegression = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(back.predict(&fv(vec![(0, 1.0)])), r.predict(&fv(vec![(0, 1.0)])));
+        assert_eq!(
+            back.predict(&fv(vec![(0, 1.0)])),
+            r.predict(&fv(vec![(0, 1.0)]))
+        );
     }
 
     #[test]

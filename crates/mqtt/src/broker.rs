@@ -1097,9 +1097,7 @@ mod tests {
             .filter(|p| matches!(p, Packet::Publish(_)))
             .collect();
         assert_eq!(pubs.len(), 1);
-        assert!(
-            matches!(&pubs[0], Packet::Publish(p) if p.retain && p.payload.as_ref() == b"v1")
-        );
+        assert!(matches!(&pubs[0], Packet::Publish(p) if p.retain && p.payload.as_ref() == b"v1"));
     }
 
     #[test]
@@ -1269,7 +1267,6 @@ mod tests {
         assert!(out.iter().any(|a| matches!(a, Action::Close { conn: 1 })));
     }
 
-
     #[test]
     fn unsubscribe_stops_delivery() {
         let mut b: Broker<u32> = Broker::new();
@@ -1370,8 +1367,10 @@ mod tests {
         assert_eq!(stats.messages_out, 3);
         assert_eq!(stats.clients_connected, 2);
         let sys = b.sys_stats_packets();
-        assert!(sys.iter().any(|p| p.topic.as_str() == "$SYS/broker/messages/received"
-            && p.payload.as_ref() == b"3"));
+        assert!(sys
+            .iter()
+            .any(|p| p.topic.as_str() == "$SYS/broker/messages/received"
+                && p.payload.as_ref() == b"3"));
     }
 
     #[test]
@@ -1427,7 +1426,9 @@ mod tests {
         assert!(sends_to(&out, 1).contains(&Packet::Pubrel(pid)));
         let re = b.poll(7_000_000_000);
         assert!(sends_to(&re, 1).contains(&Packet::Pubrel(pid)));
-        assert!(!sends_to(&re, 1).iter().any(|pk| matches!(pk, Packet::Publish(_))));
+        assert!(!sends_to(&re, 1)
+            .iter()
+            .any(|pk| matches!(pk, Packet::Publish(_))));
         // PUBCOMP finishes the flow: nothing left to retransmit.
         b.handle_packet(&1, Packet::Pubcomp(pid), 8_000_000_000);
         assert!(b.poll(20_000_000_000).is_empty());
@@ -1457,7 +1458,9 @@ mod tests {
         let b: Broker<u32> = Broker::new();
         let sys = b.sys_stats_packets();
         assert!(sys.len() >= 5);
-        assert!(sys.iter().all(|p| p.topic.as_str().starts_with("$SYS/broker/")));
+        assert!(sys
+            .iter()
+            .all(|p| p.topic.as_str().starts_with("$SYS/broker/")));
     }
 
     #[test]
@@ -1590,9 +1593,9 @@ mod tests {
         );
         // Non-persistent teardown clears the session.
         b.handle_packet(&1, Packet::Disconnect, 3);
-        assert!(b
-            .take_events()
-            .contains(&BrokerEvent::SessionCleared { client: "sub".into() }));
+        assert!(b.take_events().contains(&BrokerEvent::SessionCleared {
+            client: "sub".into()
+        }));
     }
 
     #[test]

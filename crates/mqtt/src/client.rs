@@ -248,7 +248,10 @@ impl Client {
             }
         };
         publish.retain = retain;
-        if let Some((tracked, _)) = publish.packet_id.and_then(|pid| self.inflight.get_mut(&pid)) {
+        if let Some((tracked, _)) = publish
+            .packet_id
+            .and_then(|pid| self.inflight.get_mut(&pid))
+        {
             tracked.retain = retain;
         }
         self.last_sent_ns = now_ns;
@@ -637,10 +640,15 @@ mod tests {
         let re = c.poll(2_500_000_000);
         assert!(matches!(&re[0], Packet::Publish(p) if p.dup && p.packet_id == Some(pid)));
         // Ack clears the slot.
-        let (ev, _) = c.handle_packet(Packet::Puback(pid), 3_000_000_000).expect("ack");
+        let (ev, _) = c
+            .handle_packet(Packet::Puback(pid), 3_000_000_000)
+            .expect("ack");
         assert_eq!(ev, vec![ClientEvent::Published(pid)]);
         assert_eq!(c.inflight_count(), 0);
-        assert!(c.poll(9_000_000_000).iter().all(|p| !matches!(p, Packet::Publish(_))));
+        assert!(c
+            .poll(9_000_000_000)
+            .iter()
+            .all(|p| !matches!(p, Packet::Publish(_))));
     }
 
     #[test]
@@ -709,7 +717,9 @@ mod tests {
         assert!(out.contains(&Packet::Pingreq));
         // No second ping while one is outstanding.
         assert!(c.poll(62_000_000_000).is_empty());
-        let (ev, _) = c.handle_packet(Packet::Pingresp, 63_000_000_000).expect("pong");
+        let (ev, _) = c
+            .handle_packet(Packet::Pingresp, 63_000_000_000)
+            .expect("pong");
         assert_eq!(ev, vec![ClientEvent::Pong]);
     }
 
@@ -728,7 +738,10 @@ mod tests {
         // 120 s without any inbound traffic: the poll solicits a PINGRESP
         // even though the last publish was recent.
         let out = c.poll(now + 1_000_000_000);
-        assert!(out.contains(&Packet::Pingreq), "expected an inbound-idle ping");
+        assert!(
+            out.contains(&Packet::Pingreq),
+            "expected an inbound-idle ping"
+        );
     }
 
     #[test]
@@ -744,7 +757,13 @@ mod tests {
         // ...and outbound activity at t=50s refreshes the outbound clock,
         // so at t=80s neither direction is 60s-idle yet.
         let _ = c
-            .publish(topic("a"), b"x".to_vec(), QoS::AtMostOnce, false, 50_000_000_000)
+            .publish(
+                topic("a"),
+                b"x".to_vec(),
+                QoS::AtMostOnce,
+                false,
+                50_000_000_000,
+            )
             .expect("publish");
         assert!(!c.poll(80_000_000_000).contains(&Packet::Pingreq));
         // At t=95s the inbound side crosses 60 s of silence.
@@ -765,10 +784,7 @@ mod tests {
         // While reconnecting, only CONNACK is accepted.
         let _ = c.connect().expect("reconnect");
         let (ev, out) = c
-            .handle_packet(
-                Packet::Publish(Publish::qos0(topic("s"), b"m".to_vec())),
-                2,
-            )
+            .handle_packet(Packet::Publish(Publish::qos0(topic("s"), b"m".to_vec())), 2)
             .expect("ignored");
         assert!(ev.is_empty() && out.is_empty());
     }
@@ -860,7 +876,9 @@ mod tests {
             Packet::Publish(p) => p.packet_id.expect("pid"),
             other => panic!("expected publish, got {other:?}"),
         };
-        let _ = c.handle_packet(Packet::Pubrec(pid), 3_000_000_000).expect("handled");
+        let _ = c
+            .handle_packet(Packet::Pubrec(pid), 3_000_000_000)
+            .expect("handled");
         let re = c.poll(6_000_000_000);
         assert!(re.contains(&Packet::Pubrel(pid)));
     }
@@ -870,7 +888,9 @@ mod tests {
         let mut c = connected_client();
         let mut p = Publish::qos1(topic("s"), b"m".to_vec(), 9);
         p.qos = QoS::ExactlyOnce;
-        let (ev, out) = c.handle_packet(Packet::Publish(p.clone()), 0).expect("handled");
+        let (ev, out) = c
+            .handle_packet(Packet::Publish(p.clone()), 0)
+            .expect("handled");
         assert_eq!(ev.len(), 1, "first delivery reaches the application");
         assert_eq!(out, vec![Packet::Pubrec(9)]);
         // Duplicate before PUBREL: PUBREC again, but NO second message.

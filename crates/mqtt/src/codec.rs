@@ -181,7 +181,10 @@ fn put_string(body: &mut BytesMut, s: &str) {
 }
 
 fn put_bytes(body: &mut BytesMut, b: &[u8]) {
-    debug_assert!(b.len() <= u16::MAX as usize, "binary field too long for MQTT");
+    debug_assert!(
+        b.len() <= u16::MAX as usize,
+        "binary field too long for MQTT"
+    );
     body.put_u16(b.len() as u16);
     body.put_slice(b);
 }
@@ -465,8 +468,8 @@ fn decode_connect(r: &mut Reader) -> Result<Packet, DecodeError> {
     let keep_alive_secs = r.u16()?;
     let client_id = r.string()?;
     let will = if has_will {
-        let topic = TopicName::new(r.string()?)
-            .map_err(|_| DecodeError::MalformedPacket("will topic"))?;
+        let topic =
+            TopicName::new(r.string()?).map_err(|_| DecodeError::MalformedPacket("will topic"))?;
         let payload = r.bytes()?;
         Some(LastWill {
             topic,
@@ -477,7 +480,11 @@ fn decode_connect(r: &mut Reader) -> Result<Packet, DecodeError> {
     } else {
         None
     };
-    let username = if has_username { Some(r.string()?) } else { None };
+    let username = if has_username {
+        Some(r.string()?)
+    } else {
+        None
+    };
     let password = if has_password { Some(r.bytes()?) } else { None };
     r.expect_empty()?;
     Ok(Packet::Connect(Connect {
@@ -572,9 +579,7 @@ mod tests {
 
     fn round_trip(p: Packet) {
         let bytes = encode(&p);
-        let (decoded, used) = decode(&bytes)
-            .expect("decodes")
-            .expect("complete");
+        let (decoded, used) = decode(&bytes).expect("decodes").expect("complete");
         assert_eq!(used, bytes.len());
         assert_eq!(decoded, p);
     }
@@ -728,7 +733,8 @@ mod tests {
 
     #[test]
     fn zero_packet_id_rejected() {
-        let mut bytes = encode(&Packet::Publish(Publish::qos1(topic("a"), Bytes::new(), 1))).to_vec();
+        let mut bytes =
+            encode(&Packet::Publish(Publish::qos1(topic("a"), Bytes::new(), 1))).to_vec();
         // Patch the packet id to zero: topic "a" = 2 len + 1 char after 2-byte header.
         let pid_offset = 2 + 2 + 1;
         bytes[pid_offset] = 0;
@@ -803,7 +809,9 @@ mod tests {
             let len = (seed % 64) as usize;
             let mut bytes = Vec::with_capacity(len);
             for _ in 0..len {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 bytes.push((seed >> 33) as u8);
             }
             let _ = decode(&bytes);

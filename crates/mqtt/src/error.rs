@@ -39,7 +39,10 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::UnknownPacketType(t) => write!(f, "unknown packet type {t}"),
             DecodeError::InvalidFlags { packet_type, flags } => {
-                write!(f, "invalid flags {flags:#06b} for packet type {packet_type}")
+                write!(
+                    f,
+                    "invalid flags {flags:#06b} for packet type {packet_type}"
+                )
             }
             DecodeError::InvalidString => write!(f, "string field is not valid utf-8"),
             DecodeError::UnsupportedProtocol => write!(f, "unsupported protocol name or level"),

@@ -247,8 +247,7 @@ impl Shared {
         let now = self.now();
         if let Packet::Connect(c) = packet_in {
             if c.keep_alive_secs > 0 {
-                let grace =
-                    (f64::from(c.keep_alive_secs) * 1e9 * cfg.keep_alive_factor) as u64;
+                let grace = (f64::from(c.keep_alive_secs) * 1e9 * cfg.keep_alive_factor) as u64;
                 self.note_deadline(shard, now + grace);
             }
         }
@@ -315,10 +314,7 @@ impl TcpBroker {
     /// # Errors
     ///
     /// Propagates socket errors from binding.
-    pub fn bind_with(
-        addr: impl ToSocketAddrs,
-        config: BrokerConfig,
-    ) -> std::io::Result<TcpBroker> {
+    pub fn bind_with(addr: impl ToSocketAddrs, config: BrokerConfig) -> std::io::Result<TcpBroker> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let n_shards = config.shards.max(1);
@@ -804,9 +800,7 @@ impl TcpClient {
                     }
                 }
                 Ok(None) => break,
-                Err(e) => {
-                    return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string()))
-                }
+                Err(e) => return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string())),
             }
         }
         let now = self.now();
@@ -973,7 +967,9 @@ mod tests {
         .expect("bind");
         let addr = broker.local_addr();
         let mut subscriber = TcpClient::connect(addr, "s1").expect("connect");
-        subscriber.subscribe("t/#", QoS::AtMostOnce).expect("subscribe");
+        subscriber
+            .subscribe("t/#", QoS::AtMostOnce)
+            .expect("subscribe");
         let mut publisher = TcpClient::connect(addr, "p1").expect("connect");
         publisher
             .publish("t/x", b"one-shard".to_vec(), QoS::AtMostOnce, false)

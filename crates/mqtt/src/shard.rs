@@ -446,9 +446,7 @@ impl<C: Ord + Clone> ShardedBroker<C> {
         shard: &mut ShardInner<C>,
         events: Vec<BrokerEvent>,
     ) -> Vec<(usize, Publish)> {
-        let has_mutations = events
-            .iter()
-            .any(|e| !matches!(e, BrokerEvent::Routed(_)));
+        let has_mutations = events.iter().any(|e| !matches!(e, BrokerEvent::Routed(_)));
         let mut forwards = Vec::new();
         if !has_mutations {
             if shard.applied == self.log.epoch.load(Ordering::Acquire) {
@@ -501,10 +499,9 @@ impl<C: Ord + Clone> ShardedBroker<C> {
                     client,
                     filter,
                 },
-                BrokerEvent::SessionCleared { client } => LogEntry::RemoveClient {
-                    shard: idx,
-                    client,
-                },
+                BrokerEvent::SessionCleared { client } => {
+                    LogEntry::RemoveClient { shard: idx, client }
+                }
             };
             apply_entry(&mut shard.replica, &entry);
             apply_entry(&mut log.master, &entry);
@@ -614,9 +611,13 @@ mod tests {
         sb.connection_opened(conn, 0);
         let out = sb.handle_packet(&conn, Packet::Connect(Connect::new(id)), 0);
         assert!(
-            out.actions
-                .iter()
-                .any(|a| matches!(a, Action::Send { packet: Packet::Connack(_), .. })),
+            out.actions.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    packet: Packet::Connack(_),
+                    ..
+                }
+            )),
             "connect must be acknowledged: {:?}",
             out.actions
         );
@@ -634,11 +635,13 @@ mod tests {
             }),
             0,
         );
-        assert!(
-            out.actions
-                .iter()
-                .any(|a| matches!(a, Action::Send { packet: Packet::Suback(_), .. })),
-        );
+        assert!(out.actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                packet: Packet::Suback(_),
+                ..
+            }
+        )),);
     }
 
     fn sends_to(actions: &[Action<u32>], conn: u32) -> Vec<Packet> {
@@ -647,7 +650,9 @@ mod tests {
             .filter_map(|a| match a {
                 Action::Send { conn: c, packet } if *c == conn => Some(packet.clone()),
                 Action::SendFrame { conn: c, frame } if *c == conn => {
-                    let (p, used) = crate::codec::decode(frame).expect("valid").expect("complete");
+                    let (p, used) = crate::codec::decode(frame)
+                        .expect("valid")
+                        .expect("complete");
                     assert_eq!(used, frame.len());
                     Some(p)
                 }
@@ -680,7 +685,11 @@ mod tests {
             1,
         );
         let actions = sb.resolve(out, 1);
-        assert_eq!(sends_to(&actions, 1).len(), 1, "delivered once: {actions:?}");
+        assert_eq!(
+            sends_to(&actions, 1).len(),
+            1,
+            "delivered once: {actions:?}"
+        );
     }
 
     #[test]
@@ -807,16 +816,13 @@ mod tests {
             0,
         );
         // Publisher handshake completes on the origin shard.
-        assert!(
-            sends_to(&out.actions, 2)
-                .iter()
-                .any(|p| matches!(p, Packet::Puback(1))),
-        );
+        assert!(sends_to(&out.actions, 2)
+            .iter()
+            .any(|p| matches!(p, Packet::Puback(1))),);
         let actions = sb.resolve(out, 0);
         let delivered: Vec<_> = sends_to(&actions, 1);
-        let Some(Packet::Publish(first)) = delivered
-            .iter()
-            .find(|p| matches!(p, Packet::Publish(_)))
+        let Some(Packet::Publish(first)) =
+            delivered.iter().find(|p| matches!(p, Packet::Publish(_)))
         else {
             panic!("QoS1 forward must deliver: {delivered:?}");
         };
@@ -858,11 +864,9 @@ mod tests {
         let out = sb.connection_lost(&2, 1);
         assert_eq!(out.forwards.len(), 1, "will must cross shards");
         let actions = sb.resolve(out, 1);
-        assert!(
-            sends_to(&actions, 1)
-                .iter()
-                .any(|p| matches!(p, Packet::Publish(p) if p.payload.as_ref() == b"gone")),
-        );
+        assert!(sends_to(&actions, 1)
+            .iter()
+            .any(|p| matches!(p, Packet::Publish(p) if p.payload.as_ref() == b"gone")),);
     }
 
     #[test]
@@ -904,14 +908,13 @@ mod tests {
         subscribe(&sb, 1, "s/#", QoS::AtMostOnce);
         connect(&sb, 2, &pub_id);
 
-        let publish =
-            |sb: &ShardedBroker<u32>, t: u64| {
-                sb.handle_packet(
-                    &2,
-                    Packet::Publish(Publish::qos0(topic("s/a"), b"x".to_vec())),
-                    t,
-                )
-            };
+        let publish = |sb: &ShardedBroker<u32>, t: u64| {
+            sb.handle_packet(
+                &2,
+                Packet::Publish(Publish::qos0(topic("s/a"), b"x".to_vec())),
+                t,
+            )
+        };
         assert_eq!(publish(&sb, 1).forwards.len(), 1);
 
         sb.handle_packet(

@@ -378,7 +378,11 @@ mod tests {
             out
         };
         assert_eq!(schedule(42), schedule(42));
-        assert_ne!(schedule(42), schedule(43), "jitter must depend on the stream");
+        assert_ne!(
+            schedule(42),
+            schedule(43),
+            "jitter must depend on the stream"
+        );
     }
 
     #[test]

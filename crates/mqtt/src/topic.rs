@@ -153,9 +153,7 @@ impl TopicFilter {
     /// 3.1.1 wildcard rules (including the `$`-topic exception).
     pub fn matches(&self, topic: &TopicName) -> bool {
         // Filters starting with a wildcard do not match $-topics.
-        if topic.as_str().starts_with('$')
-            && (self.0.starts_with('+') || self.0.starts_with('#'))
-        {
+        if topic.as_str().starts_with('$') && (self.0.starts_with('+') || self.0.starts_with('#')) {
             return false;
         }
         let mut filter_levels = self.0.split('/');

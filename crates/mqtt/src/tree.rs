@@ -192,7 +192,13 @@ impl<K: Ord + Clone> SubscriptionTree<K> {
         // Miss: walk the trie over `split('/')` positions directly — no
         // intermediate level Vec — then dedup in place.
         let mut raw: Vec<Subscription<K>> = Vec::new();
-        collect(&self.root, Some(name), true, name.starts_with('$'), &mut raw);
+        collect(
+            &self.root,
+            Some(name),
+            true,
+            name.starts_with('$'),
+            &mut raw,
+        );
 
         // Deduplicate by key keeping the strongest QoS; sort ascending by
         // key (descending QoS within a key) so the retained first element
@@ -294,7 +300,10 @@ mod tests {
     }
 
     fn keys(tree: &SubscriptionTree<&'static str>, topic: &str) -> Vec<&'static str> {
-        tree.matches(&name(topic)).into_iter().map(|s| s.key).collect()
+        tree.matches(&name(topic))
+            .into_iter()
+            .map(|s| s.key)
+            .collect()
     }
 
     #[test]

@@ -153,8 +153,8 @@ mod tests {
     fn armed_wheel_sleeps_exactly_to_the_deadline() {
         let w = TimerWheel::new();
         let deadline = 7_300_000_000; // 7.3 s out
-        // One sleep spanning the whole gap: zero wakeups strictly
-        // between now and the deadline, one wakeup at it.
+                                      // One sleep spanning the whole gap: zero wakeups strictly
+                                      // between now and the deadline, one wakeup at it.
         assert_eq!(
             w.arm(300_000_000, Some(deadline)),
             Some(Duration::from_secs(7))

@@ -66,7 +66,10 @@ impl CpuProfile {
     /// Panics if `speed` is not strictly positive and finite, or if
     /// `cores == 0`.
     pub fn new(name: &'static str, speed: f64, cores: u32) -> Self {
-        assert!(speed.is_finite() && speed > 0.0, "cpu speed must be positive, got {speed}");
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "cpu speed must be positive, got {speed}"
+        );
         assert!(cores > 0, "a cpu needs at least one core");
         CpuProfile { name, speed, cores }
     }
@@ -113,7 +116,10 @@ impl Work {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn from_ref_millis(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "work must be non-negative, got {ms}");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "work must be non-negative, got {ms}"
+        );
         Work((ms * 1.0e6).round() as u64)
     }
 
@@ -123,7 +129,10 @@ impl Work {
     ///
     /// Panics if `us` is negative or not finite.
     pub fn from_ref_micros(us: f64) -> Self {
-        assert!(us.is_finite() && us >= 0.0, "work must be non-negative, got {us}");
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "work must be non-negative, got {us}"
+        );
         Work((us * 1.0e3).round() as u64)
     }
 

@@ -48,7 +48,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range [{lo}, {hi})"
+        );
         if lo == hi {
             return lo;
         }
@@ -81,7 +84,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is negative or not finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean >= 0.0, "mean must be non-negative, got {mean}");
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "mean must be non-negative, got {mean}"
+        );
         if mean == 0.0 {
             return 0.0;
         }
@@ -117,7 +123,10 @@ impl SimRng {
     ///
     /// Panics if `x_min <= 0` or `alpha <= 0`.
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
-        assert!(x_min > 0.0 && alpha > 0.0, "invalid pareto parameters x_min={x_min} alpha={alpha}");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "invalid pareto parameters x_min={x_min} alpha={alpha}"
+        );
         let u = 1.0 - self.uniform();
         x_min / u.powf(1.0 / alpha)
     }

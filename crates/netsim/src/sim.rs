@@ -285,7 +285,10 @@ impl Simulation {
     /// Injects a packet from outside the simulation (e.g. a harness acting
     /// as an external client); it is delivered through the medium.
     pub fn inject_packet(&mut self, packet: Packet) {
-        let arrival = match self.wlan.transmit(self.now, packet.payload.len(), &mut self.rng) {
+        let arrival = match self
+            .wlan
+            .transmit(self.now, packet.payload.len(), &mut self.rng)
+        {
             TxOutcome::Delivered(t) => t,
             TxOutcome::Lost => return,
         };
@@ -399,10 +402,7 @@ impl Simulation {
             self.push_event(fire, ev.node, EventKind::Timer { tag });
         }
         for (dst, port, payload) in effects.sends {
-            debug_assert!(
-                dst.index() < self.names.len(),
-                "send to unknown node {dst}"
-            );
+            debug_assert!(dst.index() < self.names.len(), "send to unknown node {dst}");
             if self.blocked_links.contains(&(ev.node, dst)) {
                 self.metrics.incr("link_blocked_drops");
                 continue;
@@ -501,7 +501,11 @@ mod tests {
         assert_eq!(sink.received, 5);
         let sum = sim.metrics().latency_summary("oneway");
         assert_eq!(sum.count, 5);
-        assert!(sum.mean_ms < 1.0, "ideal path is sub-millisecond, got {}", sum.mean_ms);
+        assert!(
+            sum.mean_ms < 1.0,
+            "ideal path is sub-millisecond, got {}",
+            sum.mean_ms
+        );
     }
 
     #[test]
@@ -531,7 +535,11 @@ mod tests {
         let sum = sim.metrics().latency_summary("oneway");
         assert_eq!(sum.count, 10);
         // Last packet waits behind nine 30 ms jobs that arrived 10 ms apart.
-        assert!(sum.max_ms > 150.0, "expected overload growth, got {}", sum.max_ms);
+        assert!(
+            sum.max_ms > 150.0,
+            "expected overload growth, got {}",
+            sum.max_ms
+        );
         assert!(sum.max_ms > sum.mean_ms);
     }
 
@@ -720,7 +728,11 @@ mod tests {
         let before = sim.metrics().counter("received");
         sim.set_node_up(src, false);
         sim.run_until(SimTime::from_millis(200));
-        assert_eq!(sim.metrics().counter("received"), before, "down node is silent");
+        assert_eq!(
+            sim.metrics().counter("received"),
+            before,
+            "down node is silent"
+        );
         sim.restart_node(src);
         sim.run_until(SimTime::from_millis(300));
         assert!(
@@ -740,7 +752,11 @@ mod tests {
     #[test]
     fn node_lookup_roundtrip() {
         let mut sim = ideal_sim(8);
-        let a = sim.add_node("alpha", CpuProfile::RASPBERRY_PI_2, Box::new(Sink::default()));
+        let a = sim.add_node(
+            "alpha",
+            CpuProfile::RASPBERRY_PI_2,
+            Box::new(Sink::default()),
+        );
         assert_eq!(sim.node_id("alpha"), Some(a));
         assert_eq!(sim.node_name(a), Some("alpha"));
         assert_eq!(sim.node_id("missing"), None);

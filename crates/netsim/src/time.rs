@@ -312,7 +312,10 @@ mod tests {
     fn scaling() {
         let d = SimDuration::from_millis(10).mul_f64(2.5);
         assert_eq!(d.as_millis(), 25);
-        assert_eq!(SimDuration::from_millis(10).saturating_mul(3).as_millis(), 30);
+        assert_eq!(
+            SimDuration::from_millis(10).saturating_mul(3).as_millis(),
+            30
+        );
     }
 
     #[test]

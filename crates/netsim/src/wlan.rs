@@ -167,7 +167,11 @@ impl WlanState {
     /// The frame waits for the channel, occupies it for its airtime, then
     /// either arrives (after propagation and jitter) or is lost.
     pub fn transmit(&mut self, now: SimTime, bytes: usize, rng: &mut SimRng) -> TxOutcome {
-        let start = if now > self.air_free_at { now } else { self.air_free_at };
+        let start = if now > self.air_free_at {
+            now
+        } else {
+            self.air_free_at
+        };
         let airtime = self.config.airtime(bytes);
         self.air_free_at = start + airtime;
         self.stats.frames += 1;
@@ -183,7 +187,10 @@ impl WlanState {
         arrival += rng.exp_duration(self.config.jitter_mean);
         if rng.chance(self.config.spike_prob) {
             let spike_ms = rng
-                .pareto(self.config.spike_min.as_millis_f64().max(1e-9), self.config.spike_alpha)
+                .pareto(
+                    self.config.spike_min.as_millis_f64().max(1e-9),
+                    self.config.spike_alpha,
+                )
                 .min(self.config.spike_cap.as_millis_f64());
             arrival += SimDuration::from_millis_f64(spike_ms.max(0.0));
         }

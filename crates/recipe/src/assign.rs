@@ -102,10 +102,7 @@ pub trait AssignmentStrategy {
     fn name(&self) -> &'static str;
 }
 
-fn capable<'a>(
-    modules: &'a [ModuleInfo],
-    capability: Option<&str>,
-) -> Vec<&'a ModuleInfo> {
+fn capable<'a>(modules: &'a [ModuleInfo], capability: Option<&str>) -> Vec<&'a ModuleInfo> {
     match capability {
         None => modules.iter().collect(),
         Some(cap) => modules.iter().filter(|m| m.has_capability(cap)).collect(),
@@ -175,7 +172,9 @@ impl AssignmentStrategy for CapabilityAware {
                 .enumerate()
                 .min_by_key(|(i, m)| (usage[m.name.as_str()], *i))
                 .expect("candidates non-empty");
-            *usage.get_mut(candidates[idx].name.as_str()).expect("known module") += 1;
+            *usage
+                .get_mut(candidates[idx].name.as_str())
+                .expect("known module") += 1;
             idx
         })
     }
@@ -280,7 +279,10 @@ mod tests {
                     .iter()
                     .find(|m| m.name == module_name)
                     .expect("known module");
-                assert!(m.has_capability(&cap), "{task_id} on incapable {module_name}");
+                assert!(
+                    m.has_capability(&cap),
+                    "{task_id} on incapable {module_name}"
+                );
             }
         }
     }
@@ -294,7 +296,9 @@ mod tests {
             &CapabilityAware,
             &LoadAware,
         ] {
-            let a = strategy.assign(&r, &ms).unwrap_or_else(|_| panic!("{}", strategy.name()));
+            let a = strategy
+                .assign(&r, &ms)
+                .unwrap_or_else(|_| panic!("{}", strategy.name()));
             assert_eq!(a.len(), r.tasks().len(), "{}", strategy.name());
             check_capabilities(&r, &a, &ms);
         }
@@ -302,7 +306,9 @@ mod tests {
 
     #[test]
     fn sensing_pinned_to_owning_module() {
-        let a = CapabilityAware.assign(&recipe(), &modules()).expect("assigns");
+        let a = CapabilityAware
+            .assign(&recipe(), &modules())
+            .expect("assigns");
         assert_eq!(a.module_of("s1"), Some("a"));
         assert_eq!(a.module_of("s2"), Some("b"));
         assert_eq!(a.module_of("act"), Some("c"));
@@ -311,7 +317,9 @@ mod tests {
     #[test]
     fn missing_capability_is_an_error() {
         let ms = vec![ModuleInfo::new("only", 1.0)];
-        let err = CapabilityAware.assign(&recipe(), &ms).expect_err("no sensors");
+        let err = CapabilityAware
+            .assign(&recipe(), &ms)
+            .expect_err("no sensors");
         assert!(matches!(err, AssignError::NoCapableModule { .. }));
     }
 
@@ -383,7 +391,9 @@ mod tests {
 
     #[test]
     fn assignment_introspection() {
-        let a = CapabilityAware.assign(&recipe(), &modules()).expect("assigns");
+        let a = CapabilityAware
+            .assign(&recipe(), &modules())
+            .expect("assigns");
         assert_eq!(a.iter().count(), a.len());
         assert_eq!(a.module_of("ghost"), None);
         let json = serde_json::to_string(&a).expect("serialize");

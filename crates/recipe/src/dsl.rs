@@ -190,12 +190,11 @@ fn lex_number(
             break;
         }
     }
-    s.parse::<f64>()
-        .map_err(|_| ParseError::UnexpectedToken {
-            line,
-            found: s,
-            expected: "a number".into(),
-        })
+    s.parse::<f64>().map_err(|_| ParseError::UnexpectedToken {
+        line,
+        found: s,
+        expected: "a number".into(),
+    })
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -622,16 +621,17 @@ mod tests {
         .expect("parses");
         assert_eq!(
             r.edges(),
-            &[("a".to_owned(), "b".to_owned()), ("b".to_owned(), "d".to_owned())]
+            &[
+                ("a".to_owned(), "b".to_owned()),
+                ("b".to_owned(), "d".to_owned())
+            ]
         );
     }
 
     #[test]
     fn extra_params_preserved() {
-        let r = parse(
-            "recipe e { task t: train(algorithm = \"pa\", mix_interval_ms = 500); }",
-        )
-        .expect("parses");
+        let r = parse("recipe e { task t: train(algorithm = \"pa\", mix_interval_ms = 500); }")
+            .expect("parses");
         assert_eq!(
             r.task("t").expect("present").params.get("mix_interval_ms"),
             Some(&"500".to_owned())
@@ -654,7 +654,13 @@ mod tests {
     fn wrong_param_type_reported() {
         let err = parse("recipe e { task t: sense(sensor = 5, rate_hz = 1); }")
             .expect_err("numeric sensor");
-        assert!(matches!(err, ParseError::BadParam { param: "sensor", .. }));
+        assert!(matches!(
+            err,
+            ParseError::BadParam {
+                param: "sensor",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -687,7 +693,10 @@ mod tests {
             parse("recipe e { task t: window(size_ms = \"x ); }"),
             Err(ParseError::UnterminatedString { .. })
         ));
-        assert!(matches!(parse("recipe ! {}"), Err(ParseError::UnexpectedChar { .. })));
+        assert!(matches!(
+            parse("recipe ! {}"),
+            Err(ParseError::UnexpectedChar { .. })
+        ));
     }
 
     #[test]
@@ -717,7 +726,8 @@ mod tests {
 
     #[test]
     fn render_preserves_extra_params() {
-        let src = "recipe e { task t: train(algorithm = \"pa\", mix_interval_ms = 500, tag = \"x\"); }";
+        let src =
+            "recipe e { task t: train(algorithm = \"pa\", mix_interval_ms = 500, tag = \"x\"); }";
         let original = parse(src).expect("parses");
         let rendered = render(&original);
         assert!(rendered.contains("mix_interval_ms = 500"), "{rendered}");

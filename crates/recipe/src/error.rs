@@ -156,7 +156,10 @@ impl fmt::Display for AssignError {
         match self {
             AssignError::NoModules => write!(f, "no modules available for assignment"),
             AssignError::NoCapableModule { task, capability } => {
-                write!(f, "no module offers capability {capability:?} for task {task:?}")
+                write!(
+                    f,
+                    "no module offers capability {capability:?} for task {task:?}"
+                )
             }
         }
     }

@@ -45,7 +45,9 @@ pub mod error;
 pub mod model;
 pub mod split;
 
-pub use assign::{Assignment, AssignmentStrategy, CapabilityAware, LoadAware, ModuleInfo, RoundRobin};
+pub use assign::{
+    Assignment, AssignmentStrategy, CapabilityAware, LoadAware, ModuleInfo, RoundRobin,
+};
 pub use error::{AssignError, ParseError, RecipeError};
 pub use model::{fig5_elderly_monitoring, Recipe, RecipeBuilder, Task, TaskKind};
 pub use split::{split, SplitPlan};

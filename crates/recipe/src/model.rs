@@ -571,7 +571,10 @@ mod tests {
             ],
             "edges": [["a", "b"], ["b", "a"]]
         }"#;
-        assert_eq!(Recipe::from_json(json).expect_err("cycle"), RecipeError::Cycle);
+        assert_eq!(
+            Recipe::from_json(json).expect_err("cycle"),
+            RecipeError::Cycle
+        );
         assert!(matches!(
             Recipe::from_json("not json").expect_err("garbage"),
             RecipeError::Serde(_)

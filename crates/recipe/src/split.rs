@@ -100,7 +100,10 @@ mod tests {
         let plan = split(&r);
         assert_eq!(plan.depth(), 3);
         assert_eq!(plan.max_parallelism(), 1);
-        assert_eq!(plan.stages(), &[vec!["a".to_owned()], vec!["b".into()], vec!["c".into()]]);
+        assert_eq!(
+            plan.stages(),
+            &[vec!["a".to_owned()], vec!["b".into()], vec!["c".into()]]
+        );
     }
 
     #[test]

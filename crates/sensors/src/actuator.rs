@@ -46,6 +46,37 @@ impl Command {
     pub fn decode(bytes: &[u8]) -> Result<Self, String> {
         serde_json::from_slice(bytes).map_err(|e| e.to_string())
     }
+
+    /// Derives a command from a decision item: `get` looks up its datum
+    /// keys, `label`/`score` carry its classification. Keys `power`,
+    /// `level` and `target_celsius` map to the corresponding commands; a
+    /// labelled item becomes an alert (severity 2 for `anomaly`), an
+    /// unlabelled one an informational alert.
+    pub fn from_decision(
+        get: impl Fn(&str) -> Option<f64>,
+        label: Option<&str>,
+        score: Option<f64>,
+    ) -> Command {
+        if let Some(v) = get("power") {
+            return Command::SetPower { on: v >= 0.5 };
+        }
+        if let Some(v) = get("level") {
+            return Command::SetLevel { level: v };
+        }
+        if let Some(v) = get("target_celsius") {
+            return Command::SetTarget { celsius: v };
+        }
+        match label {
+            Some(label) => Command::Alert {
+                severity: if label == "anomaly" { 2 } else { 1 },
+                message: format!("{} (score {:.2})", label, score.unwrap_or(0.0)),
+            },
+            None => Command::Alert {
+                severity: 0,
+                message: "decision".to_owned(),
+            },
+        }
+    }
 }
 
 /// Common behaviour of virtual actuators.
@@ -250,6 +281,35 @@ mod tests {
             assert_eq!(Command::decode(&bytes).expect("round trip"), c);
         }
         assert!(Command::decode(b"not json").is_err());
+    }
+
+    #[test]
+    fn from_decision_maps_keys_then_labels() {
+        let keyed = |key: &'static str, v: f64| move |k: &str| (k == key).then_some(v);
+        assert_eq!(
+            Command::from_decision(keyed("power", 1.0), None, None),
+            Command::SetPower { on: true }
+        );
+        assert_eq!(
+            Command::from_decision(keyed("level", 0.4), None, None),
+            Command::SetLevel { level: 0.4 }
+        );
+        assert_eq!(
+            Command::from_decision(keyed("target_celsius", 21.0), None, None),
+            Command::SetTarget { celsius: 21.0 }
+        );
+        assert!(matches!(
+            Command::from_decision(|_| None, Some("anomaly"), Some(4.5)),
+            Command::Alert { severity: 2, .. }
+        ));
+        assert!(matches!(
+            Command::from_decision(|_| None, Some("fall"), None),
+            Command::Alert { severity: 1, .. }
+        ));
+        assert!(matches!(
+            Command::from_decision(|_| None, None, None),
+            Command::Alert { severity: 0, .. }
+        ));
     }
 
     #[test]

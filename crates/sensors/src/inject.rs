@@ -94,7 +94,10 @@ impl AnomalyInjector {
     ///
     /// Panics if the window is empty (`from_ns >= until_ns`).
     pub fn schedule(&mut self, window: FaultWindow) {
-        assert!(window.from_ns < window.until_ns, "fault window must be non-empty");
+        assert!(
+            window.from_ns < window.until_ns,
+            "fault window must be non-empty"
+        );
         self.windows.push(window);
     }
 
@@ -190,10 +193,7 @@ mod tests {
             })],
         );
         // Prime with a clean read at the sine peak.
-        let mut inj = AnomalyInjector::new(std::mem::replace(
-            &mut sensor,
-            constant_sensor(0.0),
-        ));
+        let mut inj = AnomalyInjector::new(std::mem::replace(&mut sensor, constant_sensor(0.0)));
         inj.schedule(FaultWindow {
             from_ns: 300_000_000,
             until_ns: 800_000_000,

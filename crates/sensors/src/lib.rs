@@ -44,4 +44,6 @@ pub use device::VirtualSensor;
 pub use inject::{AnomalyInjector, FaultKind, FaultWindow, LabelledSample};
 pub use registry::{DeviceDescriptor, DeviceRegistry, DeviceRole, LinkTechnology};
 pub use sample::{Sample, SampleError, SensorKind, SAMPLE_WIRE_SIZE};
-pub use waveform::{Composite, Constant, GaussianNoise, Pulse, RandomWalk, Signal, Sine, TraceReplay};
+pub use waveform::{
+    Composite, Constant, GaussianNoise, Pulse, RandomWalk, Signal, Sine, TraceReplay,
+};

@@ -84,7 +84,10 @@ impl DeviceRegistry {
     /// entry lacks its kind.
     pub fn register(&mut self, descriptor: DeviceDescriptor) -> Result<(), String> {
         if self.devices.contains_key(&descriptor.device_id) {
-            return Err(format!("device id {} already registered", descriptor.device_id));
+            return Err(format!(
+                "device id {} already registered",
+                descriptor.device_id
+            ));
         }
         if descriptor.role == DeviceRole::Sensor && descriptor.kind.is_none() {
             return Err("sensor entries must declare their kind".to_owned());
@@ -162,8 +165,10 @@ mod tests {
     #[test]
     fn register_and_query() {
         let mut reg = DeviceRegistry::new();
-        reg.register(sensor(1, SensorKind::Sound)).expect("register");
-        reg.register(sensor(2, SensorKind::Motion)).expect("register");
+        reg.register(sensor(1, SensorKind::Sound))
+            .expect("register");
+        reg.register(sensor(2, SensorKind::Motion))
+            .expect("register");
         reg.register(actuator(3)).expect("register");
         assert_eq!(reg.len(), 3);
         assert_eq!(reg.sensors_of_kind(SensorKind::Sound).len(), 1);
@@ -175,7 +180,8 @@ mod tests {
     #[test]
     fn duplicate_ids_rejected() {
         let mut reg = DeviceRegistry::new();
-        reg.register(sensor(1, SensorKind::Sound)).expect("register");
+        reg.register(sensor(1, SensorKind::Sound))
+            .expect("register");
         assert!(reg.register(actuator(1)).is_err());
         assert_eq!(reg.len(), 1);
     }
@@ -192,7 +198,8 @@ mod tests {
     #[test]
     fn unregister_round_trip() {
         let mut reg = DeviceRegistry::new();
-        reg.register(sensor(5, SensorKind::Humidity)).expect("register");
+        reg.register(sensor(5, SensorKind::Humidity))
+            .expect("register");
         let d = reg.unregister(5).expect("present");
         assert_eq!(d.device_id, 5);
         assert!(reg.unregister(5).is_none());
@@ -202,7 +209,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let mut reg = DeviceRegistry::new();
-        reg.register(sensor(1, SensorKind::Sound)).expect("register");
+        reg.register(sensor(1, SensorKind::Sound))
+            .expect("register");
         let json = serde_json::to_string(&reg).expect("serialize");
         let back: DeviceRegistry = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, reg);

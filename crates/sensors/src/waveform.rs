@@ -61,8 +61,7 @@ impl Signal for Sine {
     fn value_at(&mut self, t_ns: u64) -> f64 {
         let t = t_ns as f64 / 1.0e9;
         self.offset
-            + self.amplitude
-                * (core::f64::consts::TAU * self.frequency_hz * t + self.phase).sin()
+            + self.amplitude * (core::f64::consts::TAU * self.frequency_hz * t + self.phase).sin()
     }
 }
 
@@ -80,7 +79,10 @@ impl GaussianNoise {
     ///
     /// Panics if `std_dev` is negative or not finite.
     pub fn new(std_dev: f64, seed: u64) -> Self {
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be non-negative");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be non-negative"
+        );
         GaussianNoise {
             std_dev,
             rng: SmallRng::seed_from_u64(seed),

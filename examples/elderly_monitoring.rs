@@ -53,8 +53,7 @@ fn main() {
             .with_capability("sensor:motion"),
         ModuleInfo::new("gateway", 1.0).with_capability("actuator:alert"),
     ];
-    let plan =
-        deploy(&recipe, &modules, &CapabilityAware, "gateway").expect("deployment succeeds");
+    let plan = deploy(&recipe, &modules, &CapabilityAware, "gateway").expect("deployment succeeds");
     for (task, module) in plan.assignment.iter() {
         println!("  task {task:<10} -> {module}");
     }
@@ -73,7 +72,11 @@ fn main() {
                 });
             }
         }
-        ids.push(add_middleware_node(&mut sim, CpuProfile::RASPBERRY_PI_2, cfg));
+        ids.push(add_middleware_node(
+            &mut sim,
+            CpuProfile::RASPBERRY_PI_2,
+            cfg,
+        ));
     }
     sim.run_for(SimDuration::from_secs(8));
 

@@ -84,7 +84,11 @@ fn main() {
     inject_decision(&cluster, "flow/home/decision", &[("level", 0.6)]);
     inject_decision(&cluster, "flow/home/decision-ac", &[("power", 1.0)]);
     std::thread::sleep(Duration::from_millis(200));
-    inject_decision(&cluster, "flow/home/decision-ac", &[("target_celsius", 22.0)]);
+    inject_decision(
+        &cluster,
+        "flow/home/decision-ac",
+        &[("target_celsius", 22.0)],
+    );
 
     let report = cluster.run_for(Duration::from_secs(1));
 
@@ -150,6 +154,16 @@ fn inject_decision(
         TopicName::new(topic).expect("valid decision topic"),
         message.encode(),
     )));
-    cluster.inject("gateway", "decision-app", ifot::core::MQTT_BROKER_PORT, connect);
-    cluster.inject("gateway", "decision-app", ifot::core::MQTT_BROKER_PORT, publish);
+    cluster.inject(
+        "gateway",
+        "decision-app",
+        ifot::core::MQTT_BROKER_PORT,
+        connect,
+    );
+    cluster.inject(
+        "gateway",
+        "decision-app",
+        ifot::core::MQTT_BROKER_PORT,
+        publish,
+    );
 }

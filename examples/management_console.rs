@@ -27,6 +27,12 @@ fn main() {
 
     let train = sim.metrics().latency_summary("sensing_to_training");
     let predict = sim.metrics().latency_summary("sensing_to_predicting");
-    println!("sensing→training  : avg {:.1} ms over {} tuples", train.mean_ms, train.count);
-    println!("sensing→predicting: avg {:.1} ms over {} tuples", predict.mean_ms, predict.count);
+    println!(
+        "sensing→training  : avg {:.1} ms over {} tuples",
+        train.mean_ms, train.count
+    );
+    println!(
+        "sensing→predicting: avg {:.1} ms over {} tuples",
+        predict.mean_ms, predict.count
+    );
 }

@@ -97,19 +97,20 @@ fn main() {
     let station_node: &SimNode = sim.actor_as(station).expect("station node");
     let park_label = park_node
         .middleware()
-        .operator("classify-park")
-        .and_then(|op| op.model())
+        .classifier("classify-park")
         .and_then(|m| m.classify(&probe));
     let station_label = station_node
         .middleware()
-        .operator("classify-station")
-        .and_then(|op| op.model())
+        .classifier("classify-station")
         .and_then(|m| m.classify(&probe));
     println!("park classifies a 9-person flow as    : {park_label:?}");
     println!("station classifies a 9-person flow as : {station_label:?}");
 
     assert!(rounds > 0, "at least one MIX round must complete");
-    assert!(sim.metrics().counter("mix_imports") > 0, "averages must be imported");
+    assert!(
+        sim.metrics().counter("mix_imports") > 0,
+        "averages must be imported"
+    );
     assert!(park_label.is_some() && station_label.is_some());
     println!("\ndistributed training with MIX synchronization — OK");
 }

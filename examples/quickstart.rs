@@ -39,9 +39,18 @@ fn main() {
     let report = cluster.run_for(Duration::from_secs(2));
 
     println!("\n--- results ---");
-    println!("samples published : {}", report.metrics.counter("published"));
-    println!("items scored      : {}", report.metrics.counter("anomaly_scored"));
-    println!("anomalies flagged : {}", report.metrics.counter("anomaly_flagged"));
+    println!(
+        "samples published : {}",
+        report.metrics.counter("published")
+    );
+    println!(
+        "items scored      : {}",
+        report.metrics.counter("anomaly_scored")
+    );
+    println!(
+        "anomalies flagged : {}",
+        report.metrics.counter("anomaly_flagged")
+    );
     let latency = report.metrics.latency_summary("sensing_to_anomaly");
     println!(
         "sensing→analysis  : avg {:.2} ms, max {:.2} ms over {} items",

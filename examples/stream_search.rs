@@ -73,11 +73,7 @@ fn main() {
     println!("\ndynamic join/leave tracked correctly — OK");
 }
 
-fn print_directory(
-    sim: &Simulation,
-    observer: ifot::netsim::actor::NodeId,
-    label: &str,
-) {
+fn print_directory(sim: &Simulation, observer: ifot::netsim::actor::NodeId, label: &str) {
     let node: &SimNode = sim.actor_as(observer).expect("observer");
     let dir = node.middleware().directory();
     println!("  [{label}] online: {:?}", dir.online_nodes());

@@ -108,11 +108,7 @@ fn sixteen_concurrent_qos1_publishers_lose_and_duplicate_nothing() {
                 while client.inflight() > 0 && Instant::now() < deadline {
                     client.drive().expect("drive publisher");
                 }
-                assert_eq!(
-                    client.inflight(),
-                    0,
-                    "publisher {p} never got all PUBACKs"
-                );
+                assert_eq!(client.inflight(), 0, "publisher {p} never got all PUBACKs");
                 client.disconnect();
             })
         })

@@ -128,8 +128,7 @@ fn broker_crash_and_recovery() {
     // (no test-side choreography on the client nodes).
     sim.restart_node(broker);
     sim.run_for(SimDuration::from_secs(4));
-    let scored_after =
-        sim.metrics().counter("anomaly_scored") - scored_before - scored_during;
+    let scored_after = sim.metrics().counter("anomaly_scored") - scored_before - scored_during;
     assert!(
         scored_after > 10,
         "pipeline must resume after broker recovery, scored {scored_after}"

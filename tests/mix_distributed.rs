@@ -56,11 +56,14 @@ fn mix_world(mix_interval_ms: u64, seed: u64) -> (Simulation, [ifot::netsim::act
     (sim, [g, a, b])
 }
 
-fn model_of(sim: &Simulation, id: ifot::netsim::actor::NodeId, task: &str) -> ifot::ml::mix::ModelDiff {
+fn model_of(
+    sim: &Simulation,
+    id: ifot::netsim::actor::NodeId,
+    task: &str,
+) -> ifot::ml::mix::ModelDiff {
     let node: &SimNode = sim.actor_as(id).expect("node present");
     node.middleware()
-        .operator(task)
-        .and_then(|op| op.model())
+        .classifier(task)
         .map(|m| m.export_diff())
         .expect("trainer holds a model")
 }
@@ -74,7 +77,11 @@ fn distance(a: &ifot::ml::mix::ModelDiff, b: &ifot::ml::mix::ModelDiff) -> f64 {
     for label in labels {
         let wa = a.label(label).unwrap_or(&empty);
         let wb = b.label(label).unwrap_or(&empty);
-        let mut idx: Vec<u32> = wa.iter().map(|(i, _)| i).chain(wb.iter().map(|(i, _)| i)).collect();
+        let mut idx: Vec<u32> = wa
+            .iter()
+            .map(|(i, _)| i)
+            .chain(wb.iter().map(|(i, _)| i))
+            .collect();
         idx.sort_unstable();
         idx.dedup();
         for i in idx {
@@ -121,12 +128,9 @@ fn mixed_models_know_both_feature_spaces() {
     // Node B never saw person-flow features, yet after mixing its model
     // carries weights for them (learned at node A).
     let model_b = model_of(&sim, b, "tb");
-    let knows_foreign = model_b.labels().any(|label| {
-        model_b
-            .label(label)
-            .map(|w| w.nnz() > 0)
-            .unwrap_or(false)
-    });
+    let knows_foreign = model_b
+        .labels()
+        .any(|label| model_b.label(label).map(|w| w.nnz() > 0).unwrap_or(false));
     assert!(knows_foreign, "model B is empty after mixing");
 
     // And both classify a person-flow probe consistently with node A's
@@ -138,13 +142,11 @@ fn mixed_models_know_both_feature_spaces() {
     let node_b: &SimNode = sim.actor_as(b).expect("node b");
     let label_a = node_a
         .middleware()
-        .operator("ta")
-        .and_then(|op| op.model())
+        .classifier("ta")
         .and_then(|m| m.classify(&probe));
     let label_b = node_b
         .middleware()
-        .operator("tb")
-        .and_then(|op| op.model())
+        .classifier("tb")
         .and_then(|m| m.classify(&probe));
     assert!(label_a.is_some());
     assert!(label_b.is_some(), "B cannot classify A's modality");

@@ -74,23 +74,30 @@ fn arb_connect() -> impl Strategy<Value = Connect> {
         prop::string::string_regex("[a-z0-9-]{0,12}").expect("valid regex"),
         any::<bool>(),
         any::<u16>(),
-        prop::option::of((topic_name_str(), prop::collection::vec(any::<u8>(), 0..32), qos(), any::<bool>())),
+        prop::option::of((
+            topic_name_str(),
+            prop::collection::vec(any::<u8>(), 0..32),
+            qos(),
+            any::<bool>(),
+        )),
         prop::option::of(prop::string::string_regex("[a-z]{1,8}").expect("valid regex")),
         prop::option::of(prop::collection::vec(any::<u8>(), 0..16)),
     )
-        .prop_map(|(client_id, clean_session, keep_alive_secs, will, username, password)| Connect {
-            client_id,
-            clean_session,
-            keep_alive_secs,
-            will: will.map(|(topic, payload, qos, retain)| LastWill {
-                topic: TopicName::new(topic).expect("generated topics are valid"),
-                payload: payload.into(),
-                qos,
-                retain,
-            }),
-            username,
-            password: password.map(Into::into),
-        })
+        .prop_map(
+            |(client_id, clean_session, keep_alive_secs, will, username, password)| Connect {
+                client_id,
+                clean_session,
+                keep_alive_secs,
+                will: will.map(|(topic, payload, qos, retain)| LastWill {
+                    topic: TopicName::new(topic).expect("generated topics are valid"),
+                    payload: payload.into(),
+                    qos,
+                    retain,
+                }),
+                username,
+                password: password.map(Into::into),
+            },
+        )
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
@@ -643,14 +650,14 @@ fn arb_task_kind() -> impl Strategy<Value = ifot::recipe::model::TaskKind> {
             threshold: (threshold * 4.0).round() / 4.0,
         }),
         name().prop_map(|model| TaskKind::Estimate { model }),
-        (name(), name(), 0.0f64..50.0, 50.0f64..100.0).prop_map(
-            |(key, emit, off, on)| TaskKind::Policy {
+        (name(), name(), 0.0f64..50.0, 50.0f64..100.0).prop_map(|(key, emit, off, on)| {
+            TaskKind::Policy {
                 key,
                 on_above: on.round(),
                 off_below: off.round(),
                 emit,
             }
-        ),
+        }),
         name().prop_map(|actuator| TaskKind::Actuate { actuator }),
         name().prop_map(|operator| TaskKind::Custom { operator }),
     ]
@@ -698,6 +705,139 @@ proptest! {
         let parsed = ifot::recipe::dsl::parse(&rendered)
             .expect("rendered recipes parse");
         prop_assert_eq!(parsed, recipe);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flow-plane and model-plane wire formats
+// ---------------------------------------------------------------------
+
+fn arb_datum() -> impl Strategy<Value = ifot::ml::feature::Datum> {
+    prop::collection::vec(
+        (
+            prop::string::string_regex("[a-z_]{1,10}").expect("valid regex"),
+            -1e9f64..1e9,
+        ),
+        0..6,
+    )
+    .prop_map(|pairs| {
+        let mut datum = ifot::ml::feature::Datum::new();
+        for (k, v) in pairs {
+            datum.set(k, v);
+        }
+        datum
+    })
+}
+
+fn arb_flow_message() -> impl Strategy<Value = ifot::core::flow::FlowMessage> {
+    (
+        prop::string::string_regex("[a-z0-9-]{1,12}").expect("valid regex"),
+        any::<u64>(),
+        any::<u64>(),
+        arb_datum(),
+        prop::option::of(prop::string::string_regex("[a-z]{1,8}").expect("valid regex")),
+        prop::option::of(-1e6f64..1e6),
+    )
+        .prop_map(|(producer, origin_ts_ns, seq, datum, label, score)| {
+            ifot::core::flow::FlowMessage {
+                producer,
+                origin_ts_ns,
+                seq,
+                datum,
+                label,
+                score,
+            }
+        })
+}
+
+/// Arbitrary model snapshots, produced the way real nodes produce them:
+/// by training a linear classifier on arbitrary examples and exporting.
+fn arb_model_diff() -> impl Strategy<Value = ifot::ml::mix::ModelDiff> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((0u32..64, -10.0f64..10.0), 1..4),
+            0usize..3,
+        ),
+        0..12,
+    )
+    .prop_map(|examples| {
+        use ifot::ml::classifier::OnlineClassifier;
+        use ifot::ml::mix::LinearModel;
+        let mut m = ifot::ml::classifier::PassiveAggressive::default();
+        let labels = ["a", "b", "c"];
+        for (pairs, pick) in examples {
+            let x = ifot::ml::feature::FeatureVector::from_pairs(pairs);
+            m.train(&x, labels[pick]);
+        }
+        m.export_diff()
+    })
+}
+
+proptest! {
+    /// Flow messages survive the JSON wire format for arbitrary data,
+    /// labels and scores.
+    #[test]
+    fn flow_message_json_round_trips(msg in arb_flow_message()) {
+        use ifot::core::flow::FlowMessage;
+        let decoded = FlowMessage::decode(&msg.encode()).expect("own encoding decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Truncations of a valid flow message and non-JSON payloads are
+    /// rejected as errors — never a panic, never a bogus success.
+    #[test]
+    fn flow_message_rejects_corrupt_payloads(
+        msg in arb_flow_message(),
+        cut_pick in any::<usize>(),
+        junk in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use ifot::core::flow::FlowMessage;
+        let bytes = msg.encode();
+        let cut = 1 + cut_pick % (bytes.len() - 1);
+        prop_assert!(FlowMessage::decode(&bytes[..cut]).is_err());
+        prop_assert!(FlowMessage::decode(b"not json").is_err());
+        let _ = FlowMessage::decode(&junk); // must not panic
+    }
+
+    /// MIX envelopes round-trip with real exported model snapshots in
+    /// both protocol roles.
+    #[test]
+    fn mix_envelope_json_round_trips(
+        is_avg in any::<bool>(),
+        task in prop::string::string_regex("[a-z0-9-]{1,12}").expect("valid regex"),
+        diff in arb_model_diff(),
+    ) {
+        use ifot::core::operators::MixEnvelope;
+        let envelope = MixEnvelope {
+            role: if is_avg { "avg" } else { "offer" }.into(),
+            task,
+            diff,
+        };
+        let decoded = MixEnvelope::decode(&envelope.encode()).expect("own encoding decodes");
+        prop_assert_eq!(decoded, envelope);
+    }
+
+    /// Corrupt MIX payloads are rejected, not panicked on: a malformed
+    /// model-plane message must never take down a coordinator.
+    #[test]
+    fn mix_envelope_rejects_corrupt_payloads(
+        is_avg in any::<bool>(),
+        task in prop::string::string_regex("[a-z0-9-]{1,12}").expect("valid regex"),
+        diff in arb_model_diff(),
+        cut_pick in any::<usize>(),
+        junk in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use ifot::core::operators::MixEnvelope;
+        let envelope = MixEnvelope {
+            role: if is_avg { "avg" } else { "offer" }.into(),
+            task,
+            diff,
+        };
+        let bytes = envelope.encode();
+        let cut = 1 + cut_pick % (bytes.len() - 1);
+        prop_assert!(MixEnvelope::decode(&bytes[..cut]).is_err());
+        prop_assert!(MixEnvelope::decode(b"oops").is_err());
+        let _ = MixEnvelope::decode(&junk); // must not panic
     }
 }
 

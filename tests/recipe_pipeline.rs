@@ -48,13 +48,23 @@ fn dsl_to_simulator_detects_injected_fall() {
                 kind: FaultKind::Spike { magnitude: 25.0 },
             });
         }
-        ids.push(add_middleware_node(&mut sim, CpuProfile::RASPBERRY_PI_2, cfg));
+        ids.push(add_middleware_node(
+            &mut sim,
+            CpuProfile::RASPBERRY_PI_2,
+            cfg,
+        ));
     }
     sim.run_for(SimDuration::from_secs(6));
 
-    assert!(sim.metrics().counter("samples_anomalous") > 0, "fault injected");
+    assert!(
+        sim.metrics().counter("samples_anomalous") > 0,
+        "fault injected"
+    );
     assert!(sim.metrics().counter("anomaly_flagged") > 0, "fall flagged");
-    assert!(sim.metrics().counter("commands_applied") > 0, "alert actuated");
+    assert!(
+        sim.metrics().counter("commands_applied") > 0,
+        "alert actuated"
+    );
 
     // The alert sink on the gateway received the alert.
     let gateway_events: Vec<&NodeEvent> = ids
@@ -71,7 +81,10 @@ fn dsl_to_simulator_detects_injected_fall() {
     // No alert *before* the fault window.
     for e in &gateway_events {
         if let NodeEvent::ActuatorApplied { at_ns, .. } = e {
-            assert!(*at_ns >= 2_000_000_000, "alert fired before the fault: {at_ns}");
+            assert!(
+                *at_ns >= 2_000_000_000,
+                "alert fired before the fault: {at_ns}"
+            );
         }
     }
 }
@@ -85,7 +98,9 @@ fn dsl_to_threads_runs_the_same_deployment() {
     for cfg in deployment.configs.clone() {
         builder = builder.node(cfg);
     }
-    let report = builder.start().run_for(std::time::Duration::from_millis(900));
+    let report = builder
+        .start()
+        .run_for(std::time::Duration::from_millis(900));
     assert!(report.metrics.counter("published") > 5);
     assert!(report.metrics.counter("anomaly_scored") > 5);
     assert!(report.node("gateway").expect("gateway ran").is_connected());
@@ -113,7 +128,10 @@ fn fig5_recipe_runs_distributed_on_five_modules() {
     // All four sensing tasks publish; the analysis chain is active.
     assert!(sim.metrics().counter("published") > 50);
     assert!(sim.metrics().counter("anomaly_scored") > 20);
-    assert!(sim.metrics().counter("estimates") > 0, "state estimation ran");
+    assert!(
+        sim.metrics().counter("estimates") > 0,
+        "state estimation ran"
+    );
     // Every sensing module connected.
     for name in ["m-accel", "m-sound", "m-illum", "m-alert"] {
         let id = sim.node_id(name).expect("registered");

@@ -163,7 +163,10 @@ fn qos2_release_preserves_payload() {
         packet_id: Some(7),
         payload: Bytes::from_static(b"exactly"),
     };
-    let first = deliveries_to(&broker.handle_packet(&0, Packet::Publish(publish.clone()), 0), 1);
+    let first = deliveries_to(
+        &broker.handle_packet(&0, Packet::Publish(publish.clone()), 0),
+        1,
+    );
     assert_eq!(first.len(), 1, "first PUBLISH routes once");
     assert_eq!(first[0].qos, QoS::ExactlyOnce);
     assert_eq!(first[0].payload.as_ref(), b"exactly");
@@ -171,11 +174,20 @@ fn qos2_release_preserves_payload() {
     let mut dup = publish;
     dup.dup = true;
     let repeat = broker.handle_packet(&0, Packet::Publish(dup), 0);
-    assert!(deliveries_to(&repeat, 1).is_empty(), "duplicate not re-routed");
+    assert!(
+        deliveries_to(&repeat, 1).is_empty(),
+        "duplicate not re-routed"
+    );
     let done = broker.handle_packet(&0, Packet::Pubrel(7), 0);
     assert!(deliveries_to(&done, 1).is_empty());
     assert!(
-        done.iter().any(|a| matches!(a, Action::Send { conn: 0, packet: Packet::Pubcomp(7) })),
+        done.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                conn: 0,
+                packet: Packet::Pubcomp(7)
+            }
+        )),
         "PUBREL answered with PUBCOMP"
     );
 }
