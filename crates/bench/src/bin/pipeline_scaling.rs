@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use ifot_core::config::{NodeConfig, OperatorKind, OperatorSpec, SensorSpec, ShedPolicy};
 use ifot_core::thread_rt::ClusterBuilder;
+use ifot_core::wire::WireFormat;
 use ifot_sensors::sample::SensorKind;
 
 /// Replicas of the predict task (complementary sequence shards).
@@ -40,9 +41,11 @@ struct CellResult {
     rate_hz: f64,
     workers: usize,
     policy: ShedPolicy,
+    batch: Option<(usize, u64)>,
     sensed: u64,
     ingested: u64,
     predicted: u64,
+    frames: u64,
     seconds: f64,
     items_per_sec: f64,
     shed: u64,
@@ -59,8 +62,17 @@ fn policy_name(policy: ShedPolicy) -> &'static str {
 }
 
 /// Runs one cell: `seconds` of wall time at `rate_hz` sensing with the
-/// analysis node's executor configured to `workers`/`policy`.
-fn run_cell(rate_hz: f64, workers: usize, policy: ShedPolicy, seconds: f64) -> CellResult {
+/// analysis node's executor configured to `workers`/`policy`. With
+/// `batch = Some((max, linger_ms))` the sensor node coalesces samples
+/// into compact binary `FlowBatch` frames instead of the seed's
+/// one-frame-per-sample publishes.
+fn run_cell(
+    rate_hz: f64,
+    workers: usize,
+    policy: ShedPolicy,
+    batch: Option<(usize, u64)>,
+    seconds: f64,
+) -> CellResult {
     // Multi-stage recipe: an ingest accounting stage plus `SHARDS`
     // replicas of the predict task with complementary sequence shards,
     // all fed from the raw sensor stream (binary sample payloads; the
@@ -88,13 +100,17 @@ fn run_cell(rate_hz: f64, workers: usize, policy: ShedPolicy, seconds: f64) -> C
             .sharded(SHARDS, k),
         );
     }
+    let mut sensor = NodeConfig::new("sensor-node")
+        .with_broker_node("broker")
+        .with_sensor(SensorSpec::new(SensorKind::Sound, 1, rate_hz, 7));
+    if let Some((batch_max, linger_ms)) = batch {
+        sensor = sensor
+            .with_wire_format(WireFormat::Binary)
+            .with_batching(batch_max, linger_ms);
+    }
     let cluster = ClusterBuilder::new()
         .node(NodeConfig::new("broker").with_broker())
-        .node(
-            NodeConfig::new("sensor-node")
-                .with_broker_node("broker")
-                .with_sensor(SensorSpec::new(SensorKind::Sound, 1, rate_hz, 7)),
-        )
+        .node(sensor)
         // Speed 1.0: the analysis node sleeps out each operator's
         // reference CPU cost, so stage parallelism is measurable.
         .node_with_speed(analysis, 1.0)
@@ -119,9 +135,13 @@ fn run_cell(rate_hz: f64, workers: usize, policy: ShedPolicy, seconds: f64) -> C
         rate_hz,
         workers,
         policy,
-        sensed: report.metrics.counter("published"),
+        batch,
+        // Per-item accounting: `published` counts MQTT frames (1 per
+        // batch), `flow_items_published` counts the samples inside.
+        sensed: report.metrics.counter("flow_items_published"),
         ingested: report.metrics.counter("custom_ingest"),
         predicted,
+        frames: report.metrics.counter("flow_frames_published"),
         seconds: elapsed,
         items_per_sec: predicted as f64 / elapsed,
         shed,
@@ -133,13 +153,21 @@ fn run_cell(rate_hz: f64, workers: usize, policy: ShedPolicy, seconds: f64) -> C
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let seconds = if quick { 1.5 } else { 3.0 };
-    let cells: Vec<(f64, usize, ShedPolicy)> = if quick {
+    type CellSpec = (f64, usize, ShedPolicy, Option<(usize, u64)>);
+    let cells: Vec<CellSpec> = if quick {
         vec![
-            (80.0, 1, ShedPolicy::ShedOldest),
-            (80.0, 4, ShedPolicy::ShedOldest),
+            // Sub-saturation accounting check: every sensed sample must
+            // be ingested and predicted (the phased shutdown drains
+            // in-flight items instead of dropping the tail).
+            (5.0, 1, ShedPolicy::Block, None),
+            (80.0, 1, ShedPolicy::ShedOldest, None),
+            (80.0, 4, ShedPolicy::ShedOldest, None),
+            // Codec x batch smoke: the binary micro-batched flow path
+            // through the same sharded recipe.
+            (80.0, 4, ShedPolicy::ShedOldest, Some((16, 50))),
         ]
     } else {
-        let mut cells = Vec::new();
+        let mut cells: Vec<CellSpec> = Vec::new();
         for &rate in &[5.0, 20.0, 80.0] {
             for &workers in &[1usize, 2, 4] {
                 for &policy in &[
@@ -147,8 +175,14 @@ fn main() {
                     ShedPolicy::ShedOldest,
                     ShedPolicy::ShedNewest,
                 ] {
-                    cells.push((rate, workers, policy));
+                    cells.push((rate, workers, policy, None));
                 }
+            }
+        }
+        // Binary micro-batched variants of the shed-oldest column.
+        for &rate in &[5.0, 20.0, 80.0] {
+            for &workers in &[1usize, 4] {
+                cells.push((rate, workers, ShedPolicy::ShedOldest, Some((16, 50))));
             }
         }
         cells
@@ -167,10 +201,12 @@ fn main() {
     println!("  \"results\": [");
     let mut w1_peak: Option<f64> = None;
     let mut w4_peak: Option<f64> = None;
-    let max_rate = cells.iter().map(|&(r, _, _)| r).fold(0.0f64, f64::max);
-    for (i, &(rate, workers, policy)) in cells.iter().enumerate() {
-        let r = run_cell(rate, workers, policy, seconds);
-        if rate == max_rate && policy == ShedPolicy::ShedOldest {
+    let mut subsat: Option<(u64, u64, u64)> = None;
+    let mut batched_predictions: u64 = 0;
+    let max_rate = cells.iter().map(|&(r, _, _, _)| r).fold(0.0f64, f64::max);
+    for (i, &(rate, workers, policy, batch)) in cells.iter().enumerate() {
+        let r = run_cell(rate, workers, policy, batch, seconds);
+        if rate == max_rate && policy == ShedPolicy::ShedOldest && batch.is_none() {
             if workers == 1 {
                 w1_peak = Some(r.items_per_sec);
             }
@@ -178,15 +214,26 @@ fn main() {
                 w4_peak = Some(r.items_per_sec);
             }
         }
+        if rate == 5.0 && policy == ShedPolicy::Block && batch.is_none() && subsat.is_none() {
+            subsat = Some((r.sensed, r.ingested, r.predicted));
+        }
+        if batch.is_some() {
+            batched_predictions += r.predicted;
+        }
+        let (batch_max, linger_ms) = r.batch.unwrap_or((1, 0));
         let comma = if i + 1 == cells.len() { "" } else { "," };
         println!(
-            "    {{ \"rate_hz\": {}, \"workers\": {}, \"policy\": \"{}\", \"sensed\": {}, \"ingested\": {}, \"predicted\": {}, \"seconds\": {:.2}, \"items_per_sec\": {:.1}, \"shed\": {}, \"delay_mean_ms\": {:.2}, \"delay_max_ms\": {:.2} }}{comma}",
+            "    {{ \"rate_hz\": {}, \"workers\": {}, \"policy\": \"{}\", \"wire\": \"{}\", \"batch_max\": {}, \"linger_ms\": {}, \"sensed\": {}, \"ingested\": {}, \"predicted\": {}, \"frames\": {}, \"seconds\": {:.2}, \"items_per_sec\": {:.1}, \"shed\": {}, \"delay_mean_ms\": {:.2}, \"delay_max_ms\": {:.2} }}{comma}",
             r.rate_hz,
             r.workers,
             policy_name(r.policy),
+            if r.batch.is_some() { "binary" } else { "raw" },
+            batch_max,
+            linger_ms,
             r.sensed,
             r.ingested,
             r.predicted,
+            r.frames,
             r.seconds,
             r.items_per_sec,
             r.shed,
@@ -206,6 +253,18 @@ fn main() {
         assert!(
             w1_peak.unwrap_or(0.0) > 0.0 && w4_peak.unwrap_or(0.0) > 0.0,
             "pooled executor produced no predictions"
+        );
+        // Accounting: below saturation nothing may be lost — including
+        // the final in-flight samples at shutdown.
+        let (sensed, ingested, predicted) = subsat.expect("sub-saturation cell present");
+        assert!(
+            sensed == ingested && sensed == predicted,
+            "sub-saturation cell lost items: sensed={sensed} ingested={ingested} predicted={predicted}"
+        );
+        // The binary micro-batched path must flow end to end.
+        assert!(
+            batched_predictions > 0,
+            "codec x batch cell produced no predictions"
         );
     }
 }

@@ -238,6 +238,13 @@ pub struct ExecutorConfig {
     pub mailbox_capacity: usize,
     /// Overflow behaviour of a full mailbox.
     pub shed_policy: ShedPolicy,
+    /// Adaptive shed escalation: once a `Block` stage observes a
+    /// queue-wait above this many milliseconds it flips itself to
+    /// `ShedOldest` — blocking has already broken the real-time bound,
+    /// so bounded staleness beats unbounded delay. `0` disables. The
+    /// default is the paper's 1.6 s real-time bound
+    /// ([`crate::costs::REALTIME_BOUND_MS`]).
+    pub escalate_wait_ms: u64,
 }
 
 impl Default for ExecutorConfig {
@@ -246,6 +253,7 @@ impl Default for ExecutorConfig {
             workers: 0,
             mailbox_capacity: 256,
             shed_policy: ShedPolicy::Block,
+            escalate_wait_ms: crate::costs::REALTIME_BOUND_MS,
         }
     }
 }
@@ -317,6 +325,16 @@ pub struct NodeConfig {
     pub track_directory: bool,
     /// Staged-executor tuning (worker pool, mailbox bounds, shedding).
     pub executor: ExecutorConfig,
+    /// Encoding written on the flow plane (decoding always accepts
+    /// both, so mixed-format deployments interoperate).
+    pub wire_format: crate::wire::WireFormat,
+    /// Micro-batching: maximum items coalesced into one
+    /// [`crate::flow::FlowBatch`] publish per topic.
+    pub batch_max: usize,
+    /// Micro-batching: maximum milliseconds an item waits for batch
+    /// companions before the pending batch is flushed. `0` disables
+    /// batching entirely (the seed behaviour: one publish per item).
+    pub batch_linger_ms: u64,
 }
 
 impl NodeConfig {
@@ -339,7 +357,32 @@ impl NodeConfig {
             announce: false,
             track_directory: false,
             executor: ExecutorConfig::default(),
+            wire_format: crate::wire::WireFormat::Json,
+            batch_max: 32,
+            batch_linger_ms: 0,
         }
+    }
+
+    /// Sets the flow-plane wire format (builder style).
+    pub fn with_wire_format(mut self, format: crate::wire::WireFormat) -> Self {
+        self.wire_format = format;
+        self
+    }
+
+    /// Enables micro-batching (builder style): coalesce up to
+    /// `batch_max` items or `linger_ms` milliseconds per topic into one
+    /// batch publish. `linger_ms = 0` turns batching off.
+    pub fn with_batching(mut self, batch_max: usize, linger_ms: u64) -> Self {
+        self.batch_max = batch_max.max(1);
+        self.batch_linger_ms = linger_ms;
+        self
+    }
+
+    /// Sets the queue-wait threshold (milliseconds) at which a `Block`
+    /// stage escalates to `ShedOldest`; `0` disables escalation.
+    pub fn with_escalation(mut self, escalate_wait_ms: u64) -> Self {
+        self.executor.escalate_wait_ms = escalate_wait_ms;
+        self
     }
 
     /// Sets the staged-executor tuning (builder style).
@@ -611,6 +654,25 @@ mod tests {
         assert_eq!(cfg.executor.mailbox_capacity, 1, "capacity clamps to 1");
         assert_eq!(cfg.executor.shed_policy, ShedPolicy::ShedOldest);
         assert_eq!(NodeConfig::new("m").executor, ExecutorConfig::default());
+    }
+
+    #[test]
+    fn wire_and_batching_builders() {
+        let cfg = NodeConfig::new("n");
+        assert_eq!(cfg.wire_format, crate::wire::WireFormat::Json);
+        assert_eq!(cfg.batch_linger_ms, 0, "batching defaults off");
+        assert_eq!(
+            cfg.executor.escalate_wait_ms,
+            crate::costs::REALTIME_BOUND_MS
+        );
+        let cfg = cfg
+            .with_wire_format(crate::wire::WireFormat::Binary)
+            .with_batching(0, 50)
+            .with_escalation(0);
+        assert_eq!(cfg.wire_format, crate::wire::WireFormat::Binary);
+        assert_eq!(cfg.batch_max, 1, "batch_max clamps to 1");
+        assert_eq!(cfg.batch_linger_ms, 50);
+        assert_eq!(cfg.executor.escalate_wait_ms, 0);
     }
 
     #[test]

@@ -75,6 +75,13 @@ pub const CUSTOM_MS: f64 = 1.0;
 /// Serializing/averaging one MIX model snapshot.
 pub const MIX_MS: f64 = 8.0;
 
+/// The paper's real-time bound: Section IV deems processing real-time
+/// while end-to-end delay stays under ~1.6 s (Tables II/III cross this
+/// at the 20–40 Hz knee). The executor's adaptive shed escalation flips
+/// a `Block` stage to `ShedOldest` once its queue-wait high-water mark
+/// crosses this bound.
+pub const REALTIME_BOUND_MS: u64 = 1_600;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,6 +41,17 @@ pub trait NodeEnv {
 
     /// A deterministic random value (used for stochastic service times).
     fn rand_u64(&mut self) -> u64;
+
+    /// Whether [`NodeEnv::trace_event`] records anything — callers guard
+    /// event formatting behind this so the default path pays nothing.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Appends a structured record (e.g. stage enqueue/dequeue) to the
+    /// runtime's execution trace. A no-op unless the runtime opted in
+    /// (the simulator's stage-trace mode; [`MockEnv`] always records).
+    fn trace_event(&mut self, _kind: &str) {}
 }
 
 /// Helpers layered on [`NodeEnv`].
@@ -91,6 +102,8 @@ pub struct MockEnv {
     pub latencies: Vec<(String, u64)>,
     /// Counters.
     pub counters: std::collections::BTreeMap<String, u64>,
+    /// Trace records (stage enqueue/dequeue events).
+    pub traces: Vec<String>,
     rng_state: u64,
 }
 
@@ -118,6 +131,7 @@ impl MockEnv {
         self.timers_rel.clear();
         self.timers_abs.clear();
         self.latencies.clear();
+        self.traces.clear();
         self.cpu_ms = 0.0;
     }
 
@@ -167,6 +181,14 @@ impl NodeEnv for MockEnv {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^ (z >> 31)
+    }
+
+    fn trace_enabled(&self) -> bool {
+        true
+    }
+
+    fn trace_event(&mut self, kind: &str) {
+        self.traces.push(kind.to_owned());
     }
 }
 

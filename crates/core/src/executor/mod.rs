@@ -62,6 +62,20 @@ pub trait StreamOperator: std::fmt::Debug + Send {
     /// Consumes one flow item.
     fn on_item(&mut self, env: &mut dyn NodeEnv, item: FlowItem) -> Vec<OpOutput>;
 
+    /// Consumes a coalesced batch of flow items (one mailbox slot, one
+    /// dispatch). The default is the per-item loop — semantically the
+    /// batch path is *always* equivalent to N separate deliveries. ML
+    /// operators override this to pay their per-call model cost once
+    /// per batch instead of once per item, matching the
+    /// [`crate::costs`] batch cost model.
+    fn on_batch(&mut self, env: &mut dyn NodeEnv, items: Vec<FlowItem>) -> Vec<OpOutput> {
+        let mut out = Vec::new();
+        for item in items {
+            out.append(&mut self.on_item(env, item));
+        }
+        out
+    }
+
     /// Handles a periodic tick (window flush, MIX offer).
     fn on_timer(&mut self, _env: &mut dyn NodeEnv, _timer: OpTimer) -> Vec<OpOutput> {
         Vec::new()
@@ -86,10 +100,29 @@ pub trait StreamOperator: std::fmt::Debug + Send {
 pub enum WorkItem {
     /// A flow item to process.
     Item(FlowItem),
+    /// A coalesced batch of flow items: occupies one mailbox slot and
+    /// is dispatched as one [`StreamOperator::on_batch`] call.
+    Batch(Vec<FlowItem>),
     /// A control-plane message.
     Control(ControlMsg),
     /// A periodic tick.
     Timer(OpTimer),
+}
+
+impl WorkItem {
+    /// Number of flow items this work entry carries (0 for timers and
+    /// control messages).
+    pub fn item_count(&self) -> usize {
+        match self {
+            WorkItem::Item(_) => 1,
+            WorkItem::Batch(items) => items.len(),
+            WorkItem::Control(_) | WorkItem::Timer(_) => 0,
+        }
+    }
+
+    fn sheddable(&self) -> bool {
+        matches!(self, WorkItem::Item(_) | WorkItem::Batch(_))
+    }
 }
 
 /// Per-stage mailbox and throughput counters, surfaced by the monitor.
@@ -109,6 +142,13 @@ pub struct StageStats {
     pub max_depth: usize,
     /// Total nanoseconds items spent queued before execution.
     pub wait_ns_total: u64,
+    /// Flow items delivered inside [`WorkItem::Batch`] entries.
+    pub batched_items: u64,
+    /// High-water queue wait (nanoseconds) of any executed entry.
+    pub max_wait_ns: u64,
+    /// Shed-policy escalations (`Block` → `ShedOldest`) this stage
+    /// performed after its queue wait crossed the real-time bound.
+    pub escalations: u64,
 }
 
 impl StageStats {
@@ -139,20 +179,38 @@ pub struct ExecutorStage {
     mailbox: VecDeque<(WorkItem, u64)>,
     capacity: usize,
     policy: ShedPolicy,
+    escalate_after_ns: u64,
     /// Mailbox and throughput counters.
     pub stats: StageStats,
 }
 
 impl ExecutorStage {
-    /// Wraps an operator with a bounded mailbox.
+    /// Wraps an operator with a bounded mailbox. Shed escalation
+    /// defaults to the paper's real-time bound
+    /// ([`crate::costs::REALTIME_BOUND_MS`]); tune it with
+    /// [`ExecutorStage::set_escalation_ms`].
     pub fn new(op: Box<dyn StreamOperator>, capacity: usize, policy: ShedPolicy) -> Self {
         ExecutorStage {
             op,
             mailbox: VecDeque::new(),
             capacity: capacity.max(1),
             policy,
+            escalate_after_ns: crate::costs::REALTIME_BOUND_MS * 1_000_000,
             stats: StageStats::default(),
         }
+    }
+
+    /// Sets the queue-wait threshold (milliseconds) at which a
+    /// [`ShedPolicy::Block`] stage escalates to shed-oldest (`0`
+    /// disables escalation).
+    pub fn set_escalation_ms(&mut self, ms: u64) {
+        self.escalate_after_ns = ms.saturating_mul(1_000_000);
+    }
+
+    /// The stage's current overflow policy (it may differ from the
+    /// configured one after an escalation).
+    pub fn policy(&self) -> ShedPolicy {
+        self.policy
     }
 
     /// The wrapped operator's monitor line.
@@ -177,17 +235,14 @@ impl ExecutorStage {
     /// signal *before* calling (the inline driver drains immediately, so
     /// its mailbox never fills).
     pub fn enqueue(&mut self, work: WorkItem, now_ns: u64) {
-        if matches!(work, WorkItem::Item(_)) && self.mailbox.len() >= self.capacity {
+        if work.sheddable() && self.mailbox.len() >= self.capacity {
             match self.policy {
                 ShedPolicy::Block => {}
                 ShedPolicy::ShedOldest => {
-                    // Evict the oldest queued *item*; timers and control
-                    // messages are never shed.
-                    if let Some(pos) = self
-                        .mailbox
-                        .iter()
-                        .position(|(w, _)| matches!(w, WorkItem::Item(_)))
-                    {
+                    // Evict the oldest queued *item or batch*; timers and
+                    // control messages are never shed. A batch counts as
+                    // one shed entry (stats track entries, not items).
+                    if let Some(pos) = self.mailbox.iter().position(|(w, _)| w.sheddable()) {
                         self.mailbox.remove(pos);
                         self.stats.shed_oldest += 1;
                     }
@@ -209,9 +264,33 @@ impl ExecutorStage {
         let (work, enqueued_ns) = self.mailbox.pop_front()?;
         self.stats.depth = self.mailbox.len();
         self.stats.processed += 1;
-        self.stats.wait_ns_total += env.now_ns().saturating_sub(enqueued_ns);
+        let wait_ns = env.now_ns().saturating_sub(enqueued_ns);
+        self.stats.wait_ns_total += wait_ns;
+        self.stats.max_wait_ns = self.stats.max_wait_ns.max(wait_ns);
+        // Adaptive shed escalation: a Block stage whose queue wait has
+        // crossed the real-time bound is already failing its deadline —
+        // flip to bounded staleness so it can catch up.
+        if self.policy == ShedPolicy::Block
+            && self.escalate_after_ns > 0
+            && wait_ns > self.escalate_after_ns
+        {
+            self.policy = ShedPolicy::ShedOldest;
+            self.stats.escalations += 1;
+        }
+        if env.trace_enabled() {
+            env.trace_event(&format!(
+                "stage_deq({}, depth={}, batch={})",
+                self.op.spec().id,
+                self.stats.depth,
+                work.item_count(),
+            ));
+        }
         Some(match work {
             WorkItem::Item(item) => self.op.on_item(env, item),
+            WorkItem::Batch(items) => {
+                self.stats.batched_items += items.len() as u64;
+                self.op.on_batch(env, items)
+            }
             WorkItem::Control(msg) => self.op.on_control(env, &msg),
             WorkItem::Timer(timer) => self.op.on_timer(env, timer),
         })
@@ -258,6 +337,14 @@ impl StageCell {
     /// returning every output in order (the inline driver).
     pub fn offer_inline(&self, env: &mut dyn NodeEnv, work: WorkItem) -> Vec<OpOutput> {
         let mut stage = self.stage.lock();
+        if env.trace_enabled() {
+            env.trace_event(&format!(
+                "stage_enq({}, depth={}, batch={})",
+                stage.op.spec().id,
+                stage.depth() + 1,
+                work.item_count(),
+            ));
+        }
         stage.enqueue(work, env.now_ns());
         let mut out = Vec::new();
         while let Some(mut outputs) = stage.step(env) {
@@ -317,11 +404,13 @@ impl ExecutorGraph {
         let cells = specs
             .iter()
             .map(|spec| {
-                Arc::new(StageCell::new(ExecutorStage::new(
+                let mut stage = ExecutorStage::new(
                     ops::build_operator(spec.clone()),
                     config.mailbox_capacity,
                     config.shed_policy,
-                )))
+                );
+                stage.set_escalation_ms(config.escalate_wait_ms);
+                Arc::new(StageCell::new(stage))
             })
             .collect();
         ExecutorGraph { cells, specs }
@@ -350,6 +439,22 @@ impl ExecutorGraph {
     /// Inline: runs one item through stage `index` to completion.
     pub fn offer_item(&self, env: &mut dyn NodeEnv, index: usize, item: FlowItem) -> Vec<OpOutput> {
         self.cells[index].offer_inline(env, WorkItem::Item(item))
+    }
+
+    /// Inline: runs a coalesced batch through stage `index` (one
+    /// dispatch, one batched model call for ML stages).
+    pub fn offer_batch(
+        &self,
+        env: &mut dyn NodeEnv,
+        index: usize,
+        items: Vec<FlowItem>,
+    ) -> Vec<OpOutput> {
+        self.cells[index].offer_inline(env, WorkItem::Batch(items))
+    }
+
+    /// A stage's current shed policy (post-escalation).
+    pub fn policy(&self, index: usize) -> ShedPolicy {
+        self.cells[index].with_stage(|stage| stage.policy())
     }
 
     /// Inline: runs one control message through stage `index`.

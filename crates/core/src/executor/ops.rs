@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use ifot_ml::feature::{Datum, DEFAULT_DIMENSIONS};
+use ifot_ml::feature::{Datum, FeatureVector, DEFAULT_DIMENSIONS};
 use ifot_ml::mix::MixCoordinator;
 use ifot_ml::runtime::{AnyClassifier, AnyDetector};
 use ifot_ml::stat::Ewma;
@@ -312,6 +312,40 @@ impl StreamOperator for TrainOp {
         Vec::new()
     }
 
+    fn on_batch(&mut self, env: &mut dyn NodeEnv, items: Vec<FlowItem>) -> Vec<OpOutput> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        // One batched train RPC for the whole micro-batch: the batch cost
+        // (and its jitter / slow-path draws) is charged once, which is
+        // where the coalesced flow path earns its throughput. The model
+        // state and counters end up identical to the per-item loop.
+        let mut cost = costs::TRAIN_BATCH_MS + env.rand_exp_ms(costs::TRAIN_JITTER_MEAN_MS);
+        if env.rand_chance(costs::TRAIN_SLOW_PROB) {
+            cost += costs::TRAIN_SLOW_MS;
+        }
+        env.consume_ref_ms(cost);
+        env.incr("train_batch_calls");
+        let examples: Vec<(FeatureVector, String)> = items
+            .iter()
+            .map(|item| {
+                let label = item
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| self.labeller.label(&item.datum).to_owned());
+                (item.datum.to_vector(DEFAULT_DIMENSIONS), label)
+            })
+            .collect();
+        self.model
+            .train_batch(examples.iter().map(|(x, label)| (x, label.as_str())));
+        for item in &items {
+            self.trained += 1;
+            env.incr("trained");
+            env.record_latency_since_ns("sensing_to_training", item.origin_ts_ns);
+        }
+        Vec::new()
+    }
+
     fn on_timer(&mut self, env: &mut dyn NodeEnv, timer: OpTimer) -> Vec<OpOutput> {
         if timer != OpTimer::Mix {
             return Vec::new();
@@ -386,6 +420,50 @@ impl StreamOperator for PredictOp {
                 label,
                 score: None,
             }));
+        }
+        out
+    }
+
+    fn on_batch(&mut self, env: &mut dyn NodeEnv, items: Vec<FlowItem>) -> Vec<OpOutput> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        // One batched classify call; cost drawn once for the whole
+        // micro-batch. Per-item outputs (events, emits, counters,
+        // latencies) match the per-item loop exactly.
+        let mut cost = costs::PREDICT_BATCH_MS + env.rand_exp_ms(costs::PREDICT_JITTER_MEAN_MS);
+        if env.rand_chance(costs::PREDICT_SLOW_PROB) {
+            cost += costs::PREDICT_SLOW_MS;
+        }
+        env.consume_ref_ms(cost);
+        env.incr("predict_batch_calls");
+        let xs: Vec<FeatureVector> = items
+            .iter()
+            .map(|item| item.datum.to_vector(DEFAULT_DIMENSIONS))
+            .collect();
+        let labels = self.model.classify_batch(&xs);
+        let mut out = Vec::with_capacity(items.len() * 2);
+        for (item, label) in items.into_iter().zip(labels) {
+            self.predicted += 1;
+            env.incr("predicted");
+            env.record_latency_since_ns("sensing_to_predicting", item.origin_ts_ns);
+            let at_ns = env.now_ns();
+            let seq = next_seq(&mut self.seq);
+            out.push(OpOutput::Event(NodeEvent::Prediction {
+                task: self.spec.id.clone(),
+                label: label.clone(),
+                at_ns,
+            }));
+            if self.spec.output.is_some() {
+                out.push(OpOutput::Emit(FlowMessage {
+                    producer: self.spec.id.clone(),
+                    origin_ts_ns: item.origin_ts_ns,
+                    seq,
+                    datum: item.datum,
+                    label,
+                    score: None,
+                }));
+            }
         }
         out
     }
@@ -836,6 +914,108 @@ mod tests {
         assert_eq!(env.latencies[0].1, 5_000_000);
         assert_eq!(env.counter("trained"), 1);
         assert_eq!(op.model().expect("train has model").examples_seen(), 1);
+    }
+
+    #[test]
+    fn train_batch_matches_per_item_loop() {
+        let spec = || {
+            OperatorSpec::sink(
+                "t",
+                OperatorKind::Train {
+                    algorithm: "pa".into(),
+                    mix_interval_ms: 0,
+                },
+                vec!["flow/#".into()],
+            )
+        };
+        let items: Vec<FlowItem> = (0..4)
+            .map(|i| {
+                item(
+                    "flow/r/x",
+                    i,
+                    1_000 + i,
+                    &[("x", i as f64), ("y", -(i as f64))],
+                )
+            })
+            .collect();
+
+        let mut loop_env = MockEnv::new();
+        let mut loop_op = build_operator(spec());
+        for it in items.clone() {
+            assert!(loop_op.on_item(&mut loop_env, it).is_empty());
+        }
+
+        let mut batch_env = MockEnv::new();
+        let mut batch_op = build_operator(spec());
+        assert!(batch_op.on_batch(&mut batch_env, items).is_empty());
+
+        // Identical model state and per-item bookkeeping...
+        assert_eq!(
+            loop_op.model().unwrap().export_diff(),
+            batch_op.model().unwrap().export_diff()
+        );
+        assert_eq!(batch_env.counter("trained"), 4);
+        assert_eq!(batch_env.counter("train_batch_calls"), 1);
+        assert_eq!(loop_env.latencies, batch_env.latencies);
+        // ...but the batch charged the train cost once, not four times.
+        assert!(batch_env.cpu_ms >= costs::TRAIN_BATCH_MS);
+        assert!(loop_env.cpu_ms >= 4.0 * costs::TRAIN_BATCH_MS);
+        assert!(batch_env.cpu_ms < loop_env.cpu_ms);
+    }
+
+    #[test]
+    fn predict_batch_matches_per_item_loop() {
+        let spec = || {
+            OperatorSpec::through(
+                "p",
+                OperatorKind::Predict {
+                    algorithm: "pa".into(),
+                },
+                vec!["flow/#".into()],
+                "flow/r/p",
+            )
+        };
+        // Give both models identical weights so classify produces labels.
+        let mut teacher = AnyClassifier::by_name("pa");
+        for i in 0..20 {
+            let hot = Datum::new().with("x", 30.0 + i as f64);
+            let cold = Datum::new().with("x", -5.0 - i as f64);
+            teacher.train(&hot.to_vector(DEFAULT_DIMENSIONS), "hot");
+            teacher.train(&cold.to_vector(DEFAULT_DIMENSIONS), "cold");
+        }
+        let import = ControlMsg::Mix(MixEnvelope {
+            role: "avg".into(),
+            task: "p".into(),
+            diff: teacher.export_diff(),
+        });
+        let items: Vec<FlowItem> = (0..4)
+            .map(|i| {
+                let v = if i % 2 == 0 { 40.0 } else { -10.0 };
+                item("flow/r/x", i, 2_000 + i, &[("x", v)])
+            })
+            .collect();
+
+        let mut loop_env = MockEnv::new();
+        let mut loop_op = build_operator(spec());
+        assert!(loop_op.on_control(&mut loop_env, &import).is_empty());
+        let mut loop_out = Vec::new();
+        for it in items.clone() {
+            loop_out.extend(loop_op.on_item(&mut loop_env, it));
+        }
+
+        let mut batch_env = MockEnv::new();
+        let mut batch_op = build_operator(spec());
+        assert!(batch_op.on_control(&mut batch_env, &import).is_empty());
+        let batch_out = batch_op.on_batch(&mut batch_env, items);
+
+        assert_eq!(loop_out, batch_out, "events and emits must be identical");
+        assert!(batch_out
+            .iter()
+            .any(|o| matches!(o, OpOutput::Event(NodeEvent::Prediction { label: Some(l), .. }) if l == "hot")));
+        assert_eq!(batch_env.counter("predicted"), 4);
+        assert_eq!(batch_env.counter("predict_batch_calls"), 1);
+        assert_eq!(loop_env.latencies, batch_env.latencies);
+        assert!(batch_env.cpu_ms < loop_env.cpu_ms);
     }
 
     #[test]

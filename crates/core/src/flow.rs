@@ -35,18 +35,52 @@ pub struct FlowMessage {
 }
 
 impl FlowMessage {
-    /// Serializes to the wire payload.
+    /// Serializes to the default (JSON) wire payload. Binary encoding is
+    /// opt-in via [`crate::wire::FlowCodec`].
     pub fn encode(&self) -> Vec<u8> {
         serde_json::to_vec(self).expect("flow messages are serializable")
     }
 
-    /// Parses from a wire payload.
+    /// Parses from a wire payload — transparently accepting both the
+    /// compact binary frame (magic [`crate::wire::FRAME_MAGIC`]) and
+    /// legacy JSON, so mixed-version deployments interoperate.
     ///
     /// # Errors
     ///
-    /// Returns the serde error message for malformed payloads.
+    /// Returns a description for malformed payloads.
     pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.first() == Some(&crate::wire::FRAME_MAGIC) {
+            return crate::wire::decode_message_binary(bytes);
+        }
         serde_json::from_slice(bytes).map_err(|e| e.to_string())
+    }
+}
+
+/// A batch of flow messages coalesced into one wire frame: one publish
+/// (one broker routing + fan-out) carries N samples. The binary encoding
+/// ([`crate::wire::FlowCodec::encode_batch`]) shares the producer header
+/// and a datum-key dictionary across items and delta-encodes
+/// `origin_ts_ns`/`seq`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowBatch {
+    /// The coalesced messages, in publish order.
+    pub items: Vec<FlowMessage>,
+}
+
+impl FlowBatch {
+    /// Earliest sensing timestamp across the batch (`None` when empty).
+    pub fn first_origin_ns(&self) -> Option<u64> {
+        self.items.iter().map(|m| m.origin_ts_ns).min()
+    }
+
+    /// Number of coalesced messages.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
     }
 }
 
@@ -84,14 +118,32 @@ impl FlowItem {
             }
         }
         let msg = FlowMessage::decode(payload)?;
-        Ok(FlowItem {
+        Ok(FlowItem::from_message(topic, msg))
+    }
+
+    /// Normalizes a decoded flow message arriving on `topic`.
+    pub fn from_message(topic: &str, msg: FlowMessage) -> FlowItem {
+        FlowItem {
             topic: topic.to_owned(),
             origin_ts_ns: msg.origin_ts_ns,
             seq: msg.seq,
             datum: msg.datum,
             label: msg.label,
             score: msg.score,
-        })
+        }
+    }
+
+    /// Rebuilds the wire message for this item (used when coalescing
+    /// normalized items — e.g. raw sensor samples — into a batch).
+    pub fn into_message(self, producer: impl Into<String>) -> FlowMessage {
+        FlowMessage {
+            producer: producer.into(),
+            origin_ts_ns: self.origin_ts_ns,
+            seq: self.seq,
+            datum: self.datum,
+            label: self.label,
+            score: self.score,
+        }
     }
 
     /// Converts a raw sensor sample into a flow item.

@@ -35,6 +35,7 @@ pub mod node;
 pub mod operators;
 pub mod sim_adapter;
 pub mod thread_rt;
+pub mod wire;
 
 pub use config::{
     ActuatorKindSpec, ActuatorSpec, ExecutorConfig, NodeConfig, OperatorKind, OperatorSpec,
@@ -44,8 +45,9 @@ pub use deploy::{deploy, DeployError, DeploymentPlan};
 pub use discovery::{FlowDirectory, NodeAnnouncement, StreamInfo};
 pub use env::{MockEnv, NodeEnv};
 pub use executor::{ExecutorGraph, StageStats, StreamOperator};
-pub use flow::{topics, FlowItem, FlowMessage};
+pub use flow::{topics, FlowBatch, FlowItem, FlowMessage};
 pub use node::{MiddlewareNode, MQTT_BROKER_PORT, MQTT_CLIENT_PORT};
 pub use operators::NodeEvent;
 pub use sim_adapter::{add_middleware_node, SimNode};
 pub use thread_rt::{ClusterBuilder, ClusterReport, RunningCluster};
+pub use wire::{FlowCodec, WireFormat};

@@ -34,12 +34,13 @@ use ifot_sensors::actuator::{Actuator, AirConditioner, AlertSink, CeilingLight, 
 use ifot_sensors::device::VirtualSensor;
 use ifot_sensors::inject::AnomalyInjector;
 
-use crate::config::{ActuatorKindSpec, NodeConfig};
+use crate::config::{ActuatorKindSpec, NodeConfig, ShedPolicy};
 use crate::costs;
 use crate::env::NodeEnv;
 use crate::executor::{ControlMsg, ExecutorGraph, OpTimer, StageCell, StageStats, WorkItem};
-use crate::flow::{topics, FlowItem};
+use crate::flow::{topics, FlowBatch, FlowItem, FlowMessage};
 use crate::operators::{ClassifierModel, MixEnvelope, NodeEvent, OpOutput};
+use crate::wire::FlowCodec;
 
 /// Port MQTT clients send to (broker ingress).
 pub const MQTT_BROKER_PORT: u16 = 1883;
@@ -52,6 +53,7 @@ const TAG_CLIENT_POLL: u64 = 2;
 const TAG_BROKER_POLL: u64 = 3;
 const TAG_FLUSH: u64 = 4;
 const TAG_MIX: u64 = 5;
+const TAG_BATCH: u64 = 6;
 
 const CLIENT_POLL_NS: u64 = 200_000_000;
 const BROKER_POLL_NS: u64 = 500_000_000;
@@ -61,6 +63,14 @@ const SEQ_GAP_TRACK_MAX: u64 = 1024;
 
 fn tag(kind: u64, index: usize) -> u64 {
     (kind << TAG_KIND_SHIFT) | index as u64
+}
+
+/// Publish-side frame accounting: frames, coalesced items and wire
+/// bytes, so benches can compare bytes-per-sample across codecs.
+fn note_flow_frame(env: &mut dyn NodeEnv, items: u64, bytes: usize) {
+    env.incr("flow_frames_published");
+    env.add("flow_items_published", items);
+    env.add("flow_bytes_published", bytes as u64);
 }
 
 #[derive(Debug)]
@@ -197,6 +207,13 @@ pub struct MiddlewareNode {
     directory: crate::discovery::FlowDirectory,
     broker_polls: u64,
     sys_view: BTreeMap<String, String>,
+    /// Per-topic micro-batch accumulators (publish coalescing; only
+    /// populated when `batch_linger_ms > 0`).
+    pending_batches: BTreeMap<String, Vec<FlowMessage>>,
+    batch_timer_armed: bool,
+    /// Last published shed policy per stage, for `$SYS` transition
+    /// notifications when adaptive escalation flips a stage.
+    shed_policy_seen: Vec<ShedPolicy>,
 }
 
 impl MiddlewareNode {
@@ -275,6 +292,7 @@ impl MiddlewareNode {
             )
         });
         let supervisor = ReconnectSupervisor::new(config.reconnect.clone(), config.keep_alive_secs);
+        let shed_policy_seen = (0..executor.len()).map(|i| executor.policy(i)).collect();
         MiddlewareNode {
             broker: config.run_broker.then(|| {
                 ShardedBroker::new(BrokerConfig {
@@ -301,8 +319,22 @@ impl MiddlewareNode {
             directory: crate::discovery::FlowDirectory::new(),
             broker_polls: 0,
             sys_view: BTreeMap::new(),
+            pending_batches: BTreeMap::new(),
+            batch_timer_armed: false,
+            shed_policy_seen,
             config,
         }
+    }
+
+    /// The codec for this node's configured wire format.
+    fn codec(&self) -> FlowCodec {
+        FlowCodec::new(self.config.wire_format)
+    }
+
+    /// Whether publish-side micro-batching is active (a linger window is
+    /// configured and the node has a client to publish through).
+    fn batching_enabled(&self) -> bool {
+        self.config.batch_linger_ms > 0 && self.client.is_some()
     }
 
     /// The last-seen `$SYS/...` broker status values (populated when an
@@ -514,6 +546,7 @@ impl MiddlewareNode {
             TAG_BROKER_POLL => self.on_broker_poll(env),
             TAG_FLUSH => self.on_stage_timer(env, index, OpTimer::Flush),
             TAG_MIX => self.on_stage_timer(env, index, OpTimer::Mix),
+            TAG_BATCH => self.flush_pending_batches(env),
             _ => env.incr("unknown_timer"),
         }
     }
@@ -579,7 +612,23 @@ impl MiddlewareNode {
 
         if self.connected {
             self.sensors[index].published += 1;
-            self.publish(env, &topic, payload);
+            if self.batching_enabled() {
+                // Coalesced flow path: wrap the sample into a flow
+                // message and let the micro-batcher amortize the publish.
+                match FlowItem::from_payload(&topic, &payload) {
+                    Ok(item) => {
+                        let message = item.into_message(self.config.name.clone());
+                        self.enqueue_batch(env, &topic, message);
+                    }
+                    Err(_) => {
+                        note_flow_frame(env, 1, payload.len());
+                        self.publish(env, &topic, payload);
+                    }
+                }
+            } else {
+                note_flow_frame(env, 1, payload.len());
+                self.publish(env, &topic, payload);
+            }
         } else if self.config.offline_queue_capacity > 0 {
             // Publish class offline buffering: hold samples through the
             // outage, flushed in order on reconnect.
@@ -669,6 +718,67 @@ impl MiddlewareNode {
     }
 
     // ------------------------------------------------------------------
+    // Publish coalescing (micro-batched flow path)
+    // ------------------------------------------------------------------
+
+    /// Adds a flow message to its topic's pending micro-batch, flushing
+    /// when `batch_max` is reached and otherwise arming one shared
+    /// linger timer for the first message of a batching window.
+    fn enqueue_batch(&mut self, env: &mut dyn NodeEnv, topic: &str, message: FlowMessage) {
+        let batch_max = self.config.batch_max.max(1);
+        let pending = self.pending_batches.entry(topic.to_owned()).or_default();
+        pending.push(message);
+        if pending.len() >= batch_max {
+            self.flush_batch_topic(env, topic);
+            return;
+        }
+        if !self.batch_timer_armed {
+            self.batch_timer_armed = true;
+            env.set_timer_after_ns(
+                self.config.batch_linger_ms.saturating_mul(1_000_000),
+                tag(TAG_BATCH, 0),
+            );
+        }
+    }
+
+    /// Publishes one topic's pending batch as a single wire frame.
+    fn flush_batch_topic(&mut self, env: &mut dyn NodeEnv, topic: &str) {
+        let Some(items) = self.pending_batches.remove(topic) else {
+            return;
+        };
+        self.publish_flow_frame(env, topic, items);
+    }
+
+    /// Flushes every pending micro-batch (linger timer expiry, and the
+    /// runtime's shutdown drain so trailing samples are not lost).
+    pub(crate) fn flush_pending_batches(&mut self, env: &mut dyn NodeEnv) {
+        self.batch_timer_armed = false;
+        let topics: Vec<String> = self.pending_batches.keys().cloned().collect();
+        for topic in topics {
+            self.flush_batch_topic(env, &topic);
+        }
+    }
+
+    /// Encodes 1 message as a message frame or N as a batch frame (one
+    /// shared header, delta-encoded timestamps) and publishes it.
+    fn publish_flow_frame(&mut self, env: &mut dyn NodeEnv, topic: &str, items: Vec<FlowMessage>) {
+        if items.is_empty() {
+            return;
+        }
+        let n = items.len() as u64;
+        let codec = self.codec();
+        let encoded = if items.len() == 1 {
+            codec.encode_message(&items[0])
+        } else {
+            codec
+                .encode_batch(&FlowBatch { items })
+                .expect("non-empty batch encodes")
+        };
+        note_flow_frame(env, n, encoded.len());
+        self.publish(env, topic, encoded.into());
+    }
+
+    // ------------------------------------------------------------------
     // Broker class
     // ------------------------------------------------------------------
 
@@ -706,6 +816,10 @@ impl MiddlewareNode {
                     if let Ok(sample) = ifot_sensors::sample::Sample::decode(&p.payload) {
                         env.record_latency_since_ns("sensing_to_broker", sample.timestamp_ns);
                     }
+                } else if let Some(origin) = crate::wire::peek_first_origin(&p.payload) {
+                    // Batched/binary frames carry their origin in the
+                    // header — same probe without a full decode.
+                    env.record_latency_since_ns("sensing_to_broker", origin);
                 }
             }
             // Single-threaded embedding: apply cross-shard forwards
@@ -813,8 +927,36 @@ impl MiddlewareNode {
                 SupervisorAction::None => {}
             }
         }
+        self.publish_shed_policy_transitions(env);
         if self.client.is_some() {
             env.set_timer_after_ns(CLIENT_POLL_NS, tag(TAG_CLIENT_POLL, 0));
+        }
+    }
+
+    /// Publishes a retained `$SYS` notification when adaptive escalation
+    /// has flipped a stage's shed policy since the last poll, so
+    /// monitoring subscribers observe the transition.
+    fn publish_shed_policy_transitions(&mut self, env: &mut dyn NodeEnv) {
+        if !self.connected {
+            return;
+        }
+        for i in 0..self.executor.len() {
+            let current = self.executor.policy(i);
+            if self.shed_policy_seen.get(i).copied() == Some(current) {
+                continue;
+            }
+            if let Some(slot) = self.shed_policy_seen.get_mut(i) {
+                *slot = current;
+            }
+            let id = self.executor.specs()[i].id.clone();
+            let topic = format!("$SYS/ifot/{}/stage/{}/shed_policy", self.config.name, id);
+            let name = match current {
+                ShedPolicy::Block => "block",
+                ShedPolicy::ShedOldest => "shed_oldest",
+                ShedPolicy::ShedNewest => "shed_newest",
+            };
+            env.incr("shed_policy_transitions");
+            self.publish_opts(env, &topic, Bytes::from_static(name.as_bytes()), true);
         }
     }
 
@@ -883,6 +1025,10 @@ impl MiddlewareNode {
                                     sample.timestamp_ns,
                                 );
                             }
+                        } else if let Some(origin) =
+                            crate::wire::peek_first_origin(&publish.payload)
+                        {
+                            env.record_latency_since_ns("sensing_to_subscribe", origin);
                         }
                         self.dispatch_flow(env, publish.topic.as_str().to_owned(), publish.payload);
                     }
@@ -1016,8 +1162,10 @@ impl MiddlewareNode {
                 }
                 continue;
             }
-            let item = match FlowItem::from_payload(&topic, &payload) {
-                Ok(item) => item,
+            // Normalized decode: raw sample, binary/JSON message, or a
+            // coalesced batch frame — one to N items per payload.
+            let items = match crate::wire::decode_items(&topic, &payload) {
+                Ok(items) => items,
                 Err(_) => {
                     env.incr("flow_decode_errors");
                     continue;
@@ -1027,26 +1175,42 @@ impl MiddlewareNode {
             // seq, so received flows can be audited for permanent gaps
             // (loss) and duplicates after faults and session resumes.
             if topic.starts_with("sensor/") {
-                self.seq_ledger
-                    .entry(topic.clone())
-                    .or_default()
-                    .observe(item.seq);
+                let ledger = self.seq_ledger.entry(topic.clone()).or_default();
+                for item in &items {
+                    ledger.observe(item.seq);
+                }
             }
             for i in 0..self.executor.len() {
                 if !self.executor.specs()[i].accepts(&topic) {
                     continue;
                 }
-                // Sequence sharding: replicated operators split the flow.
-                if let Some((modulus, index)) = self.executor.specs()[i].shard {
-                    if item.seq % modulus != index {
-                        continue;
-                    }
+                // Sequence sharding: replicated operators split the flow
+                // (applied per item, so one batch frame feeds every
+                // shard its own sub-batch).
+                let accepted: Vec<FlowItem> = match self.executor.specs()[i].shard {
+                    Some((modulus, index)) => items
+                        .iter()
+                        .filter(|item| item.seq % modulus == index)
+                        .cloned()
+                        .collect(),
+                    None => items.clone(),
+                };
+                if accepted.is_empty() {
+                    continue;
                 }
-                if self.pooled {
+                if accepted.len() == 1 {
+                    let item = accepted.into_iter().next().expect("length checked");
+                    if self.pooled {
+                        self.executor.enqueue(i, WorkItem::Item(item), env.now_ns());
+                    } else {
+                        let outputs = self.executor.offer_item(env, i, item);
+                        self.process_outputs(env, i, outputs, &mut queue);
+                    }
+                } else if self.pooled {
                     self.executor
-                        .enqueue(i, WorkItem::Item(item.clone()), env.now_ns());
+                        .enqueue(i, WorkItem::Batch(accepted), env.now_ns());
                 } else {
-                    let outputs = self.executor.offer_item(env, i, item.clone());
+                    let outputs = self.executor.offer_batch(env, i, accepted);
                     self.process_outputs(env, i, outputs, &mut queue);
                 }
             }
@@ -1122,37 +1286,52 @@ impl MiddlewareNode {
                     let Some(topic) = spec.output else {
                         continue;
                     };
-                    let payload = message.encode().into();
-                    self.route_output(
-                        env,
-                        Some(op_index),
-                        &topic,
-                        payload,
-                        spec.publish_output,
-                        queue,
-                    );
+                    if spec.publish_output && self.batching_enabled() && self.connected {
+                        // Coalesced path: hand the message to the
+                        // micro-batcher; co-located consumers that the
+                        // broker echo will not reach still get it now.
+                        let has_local_consumer = self
+                            .executor
+                            .specs()
+                            .iter()
+                            .enumerate()
+                            .any(|(j, s)| j != op_index && s.accepts(&topic));
+                        if has_local_consumer && !self.subscription_covers(&topic) {
+                            let payload = self.codec().encode_message(&message).into();
+                            queue.push_back((topic.clone(), payload));
+                        }
+                        self.enqueue_batch(env, &topic, message);
+                    } else {
+                        let payload = self.codec().encode_message(&message).into();
+                        self.route_output(
+                            env,
+                            Some(op_index),
+                            &topic,
+                            payload,
+                            spec.publish_output,
+                            queue,
+                        );
+                    }
                 }
                 OpOutput::MixOffer(diff) => {
                     let task = self.executor.specs()[op_index].id.clone();
                     let topic = topics::mix_offer(&self.config.app, &task);
-                    let payload = MixEnvelope {
+                    let envelope = MixEnvelope {
                         role: "offer".into(),
                         task,
                         diff,
-                    }
-                    .encode()
-                    .into();
+                    };
+                    let payload = self.codec().encode_mix(&envelope).into();
                     self.route_output(env, None, &topic, payload, true, queue);
                 }
                 OpOutput::MixAverage { task, diff } => {
                     let topic = topics::mix_average(&self.config.app, &task);
-                    let payload = MixEnvelope {
+                    let envelope = MixEnvelope {
                         role: "avg".into(),
                         task,
                         diff,
-                    }
-                    .encode()
-                    .into();
+                    };
+                    let payload = self.codec().encode_mix(&envelope).into();
                     self.route_output(env, None, &topic, payload, true, queue);
                 }
                 OpOutput::Command { device_id, command } => {

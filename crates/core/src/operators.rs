@@ -92,17 +92,23 @@ pub struct MixEnvelope {
 }
 
 impl MixEnvelope {
-    /// Serializes to the wire payload.
+    /// Serializes to the default (JSON) wire payload. Binary encoding is
+    /// opt-in via [`crate::wire::FlowCodec`].
     pub fn encode(&self) -> Vec<u8> {
         serde_json::to_vec(self).expect("mix envelopes are serializable")
     }
 
-    /// Parses from a wire payload.
+    /// Parses from a wire payload — transparently accepting both the
+    /// compact binary frame (magic [`crate::wire::FRAME_MAGIC`]) and
+    /// legacy JSON.
     ///
     /// # Errors
     ///
-    /// Returns the serde error message for malformed payloads.
+    /// Returns a description for malformed payloads.
     pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.first() == Some(&crate::wire::FRAME_MAGIC) {
+            return crate::wire::decode_mix_binary(bytes);
+        }
         serde_json::from_slice(bytes).map_err(|e| e.to_string())
     }
 }

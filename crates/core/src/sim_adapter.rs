@@ -81,6 +81,14 @@ impl NodeEnv for SimEnv<'_, '_> {
     fn rand_u64(&mut self) -> u64 {
         self.ctx.rng().next_u64()
     }
+
+    fn trace_enabled(&self) -> bool {
+        self.ctx.stage_trace_enabled()
+    }
+
+    fn trace_event(&mut self, kind: &str) {
+        self.ctx.stage_event(kind);
+    }
 }
 
 impl Actor for SimNode {

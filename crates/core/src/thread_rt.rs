@@ -9,7 +9,7 @@
 //! work into real `thread::sleep`s to emulate constrained devices.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -83,6 +83,7 @@ impl ClusterBuilder {
     ///
     /// Panics if two nodes share a name.
     pub fn start(self) -> RunningCluster {
+        let stop_plan = stop_plan(&self.nodes);
         let mut senders: HashMap<String, Sender<ThreadMsg>> = HashMap::new();
         let mut receivers: Vec<(NodeConfig, Option<f64>, Receiver<ThreadMsg>)> = Vec::new();
         for (config, speed) in self.nodes {
@@ -117,8 +118,107 @@ impl ClusterBuilder {
             handles,
             metrics,
             epoch,
+            stop_plan,
         }
     }
+}
+
+/// Computes the shutdown order that loses no in-flight flow: publishers
+/// first (topologically, so upstream stages drain into downstream ones),
+/// then broker nodes (their FIFO inbox forwards everything already
+/// published), then pure sinks (their inbox holds every forward by the
+/// time Stop is enqueued behind it).
+fn stop_plan(nodes: &[(NodeConfig, Option<f64>)]) -> Vec<String> {
+    use ifot_mqtt::topic::{TopicFilter, TopicName};
+    struct Info {
+        name: String,
+        outputs: Vec<String>,
+        inputs: Vec<String>,
+        broker: bool,
+    }
+    let infos: Vec<Info> = nodes
+        .iter()
+        .map(|(c, _)| {
+            let mut outputs: Vec<String> = c.sensors.iter().map(|s| s.topic.clone()).collect();
+            for op in &c.operators {
+                if let (Some(out), true) = (&op.output, op.publish_output) {
+                    outputs.push(out.clone());
+                }
+            }
+            Info {
+                name: c.name.clone(),
+                outputs,
+                inputs: c.subscription_filters(),
+                broker: c.run_broker,
+            }
+        })
+        .collect();
+    let feeds = |a: &Info, b: &Info| -> bool {
+        a.outputs.iter().any(|topic| {
+            TopicName::new(topic.clone())
+                .map(|t| {
+                    b.inputs.iter().any(|f| {
+                        TopicFilter::new(f.clone())
+                            .map(|f| f.matches(&t))
+                            .unwrap_or(false)
+                    })
+                })
+                .unwrap_or(false)
+        })
+    };
+    // Phase 1: non-broker publishers, Kahn's algorithm over the
+    // output-to-subscription edges; registration order breaks ties and
+    // closes MIX-style cycles.
+    let publishers: Vec<usize> = infos
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| !i.broker && !i.outputs.is_empty())
+        .map(|(k, _)| k)
+        .collect();
+    let m = publishers.len();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut indeg = vec![0usize; m];
+    for (ai, &a) in publishers.iter().enumerate() {
+        for (bi, &b) in publishers.iter().enumerate() {
+            if ai != bi && feeds(&infos[a], &infos[b]) {
+                edges[ai].push(bi);
+                indeg[bi] += 1;
+            }
+        }
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(infos.len());
+    let mut ready: VecDeque<usize> = (0..m).filter(|&i| indeg[i] == 0).collect();
+    let mut done = vec![false; m];
+    while let Some(i) = ready.pop_front() {
+        if done[i] {
+            continue;
+        }
+        done[i] = true;
+        order.push(publishers[i]);
+        for &j in &edges[i] {
+            indeg[j] = indeg[j].saturating_sub(1);
+            if indeg[j] == 0 && !done[j] {
+                ready.push_back(j);
+            }
+        }
+    }
+    for i in 0..m {
+        if !done[i] {
+            order.push(publishers[i]);
+        }
+    }
+    // Phase 2: broker nodes. Phase 3: pure sinks.
+    for (k, info) in infos.iter().enumerate() {
+        if info.broker {
+            order.push(k);
+        }
+    }
+    for (k, info) in infos.iter().enumerate() {
+        if !info.broker && info.outputs.is_empty() {
+            order.push(k);
+        }
+    }
+    order.into_iter().map(|k| infos[k].name.clone()).collect()
 }
 
 /// Handle to a running cluster.
@@ -127,6 +227,7 @@ pub struct RunningCluster {
     handles: Vec<(String, std::thread::JoinHandle<MiddlewareNode>)>,
     metrics: Arc<Mutex<Metrics>>,
     epoch: Instant,
+    stop_plan: Vec<String>,
 }
 
 impl std::fmt::Debug for RunningCluster {
@@ -169,17 +270,40 @@ impl RunningCluster {
     }
 
     /// Stops every node and collects the final state.
+    ///
+    /// Nodes stop in dependency order (publishers, then brokers, then
+    /// sinks), each joined before the next Stop is sent: the FIFO
+    /// channels then guarantee every packet enqueued upstream is
+    /// processed downstream before its Stop, so the final in-flight
+    /// samples are counted instead of dropped.
     pub fn stop(self) -> ClusterReport {
-        for tx in self.senders.values() {
-            let _ = tx.send(ThreadMsg::Stop);
-        }
-        let mut nodes = Vec::new();
-        for (name, handle) in self.handles {
+        let registration: Vec<String> = self.handles.iter().map(|(n, _)| n.clone()).collect();
+        let mut handles: HashMap<String, std::thread::JoinHandle<MiddlewareNode>> =
+            self.handles.into_iter().collect();
+        let mut stopped: HashMap<String, MiddlewareNode> = HashMap::new();
+        let plan: Vec<String> = if self.stop_plan.len() == registration.len() {
+            self.stop_plan.clone()
+        } else {
+            registration.clone()
+        };
+        for name in plan.iter().chain(registration.iter()) {
+            let Some(handle) = handles.remove(name) else {
+                continue;
+            };
+            if let Some(tx) = self.senders.get(name) {
+                let _ = tx.send(ThreadMsg::Stop);
+            }
             match handle.join() {
-                Ok(node) => nodes.push(node),
+                Ok(node) => {
+                    stopped.insert(name.clone(), node);
+                }
                 Err(_) => eprintln!("node thread {name} panicked"),
             }
         }
+        let nodes = registration
+            .iter()
+            .filter_map(|name| stopped.remove(name))
+            .collect();
         let metrics = self.metrics.lock().clone();
         ClusterReport { metrics, nodes }
     }
@@ -369,18 +493,52 @@ fn run_node(
                 node.handle_outputs(&mut env, op_index, outputs);
                 rng_state = env.rng_state;
             }
-            Ok(ThreadMsg::Stop) => break,
+            Ok(ThreadMsg::Stop) => {
+                // Publish any lingering micro-batches before exiting so
+                // coalesced tail samples reach the broker (it stops
+                // after us in the cluster's phased shutdown).
+                let mut env = env!();
+                node.flush_pending_batches(&mut env);
+                rng_state = env.rng_state;
+                break;
+            }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
     if let Some(pool) = pool {
         pool.stop();
-        // Route whatever the workers delivered before stopping.
-        while let Ok(ThreadMsg::StageOutputs { op_index, outputs }) = rx.try_recv() {
-            let mut env = env!();
-            node.handle_outputs(&mut env, op_index, outputs);
-            rng_state = env.rng_state;
+        // Drain what the workers left behind: backlogged mailbox items
+        // (bounded by the per-stage mailboxes) and outputs delivered
+        // before the stop. Without this the final in-flight samples of a
+        // run disappear from the books.
+        let cells = node.executor_cells();
+        for _pass in 0..10_000 {
+            let mut progressed = false;
+            for (index, cell) in cells.iter().enumerate() {
+                let mut env = env!();
+                let stepped = cell.step_pooled(&mut env);
+                rng_state = env.rng_state;
+                if let Some(outputs) = stepped {
+                    progressed = true;
+                    if !outputs.is_empty() {
+                        let mut env = env!();
+                        node.handle_outputs(&mut env, index, outputs);
+                        rng_state = env.rng_state;
+                    }
+                }
+            }
+            while let Ok(msg) = rx.try_recv() {
+                if let ThreadMsg::StageOutputs { op_index, outputs } = msg {
+                    progressed = true;
+                    let mut env = env!();
+                    node.handle_outputs(&mut env, op_index, outputs);
+                    rng_state = env.rng_state;
+                }
+            }
+            if !progressed {
+                break;
+            }
         }
     }
     node

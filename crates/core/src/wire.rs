@@ -1,0 +1,829 @@
+//! Compact binary wire codec for the flow plane.
+//!
+//! The paper's prototype ships one JSON document per sample per hop; at
+//! 80 Hz that pays serialization, broker routing and fan-out costs 80×
+//! per second per stream. This module amortizes those costs two ways:
+//!
+//! * a **binary encoding** of [`FlowMessage`], [`FlowBatch`] and
+//!   [`MixEnvelope`] (varint/delta packed, shared key dictionary), and
+//! * a **batch frame** ([`FlowBatch`]) carrying N messages under one
+//!   shared header, so one publish replaces N.
+//!
+//! Frames are discriminated by a magic byte that collides with neither
+//! existing payload family: raw 32-byte sensor samples start `b"IF"`
+//! (`0x49`) and JSON documents start `{` (`0x7B`); binary frames start
+//! [`FRAME_MAGIC`] (`0xFB`). Decoding is therefore *transparent*: every
+//! decode entry point accepts legacy JSON alongside binary, so
+//! mixed-version deployments interoperate and the default configuration
+//! (JSON, no batching) is bit-identical to the seed.
+//!
+//! Frame layout (all integers varint/LEB128 unless noted):
+//!
+//! ```text
+//! 0xFB  version(1)  kind   body
+//!                   0x01   FlowMessage: producer, origin, seq,
+//!                          datum{n, (key, f64)...}, label?, score?
+//!                   0x02   FlowBatch: shared-producer, count, key-dict,
+//!                          base origin/seq, then per item: producer-flag,
+//!                          zigzag Δorigin, zigzag Δseq,
+//!                          datum{n, (dict-idx, f64)...}, label?, score?
+//!                   0x03   MixEnvelope: role, task,
+//!                          diff{labels, (label, {n, (idx, f64)...})...}
+//! ```
+//!
+//! Strings are length-prefixed UTF-8; `f64` travels as its IEEE-754 bits
+//! little-endian; options are a `0x00`/`0x01` tag. Decoders reject
+//! trailing garbage: a frame must consume exactly its payload.
+
+use ifot_ml::feature::{Datum, SparseWeights};
+use ifot_ml::mix::ModelDiff;
+use serde::{Deserialize, Serialize};
+
+use crate::flow::{FlowBatch, FlowItem, FlowMessage};
+use crate::operators::MixEnvelope;
+
+/// First byte of every binary flow frame.
+pub const FRAME_MAGIC: u8 = 0xFB;
+/// Current binary format version.
+pub const FRAME_VERSION: u8 = 1;
+/// Frame kind: a single [`FlowMessage`].
+pub const KIND_MESSAGE: u8 = 0x01;
+/// Frame kind: a [`FlowBatch`].
+pub const KIND_BATCH: u8 = 0x02;
+/// Frame kind: a [`MixEnvelope`].
+pub const KIND_MIX: u8 = 0x03;
+
+/// Which encoding a node writes on the flow plane. Decoding always
+/// accepts both, so this knob never has to match across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WireFormat {
+    /// Legacy JSON documents (the seed behaviour).
+    #[default]
+    Json,
+    /// Compact binary frames (magic [`FRAME_MAGIC`]).
+    Binary,
+}
+
+/// Encoder for the flow plane, parameterized by [`WireFormat`]. In
+/// `Json` mode the output is byte-identical to the legacy
+/// [`FlowMessage::encode`] / [`MixEnvelope::encode`] paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowCodec {
+    /// The encoding this codec writes.
+    pub format: WireFormat,
+}
+
+impl FlowCodec {
+    /// Creates a codec writing the given format.
+    pub fn new(format: WireFormat) -> Self {
+        FlowCodec { format }
+    }
+
+    /// Encodes a single flow message.
+    pub fn encode_message(&self, msg: &FlowMessage) -> Vec<u8> {
+        match self.format {
+            WireFormat::Json => msg.encode(),
+            WireFormat::Binary => encode_message_binary(msg),
+        }
+    }
+
+    /// Encodes a batch of flow messages into one frame.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty batch (there is nothing to frame).
+    pub fn encode_batch(&self, batch: &FlowBatch) -> Result<Vec<u8>, String> {
+        if batch.is_empty() {
+            return Err("cannot encode an empty flow batch".to_owned());
+        }
+        Ok(match self.format {
+            WireFormat::Json => serde_json::to_vec(batch).expect("flow batches are serializable"),
+            WireFormat::Binary => encode_batch_binary(batch),
+        })
+    }
+
+    /// Encodes a model-plane envelope.
+    pub fn encode_mix(&self, envelope: &MixEnvelope) -> Vec<u8> {
+        match self.format {
+            WireFormat::Json => envelope.encode(),
+            WireFormat::Binary => encode_mix_binary(envelope),
+        }
+    }
+}
+
+/// Decodes any flow-plane payload arriving on `topic` into normalized
+/// items: a raw 32-byte sensor sample, a binary or JSON [`FlowMessage`]
+/// (one item), or a binary or JSON [`FlowBatch`] (N items, publish order
+/// preserved).
+///
+/// # Errors
+///
+/// Returns a description when no decoding applies.
+pub fn decode_items(topic: &str, payload: &[u8]) -> Result<Vec<FlowItem>, String> {
+    if payload.len() == ifot_sensors::sample::SAMPLE_WIRE_SIZE
+        && payload.first() != Some(&FRAME_MAGIC)
+    {
+        if let Ok(item) = FlowItem::from_payload(topic, payload) {
+            return Ok(vec![item]);
+        }
+    }
+    if payload.first() == Some(&FRAME_MAGIC) {
+        return match frame_kind(payload)? {
+            KIND_MESSAGE => {
+                decode_message_binary(payload).map(|m| vec![FlowItem::from_message(topic, m)])
+            }
+            KIND_BATCH => decode_batch_binary(payload).map(|b| {
+                b.items
+                    .into_iter()
+                    .map(|m| FlowItem::from_message(topic, m))
+                    .collect()
+            }),
+            other => Err(format!(
+                "flow frame kind {other:#04x} is not a flow payload"
+            )),
+        };
+    }
+    // JSON: a single message first (the common case), then a batch.
+    if let Ok(msg) = FlowMessage::decode(payload) {
+        return Ok(vec![FlowItem::from_message(topic, msg)]);
+    }
+    let batch: FlowBatch =
+        serde_json::from_slice(payload).map_err(|e| format!("not a flow payload: {e}"))?;
+    Ok(batch
+        .items
+        .into_iter()
+        .map(|m| FlowItem::from_message(topic, m))
+        .collect())
+}
+
+/// Peeks the earliest `origin_ts_ns` out of a binary message or batch
+/// frame without a full decode — used by broker/client latency probes.
+/// Returns `None` for non-binary payloads or non-flow kinds.
+pub fn peek_first_origin(payload: &[u8]) -> Option<u64> {
+    let mut r = Reader::new(payload);
+    if r.u8().ok()? != FRAME_MAGIC || r.u8().ok()? != FRAME_VERSION {
+        return None;
+    }
+    match r.u8().ok()? {
+        KIND_MESSAGE => {
+            let _producer = r.string().ok()?;
+            r.varint().ok()
+        }
+        KIND_BATCH => {
+            let _shared = r.string().ok()?;
+            let _count = r.varint().ok()?;
+            let keys = r.varint().ok()?;
+            for _ in 0..keys {
+                let _ = r.string().ok()?;
+            }
+            r.varint().ok()
+        }
+        _ => None,
+    }
+}
+
+/// Number of flow items a payload will decode into, without decoding
+/// them (1 for samples/messages, N for batch frames). `None` when the
+/// payload is not a recognizable flow frame header.
+pub fn peek_item_count(payload: &[u8]) -> Option<usize> {
+    if payload.first() != Some(&FRAME_MAGIC) {
+        return Some(1);
+    }
+    let mut r = Reader::new(payload);
+    let _ = r.u8().ok()?;
+    if r.u8().ok()? != FRAME_VERSION {
+        return None;
+    }
+    match r.u8().ok()? {
+        KIND_MESSAGE => Some(1),
+        KIND_BATCH => {
+            let _shared = r.string().ok()?;
+            r.varint().ok().map(|n| n as usize)
+        }
+        _ => None,
+    }
+}
+
+/// Decodes a message payload, binary or JSON (alias of
+/// [`FlowMessage::decode`], which is already transparent).
+///
+/// # Errors
+///
+/// Returns a description for malformed payloads.
+pub fn decode_message(payload: &[u8]) -> Result<FlowMessage, String> {
+    FlowMessage::decode(payload)
+}
+
+/// Decodes a batch payload, binary or JSON.
+///
+/// # Errors
+///
+/// Returns a description for malformed payloads.
+pub fn decode_batch(payload: &[u8]) -> Result<FlowBatch, String> {
+    if payload.first() == Some(&FRAME_MAGIC) {
+        return decode_batch_binary(payload);
+    }
+    serde_json::from_slice(payload).map_err(|e| e.to_string())
+}
+
+/// Decodes a model-plane payload, binary or JSON (alias of
+/// [`MixEnvelope::decode`], which is already transparent).
+///
+/// # Errors
+///
+/// Returns a description for malformed payloads.
+pub fn decode_mix(payload: &[u8]) -> Result<MixEnvelope, String> {
+    MixEnvelope::decode(payload)
+}
+
+fn frame_kind(payload: &[u8]) -> Result<u8, String> {
+    let mut r = Reader::new(payload);
+    let magic = r.u8()?;
+    if magic != FRAME_MAGIC {
+        return Err(format!("bad frame magic {magic:#04x}"));
+    }
+    let version = r.u8()?;
+    if version != FRAME_VERSION {
+        return Err(format!("unknown flow frame version {version}"));
+    }
+    r.u8()
+}
+
+// ---------------------------------------------------------------------
+// Binary encoders
+// ---------------------------------------------------------------------
+
+fn header(kind: u8) -> Vec<u8> {
+    vec![FRAME_MAGIC, FRAME_VERSION, kind]
+}
+
+/// Encodes one message as a binary frame.
+pub fn encode_message_binary(msg: &FlowMessage) -> Vec<u8> {
+    let mut w = header(KIND_MESSAGE);
+    put_string(&mut w, &msg.producer);
+    put_varint(&mut w, msg.origin_ts_ns);
+    put_varint(&mut w, msg.seq);
+    put_varint(&mut w, msg.datum.len() as u64);
+    for (key, value) in msg.datum.iter() {
+        put_string(&mut w, key);
+        put_f64(&mut w, value);
+    }
+    put_opt_string(&mut w, msg.label.as_deref());
+    put_opt_f64(&mut w, msg.score);
+    w
+}
+
+/// Encodes a non-empty batch as one binary frame: shared producer, a
+/// datum-key dictionary, and per-item zigzag deltas of origin/seq
+/// against the previous item.
+pub fn encode_batch_binary(batch: &FlowBatch) -> Vec<u8> {
+    let mut w = header(KIND_BATCH);
+    let shared = batch
+        .items
+        .first()
+        .map(|m| m.producer.as_str())
+        .unwrap_or("");
+    put_string(&mut w, shared);
+    put_varint(&mut w, batch.items.len() as u64);
+    // Key dictionary: union of datum keys, first-appearance order.
+    let mut dict: Vec<&str> = Vec::new();
+    for item in &batch.items {
+        for (key, _) in item.datum.iter() {
+            if !dict.contains(&key) {
+                dict.push(key);
+            }
+        }
+    }
+    put_varint(&mut w, dict.len() as u64);
+    for key in &dict {
+        put_string(&mut w, key);
+    }
+    let base_origin = batch.items.first().map(|m| m.origin_ts_ns).unwrap_or(0);
+    let base_seq = batch.items.first().map(|m| m.seq).unwrap_or(0);
+    put_varint(&mut w, base_origin);
+    put_varint(&mut w, base_seq);
+    let (mut prev_origin, mut prev_seq) = (base_origin, base_seq);
+    for item in &batch.items {
+        if item.producer == shared {
+            w.push(0);
+        } else {
+            w.push(1);
+            put_string(&mut w, &item.producer);
+        }
+        put_zigzag(&mut w, item.origin_ts_ns.wrapping_sub(prev_origin) as i64);
+        put_zigzag(&mut w, item.seq.wrapping_sub(prev_seq) as i64);
+        prev_origin = item.origin_ts_ns;
+        prev_seq = item.seq;
+        put_varint(&mut w, item.datum.len() as u64);
+        for (key, value) in item.datum.iter() {
+            let idx = dict.iter().position(|k| *k == key).expect("key in dict");
+            put_varint(&mut w, idx as u64);
+            put_f64(&mut w, value);
+        }
+        put_opt_string(&mut w, item.label.as_deref());
+        put_opt_f64(&mut w, item.score);
+    }
+    w
+}
+
+/// Encodes a model-plane envelope as a binary frame.
+pub fn encode_mix_binary(envelope: &MixEnvelope) -> Vec<u8> {
+    let mut w = header(KIND_MIX);
+    put_string(&mut w, &envelope.role);
+    put_string(&mut w, &envelope.task);
+    put_varint(&mut w, envelope.diff.label_count() as u64);
+    for (label, weights) in envelope.diff.iter() {
+        put_string(&mut w, label);
+        put_varint(&mut w, weights.nnz() as u64);
+        for (index, value) in weights.iter() {
+            put_varint(&mut w, index as u64);
+            put_f64(&mut w, value);
+        }
+    }
+    w
+}
+
+// ---------------------------------------------------------------------
+// Binary decoders (strict: a frame must consume its payload exactly)
+// ---------------------------------------------------------------------
+
+/// Decodes a strictly binary message frame.
+///
+/// # Errors
+///
+/// Returns a description for wrong kinds, truncation or trailing bytes.
+pub fn decode_message_binary(payload: &[u8]) -> Result<FlowMessage, String> {
+    let kind = frame_kind(payload)?;
+    if kind != KIND_MESSAGE {
+        return Err(format!("frame kind {kind:#04x} is not a flow message"));
+    }
+    let mut r = Reader::new(&payload[3..]);
+    let producer = r.string()?;
+    let origin_ts_ns = r.varint()?;
+    let seq = r.varint()?;
+    let datum = r.datum()?;
+    let label = r.opt_string()?;
+    let score = r.opt_f64()?;
+    r.finish()?;
+    Ok(FlowMessage {
+        producer,
+        origin_ts_ns,
+        seq,
+        datum,
+        label,
+        score,
+    })
+}
+
+/// Decodes a strictly binary batch frame.
+///
+/// # Errors
+///
+/// Returns a description for wrong kinds, truncation or trailing bytes.
+pub fn decode_batch_binary(payload: &[u8]) -> Result<FlowBatch, String> {
+    let kind = frame_kind(payload)?;
+    if kind != KIND_BATCH {
+        return Err(format!("frame kind {kind:#04x} is not a flow batch"));
+    }
+    let mut r = Reader::new(&payload[3..]);
+    let shared = r.string()?;
+    let count = r.varint()? as usize;
+    if count == 0 {
+        return Err("flow batch frame holds zero items".to_owned());
+    }
+    let dict_len = r.varint()? as usize;
+    if dict_len > payload.len() {
+        return Err("batch key dictionary longer than the frame".to_owned());
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        dict.push(r.string()?);
+    }
+    let base_origin = r.varint()?;
+    let base_seq = r.varint()?;
+    let (mut prev_origin, mut prev_seq) = (base_origin, base_seq);
+    let mut items = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let producer = match r.u8()? {
+            0 => shared.clone(),
+            1 => r.string()?,
+            other => return Err(format!("bad producer flag {other:#04x}")),
+        };
+        let origin_ts_ns = prev_origin.wrapping_add(r.zigzag()? as u64);
+        let seq = prev_seq.wrapping_add(r.zigzag()? as u64);
+        prev_origin = origin_ts_ns;
+        prev_seq = seq;
+        let feature_count = r.varint()? as usize;
+        let mut datum = Datum::new();
+        for _ in 0..feature_count {
+            let idx = r.varint()? as usize;
+            let key = dict
+                .get(idx)
+                .ok_or_else(|| format!("feature key index {idx} outside the dictionary"))?;
+            datum.set(key.clone(), r.f64()?);
+        }
+        let label = r.opt_string()?;
+        let score = r.opt_f64()?;
+        items.push(FlowMessage {
+            producer,
+            origin_ts_ns,
+            seq,
+            datum,
+            label,
+            score,
+        });
+    }
+    r.finish()?;
+    Ok(FlowBatch { items })
+}
+
+/// Decodes a strictly binary model-plane frame.
+///
+/// # Errors
+///
+/// Returns a description for wrong kinds, truncation or trailing bytes.
+pub fn decode_mix_binary(payload: &[u8]) -> Result<MixEnvelope, String> {
+    let kind = frame_kind(payload)?;
+    if kind != KIND_MIX {
+        return Err(format!("frame kind {kind:#04x} is not a mix envelope"));
+    }
+    let mut r = Reader::new(&payload[3..]);
+    let role = r.string()?;
+    let task = r.string()?;
+    let label_count = r.varint()? as usize;
+    if label_count > payload.len() {
+        return Err("mix label table longer than the frame".to_owned());
+    }
+    let mut parts = Vec::with_capacity(label_count);
+    for _ in 0..label_count {
+        let label = r.string()?;
+        let nnz = r.varint()? as usize;
+        let mut weights = SparseWeights::new();
+        for _ in 0..nnz {
+            let index = r.varint()?;
+            if index > u32::MAX as u64 {
+                return Err(format!("weight index {index} exceeds the hash space"));
+            }
+            weights.set(index as u32, r.f64()?);
+        }
+        parts.push((label, weights));
+    }
+    r.finish()?;
+    Ok(MixEnvelope {
+        role,
+        task,
+        diff: ModelDiff::from_parts(parts),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+fn put_varint(w: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.push(byte);
+            return;
+        }
+        w.push(byte | 0x80);
+    }
+}
+
+fn put_zigzag(w: &mut Vec<u8>, v: i64) {
+    put_varint(w, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_f64(w: &mut Vec<u8>, v: f64) {
+    w.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_string(w: &mut Vec<u8>, s: &str) {
+    put_varint(w, s.len() as u64);
+    w.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_string(w: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => w.push(0),
+        Some(s) => {
+            w.push(1);
+            put_string(w, s);
+        }
+    }
+}
+
+fn put_opt_f64(w: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => w.push(0),
+        Some(v) => {
+            w.push(1);
+            put_f64(w, v);
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| "frame truncated".to_owned())?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err("varint longer than 64 bits".to_owned())
+    }
+
+    fn zigzag(&mut self) -> Result<i64, String> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        if self.pos + 8 > self.bytes.len() {
+            return Err("frame truncated inside an f64".to_owned());
+        }
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_bits(u64::from_le_bytes(buf)))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = self.varint()? as usize;
+        if self.pos + len > self.bytes.len() {
+            return Err("frame truncated inside a string".to_owned());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+            .map_err(|e| format!("string is not UTF-8: {e}"))?
+            .to_owned();
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn opt_string(&mut self) -> Result<Option<String>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string()?)),
+            other => Err(format!("bad option tag {other:#04x}")),
+        }
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            other => Err(format!("bad option tag {other:#04x}")),
+        }
+    }
+
+    fn datum(&mut self) -> Result<Datum, String> {
+        let n = self.varint()? as usize;
+        if n > self.bytes.len() {
+            return Err("datum longer than the frame".to_owned());
+        }
+        let mut datum = Datum::new();
+        for _ in 0..n {
+            let key = self.string()?;
+            let value = self.f64()?;
+            datum.set(key, value);
+        }
+        Ok(datum)
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after the frame",
+                self.bytes.len() - self.pos
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(seq: u64) -> FlowMessage {
+        FlowMessage {
+            producer: "agg".into(),
+            origin_ts_ns: 1_000_000 + seq * 50_000,
+            seq,
+            datum: Datum::new().with("sound_db", 42.5 + seq as f64),
+            label: if seq.is_multiple_of(2) {
+                Some("high".into())
+            } else {
+                None
+            },
+            score: Some(0.25 * seq as f64),
+        }
+    }
+
+    #[test]
+    fn binary_message_round_trip() {
+        let m = msg(7);
+        let bytes = encode_message_binary(&m);
+        assert_eq!(bytes[0], FRAME_MAGIC);
+        assert_eq!(decode_message_binary(&bytes).expect("round trip"), m);
+        // The transparent entry point accepts it too.
+        assert_eq!(FlowMessage::decode(&bytes).expect("transparent"), m);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let m = msg(3);
+        assert!(
+            encode_message_binary(&m).len() < m.encode().len(),
+            "binary should undercut JSON: {} vs {}",
+            encode_message_binary(&m).len(),
+            m.encode().len()
+        );
+    }
+
+    #[test]
+    fn batch_round_trip_preserves_order_and_timestamps() {
+        let batch = FlowBatch {
+            items: (0..10).map(msg).collect(),
+        };
+        let bytes = encode_batch_binary(&batch);
+        let back = decode_batch_binary(&bytes).expect("round trip");
+        assert_eq!(back, batch);
+        // Delta+dictionary encoding amortizes: ten items cost far less
+        // than ten standalone frames.
+        let single = encode_message_binary(&batch.items[0]).len();
+        assert!(bytes.len() < single * batch.items.len());
+    }
+
+    #[test]
+    fn batch_with_mixed_producers_and_non_monotone_timestamps() {
+        let mut items: Vec<FlowMessage> = (0..4).map(msg).collect();
+        items[2].producer = "other".into();
+        items[3].origin_ts_ns = 10; // goes backwards: zigzag handles it
+        let batch = FlowBatch { items };
+        let back = decode_batch_binary(&encode_batch_binary(&batch)).expect("round trip");
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn json_batch_round_trips_through_decode_batch() {
+        let batch = FlowBatch {
+            items: (0..3).map(msg).collect(),
+        };
+        let json = FlowCodec::new(WireFormat::Json)
+            .encode_batch(&batch)
+            .expect("non-empty");
+        assert_eq!(json[0], b'{');
+        assert_eq!(decode_batch(&json).expect("json batch"), batch);
+    }
+
+    #[test]
+    fn decode_items_handles_every_payload_family() {
+        use ifot_sensors::sample::{Sample, SensorKind};
+        // Raw 32-byte sample.
+        let sample = Sample::new(SensorKind::Sound, 1, 5, 999, &[44.0]);
+        let items = decode_items("sensor/1/sound", &sample.encode()).expect("sample");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].seq, 5);
+        // JSON message.
+        let m = msg(1);
+        let items = decode_items("flow/r/t", &m.encode()).expect("json message");
+        assert_eq!(items, vec![FlowItem::from_message("flow/r/t", m.clone())]);
+        // Binary message.
+        let items = decode_items("flow/r/t", &encode_message_binary(&m)).expect("binary message");
+        assert_eq!(items.len(), 1);
+        // Binary batch.
+        let batch = FlowBatch {
+            items: (0..5).map(msg).collect(),
+        };
+        let items = decode_items("flow/r/t", &encode_batch_binary(&batch)).expect("binary batch");
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[4].seq, 4);
+        // JSON batch.
+        let json = serde_json::to_vec(&batch).expect("serializable");
+        let items = decode_items("flow/r/t", &json).expect("json batch");
+        assert_eq!(items.len(), 5);
+        // Garbage still rejected.
+        assert!(decode_items("t", &[0u8; 10]).is_err());
+        assert!(decode_items("t", &[0xFFu8; 32]).is_err());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_frames_are_rejected() {
+        let m = msg(2);
+        let bytes = encode_message_binary(&m);
+        for cut in 1..bytes.len() {
+            assert!(
+                decode_message_binary(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_message_binary(&trailing).is_err(), "trailing bytes");
+        let mut wrong_version = bytes.clone();
+        wrong_version[1] = 9;
+        assert!(decode_message_binary(&wrong_version).is_err());
+        let batch = FlowBatch {
+            items: vec![msg(0), msg(1)],
+        };
+        let bytes = encode_batch_binary(&batch);
+        for cut in 1..bytes.len() {
+            assert!(decode_batch_binary(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn mix_envelope_binary_round_trip() {
+        let mut w = SparseWeights::new();
+        w.set(7, 1.5);
+        w.set(131_072, -0.25);
+        let e = MixEnvelope {
+            role: "avg".into(),
+            task: "learn".into(),
+            diff: ModelDiff::from_parts(vec![("hot".to_owned(), w)]),
+        };
+        let bytes = encode_mix_binary(&e);
+        assert_eq!(decode_mix_binary(&bytes).expect("round trip"), e);
+        // Transparent entry point.
+        assert_eq!(MixEnvelope::decode(&bytes).expect("transparent"), e);
+        // JSON still decodes through the same entry point.
+        assert_eq!(MixEnvelope::decode(&e.encode()).expect("json"), e);
+    }
+
+    #[test]
+    fn peek_first_origin_matches_decode() {
+        let m = msg(4);
+        assert_eq!(
+            peek_first_origin(&encode_message_binary(&m)),
+            Some(m.origin_ts_ns)
+        );
+        let batch = FlowBatch {
+            items: (3..8).map(msg).collect(),
+        };
+        assert_eq!(
+            peek_first_origin(&encode_batch_binary(&batch)),
+            Some(batch.items[0].origin_ts_ns)
+        );
+        assert_eq!(peek_first_origin(&m.encode()), None, "JSON is not peeked");
+    }
+
+    #[test]
+    fn peek_item_count_matches_decode() {
+        let m = msg(4);
+        assert_eq!(peek_item_count(&encode_message_binary(&m)), Some(1));
+        assert_eq!(peek_item_count(&m.encode()), Some(1));
+        let batch = FlowBatch {
+            items: (0..6).map(msg).collect(),
+        };
+        assert_eq!(peek_item_count(&encode_batch_binary(&batch)), Some(6));
+    }
+
+    #[test]
+    fn json_codec_is_byte_identical_to_legacy_encoders() {
+        let codec = FlowCodec::default();
+        let m = msg(9);
+        assert_eq!(codec.encode_message(&m), m.encode());
+        let e = MixEnvelope {
+            role: "offer".into(),
+            task: "learn".into(),
+            diff: ModelDiff::new(),
+        };
+        assert_eq!(codec.encode_mix(&e), e.encode());
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let codec = FlowCodec::new(WireFormat::Binary);
+        assert!(codec.encode_batch(&FlowBatch { items: vec![] }).is_err());
+        // A forged zero-count binary batch frame is rejected on decode.
+        let mut forged = header(KIND_BATCH);
+        put_string(&mut forged, "p");
+        put_varint(&mut forged, 0);
+        assert!(decode_batch_binary(&forged).is_err());
+    }
+}

@@ -39,6 +39,19 @@ impl ModelDiff {
     pub fn labels(&self) -> impl Iterator<Item = &str> {
         self.weights.keys().map(String::as_str)
     }
+
+    /// Builds a snapshot from explicit per-label weights — the inverse
+    /// of [`ModelDiff::iter`], used by non-serde wire codecs.
+    pub fn from_parts(weights: impl IntoIterator<Item = (String, SparseWeights)>) -> Self {
+        ModelDiff {
+            weights: weights.into_iter().collect(),
+        }
+    }
+
+    /// Iterates over `(label, weights)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SparseWeights)> {
+        self.weights.iter().map(|(k, v)| (k.as_str(), v))
+    }
 }
 
 /// Anything with per-label linear weights that can participate in a MIX.
@@ -275,5 +288,16 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn coordinator_rejects_zero_participants() {
         let _ = MixCoordinator::new(0);
+    }
+
+    #[test]
+    fn diff_parts_round_trip() {
+        let mut m = Perceptron::new();
+        m.train(&x(vec![(3, 2.0)]), "a");
+        m.train(&x(vec![(5, -1.0)]), "b");
+        let diff = m.export_diff();
+        let rebuilt =
+            ModelDiff::from_parts(diff.iter().map(|(label, w)| (label.to_owned(), w.clone())));
+        assert_eq!(rebuilt, diff);
     }
 }

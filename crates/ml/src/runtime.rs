@@ -53,6 +53,45 @@ impl AnyClassifier {
         }
     }
 
+    /// Trains on a batch of examples in order, resolving the algorithm
+    /// dispatch once per batch instead of once per example — the
+    /// Jubatus-style joined-batch `train` RPC the paper's cost model
+    /// charges as a single call. Model state afterwards is identical to
+    /// calling [`AnyClassifier::train`] per example.
+    pub fn train_batch<'a>(
+        &mut self,
+        examples: impl IntoIterator<Item = (&'a FeatureVector, &'a str)>,
+    ) {
+        match self {
+            AnyClassifier::Perceptron(m) => {
+                for (x, label) in examples {
+                    m.train(x, label);
+                }
+            }
+            AnyClassifier::Pa(m) => {
+                for (x, label) in examples {
+                    m.train(x, label);
+                }
+            }
+            AnyClassifier::Arow(m) => {
+                for (x, label) in examples {
+                    m.train(x, label);
+                }
+            }
+        }
+    }
+
+    /// Classifies a batch of examples in order (one dispatch, one
+    /// batched `classify` call). Results are identical to calling
+    /// [`AnyClassifier::classify`] per example.
+    pub fn classify_batch(&self, xs: &[FeatureVector]) -> Vec<Option<String>> {
+        match self {
+            AnyClassifier::Perceptron(m) => xs.iter().map(|x| m.classify(x)).collect(),
+            AnyClassifier::Pa(m) => xs.iter().map(|x| m.classify(x)).collect(),
+            AnyClassifier::Arow(m) => xs.iter().map(|x| m.classify(x)).collect(),
+        }
+    }
+
     /// Examples consumed.
     pub fn examples_seen(&self) -> u64 {
         match self {

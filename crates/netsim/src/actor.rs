@@ -90,6 +90,7 @@ pub(crate) struct Effects {
     pub(crate) timers_rel: Vec<(SimDuration, u64)>,
     pub(crate) timers_abs: Vec<(SimTime, u64)>,
     pub(crate) latencies: Vec<(String, SimTime)>,
+    pub(crate) stage_events: Vec<String>,
 }
 
 /// Handler-side view of the simulation.
@@ -111,6 +112,7 @@ pub struct Context<'a> {
     pub(crate) metrics: &'a mut Metrics,
     pub(crate) names: &'a [String],
     pub(crate) effects: Effects,
+    pub(crate) stage_trace: bool,
 }
 
 impl<'a> Context<'a> {
@@ -177,6 +179,25 @@ impl<'a> Context<'a> {
     /// Name of a node.
     pub fn node_name(&self, id: NodeId) -> Option<&str> {
         self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Whether stage tracing is on (see
+    /// [`crate::sim::Simulation::enable_stage_trace`]). Actors guard the
+    /// formatting of stage-event strings behind this so the default path
+    /// pays nothing.
+    pub fn stage_trace_enabled(&self) -> bool {
+        self.stage_trace
+    }
+
+    /// Records a stage-level event (operator enqueue/dequeue, batch sizes,
+    /// shed decisions). Appended to the simulation trace as a
+    /// `stage:`-prefixed entry at this handler's arrival time, in emission
+    /// order, after the dispatch entry for the event being handled. A
+    /// no-op unless stage tracing is enabled.
+    pub fn stage_event(&mut self, kind: &str) {
+        if self.stage_trace {
+            self.effects.stage_events.push(kind.to_owned());
+        }
     }
 }
 

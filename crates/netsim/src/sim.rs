@@ -87,6 +87,7 @@ pub struct Simulation {
     backlog_limits: Vec<Option<SimDuration>>,
     actors: Vec<Option<Box<dyn Actor>>>,
     trace: Option<Trace>,
+    stage_trace: bool,
     processed: u64,
 }
 
@@ -112,6 +113,7 @@ impl Simulation {
             backlog_limits: Vec::new(),
             actors: Vec::new(),
             trace: None,
+            stage_trace: false,
             processed: 0,
         }
     }
@@ -268,6 +270,18 @@ impl Simulation {
         self.trace.replace(Trace::new()).unwrap_or_default()
     }
 
+    /// Turns on stage tracing in addition to event tracing: stage-level
+    /// records emitted by actors via [`Context::stage_event`] (operator
+    /// enqueue/dequeue, batch sizes) are appended to the trace as
+    /// `stage:`-prefixed entries. Off by default, so plain
+    /// [`Simulation::enable_trace`] digests are unaffected.
+    pub fn enable_stage_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+        self.stage_trace = true;
+    }
+
     /// Immutable view of the actor on `id`, downcast to `T`.
     ///
     /// Returns `None` if the node does not exist or hosts a different type.
@@ -377,6 +391,7 @@ impl Simulation {
             metrics: &mut self.metrics,
             names: &self.names,
             effects: Effects::default(),
+            stage_trace: self.stage_trace,
         };
         match &ev.kind {
             EventKind::Start => actor.on_start(&mut ctx),
@@ -385,6 +400,16 @@ impl Simulation {
         }
         let effects = ctx.effects;
         self.actors[ev.node.index()] = Some(actor);
+
+        if let Some(trace) = self.trace.as_mut() {
+            for kind in &effects.stage_events {
+                trace.push(TraceEntry {
+                    time: ev.time,
+                    node: ev.node,
+                    kind: format!("stage:{kind}"),
+                });
+            }
+        }
 
         // CPU accounting: the handler occupies the node for its declared
         // work; all effects materialize at the completion instant.

@@ -817,6 +817,72 @@ proptest! {
         prop_assert_eq!(decoded, envelope);
     }
 
+    /// The compact binary frame and the JSON wire format decode to the
+    /// same message — a Binary-configured producer interoperates with
+    /// any consumer, since `decode_items` sniffs the leading byte.
+    #[test]
+    fn binary_and_json_frames_cross_decode(msg in arb_flow_message()) {
+        use ifot::core::wire::{decode_items, encode_message_binary, FlowCodec, WireFormat};
+        let json = FlowCodec::new(WireFormat::Json).encode_message(&msg);
+        let binary = encode_message_binary(&msg);
+        prop_assert_eq!(&binary, &FlowCodec::new(WireFormat::Binary).encode_message(&msg));
+        let from_json = decode_items("flow/x", &json).expect("json frame decodes");
+        let from_binary = decode_items("flow/x", &binary).expect("binary frame decodes");
+        prop_assert_eq!(from_json, from_binary);
+        prop_assert_eq!(
+            ifot::core::wire::decode_message(&binary).expect("binary decodes"),
+            msg
+        );
+    }
+
+    /// Coalesced batches round-trip through the binary frame with item
+    /// order preserved, and the peek helpers report the batch header
+    /// without a full decode.
+    #[test]
+    fn flow_batch_binary_round_trips(
+        msgs in prop::collection::vec(arb_flow_message(), 1..10),
+    ) {
+        use ifot::core::flow::{FlowBatch, FlowItem};
+        use ifot::core::wire::{decode_batch, decode_items, encode_batch_binary, peek_first_origin, peek_item_count};
+        let batch = FlowBatch { items: msgs.clone() };
+        let bytes = encode_batch_binary(&batch);
+        prop_assert_eq!(decode_batch(&bytes).expect("own encoding decodes"), batch);
+        let items: Vec<FlowItem> = msgs
+            .iter()
+            .map(|m| FlowItem::from_message("flow/x", m.clone()))
+            .collect();
+        prop_assert_eq!(decode_items("flow/x", &bytes).expect("decodes"), items);
+        prop_assert_eq!(peek_item_count(&bytes), Some(msgs.len()));
+        prop_assert_eq!(peek_first_origin(&bytes), Some(msgs[0].origin_ts_ns));
+    }
+
+    /// Truncations and corruptions of a valid binary frame are rejected
+    /// as errors — never a panic, never a bogus success.
+    #[test]
+    fn binary_frames_reject_corrupt_payloads(
+        msgs in prop::collection::vec(arb_flow_message(), 1..6),
+        cut_pick in any::<usize>(),
+        flip_pick in any::<usize>(),
+        junk in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use ifot::core::flow::FlowBatch;
+        use ifot::core::wire::{decode_batch, decode_items, encode_batch_binary, FRAME_MAGIC};
+        let batch = FlowBatch { items: msgs };
+        let bytes = encode_batch_binary(&batch);
+        // Every strict prefix fails (the length-prefixed reader runs dry
+        // or the trailing-bytes check fires).
+        let cut = cut_pick % bytes.len();
+        prop_assert!(decode_batch(&bytes[..cut]).is_err());
+        // A version/kind corruption right after the magic byte fails.
+        let mut bad = bytes.clone();
+        bad[1 + flip_pick % 2] ^= 0xFF;
+        prop_assert!(decode_batch(&bad).is_err());
+        // Arbitrary junk behind the magic byte must error, not panic.
+        let mut framed = vec![FRAME_MAGIC];
+        framed.extend_from_slice(&junk);
+        prop_assert!(decode_items("flow/x", &framed).is_err() || framed == bytes);
+    }
+
     /// Corrupt MIX payloads are rejected, not panicked on: a malformed
     /// model-plane message must never take down a coordinator.
     #[test]
