@@ -1,186 +1,245 @@
 //! TCP end-to-end broker scaling measurement (no criterion), used to
 //! record `BENCH_broker_scaling.json`: real client connections publishing
 //! QoS 0 through [`TcpBroker`] to a fan-out of subscriber connections,
-//! swept over the two knobs the sharded front-end added —
-//! `BrokerConfig::shards` (service threads / routing partitions) and
-//! `BrokerConfig::write_batch` (frames coalesced per vectored write).
+//! swept over the knobs of the event-loop front-end —
+//! `BrokerConfig::shards` (event loops / routing partitions),
+//! `BrokerConfig::write_batch` (frames coalesced per vectored write) and,
+//! new with the C10K rewrite, the **connection count** itself: cells run
+//! from 200 up to 10 000 concurrent subscribers against the same fixed
+//! thread pool (`shards + 1` threads, asserted in-process every cell).
 //!
 //! The `shards: 1, write_batch: 1` cell is the seed-equivalent baseline:
-//! one service loop, one `write` syscall per delivered frame. On a
+//! one event loop, one `write` syscall per delivered frame. On a
 //! single-core host the shard sweep isolates partitioning overhead while
 //! the batch sweep isolates syscall coalescing; on multi-core hosts the
-//! shard sweep additionally shows routing parallelism.
+//! shard sweep additionally shows routing parallelism. The connection
+//! sweep shows what thread-per-connection could not: fan-out breadth
+//! scaling without any per-connection thread cost.
 //!
-//! Subscribers are minimal sink clients (manual CONNECT/SUBSCRIBE
-//! handshake, then a read loop counting complete PUBLISH frames by MQTT
-//! fixed-header framing) so the measurement tracks broker capacity
-//! rather than client-session bookkeeping; every counted delivery still
-//! crossed a real TCP socket as a complete spec-framed packet. Each
-//! cell runs several repetitions and keeps the fastest, the usual guard
-//! against scheduler noise on a shared host.
+//! ## Sink processes
+//!
+//! Subscribers are **multiplexed sink swarms in child processes** (this
+//! binary re-executed with `--sink`): each child drives thousands of
+//! nonblocking sockets through the same [`ifot_mqtt::poll::Poller`] the
+//! broker uses, from a single thread. Children exist for two reasons:
+//! the per-process fd budget (each in-process subscriber would cost the
+//! broker process two fds — 10 000 subscribers would not fit a 20 000
+//! `RLIMIT_NOFILE`), and measurement hygiene (the broker process's
+//! thread count stays exactly the broker's own threads, so the in-cell
+//! `shards + 1` assertion measures the server, not the harness).
+//! Every counted delivery still crossed a real TCP socket as a complete
+//! spec-framed PUBLISH. Cells run several repetitions and keep the
+//! fastest, the usual guard against scheduler noise on a shared host.
 //!
 //! Run with `cargo run --release -p ifot-bench --bin broker_scaling`
-//! (add `--quick` for a CI smoke run with a small fan-out).
+//! (add `--quick` for a CI smoke run that still includes a
+//! multi-thousand-connection cell).
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::os::unix::io::AsRawFd;
+use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use ifot_mqtt::broker::BrokerConfig;
 use ifot_mqtt::codec::{encode, StreamDecoder};
-use ifot_mqtt::net::{TcpBroker, TcpClient};
-use ifot_mqtt::packet::{Connect, Packet, QoS, Subscribe, SubscribeFilter};
+use ifot_mqtt::net::{mqtt_thread_count, TcpBroker, TcpClient};
+use ifot_mqtt::packet::{Connect, ConnectReturnCode, Packet, QoS, Subscribe, SubscribeFilter};
+use ifot_mqtt::poll::{Event, Interest, Poller};
 use ifot_mqtt::topic::TopicFilter;
+
+/// Upper bound on subscriber connections per sink child (fd headroom:
+/// one fd per connection in the child, two in a hypothetical in-process
+/// design).
+const SINK_CHUNK: usize = 5_000;
+
+/// How long a sink child keeps counting before giving up and reporting
+/// what it has.
+const SINK_DRAIN_SECS: u64 = 120;
 
 /// One measured configuration.
 struct CellResult {
     shards: usize,
     write_batch: usize,
+    connections: usize,
+    publishes: u64,
     expected: u64,
     delivered: u64,
     seconds: f64,
     rate: f64,
     timer_wakeups: u64,
+    broker_threads: usize,
 }
 
-/// Reads packets until `want` matches one (handshake helper). Panics on
-/// timeout — a cell that cannot even handshake is a benchmark bug.
-fn read_until(
-    stream: &mut TcpStream,
-    decoder: &mut StreamDecoder,
-    what: &str,
-    want: impl Fn(&Packet) -> bool,
-) {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    let mut buf = [0u8; 4096];
-    loop {
-        while let Ok(Some(packet)) = decoder.next_packet() {
-            if want(&packet) {
-                return;
-            }
-        }
-        assert!(Instant::now() < deadline, "timed out waiting for {what}");
-        match stream.read(&mut buf) {
-            Ok(0) => panic!("broker closed the connection before {what}"),
-            Ok(n) => decoder.feed(&buf[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(e) => panic!("socket error before {what}: {e}"),
-        }
-    }
+// ---------------------------------------------------------------------
+// Sink child: a single-threaded multiplexed subscriber swarm
+// ---------------------------------------------------------------------
+
+struct SinkConn {
+    stream: TcpStream,
+    decoder: StreamDecoder,
+    connacked: bool,
+    subacked: bool,
+    delivered: u64,
 }
 
-/// Counts complete MQTT frames in `buf` (fixed header + remaining-length
-/// varint, per the spec's framing rules), returning how many were
-/// PUBLISH packets and draining the consumed bytes. Incomplete trailing
-/// frames stay buffered for the next read. This is the sink's hot path:
-/// framing without per-packet decode allocations, so the measurement
-/// tracks broker capacity rather than sink-side parsing.
-fn count_publish_frames(buf: &mut Vec<u8>) -> u64 {
-    let mut count = 0u64;
-    let mut pos = 0usize;
-    loop {
-        if buf.len() - pos < 2 {
-            break;
-        }
-        // Remaining-length varint (1-4 bytes after the type byte).
-        let mut remaining = 0usize;
-        let mut shift = 0u32;
-        let mut i = pos + 1;
-        let mut complete = false;
-        while i < buf.len() && shift <= 21 {
-            let byte = buf[i];
-            remaining |= ((byte & 0x7f) as usize) << shift;
-            shift += 7;
-            i += 1;
-            if byte & 0x80 == 0 {
-                complete = true;
-                break;
-            }
-        }
-        assert!(shift <= 28, "malformed remaining-length varint");
-        if !complete || i + remaining > buf.len() {
-            break;
-        }
-        if buf[pos] >> 4 == 3 {
-            count += 1;
-        }
-        pos = i + remaining;
-    }
-    buf.drain(..pos);
-    count
-}
-
-/// Minimal QoS 0 sink: handshakes, subscribes to `sensor/#`, then counts
-/// PUBLISH frames until it saw `publishes` of them or `stop` is raised.
-fn sink_subscriber(
-    addr: SocketAddr,
-    id: String,
-    publishes: u64,
-    delivered: Arc<AtomicU64>,
-    stop: Arc<AtomicBool>,
-    ready: Arc<Barrier>,
-) {
-    let mut stream = TcpStream::connect(addr).expect("subscriber connect");
-    stream.set_nodelay(true).expect("nodelay");
-    stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .expect("read timeout");
-    let mut decoder = StreamDecoder::new();
-    let mut connect = Connect::new(id);
-    connect.keep_alive_secs = 0; // no keep-alive: idle shards stay parked
-    stream
-        .write_all(&encode(&Packet::Connect(connect)))
-        .expect("send connect");
-    read_until(&mut stream, &mut decoder, "CONNACK", |p| {
-        matches!(p, Packet::Connack(_))
-    });
-    stream
-        .write_all(&encode(&Packet::Subscribe(Subscribe {
+/// Child-process entry (`--sink <addr> <count> <expect_per_conn>
+/// <base_id>`): connects `count` subscribers to `sensor/#` with
+/// pipelined handshakes, prints `ready` once every SUBACK arrived, then
+/// counts PUBLISH deliveries until each connection saw
+/// `expect_per_conn` of them (or the drain deadline passes) and prints
+/// `delivered <total>`.
+fn sink_main(addr: SocketAddr, count: usize, expect_per_conn: u64, base_id: usize) -> ! {
+    let poller = Poller::new().expect("sink poller");
+    let mut conns: Vec<SinkConn> = Vec::with_capacity(count);
+    for i in 0..count {
+        let stream = TcpStream::connect(addr).expect("sink connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream.set_nonblocking(true).expect("nonblocking");
+        let mut connect = Connect::new(format!("scale-sub-{}", base_id + i));
+        connect.keep_alive_secs = 0; // no keep-alive: idle shards stay parked
+        let mut hello = Vec::new();
+        hello.extend_from_slice(&encode(&Packet::Connect(connect)));
+        hello.extend_from_slice(&encode(&Packet::Subscribe(Subscribe {
             packet_id: 1,
             filters: vec![SubscribeFilter {
                 filter: TopicFilter::new("sensor/#").expect("valid filter"),
                 qos: QoS::AtMostOnce,
             }],
-        })))
-        .expect("send subscribe");
-    read_until(&mut stream, &mut decoder, "SUBACK", |p| {
-        matches!(p, Packet::Suback(_))
-    });
-
-    ready.wait();
-    // The handshake consumed every byte the broker sent so far (nothing
-    // is published before the barrier), so the decoder holds no
-    // leftovers and the raw frame counter starts on a packet boundary.
-    let mut got = 0u64;
-    let mut pending: Vec<u8> = Vec::with_capacity(32 * 1024);
-    let mut buf = [0u8; 16384];
-    while got < publishes && !stop.load(Ordering::Relaxed) {
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                pending.extend_from_slice(&buf[..n]);
-                let batch = count_publish_frames(&mut pending);
-                got += batch;
-                delivered.fetch_add(batch, Ordering::Relaxed);
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(_) => break,
-        }
+        })));
+        (&stream).write_all(&hello).expect("pipelined handshake");
+        poller
+            .register(stream.as_raw_fd(), i as u64, Interest::READABLE, false)
+            .expect("register sink socket");
+        conns.push(SinkConn {
+            stream,
+            decoder: StreamDecoder::new(),
+            connacked: false,
+            subacked: false,
+            delivered: 0,
+        });
     }
-    let _ = stream.write_all(&encode(&Packet::Disconnect));
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut ready = 0usize;
+    while ready < count {
+        assert!(
+            Instant::now() < deadline,
+            "sink: only {ready}/{count} handshakes completed"
+        );
+        ready += pump_sinks(&poller, &mut conns);
+    }
+    println!("ready");
+    std::io::stdout().flush().expect("flush ready");
+
+    let expected: u64 = expect_per_conn * count as u64;
+    let deadline = Instant::now() + Duration::from_secs(SINK_DRAIN_SECS);
+    let mut total: u64 = conns.iter().map(|c| c.delivered).sum();
+    while total < expected && Instant::now() < deadline {
+        pump_sinks(&poller, &mut conns);
+        total = conns.iter().map(|c| c.delivered).sum();
+    }
+    println!("delivered {total}");
+    std::io::stdout().flush().expect("flush delivered");
+    // Skip per-socket teardown: process exit closes 5 000 sockets far
+    // faster than 5 000 DISCONNECT round-trips would.
+    std::process::exit(0);
 }
 
-/// Runs one repetition: a broker with `shards`×`write_batch`, `subs`
-/// sink subscribers on `sensor/#`, one publisher sending `publishes`
-/// QoS 0 messages. Returns deliveries/s measured from the first publish
-/// to the last counted receipt.
-fn run_cell(shards: usize, write_batch: usize, subs: usize, publishes: u64) -> CellResult {
+/// One poll-and-read sweep over the swarm; returns how many connections
+/// completed their handshake during the sweep.
+fn pump_sinks(poller: &Poller, conns: &mut [SinkConn]) -> usize {
+    let mut events: Vec<Event> = Vec::new();
+    poller
+        .wait(&mut events, Some(Duration::from_millis(100)))
+        .expect("sink wait");
+    let mut became_ready = 0usize;
+    let mut buf = [0u8; 16 * 1024];
+    for ev in &events {
+        let conn = &mut conns[ev.token as usize];
+        loop {
+            match (&conn.stream).read(&mut buf) {
+                Ok(0) => panic!("broker closed a sink connection"),
+                Ok(n) => {
+                    conn.decoder.feed(&buf[..n]);
+                    let was_ready = conn.connacked && conn.subacked;
+                    while let Some(packet) = conn.decoder.next_packet().expect("valid stream") {
+                        match packet {
+                            Packet::Connack(c) => {
+                                assert_eq!(c.code, ConnectReturnCode::Accepted);
+                                conn.connacked = true;
+                            }
+                            Packet::Suback(_) => conn.subacked = true,
+                            Packet::Publish(_) => conn.delivered += 1,
+                            other => panic!("unexpected packet at sink: {other:?}"),
+                        }
+                    }
+                    if !was_ready && conn.connacked && conn.subacked {
+                        became_ready += 1;
+                    }
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => panic!("sink read failed: {e}"),
+            }
+        }
+    }
+    became_ready
+}
+
+// ---------------------------------------------------------------------
+// Parent: broker + publisher + child orchestration
+// ---------------------------------------------------------------------
+
+struct SinkChild {
+    child: Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    count: usize,
+}
+
+fn spawn_sinks(addr: SocketAddr, connections: usize, publishes: u64) -> Vec<SinkChild> {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut children = Vec::new();
+    let mut base = 0usize;
+    while base < connections {
+        let count = SINK_CHUNK.min(connections - base);
+        let mut child = Command::new(&exe)
+            .arg("--sink")
+            .arg(addr.to_string())
+            .arg(count.to_string())
+            .arg(publishes.to_string())
+            .arg(base.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn sink child");
+        let stdout = BufReader::new(child.stdout.take().expect("child stdout piped"));
+        children.push(SinkChild {
+            child,
+            stdout,
+            count,
+        });
+        base += count;
+    }
+    children
+}
+
+fn read_line_from(child: &mut SinkChild, what: &str) -> String {
+    let mut line = String::new();
+    let n = child.stdout.read_line(&mut line).expect("child stdout");
+    assert!(n > 0, "sink child exited before reporting {what}");
+    line.trim().to_owned()
+}
+
+/// Runs one repetition: a broker with `shards`×`write_batch`,
+/// `connections` sink subscribers on `sensor/#` (in child processes),
+/// one publisher sending `publishes` QoS 0 messages. Returns
+/// deliveries/s measured from the first publish to the last child's
+/// receipt report.
+fn run_cell(shards: usize, write_batch: usize, connections: usize, publishes: u64) -> CellResult {
     let config = BrokerConfig {
         shards,
         write_batch,
@@ -189,32 +248,29 @@ fn run_cell(shards: usize, write_batch: usize, subs: usize, publishes: u64) -> C
     let broker = TcpBroker::bind_with("127.0.0.1:0", config).expect("bind broker");
     let addr = broker.local_addr();
 
-    let delivered = Arc::new(AtomicU64::new(0));
-    let stop = Arc::new(AtomicBool::new(false));
-    // Subscribers + the publisher rendezvous here once every SUBACK has
-    // been confirmed, so the timed window contains no setup.
-    let ready = Arc::new(Barrier::new(subs + 1));
-
-    let mut handles = Vec::with_capacity(subs);
-    for i in 0..subs {
-        let delivered = Arc::clone(&delivered);
-        let stop = Arc::clone(&stop);
-        let ready = Arc::clone(&ready);
-        handles.push(std::thread::spawn(move || {
-            sink_subscriber(
-                addr,
-                format!("scale-sub-{i}"),
-                publishes,
-                delivered,
-                stop,
-                ready,
-            );
-        }));
+    let mut children = spawn_sinks(addr, connections, publishes);
+    for child in &mut children {
+        let line = read_line_from(child, "ready");
+        assert_eq!(line, "ready", "unexpected sink handshake report");
     }
+    assert_eq!(
+        broker.stats().clients_connected,
+        connections,
+        "every subscriber should be connected before the timed window"
+    );
+    // The C10K property, asserted inside the measurement: however many
+    // connections the cell runs, the broker's thread pool is exactly
+    // `shards` event loops + 1 acceptor. (Sinks live in child
+    // processes, so /proc/self counts only broker threads.)
+    let broker_threads = wait_for_thread_count(broker.service_threads());
+    assert_eq!(
+        broker_threads,
+        shards + 1,
+        "broker thread count must stay shards + 1 at {connections} connections"
+    );
 
     let mut publisher = TcpClient::connect(addr, "scale-pub").expect("publisher connect");
-    ready.wait();
-    let expected = publishes * subs as u64;
+    let expected = publishes * connections as u64;
     let payload = vec![0u8; 32];
     let start = Instant::now();
     for _ in 0..publishes {
@@ -227,29 +283,52 @@ fn run_cell(shards: usize, write_batch: usize, subs: usize, publishes: u64) -> C
             )
             .expect("publish");
     }
-    // Wait (bounded) for the fan-out to drain to every subscriber.
-    let deadline = start + Duration::from_secs(120);
-    while delivered.load(Ordering::Relaxed) < expected && Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(1));
+    let mut delivered = 0u64;
+    for child in &mut children {
+        let line = read_line_from(child, "deliveries");
+        let count: u64 = line
+            .strip_prefix("delivered ")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("malformed sink report: {line:?}"));
+        let child_expected = publishes * child.count as u64;
+        assert_eq!(
+            count, child_expected,
+            "QoS 0 fan-out lost frames to live subscribers"
+        );
+        delivered += count;
     }
     let seconds = start.elapsed().as_secs_f64();
-    stop.store(true, Ordering::Relaxed);
-    for h in handles {
-        let _ = h.join();
+    for child in &mut children {
+        let _ = child.child.wait();
     }
     publisher.disconnect();
     let timer_wakeups = broker.timer_wakeups();
     broker.shutdown();
 
-    let got = delivered.load(Ordering::Relaxed);
     CellResult {
         shards,
         write_batch,
+        connections,
+        publishes,
         expected,
-        delivered: got,
+        delivered,
         seconds,
-        rate: got as f64 / seconds,
+        rate: delivered as f64 / seconds,
         timer_wakeups,
+        broker_threads,
+    }
+}
+
+/// Thread names are set by each spawned thread itself, so poll briefly
+/// for the expected count before reading the authoritative number.
+fn wait_for_thread_count(expect: usize) -> usize {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let n = mqtt_thread_count().expect("broker thread census requires /proc");
+        if n == expect || Instant::now() >= deadline {
+            return n;
+        }
+        std::thread::sleep(Duration::from_millis(5));
     }
 }
 
@@ -259,12 +338,12 @@ fn best_of(
     reps: usize,
     shards: usize,
     write_batch: usize,
-    subs: usize,
+    connections: usize,
     publishes: u64,
 ) -> CellResult {
     let mut best: Option<CellResult> = None;
     for _ in 0..reps {
-        let r = run_cell(shards, write_batch, subs, publishes);
+        let r = run_cell(shards, write_batch, connections, publishes);
         let better = match &best {
             Some(b) => (r.delivered, r.rate as u64) > (b.delivered, b.rate as u64),
             None => true,
@@ -277,16 +356,39 @@ fn best_of(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (subs, publishes, reps, cells): (usize, u64, usize, &[(usize, usize)]) = if quick {
-        (24, 300, 1, &[(1, 1), (4, 32)])
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--sink") {
+        let addr: SocketAddr = args[2].parse().expect("sink addr");
+        let count: usize = args[3].parse().expect("sink count");
+        let expect: u64 = args[4].parse().expect("sink expected per conn");
+        let base: usize = args[5].parse().expect("sink base id");
+        sink_main(addr, count, expect, base);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+
+    // (shards, write_batch, connections, publishes, reps). The 200-sub
+    // rows keep the pre-C10K sweep comparable across recordings; the
+    // wider rows sweep fan-out breadth at the default configuration.
+    let cells: &[(usize, usize, usize, u64, usize)] = if quick {
+        &[
+            (1, 1, 24, 300, 1),
+            (4, 32, 24, 300, 1),
+            // The CI-sized C10K cell: thousands of connections, fixed
+            // threads, zero loss — asserted inside run_cell.
+            (4, 32, 2_000, 20, 1),
+        ]
     } else {
-        (
-            200,
-            1_000,
-            3,
-            &[(1, 1), (1, 32), (2, 32), (4, 1), (4, 32), (8, 32)],
-        )
+        &[
+            (1, 1, 200, 1_000, 3),
+            (1, 32, 200, 1_000, 3),
+            (2, 32, 200, 1_000, 3),
+            (4, 1, 200, 1_000, 3),
+            (4, 32, 200, 1_000, 3),
+            (8, 32, 200, 1_000, 3),
+            (4, 32, 1_000, 200, 1),
+            (4, 32, 4_000, 50, 1),
+            (4, 32, 10_000, 20, 1),
+        ]
     };
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -297,30 +399,43 @@ fn main() {
     println!("  \"unit\": \"subscriber deliveries per second, TCP end-to-end (publish -> route -> shard fan-out -> vectored write -> client frame scan)\",");
     println!("  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
     println!("  \"host_cores\": {cores},");
-    println!("  \"subscribers\": {subs},");
-    println!("  \"publishes\": {publishes},");
-    println!("  \"reps\": {reps},");
+    println!(
+        "  \"front_end\": \"event loop per shard (epoll), sinks multiplexed in child processes\","
+    );
     println!("  \"baseline\": {{ \"shards\": 1, \"write_batch\": 1 }},");
     println!("  \"results\": [");
-    let mut baseline_rate = None;
+    let mut baseline: Option<(usize, f64)> = None;
     let mut default_rate = None;
-    for (i, &(shards, write_batch)) in cells.iter().enumerate() {
-        let r = best_of(reps, shards, write_batch, subs, publishes);
-        if r.shards == 1 && r.write_batch == 1 {
-            baseline_rate = Some(r.rate);
+    for (i, &(shards, write_batch, connections, publishes, reps)) in cells.iter().enumerate() {
+        let r = best_of(reps, shards, write_batch, connections, publishes);
+        if r.shards == 1 && r.write_batch == 1 && baseline.is_none() {
+            baseline = Some((r.connections, r.rate));
         }
-        if r.shards == 4 && r.write_batch == 32 {
-            default_rate = Some(r.rate);
+        if r.shards == 4 && r.write_batch == 32 && default_rate.is_none() {
+            if let Some((conns, _)) = baseline {
+                if r.connections == conns {
+                    default_rate = Some(r.rate);
+                }
+            }
         }
         let comma = if i + 1 == cells.len() { "" } else { "," };
         println!(
-            "    {{ \"shards\": {}, \"write_batch\": {}, \"expected\": {}, \"delivered\": {}, \"seconds\": {:.4}, \"deliveries_per_sec\": {:.0}, \"timer_wakeups\": {} }}{comma}",
-            r.shards, r.write_batch, r.expected, r.delivered, r.seconds, r.rate, r.timer_wakeups
+            "    {{ \"shards\": {}, \"write_batch\": {}, \"connections\": {}, \"publishes\": {}, \"expected\": {}, \"delivered\": {}, \"broker_threads\": {}, \"seconds\": {:.4}, \"deliveries_per_sec\": {:.0}, \"timer_wakeups\": {} }}{comma}",
+            r.shards,
+            r.write_batch,
+            r.connections,
+            r.publishes,
+            r.expected,
+            r.delivered,
+            r.broker_threads,
+            r.seconds,
+            r.rate,
+            r.timer_wakeups
         );
     }
     println!("  ],");
-    let speedup = match (baseline_rate, default_rate) {
-        (Some(b), Some(d)) if b > 0.0 => d / b,
+    let speedup = match (baseline, default_rate) {
+        (Some((_, b)), Some(d)) if b > 0.0 => d / b,
         _ => 0.0,
     };
     println!("  \"speedup_defaults_vs_baseline\": {speedup:.2}");

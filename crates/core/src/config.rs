@@ -335,6 +335,13 @@ pub struct NodeConfig {
     /// companions before the pending batch is flushed. `0` disables
     /// batching entirely (the seed behaviour: one publish per item).
     pub batch_linger_ms: u64,
+    /// Micro-batching: derive the effective linger from the observed
+    /// publish rate instead of always waiting `batch_linger_ms`. Low-rate
+    /// flows (inter-arrival at or above the linger window) flush
+    /// immediately and keep per-sample latency; bursts shrink the window
+    /// to roughly the time a full batch takes to accumulate. The
+    /// configured `batch_linger_ms` stays the upper bound.
+    pub adaptive_linger: bool,
 }
 
 impl NodeConfig {
@@ -360,6 +367,7 @@ impl NodeConfig {
             wire_format: crate::wire::WireFormat::Json,
             batch_max: 32,
             batch_linger_ms: 0,
+            adaptive_linger: false,
         }
     }
 
@@ -375,6 +383,14 @@ impl NodeConfig {
     pub fn with_batching(mut self, batch_max: usize, linger_ms: u64) -> Self {
         self.batch_max = batch_max.max(1);
         self.batch_linger_ms = linger_ms;
+        self
+    }
+
+    /// Makes the micro-batch linger adapt to the observed publish rate
+    /// (builder style; see [`NodeConfig::adaptive_linger`]). Only
+    /// meaningful together with [`NodeConfig::with_batching`].
+    pub fn with_adaptive_linger(mut self) -> Self {
+        self.adaptive_linger = true;
         self
     }
 
@@ -661,6 +677,7 @@ mod tests {
         let cfg = NodeConfig::new("n");
         assert_eq!(cfg.wire_format, crate::wire::WireFormat::Json);
         assert_eq!(cfg.batch_linger_ms, 0, "batching defaults off");
+        assert!(!cfg.adaptive_linger, "adaptive linger defaults off");
         assert_eq!(
             cfg.executor.escalate_wait_ms,
             crate::costs::REALTIME_BOUND_MS
@@ -668,10 +685,12 @@ mod tests {
         let cfg = cfg
             .with_wire_format(crate::wire::WireFormat::Binary)
             .with_batching(0, 50)
+            .with_adaptive_linger()
             .with_escalation(0);
         assert_eq!(cfg.wire_format, crate::wire::WireFormat::Binary);
         assert_eq!(cfg.batch_max, 1, "batch_max clamps to 1");
         assert_eq!(cfg.batch_linger_ms, 50);
+        assert!(cfg.adaptive_linger);
         assert_eq!(cfg.executor.escalate_wait_ms, 0);
     }
 

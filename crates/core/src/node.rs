@@ -58,11 +58,27 @@ const TAG_BATCH: u64 = 6;
 const CLIENT_POLL_NS: u64 = 200_000_000;
 const BROKER_POLL_NS: u64 = 500_000_000;
 
+/// Hard ceiling on an adaptive linger window: ¼ of the paper's 1.6 s
+/// real-time budget, so coalescing can never eat the deadline even when
+/// the configured `batch_linger_ms` is generous.
+const ADAPTIVE_LINGER_CAP_NS: u64 = 400_000_000;
+/// Inter-arrival samples are clamped here before entering the EWMA so a
+/// long idle gap (sensor pause, reconnect) does not poison the estimate
+/// for thousands of subsequent samples.
+const ADAPTIVE_INTERVAL_CLAMP_NS: u64 = 1_600_000_000;
+/// Minimum armed linger window: below this, timer overhead exceeds the
+/// coalescing it buys (the `batch_max` size trigger covers such bursts).
+const ADAPTIVE_LINGER_FLOOR_NS: u64 = 1_000_000;
+
 /// Largest seq gap tracked individually; wider gaps are counted in bulk.
 const SEQ_GAP_TRACK_MAX: u64 = 1024;
 
 fn tag(kind: u64, index: usize) -> u64 {
     (kind << TAG_KIND_SHIFT) | index as u64
+}
+
+fn batch_max_u64(batch_max: usize) -> u64 {
+    u64::try_from(batch_max.max(1)).unwrap_or(u64::MAX)
 }
 
 /// Publish-side frame accounting: frames, coalesced items and wire
@@ -211,6 +227,11 @@ pub struct MiddlewareNode {
     /// populated when `batch_linger_ms > 0`).
     pending_batches: BTreeMap<String, Vec<FlowMessage>>,
     batch_timer_armed: bool,
+    /// EWMA of publish inter-arrival time (ns); 0 = no estimate yet.
+    /// Drives the adaptive linger (see `effective_linger_ns`).
+    linger_ewma_ns: u64,
+    /// Timestamp of the previous `enqueue_batch` call; 0 = none.
+    last_batch_arrival_ns: u64,
     /// Last published shed policy per stage, for `$SYS` transition
     /// notifications when adaptive escalation flips a stage.
     shed_policy_seen: Vec<ShedPolicy>,
@@ -321,6 +342,8 @@ impl MiddlewareNode {
             sys_view: BTreeMap::new(),
             pending_batches: BTreeMap::new(),
             batch_timer_armed: false,
+            linger_ewma_ns: 0,
+            last_batch_arrival_ns: 0,
             shed_policy_seen,
             config,
         }
@@ -723,22 +746,66 @@ impl MiddlewareNode {
 
     /// Adds a flow message to its topic's pending micro-batch, flushing
     /// when `batch_max` is reached and otherwise arming one shared
-    /// linger timer for the first message of a batching window.
+    /// linger timer for the first message of a batching window. With
+    /// [`NodeConfig::adaptive_linger`], a rate estimate can shrink the
+    /// window — or skip it entirely for low-rate flows.
     fn enqueue_batch(&mut self, env: &mut dyn NodeEnv, topic: &str, message: FlowMessage) {
         let batch_max = self.config.batch_max.max(1);
+        let linger_ns = self.effective_linger_ns(env.now_ns());
         let pending = self.pending_batches.entry(topic.to_owned()).or_default();
         pending.push(message);
         if pending.len() >= batch_max {
             self.flush_batch_topic(env, topic);
             return;
         }
+        if linger_ns == 0 {
+            // Low-rate flow: no companion is expected within the window,
+            // so lingering would only add latency per sample.
+            env.incr("batch_immediate_flushes");
+            self.flush_batch_topic(env, topic);
+            return;
+        }
         if !self.batch_timer_armed {
             self.batch_timer_armed = true;
-            env.set_timer_after_ns(
-                self.config.batch_linger_ms.saturating_mul(1_000_000),
-                tag(TAG_BATCH, 0),
-            );
+            env.incr("batch_linger_windows");
+            env.add("batch_linger_effective_us", linger_ns / 1_000);
+            env.set_timer_after_ns(linger_ns, tag(TAG_BATCH, 0));
         }
+    }
+
+    /// The linger to apply to the current batching window, in
+    /// nanoseconds. Fixed mode returns the configured value; adaptive
+    /// mode tracks publish inter-arrival with an EWMA (`α = 1/8`) and
+    /// targets "the time a full batch takes to accumulate"
+    /// (`batch_max × inter-arrival`), bounded by the configured linger
+    /// and [`ADAPTIVE_LINGER_CAP_NS`]. Returns 0 when the flow is so
+    /// slow the window would expire before a companion arrives.
+    fn effective_linger_ns(&mut self, now_ns: u64) -> u64 {
+        let cfg_ns = self.config.batch_linger_ms.saturating_mul(1_000_000);
+        if !self.config.adaptive_linger {
+            return cfg_ns;
+        }
+        let last = self.last_batch_arrival_ns;
+        self.last_batch_arrival_ns = now_ns;
+        if last != 0 && now_ns >= last {
+            let interval = (now_ns - last).min(ADAPTIVE_INTERVAL_CLAMP_NS);
+            self.linger_ewma_ns = if self.linger_ewma_ns == 0 {
+                interval
+            } else {
+                (self.linger_ewma_ns * 7 + interval) / 8
+            };
+        }
+        let cap = cfg_ns.min(ADAPTIVE_LINGER_CAP_NS);
+        if self.linger_ewma_ns == 0 {
+            // No estimate yet (first sample): the configured window,
+            // capped — behave like fixed mode until data arrives.
+            return cap;
+        }
+        if self.linger_ewma_ns >= cap {
+            return 0;
+        }
+        let target = (batch_max_u64(self.config.batch_max)).saturating_mul(self.linger_ewma_ns);
+        target.clamp(ADAPTIVE_LINGER_FLOOR_NS.min(cap), cap)
     }
 
     /// Publishes one topic's pending batch as a single wire frame.
@@ -1361,6 +1428,154 @@ impl MiddlewareNode {
                 }
             }
             None => env.incr("commands_unroutable"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+    use crate::env::MockEnv;
+    use ifot_ml::feature::Datum;
+
+    fn flow_message(seq: u64) -> FlowMessage {
+        FlowMessage {
+            producer: "test".to_owned(),
+            origin_ts_ns: 0,
+            seq,
+            datum: Datum::new().with("x", 1.0),
+            label: None,
+            score: None,
+        }
+    }
+
+    fn batching_node(adaptive: bool) -> MiddlewareNode {
+        // Binary wire format: flush paths stay self-contained (no JSON
+        // dependency), so these tests run in any build environment.
+        let mut config = NodeConfig::new("n")
+            .with_wire_format(crate::wire::WireFormat::Binary)
+            .with_batching(4, 50);
+        if adaptive {
+            config = config.with_adaptive_linger();
+        }
+        MiddlewareNode::new(config)
+    }
+
+    #[test]
+    fn fixed_linger_arms_the_configured_window() {
+        let mut node = batching_node(false);
+        let mut env = MockEnv::default();
+        env.now_ns = 1_000_000;
+        node.enqueue_batch(&mut env, "t", flow_message(0));
+        assert_eq!(
+            env.timers_rel,
+            vec![(50_000_000, tag(TAG_BATCH, 0))],
+            "fixed mode arms exactly batch_linger_ms"
+        );
+        assert_eq!(node.pending_batches.get("t").map(Vec::len), Some(1));
+        assert_eq!(env.counter("batch_immediate_flushes"), 0);
+    }
+
+    #[test]
+    fn adaptive_linger_flushes_low_rate_flows_immediately() {
+        let mut node = batching_node(true);
+        let mut env = MockEnv::default();
+        // 1 Hz flow: inter-arrival (1 s) dwarfs the 50 ms window. After
+        // the estimate settles, every item flushes as its own frame.
+        for i in 0..10u64 {
+            env.now_ns = (i + 1) * 1_000_000_000;
+            node.enqueue_batch(&mut env, "t", flow_message(i));
+        }
+        assert!(
+            env.counter("batch_immediate_flushes") >= 8,
+            "slow flow should stop lingering once the rate is learned"
+        );
+        assert!(
+            node.pending_batches.is_empty(),
+            "nothing should sit in a window at 1 Hz"
+        );
+        // Near one frame per item: only the first sample (no estimate
+        // yet) may have waited for a companion.
+        let frames = env.counter("flow_frames_published");
+        let items = env.counter("flow_items_published");
+        assert!(
+            items - frames <= 1,
+            "slow flow coalesced too much: {frames} frames / {items} items"
+        );
+    }
+
+    #[test]
+    fn adaptive_linger_shrinks_the_window_for_bursts() {
+        let mut node = batching_node(true);
+        let mut env = MockEnv::default();
+        // 1 kHz flow: inter-arrival 1 ms, so a full batch of 4 takes
+        // ~4 ms — far under the configured 50 ms.
+        for i in 0..64u64 {
+            env.now_ns = (i + 1) * 1_000_000;
+            node.enqueue_batch(&mut env, "t", flow_message(i));
+        }
+        assert_eq!(
+            env.counter("batch_immediate_flushes"),
+            0,
+            "a fast flow must keep coalescing"
+        );
+        // Probe the settled policy: the window should sit near
+        // batch_max x inter-arrival (4 x 1 ms), far under the 50 ms
+        // configured bound.
+        let settled = node.effective_linger_ns(env.now_ns + 1_000_000);
+        assert!(
+            (1_000_000..=10_000_000).contains(&settled),
+            "effective linger should be near batch_max x inter-arrival, got {settled} ns"
+        );
+        // The size trigger still applies: batches cap at batch_max.
+        let frames = env.counter("flow_frames_published");
+        let items = env.counter("flow_items_published");
+        assert!(frames > 0 && items / frames >= 2, "bursts still coalesce");
+    }
+
+    #[test]
+    fn adaptive_linger_survives_idle_gaps() {
+        let mut node = batching_node(true);
+        let mut env = MockEnv::default();
+        // Fast flow, then a long pause, then fast again: the clamp keeps
+        // one huge gap from poisoning the estimate for long.
+        for i in 0..32u64 {
+            env.now_ns = (i + 1) * 1_000_000;
+            node.enqueue_batch(&mut env, "t", flow_message(i));
+        }
+        env.now_ns += 3_600_000_000_000; // one hour idle
+        let baseline = env.counter("batch_immediate_flushes");
+        for i in 32..96u64 {
+            env.now_ns += 1_000_000;
+            node.enqueue_batch(&mut env, "t", flow_message(i));
+        }
+        // The clamp caps the gap's EWMA contribution at 1.6 s, so the
+        // estimate decays back under the 50 ms cap within a couple dozen
+        // samples instead of thousands.
+        assert!(
+            env.counter("batch_immediate_flushes") <= baseline + 16,
+            "estimate should recover to burst mode shortly after the gap"
+        );
+        let settled = node.effective_linger_ns(env.now_ns + 1_000_000);
+        assert!(
+            settled > 0 && settled <= 10_000_000,
+            "post-gap policy should be back to burst coalescing, got {settled} ns"
+        );
+    }
+
+    #[test]
+    fn adaptive_cap_bounds_generous_configs() {
+        let mut config = NodeConfig::new("n").with_batching(64, 1_000);
+        config = config.with_adaptive_linger();
+        let mut node = MiddlewareNode::new(config);
+        // 50 ms inter-arrival with batch_max 64 would suggest a 3.2 s
+        // window; the cap keeps it to 400 ms — a quarter of the paper's
+        // 1.6 s budget.
+        let mut now = 0u64;
+        for _ in 0..16 {
+            now += 50_000_000;
+            assert!(node.effective_linger_ns(now) <= ADAPTIVE_LINGER_CAP_NS);
         }
     }
 }

@@ -59,6 +59,19 @@ pub struct BrokerConfig {
     /// slow consumer and closed (protects a shard's writer loop from one
     /// stalled subscriber).
     pub write_timeout_ns: u64,
+    /// Maximum concurrent TCP connections the front-end accepts; further
+    /// connects are dropped at the listener (counted, never serviced) so
+    /// a connection storm degrades into refusals instead of `EMFILE`
+    /// inside the event loops. `0` means unlimited.
+    pub max_connections: usize,
+    /// Arm the event-loop poller edge-triggered (`EPOLLET`) instead of
+    /// level-triggered. Edge mode makes one wakeup per readiness
+    /// *transition* (fewer epoll returns under bursty fan-in) at the
+    /// price of the loops having to drain every socket to `WouldBlock`;
+    /// level mode re-notifies until drained and is the forgiving
+    /// default. The portable `poll(2)` fallback ignores this and is
+    /// always level-triggered.
+    pub edge_triggered: bool,
 }
 
 impl Default for BrokerConfig {
@@ -72,6 +85,8 @@ impl Default for BrokerConfig {
             write_batch: 32,
             tcp_nodelay: true,
             write_timeout_ns: 2_000_000_000,
+            max_connections: 0,
+            edge_triggered: false,
         }
     }
 }

@@ -21,8 +21,11 @@
 //!   per-shard brokers with a replicated subscription tree,
 //! * [`wheel`] — event-driven timer arithmetic so transports park until
 //!   the broker's next deadline instead of sleep-polling,
-//! * [`net`] — a threaded TCP transport serving the sharded broker on
-//!   real sockets (std only).
+//! * [`poll`] — a thin readiness poller (epoll on Linux, `poll(2)`
+//!   fallback) with a cross-thread waker,
+//! * [`slab`] — a generational connection slab keyed by poller tokens,
+//! * [`net`] — a nonblocking TCP transport serving the sharded broker
+//!   with one event loop per shard (std only, C10K-capable).
 //!
 //! "Sans-I/O" means broker and client own neither sockets nor clocks: the
 //! caller feeds packets and timestamps and applies returned actions. The
@@ -53,7 +56,9 @@ pub mod codec;
 pub mod error;
 pub mod net;
 pub mod packet;
+pub mod poll;
 pub mod shard;
+pub mod slab;
 pub mod supervisor;
 pub mod topic;
 pub mod tree;

@@ -1,5 +1,6 @@
-//! Threaded TCP transport: the sharded broker over real sockets (std
-//! only, no async runtime).
+//! Nonblocking TCP transport: the sharded broker over real sockets with
+//! one readiness-driven event loop per shard (std only, no async
+//! runtime).
 //!
 //! This is the deployment face of the substrate: [`TcpBroker`] serves
 //! MQTT on a socket address exactly like Mosquitto would, and
@@ -7,241 +8,298 @@
 //! identical sans-I/O state machines the simulator exercises — the
 //! transport only moves bytes and timestamps.
 //!
-//! ## Threading model
+//! ## Threading model — C10K and beyond
 //!
-//! One blocking **accept** thread, one **reader** thread per connection,
-//! and one **service** thread per routing shard (see
-//! [`ShardedBroker`]). A reader decodes frames and calls into its
-//! connection's shard; resulting outbound frames are appended to
-//! per-connection queues and written by the owning shard's service
-//! thread with `write_vectored` over batches of up to
-//! [`BrokerConfig::write_batch`] frames — **no TCP write ever happens
-//! under a broker lock**, so one slow subscriber cannot stall routing
-//! or any other connection (a consumer that stays blocked past
-//! [`BrokerConfig::write_timeout_ns`] is declared slow and closed).
+//! One blocking **accept** thread and `config.shards` **event-loop**
+//! threads; the thread count is fixed no matter how many connections are
+//! live (the previous front-end spent one reader thread per connection,
+//! capping sessions at thread-pool scale). The acceptor distributes
+//! sockets round-robin across the loops; each loop owns its connections
+//! end-to-end — a nonblocking slab of sockets (generational tokens, see
+//! [`Slab`]) driven by a readiness [`Poller`] (epoll on Linux):
 //!
-//! Cross-shard publishes travel between service threads over bounded
-//! channels carrying the shared-payload [`Publish`] (the payload
-//! `Bytes` is reference-counted, not copied). Readers apply
-//! backpressure by blocking on a full channel; service threads never
-//! block on a channel — a full target falls back to applying the
-//! forward inline — so the shard threads cannot deadlock.
+//! * **reads**: readable sockets feed the per-connection
+//!   [`StreamDecoder`]; decoded packets go through
+//!   [`ShardedBroker::handle_packet`] exactly as before.
+//! * **writes**: resulting frames land on per-connection outbound
+//!   queues; the owning loop drains dirty queues with `write_vectored`
+//!   batches of up to [`BrokerConfig::write_batch`] frames. A partial
+//!   write arms write-readiness (`EPOLLOUT`) and the drain resumes when
+//!   the socket unjams; a consumer that stays jammed past
+//!   [`BrokerConfig::write_timeout_ns`] is evicted without the loop ever
+//!   blocking on it. **No TCP write happens under a broker lock.**
+//! * **wakes**: a producer on another thread that queues frames for an
+//!   idle connection marks it dirty **once** (an `in_dirty` flag
+//!   deduplicates concurrent producers) and signals the owning loop
+//!   through its [`Waker`] self-pipe.
+//! * **timers**: the PR 3 [`TimerWheel`] deadlines feed the same loop's
+//!   poll timeout — an idle broker parks every loop indefinitely and
+//!   makes **zero** timer wakeups (asserted in tests).
 //!
-//! Timer work is event-driven through a per-shard [`TimerWheel`]: a
-//! service thread parks until exactly its broker's
-//! [`next_deadline_ns`](crate::broker::Broker::next_deadline_ns) (or
-//! forever when idle) and readers wake it only when they create an
-//! *earlier* deadline. An idle broker makes zero timer wakeups.
+//! Cross-shard publishes travel between loops over bounded channels
+//! carrying the shared-payload [`Publish`] (the payload `Bytes` is
+//! reference-counted, not copied); a full target channel falls back to
+//! applying the forward inline, so loops never block on each other and
+//! cannot deadlock.
+//!
+//! Connection admission is bounded by [`BrokerConfig::max_connections`]
+//! (a storm degrades into counted refusals at the listener instead of
+//! fd exhaustion inside the loops), and accept-time `EMFILE`/`ENFILE`
+//! backs off instead of killing the listener (see
+//! [`classify_accept_error`]).
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 
 use crate::broker::{Action, BrokerConfig};
 use crate::client::{Client, ClientConfig, ClientEvent};
 use crate::codec::{encode, StreamDecoder};
 use crate::packet::{Packet, Publish, QoS};
+use crate::poll::{Event, Interest, Poller, Waker, WAKE_TOKEN};
 use crate::shard::{ShardOutput, ShardedBroker};
+use crate::slab::Slab;
 use crate::topic::{TopicFilter, TopicName};
-use crate::wheel::TimerWheel;
+use crate::wheel::{TimerWheel, Wake};
 
-/// Connection not yet assigned to a shard (pre-CONNECT).
-const UNASSIGNED: usize = usize::MAX;
+/// Capacity of each loop's inbound channel (cross-shard forwards and
+/// freshly accepted sockets). Loops never block on a full channel — a
+/// full forward target gets the publish applied inline — and the
+/// acceptor may briefly block, which is exactly accept backpressure.
+const LOOP_CHANNEL_CAP: usize = 1024;
 
-/// Capacity of each shard's inbound message channel. Readers block on a
-/// full channel (backpressure toward the publisher's socket); service
-/// threads fall back to inline application instead of blocking.
-const SHARD_CHANNEL_CAP: usize = 1024;
+/// How long a client may sit on an accepted socket without completing
+/// CONNECT before the owning loop drops it.
+const PRE_CONNECT_TIMEOUT_NS: u64 = 10_000_000_000;
 
-/// How long a client may sit on an accepted socket without sending
-/// CONNECT before the reader gives up on it.
-const PRE_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Bound on consecutive `read` calls per readable event in
+/// level-triggered mode (fairness: one firehose connection cannot
+/// monopolize its loop; the remaining bytes re-trigger immediately).
+/// Edge-triggered mode must drain to `WouldBlock` and ignores this.
+const LEVEL_READS_PER_EVENT: usize = 8;
 
 fn now_ns(epoch: Instant) -> u64 {
     epoch.elapsed().as_nanos() as u64
 }
 
-/// Work for a shard service thread.
-enum ShardMsg {
-    /// A publish routed on another shard that matches subscribers here.
-    Forward(Publish),
-    /// Re-evaluate: new frames were queued or an earlier deadline
-    /// appeared. Carries no data — the dirty list and the broker itself
-    /// hold the state.
-    Wake,
+fn min_deadline(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
 }
 
-/// Outbound half of one connection. The queue is filled by whichever
-/// thread produced the frames; only the owning shard's service thread
-/// drains it and touches the socket.
-struct ConnState {
-    /// Write half of the socket (the reader owns the read half).
-    writer: TcpStream,
-    /// Owning shard, [`UNASSIGNED`] until CONNECT fixes it.
-    shard: AtomicUsize,
+/// Work delivered to an event loop from the acceptor or other loops.
+enum LoopMsg {
+    /// A publish routed on another shard that matches subscribers here.
+    Forward(Publish),
+    /// A freshly accepted socket this loop now owns.
+    Accept(TcpStream, usize),
+}
+
+/// What the accept loop should do about an `accept(2)` error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AcceptDisposition {
+    /// Transient fd exhaustion (`EMFILE`/`ENFILE`): sleep briefly and
+    /// retry — connections already established keep being serviced.
+    Backoff,
+    /// A per-connection handshake failure: skip it and accept the next.
+    Retry,
+    /// The listener itself is broken: stop accepting.
+    Stop,
+}
+
+/// Classifies an `accept(2)` error (extracted for unit testing: the
+/// EMFILE path is otherwise only reachable by exhausting the process fd
+/// table).
+fn classify_accept_error(e: &std::io::Error) -> AcceptDisposition {
+    const EMFILE: i32 = 24; // process fd limit
+    const ENFILE: i32 = 23; // system fd limit
+    if matches!(e.raw_os_error(), Some(EMFILE) | Some(ENFILE)) {
+        return AcceptDisposition::Backoff;
+    }
+    match e.kind() {
+        ErrorKind::ConnectionAborted | ErrorKind::Interrupted => AcceptDisposition::Retry,
+        _ => AcceptDisposition::Stop,
+    }
+}
+
+/// Cross-thread face of one connection: the outbound queue any thread
+/// may append to, and the flags coordinating the dirty-list wake
+/// protocol. The socket itself lives loop-locally in the owner's slab —
+/// only the owning loop ever touches it.
+struct ConnShared {
+    /// Owning event loop, fixed at accept (round-robin).
+    owner: usize,
     /// Pending outbound frames.
     queue: Mutex<VecDeque<Bytes>>,
-    /// Producer/consumer handshake: set by the first producer to queue
-    /// into an idle connection (that producer marks the conn dirty),
-    /// cleared by the service thread before draining.
-    signaled: AtomicBool,
+    /// Whether the connection is already on its owner's dirty list.
+    /// Producers that find it set skip the push *and* the wake, so a
+    /// connection enqueued N times between flushes is visited once per
+    /// flush instead of N times.
+    in_dirty: AtomicBool,
     /// Close after the queue drains (broker issued `Action::Close`).
     closing: AtomicBool,
 }
 
-/// Per-shard service-thread handles.
-struct ShardHandle {
-    tx: Sender<ShardMsg>,
-    /// Connections with queued frames, drained each service iteration.
+impl ConnShared {
+    fn new(owner: usize) -> ConnShared {
+        ConnShared {
+            owner,
+            queue: Mutex::new(VecDeque::new()),
+            in_dirty: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Per-loop handles visible to every thread.
+struct LoopHandle {
+    tx: Sender<LoopMsg>,
+    waker: Waker,
+    /// Connections with queued frames, drained each loop iteration.
     dirty: Mutex<Vec<usize>>,
     wheel: TimerWheel,
 }
 
 struct Shared {
     broker: ShardedBroker<usize>,
-    shards: Vec<ShardHandle>,
-    conns: RwLock<HashMap<usize, Arc<ConnState>>>,
+    loops: Vec<LoopHandle>,
+    conns: RwLock<HashMap<usize, Arc<ConnShared>>>,
     epoch: Instant,
     shutdown: AtomicBool,
     next_conn: AtomicUsize,
+    refused: AtomicU64,
+}
+
+/// The loop-thread half of [`Shared::new`]'s output.
+struct LoopParts {
+    poller: Poller,
+    rx: Receiver<LoopMsg>,
 }
 
 impl Shared {
+    fn new(config: BrokerConfig) -> std::io::Result<(Arc<Shared>, Vec<LoopParts>)> {
+        let n_loops = config.shards.max(1);
+        let mut loops = Vec::with_capacity(n_loops);
+        let mut parts = Vec::with_capacity(n_loops);
+        for _ in 0..n_loops {
+            let (tx, rx) = bounded(LOOP_CHANNEL_CAP);
+            let poller = Poller::new()?;
+            loops.push(LoopHandle {
+                tx,
+                waker: poller.waker(),
+                dirty: Mutex::new(Vec::new()),
+                wheel: TimerWheel::new(),
+            });
+            parts.push(LoopParts { poller, rx });
+        }
+        let shared = Arc::new(Shared {
+            broker: ShardedBroker::new(config),
+            loops,
+            conns: RwLock::new(HashMap::new()),
+            epoch: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicUsize::new(1),
+            refused: AtomicU64::new(0),
+        });
+        Ok((shared, parts))
+    }
+
     fn now(&self) -> u64 {
         now_ns(self.epoch)
     }
 
-    /// Queues a frame for `conn` and nudges the owning shard's service
-    /// thread if the connection was idle. Never blocks: a full channel
-    /// means the service thread is already awake and will drain the
-    /// dirty list before parking again.
-    fn enqueue(&self, conn: usize, frame: Bytes) {
-        let Some(state) = self.conns.read().get(&conn).cloned() else {
-            return;
-        };
-        let shard = state.shard.load(Ordering::Acquire);
-        if shard == UNASSIGNED {
-            // Pre-CONNECT connections have no writer thread yet; the
-            // only traffic here is a refused CONNACK, which the reader
-            // writes itself via `flush_conn`.
-            self.flush_conn_now(conn, &state, frame);
-            return;
-        }
-        state.queue.lock().push_back(frame);
-        if !state.signaled.swap(true, Ordering::AcqRel) {
-            self.shards[shard].dirty.lock().push(conn);
-            let _ = self.shards[shard].tx.try_send(ShardMsg::Wake);
-        }
-    }
-
-    /// Direct write used only for pre-CONNECT connections (no shard
-    /// owns them yet, so there is no queue consumer).
-    fn flush_conn_now(&self, conn: usize, state: &ConnState, frame: Bytes) {
-        let mut w = &state.writer;
-        if w.write_all(&frame).is_err() {
-            self.remove_conn(conn);
-        }
-    }
-
-    /// Marks `conn` for close-after-flush and nudges its service
-    /// thread. Pre-CONNECT connections close immediately.
-    fn close_conn(&self, conn: usize) {
-        let Some(state) = self.conns.read().get(&conn).cloned() else {
-            return;
-        };
-        state.closing.store(true, Ordering::Release);
-        let shard = state.shard.load(Ordering::Acquire);
-        if shard == UNASSIGNED {
-            self.remove_conn(conn);
-            return;
-        }
-        if !state.signaled.swap(true, Ordering::AcqRel) {
-            self.shards[shard].dirty.lock().push(conn);
-            let _ = self.shards[shard].tx.try_send(ShardMsg::Wake);
-        }
-    }
-
-    /// Drops the connection's socket (both halves — the reader unblocks
-    /// on EOF and performs the broker-side teardown if it is still
-    /// registered there).
-    fn remove_conn(&self, conn: usize) {
-        if let Some(state) = self.conns.write().remove(&conn) {
-            let _ = state.writer.shutdown(std::net::Shutdown::Both);
-        }
-    }
-
-    /// Applies one shard operation's output from a **reader** thread:
-    /// frames are queued for the shard writers, forwards go over the
-    /// channels with blocking backpressure.
-    fn dispatch_from_reader(&self, out: ShardOutput<usize>) {
-        self.apply_actions(out.actions);
-        for (shard, publish) in out.forwards {
-            // Blocking send: a full shard applies backpressure all the
-            // way to this connection's socket. Bounded retry so a
-            // shutdown cannot strand the reader.
-            let mut msg = ShardMsg::Forward(publish);
-            while !self.shutdown.load(Ordering::Relaxed) {
-                match self.shards[shard]
-                    .tx
-                    .send_timeout(msg, Duration::from_millis(50))
-                {
-                    Ok(()) => break,
-                    Err(crossbeam::channel::SendTimeoutError::Timeout(m)) => msg = m,
-                    Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => break,
-                }
+    /// Marks `conn` dirty on its owner's list exactly once per flush
+    /// cycle and wakes the owner unless the caller *is* the owner (the
+    /// owning loop always flushes its dirty list before parking, so a
+    /// self-wake would only cost a spurious poll return).
+    fn mark_dirty(&self, conn: usize, state: &ConnShared, from_loop: Option<usize>) {
+        if !state.in_dirty.swap(true, Ordering::AcqRel) {
+            self.loops[state.owner].dirty.lock().push(conn);
+            if from_loop != Some(state.owner) {
+                self.loops[state.owner].waker.wake();
             }
         }
     }
 
-    /// Applies one shard operation's output from a **service** thread:
-    /// like [`dispatch_from_reader`](Self::dispatch_from_reader), except
-    /// forwards must never block (two shards forwarding into each
-    /// other's full channels would deadlock) — a full target shard gets
-    /// the forward applied inline instead.
-    fn dispatch_from_service(&self, out: ShardOutput<usize>) {
-        self.apply_actions(out.actions);
+    /// Queues a frame for `conn` and nudges the owning loop if the
+    /// connection was idle. Never blocks.
+    fn enqueue(&self, conn: usize, frame: Bytes, from_loop: Option<usize>) {
+        let Some(state) = self.conns.read().get(&conn).cloned() else {
+            return;
+        };
+        state.queue.lock().push_back(frame);
+        self.mark_dirty(conn, &state, from_loop);
+    }
+
+    /// Marks `conn` for close-after-flush and nudges its owning loop.
+    fn close_conn(&self, conn: usize, from_loop: Option<usize>) {
+        let Some(state) = self.conns.read().get(&conn).cloned() else {
+            return;
+        };
+        state.closing.store(true, Ordering::Release);
+        self.mark_dirty(conn, &state, from_loop);
+    }
+
+    fn apply_actions(&self, actions: Vec<Action<usize>>, from_loop: Option<usize>) {
+        for action in actions {
+            match action {
+                Action::Send { conn, packet } => self.enqueue(conn, encode(&packet), from_loop),
+                Action::SendFrame { conn, frame } => self.enqueue(conn, frame, from_loop),
+                Action::Close { conn } => self.close_conn(conn, from_loop),
+            }
+        }
+    }
+
+    /// Applies one shard operation's output. Frames are queued for the
+    /// owning loops; cross-shard forwards go over the target loop's
+    /// channel with a waker nudge. Forwards must never block (two loops
+    /// forwarding into each other's full channels would deadlock) — a
+    /// full (or own-loop) target gets the forward applied inline.
+    fn dispatch(&self, out: ShardOutput<usize>, from_loop: Option<usize>) {
+        self.apply_actions(out.actions, from_loop);
         for (shard, publish) in out.forwards {
-            match self.shards[shard].tx.try_send(ShardMsg::Forward(publish)) {
-                Ok(()) => {}
-                Err(TrySendError::Full(ShardMsg::Forward(p))) => {
-                    let actions = self.broker.apply_forward(shard, p, self.now());
-                    self.apply_actions(actions);
+            if Some(shard) == from_loop {
+                let actions = self.broker.apply_forward(shard, publish, self.now());
+                self.apply_actions(actions, from_loop);
+                continue;
+            }
+            match self.loops[shard].tx.try_send(LoopMsg::Forward(publish)) {
+                Ok(()) => self.loops[shard].waker.wake(),
+                Err(TrySendError::Full(msg)) => {
+                    if let LoopMsg::Forward(p) = msg {
+                        let actions = self.broker.apply_forward(shard, p, self.now());
+                        self.apply_actions(actions, from_loop);
+                    }
                 }
                 Err(_) => {}
             }
         }
     }
 
-    fn apply_actions(&self, actions: Vec<Action<usize>>) {
-        for action in actions {
-            match action {
-                Action::Send { conn, packet } => self.enqueue(conn, encode(&packet)),
-                Action::SendFrame { conn, frame } => self.enqueue(conn, frame),
-                Action::Close { conn } => self.close_conn(conn),
-            }
-        }
-    }
-
-    /// Wakes shard `shard` iff `deadline_ns` is earlier than whatever
-    /// its service thread is parked on.
+    /// Wakes shard `shard`'s loop iff `deadline_ns` is earlier than
+    /// whatever it is parked on.
     fn note_deadline(&self, shard: usize, deadline_ns: u64) {
-        if self.shards[shard].wheel.note_deadline(deadline_ns) {
-            let _ = self.shards[shard].tx.try_send(ShardMsg::Wake);
+        if self.loops[shard].wheel.note_deadline(deadline_ns) {
+            self.loops[shard].waker.wake();
         }
     }
 
-    /// Conservative reader-side deadline accounting: packets that can
-    /// only move deadlines *later* (activity refreshes) are ignored —
-    /// the parked service thread just re-arms after its (now harmless)
-    /// timeout. Only operations that create a possibly-earlier deadline
-    /// signal the wheel.
+    /// Conservative deadline accounting: packets that can only move
+    /// deadlines *later* (activity refreshes) are ignored — the parked
+    /// loop just re-arms after its (now harmless) timeout. Only
+    /// operations that create a possibly-earlier deadline signal the
+    /// wheel.
     fn note_deadlines_for(&self, shard: usize, packet_in: &Packet, actions: &[Action<usize>]) {
         let cfg = self.broker.config();
         let now = self.now();
@@ -272,7 +330,7 @@ impl Shared {
     }
 }
 
-/// A broker served over TCP by a sharded thread pool.
+/// A broker served over TCP by a fixed pool of per-shard event loops.
 ///
 /// ```no_run
 /// use ifot_mqtt::net::TcpBroker;
@@ -285,14 +343,14 @@ pub struct TcpBroker {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_handle: Option<std::thread::JoinHandle<()>>,
-    shard_handles: Vec<std::thread::JoinHandle<()>>,
+    loop_handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for TcpBroker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpBroker")
             .field("local_addr", &self.local_addr)
-            .field("shards", &self.shared.shards.len())
+            .field("shards", &self.shared.loops.len())
             .finish_non_exhaustive()
     }
 }
@@ -308,45 +366,27 @@ impl TcpBroker {
     }
 
     /// Binds and starts serving with an explicit configuration
-    /// (`config.shards` service threads, `config.write_batch` frames per
-    /// vectored write, `config.tcp_nodelay` on accepted sockets).
+    /// (`config.shards` event loops, `config.write_batch` frames per
+    /// vectored write, `config.max_connections` admission bound,
+    /// `config.edge_triggered` poller mode, `config.tcp_nodelay` on
+    /// accepted sockets).
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from binding.
+    /// Propagates socket errors from binding or poller setup.
     pub fn bind_with(addr: impl ToSocketAddrs, config: BrokerConfig) -> std::io::Result<TcpBroker> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let n_shards = config.shards.max(1);
+        let (shared, parts) = Shared::new(config)?;
 
-        let mut shards = Vec::with_capacity(n_shards);
-        let mut receivers = Vec::with_capacity(n_shards);
-        for _ in 0..n_shards {
-            let (tx, rx) = bounded(SHARD_CHANNEL_CAP);
-            shards.push(ShardHandle {
-                tx,
-                dirty: Mutex::new(Vec::new()),
-                wheel: TimerWheel::new(),
-            });
-            receivers.push(rx);
-        }
-        let shared = Arc::new(Shared {
-            broker: ShardedBroker::new(config),
-            shards,
-            conns: RwLock::new(HashMap::new()),
-            epoch: Instant::now(),
-            shutdown: AtomicBool::new(false),
-            next_conn: AtomicUsize::new(1),
-        });
-
-        let mut shard_handles = Vec::with_capacity(n_shards);
-        for (idx, rx) in receivers.into_iter().enumerate() {
+        let mut loop_handles = Vec::with_capacity(parts.len());
+        for (idx, part) in parts.into_iter().enumerate() {
             let shard_shared = Arc::clone(&shared);
-            shard_handles.push(
+            loop_handles.push(
                 std::thread::Builder::new()
-                    .name(format!("mqtt-shard-{idx}"))
-                    .spawn(move || shard_service(shard_shared, idx, rx))
-                    .expect("spawning a shard service thread succeeds"),
+                    .name(format!("mqtt-loop-{idx}"))
+                    .spawn(move || EventLoop::new(idx, shard_shared, part).run())
+                    .expect("spawning an event-loop thread succeeds"),
             );
         }
 
@@ -360,7 +400,7 @@ impl TcpBroker {
             shared,
             local_addr,
             accept_handle: Some(accept_handle),
-            shard_handles,
+            loop_handles,
         })
     }
 
@@ -374,10 +414,23 @@ impl TcpBroker {
         self.shared.broker.stats()
     }
 
-    /// Total timer wakeups across shard service threads (diagnostics:
-    /// an idle broker's count stays frozen).
+    /// Total loop wakeups across shard event loops (diagnostics: an idle
+    /// broker's count stays frozen).
     pub fn timer_wakeups(&self) -> u64 {
-        self.shared.shards.iter().map(|s| s.wheel.wakeups()).sum()
+        self.shared.loops.iter().map(|s| s.wheel.wakeups()).sum()
+    }
+
+    /// Connections dropped at the listener because
+    /// [`BrokerConfig::max_connections`] was reached.
+    pub fn refused_connections(&self) -> u64 {
+        self.shared.refused.load(Ordering::Relaxed)
+    }
+
+    /// Broker-owned threads: `shards` event loops plus the acceptor.
+    /// Constant for the broker's lifetime regardless of connection count
+    /// — the property the C10K tests assert.
+    pub fn service_threads(&self) -> usize {
+        self.loop_handles.len() + 1
     }
 
     /// Stops serving and joins the background threads.
@@ -393,16 +446,12 @@ impl TcpBroker {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
-        // Close every live connection so reader threads exit.
-        let conns: Vec<usize> = self.shared.conns.read().keys().copied().collect();
-        for conn in conns {
-            self.shared.remove_conn(conn);
+        // Wake every loop; each observes the flag, tears its
+        // connections down and exits.
+        for handle in &self.shared.loops {
+            handle.waker.wake();
         }
-        // Wake the service threads; they observe the flag and exit.
-        for shard in &self.shared.shards {
-            let _ = shard.tx.try_send(ShardMsg::Wake);
-        }
-        for h in self.shard_handles.drain(..) {
+        for h in self.loop_handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -414,267 +463,547 @@ impl Drop for TcpBroker {
     }
 }
 
-/// Blocking accept loop. Transient resource exhaustion (EMFILE/ENFILE)
-/// backs off briefly with the cause logged; aborted handshakes are
-/// skipped; anything else (including the listener dying) stops the
-/// loop.
+/// Counts live threads whose name starts with `mqtt-` (the broker's
+/// acceptor and event loops), via `/proc`. Returns `None` off Linux.
+/// Used by the C10K tests and bench to assert the thread count stays
+/// `shards + 1` no matter how many connections are open.
+pub fn mqtt_thread_count() -> Option<usize> {
+    #[cfg(target_os = "linux")]
+    {
+        let mut n = 0;
+        for entry in std::fs::read_dir("/proc/self/task").ok()? {
+            let Ok(entry) = entry else { continue };
+            if let Ok(name) = std::fs::read_to_string(entry.path().join("comm")) {
+                if name.trim_start().starts_with("mqtt-") {
+                    n += 1;
+                }
+            }
+        }
+        Some(n)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Blocking accept loop. Enforces the `max_connections` admission bound,
+/// backs off briefly on fd exhaustion, skips aborted handshakes, and
+/// stops when the listener dies (see [`classify_accept_error`]).
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    const EMFILE: i32 = 24; // process fd limit
-    const ENFILE: i32 = 23; // system fd limit
+    let max_connections = shared.broker.config().max_connections;
+    let mut next_loop = 0usize;
     while !shared.shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, peer)) => {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
-                if let Err(e) = register_conn(stream, &shared) {
+                if max_connections > 0 && shared.conns.read().len() >= max_connections {
+                    shared.refused.fetch_add(1, Ordering::Relaxed);
+                    drop(stream);
+                    continue;
+                }
+                if let Err(e) = register_conn(stream, &shared, &mut next_loop) {
                     eprintln!("mqtt-accept: dropping connection from {peer}: {e}");
                 }
             }
-            Err(e) if matches!(e.raw_os_error(), Some(EMFILE) | Some(ENFILE)) => {
-                eprintln!("mqtt-accept: out of file descriptors ({e}), backing off");
-                std::thread::sleep(Duration::from_millis(50));
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    ErrorKind::ConnectionAborted | ErrorKind::Interrupted
-                ) =>
-            {
-                continue;
-            }
-            Err(e) => {
-                if !shared.shutdown.load(Ordering::Relaxed) {
-                    eprintln!("mqtt-accept: listener failed ({e}), stopping");
+            Err(e) => match classify_accept_error(&e) {
+                AcceptDisposition::Backoff => {
+                    eprintln!("mqtt-accept: out of file descriptors ({e}), backing off");
+                    std::thread::sleep(Duration::from_millis(50));
                 }
-                return;
-            }
+                AcceptDisposition::Retry => continue,
+                AcceptDisposition::Stop => {
+                    if !shared.shutdown.load(Ordering::Relaxed) {
+                        eprintln!("mqtt-accept: listener failed ({e}), stopping");
+                    }
+                    return;
+                }
+            },
         }
     }
 }
 
-/// Sets up socket options, registers the connection and spawns its
-/// reader thread.
-fn register_conn(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+/// Sets socket options, registers the connection's cross-thread state
+/// and hands the socket to its round-robin owner loop. No thread is
+/// spawned — this is the whole point of the front-end.
+fn register_conn(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    next_loop: &mut usize,
+) -> std::io::Result<()> {
     let config = shared.broker.config();
-    let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-    let now = shared.now();
     stream.set_nodelay(config.tcp_nodelay)?;
-    // Slow-consumer guard: a write that stays blocked past this bound
-    // fails and the connection is closed instead of wedging its shard's
-    // writer loop.
-    stream.set_write_timeout(Some(Duration::from_nanos(config.write_timeout_ns.max(1))))?;
-    // Until CONNECT arrives the reader polls with a bounded timeout so
-    // a silent socket cannot hold a thread forever.
-    stream.set_read_timeout(Some(PRE_CONNECT_TIMEOUT))?;
-    let writer = stream.try_clone()?;
-    shared.conns.write().insert(
-        conn,
-        Arc::new(ConnState {
-            writer,
-            shard: AtomicUsize::new(UNASSIGNED),
-            queue: Mutex::new(VecDeque::new()),
-            signaled: AtomicBool::new(false),
-            closing: AtomicBool::new(false),
-        }),
-    );
-    shared.broker.connection_opened(conn, now);
-    let conn_shared = Arc::clone(shared);
-    std::thread::Builder::new()
-        .name(format!("mqtt-conn-{conn}"))
-        .spawn(move || reader_loop(stream, conn, conn_shared))?;
+    stream.set_nonblocking(true)?;
+    let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let owner = *next_loop % shared.loops.len();
+    *next_loop = next_loop.wrapping_add(1);
+    shared
+        .conns
+        .write()
+        .insert(conn, Arc::new(ConnShared::new(owner)));
+    shared.broker.connection_opened(conn, shared.now());
+    // Blocking send: a loop that cannot keep up with the accept rate
+    // backpressures the acceptor, which is the correct place to slow a
+    // connection storm down.
+    if shared.loops[owner]
+        .tx
+        .send(LoopMsg::Accept(stream, conn))
+        .is_err()
+    {
+        shared.conns.write().remove(&conn);
+        return Err(std::io::Error::new(
+            ErrorKind::NotConnected,
+            "owner loop is gone",
+        ));
+    }
+    shared.loops[owner].waker.wake();
     Ok(())
 }
 
-fn reader_loop(mut stream: TcpStream, conn: usize, shared: Arc<Shared>) {
-    let mut decoder = StreamDecoder::new();
-    let mut buf = [0u8; 16 * 1024];
-    let mut shard = UNASSIGNED;
-    loop {
-        if shared.shutdown.load(Ordering::Relaxed) {
+/// Why a connection's outbound flush stopped.
+enum FlushOutcome {
+    /// Queue fully drained.
+    Drained,
+    /// Socket jammed mid-queue (`WouldBlock`): write-readiness armed.
+    Blocked,
+    /// Socket failed.
+    Dead,
+    /// Stale token — connection already gone.
+    Gone,
+}
+
+/// Loop-local state of one owned connection. The socket has exactly one
+/// owner thread, so reads, writes and decoder state need no locks.
+struct Conn {
+    id: usize,
+    stream: TcpStream,
+    shared_state: Arc<ConnShared>,
+    decoder: StreamDecoder,
+    /// Currently armed poller interest.
+    interest: Interest,
+    /// Bytes of the queue-front frame already written (partial-write
+    /// resume point).
+    partial: usize,
+    /// Routing shard, known once CONNECT is accepted.
+    routed: Option<usize>,
+}
+
+/// One shard's event loop: owns a poller, a slab of connections, and the
+/// shard's timer deadline. See the [module docs](self).
+struct EventLoop {
+    idx: usize,
+    shared: Arc<Shared>,
+    poller: Poller,
+    rx: Receiver<LoopMsg>,
+    conns: Slab<Conn>,
+    /// Conn id → slab token (dirty-list lookups).
+    tokens: HashMap<usize, u64>,
+    /// Pre-CONNECT grace deadlines by token.
+    pre_connect: HashMap<u64, u64>,
+    /// Slow-consumer eviction deadlines by token (set while a partial
+    /// write has the socket jammed).
+    write_blocked: HashMap<u64, u64>,
+    edge: bool,
+    write_batch: usize,
+    write_timeout_ns: u64,
+}
+
+impl EventLoop {
+    fn new(idx: usize, shared: Arc<Shared>, parts: LoopParts) -> EventLoop {
+        let config = shared.broker.config();
+        let edge = config.edge_triggered;
+        let write_batch = config.write_batch.max(1);
+        let write_timeout_ns = config.write_timeout_ns.max(1);
+        EventLoop {
+            idx,
+            shared,
+            poller: parts.poller,
+            rx: parts.rx,
+            conns: Slab::new(),
+            tokens: HashMap::new(),
+            pre_connect: HashMap::new(),
+            write_blocked: HashMap::new(),
+            edge,
+            write_batch,
+            write_timeout_ns,
+        }
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::with_capacity(256);
+        loop {
+            if self.shared.shutdown.load(Ordering::Relaxed) {
+                self.teardown_all();
+                return;
+            }
+            self.drain_channel();
+            self.flush_dirty();
+
+            let now = self.shared.now();
+            let deadline = min_deadline(
+                self.shared.broker.next_deadline_ns(self.idx),
+                self.earliest_aux_deadline(),
+            );
+            let wheel = &self.shared.loops[self.idx].wheel;
+            let timeout = wheel.arm(now, deadline);
+            // Producers that queued work after `flush_dirty` above have
+            // already written a wake byte (cross-loop marks always
+            // wake), so this wait cannot oversleep new work.
+            if let Err(e) = self.poller.wait(&mut events, timeout) {
+                eprintln!("mqtt-loop-{}: poller failed ({e}), stopping", self.idx);
+                self.teardown_all();
+                return;
+            }
+            let woke = self.shared.loops[self.idx].wheel.on_wake(self.shared.now());
+            if woke == Wake::Deadline {
+                let now = self.shared.now();
+                let out = self.shared.broker.poll_shard(self.idx, now);
+                self.shared.dispatch(out, Some(self.idx));
+                self.expire_aux_deadlines(now);
+            }
+            let batch: Vec<Event> = std::mem::take(&mut events);
+            for ev in batch {
+                self.handle_event(&ev);
+            }
+        }
+    }
+
+    // ----- inbound channel ------------------------------------------------
+
+    fn drain_channel(&mut self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            match msg {
+                LoopMsg::Accept(stream, id) => self.adopt(stream, id),
+                LoopMsg::Forward(publish) => {
+                    let now = self.shared.now();
+                    let actions = self.shared.broker.apply_forward(self.idx, publish, now);
+                    self.shared.apply_actions(actions, Some(self.idx));
+                }
+            }
+        }
+    }
+
+    /// Takes ownership of a freshly accepted socket: slab slot, poller
+    /// registration, pre-CONNECT grace deadline.
+    fn adopt(&mut self, stream: TcpStream, id: usize) {
+        let Some(state) = self.shared.conns.read().get(&id).cloned() else {
+            return; // raced a shutdown sweep
+        };
+        debug_assert_eq!(state.owner, self.idx, "socket delivered to a foreign loop");
+        let now = self.shared.now();
+        let fd = stream.as_raw_fd();
+        let token = self.conns.insert(Conn {
+            id,
+            stream,
+            shared_state: state,
+            decoder: StreamDecoder::new(),
+            interest: Interest::READABLE,
+            partial: 0,
+            routed: None,
+        });
+        if self
+            .poller
+            .register(fd, token, Interest::READABLE, self.edge)
+            .is_err()
+        {
+            self.teardown(token, true);
             return;
         }
-        match stream.read(&mut buf) {
-            Ok(0) => break, // peer closed
-            Ok(n) => {
-                decoder.feed(&buf[..n]);
-                loop {
-                    match decoder.next_packet() {
-                        Ok(Some(packet)) => {
-                            let now = shared.now();
-                            let out = shared.broker.handle_packet(&conn, packet.clone(), now);
-                            if shard == UNASSIGNED {
-                                if let Some(s) = shared.broker.shard_of_conn(&conn) {
-                                    shard = s;
-                                    if let Some(state) = shared.conns.read().get(&conn) {
-                                        state.shard.store(s, Ordering::Release);
-                                    }
-                                    // CONNECT accepted: keep-alive (or
-                                    // the broker's Close) polices the
-                                    // connection from here on — reads
-                                    // block indefinitely.
-                                    let _ = stream.set_read_timeout(None);
+        self.tokens.insert(id, token);
+        self.pre_connect.insert(token, now + PRE_CONNECT_TIMEOUT_NS);
+    }
+
+    // ----- dirty-list writes ----------------------------------------------
+
+    /// Flushes every dirty connection's queue. Only this loop touches
+    /// its conns' sockets, so each socket has exactly one writer and the
+    /// frames of a queue never interleave. Loops until the dirty list
+    /// stays empty (a flush can enqueue follow-up frames via broker
+    /// actions).
+    fn flush_dirty(&mut self) {
+        loop {
+            let dirty: Vec<usize> = std::mem::take(&mut *self.shared.loops[self.idx].dirty.lock());
+            if dirty.is_empty() {
+                return;
+            }
+            for id in dirty {
+                let Some(&token) = self.tokens.get(&id) else {
+                    continue; // already torn down
+                };
+                if let Some(conn) = self.conns.get(token) {
+                    // Clear-before-drain: a producer appending after
+                    // this point re-marks the connection dirty, so
+                    // nothing is lost.
+                    conn.shared_state.in_dirty.store(false, Ordering::Release);
+                }
+                self.flush_conn(token);
+            }
+        }
+    }
+
+    /// Drains one connection's outbound queue in `write_batch`-sized
+    /// vectored writes, resuming across partial frames, then applies the
+    /// outcome (interest re-arm, slow-consumer clock, close-after-flush,
+    /// teardown). Returns whether the connection is still alive.
+    fn flush_conn(&mut self, token: u64) -> bool {
+        let outcome = self.write_queue(token);
+        match outcome {
+            FlushOutcome::Gone => false,
+            FlushOutcome::Dead => {
+                self.teardown(token, true);
+                false
+            }
+            FlushOutcome::Drained => {
+                let Some(conn) = self.conns.get_mut(token) else {
+                    return false;
+                };
+                if conn.shared_state.closing.load(Ordering::Acquire) {
+                    self.teardown(token, true);
+                    return false;
+                }
+                if conn.interest.writable {
+                    conn.interest = Interest::READABLE;
+                    let fd = conn.stream.as_raw_fd();
+                    let _ = self
+                        .poller
+                        .reregister(fd, token, Interest::READABLE, self.edge);
+                }
+                self.write_blocked.remove(&token);
+                true
+            }
+            FlushOutcome::Blocked => {
+                let now = self.shared.now();
+                let timeout = self.write_timeout_ns;
+                let Some(conn) = self.conns.get_mut(token) else {
+                    return false;
+                };
+                if !conn.interest.writable {
+                    conn.interest = Interest::READ_WRITE;
+                    let fd = conn.stream.as_raw_fd();
+                    let _ = self
+                        .poller
+                        .reregister(fd, token, Interest::READ_WRITE, self.edge);
+                }
+                // First blockage starts the slow-consumer clock; any
+                // write progress resets it (see `write_queue`).
+                self.write_blocked.entry(token).or_insert(now + timeout);
+                true
+            }
+        }
+    }
+
+    /// The socket-write half of [`flush_conn`]: drains until empty,
+    /// jammed, or dead. The queue is snapshotted per batch under its
+    /// lock (cloning `Bytes` handles, not payloads) and popped only
+    /// after the bytes are written, so producers can append concurrently
+    /// without coordination.
+    fn write_queue(&mut self, token: u64) -> FlushOutcome {
+        loop {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return FlushOutcome::Gone;
+            };
+            let batch: Vec<Bytes> = {
+                let queue = conn.shared_state.queue.lock();
+                queue.iter().take(self.write_batch).cloned().collect()
+            };
+            if batch.is_empty() {
+                return FlushOutcome::Drained;
+            }
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(batch.len());
+            slices.push(IoSlice::new(&batch[0][conn.partial..]));
+            for frame in &batch[1..] {
+                slices.push(IoSlice::new(frame));
+            }
+            // The socket write happens here — far away from any broker
+            // lock, and never blocking (the socket is nonblocking).
+            match (&conn.stream).write_vectored(&slices) {
+                Ok(0) => return FlushOutcome::Dead,
+                Ok(mut written) => {
+                    let mut queue = conn.shared_state.queue.lock();
+                    while written > 0 {
+                        let front = queue.front().expect("queue front backed the batch");
+                        let remaining = front.len() - conn.partial;
+                        if written >= remaining {
+                            queue.pop_front();
+                            conn.partial = 0;
+                            written -= remaining;
+                        } else {
+                            conn.partial += written;
+                            written = 0;
+                        }
+                    }
+                    drop(queue);
+                    // Progress resets the slow-consumer clock.
+                    self.write_blocked.remove(&token);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return FlushOutcome::Blocked,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return FlushOutcome::Dead,
+            }
+        }
+    }
+
+    // ----- readiness events -----------------------------------------------
+
+    fn handle_event(&mut self, ev: &Event) {
+        if ev.token == WAKE_TOKEN {
+            self.poller.drain_waker();
+            return;
+        }
+        if ev.readable && !self.on_readable(ev.token) {
+            return; // torn down
+        }
+        if ev.writable {
+            self.write_blocked.remove(&ev.token);
+            self.flush_conn(ev.token);
+        }
+    }
+
+    /// Reads available bytes, decodes and dispatches packets. Returns
+    /// whether the connection is still alive.
+    fn on_readable(&mut self, token: u64) -> bool {
+        let edge = self.edge;
+        let mut packets: Vec<Packet> = Vec::new();
+        let mut failed = false;
+        let mut eof = false;
+        let id = {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return false; // stale event for a recycled slot
+            };
+            let mut buf = [0u8; 16 * 1024];
+            let mut reads = 0usize;
+            'reading: loop {
+                reads += 1;
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        eof = true;
+                        break 'reading;
+                    }
+                    Ok(n) => {
+                        conn.decoder.feed(&buf[..n]);
+                        loop {
+                            match conn.decoder.next_packet() {
+                                Ok(Some(packet)) => packets.push(packet),
+                                Ok(None) => break,
+                                Err(_) => {
+                                    failed = true;
+                                    break 'reading;
                                 }
                             }
-                            if shard != UNASSIGNED {
-                                shared.note_deadlines_for(shard, &packet, &out.actions);
-                            }
-                            shared.dispatch_from_reader(out);
                         }
-                        Ok(None) => break,
-                        Err(_) => {
-                            // Broken stream: tear the connection down.
-                            let now = shared.now();
-                            let out = shared.broker.connection_lost(&conn, now);
-                            shared.dispatch_from_reader(out);
-                            shared.remove_conn(conn);
-                            return;
+                        // Level mode re-notifies for leftover bytes, so
+                        // fairness wins; edge mode must drain fully.
+                        if !edge && (n < buf.len() || reads >= LEVEL_READS_PER_EVENT) {
+                            break 'reading;
                         }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break 'reading,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        failed = true;
+                        break 'reading;
                     }
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if shard == UNASSIGNED {
-                    break; // no CONNECT within the grace period
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    let now = shared.now();
-    let out = shared.broker.connection_lost(&conn, now);
-    shared.dispatch_from_reader(out);
-    shared.remove_conn(conn);
-}
-
-/// One shard's service loop: drain dirty connection queues with
-/// vectored writes, park until the shard's next broker deadline, apply
-/// cross-shard forwards, poll timers when the deadline fires.
-fn shard_service(shared: Arc<Shared>, idx: usize, rx: Receiver<ShardMsg>) {
-    loop {
-        if shared.shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        flush_dirty(&shared, idx);
-
-        let deadline = shared.broker.next_deadline_ns(idx);
-        let wheel = &shared.shards[idx].wheel;
-        let msg = match wheel.arm(shared.now(), deadline) {
-            // Idle: park until a message arrives — zero timer wakeups.
-            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
-            Some(timeout) => rx.recv_timeout(timeout),
+            conn.id
         };
-        wheel.on_wake(shared.now());
-        match msg {
-            Ok(first) => {
-                // Drain a bounded batch so timer work cannot starve.
-                let mut budget = SHARD_CHANNEL_CAP;
-                let mut next = Some(first);
-                while let Some(msg) = next {
-                    if let ShardMsg::Forward(publish) = msg {
-                        let actions = shared.broker.apply_forward(idx, publish, shared.now());
-                        shared.apply_actions(actions);
-                    }
-                    budget -= 1;
-                    next = if budget > 0 { rx.try_recv().ok() } else { None };
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                let out = shared.broker.poll_shard(idx, shared.now());
-                shared.dispatch_from_service(out);
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
-    }
-}
 
-/// Writes every dirty connection's queue. Only this shard's service
-/// thread calls this for its conns, so each socket has exactly one
-/// writer and the frames of a queue never interleave.
-fn flush_dirty(shared: &Arc<Shared>, idx: usize) {
-    loop {
-        let dirty: Vec<usize> = std::mem::take(&mut *shared.shards[idx].dirty.lock());
-        if dirty.is_empty() {
-            return;
-        }
-        for conn in dirty {
-            let Some(state) = shared.conns.read().get(&conn).cloned() else {
-                continue;
+        for packet in packets {
+            let now = self.shared.now();
+            let out = self.shared.broker.handle_packet(&id, packet.clone(), now);
+            let routed = self.conns.get(token).and_then(|c| c.routed);
+            let routed = match routed {
+                Some(s) => Some(s),
+                None => {
+                    // CONNECT may just have been accepted: learn the
+                    // routing shard and retire the pre-CONNECT deadline.
+                    let assigned = self.shared.broker.shard_of_conn(&id);
+                    if let Some(s) = assigned {
+                        if let Some(conn) = self.conns.get_mut(token) {
+                            conn.routed = Some(s);
+                        }
+                        self.pre_connect.remove(&token);
+                    }
+                    assigned
+                }
             };
-            // Clear-before-drain: a producer appending after this point
-            // re-marks the connection dirty, so nothing is lost.
-            state.signaled.store(false, Ordering::Release);
-            if !flush_conn(shared, conn, &state) {
-                // Slow consumer or dead socket: broker-side teardown
-                // (this conn belongs to this shard, so no cross-thread
-                // coordination is needed).
-                let out = shared.broker.connection_lost(&conn, shared.now());
-                shared.dispatch_from_service(out);
-                shared.remove_conn(conn);
-                continue;
+            if let Some(shard) = routed {
+                self.shared.note_deadlines_for(shard, &packet, &out.actions);
             }
-            if state.closing.load(Ordering::Acquire) {
-                shared.remove_conn(conn);
-            }
+            self.shared.dispatch(out, Some(self.idx));
         }
-    }
-}
 
-/// Drains one connection's outbound queue in `write_batch`-sized
-/// vectored writes. Returns `false` when the socket failed (including a
-/// write timeout — the slow-consumer case).
-fn flush_conn(shared: &Arc<Shared>, _conn: usize, state: &ConnState) -> bool {
-    let batch_cap = shared.broker.config().write_batch.max(1);
-    loop {
-        let batch: Vec<Bytes> = {
-            let mut queue = state.queue.lock();
-            let take = queue.len().min(batch_cap);
-            queue.drain(..take).collect()
-        };
-        if batch.is_empty() {
-            return true;
-        }
-        // The socket write happens here — after the queue lock is
-        // dropped and far away from any broker lock.
-        if !write_vectored_all(&state.writer, &batch) {
+        if failed || eof {
+            self.teardown(token, true);
             return false;
         }
+        true
     }
-}
 
-/// Writes a batch of frames with `write_vectored`, advancing across
-/// partial writes. One syscall per batch in the common case, versus one
-/// per frame in the unsharded transport.
-fn write_vectored_all(mut writer: &TcpStream, batch: &[Bytes]) -> bool {
-    let mut buf_idx = 0usize;
-    let mut offset = 0usize;
-    while buf_idx < batch.len() {
-        let slices: Vec<IoSlice<'_>> = std::iter::once(IoSlice::new(&batch[buf_idx][offset..]))
-            .chain(batch[buf_idx + 1..].iter().map(|b| IoSlice::new(b)))
+    // ----- deadlines ------------------------------------------------------
+
+    /// Earliest loop-local socket deadline (pre-CONNECT grace,
+    /// slow-consumer eviction), folded into the shard's poll timeout so
+    /// these policies need no extra timer machinery.
+    fn earliest_aux_deadline(&self) -> Option<u64> {
+        min_deadline(
+            self.pre_connect.values().min().copied(),
+            self.write_blocked.values().min().copied(),
+        )
+    }
+
+    fn expire_aux_deadlines(&mut self, now: u64) {
+        let expired: Vec<u64> = self
+            .pre_connect
+            .iter()
+            .filter(|&(_, &deadline)| deadline <= now)
+            .map(|(&token, _)| token)
             .collect();
-        let mut written = match writer.write_vectored(&slices) {
-            Ok(0) => return false,
-            Ok(n) => n,
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => return false, // incl. WouldBlock/TimedOut: slow consumer
-        };
-        while written > 0 {
-            let remaining = batch[buf_idx].len() - offset;
-            if written >= remaining {
-                written -= remaining;
-                buf_idx += 1;
-                offset = 0;
-                if buf_idx == batch.len() {
-                    debug_assert_eq!(written, 0, "wrote more than was submitted");
-                    break;
-                }
-            } else {
-                offset += written;
-                written = 0;
-            }
+        for token in expired {
+            // No CONNECT within the grace period.
+            self.teardown(token, true);
+        }
+        let expired: Vec<u64> = self
+            .write_blocked
+            .iter()
+            .filter(|&(_, &deadline)| deadline <= now)
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            // Slow consumer: jammed past write_timeout_ns.
+            self.teardown(token, true);
         }
     }
-    true
+
+    // ----- teardown -------------------------------------------------------
+
+    /// Removes a connection from the loop, the poller and the global
+    /// registry; `lost` additionally performs the broker-side session
+    /// teardown (a no-op for sessions the broker already closed).
+    fn teardown(&mut self, token: u64, lost: bool) {
+        let Some(conn) = self.conns.remove(token) else {
+            return;
+        };
+        self.tokens.remove(&conn.id);
+        self.pre_connect.remove(&token);
+        self.write_blocked.remove(&token);
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.shared.conns.write().remove(&conn.id);
+        if lost {
+            let now = self.shared.now();
+            let out = self.shared.broker.connection_lost(&conn.id, now);
+            self.shared.dispatch(out, Some(self.idx));
+        }
+        // conn.stream drops here, closing the socket.
+    }
+
+    fn teardown_all(&mut self) {
+        for token in self.conns.tokens() {
+            self.teardown(token, false);
+        }
+    }
 }
 
 /// A small blocking MQTT client over TCP.
@@ -985,9 +1314,46 @@ mod tests {
     }
 
     #[test]
+    fn tcp_edge_triggered_round_trip() {
+        let broker = TcpBroker::bind_with(
+            "127.0.0.1:0",
+            BrokerConfig {
+                shards: 2,
+                edge_triggered: true,
+                ..BrokerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = broker.local_addr();
+        let mut subscriber = TcpClient::connect(addr, "et-sub").expect("connect");
+        subscriber
+            .subscribe("et/#", QoS::AtLeastOnce)
+            .expect("subscribe");
+        let mut publisher = TcpClient::connect(addr, "et-pub").expect("connect");
+        for i in 0..10u8 {
+            publisher
+                .publish("et/t", vec![i], QoS::AtLeastOnce, false)
+                .expect("publish");
+        }
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got.len() < 10 && Instant::now() < deadline {
+            publisher.drive().expect("drive");
+            if let Some(p) = subscriber.recv(Duration::from_millis(50)).expect("recv") {
+                got.push(p.payload[0]);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<u8>>());
+        publisher.disconnect();
+        subscriber.disconnect();
+        broker.shutdown();
+    }
+
+    #[test]
     fn tcp_idle_broker_makes_no_timer_wakeups() {
         let broker = TcpBroker::bind("127.0.0.1:0").expect("bind");
-        // No connections, no deadlines: every shard parks indefinitely.
+        // No connections, no deadlines: every loop parks indefinitely.
         std::thread::sleep(Duration::from_millis(300));
         assert_eq!(
             broker.timer_wakeups(),
@@ -1031,6 +1397,152 @@ mod tests {
         for sub in subs {
             sub.disconnect();
         }
+        broker.shutdown();
+    }
+
+    #[test]
+    fn accept_errors_classify_correctly() {
+        let emfile = std::io::Error::from_raw_os_error(24);
+        let enfile = std::io::Error::from_raw_os_error(23);
+        assert_eq!(classify_accept_error(&emfile), AcceptDisposition::Backoff);
+        assert_eq!(classify_accept_error(&enfile), AcceptDisposition::Backoff);
+        let aborted = std::io::Error::new(ErrorKind::ConnectionAborted, "aborted");
+        let interrupted = std::io::Error::new(ErrorKind::Interrupted, "eintr");
+        assert_eq!(classify_accept_error(&aborted), AcceptDisposition::Retry);
+        assert_eq!(
+            classify_accept_error(&interrupted),
+            AcceptDisposition::Retry
+        );
+        let fatal = std::io::Error::new(ErrorKind::InvalidInput, "bad listener");
+        assert_eq!(classify_accept_error(&fatal), AcceptDisposition::Stop);
+    }
+
+    #[test]
+    fn dirty_marking_is_deduplicated_per_flush_cycle() {
+        let (shared, _parts) = Shared::new(BrokerConfig {
+            shards: 2,
+            ..BrokerConfig::default()
+        })
+        .expect("shared");
+        let state = Arc::new(ConnShared::new(0));
+        shared.conns.write().insert(7, Arc::clone(&state));
+
+        // Many enqueues between flushes → one dirty entry.
+        for _ in 0..5 {
+            shared.enqueue(7, Bytes::from_static(b"frame"), None);
+        }
+        assert_eq!(shared.loops[0].dirty.lock().len(), 1);
+        assert_eq!(state.queue.lock().len(), 5);
+
+        // A close on an already-dirty connection adds no second entry.
+        shared.close_conn(7, None);
+        assert_eq!(shared.loops[0].dirty.lock().len(), 1);
+        assert!(state.closing.load(Ordering::Acquire));
+
+        // After the owner clears the flag (flush protocol), the next
+        // producer re-marks exactly once.
+        shared.loops[0].dirty.lock().clear();
+        state.in_dirty.store(false, Ordering::Release);
+        shared.enqueue(7, Bytes::from_static(b"a"), None);
+        shared.enqueue(7, Bytes::from_static(b"b"), None);
+        assert_eq!(shared.loops[0].dirty.lock().len(), 1);
+    }
+
+    #[test]
+    fn max_connections_refuses_the_overflow() {
+        let broker = TcpBroker::bind_with(
+            "127.0.0.1:0",
+            BrokerConfig {
+                shards: 1,
+                max_connections: 2,
+                ..BrokerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = broker.local_addr();
+        let a = TcpClient::connect(addr, "adm-a").expect("first admitted");
+        let b = TcpClient::connect(addr, "adm-b").expect("second admitted");
+        // The third is dropped at the listener: the handshake cannot
+        // complete.
+        let refused = TcpClient::connect(addr, "adm-c");
+        assert!(refused.is_err(), "third connection should be refused");
+        assert!(broker.refused_connections() >= 1);
+        a.disconnect();
+        b.disconnect();
+        broker.shutdown();
+    }
+
+    /// A subscriber that stops reading gets evicted at `write_timeout_ns`
+    /// while the shard loop keeps serving everyone else — the loop never
+    /// blocks on the jammed socket.
+    #[test]
+    fn slow_consumer_is_evicted_without_stalling_the_loop() {
+        let broker = TcpBroker::bind_with(
+            "127.0.0.1:0",
+            BrokerConfig {
+                shards: 1,
+                write_timeout_ns: 300_000_000, // 300 ms
+                ..BrokerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = broker.local_addr();
+
+        let mut slow = TcpClient::connect(addr, "slow-sub").expect("connect slow");
+        slow.subscribe("flood/#", QoS::AtMostOnce).expect("sub");
+        let mut healthy = TcpClient::connect(addr, "healthy-sub").expect("connect healthy");
+        healthy.subscribe("flood/#", QoS::AtMostOnce).expect("sub");
+        let mut publisher = TcpClient::connect(addr, "flood-pub").expect("connect pub");
+        assert_eq!(broker.stats().clients_connected, 3);
+
+        // `slow` now stops reading entirely. Flood until its kernel
+        // buffers jam; drain `healthy` along the way so it stays fast.
+        let payload = vec![0u8; 16 * 1024];
+        for _ in 0..40 {
+            for _ in 0..16 {
+                publisher
+                    .publish("flood/x", payload.clone(), QoS::AtMostOnce, false)
+                    .expect("publish");
+            }
+            while healthy
+                .recv(Duration::from_millis(1))
+                .expect("healthy recv")
+                .is_some()
+            {}
+            if broker.stats().clients_connected < 3 {
+                break;
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while broker.stats().clients_connected == 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            broker.stats().clients_connected,
+            2,
+            "slow consumer was never evicted"
+        );
+
+        // The loop is alive and routing: a fresh publish reaches the
+        // healthy subscriber promptly.
+        while healthy
+            .recv(Duration::from_millis(1))
+            .expect("healthy drain")
+            .is_some()
+        {}
+        publisher
+            .publish("flood/done", b"marker".to_vec(), QoS::AtMostOnce, false)
+            .expect("publish marker");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut saw_marker = false;
+        while Instant::now() < deadline && !saw_marker {
+            if let Some(p) = healthy.recv(Duration::from_millis(100)).expect("recv") {
+                saw_marker = p.payload.as_ref() == b"marker";
+            }
+        }
+        assert!(saw_marker, "loop stalled after the eviction");
+        publisher.disconnect();
+        healthy.disconnect();
         broker.shutdown();
     }
 }

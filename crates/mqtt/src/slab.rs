@@ -1,0 +1,220 @@
+//! # Generational connection slab
+//!
+//! The event-loop front-end (`net.rs`) identifies each connection it
+//! owns by a dense token that doubles as the poller registration key.
+//! A plain `Vec` index would suffer ABA hazards: epoll can deliver an
+//! event batch in which an early event tears a connection down and a
+//! later event carries the dead connection's (now recycled) index. The
+//! slab therefore pairs every slot with a generation counter and packs
+//! `generation << 32 | index` into the token — a stale token fails the
+//! generation check and the event is ignored instead of being applied to
+//! whichever new connection inherited the slot.
+//!
+//! Slots are recycled through a free list, so a loop that churns through
+//! millions of short-lived connections keeps its memory bounded by the
+//! peak concurrent count, and lookups stay a bounds-check plus an array
+//! access — no hashing on the per-event hot path.
+
+/// A slot map keyed by generational tokens. See the [module docs](self).
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn token_of(generation: u32, index: u32) -> u64 {
+        (u64::from(generation) << 32) | u64::from(index)
+    }
+
+    fn parts(token: u64) -> (u32, usize) {
+        ((token >> 32) as u32, (token & 0xFFFF_FFFF) as usize)
+    }
+
+    /// Stores `value` and returns its token.
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none(), "free-listed slot was occupied");
+            slot.value = Some(value);
+            return Self::token_of(slot.generation, index);
+        }
+        let index = u32::try_from(self.slots.len()).expect("slab outgrew u32 indexing");
+        self.slots.push(Slot {
+            generation: 0,
+            value: Some(value),
+        });
+        Self::token_of(0, index)
+    }
+
+    /// The entry for `token`, unless it was removed (stale tokens return
+    /// `None`, never a recycled slot's new occupant).
+    pub fn get(&self, token: u64) -> Option<&T> {
+        let (generation, index) = Self::parts(token);
+        let slot = self.slots.get(index)?;
+        if slot.generation != generation {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Mutable access with the same staleness guarantee as
+    /// [`get`](Self::get).
+    pub fn get_mut(&mut self, token: u64) -> Option<&mut T> {
+        let (generation, index) = Self::parts(token);
+        let slot = self.slots.get_mut(index)?;
+        if slot.generation != generation {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Removes and returns the entry, bumping the slot's generation so
+    /// every outstanding token for it goes stale.
+    pub fn remove(&mut self, token: u64) -> Option<T> {
+        let (generation, index) = Self::parts(token);
+        let slot = self.slots.get_mut(index)?;
+        if slot.generation != generation {
+            return None;
+        }
+        let value = slot.value.take()?;
+        // Wrapping keeps the slot usable forever; a token would have to
+        // survive 2^32 reuses of one slot to collide.
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(index as u32);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Tokens of every live entry (teardown sweeps; allocation is fine
+    /// off the hot path).
+    pub fn tokens(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.value.is_some())
+            .map(|(i, s)| Self::token_of(s.generation, i as u32))
+            .collect()
+    }
+
+    /// Iterates live entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value
+                .as_ref()
+                .map(|v| (Self::token_of(s.generation, i as u32), v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.remove(a), None, "double remove is inert");
+    }
+
+    #[test]
+    fn stale_token_does_not_alias_the_recycled_slot() {
+        let mut slab = Slab::new();
+        let old = slab.insert(1u32);
+        slab.remove(old);
+        // The freed slot is recycled for the next insert …
+        let new = slab.insert(2u32);
+        assert_ne!(old, new, "generation must disambiguate slot reuse");
+        // … and the stale token sees nothing, not the new tenant.
+        assert_eq!(slab.get(old), None);
+        assert_eq!(slab.get_mut(old), None);
+        assert_eq!(slab.remove(old), None);
+        assert_eq!(slab.get(new), Some(&2));
+    }
+
+    #[test]
+    fn tokens_and_iter_cover_exactly_the_live_set() {
+        let mut slab = Slab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        let c = slab.insert(30);
+        slab.remove(b);
+        let mut tokens = slab.tokens();
+        tokens.sort_unstable();
+        let mut expect = vec![a, c];
+        expect.sort_unstable();
+        assert_eq!(tokens, expect);
+        let values: Vec<i32> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values.iter().sum::<i32>(), 40);
+    }
+
+    #[test]
+    fn churn_reuses_slots_without_growth() {
+        let mut slab = Slab::new();
+        let mut live = Vec::new();
+        for i in 0..64 {
+            live.push(slab.insert(i));
+        }
+        for _ in 0..10_000 {
+            let t = live.pop().expect("live");
+            slab.remove(t);
+            live.push(slab.insert(0));
+        }
+        assert_eq!(slab.len(), 64);
+        assert!(
+            slab.slots.len() <= 65,
+            "slot storage grew past the peak live count: {}",
+            slab.slots.len()
+        );
+    }
+
+    #[test]
+    fn tokens_never_collide_with_the_wake_sentinel() {
+        // WAKE_TOKEN is u64::MAX = generation u32::MAX | index
+        // 0xFFFF_FFFF; a slab would need 2^32 slots and 2^32 removals of
+        // the last one to mint it. Check the arithmetic anyway.
+        assert_ne!(Slab::<u8>::token_of(0, 0), crate::poll::WAKE_TOKEN);
+        assert_ne!(Slab::<u8>::token_of(1, 7), crate::poll::WAKE_TOKEN);
+    }
+}
