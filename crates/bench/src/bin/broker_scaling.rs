@@ -38,6 +38,7 @@
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::io::AsRawFd;
+use std::path::Path;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
@@ -47,6 +48,7 @@ use ifot_mqtt::net::{mqtt_thread_count, TcpBroker, TcpClient};
 use ifot_mqtt::packet::{Connect, ConnectReturnCode, Packet, QoS, Subscribe, SubscribeFilter};
 use ifot_mqtt::poll::{Event, Interest, Poller};
 use ifot_mqtt::topic::TopicFilter;
+use ifot_mqtt::wal::WalStats;
 
 /// Upper bound on subscriber connections per sink child (fd headroom:
 /// one fd per connection in the child, two in a hypothetical in-process
@@ -69,6 +71,8 @@ struct CellResult {
     rate: f64,
     timer_wakeups: u64,
     broker_threads: usize,
+    /// WAL activity, when the cell ran with durability attached.
+    wal: Option<WalStats>,
 }
 
 // ---------------------------------------------------------------------
@@ -239,12 +243,29 @@ fn read_line_from(child: &mut SinkChild, what: &str) -> String {
 /// one publisher sending `publishes` QoS 0 messages. Returns
 /// deliveries/s measured from the first publish to the last child's
 /// receipt report.
-fn run_cell(shards: usize, write_batch: usize, connections: usize, publishes: u64) -> CellResult {
-    let config = BrokerConfig {
+///
+/// `retain` sets the retain flag on every publish — each one then
+/// mutates the retained store on every shard, which is the durable
+/// write path. `durable_dir` attaches per-shard write-ahead logs under
+/// that directory; together they put a WAL append on every publish of
+/// the timed window.
+fn run_cell(
+    shards: usize,
+    write_batch: usize,
+    connections: usize,
+    publishes: u64,
+    retain: bool,
+    durable_dir: Option<&Path>,
+) -> CellResult {
+    let mut config = BrokerConfig {
         shards,
         write_batch,
         ..BrokerConfig::default()
     };
+    if let Some(dir) = durable_dir {
+        config = config.with_durability(dir);
+        config.wal_snapshot_every = 256;
+    }
     let broker = TcpBroker::bind_with("127.0.0.1:0", config).expect("bind broker");
     let addr = broker.local_addr();
 
@@ -279,7 +300,7 @@ fn run_cell(shards: usize, write_batch: usize, connections: usize, publishes: u6
                 "sensor/scale/accel",
                 payload.clone(),
                 QoS::AtMostOnce,
-                false,
+                retain,
             )
             .expect("publish");
     }
@@ -303,6 +324,7 @@ fn run_cell(shards: usize, write_batch: usize, connections: usize, publishes: u6
     }
     publisher.disconnect();
     let timer_wakeups = broker.timer_wakeups();
+    let wal = broker.wal_stats();
     broker.shutdown();
 
     CellResult {
@@ -316,6 +338,7 @@ fn run_cell(shards: usize, write_batch: usize, connections: usize, publishes: u6
         rate: delivered as f64 / seconds,
         timer_wakeups,
         broker_threads,
+        wal,
     }
 }
 
@@ -343,7 +366,7 @@ fn best_of(
 ) -> CellResult {
     let mut best: Option<CellResult> = None;
     for _ in 0..reps {
-        let r = run_cell(shards, write_batch, connections, publishes);
+        let r = run_cell(shards, write_batch, connections, publishes, false, None);
         let better = match &best {
             Some(b) => (r.delivered, r.rate as u64) > (b.delivered, b.rate as u64),
             None => true,
@@ -434,6 +457,42 @@ fn main() {
         );
     }
     println!("  ],");
+    // Durability overhead cell: identical retained-publish workloads, WAL
+    // off vs on. A retained publish mutates the retained store on every
+    // shard, so with durability attached each publish of the timed window
+    // appends to a write-ahead log on each shard — the worst-case durable
+    // hot path. The cell asserts zero delivery loss (inside run_cell),
+    // zero dropped WAL batches, and bounded throughput overhead.
+    let (d_conns, d_pubs): (usize, u64) = if quick { (24, 300) } else { (200, 1_000) };
+    let plain = run_cell(4, 32, d_conns, d_pubs, true, None);
+    let wal_dir =
+        std::env::temp_dir().join(format!("ifot-broker-scaling-wal-{}", std::process::id()));
+    let durable = run_cell(4, 32, d_conns, d_pubs, true, Some(&wal_dir));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let stats = durable.wal.expect("durable cell must expose WAL stats");
+    assert!(
+        stats.records_appended > 0,
+        "durable cell should have logged retained-store records"
+    );
+    assert_eq!(
+        stats.append_errors, 0,
+        "durable cell must not drop WAL batches"
+    );
+    let overhead = durable.rate / plain.rate;
+    assert!(
+        overhead >= 0.25,
+        "durable throughput collapsed: {overhead:.2}x the WAL-off rate"
+    );
+    println!(
+        "  \"durability\": {{ \"shards\": 4, \"write_batch\": 32, \"connections\": {d_conns}, \"publishes\": {d_pubs}, \"retained\": true, \"plain_deliveries_per_sec\": {:.0}, \"durable_deliveries_per_sec\": {:.0}, \"durable_over_plain\": {:.3}, \"wal_records_appended\": {}, \"wal_batches_committed\": {}, \"wal_append_errors\": {}, \"wal_snapshots_installed\": {} }},",
+        plain.rate,
+        durable.rate,
+        overhead,
+        stats.records_appended,
+        stats.batches_committed,
+        stats.append_errors,
+        stats.snapshots_installed
+    );
     let speedup = match (baseline, default_rate) {
         (Some((_, b)), Some(d)) if b > 0.0 => d / b,
         _ => 0.0,

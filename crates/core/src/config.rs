@@ -292,6 +292,12 @@ pub struct NodeConfig {
     /// `1` reproduces single-broker behaviour; the default follows
     /// [`ifot_mqtt::BrokerConfig`].
     pub broker_shards: usize,
+    /// Write-ahead durability directory for the embedded broker. When
+    /// set, the broker journals persistent sessions, subscriptions,
+    /// retained messages and QoS 1/2 in-flight state to per-shard WAL +
+    /// snapshot files under this directory and replays them on startup.
+    /// `None` (the default) keeps the seed's in-memory behaviour.
+    pub broker_durability: Option<std::path::PathBuf>,
     /// Node name of the broker to connect the client to (`None` for a
     /// broker-only or isolated node).
     pub broker_node: Option<String>,
@@ -352,6 +358,7 @@ impl NodeConfig {
             app: "app".to_owned(),
             run_broker: false,
             broker_shards: ifot_mqtt::BrokerConfig::default().shards,
+            broker_durability: None,
             broker_node: None,
             sensors: Vec::new(),
             operators: Vec::new(),
@@ -449,6 +456,13 @@ impl NodeConfig {
     /// Sets the embedded broker's routing shard count (builder style).
     pub fn with_broker_shards(mut self, shards: usize) -> Self {
         self.broker_shards = shards.max(1);
+        self
+    }
+
+    /// Enables write-ahead durability for the embedded broker, rooted at
+    /// `dir` (builder style). See [`NodeConfig::broker_durability`].
+    pub fn with_durability(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.broker_durability = Some(dir.into());
         self
     }
 

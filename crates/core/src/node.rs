@@ -318,6 +318,7 @@ impl MiddlewareNode {
             broker: config.run_broker.then(|| {
                 ShardedBroker::new(BrokerConfig {
                     shards: config.broker_shards,
+                    durability: config.broker_durability.clone(),
                     ..BrokerConfig::default()
                 })
             }),

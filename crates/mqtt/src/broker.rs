@@ -16,6 +16,8 @@
 //! persistent sessions.
 
 use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
 
 use bytes::Bytes;
 
@@ -26,6 +28,10 @@ use crate::packet::{
 };
 use crate::topic::{TopicFilter, TopicName};
 use crate::tree::SubscriptionTree;
+use crate::wal::{
+    DurablePublish, DurableState, RecoveryReport, Wal, WalBackend, WalConfig, WalRecord, WalStage,
+    WalStats,
+};
 
 /// Broker tuning knobs.
 ///
@@ -72,6 +78,27 @@ pub struct BrokerConfig {
     /// default. The portable `poll(2)` fallback ignores this and is
     /// always level-triggered.
     pub edge_triggered: bool,
+    /// Directory for write-ahead durability. When set, the embedding
+    /// layers ([`crate::shard::ShardedBroker`], and through it the TCP
+    /// front-end) open per-shard WAL + snapshot files under it and replay
+    /// them on startup, so persistent sessions, subscriptions, retained
+    /// messages and QoS 1/2 in-flight state survive restarts. The sans-I/O
+    /// [`Broker`] itself ignores this field (like `shards`); attach a
+    /// backend explicitly with [`Broker::open_durable`].
+    pub durability: Option<PathBuf>,
+    /// Install a durability snapshot (and truncate the log) after this
+    /// many WAL records. `0` disables automatic snapshots. Ignored unless
+    /// a WAL is attached.
+    pub wal_snapshot_every: u64,
+}
+
+impl BrokerConfig {
+    /// Enables write-ahead durability rooted at `dir` (see
+    /// [`BrokerConfig::durability`]).
+    pub fn with_durability(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durability = Some(dir.into());
+        self
+    }
 }
 
 impl Default for BrokerConfig {
@@ -87,6 +114,8 @@ impl Default for BrokerConfig {
             write_timeout_ns: 2_000_000_000,
             max_connections: 0,
             edge_triggered: false,
+            durability: None,
+            wal_snapshot_every: 4096,
         }
     }
 }
@@ -275,6 +304,60 @@ pub struct Broker<C> {
     /// `events` for the embedding layer to drain via `take_events`.
     capture_events: bool,
     events: Vec<BrokerEvent>,
+    /// Write-ahead log for durable state, if attached. Every mutation of
+    /// persistent-session or retained state buffers a record; each
+    /// top-level entry point commits the buffer as one atomic batch
+    /// *before* returning its actions (see [`crate::wal`]).
+    wal: Option<Wal>,
+}
+
+/// Buffer one durable record if a WAL is attached.
+///
+/// A free function over the `wal` field (rather than a `&mut self` method)
+/// so record sites that already hold a mutable borrow of another broker
+/// field — almost all of them borrow a session — can still log.
+fn wal_note(wal: &mut Option<Wal>, rec: impl FnOnce() -> WalRecord) {
+    if let Some(w) = wal.as_mut() {
+        let r = rec();
+        w.record(&r);
+    }
+}
+
+fn durable_of(p: &Publish) -> DurablePublish {
+    DurablePublish {
+        topic: p.topic.as_str().to_owned(),
+        qos: p.qos,
+        retain: p.retain,
+        payload: p.payload.clone(),
+    }
+}
+
+fn publish_of(m: &DurablePublish, packet_id: Option<PacketId>) -> Option<Publish> {
+    let topic = TopicName::new(m.topic.clone()).ok()?;
+    Some(Publish {
+        dup: false,
+        qos: m.qos,
+        retain: m.retain,
+        topic,
+        packet_id,
+        payload: m.payload.clone(),
+    })
+}
+
+fn stage_to_wal(stage: OutStage) -> WalStage {
+    match stage {
+        OutStage::AwaitPuback => WalStage::AwaitPuback,
+        OutStage::AwaitPubrec => WalStage::AwaitPubrec,
+        OutStage::AwaitPubcomp => WalStage::AwaitPubcomp,
+    }
+}
+
+fn stage_from_wal(stage: WalStage) -> OutStage {
+    match stage {
+        WalStage::AwaitPuback => OutStage::AwaitPuback,
+        WalStage::AwaitPubrec => OutStage::AwaitPubrec,
+        WalStage::AwaitPubcomp => OutStage::AwaitPubcomp,
+    }
 }
 
 impl<C: Ord + Clone> Default for Broker<C> {
@@ -301,6 +384,157 @@ impl<C: Ord + Clone> Broker<C> {
             stats: BrokerStats::default(),
             capture_events: false,
             events: Vec::new(),
+            wal: None,
+        }
+    }
+
+    /// Opens a broker with write-ahead durability over `backend`: recovers
+    /// whatever durable state the backend holds, rebuilds sessions /
+    /// subscriptions / retained messages / QoS 1/2 in-flight windows from
+    /// it, and attaches the log for further writes. Restored in-flight
+    /// entries are marked due for immediate retransmission (dup set) as
+    /// soon as their client reconnects.
+    pub fn open_durable(
+        config: BrokerConfig,
+        backend: Box<dyn WalBackend>,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let wal_config = WalConfig {
+            snapshot_every: config.wal_snapshot_every,
+        };
+        let (wal, report) = Wal::open(backend, wal_config)?;
+        let mut broker = Broker::with_config(config);
+        broker.restore(&report.state);
+        broker.wal = Some(wal);
+        Ok((broker, report))
+    }
+
+    /// Attaches an already-positioned WAL writer. Prefer
+    /// [`Broker::open_durable`]; this exists for embedders (the sharded
+    /// layer) that recover and restore themselves.
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// WAL activity counters, if durability is attached.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(Wal::stats)
+    }
+
+    /// Rebuilds broker state from recovered durable state. Intended to run
+    /// on a fresh broker before any traffic; restored sessions are
+    /// persistent by definition (transient state is never logged).
+    pub fn restore(&mut self, state: &DurableState) {
+        for (client, ds) in &state.sessions {
+            let mut session = Session {
+                persistent: true,
+                next_pid: ds.next_pid,
+                ..Session::default()
+            };
+            for (filter, qos) in &ds.subscriptions {
+                let Ok(filter) = TopicFilter::new(filter.clone()) else {
+                    continue;
+                };
+                self.tree.subscribe(client.clone(), &filter, *qos);
+                session.subscriptions.retain(|(sf, _)| sf != &filter);
+                session.subscriptions.push((filter, *qos));
+            }
+            for (pid, (message, stage)) in &ds.inflight {
+                let Some(publish) = publish_of(message, Some(*pid)) else {
+                    continue;
+                };
+                session.inflight.insert(
+                    *pid,
+                    InflightMessage {
+                        publish,
+                        // Zero send time: the first poll() after the client
+                        // reconnects retransmits immediately with dup set.
+                        sent_at_ns: 0,
+                        stage: stage_from_wal(*stage),
+                    },
+                );
+            }
+            for message in &ds.queue {
+                if let Some(publish) = publish_of(message, None) {
+                    session.queue.push_back(publish);
+                }
+            }
+            session.incoming_qos2 = ds.incoming_qos2.iter().copied().collect();
+            self.sessions.insert(client.clone(), session);
+        }
+        for (topic, message) in &state.retained {
+            if let Some(mut publish) = publish_of(message, None) {
+                publish.retain = true;
+                self.retained.insert(topic.clone(), publish);
+            }
+        }
+    }
+
+    /// Serialises the broker's durable state (persistent sessions and
+    /// retained messages) as snapshot records: applying them to an empty
+    /// [`DurableState`] reproduces exactly what [`Broker::restore`] needs.
+    pub fn durable_records(&self) -> Vec<WalRecord> {
+        let mut out = Vec::new();
+        for (client, session) in &self.sessions {
+            if !session.persistent {
+                continue;
+            }
+            out.push(WalRecord::SessionStarted {
+                client: client.clone(),
+                next_pid: session.next_pid,
+            });
+            for (filter, qos) in &session.subscriptions {
+                out.push(WalRecord::Subscribed {
+                    client: client.clone(),
+                    filter: filter.as_str().to_owned(),
+                    qos: *qos,
+                });
+            }
+            for pid in &session.incoming_qos2 {
+                out.push(WalRecord::InQos2Insert {
+                    client: client.clone(),
+                    pid: *pid,
+                });
+            }
+            for (pid, inflight) in &session.inflight {
+                out.push(WalRecord::InflightInsert {
+                    client: client.clone(),
+                    pid: *pid,
+                    stage: stage_to_wal(inflight.stage),
+                    message: durable_of(&inflight.publish),
+                });
+            }
+            for publish in &session.queue {
+                out.push(WalRecord::Queued {
+                    client: client.clone(),
+                    message: durable_of(publish),
+                });
+            }
+        }
+        for publish in self.retained.values() {
+            out.push(WalRecord::RetainSet {
+                message: durable_of(publish),
+            });
+        }
+        out
+    }
+
+    /// Commits the records buffered during the current entry point as one
+    /// atomic batch, then installs a snapshot if one is due. Called at the
+    /// end of every top-level entry point, before actions are returned —
+    /// the write happens *ahead* of the transport seeing the effects.
+    fn wal_barrier(&mut self) {
+        let due = match self.wal.as_mut() {
+            Some(wal) => {
+                wal.commit();
+                wal.snapshot_due()
+            }
+            None => return,
+        };
+        if due {
+            let records = self.durable_records();
+            if let Some(wal) = self.wal.as_mut() {
+                wal.install_snapshot(&records);
+            }
         }
     }
 
@@ -350,11 +584,19 @@ impl<C: Ord + Clone> Broker<C> {
     /// Handles a transport-level connection loss (no DISCONNECT seen):
     /// publishes the will, keeps persistent session state.
     pub fn connection_lost(&mut self, conn: &C, now_ns: u64) -> Vec<Action<C>> {
-        self.teardown(conn, now_ns, true)
+        let actions = self.teardown(conn, now_ns, true);
+        self.wal_barrier();
+        actions
     }
 
     /// Feeds one decoded packet from `conn`; returns the actions to apply.
     pub fn handle_packet(&mut self, conn: &C, packet: Packet, now_ns: u64) -> Vec<Action<C>> {
+        let actions = self.handle_packet_inner(conn, packet, now_ns);
+        self.wal_barrier();
+        actions
+    }
+
+    fn handle_packet_inner(&mut self, conn: &C, packet: Packet, now_ns: u64) -> Vec<Action<C>> {
         if let Some(c) = self.connections.get_mut(conn) {
             c.last_activity_ns = now_ns;
         } else {
@@ -437,6 +679,7 @@ impl<C: Ord + Clone> Broker<C> {
                 }
             }
         }
+        self.wal_barrier();
         actions
     }
 
@@ -472,17 +715,32 @@ impl<C: Ord + Clone> Broker<C> {
     /// subscribers exactly like an external publish.
     pub fn publish_internal(&mut self, publish: Publish, now_ns: u64) -> Vec<Action<C>> {
         if publish.retain {
-            if publish.payload.is_empty() {
-                self.retained.remove(publish.topic.as_str());
-            } else {
-                let mut stored = publish.clone();
-                stored.dup = false;
-                stored.packet_id = None;
-                self.retained
-                    .insert(publish.topic.as_str().to_owned(), stored);
-            }
+            self.store_retained(&publish);
         }
-        self.route(&publish, now_ns)
+        let actions = self.route(&publish, now_ns);
+        self.wal_barrier();
+        actions
+    }
+
+    /// Stores (or clears, for empty payloads) the retained message for a
+    /// topic, logging the mutation.
+    fn store_retained(&mut self, publish: &Publish) {
+        if publish.payload.is_empty() {
+            if self.retained.remove(publish.topic.as_str()).is_some() {
+                wal_note(&mut self.wal, || WalRecord::RetainCleared {
+                    topic: publish.topic.as_str().to_owned(),
+                });
+            }
+        } else {
+            let mut stored = publish.clone();
+            stored.dup = false;
+            stored.packet_id = None;
+            wal_note(&mut self.wal, || WalRecord::RetainSet {
+                message: durable_of(&stored),
+            });
+            self.retained
+                .insert(publish.topic.as_str().to_owned(), stored);
+        }
     }
 
     /// Builds `$SYS` status publications describing the broker load; the
@@ -549,6 +807,11 @@ impl<C: Ord + Clone> Broker<C> {
 
         let session_present = if c.clean_session {
             if let Some(old) = self.sessions.remove(&client_id) {
+                if old.persistent {
+                    wal_note(&mut self.wal, || WalRecord::SessionCleared {
+                        client: client_id.clone(),
+                    });
+                }
                 drop(old);
             }
             self.tree.remove_key(&client_id);
@@ -562,6 +825,13 @@ impl<C: Ord + Clone> Broker<C> {
 
         let session = self.sessions.entry(client_id.clone()).or_default();
         session.persistent = !c.clean_session;
+        if session.persistent {
+            let next_pid = session.next_pid;
+            wal_note(&mut self.wal, || WalRecord::SessionStarted {
+                client: client_id.clone(),
+                next_pid,
+            });
+        }
 
         if let Some(connection) = self.connections.get_mut(conn) {
             connection.client_id = Some(client_id.clone());
@@ -613,24 +883,22 @@ impl<C: Ord + Clone> Broker<C> {
                 });
                 // Exactly once: duplicates of a pid whose PUBREL has not
                 // arrived yet must not be routed again.
-                let session = self.sessions.entry(client).or_default();
+                let session = self.sessions.entry(client.clone()).or_default();
                 if !session.incoming_qos2.insert(pid) {
                     return actions;
+                }
+                if session.persistent {
+                    wal_note(&mut self.wal, || WalRecord::InQos2Insert {
+                        client: client.clone(),
+                        pid,
+                    });
                 }
             }
         }
 
         // Retained handling: empty retained payload clears the slot.
         if publish.retain {
-            if publish.payload.is_empty() {
-                self.retained.remove(publish.topic.as_str());
-            } else {
-                let mut stored = publish.clone();
-                stored.dup = false;
-                stored.packet_id = None;
-                self.retained
-                    .insert(publish.topic.as_str().to_owned(), stored);
-            }
+            self.store_retained(&publish);
         }
 
         actions.extend(self.route(&publish, now_ns));
@@ -703,6 +971,12 @@ impl<C: Ord + Clone> Broker<C> {
                             self.stats.messages_dropped += 1;
                             return Vec::new();
                         }
+                        if session.persistent {
+                            wal_note(&mut self.wal, || WalRecord::Queued {
+                                client: client_id.to_owned(),
+                                message: durable_of(&publish),
+                            });
+                        }
                         session.queue.push_back(publish);
                         return Vec::new();
                     }
@@ -713,6 +987,14 @@ impl<C: Ord + Clone> Broker<C> {
                     } else {
                         OutStage::AwaitPuback
                     };
+                    if session.persistent {
+                        wal_note(&mut self.wal, || WalRecord::InflightInsert {
+                            client: client_id.to_owned(),
+                            pid,
+                            stage: stage_to_wal(stage),
+                            message: durable_of(&publish),
+                        });
+                    }
                     session.inflight.insert(
                         pid,
                         InflightMessage {
@@ -734,6 +1016,10 @@ impl<C: Ord + Clone> Broker<C> {
                         session.dropped += 1;
                         self.stats.messages_dropped += 1;
                     } else {
+                        wal_note(&mut self.wal, || WalRecord::Queued {
+                            client: client_id.to_owned(),
+                            message: durable_of(&publish),
+                        });
                         session.queue.push_back(publish);
                     }
                 }
@@ -751,6 +1037,11 @@ impl<C: Ord + Clone> Broker<C> {
             let Some(next) = session.queue.pop_front() else {
                 break;
             };
+            if session.persistent {
+                wal_note(&mut self.wal, || WalRecord::QueuePopped {
+                    client: client_id.to_owned(),
+                });
+            }
             actions.extend(self.deliver(client_id, next, now_ns));
         }
         actions
@@ -761,7 +1052,12 @@ impl<C: Ord + Clone> Broker<C> {
             return Vec::new();
         };
         if let Some(session) = self.sessions.get_mut(&client_id) {
-            session.inflight.remove(&pid);
+            if session.inflight.remove(&pid).is_some() && session.persistent {
+                wal_note(&mut self.wal, || WalRecord::InflightRemove {
+                    client: client_id.clone(),
+                    pid,
+                });
+            }
         }
         // Window freed: push queued messages out.
         self.flush_queue(&client_id, now_ns)
@@ -773,9 +1069,17 @@ impl<C: Ord + Clone> Broker<C> {
             return Vec::new();
         };
         if let Some(session) = self.sessions.get_mut(&client_id) {
+            let persistent = session.persistent;
             if let Some(inflight) = session.inflight.get_mut(&pid) {
                 inflight.stage = OutStage::AwaitPubcomp;
                 inflight.sent_at_ns = now_ns;
+                if persistent {
+                    wal_note(&mut self.wal, || WalRecord::InflightStage {
+                        client: client_id.clone(),
+                        pid,
+                        stage: WalStage::AwaitPubcomp,
+                    });
+                }
                 return vec![Action::Send {
                     conn: conn.clone(),
                     packet: Packet::Pubrel(pid),
@@ -789,7 +1093,12 @@ impl<C: Ord + Clone> Broker<C> {
     fn on_pubrel(&mut self, conn: &C, pid: PacketId) -> Vec<Action<C>> {
         if let Some(client_id) = self.client_of(conn) {
             if let Some(session) = self.sessions.get_mut(&client_id) {
-                session.incoming_qos2.remove(&pid);
+                if session.incoming_qos2.remove(&pid) && session.persistent {
+                    wal_note(&mut self.wal, || WalRecord::InQos2Remove {
+                        client: client_id.clone(),
+                        pid,
+                    });
+                }
             }
         }
         vec![Action::Send {
@@ -804,7 +1113,12 @@ impl<C: Ord + Clone> Broker<C> {
             return Vec::new();
         };
         if let Some(session) = self.sessions.get_mut(&client_id) {
-            session.inflight.remove(&pid);
+            if session.inflight.remove(&pid).is_some() && session.persistent {
+                wal_note(&mut self.wal, || WalRecord::InflightRemove {
+                    client: client_id.clone(),
+                    pid,
+                });
+            }
         }
         self.flush_queue(&client_id, now_ns)
     }
@@ -826,6 +1140,13 @@ impl<C: Ord + Clone> Broker<C> {
             let session = self.sessions.entry(client_id.clone()).or_default();
             session.subscriptions.retain(|(sf, _)| sf != &f.filter);
             session.subscriptions.push((f.filter.clone(), granted));
+            if session.persistent {
+                wal_note(&mut self.wal, || WalRecord::Subscribed {
+                    client: client_id.clone(),
+                    filter: f.filter.as_str().to_owned(),
+                    qos: granted,
+                });
+            }
             codes.push(SubackCode::Granted(granted));
 
             for (topic, retained) in &self.retained {
@@ -863,6 +1184,12 @@ impl<C: Ord + Clone> Broker<C> {
             });
             if let Some(session) = self.sessions.get_mut(&client_id) {
                 session.subscriptions.retain(|(sf, _)| sf != f);
+                if session.persistent {
+                    wal_note(&mut self.wal, || WalRecord::Unsubscribed {
+                        client: client_id.clone(),
+                        filter: f.as_str().to_owned(),
+                    });
+                }
             }
         }
         vec![Action::Send {
@@ -887,6 +1214,8 @@ impl<C: Ord + Clone> Broker<C> {
                 .map(|s| s.persistent)
                 .unwrap_or(false);
             if !persistent {
+                // Transient sessions were never logged, so there is no
+                // durable record to clear here.
                 self.sessions.remove(&client_id);
                 self.tree.remove_key(&client_id);
                 self.capture(|| BrokerEvent::SessionCleared {
@@ -904,14 +1233,7 @@ impl<C: Ord + Clone> Broker<C> {
                         payload: will.payload,
                     };
                     if publish.retain {
-                        if publish.payload.is_empty() {
-                            self.retained.remove(publish.topic.as_str());
-                        } else {
-                            let mut stored = publish.clone();
-                            stored.packet_id = None;
-                            self.retained
-                                .insert(publish.topic.as_str().to_owned(), stored);
-                        }
+                        self.store_retained(&publish);
                     }
                     actions.extend(self.route(&publish, now_ns));
                 }

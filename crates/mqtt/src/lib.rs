@@ -19,6 +19,10 @@
 //!   backoff around the session,
 //! * [`shard`] — a multi-core routing layer partitioning sessions across
 //!   per-shard brokers with a replicated subscription tree,
+//! * [`wal`] — a write-ahead log + snapshot subsystem (CRC-framed atomic
+//!   batches, pluggable file/in-memory backends, tolerant replay) making
+//!   persistent sessions, subscriptions, retained messages and QoS 1/2
+//!   in-flight state survive broker restarts,
 //! * [`wheel`] — event-driven timer arithmetic so transports park until
 //!   the broker's next deadline instead of sleep-polling,
 //! * [`poll`] — a thin readiness poller (epoll on Linux, `poll(2)`
@@ -62,6 +66,7 @@ pub mod slab;
 pub mod supervisor;
 pub mod topic;
 pub mod tree;
+pub mod wal;
 pub mod wheel;
 
 pub use broker::{Action, Broker, BrokerConfig, BrokerEvent};
@@ -73,4 +78,8 @@ pub use packet::{Packet, Publish, QoS};
 pub use shard::{shard_of, ShardOutput, ShardedBroker};
 pub use supervisor::{ReconnectConfig, ReconnectSupervisor, SupervisorAction};
 pub use topic::{TopicFilter, TopicName};
+pub use wal::{
+    DurablePublish, DurableState, FileBackend, MemBackend, RecoveryReport, Wal, WalBackend,
+    WalConfig, WalRecord, WalStats,
+};
 pub use wheel::TimerWheel;

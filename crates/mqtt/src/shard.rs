@@ -85,6 +85,7 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock};
@@ -93,6 +94,7 @@ use crate::broker::{Action, Broker, BrokerConfig, BrokerEvent, BrokerStats};
 use crate::packet::{Packet, Publish, QoS};
 use crate::topic::TopicFilter;
 use crate::tree::SubscriptionTree;
+use crate::wal::{FileBackend, RecoveryReport, Wal, WalBackend, WalConfig, WalStats};
 
 /// Mutation-log entries accumulated before compaction folds them into
 /// the master snapshot. Past this, a lagging shard clones the master
@@ -217,30 +219,114 @@ pub struct ShardedBroker<C> {
     registry: RwLock<BTreeMap<C, usize>>,
     /// Connections opened but not yet CONNECTed (shard unknown).
     pending: Mutex<BTreeMap<C, u64>>,
+    /// Per-shard recovery reports when the broker was opened durably
+    /// (empty otherwise).
+    recovery: Vec<RecoveryReport>,
 }
 
 impl<C: Ord + Clone> ShardedBroker<C> {
     /// Creates a sharded broker with `config.shards` shards (clamped to
     /// at least 1); every shard's inner broker shares the same config.
+    ///
+    /// When [`BrokerConfig::durability`] is set this opens per-shard WAL
+    /// files (`shard-<i>.wal` / `shard-<i>.snap`) under the directory and
+    /// replays them, so restarts resume with persistent sessions,
+    /// subscriptions, retained messages and QoS 1/2 in-flight state
+    /// intact. Panics if the durability directory cannot be opened or
+    /// replayed (a broker silently running without its configured
+    /// durability would be worse); use [`ShardedBroker::open_durable`]
+    /// for a fallible, backend-injected variant.
     pub fn new(config: BrokerConfig) -> Self {
-        let n = config.shards.max(1);
-        let shards = (0..n)
-            .map(|_| {
-                let mut broker = Broker::with_config(config.clone());
-                broker.set_event_capture(true);
-                Mutex::new(ShardInner {
-                    broker,
-                    replica: SubscriptionTree::new(),
-                    applied: 0,
+        if let Some(dir) = config.durability.clone() {
+            let n = config.shards.max(1);
+            let backends = (0..n)
+                .map(|i| {
+                    FileBackend::open(&dir, &format!("shard-{i}"))
+                        .map(|b| Box::new(b) as Box<dyn WalBackend>)
                 })
-            })
-            .collect();
+                .collect::<io::Result<Vec<_>>>()
+                .unwrap_or_else(|e| panic!("open broker durability dir {dir:?}: {e}"));
+            return Self::open_durable(config, backends)
+                .unwrap_or_else(|e| panic!("recover broker durability dir {dir:?}: {e}"));
+        }
+        Self::build(config, None)
+    }
+
+    /// Opens a durable sharded broker over explicit per-shard backends
+    /// (`backends.len()` must equal the shard count). Each shard recovers
+    /// its own log; the replicated subscription master is rebuilt from
+    /// the union of the recovered sessions so cross-shard routing sees
+    /// restored subscriptions immediately. Inspect what each shard
+    /// replayed via [`ShardedBroker::recovery_reports`].
+    pub fn open_durable(
+        config: BrokerConfig,
+        backends: Vec<Box<dyn WalBackend>>,
+    ) -> io::Result<Self> {
+        let n = config.shards.max(1);
+        assert_eq!(backends.len(), n, "one WAL backend per shard");
+        let wal_config = WalConfig {
+            snapshot_every: config.wal_snapshot_every,
+        };
+        let mut pairs = Vec::with_capacity(n);
+        for backend in backends {
+            pairs.push(Wal::open(backend, wal_config)?);
+        }
+        Ok(Self::build(config, Some(pairs)))
+    }
+
+    fn build(config: BrokerConfig, recovered: Option<Vec<(Wal, RecoveryReport)>>) -> Self {
+        let n = config.shards.max(1);
+        let mut master = SubscriptionTree::new();
+        let mut recovery = Vec::new();
+        let shards: Vec<Mutex<ShardInner<C>>> = match recovered {
+            None => (0..n)
+                .map(|_| {
+                    let mut broker = Broker::with_config(config.clone());
+                    broker.set_event_capture(true);
+                    Mutex::new(ShardInner {
+                        broker,
+                        replica: SubscriptionTree::new(),
+                        applied: 0,
+                    })
+                })
+                .collect(),
+            Some(pairs) => {
+                // First pass: rebuild the replicated subscription master
+                // from every shard's recovered sessions, so each shard's
+                // replica starts complete (epoch 0, nothing to catch up).
+                for (idx, (_, report)) in pairs.iter().enumerate() {
+                    for (client, session) in &report.state.sessions {
+                        for (filter, qos) in &session.subscriptions {
+                            let Ok(filter) = TopicFilter::new(filter.clone()) else {
+                                continue;
+                            };
+                            master.subscribe((idx, client.clone()), &filter, *qos);
+                        }
+                    }
+                }
+                pairs
+                    .into_iter()
+                    .map(|(wal, report)| {
+                        let mut broker = Broker::with_config(config.clone());
+                        broker.set_event_capture(true);
+                        broker.restore(&report.state);
+                        broker.attach_wal(wal);
+                        recovery.push(report);
+                        Mutex::new(ShardInner {
+                            broker,
+                            replica: master.clone(),
+                            applied: 0,
+                        })
+                    })
+                    .collect()
+            }
+        };
         ShardedBroker {
             config,
             shards,
             log: SubLog {
                 inner: Mutex::new(LogInner {
-                    master: SubscriptionTree::new(),
+                    master,
                     entries: Vec::new(),
                     base: 0,
                 }),
@@ -248,7 +334,31 @@ impl<C: Ord + Clone> ShardedBroker<C> {
             },
             registry: RwLock::new(BTreeMap::new()),
             pending: Mutex::new(BTreeMap::new()),
+            recovery,
         }
+    }
+
+    /// Per-shard recovery reports from a durable open (empty when the
+    /// broker started without durability).
+    pub fn recovery_reports(&self) -> &[RecoveryReport] {
+        &self.recovery
+    }
+
+    /// Aggregated WAL counters across shards, if durability is attached.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        let mut total: Option<WalStats> = None;
+        for shard in &self.shards {
+            if let Some(s) = shard.lock().broker.wal_stats() {
+                let t = total.get_or_insert_with(WalStats::default);
+                t.records_appended += s.records_appended;
+                t.batches_committed += s.batches_committed;
+                t.bytes_appended += s.bytes_appended;
+                t.append_errors += s.append_errors;
+                t.snapshots_installed += s.snapshots_installed;
+                t.snapshot_errors += s.snapshot_errors;
+            }
+        }
+        total
     }
 
     /// The configuration all shards run with.

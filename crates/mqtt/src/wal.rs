@@ -1,0 +1,1503 @@
+//! Write-ahead log + snapshot durability for broker state.
+//!
+//! The broker itself stays sans-I/O: every mutation of durable state
+//! (persistent sessions, subscriptions, retained messages, QoS 1/2
+//! in-flight transitions) is described as a [`WalRecord`] and buffered in a
+//! [`Wal`]. At the end of each top-level broker entry point
+//! (`handle_packet`, `poll`, `publish_internal`, `connection_lost`) the
+//! buffered records are committed as **one atomic batch** — appended to the
+//! backend *before* the resulting actions are handed to the transport. A
+//! crash before the append means the actions were never sent, so the peer
+//! retransmits and no state is invented; a crash after means the batch is on
+//! disk and replay reconstructs exactly the state the actions assumed.
+//!
+//! ## Framing
+//!
+//! A batch on the wire (same varint style as `ifot-core`'s `wire.rs`):
+//!
+//! ```text
+//! varint len(body) | u32-LE crc32(body) | body
+//! body = u8 version | varint lsn | varint record-count | records...
+//! ```
+//!
+//! Each record is a `u8` kind tag followed by kind-specific fields (strings
+//! and payloads are varint-length-prefixed). The CRC covers the whole body,
+//! making a batch all-or-nothing: the tolerant [`recover`] reader truncates
+//! the log at the first torn or corrupt batch instead of panicking.
+//!
+//! ## Snapshots
+//!
+//! Every [`WalConfig::snapshot_every`] records the broker serialises its
+//! full durable state as a single batch (led by a [`WalRecord::SnapshotHeader`]
+//! carrying the log-sequence-number watermark) and asks the backend to
+//! install it and truncate the log. Replay applies the snapshot first, then
+//! skips any log batch whose LSN is at or below the watermark — so a crash
+//! between snapshot install and log truncation never double-applies
+//! non-idempotent records (e.g. offline-queue pushes).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Debug;
+use std::fs;
+use std::io::{self, Read as _, Seek as _, Write as _};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::packet::QoS;
+
+/// Current on-disk format version; batches with any other version are
+/// treated as corrupt and truncate the readable prefix.
+pub const WAL_VERSION: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE, reflected) — implemented locally so the crate gains no deps.
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC32 (IEEE 802.3 polynomial) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Varint + field helpers (LEB128, matching wire.rs)
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 63 && byte > 1 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+fn put_slice(out: &mut Vec<u8>, s: &[u8]) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s);
+}
+
+fn get_slice<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let len = get_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    if end > buf.len() {
+        return None;
+    }
+    let s = &buf[*pos..end];
+    *pos = end;
+    Some(s)
+}
+
+fn get_string(buf: &[u8], pos: &mut usize) -> Option<String> {
+    let s = get_slice(buf, pos)?;
+    std::str::from_utf8(s).ok().map(str::to_owned)
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// Outbound QoS 1/2 delivery stage, mirrored from the broker's private
+/// in-flight state machine so it can be persisted and restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WalStage {
+    /// QoS 1: waiting for PUBACK.
+    AwaitPuback,
+    /// QoS 2: waiting for PUBREC.
+    AwaitPubrec,
+    /// QoS 2: PUBREL sent, waiting for PUBCOMP.
+    AwaitPubcomp,
+}
+
+impl WalStage {
+    fn bits(self) -> u8 {
+        match self {
+            WalStage::AwaitPuback => 0,
+            WalStage::AwaitPubrec => 1,
+            WalStage::AwaitPubcomp => 2,
+        }
+    }
+
+    fn from_bits(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(WalStage::AwaitPuback),
+            1 => Some(WalStage::AwaitPubrec),
+            2 => Some(WalStage::AwaitPubcomp),
+            _ => None,
+        }
+    }
+}
+
+/// A message payload as persisted in the log: enough to reconstruct the
+/// broker-side `Publish` (packet ids are reassigned from record context).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DurablePublish {
+    /// Topic the message was published to.
+    pub topic: String,
+    /// Delivery QoS (for retained messages, the QoS it was published with).
+    pub qos: QoS,
+    /// Whether the retain flag should be set on redelivery.
+    pub retain: bool,
+    /// Application payload (shared, cheap to clone).
+    pub payload: Bytes,
+}
+
+/// One durable mutation of broker state.
+///
+/// Records are grouped into atomic batches; replay applies them in order via
+/// [`DurableState::apply`]. All records are scoped to persistent sessions or
+/// to the retained-message store — transient (clean-session) state is never
+/// logged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// First record of a snapshot batch: replay must skip log batches with
+    /// `lsn <= last_lsn` because the snapshot already covers them.
+    SnapshotHeader {
+        /// Highest LSN whose effects are folded into this snapshot.
+        last_lsn: u64,
+    },
+    /// A persistent session was created or re-attached (CONNECT with
+    /// `clean_session = false`).
+    SessionStarted {
+        /// Client identifier.
+        client: String,
+        /// Packet-id allocator position at the time of the record.
+        next_pid: u16,
+    },
+    /// A previously persistent session was discarded (CONNECT with
+    /// `clean_session = true`).
+    SessionCleared {
+        /// Client identifier.
+        client: String,
+    },
+    /// A subscription was granted (or its QoS replaced).
+    Subscribed {
+        /// Client identifier.
+        client: String,
+        /// Topic filter string.
+        filter: String,
+        /// Granted QoS.
+        qos: QoS,
+    },
+    /// A subscription was removed.
+    Unsubscribed {
+        /// Client identifier.
+        client: String,
+        /// Topic filter string.
+        filter: String,
+    },
+    /// A retained message was stored (replacing any previous one).
+    RetainSet {
+        /// The retained message; `message.topic` keys the store.
+        message: DurablePublish,
+    },
+    /// The retained message for a topic was cleared (empty-payload publish).
+    RetainCleared {
+        /// Topic whose retained slot was emptied.
+        topic: String,
+    },
+    /// A message was appended to a session's offline/overflow queue.
+    Queued {
+        /// Client identifier.
+        client: String,
+        /// The queued message.
+        message: DurablePublish,
+    },
+    /// The head of a session's queue was popped for delivery.
+    QueuePopped {
+        /// Client identifier.
+        client: String,
+    },
+    /// An outbound QoS 1/2 message entered the in-flight window.
+    InflightInsert {
+        /// Client identifier.
+        client: String,
+        /// Assigned packet id.
+        pid: u16,
+        /// Initial delivery stage.
+        stage: WalStage,
+        /// The in-flight message.
+        message: DurablePublish,
+    },
+    /// An in-flight message advanced a stage (QoS 2 PUBREC → PUBCOMP wait).
+    InflightStage {
+        /// Client identifier.
+        client: String,
+        /// Packet id.
+        pid: u16,
+        /// New stage.
+        stage: WalStage,
+    },
+    /// An in-flight message completed (PUBACK / PUBCOMP received).
+    InflightRemove {
+        /// Client identifier.
+        client: String,
+        /// Packet id.
+        pid: u16,
+    },
+    /// An inbound QoS 2 publish was accepted (exactly-once dedup set).
+    InQos2Insert {
+        /// Client identifier.
+        client: String,
+        /// Inbound packet id.
+        pid: u16,
+    },
+    /// An inbound QoS 2 exchange completed (PUBREL received).
+    InQos2Remove {
+        /// Client identifier.
+        client: String,
+        /// Inbound packet id.
+        pid: u16,
+    },
+}
+
+const K_SNAPSHOT_HEADER: u8 = 0x01;
+const K_SESSION_STARTED: u8 = 0x02;
+const K_SESSION_CLEARED: u8 = 0x03;
+const K_SUBSCRIBED: u8 = 0x04;
+const K_UNSUBSCRIBED: u8 = 0x05;
+const K_RETAIN_SET: u8 = 0x06;
+const K_RETAIN_CLEARED: u8 = 0x07;
+const K_QUEUED: u8 = 0x08;
+const K_QUEUE_POPPED: u8 = 0x09;
+const K_INFLIGHT_INSERT: u8 = 0x0a;
+const K_INFLIGHT_STAGE: u8 = 0x0b;
+const K_INFLIGHT_REMOVE: u8 = 0x0c;
+const K_INQOS2_INSERT: u8 = 0x0d;
+const K_INQOS2_REMOVE: u8 = 0x0e;
+
+fn put_message(out: &mut Vec<u8>, m: &DurablePublish) {
+    put_slice(out, m.topic.as_bytes());
+    out.push(m.qos.bits());
+    out.push(u8::from(m.retain));
+    put_slice(out, &m.payload);
+}
+
+fn get_message(buf: &[u8], pos: &mut usize) -> Option<DurablePublish> {
+    let topic = get_string(buf, pos)?;
+    let qos = QoS::from_bits(*buf.get(*pos)?).ok()?;
+    *pos += 1;
+    let retain = match *buf.get(*pos)? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    *pos += 1;
+    let payload = Bytes::copy_from_slice(get_slice(buf, pos)?);
+    Some(DurablePublish {
+        topic,
+        qos,
+        retain,
+        payload,
+    })
+}
+
+/// Encode one record (kind tag + fields) onto `out`.
+pub fn encode_record(out: &mut Vec<u8>, rec: &WalRecord) {
+    match rec {
+        WalRecord::SnapshotHeader { last_lsn } => {
+            out.push(K_SNAPSHOT_HEADER);
+            put_varint(out, *last_lsn);
+        }
+        WalRecord::SessionStarted { client, next_pid } => {
+            out.push(K_SESSION_STARTED);
+            put_slice(out, client.as_bytes());
+            put_varint(out, u64::from(*next_pid));
+        }
+        WalRecord::SessionCleared { client } => {
+            out.push(K_SESSION_CLEARED);
+            put_slice(out, client.as_bytes());
+        }
+        WalRecord::Subscribed {
+            client,
+            filter,
+            qos,
+        } => {
+            out.push(K_SUBSCRIBED);
+            put_slice(out, client.as_bytes());
+            put_slice(out, filter.as_bytes());
+            out.push(qos.bits());
+        }
+        WalRecord::Unsubscribed { client, filter } => {
+            out.push(K_UNSUBSCRIBED);
+            put_slice(out, client.as_bytes());
+            put_slice(out, filter.as_bytes());
+        }
+        WalRecord::RetainSet { message } => {
+            out.push(K_RETAIN_SET);
+            put_message(out, message);
+        }
+        WalRecord::RetainCleared { topic } => {
+            out.push(K_RETAIN_CLEARED);
+            put_slice(out, topic.as_bytes());
+        }
+        WalRecord::Queued { client, message } => {
+            out.push(K_QUEUED);
+            put_slice(out, client.as_bytes());
+            put_message(out, message);
+        }
+        WalRecord::QueuePopped { client } => {
+            out.push(K_QUEUE_POPPED);
+            put_slice(out, client.as_bytes());
+        }
+        WalRecord::InflightInsert {
+            client,
+            pid,
+            stage,
+            message,
+        } => {
+            out.push(K_INFLIGHT_INSERT);
+            put_slice(out, client.as_bytes());
+            put_varint(out, u64::from(*pid));
+            out.push(stage.bits());
+            put_message(out, message);
+        }
+        WalRecord::InflightStage { client, pid, stage } => {
+            out.push(K_INFLIGHT_STAGE);
+            put_slice(out, client.as_bytes());
+            put_varint(out, u64::from(*pid));
+            out.push(stage.bits());
+        }
+        WalRecord::InflightRemove { client, pid } => {
+            out.push(K_INFLIGHT_REMOVE);
+            put_slice(out, client.as_bytes());
+            put_varint(out, u64::from(*pid));
+        }
+        WalRecord::InQos2Insert { client, pid } => {
+            out.push(K_INQOS2_INSERT);
+            put_slice(out, client.as_bytes());
+            put_varint(out, u64::from(*pid));
+        }
+        WalRecord::InQos2Remove { client, pid } => {
+            out.push(K_INQOS2_REMOVE);
+            put_slice(out, client.as_bytes());
+            put_varint(out, u64::from(*pid));
+        }
+    }
+}
+
+fn get_pid(buf: &[u8], pos: &mut usize) -> Option<u16> {
+    let v = get_varint(buf, pos)?;
+    u16::try_from(v).ok()
+}
+
+/// Decode one record starting at `pos`; `None` on any malformed field (the
+/// enclosing batch is then treated as corrupt).
+pub fn decode_record(buf: &[u8], pos: &mut usize) -> Option<WalRecord> {
+    let kind = *buf.get(*pos)?;
+    *pos += 1;
+    match kind {
+        K_SNAPSHOT_HEADER => Some(WalRecord::SnapshotHeader {
+            last_lsn: get_varint(buf, pos)?,
+        }),
+        K_SESSION_STARTED => Some(WalRecord::SessionStarted {
+            client: get_string(buf, pos)?,
+            next_pid: get_pid(buf, pos)?,
+        }),
+        K_SESSION_CLEARED => Some(WalRecord::SessionCleared {
+            client: get_string(buf, pos)?,
+        }),
+        K_SUBSCRIBED => Some(WalRecord::Subscribed {
+            client: get_string(buf, pos)?,
+            filter: get_string(buf, pos)?,
+            qos: {
+                let q = QoS::from_bits(*buf.get(*pos)?).ok()?;
+                *pos += 1;
+                q
+            },
+        }),
+        K_UNSUBSCRIBED => Some(WalRecord::Unsubscribed {
+            client: get_string(buf, pos)?,
+            filter: get_string(buf, pos)?,
+        }),
+        K_RETAIN_SET => Some(WalRecord::RetainSet {
+            message: get_message(buf, pos)?,
+        }),
+        K_RETAIN_CLEARED => Some(WalRecord::RetainCleared {
+            topic: get_string(buf, pos)?,
+        }),
+        K_QUEUED => Some(WalRecord::Queued {
+            client: get_string(buf, pos)?,
+            message: get_message(buf, pos)?,
+        }),
+        K_QUEUE_POPPED => Some(WalRecord::QueuePopped {
+            client: get_string(buf, pos)?,
+        }),
+        K_INFLIGHT_INSERT => Some(WalRecord::InflightInsert {
+            client: get_string(buf, pos)?,
+            pid: get_pid(buf, pos)?,
+            stage: {
+                let s = WalStage::from_bits(*buf.get(*pos)?)?;
+                *pos += 1;
+                s
+            },
+            message: get_message(buf, pos)?,
+        }),
+        K_INFLIGHT_STAGE => Some(WalRecord::InflightStage {
+            client: get_string(buf, pos)?,
+            pid: get_pid(buf, pos)?,
+            stage: {
+                let s = WalStage::from_bits(*buf.get(*pos)?)?;
+                *pos += 1;
+                s
+            },
+        }),
+        K_INFLIGHT_REMOVE => Some(WalRecord::InflightRemove {
+            client: get_string(buf, pos)?,
+            pid: get_pid(buf, pos)?,
+        }),
+        K_INQOS2_INSERT => Some(WalRecord::InQos2Insert {
+            client: get_string(buf, pos)?,
+            pid: get_pid(buf, pos)?,
+        }),
+        K_INQOS2_REMOVE => Some(WalRecord::InQos2Remove {
+            client: get_string(buf, pos)?,
+            pid: get_pid(buf, pos)?,
+        }),
+        _ => None,
+    }
+}
+
+/// Frame a batch of already-encoded record bytes:
+/// `varint len | crc32 LE | version | varint lsn | varint nrec | records`.
+fn frame_batch(lsn: u64, nrec: u64, records: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(records.len() + 12);
+    body.push(WAL_VERSION);
+    put_varint(&mut body, lsn);
+    put_varint(&mut body, nrec);
+    body.extend_from_slice(records);
+    let mut out = Vec::with_capacity(body.len() + 10);
+    put_varint(&mut out, body.len() as u64);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Parse a framed stream into `(lsn, records)` batches.
+///
+/// Returns the clean prefix plus `true` if the stream was truncated at a
+/// torn or corrupt batch (bad length, short body, CRC mismatch, unknown
+/// version, or undecodable record). Never panics.
+pub fn parse_stream(buf: &[u8]) -> (Vec<(u64, Vec<WalRecord>)>, bool) {
+    let mut batches = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let start = pos;
+        let Some(len) = get_varint(buf, &mut pos) else {
+            return (batches, true);
+        };
+        let Ok(len) = usize::try_from(len) else {
+            return (batches, true);
+        };
+        let Some(body_start) = pos.checked_add(4) else {
+            return (batches, true);
+        };
+        let Some(end) = body_start.checked_add(len) else {
+            return (batches, true);
+        };
+        if end > buf.len() {
+            return (batches, true);
+        }
+        let crc = u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]);
+        let body = &buf[body_start..end];
+        if crc32(body) != crc {
+            return (batches, true);
+        }
+        match parse_body(body) {
+            Some(batch) => batches.push(batch),
+            None => return (batches, true),
+        }
+        pos = end;
+        debug_assert!(pos > start);
+    }
+    (batches, false)
+}
+
+fn parse_body(body: &[u8]) -> Option<(u64, Vec<WalRecord>)> {
+    let mut pos = 0usize;
+    let version = *body.get(pos)?;
+    pos += 1;
+    if version != WAL_VERSION {
+        return None;
+    }
+    let lsn = get_varint(body, &mut pos)?;
+    let nrec = get_varint(body, &mut pos)?;
+    let mut records = Vec::with_capacity(nrec.min(1024) as usize);
+    for _ in 0..nrec {
+        records.push(decode_record(body, &mut pos)?);
+    }
+    if pos != body.len() {
+        return None;
+    }
+    Some((lsn, records))
+}
+
+// ---------------------------------------------------------------------------
+// Durable state model
+// ---------------------------------------------------------------------------
+
+/// Persistent-session state as reconstructed from the log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurableSession {
+    /// Granted subscriptions (filter string, QoS).
+    pub subscriptions: Vec<(String, QoS)>,
+    /// Packet-id allocator position (monotone max of observed ids).
+    pub next_pid: u16,
+    /// Outbound in-flight window keyed by packet id.
+    pub inflight: BTreeMap<u16, (DurablePublish, WalStage)>,
+    /// Offline/overflow publish queue, in delivery order.
+    pub queue: VecDeque<DurablePublish>,
+    /// Inbound QoS 2 packet ids awaiting PUBREL.
+    pub incoming_qos2: BTreeSet<u16>,
+}
+
+/// Full durable broker state: what survives a restart.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurableState {
+    /// Persistent sessions keyed by client id.
+    pub sessions: BTreeMap<String, DurableSession>,
+    /// Retained messages keyed by topic.
+    pub retained: BTreeMap<String, DurablePublish>,
+}
+
+impl DurableState {
+    /// Apply one record. All operations are defensive: records referencing
+    /// unknown sessions create them (a snapshot may have elided an empty
+    /// session), removals of absent entries are no-ops, and `next_pid` only
+    /// moves forward — so applying a snapshot built *from* this state is a
+    /// fixpoint.
+    pub fn apply(&mut self, rec: &WalRecord) {
+        match rec {
+            WalRecord::SnapshotHeader { .. } => {}
+            WalRecord::SessionStarted { client, next_pid } => {
+                let s = self.sessions.entry(client.clone()).or_default();
+                s.next_pid = s.next_pid.max(*next_pid);
+            }
+            WalRecord::SessionCleared { client } => {
+                self.sessions.remove(client);
+            }
+            WalRecord::Subscribed {
+                client,
+                filter,
+                qos,
+            } => {
+                let s = self.sessions.entry(client.clone()).or_default();
+                s.subscriptions.retain(|(f, _)| f != filter);
+                s.subscriptions.push((filter.clone(), *qos));
+            }
+            WalRecord::Unsubscribed { client, filter } => {
+                if let Some(s) = self.sessions.get_mut(client) {
+                    s.subscriptions.retain(|(f, _)| f != filter);
+                }
+            }
+            WalRecord::RetainSet { message } => {
+                self.retained.insert(message.topic.clone(), message.clone());
+            }
+            WalRecord::RetainCleared { topic } => {
+                self.retained.remove(topic);
+            }
+            WalRecord::Queued { client, message } => {
+                let s = self.sessions.entry(client.clone()).or_default();
+                s.queue.push_back(message.clone());
+            }
+            WalRecord::QueuePopped { client } => {
+                if let Some(s) = self.sessions.get_mut(client) {
+                    s.queue.pop_front();
+                }
+            }
+            WalRecord::InflightInsert {
+                client,
+                pid,
+                stage,
+                message,
+            } => {
+                let s = self.sessions.entry(client.clone()).or_default();
+                s.next_pid = s.next_pid.max(*pid);
+                s.inflight.insert(*pid, (message.clone(), *stage));
+            }
+            WalRecord::InflightStage { client, pid, stage } => {
+                if let Some(s) = self.sessions.get_mut(client) {
+                    if let Some(entry) = s.inflight.get_mut(pid) {
+                        entry.1 = *stage;
+                    }
+                }
+            }
+            WalRecord::InflightRemove { client, pid } => {
+                if let Some(s) = self.sessions.get_mut(client) {
+                    s.inflight.remove(pid);
+                }
+            }
+            WalRecord::InQos2Insert { client, pid } => {
+                let s = self.sessions.entry(client.clone()).or_default();
+                s.incoming_qos2.insert(*pid);
+            }
+            WalRecord::InQos2Remove { client, pid } => {
+                if let Some(s) = self.sessions.get_mut(client) {
+                    s.incoming_qos2.remove(pid);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------------
+
+/// Storage backend for a [`Wal`]: an append-only log plus an atomically
+/// replaceable snapshot.
+///
+/// `install_snapshot` must replace the snapshot and truncate the log as close
+/// to atomically as the medium allows; [`recover`] tolerates a crash between
+/// the two because snapshot batches carry their LSN watermark.
+pub trait WalBackend: Send + Debug {
+    /// Append one framed batch to the log. A partial write followed by an
+    /// error models a torn tail; the committed prefix must remain readable.
+    fn append(&mut self, frame: &[u8]) -> io::Result<()>;
+    /// Read the entire log stream.
+    fn read_log(&mut self) -> io::Result<Vec<u8>>;
+    /// Read the current snapshot, if any.
+    fn read_snapshot(&mut self) -> io::Result<Option<Vec<u8>>>;
+    /// Replace the snapshot with `snapshot` and truncate the log.
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> io::Result<()>;
+}
+
+/// Crash-injection point for [`MemBackend::crash_next_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotCrash {
+    /// Fail before anything changes: old snapshot and full log survive.
+    BeforeInstall,
+    /// Install the new snapshot but crash before truncating the log —
+    /// replay must skip the now-stale log batches via the LSN watermark.
+    BetweenInstallAndTruncate,
+    /// Write only the first `n` bytes of the new snapshot (torn snapshot
+    /// replace on a backend without atomic rename), keeping the full log.
+    TornWrite(u64),
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    log: Vec<u8>,
+    snapshot: Option<Vec<u8>>,
+    torn_at: Option<u64>,
+    snapshot_crash: Option<SnapshotCrash>,
+}
+
+/// Deterministic in-memory backend for tests.
+///
+/// Cloning shares the underlying storage, so a test can keep a handle,
+/// "crash" the broker by dropping it, and hand a fresh clone to
+/// [`crate::broker::Broker::open_durable`] to model a restart. Fault
+/// injection: [`MemBackend::tear_log_at`] cuts future appends at an absolute
+/// byte offset (partial final record), and
+/// [`MemBackend::crash_next_snapshot`] aborts the next snapshot install at a
+/// chosen point.
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemBackend {
+    /// New empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current log length in bytes.
+    pub fn log_len(&self) -> u64 {
+        self.state.lock().log.len() as u64
+    }
+
+    /// Copy of the raw log bytes (for corruption tests).
+    pub fn raw_log(&self) -> Vec<u8> {
+        self.state.lock().log.clone()
+    }
+
+    /// Replace the raw log bytes (for corruption tests).
+    pub fn set_raw_log(&self, bytes: Vec<u8>) {
+        self.state.lock().log = bytes;
+    }
+
+    /// Copy of the raw snapshot bytes, if a snapshot is installed.
+    pub fn raw_snapshot(&self) -> Option<Vec<u8>> {
+        self.state.lock().snapshot.clone()
+    }
+
+    /// Replace the raw snapshot bytes (for corruption tests).
+    pub fn set_raw_snapshot(&self, bytes: Option<Vec<u8>>) {
+        self.state.lock().snapshot = bytes;
+    }
+
+    /// All future appends are cut at absolute log offset `offset`: bytes up
+    /// to it are written, the rest discarded, and the append reports an
+    /// error (as does every later append until [`MemBackend::clear_tear`]).
+    pub fn tear_log_at(&self, offset: u64) {
+        self.state.lock().torn_at = Some(offset);
+    }
+
+    /// Remove a tear installed by [`MemBackend::tear_log_at`].
+    pub fn clear_tear(&self) {
+        self.state.lock().torn_at = None;
+    }
+
+    /// Make the next `install_snapshot` fail at the given point (one-shot).
+    pub fn crash_next_snapshot(&self, mode: SnapshotCrash) {
+        self.state.lock().snapshot_crash = Some(mode);
+    }
+}
+
+impl WalBackend for MemBackend {
+    fn append(&mut self, frame: &[u8]) -> io::Result<()> {
+        let mut s = self.state.lock();
+        if let Some(t) = s.torn_at {
+            let end = s.log.len() as u64 + frame.len() as u64;
+            if end > t {
+                let take = t.saturating_sub(s.log.len() as u64) as usize;
+                let take = take.min(frame.len());
+                s.log.extend_from_slice(&frame[..take]);
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "torn write injected",
+                ));
+            }
+        }
+        s.log.extend_from_slice(frame);
+        Ok(())
+    }
+
+    fn read_log(&mut self) -> io::Result<Vec<u8>> {
+        Ok(self.state.lock().log.clone())
+    }
+
+    fn read_snapshot(&mut self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.state.lock().snapshot.clone())
+    }
+
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> io::Result<()> {
+        let mut s = self.state.lock();
+        match s.snapshot_crash.take() {
+            Some(SnapshotCrash::BeforeInstall) => Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "crash injected before snapshot install",
+            )),
+            Some(SnapshotCrash::BetweenInstallAndTruncate) => {
+                s.snapshot = Some(snapshot.to_vec());
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "crash injected before log truncation",
+                ))
+            }
+            Some(SnapshotCrash::TornWrite(n)) => {
+                let n = (n as usize).min(snapshot.len());
+                s.snapshot = Some(snapshot[..n].to_vec());
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "torn snapshot write injected",
+                ))
+            }
+            None => {
+                s.snapshot = Some(snapshot.to_vec());
+                s.log.clear();
+                Ok(())
+            }
+        }
+    }
+}
+
+/// File-system backend: `<prefix>.wal` append-only log and `<prefix>.snap`
+/// snapshot under a directory.
+///
+/// Snapshot install writes `<prefix>.snap.tmp`, fsyncs, renames over the
+/// snapshot, then truncates the log — so a crash at any point leaves either
+/// the old snapshot + full log or the new snapshot (+ possibly stale log,
+/// which replay skips via the LSN watermark). Appends are buffered by the
+/// OS; this protects against process crashes, not power loss (an fsync-per-
+/// batch knob would close that gap at a large throughput cost).
+#[derive(Debug)]
+pub struct FileBackend {
+    log_path: PathBuf,
+    snap_path: PathBuf,
+    log: fs::File,
+}
+
+impl FileBackend {
+    /// Open (creating as needed) the backing files for `prefix` under `dir`.
+    pub fn open(dir: impl Into<PathBuf>, prefix: &str) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let log_path = dir.join(format!("{prefix}.wal"));
+        let snap_path = dir.join(format!("{prefix}.snap"));
+        let log = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&log_path)?;
+        Ok(Self {
+            log_path,
+            snap_path,
+            log,
+        })
+    }
+}
+
+impl WalBackend for FileBackend {
+    fn append(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.log.write_all(frame)
+    }
+
+    fn read_log(&mut self) -> io::Result<Vec<u8>> {
+        self.log.flush()?;
+        let mut buf = Vec::new();
+        let mut f = fs::File::open(&self.log_path)?;
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn read_snapshot(&mut self) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(&self.snap_path) {
+            Ok(buf) => Ok(Some(buf)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> io::Result<()> {
+        let tmp = self.snap_path.with_extension("snap.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(snapshot)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &self.snap_path)?;
+        self.log.flush()?;
+        self.log.set_len(0)?;
+        self.log.seek(io::SeekFrom::Start(0))?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// What [`recover`] reconstructed, with enough counters for tests and
+/// operators to see exactly what happened.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The rebuilt durable state.
+    pub state: DurableState,
+    /// Highest LSN observed (snapshot watermark or log batch); the writer
+    /// resumes above it.
+    pub last_lsn: u64,
+    /// Records applied from the snapshot (excluding the header).
+    pub snapshot_records: u64,
+    /// Log batches applied.
+    pub log_batches: u64,
+    /// Log records applied.
+    pub log_records: u64,
+    /// Log batches skipped because the snapshot already covered their LSN.
+    pub stale_batches_skipped: u64,
+    /// True if the log ended in a torn/corrupt batch that was dropped.
+    pub log_truncated: bool,
+    /// True if the snapshot was corrupt (fully or partially unreadable).
+    pub snapshot_corrupt: bool,
+}
+
+/// Rebuild durable state from a backend: apply the snapshot (if readable),
+/// then every log batch above the snapshot's LSN watermark, truncating at
+/// the first torn or corrupt batch. Never panics on malformed input; `Err`
+/// is only ever an I/O error from the backend itself.
+pub fn recover(backend: &mut dyn WalBackend) -> io::Result<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+    let mut floor = 0u64;
+    if let Some(snap) = backend.read_snapshot()? {
+        let (batches, torn) = parse_stream(&snap);
+        if torn {
+            report.snapshot_corrupt = true;
+        }
+        for (lsn, records) in &batches {
+            for rec in records {
+                if let WalRecord::SnapshotHeader { last_lsn } = rec {
+                    floor = floor.max(*last_lsn);
+                } else {
+                    report.state.apply(rec);
+                    report.snapshot_records += 1;
+                }
+            }
+            floor = floor.max(*lsn);
+        }
+    }
+    let log = backend.read_log()?;
+    let (batches, torn) = parse_stream(&log);
+    report.log_truncated = torn;
+    let mut last = floor;
+    for (lsn, records) in &batches {
+        if *lsn <= floor {
+            report.stale_batches_skipped += 1;
+            continue;
+        }
+        for rec in records {
+            report.state.apply(rec);
+            report.log_records += 1;
+        }
+        report.log_batches += 1;
+        last = last.max(*lsn);
+    }
+    report.last_lsn = last;
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Tuning for a [`Wal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Install a snapshot (and truncate the log) after this many records
+    /// have been appended since the last one. `0` disables automatic
+    /// snapshots.
+    pub snapshot_every: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            snapshot_every: 4096,
+        }
+    }
+}
+
+/// Counters describing WAL activity since the writer was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records committed to the log.
+    pub records_appended: u64,
+    /// Atomic batches committed to the log.
+    pub batches_committed: u64,
+    /// Framed bytes appended to the log.
+    pub bytes_appended: u64,
+    /// Batch appends the backend rejected (batch lost; state diverges from
+    /// the log until the next successful snapshot).
+    pub append_errors: u64,
+    /// Snapshots successfully installed.
+    pub snapshots_installed: u64,
+    /// Snapshot installs the backend rejected.
+    pub snapshot_errors: u64,
+}
+
+/// The write half: buffers records and commits them as atomic batches.
+#[derive(Debug)]
+pub struct Wal {
+    backend: Box<dyn WalBackend>,
+    config: WalConfig,
+    next_lsn: u64,
+    pending: Vec<u8>,
+    pending_count: u64,
+    records_since_snapshot: u64,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// Writer over a fresh/empty backend (first LSN is 1).
+    pub fn new(backend: Box<dyn WalBackend>, config: WalConfig) -> Self {
+        Self::resume(backend, config, 0)
+    }
+
+    /// Writer resuming above `last_lsn` (from a [`RecoveryReport`]).
+    pub fn resume(backend: Box<dyn WalBackend>, config: WalConfig, last_lsn: u64) -> Self {
+        Self {
+            backend,
+            config,
+            next_lsn: last_lsn + 1,
+            pending: Vec::new(),
+            pending_count: 0,
+            records_since_snapshot: 0,
+            stats: WalStats::default(),
+        }
+    }
+
+    /// Recover the backend's state and return a writer positioned after it.
+    pub fn open(
+        mut backend: Box<dyn WalBackend>,
+        config: WalConfig,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let report = recover(backend.as_mut())?;
+        let wal = Self::resume(backend, config, report.last_lsn);
+        Ok((wal, report))
+    }
+
+    /// Buffer one record into the current batch (nothing is written yet).
+    pub fn record(&mut self, rec: &WalRecord) {
+        encode_record(&mut self.pending, rec);
+        self.pending_count += 1;
+    }
+
+    /// Number of records buffered but not yet committed.
+    pub fn pending_records(&self) -> u64 {
+        self.pending_count
+    }
+
+    /// Commit the buffered records as one atomic CRC-framed batch. A no-op
+    /// when nothing is buffered. On backend error the batch is dropped and
+    /// counted in [`WalStats::append_errors`].
+    pub fn commit(&mut self) {
+        if self.pending_count == 0 {
+            return;
+        }
+        let frame = frame_batch(self.next_lsn, self.pending_count, &self.pending);
+        self.next_lsn += 1;
+        match self.backend.append(&frame) {
+            Ok(()) => {
+                self.stats.records_appended += self.pending_count;
+                self.stats.batches_committed += 1;
+                self.stats.bytes_appended += frame.len() as u64;
+                self.records_since_snapshot += self.pending_count;
+            }
+            Err(_) => {
+                self.stats.append_errors += 1;
+            }
+        }
+        self.pending.clear();
+        self.pending_count = 0;
+    }
+
+    /// True when enough records have accumulated for an automatic snapshot.
+    pub fn snapshot_due(&self) -> bool {
+        self.config.snapshot_every > 0 && self.records_since_snapshot >= self.config.snapshot_every
+    }
+
+    /// Serialise `records` (a full durable-state dump) as a snapshot batch
+    /// and ask the backend to install it and truncate the log.
+    pub fn install_snapshot(&mut self, records: &[WalRecord]) {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        let mut encoded = Vec::new();
+        encode_record(&mut encoded, &WalRecord::SnapshotHeader { last_lsn: lsn });
+        for rec in records {
+            encode_record(&mut encoded, rec);
+        }
+        let frame = frame_batch(lsn, records.len() as u64 + 1, &encoded);
+        match self.backend.install_snapshot(&frame) {
+            Ok(()) => {
+                self.stats.snapshots_installed += 1;
+                self.records_since_snapshot = 0;
+            }
+            Err(_) => {
+                self.stats.snapshot_errors += 1;
+            }
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Next log sequence number the writer will stamp.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+}
+
+/// Replay-time measurement for the recovery study: wall-clock time to
+/// [`recover`] from a backend, with the sizes involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayMeasurement {
+    /// Log bytes read.
+    pub log_bytes: u64,
+    /// Snapshot bytes read.
+    pub snapshot_bytes: u64,
+    /// Records applied (snapshot + log).
+    pub records_applied: u64,
+    /// Recovery wall-clock time in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Time a recovery pass over `backend` (used by the `wal_recovery` bench).
+pub fn measure_replay(backend: &mut dyn WalBackend) -> io::Result<ReplayMeasurement> {
+    let log_bytes = backend.read_log()?.len() as u64;
+    let snapshot_bytes = backend.read_snapshot()?.map_or(0, |s| s.len() as u64);
+    let start = Instant::now();
+    let report = recover(backend)?;
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    Ok(ReplayMeasurement {
+        log_bytes,
+        snapshot_bytes,
+        records_applied: report.snapshot_records + report.log_records,
+        elapsed_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec_retain(topic: &str, payload: &[u8]) -> WalRecord {
+        WalRecord::RetainSet {
+            message: DurablePublish {
+                topic: topic.to_owned(),
+                qos: QoS::AtLeastOnce,
+                retain: true,
+                payload: Bytes::copy_from_slice(payload),
+            },
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn record_round_trip_all_kinds() {
+        let msg = DurablePublish {
+            topic: "a/b".into(),
+            qos: QoS::ExactlyOnce,
+            retain: true,
+            payload: Bytes::from_static(b"xyz"),
+        };
+        let records = vec![
+            WalRecord::SnapshotHeader { last_lsn: 7 },
+            WalRecord::SessionStarted {
+                client: "c1".into(),
+                next_pid: 42,
+            },
+            WalRecord::SessionCleared {
+                client: "c1".into(),
+            },
+            WalRecord::Subscribed {
+                client: "c1".into(),
+                filter: "a/+".into(),
+                qos: QoS::AtLeastOnce,
+            },
+            WalRecord::Unsubscribed {
+                client: "c1".into(),
+                filter: "a/+".into(),
+            },
+            WalRecord::RetainSet {
+                message: msg.clone(),
+            },
+            WalRecord::RetainCleared {
+                topic: "a/b".into(),
+            },
+            WalRecord::Queued {
+                client: "c1".into(),
+                message: msg.clone(),
+            },
+            WalRecord::QueuePopped {
+                client: "c1".into(),
+            },
+            WalRecord::InflightInsert {
+                client: "c1".into(),
+                pid: 9,
+                stage: WalStage::AwaitPubrec,
+                message: msg,
+            },
+            WalRecord::InflightStage {
+                client: "c1".into(),
+                pid: 9,
+                stage: WalStage::AwaitPubcomp,
+            },
+            WalRecord::InflightRemove {
+                client: "c1".into(),
+                pid: 9,
+            },
+            WalRecord::InQos2Insert {
+                client: "c1".into(),
+                pid: 3,
+            },
+            WalRecord::InQos2Remove {
+                client: "c1".into(),
+                pid: 3,
+            },
+        ];
+        for rec in &records {
+            let mut buf = Vec::new();
+            encode_record(&mut buf, rec);
+            let mut pos = 0;
+            let back = decode_record(&buf, &mut pos).expect("decode");
+            assert_eq!(&back, rec);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn commit_and_recover_round_trip() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig::default());
+        wal.record(&rec_retain("t/1", b"one"));
+        wal.record(&WalRecord::SessionStarted {
+            client: "c".into(),
+            next_pid: 0,
+        });
+        wal.commit();
+        wal.record(&rec_retain("t/2", b"two"));
+        wal.commit();
+        let report = recover(&mut backend.clone()).unwrap();
+        assert!(!report.log_truncated);
+        assert_eq!(report.log_batches, 2);
+        assert_eq!(report.log_records, 3);
+        assert_eq!(report.state.retained.len(), 2);
+        assert!(report.state.sessions.contains_key("c"));
+        assert_eq!(report.last_lsn, 2);
+    }
+
+    #[test]
+    fn empty_commit_is_noop() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig::default());
+        wal.commit();
+        assert_eq!(backend.log_len(), 0);
+        assert_eq!(wal.stats().batches_committed, 0);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_clean_prefix() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig::default());
+        wal.record(&rec_retain("t/1", b"one"));
+        wal.commit();
+        let clean = backend.log_len();
+        backend.tear_log_at(clean + 3);
+        wal.record(&rec_retain("t/2", b"two"));
+        wal.commit();
+        assert_eq!(wal.stats().append_errors, 1);
+        assert_eq!(backend.log_len(), clean + 3);
+        let report = recover(&mut backend.clone()).unwrap();
+        assert!(report.log_truncated);
+        assert_eq!(report.log_records, 1);
+        assert_eq!(
+            report.state.retained.keys().collect::<Vec<_>>(),
+            vec!["t/1"]
+        );
+    }
+
+    #[test]
+    fn bit_flip_in_tail_drops_only_that_batch() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig::default());
+        wal.record(&rec_retain("t/1", b"one"));
+        wal.commit();
+        let clean = backend.log_len() as usize;
+        wal.record(&rec_retain("t/2", b"two"));
+        wal.commit();
+        let mut raw = backend.raw_log();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x40;
+        backend.set_raw_log(raw);
+        let report = recover(&mut backend.clone()).unwrap();
+        assert!(report.log_truncated);
+        assert_eq!(report.log_records, 1);
+        assert!(backend.raw_log().len() > clean);
+    }
+
+    #[test]
+    fn snapshot_truncates_and_replay_skips_stale() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig { snapshot_every: 1 });
+        let mut model = DurableState::default();
+        for i in 0..5 {
+            let rec = rec_retain(&format!("t/{i}"), b"v");
+            model.apply(&rec);
+            wal.record(&rec);
+            wal.commit();
+            if wal.snapshot_due() {
+                let dump: Vec<WalRecord> = model
+                    .retained
+                    .values()
+                    .map(|m| WalRecord::RetainSet { message: m.clone() })
+                    .collect();
+                wal.install_snapshot(&dump);
+            }
+        }
+        assert_eq!(backend.log_len(), 0);
+        assert!(backend.raw_snapshot().is_some());
+        let report = recover(&mut backend.clone()).unwrap();
+        assert_eq!(report.state, model);
+        assert_eq!(report.log_batches, 0);
+    }
+
+    #[test]
+    fn crash_between_install_and_truncate_does_not_double_apply() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig { snapshot_every: 0 });
+        let queued = WalRecord::Queued {
+            client: "c".into(),
+            message: DurablePublish {
+                topic: "t".into(),
+                qos: QoS::AtLeastOnce,
+                retain: false,
+                payload: Bytes::from_static(b"m"),
+            },
+        };
+        wal.record(&queued);
+        wal.commit();
+        let mut model = DurableState::default();
+        model.apply(&queued);
+        let dump = vec![
+            WalRecord::SessionStarted {
+                client: "c".into(),
+                next_pid: 0,
+            },
+            queued.clone(),
+        ];
+        backend.crash_next_snapshot(SnapshotCrash::BetweenInstallAndTruncate);
+        wal.install_snapshot(&dump);
+        assert_eq!(wal.stats().snapshot_errors, 1);
+        // Log still holds the Queued batch AND the snapshot holds it; the
+        // LSN watermark must prevent a double push.
+        assert!(backend.log_len() > 0);
+        let report = recover(&mut backend.clone()).unwrap();
+        assert_eq!(report.stale_batches_skipped, 1);
+        assert_eq!(report.state.sessions["c"].queue.len(), 1);
+    }
+
+    #[test]
+    fn crash_before_install_keeps_old_state() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig { snapshot_every: 0 });
+        wal.record(&rec_retain("t/1", b"one"));
+        wal.commit();
+        backend.crash_next_snapshot(SnapshotCrash::BeforeInstall);
+        wal.install_snapshot(&[rec_retain("t/1", b"one")]);
+        assert!(backend.raw_snapshot().is_none());
+        let report = recover(&mut backend.clone()).unwrap();
+        assert_eq!(report.state.retained.len(), 1);
+    }
+
+    #[test]
+    fn torn_snapshot_falls_back_to_log() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig { snapshot_every: 0 });
+        wal.record(&rec_retain("t/1", b"one"));
+        wal.commit();
+        backend.crash_next_snapshot(SnapshotCrash::TornWrite(5));
+        wal.install_snapshot(&[rec_retain("t/1", b"one")]);
+        let report = recover(&mut backend.clone()).unwrap();
+        assert!(report.snapshot_corrupt);
+        assert_eq!(report.state.retained.len(), 1);
+        assert_eq!(report.log_records, 1);
+    }
+
+    #[test]
+    fn file_backend_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ifot-wal-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let backend = FileBackend::open(&dir, "unit").unwrap();
+            let mut wal = Wal::new(Box::new(backend), WalConfig { snapshot_every: 2 });
+            wal.record(&rec_retain("t/1", b"one"));
+            wal.record(&rec_retain("t/2", b"two"));
+            wal.commit();
+            assert!(wal.snapshot_due());
+            wal.install_snapshot(&[rec_retain("t/1", b"one"), rec_retain("t/2", b"two")]);
+            wal.record(&rec_retain("t/3", b"three"));
+            wal.commit();
+        }
+        {
+            let mut backend = FileBackend::open(&dir, "unit").unwrap();
+            let report = recover(&mut backend).unwrap();
+            assert!(!report.log_truncated && !report.snapshot_corrupt);
+            assert_eq!(report.state.retained.len(), 3);
+            assert_eq!(report.snapshot_records, 2);
+            assert_eq!(report.log_records, 1);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lsn_resumes_above_recovered_state() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig::default());
+        wal.record(&rec_retain("t/1", b"one"));
+        wal.commit();
+        let (mut wal2, report) =
+            Wal::open(Box::new(backend.clone()), WalConfig::default()).unwrap();
+        assert_eq!(report.last_lsn, 1);
+        assert_eq!(wal2.next_lsn(), 2);
+        wal2.record(&rec_retain("t/2", b"two"));
+        wal2.commit();
+        let report = recover(&mut backend.clone()).unwrap();
+        assert_eq!(report.log_batches, 2);
+        assert_eq!(report.state.retained.len(), 2);
+    }
+
+    #[test]
+    fn parse_stream_never_panics_on_garbage() {
+        for seed in 0u64..64 {
+            let mut bytes = Vec::new();
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            for _ in 0..(seed % 40 + 1) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                bytes.push(x as u8);
+            }
+            let (_batches, _torn) = parse_stream(&bytes);
+        }
+    }
+}

@@ -14,6 +14,7 @@ use ifot::mqtt::client::{Client, ClientConfig, ClientEvent, ClientState};
 use ifot::mqtt::packet::{Packet, QoS};
 use ifot::mqtt::supervisor::{ReconnectConfig, ReconnectSupervisor, SupervisorAction};
 use ifot::mqtt::topic::{TopicFilter, TopicName};
+use ifot::mqtt::wal::{MemBackend, RecoveryReport};
 
 pub const PUB: u8 = 1;
 pub const SUB: u8 = 2;
@@ -321,6 +322,265 @@ pub fn assert_guarantee(run: &ReconnectRun, qos: QoS, count: u32) {
     }
 }
 
+/// What a broker-crash run produced.
+#[derive(Debug)]
+pub struct CrashRun {
+    /// Receipt ledger at the subscriber (publisher id 0).
+    pub ledger: SeqLedger,
+    /// Session resumes observed (CONNACK with `session_present`).
+    pub session_resumes: u64,
+    /// Whether the run drained completely.
+    pub settled: bool,
+    /// Broker crashes executed.
+    pub crashes: usize,
+    /// Recovery report of every durable open: index 0 is the initial
+    /// (empty) open, one more per crash/restart cycle.
+    pub reports: Vec<RecoveryReport>,
+}
+
+/// Like [`run_with_reconnects`], but the *broker process* dies: at each
+/// entry of `crash_times` the broker value is dropped on the floor —
+/// along with every packet in flight on the wire — and a fresh broker is
+/// recovered from the write-ahead log (shared [`MemBackend`]) as if the
+/// process had been killed and restarted. Both clients keep their own
+/// session state (their device didn't crash) and reconnect through the
+/// real [`ReconnectSupervisor`]. Messages are published at `qos` with
+/// [`seq_payload`]`(0, i)` payloads and receipts land in a [`SeqLedger`],
+/// so callers can assert zero loss / zero duplication across restarts.
+///
+/// `snapshot_every` sets [`BrokerConfig::wal_snapshot_every`], letting
+/// cells force frequent snapshot + truncate cycles mid-traffic.
+pub fn run_with_broker_crashes(
+    qos: QoS,
+    count: u32,
+    loss_pct: u64,
+    crash_times: &[u64],
+    seed: u64,
+    snapshot_every: u64,
+) -> CrashRun {
+    let cfg = || ClientConfig {
+        retransmit_timeout_ns: 50,
+        clean_session: false,
+        ..ClientConfig::default()
+    };
+    let sup = || {
+        ReconnectSupervisor::new(
+            ReconnectConfig {
+                keep_alive_factor: 1.5,
+                connect_timeout_ns: 200,
+                backoff_base_ns: 100,
+                backoff_max_ns: 1_000,
+                jitter_frac: 0.25,
+            },
+            0,
+        )
+    };
+    let broker_cfg = || BrokerConfig {
+        retransmit_timeout_ns: 50,
+        wal_snapshot_every: snapshot_every,
+        ..Default::default()
+    };
+    let backend = MemBackend::new();
+    let mut reports = Vec::new();
+    let (mut broker, report) = Broker::<u8>::open_durable(broker_cfg(), Box::new(backend.clone()))
+        .expect("initial durable open");
+    reports.push(report);
+
+    let mut publisher = Client::new("pub", cfg());
+    let mut subscriber = Client::new("sub", cfg());
+    let mut pub_sup = sup();
+    let mut sub_sup = sup();
+    let mut loss = Loss::new(seed | 1, loss_pct);
+    let mut rng_state = seed ^ 0xD1B5_4A32_D192_ED03;
+    let mut ledger = SeqLedger::new();
+    let mut session_resumes = 0u64;
+
+    let mut crash_times: Vec<u64> = crash_times.to_vec();
+    crash_times.sort_unstable();
+    let mut next_crash = 0usize;
+    let mut crashes = 0usize;
+
+    let mut to_broker: Vec<(u8, Packet)> = Vec::new();
+    let mut to_client: Vec<(u8, Packet)> = Vec::new();
+
+    // Lossless session setup at t=0, as in `run_with_reconnects`.
+    broker.connection_opened(PUB, 0);
+    broker.connection_opened(SUB, 0);
+    for (conn, client, sup) in [
+        (PUB, &mut publisher, &mut pub_sup),
+        (SUB, &mut subscriber, &mut sub_sup),
+    ] {
+        let connect = client.connect().expect("first connect");
+        sup.on_connect_sent(0);
+        for action in broker.handle_packet(&conn, connect, 0) {
+            if let Action::Send { packet, .. } = action {
+                let (_, out) = client.handle_packet(packet, 0).expect("connack");
+                assert!(out.is_empty(), "fresh session has nothing to replay");
+            }
+        }
+        sup.on_connected(0);
+    }
+    let subscribe = subscriber
+        .subscribe(vec![(TopicFilter::new("t/#").expect("valid"), qos)], 0)
+        .expect("subscribe");
+    for action in broker.handle_packet(&SUB, subscribe, 0) {
+        if let Action::Send { packet, .. } = action {
+            let _ = subscriber.handle_packet(packet, 0).expect("suback");
+        }
+    }
+
+    let mut pending: VecDeque<u32> = VecDeque::new();
+    let mut next_pub: u32 = 0;
+    let mut settled = false;
+
+    let mut now = 0u64;
+    for _ in 0..60_000 {
+        now += 10;
+
+        // Broker crashes due at this tick: the broker value and every
+        // packet on the wire vanish; the replacement is rebuilt purely
+        // from the WAL. Both clients see a transport reset.
+        while next_crash < crash_times.len() && crash_times[next_crash] <= now {
+            next_crash += 1;
+            crashes += 1;
+            drop(broker);
+            to_broker.clear();
+            to_client.clear();
+            let (fresh, report) =
+                Broker::<u8>::open_durable(broker_cfg(), Box::new(backend.clone()))
+                    .expect("recover after crash");
+            broker = fresh;
+            reports.push(report);
+            for client in [&mut publisher, &mut subscriber] {
+                if client.state() != ClientState::Disconnected {
+                    client.transport_lost();
+                }
+            }
+        }
+
+        // Reconnect supervision for both sides.
+        for (conn, client, sup) in [
+            (PUB, &mut publisher, &mut pub_sup),
+            (SUB, &mut subscriber, &mut sub_sup),
+        ] {
+            let action = sup.poll(client.state(), now, &mut || splitmix(&mut rng_state));
+            match action {
+                SupervisorAction::TransportLost => client.transport_lost(),
+                SupervisorAction::Connect => {
+                    broker.connection_opened(conn, now);
+                    let packet = client.connect().expect("connect while disconnected");
+                    sup.on_connect_sent(now);
+                    if !loss.drop() {
+                        to_broker.push((conn, packet));
+                    }
+                }
+                SupervisorAction::None => {}
+            }
+        }
+
+        // Offered load, buffered while the publisher is offline.
+        if next_pub < count && now >= u64::from(next_pub) * 50 {
+            pending.push_back(next_pub);
+            next_pub += 1;
+        }
+        while publisher.state() == ClientState::Connected {
+            let Some(i) = pending.pop_front() else { break };
+            let packet = publisher
+                .publish(
+                    TopicName::new("t/x").expect("valid"),
+                    seq_payload(0, i).to_vec(),
+                    qos,
+                    false,
+                    now,
+                )
+                .expect("connected publish");
+            if !loss.drop() {
+                to_broker.push((PUB, packet));
+            }
+        }
+
+        // Broker ingress.
+        for (conn, packet) in std::mem::take(&mut to_broker) {
+            for action in broker.handle_packet(&conn, packet, now) {
+                if let Action::Send { conn, packet } = action {
+                    if !loss.drop() {
+                        to_client.push((conn, packet));
+                    }
+                }
+            }
+        }
+        // Client ingress.
+        for (conn, packet) in std::mem::take(&mut to_client) {
+            let (client, sup) = if conn == PUB {
+                (&mut publisher, &mut pub_sup)
+            } else {
+                (&mut subscriber, &mut sub_sup)
+            };
+            sup.on_inbound(now);
+            let Ok((events, out)) = client.handle_packet(packet, now) else {
+                continue;
+            };
+            for event in events {
+                match event {
+                    ClientEvent::Message(p) => {
+                        ledger.record_payload(p.payload.as_ref());
+                    }
+                    ClientEvent::Connected { session_present } => {
+                        sup.on_connected(now);
+                        if session_present {
+                            session_resumes += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for packet in out {
+                if !loss.drop() {
+                    to_broker.push((conn, packet));
+                }
+            }
+        }
+        // Retransmissions.
+        for (conn, client) in [(PUB, &mut publisher), (SUB, &mut subscriber)] {
+            for packet in client.poll(now) {
+                if !loss.drop() {
+                    to_broker.push((conn, packet));
+                }
+            }
+        }
+        for action in broker.poll(now) {
+            if let Action::Send { conn, packet } = action {
+                if !loss.drop() {
+                    to_client.push((conn, packet));
+                }
+            }
+        }
+
+        if next_crash == crash_times.len()
+            && next_pub == count
+            && pending.is_empty()
+            && to_broker.is_empty()
+            && to_client.is_empty()
+            && publisher.state() == ClientState::Connected
+            && subscriber.state() == ClientState::Connected
+            && publisher.inflight_count() == 0
+            && publisher.inflight2_count() == 0
+            && ledger.distinct() == count as usize
+        {
+            settled = true;
+            break;
+        }
+    }
+
+    CrashRun {
+        ledger,
+        session_resumes,
+        settled,
+        crashes,
+        reports,
+    }
+}
+
 /// Encodes a `(publisher, seq)` pair as the 8-byte big-endian payload
 /// the sequence-ledger stress tests publish.
 pub fn seq_payload(publisher: u32, seq: u32) -> [u8; 8] {
@@ -368,6 +628,33 @@ impl SeqLedger {
     /// Total receipts recorded (duplicates included).
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Number of distinct `(publisher, seq)` pairs received so far.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Asserts the full cross product `publishers × per_publisher` was
+    /// received at least once each (duplicates tolerated — the QoS 1
+    /// contract), with nothing malformed and nothing outside the space.
+    pub fn assert_at_least_once(&self, publishers: u32, per_publisher: u32) {
+        assert_eq!(self.malformed, 0, "malformed payloads received");
+        let mut lost = Vec::new();
+        for p in 0..publishers {
+            for s in 0..per_publisher {
+                if !self.counts.contains_key(&(p, s)) {
+                    lost.push((p, s));
+                }
+            }
+        }
+        assert!(lost.is_empty(), "lost messages: {lost:?}");
+        let strays: Vec<_> = self
+            .counts
+            .keys()
+            .filter(|(p, s)| *p >= publishers || *s >= per_publisher)
+            .collect();
+        assert!(strays.is_empty(), "receipts outside the space: {strays:?}");
     }
 
     /// Asserts the full cross product `publishers × per_publisher` was
