@@ -93,7 +93,13 @@ struct Cell {
 fn run_cell(dir: &std::path::Path, records: u64, snapshot_every: u64) -> Cell {
     let backend = FileBackend::open(dir, &format!("bench-{records}-{snapshot_every}"))
         .expect("open scratch backend");
-    let mut wal = Wal::new(Box::new(backend), WalConfig { snapshot_every });
+    let mut wal = Wal::new(
+        Box::new(backend),
+        WalConfig {
+            snapshot_every,
+            ..WalConfig::default()
+        },
+    );
     let mut mirror = DurableState::default();
     mirror.apply(&WalRecord::SessionStarted {
         client: "edge-node".to_owned(),

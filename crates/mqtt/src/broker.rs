@@ -90,6 +90,11 @@ pub struct BrokerConfig {
     /// many WAL records. `0` disables automatic snapshots. Ignored unless
     /// a WAL is attached.
     pub wal_snapshot_every: u64,
+    /// fsync the WAL after every committed batch. Off by default (the OS
+    /// page cache survives process crashes); turn it on when acknowledged
+    /// broker state must also survive power loss, at a throughput cost.
+    /// Ignored unless a WAL is attached.
+    pub wal_fsync: bool,
 }
 
 impl BrokerConfig {
@@ -97,6 +102,12 @@ impl BrokerConfig {
     /// [`BrokerConfig::durability`]).
     pub fn with_durability(mut self, dir: impl Into<PathBuf>) -> Self {
         self.durability = Some(dir.into());
+        self
+    }
+
+    /// Sets per-batch WAL fsync (see [`BrokerConfig::wal_fsync`]).
+    pub fn with_wal_fsync(mut self, fsync: bool) -> Self {
+        self.wal_fsync = fsync;
         self
     }
 }
@@ -116,6 +127,7 @@ impl Default for BrokerConfig {
             edge_triggered: false,
             durability: None,
             wal_snapshot_every: 4096,
+            wal_fsync: false,
         }
     }
 }
@@ -400,6 +412,7 @@ impl<C: Ord + Clone> Broker<C> {
     ) -> io::Result<(Self, RecoveryReport)> {
         let wal_config = WalConfig {
             snapshot_every: config.wal_snapshot_every,
+            fsync: config.wal_fsync,
         };
         let (wal, report) = Wal::open(backend, wal_config)?;
         let mut broker = Broker::with_config(config);

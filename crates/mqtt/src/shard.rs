@@ -266,6 +266,7 @@ impl<C: Ord + Clone> ShardedBroker<C> {
         assert_eq!(backends.len(), n, "one WAL backend per shard");
         let wal_config = WalConfig {
             snapshot_every: config.wal_snapshot_every,
+            fsync: config.wal_fsync,
         };
         let mut pairs = Vec::with_capacity(n);
         for backend in backends {
@@ -354,6 +355,7 @@ impl<C: Ord + Clone> ShardedBroker<C> {
                 t.batches_committed += s.batches_committed;
                 t.bytes_appended += s.bytes_appended;
                 t.append_errors += s.append_errors;
+                t.sync_errors += s.sync_errors;
                 t.snapshots_installed += s.snapshots_installed;
                 t.snapshot_errors += s.snapshot_errors;
             }

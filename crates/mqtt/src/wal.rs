@@ -25,6 +25,14 @@
 //! making a batch all-or-nothing: the tolerant [`recover`] reader truncates
 //! the log at the first torn or corrupt batch instead of panicking.
 //!
+//! [`recover`] itself is read-only; [`Wal::open`] additionally *repairs* the
+//! backend before the writer accepts traffic: a torn log tail is physically
+//! truncated to the clean prefix ([`WalBackend::truncate_log`]) and a
+//! corrupt snapshot is replaced by a fresh snapshot of the recovered state.
+//! Without the repair, post-restart appends would land *behind* the torn
+//! bytes and a second crash would silently lose everything acknowledged
+//! since the first restart.
+//!
 //! ## Snapshots
 //!
 //! Every [`WalConfig::snapshot_every`] records the broker serialises its
@@ -526,42 +534,45 @@ fn frame_batch(lsn: u64, nrec: u64, records: &[u8]) -> Vec<u8> {
 
 /// Parse a framed stream into `(lsn, records)` batches.
 ///
-/// Returns the clean prefix plus `true` if the stream was truncated at a
-/// torn or corrupt batch (bad length, short body, CRC mismatch, unknown
-/// version, or undecodable record). Never panics.
-pub fn parse_stream(buf: &[u8]) -> (Vec<(u64, Vec<WalRecord>)>, bool) {
+/// Returns the clean prefix, `true` if the stream was truncated at a torn
+/// or corrupt batch (bad length, short body, CRC mismatch, unknown version,
+/// or undecodable record), and the byte length of the clean prefix — the
+/// offset a physical repair should truncate the log to. Never panics.
+pub fn parse_stream(buf: &[u8]) -> (Vec<(u64, Vec<WalRecord>)>, bool, u64) {
     let mut batches = Vec::new();
     let mut pos = 0usize;
+    let mut clean = 0usize;
     while pos < buf.len() {
         let start = pos;
         let Some(len) = get_varint(buf, &mut pos) else {
-            return (batches, true);
+            return (batches, true, clean as u64);
         };
         let Ok(len) = usize::try_from(len) else {
-            return (batches, true);
+            return (batches, true, clean as u64);
         };
         let Some(body_start) = pos.checked_add(4) else {
-            return (batches, true);
+            return (batches, true, clean as u64);
         };
         let Some(end) = body_start.checked_add(len) else {
-            return (batches, true);
+            return (batches, true, clean as u64);
         };
         if end > buf.len() {
-            return (batches, true);
+            return (batches, true, clean as u64);
         }
         let crc = u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]);
         let body = &buf[body_start..end];
         if crc32(body) != crc {
-            return (batches, true);
+            return (batches, true, clean as u64);
         }
         match parse_body(body) {
             Some(batch) => batches.push(batch),
-            None => return (batches, true),
+            None => return (batches, true, clean as u64),
         }
         pos = end;
+        clean = end;
         debug_assert!(pos > start);
     }
-    (batches, false)
+    (batches, false, clean as u64)
 }
 
 fn parse_body(body: &[u8]) -> Option<(u64, Vec<WalRecord>)> {
@@ -689,6 +700,53 @@ impl DurableState {
             }
         }
     }
+
+    /// Serialise this state as snapshot records: applying them to an empty
+    /// state reproduces it exactly (the state-level analogue of
+    /// `Broker::durable_records`). Used by [`Wal::open`] to rebuild a
+    /// corrupt snapshot from whatever recovery salvaged.
+    pub fn to_records(&self) -> Vec<WalRecord> {
+        let mut out = Vec::new();
+        for (client, s) in &self.sessions {
+            out.push(WalRecord::SessionStarted {
+                client: client.clone(),
+                next_pid: s.next_pid,
+            });
+            for (filter, qos) in &s.subscriptions {
+                out.push(WalRecord::Subscribed {
+                    client: client.clone(),
+                    filter: filter.clone(),
+                    qos: *qos,
+                });
+            }
+            for pid in &s.incoming_qos2 {
+                out.push(WalRecord::InQos2Insert {
+                    client: client.clone(),
+                    pid: *pid,
+                });
+            }
+            for (pid, (message, stage)) in &s.inflight {
+                out.push(WalRecord::InflightInsert {
+                    client: client.clone(),
+                    pid: *pid,
+                    stage: *stage,
+                    message: message.clone(),
+                });
+            }
+            for message in &s.queue {
+                out.push(WalRecord::Queued {
+                    client: client.clone(),
+                    message: message.clone(),
+                });
+            }
+        }
+        for message in self.retained.values() {
+            out.push(WalRecord::RetainSet {
+                message: message.clone(),
+            });
+        }
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -711,6 +769,14 @@ pub trait WalBackend: Send + Debug {
     fn read_snapshot(&mut self) -> io::Result<Option<Vec<u8>>>;
     /// Replace the snapshot with `snapshot` and truncate the log.
     fn install_snapshot(&mut self, snapshot: &[u8]) -> io::Result<()>;
+    /// Truncate the log to its first `len` bytes, discarding a torn or
+    /// corrupt tail so subsequent appends extend the clean prefix.
+    fn truncate_log(&mut self, len: u64) -> io::Result<()>;
+    /// Flush appended batches to durable storage (fsync for file-backed
+    /// logs). Memory backends have nothing to flush.
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Crash-injection point for [`MemBackend::crash_next_snapshot`].
@@ -824,6 +890,15 @@ impl WalBackend for MemBackend {
         Ok(self.state.lock().snapshot.clone())
     }
 
+    fn truncate_log(&mut self, len: u64) -> io::Result<()> {
+        let mut s = self.state.lock();
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        if len < s.log.len() {
+            s.log.truncate(len);
+        }
+        Ok(())
+    }
+
     fn install_snapshot(&mut self, snapshot: &[u8]) -> io::Result<()> {
         let mut s = self.state.lock();
         match s.snapshot_crash.take() {
@@ -859,16 +934,22 @@ impl WalBackend for MemBackend {
 /// snapshot under a directory.
 ///
 /// Snapshot install writes `<prefix>.snap.tmp`, fsyncs, renames over the
-/// snapshot, then truncates the log — so a crash at any point leaves either
-/// the old snapshot + full log or the new snapshot (+ possibly stale log,
-/// which replay skips via the LSN watermark). Appends are buffered by the
-/// OS; this protects against process crashes, not power loss (an fsync-per-
-/// batch knob would close that gap at a large throughput cost).
+/// snapshot, fsyncs the directory (so the rename itself survives power
+/// loss), then truncates the log — a crash at any point leaves either the
+/// old snapshot + full log or the new snapshot (+ possibly stale log, which
+/// replay skips via the LSN watermark). A partial append (e.g. `ENOSPC`) is
+/// rolled back with `set_len` so torn bytes never sit mid-log. Appends are
+/// buffered by the OS by default, protecting against process crashes only;
+/// [`WalConfig::fsync`] opts into an fsync per committed batch for
+/// power-loss durability at a throughput cost.
 #[derive(Debug)]
 pub struct FileBackend {
     log_path: PathBuf,
     snap_path: PathBuf,
     log: fs::File,
+    /// Byte length of the log as written through this handle; used to roll
+    /// back partial appends without a metadata syscall per batch.
+    len: u64,
 }
 
 impl FileBackend {
@@ -883,17 +964,44 @@ impl FileBackend {
             .append(true)
             .read(true)
             .open(&log_path)?;
+        let len = log.metadata()?.len();
         Ok(Self {
             log_path,
             snap_path,
             log,
+            len,
         })
+    }
+
+    /// fsync the directory holding the snapshot so a just-renamed snapshot
+    /// entry is durable, not only its contents. Best-effort: some
+    /// filesystems refuse directory fsync, and the rename is still
+    /// process-crash-safe without it.
+    fn sync_dir(&self) {
+        if let Some(parent) = self.snap_path.parent() {
+            if let Ok(d) = fs::File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
     }
 }
 
 impl WalBackend for FileBackend {
     fn append(&mut self, frame: &[u8]) -> io::Result<()> {
-        self.log.write_all(frame)
+        match self.log.write_all(frame) {
+            Ok(()) => {
+                self.len += frame.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Undo any partially-written bytes so the next successful
+                // append extends the clean prefix, not a torn batch. If the
+                // rollback itself fails the forced resync snapshot (see
+                // `Wal::commit`) truncates the log anyway.
+                let _ = self.log.set_len(self.len);
+                Err(e)
+            }
+        }
     }
 
     fn read_log(&mut self) -> io::Result<Vec<u8>> {
@@ -920,10 +1028,26 @@ impl WalBackend for FileBackend {
             f.sync_all()?;
         }
         fs::rename(&tmp, &self.snap_path)?;
+        self.sync_dir();
         self.log.flush()?;
         self.log.set_len(0)?;
         self.log.seek(io::SeekFrom::Start(0))?;
+        self.len = 0;
         Ok(())
+    }
+
+    fn truncate_log(&mut self, len: u64) -> io::Result<()> {
+        if len < self.len {
+            self.log.flush()?;
+            self.log.set_len(len)?;
+            self.log.sync_data()?;
+            self.len = len;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.log.sync_data()
     }
 }
 
@@ -952,17 +1076,23 @@ pub struct RecoveryReport {
     pub log_truncated: bool,
     /// True if the snapshot was corrupt (fully or partially unreadable).
     pub snapshot_corrupt: bool,
+    /// Byte length of the clean log prefix — where a physical repair
+    /// truncates the log when [`RecoveryReport::log_truncated`] is set.
+    pub clean_log_bytes: u64,
 }
 
 /// Rebuild durable state from a backend: apply the snapshot (if readable),
 /// then every log batch above the snapshot's LSN watermark, truncating at
 /// the first torn or corrupt batch. Never panics on malformed input; `Err`
 /// is only ever an I/O error from the backend itself.
+///
+/// This is a read-only pass: the backend keeps its torn bytes. Use
+/// [`Wal::open`] to recover *and* physically repair before writing.
 pub fn recover(backend: &mut dyn WalBackend) -> io::Result<RecoveryReport> {
     let mut report = RecoveryReport::default();
     let mut floor = 0u64;
     if let Some(snap) = backend.read_snapshot()? {
-        let (batches, torn) = parse_stream(&snap);
+        let (batches, torn, _) = parse_stream(&snap);
         if torn {
             report.snapshot_corrupt = true;
         }
@@ -979,8 +1109,9 @@ pub fn recover(backend: &mut dyn WalBackend) -> io::Result<RecoveryReport> {
         }
     }
     let log = backend.read_log()?;
-    let (batches, torn) = parse_stream(&log);
+    let (batches, torn, clean) = parse_stream(&log);
     report.log_truncated = torn;
+    report.clean_log_bytes = clean;
     let mut last = floor;
     for (lsn, records) in &batches {
         if *lsn <= floor {
@@ -1007,14 +1138,21 @@ pub fn recover(backend: &mut dyn WalBackend) -> io::Result<RecoveryReport> {
 pub struct WalConfig {
     /// Install a snapshot (and truncate the log) after this many records
     /// have been appended since the last one. `0` disables automatic
-    /// snapshots.
+    /// snapshots (a failed append still forces one — see
+    /// [`Wal::snapshot_due`]).
     pub snapshot_every: u64,
+    /// fsync the log after every committed batch. Off by default: the OS
+    /// page cache already survives process crashes, and per-batch fsync
+    /// costs throughput; turn it on when acknowledged state must survive
+    /// power loss too.
+    pub fsync: bool,
 }
 
 impl Default for WalConfig {
     fn default() -> Self {
         Self {
             snapshot_every: 4096,
+            fsync: false,
         }
     }
 }
@@ -1028,12 +1166,18 @@ pub struct WalStats {
     pub batches_committed: u64,
     /// Framed bytes appended to the log.
     pub bytes_appended: u64,
-    /// Batch appends the backend rejected (batch lost; state diverges from
-    /// the log until the next successful snapshot).
+    /// Batch appends the backend rejected. The batch is lost from the log,
+    /// so the writer forces a resync snapshot at the next
+    /// [`Wal::snapshot_due`] check — for the broker that is the same
+    /// barrier, before any action reaches the transport.
     pub append_errors: u64,
+    /// fsync failures after a committed batch ([`WalConfig::fsync`] only);
+    /// each also forces a resync snapshot.
+    pub sync_errors: u64,
     /// Snapshots successfully installed.
     pub snapshots_installed: u64,
-    /// Snapshot installs the backend rejected.
+    /// Snapshot installs the backend rejected (retried at the next
+    /// [`Wal::snapshot_due`] check).
     pub snapshot_errors: u64,
 }
 
@@ -1046,6 +1190,10 @@ pub struct Wal {
     pending: Vec<u8>,
     pending_count: u64,
     records_since_snapshot: u64,
+    /// Set when the log and in-memory state may have diverged (failed
+    /// append/fsync, failed snapshot, unrepaired open): the next snapshot
+    /// install resyncs them and clears it.
+    force_snapshot: bool,
     stats: WalStats,
 }
 
@@ -1064,17 +1212,35 @@ impl Wal {
             pending: Vec::new(),
             pending_count: 0,
             records_since_snapshot: 0,
+            force_snapshot: false,
             stats: WalStats::default(),
         }
     }
 
-    /// Recover the backend's state and return a writer positioned after it.
+    /// Recover the backend's state, **physically repair** any damage found,
+    /// and return a writer positioned after the recovered history.
+    ///
+    /// Repair matters for the double-crash case: without it, appends after
+    /// a torn-tail restart would land *behind* the corrupt bytes (replay
+    /// stops at the first bad batch) and a second crash would silently lose
+    /// everything acknowledged since the first restart. A corrupt snapshot
+    /// is replaced by a fresh snapshot of the recovered state (which also
+    /// truncates the log); a torn log tail is truncated to the clean
+    /// prefix. If the snapshot rebuild fails, the writer stays marked for a
+    /// forced snapshot so the embedder retries at its next
+    /// [`Wal::snapshot_due`] check.
     pub fn open(
         mut backend: Box<dyn WalBackend>,
         config: WalConfig,
     ) -> io::Result<(Self, RecoveryReport)> {
         let report = recover(backend.as_mut())?;
-        let wal = Self::resume(backend, config, report.last_lsn);
+        let mut wal = Self::resume(backend, config, report.last_lsn);
+        if report.snapshot_corrupt {
+            wal.install_snapshot(&report.state.to_records());
+        }
+        if report.log_truncated && wal.stats.snapshots_installed == 0 {
+            wal.backend.truncate_log(report.clean_log_bytes)?;
+        }
         Ok((wal, report))
     }
 
@@ -1090,8 +1256,11 @@ impl Wal {
     }
 
     /// Commit the buffered records as one atomic CRC-framed batch. A no-op
-    /// when nothing is buffered. On backend error the batch is dropped and
-    /// counted in [`WalStats::append_errors`].
+    /// when nothing is buffered. On backend error the batch is dropped from
+    /// the log (counted in [`WalStats::append_errors`]) and the writer
+    /// flags a forced snapshot so the embedder's next [`Wal::snapshot_due`]
+    /// check resyncs the log with its in-memory state — repairing any torn
+    /// bytes the failed append left behind.
     pub fn commit(&mut self) {
         if self.pending_count == 0 {
             return;
@@ -1104,22 +1273,33 @@ impl Wal {
                 self.stats.batches_committed += 1;
                 self.stats.bytes_appended += frame.len() as u64;
                 self.records_since_snapshot += self.pending_count;
+                if self.config.fsync && self.backend.sync().is_err() {
+                    self.stats.sync_errors += 1;
+                    self.force_snapshot = true;
+                }
             }
             Err(_) => {
                 self.stats.append_errors += 1;
+                self.force_snapshot = true;
             }
         }
         self.pending.clear();
         self.pending_count = 0;
     }
 
-    /// True when enough records have accumulated for an automatic snapshot.
+    /// True when enough records have accumulated for an automatic snapshot,
+    /// or when a failed append/fsync/install forces one to resync the log
+    /// with the embedder's state (this overrides `snapshot_every == 0`).
     pub fn snapshot_due(&self) -> bool {
-        self.config.snapshot_every > 0 && self.records_since_snapshot >= self.config.snapshot_every
+        self.force_snapshot
+            || (self.config.snapshot_every > 0
+                && self.records_since_snapshot >= self.config.snapshot_every)
     }
 
     /// Serialise `records` (a full durable-state dump) as a snapshot batch
-    /// and ask the backend to install it and truncate the log.
+    /// and ask the backend to install it and truncate the log. Success
+    /// clears any pending forced snapshot; failure sets one so the install
+    /// is retried at the next [`Wal::snapshot_due`] check.
     pub fn install_snapshot(&mut self, records: &[WalRecord]) {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
@@ -1133,9 +1313,11 @@ impl Wal {
             Ok(()) => {
                 self.stats.snapshots_installed += 1;
                 self.records_since_snapshot = 0;
+                self.force_snapshot = false;
             }
             Err(_) => {
                 self.stats.snapshot_errors += 1;
+                self.force_snapshot = true;
             }
         }
     }
@@ -1358,7 +1540,13 @@ mod tests {
     #[test]
     fn snapshot_truncates_and_replay_skips_stale() {
         let backend = MemBackend::new();
-        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig { snapshot_every: 1 });
+        let mut wal = Wal::new(
+            Box::new(backend.clone()),
+            WalConfig {
+                snapshot_every: 1,
+                ..WalConfig::default()
+            },
+        );
         let mut model = DurableState::default();
         for i in 0..5 {
             let rec = rec_retain(&format!("t/{i}"), b"v");
@@ -1384,7 +1572,13 @@ mod tests {
     #[test]
     fn crash_between_install_and_truncate_does_not_double_apply() {
         let backend = MemBackend::new();
-        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig { snapshot_every: 0 });
+        let mut wal = Wal::new(
+            Box::new(backend.clone()),
+            WalConfig {
+                snapshot_every: 0,
+                ..WalConfig::default()
+            },
+        );
         let queued = WalRecord::Queued {
             client: "c".into(),
             message: DurablePublish {
@@ -1419,7 +1613,13 @@ mod tests {
     #[test]
     fn crash_before_install_keeps_old_state() {
         let backend = MemBackend::new();
-        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig { snapshot_every: 0 });
+        let mut wal = Wal::new(
+            Box::new(backend.clone()),
+            WalConfig {
+                snapshot_every: 0,
+                ..WalConfig::default()
+            },
+        );
         wal.record(&rec_retain("t/1", b"one"));
         wal.commit();
         backend.crash_next_snapshot(SnapshotCrash::BeforeInstall);
@@ -1432,7 +1632,13 @@ mod tests {
     #[test]
     fn torn_snapshot_falls_back_to_log() {
         let backend = MemBackend::new();
-        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig { snapshot_every: 0 });
+        let mut wal = Wal::new(
+            Box::new(backend.clone()),
+            WalConfig {
+                snapshot_every: 0,
+                ..WalConfig::default()
+            },
+        );
         wal.record(&rec_retain("t/1", b"one"));
         wal.commit();
         backend.crash_next_snapshot(SnapshotCrash::TornWrite(5));
@@ -1449,7 +1655,13 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         {
             let backend = FileBackend::open(&dir, "unit").unwrap();
-            let mut wal = Wal::new(Box::new(backend), WalConfig { snapshot_every: 2 });
+            let mut wal = Wal::new(
+                Box::new(backend),
+                WalConfig {
+                    snapshot_every: 2,
+                    ..WalConfig::default()
+                },
+            );
             wal.record(&rec_retain("t/1", b"one"));
             wal.record(&rec_retain("t/2", b"two"));
             wal.commit();
@@ -1487,6 +1699,231 @@ mod tests {
     }
 
     #[test]
+    fn open_physically_truncates_torn_tail() {
+        // The double-crash scenario from the review: a torn tail must be
+        // chopped off the log at open, or every batch committed after the
+        // restart sits behind the corrupt bytes and a second crash loses
+        // them all.
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(Box::new(backend.clone()), WalConfig::default());
+        wal.record(&rec_retain("t/1", b"one"));
+        wal.commit();
+        let clean = backend.log_len();
+        backend.tear_log_at(clean + 3);
+        wal.record(&rec_retain("t/2", b"two"));
+        wal.commit();
+        drop(wal); // first crash, with 3 torn bytes on the tail
+        backend.clear_tear();
+
+        let (mut wal, report) = Wal::open(Box::new(backend.clone()), WalConfig::default()).unwrap();
+        assert!(report.log_truncated);
+        assert_eq!(report.clean_log_bytes, clean);
+        assert_eq!(backend.log_len(), clean, "torn tail must be chopped");
+        wal.record(&rec_retain("t/3", b"three"));
+        wal.commit();
+        drop(wal); // second crash
+
+        let report = recover(&mut backend.clone()).unwrap();
+        assert!(!report.log_truncated, "repaired log replays cleanly");
+        assert_eq!(
+            report.state.retained.keys().collect::<Vec<_>>(),
+            vec!["t/1", "t/3"],
+            "post-restart commits must survive the second crash"
+        );
+    }
+
+    #[test]
+    fn open_rebuilds_corrupt_snapshot() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(
+            Box::new(backend.clone()),
+            WalConfig {
+                snapshot_every: 0,
+                ..WalConfig::default()
+            },
+        );
+        wal.record(&rec_retain("t/1", b"one"));
+        wal.commit();
+        // A torn snapshot replace: the crash leaves half a snapshot and
+        // the full (untruncated) log behind.
+        backend.crash_next_snapshot(SnapshotCrash::TornWrite(5));
+        wal.install_snapshot(&[rec_retain("t/1", b"one")]);
+        wal.record(&rec_retain("t/2", b"two"));
+        wal.commit();
+        drop(wal); // crash
+
+        let (wal, report) = Wal::open(Box::new(backend.clone()), WalConfig::default()).unwrap();
+        assert!(report.snapshot_corrupt);
+        assert_eq!(report.state.retained.len(), 2, "log replay salvaged all");
+        assert_eq!(wal.stats().snapshots_installed, 1, "snapshot rebuilt");
+        assert_eq!(backend.log_len(), 0, "rebuild truncated the log");
+
+        let report = recover(&mut backend.clone()).unwrap();
+        assert!(!report.snapshot_corrupt && !report.log_truncated);
+        assert_eq!(report.state.retained.len(), 2);
+    }
+
+    #[test]
+    fn append_error_forces_resync_snapshot() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(
+            Box::new(backend.clone()),
+            WalConfig {
+                snapshot_every: 0,
+                ..WalConfig::default()
+            },
+        );
+        wal.record(&rec_retain("t/1", b"one"));
+        wal.commit();
+        assert!(!wal.snapshot_due());
+        backend.tear_log_at(backend.log_len() + 2);
+        wal.record(&rec_retain("t/2", b"two"));
+        wal.commit();
+        assert_eq!(wal.stats().append_errors, 1);
+        assert!(
+            wal.snapshot_due(),
+            "a lost batch must force a resync snapshot even with snapshot_every = 0"
+        );
+        // The embedder reacts by installing a snapshot of its state; that
+        // clears the flag and replaces the torn log.
+        wal.install_snapshot(&[rec_retain("t/1", b"one"), rec_retain("t/2", b"two")]);
+        assert!(!wal.snapshot_due());
+        let report = recover(&mut backend.clone()).unwrap();
+        assert!(!report.log_truncated);
+        assert_eq!(report.state.retained.len(), 2, "nothing lost after resync");
+    }
+
+    #[test]
+    fn failed_snapshot_install_stays_due() {
+        let backend = MemBackend::new();
+        let mut wal = Wal::new(
+            Box::new(backend.clone()),
+            WalConfig {
+                snapshot_every: 0,
+                ..WalConfig::default()
+            },
+        );
+        wal.record(&rec_retain("t/1", b"one"));
+        wal.commit();
+        backend.crash_next_snapshot(SnapshotCrash::BeforeInstall);
+        wal.install_snapshot(&[rec_retain("t/1", b"one")]);
+        assert_eq!(wal.stats().snapshot_errors, 1);
+        assert!(wal.snapshot_due(), "failed install must be retried");
+        wal.install_snapshot(&[rec_retain("t/1", b"one")]);
+        assert!(!wal.snapshot_due());
+    }
+
+    #[test]
+    fn file_backend_truncates_torn_tail_on_open() {
+        let dir = std::env::temp_dir().join(format!("ifot-wal-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let clean = {
+            let backend = FileBackend::open(&dir, "unit").unwrap();
+            let mut wal = Wal::new(
+                Box::new(backend),
+                WalConfig {
+                    snapshot_every: 0,
+                    ..WalConfig::default()
+                },
+            );
+            wal.record(&rec_retain("t/1", b"one"));
+            wal.commit();
+            wal.stats().bytes_appended
+        };
+        // A machine that died mid-append: garbage on the physical tail.
+        {
+            let mut f = fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("unit.wal"))
+                .unwrap();
+            f.write_all(&[0x7f, 0x00, 0x01]).unwrap();
+        }
+        {
+            let backend = FileBackend::open(&dir, "unit").unwrap();
+            let (mut wal, report) = Wal::open(Box::new(backend), WalConfig::default()).unwrap();
+            assert!(report.log_truncated);
+            assert_eq!(report.clean_log_bytes, clean);
+            assert_eq!(
+                fs::metadata(dir.join("unit.wal")).unwrap().len(),
+                clean,
+                "open must chop the torn bytes off the file"
+            );
+            wal.record(&rec_retain("t/2", b"two"));
+            wal.commit();
+        }
+        {
+            let mut backend = FileBackend::open(&dir, "unit").unwrap();
+            let report = recover(&mut backend).unwrap();
+            assert!(!report.log_truncated);
+            assert_eq!(report.state.retained.len(), 2);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_fsync_knob_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ifot-wal-fsync-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let backend = FileBackend::open(&dir, "unit").unwrap();
+            let mut wal = Wal::new(
+                Box::new(backend),
+                WalConfig {
+                    fsync: true,
+                    ..WalConfig::default()
+                },
+            );
+            wal.record(&rec_retain("t/1", b"one"));
+            wal.commit();
+            assert_eq!(wal.stats().sync_errors, 0);
+            assert_eq!(wal.stats().batches_committed, 1);
+        }
+        {
+            let mut backend = FileBackend::open(&dir, "unit").unwrap();
+            let report = recover(&mut backend).unwrap();
+            assert_eq!(report.state.retained.len(), 1);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn to_records_round_trips_state() {
+        let mut state = DurableState::default();
+        for rec in [
+            rec_retain("t/1", b"one"),
+            WalRecord::SessionStarted {
+                client: "c".into(),
+                next_pid: 7,
+            },
+            WalRecord::Subscribed {
+                client: "c".into(),
+                filter: "a/+".into(),
+                qos: QoS::AtLeastOnce,
+            },
+            WalRecord::Queued {
+                client: "c".into(),
+                message: DurablePublish {
+                    topic: "q".into(),
+                    qos: QoS::AtLeastOnce,
+                    retain: false,
+                    payload: Bytes::from_static(b"m"),
+                },
+            },
+            WalRecord::InQos2Insert {
+                client: "c".into(),
+                pid: 3,
+            },
+        ] {
+            state.apply(&rec);
+        }
+        let mut rebuilt = DurableState::default();
+        for rec in state.to_records() {
+            rebuilt.apply(&rec);
+        }
+        assert_eq!(rebuilt, state);
+    }
+
+    #[test]
     fn parse_stream_never_panics_on_garbage() {
         for seed in 0u64..64 {
             let mut bytes = Vec::new();
@@ -1497,7 +1934,7 @@ mod tests {
                 x ^= x << 17;
                 bytes.push(x as u8);
             }
-            let (_batches, _torn) = parse_stream(&bytes);
+            let (_batches, _torn, _clean) = parse_stream(&bytes);
         }
     }
 }

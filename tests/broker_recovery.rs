@@ -696,7 +696,7 @@ fn busy_backend() -> MemBackend {
 /// Folds the parsed batches of `log` into the state after each complete
 /// batch: `states[k]` is the state once batches `0..k` applied.
 fn prefix_states(log: &[u8]) -> Vec<DurableState> {
-    let (batches, torn) = wal::parse_stream(log);
+    let (batches, torn, _clean) = wal::parse_stream(log);
     assert!(!torn, "the full log must be clean");
     let mut states = vec![DurableState::default()];
     let mut acc = DurableState::default();
@@ -757,9 +757,12 @@ fn bit_flipped_tail_recovers_a_clean_prefix_at_every_byte() {
 }
 
 #[test]
-fn torn_append_is_dropped_on_recovery() {
-    // Simulate the classic torn write: the last append only partially
-    // reached the disk. `tear_log_at` makes the *next* append stop short.
+fn torn_append_forces_resync_snapshot() {
+    // The classic torn write: an append only partially reaches the disk
+    // and the backend reports the error. The broker's in-memory state
+    // already holds the mutation, so the WAL must resync log and state
+    // with a forced snapshot *in the same barrier* — otherwise the
+    // acknowledged publish would silently diverge from the log.
     let backend = queued_backend(None, 0);
     let before = wal::recover(&mut backend.clone()).expect("recover").state;
     let whole = backend.log_len();
@@ -767,19 +770,72 @@ fn torn_append_is_dropped_on_recovery() {
     let (mut broker, _) =
         Broker::<u8>::open_durable(BrokerConfig::default(), Box::new(backend.clone()))
             .expect("reopen");
-    let mut p = Publish::qos0(topic("conf/torn"), b"lost".to_vec());
+    let mut p = Publish::qos0(topic("conf/torn"), b"kept".to_vec());
     p.retain = true;
     broker.publish_internal(p, 60);
+    let stats = broker.wal_stats().expect("durable broker has stats");
+    assert_eq!(stats.append_errors, 1, "the torn append must be counted");
+    assert!(
+        stats.snapshots_installed >= 1,
+        "a lost batch must force a resync snapshot in the same barrier: {stats:?}"
+    );
     drop(broker);
     backend.clear_tear();
 
     let report = wal::recover(&mut backend.clone()).expect("recover");
-    assert!(report.log_truncated, "the torn batch must be detected");
-    assert_eq!(
-        report.state, before,
-        "the torn append must be invisible after recovery"
+    assert!(
+        !report.log_truncated,
+        "the resync snapshot replaced the torn log: {report:?}"
     );
-    assert!(!report.state.retained.contains_key("conf/torn"));
+    assert!(
+        report.state.retained.contains_key("conf/torn"),
+        "the acknowledged publish must survive via the resync snapshot"
+    );
+    assert_eq!(
+        report.state.sessions["s"].queue.len(),
+        before.sessions["s"].queue.len(),
+        "pre-tear state must be carried over intact"
+    );
+    // And the queue still drains exactly once after the crash.
+    drain_queue(&backend).assert_exactly_once(1, 6);
+}
+
+#[test]
+fn double_crash_with_torn_tail_loses_no_post_restart_writes() {
+    // The high-severity double-crash case: a crash leaves a torn tail on
+    // the log; the restarted broker must physically repair it at open,
+    // or everything it commits afterwards sits behind the corrupt bytes
+    // and the *second* crash silently loses it.
+    let backend = queued_backend(None, 0);
+    let mut raw = backend.raw_log();
+    raw.extend_from_slice(&[0x7f, 0x00, 0x01, 0x02, 0x03]); // torn final batch
+    backend.set_raw_log(raw);
+
+    let (mut broker, report) =
+        Broker::<u8>::open_durable(BrokerConfig::default(), Box::new(backend.clone()))
+            .expect("reopen over torn tail");
+    assert!(report.log_truncated, "the torn tail must be detected");
+    assert_eq!(
+        backend.log_len(),
+        report.clean_log_bytes,
+        "open must physically truncate the torn tail"
+    );
+    let mut p = Publish::qos0(topic("conf/second"), b"survives".to_vec());
+    p.retain = true;
+    broker.publish_internal(p, 60);
+    drop(broker); // second crash
+
+    let report = wal::recover(&mut backend.clone()).expect("recover");
+    assert!(
+        !report.log_truncated,
+        "the repaired log must replay cleanly: {report:?}"
+    );
+    assert!(
+        report.state.retained.contains_key("conf/second"),
+        "writes committed after the first restart must survive the second crash"
+    );
+    assert_eq!(report.state.sessions["s"].queue.len(), 6);
+    drain_queue(&backend).assert_exactly_once(1, 6);
 }
 
 #[test]
