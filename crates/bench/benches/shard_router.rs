@@ -1,0 +1,93 @@
+//! Microbenchmarks of the shard-aware dispatch path (DESIGN.md §5):
+//! the single-pass sequence partitioner that splits a decoded frame
+//! into per-shard sub-batches, and the memoized topic→stage resolution
+//! that replaced the per-frame filter re-scan.
+//!
+//! The partitioner is the per-frame hot loop of `dispatch_flow`: one
+//! pass, one bucket push per item. The cloned variant is the fan-out
+//! case where the frame must also survive for unsharded consumers. The
+//! route-cache pair shows the hit path (one hash lookup) against the
+//! cold resolve it memoizes (filter parse per spec per topic).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ifot_core::config::{OperatorKind, OperatorSpec};
+use ifot_core::executor::router::{
+    partition_by_seq, partition_by_seq_cloned, RouteCache, RoutePlan,
+};
+use ifot_core::flow::FlowItem;
+use ifot_ml::feature::Datum;
+
+/// A representative sensor-derived flow item with a monotone sequence.
+fn item(seq: u64) -> FlowItem {
+    FlowItem {
+        topic: "sensor/sound/1".into(),
+        origin_ts_ns: 1_234_567_890 + seq * 12_500_000,
+        seq,
+        datum: Datum::new().with("sound_0", 12.5 + seq as f64),
+        label: None,
+        score: None,
+    }
+}
+
+fn frame(n: usize) -> Vec<FlowItem> {
+    (0..n as u64).map(item).collect()
+}
+
+/// The pipeline-scaling recipe's spec list: one unsharded ingest stage
+/// plus four complementary shards of a predict task.
+fn sharded_specs() -> Vec<OperatorSpec> {
+    let mut specs = vec![OperatorSpec::sink(
+        "ingest",
+        OperatorKind::Custom {
+            operator: "ingest".into(),
+        },
+        vec!["sensor/#".into()],
+    )];
+    for k in 0..4 {
+        specs.push(
+            OperatorSpec::sink(
+                format!("predict-{k}"),
+                OperatorKind::Predict {
+                    algorithm: "pa".into(),
+                },
+                vec!["sensor/#".into()],
+            )
+            .sharded(4, k),
+        );
+    }
+    specs
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_router_partition");
+    for &n in &[4usize, 16, 64] {
+        let items = frame(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("by_seq_mod4", n), &items, |b, items| {
+            b.iter(|| partition_by_seq(black_box(items.clone()), 4))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("by_seq_cloned_mod4", n),
+            &items,
+            |b, items| b.iter(|| partition_by_seq_cloned(black_box(items), 4)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_router_route");
+    let specs = sharded_specs();
+    group.bench_function("resolve_cold", |b| {
+        b.iter(|| RoutePlan::resolve(black_box(&specs), black_box("sensor/sound/1")))
+    });
+    let cache = RouteCache::new();
+    cache.resolve(&specs, "sensor/sound/1");
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| cache.resolve(black_box(&specs), black_box("sensor/sound/1")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition, bench_route);
+criterion_main!(benches);

@@ -14,6 +14,15 @@
 //! items/s; the batched path amortizes the call and follows the arrival
 //! rate — the >=2x step this codec exists for.
 //!
+//! The full sweep adds shard x batch cells: splitting the predict task
+//! into four sequence-sharded replicas splinters each arriving batch
+//! into ~quarter-size sub-batches, collapsing the amortization the
+//! batched column just bought. The `sharded4_coalesce` cell turns on
+//! stage-ingress re-coalescing (`NodeConfig::with_stage_coalescing`),
+//! which rebuilds full batches per shard before delivery and restores
+//! the batched rate (the `mean_sub_batch` column shows the executed
+//! batch size either way).
+//!
 //! A static `frame_bytes` section compares wire images for one
 //! representative sensor-derived message: the 32-byte raw sample, the
 //! JSON [`FlowMessage`] image, the binary frame, and the per-item cost
@@ -38,9 +47,16 @@ const RATE_HZ: f64 = 80.0;
 /// per-sample cell's backlog — and its shutdown drain — bounded).
 const MAILBOX: usize = 32;
 
+/// Stage-ingress re-coalescing target when a cell enables it.
+const COALESCE_BATCH_MAX: usize = 8;
+
 struct Cell {
     label: &'static str,
     batch: Option<(usize, u64)>,
+    /// Sequence-sharded predict replicas (0 = one unsharded task).
+    shards: u64,
+    /// Re-coalesce sharded sub-batches at the analysis stage ingress.
+    coalesce: bool,
 }
 
 struct CellResult {
@@ -53,31 +69,51 @@ struct CellResult {
     seconds: f64,
     items_per_sec: f64,
     delay_mean_ms: f64,
+    /// Mean executed batch size across the predict stages.
+    mean_sub_batch: f64,
 }
 
 /// Runs one cell: `seconds` of wall time at [`RATE_HZ`] sensing, with
 /// the sensor node publishing per-sample (seed behaviour) or coalescing
 /// into binary batches of up to `batch_max` items / `linger_ms` ms.
-fn run_cell(batch: Option<(usize, u64)>, seconds: f64) -> CellResult {
+/// With `shards > 0` the predict task splits into that many
+/// complementary sequence shards; `coalesce` re-coalesces the resulting
+/// sub-batches at stage ingress before delivery.
+fn run_cell(cell: &Cell, seconds: f64) -> CellResult {
     let mut sensor = NodeConfig::new("sensor-node")
         .with_broker_node("broker")
         .with_sensor(SensorSpec::new(SensorKind::Sound, 1, RATE_HZ, 7));
-    if let Some((batch_max, linger_ms)) = batch {
+    if let Some((batch_max, linger_ms)) = cell.batch {
         sensor = sensor
             .with_wire_format(WireFormat::Binary)
             .with_batching(batch_max, linger_ms);
     }
-    let analysis = NodeConfig::new("analysis")
-        .with_broker_node("broker")
-        .with_operator(OperatorSpec::sink(
-            "predict",
+    let predict = |id: String| {
+        OperatorSpec::sink(
+            id,
             OperatorKind::Predict {
                 algorithm: "pa".into(),
             },
             vec!["sensor/#".into()],
-        ))
+        )
+    };
+    let mut analysis = NodeConfig::new("analysis").with_broker_node("broker");
+    if cell.shards == 0 {
+        analysis = analysis.with_operator(predict("predict".into()));
+    } else {
+        for k in 0..cell.shards {
+            analysis =
+                analysis.with_operator(predict(format!("predict-{k}")).sharded(cell.shards, k));
+        }
+    }
+    analysis = analysis
         .with_workers(1)
         .with_mailbox(MAILBOX, ShedPolicy::ShedOldest);
+    if cell.coalesce {
+        analysis = analysis
+            .with_batching(COALESCE_BATCH_MAX, 50)
+            .with_stage_coalescing();
+    }
     let cluster = ClusterBuilder::new()
         .node(NodeConfig::new("broker").with_broker())
         .node(sensor)
@@ -94,6 +130,18 @@ fn run_cell(batch: Option<(usize, u64)>, seconds: f64) -> CellResult {
 
     let predicted = report.metrics.counter("predicted");
     let delay = report.metrics.latency_summary("sensing_to_predicting");
+    // Every analysis stage here is a predict replica.
+    let stats = report
+        .node("analysis")
+        .expect("analysis node present")
+        .stage_stats();
+    let batched_items: u64 = stats.iter().map(|s| s.batched_items).sum();
+    let batch_entries: u64 = stats.iter().map(|s| s.batch_entries).sum();
+    let mean_sub_batch = if batch_entries > 0 {
+        batched_items as f64 / batch_entries as f64
+    } else {
+        0.0
+    };
     CellResult {
         // Per-item accounting: `published` counts MQTT frames (1 per
         // batch), `flow_items_published` counts the samples inside.
@@ -106,6 +154,7 @@ fn run_cell(batch: Option<(usize, u64)>, seconds: f64) -> CellResult {
         seconds: elapsed,
         items_per_sec: predicted as f64 / elapsed,
         delay_mean_ms: delay.mean_ms,
+        mean_sub_batch,
     }
 }
 
@@ -129,35 +178,29 @@ fn json_image(m: &FlowMessage) -> String {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let seconds = if quick { 1.5 } else { 3.0 };
+    let cell = |label: &'static str, batch, shards, coalesce| Cell {
+        label,
+        batch,
+        shards,
+        coalesce,
+    };
     let cells: Vec<Cell> = if quick {
         vec![
-            Cell {
-                label: "per_sample",
-                batch: None,
-            },
-            Cell {
-                label: "binary_batch16_linger50",
-                batch: Some((16, 50)),
-            },
+            cell("per_sample", None, 0, false),
+            cell("binary_batch16_linger50", Some((16, 50)), 0, false),
         ]
     } else {
         vec![
-            Cell {
-                label: "per_sample",
-                batch: None,
-            },
-            Cell {
-                label: "binary_batch8_linger25",
-                batch: Some((8, 25)),
-            },
-            Cell {
-                label: "binary_batch16_linger50",
-                batch: Some((16, 50)),
-            },
-            Cell {
-                label: "binary_batch32_linger100",
-                batch: Some((32, 100)),
-            },
+            cell("per_sample", None, 0, false),
+            cell("binary_batch8_linger25", Some((8, 25)), 0, false),
+            cell("binary_batch16_linger50", Some((16, 50)), 0, false),
+            cell("binary_batch32_linger100", Some((32, 100)), 0, false),
+            // Shard x batch: splitting the predict task four ways
+            // splinters each frame into ~4-item sub-batches (the
+            // amortization collapse), and stage-ingress re-coalescing
+            // rebuilds full batches per shard (the recovery).
+            cell("sharded4_batch16", Some((16, 50)), 4, false),
+            cell("sharded4_batch16_coalesce", Some((16, 50)), 4, true),
         ]
     };
 
@@ -191,10 +234,13 @@ fn main() {
     let mut per_sample_rate: Option<f64> = None;
     let mut best_batch_rate: f64 = 0.0;
     for (i, cell) in cells.iter().enumerate() {
-        let r = run_cell(cell.batch, seconds);
+        let r = run_cell(cell, seconds);
         match cell.batch {
             None => per_sample_rate = Some(r.items_per_sec),
-            Some(_) => best_batch_rate = best_batch_rate.max(r.items_per_sec),
+            // The unsharded batched column drives the quick-mode
+            // speedup gate; sharded cells are reported, not gated.
+            Some(_) if cell.shards == 0 => best_batch_rate = best_batch_rate.max(r.items_per_sec),
+            Some(_) => {}
         }
         let (batch_max, linger_ms) = cell.batch.unwrap_or((1, 0));
         let bytes_per_item = if r.frame_items > 0 {
@@ -204,11 +250,13 @@ fn main() {
         };
         let comma = if i + 1 == cells.len() { "" } else { "," };
         println!(
-            "    {{ \"cell\": \"{}\", \"wire\": \"{}\", \"batch_max\": {}, \"linger_ms\": {}, \"sensed\": {}, \"predicted\": {}, \"predict_batch_calls\": {}, \"frames\": {}, \"frame_items\": {}, \"frame_bytes\": {}, \"bytes_per_item\": {:.1}, \"seconds\": {:.2}, \"items_per_sec\": {:.1}, \"delay_mean_ms\": {:.2} }}{comma}",
+            "    {{ \"cell\": \"{}\", \"wire\": \"{}\", \"batch_max\": {}, \"linger_ms\": {}, \"shards\": {}, \"coalesce\": {}, \"sensed\": {}, \"predicted\": {}, \"predict_batch_calls\": {}, \"frames\": {}, \"frame_items\": {}, \"frame_bytes\": {}, \"bytes_per_item\": {:.1}, \"seconds\": {:.2}, \"items_per_sec\": {:.1}, \"delay_mean_ms\": {:.2}, \"mean_sub_batch\": {:.2} }}{comma}",
             cell.label,
             if cell.batch.is_some() { "binary" } else { "raw" },
             batch_max,
             linger_ms,
+            cell.shards,
+            cell.coalesce,
             r.sensed,
             r.predicted,
             r.batch_calls,
@@ -219,6 +267,7 @@ fn main() {
             r.seconds,
             r.items_per_sec,
             r.delay_mean_ms,
+            r.mean_sub_batch,
         );
     }
     println!("  ],");

@@ -16,10 +16,21 @@
 //! backpressures the node loop, the shed policies bound the mailbox and
 //! count their drops.
 //!
+//! A third column re-coalesces at the analysis node's stage ingress
+//! (`NodeConfig::with_stage_coalescing`): sharding splits each arriving
+//! frame four ways, so without re-coalescing a sharded predict replica
+//! sees ~1-item sub-batches and pays the full per-call model cost per
+//! item. The coalesced cells accumulate sub-batches back up to the
+//! node's `batch_max` before delivery, amortizing the call — the
+//! `mean_sub_batch` field reports the mean batch size the predict
+//! stages actually executed.
+//!
 //! Reported per cell: sensed publishes, ingested items, predictions,
-//! predictions/s, mailbox drops, and the sensing-to-predicting delay
-//! (mean/max ms). A `speedup_w4_over_w1` summary compares the
-//! highest-rate shed-oldest cells.
+//! predictions/s, mailbox drops, the sensing-to-predicting delay
+//! (mean/max ms), and the mean executed sub-batch size on the predict
+//! stages. Summaries: `speedup_w4_over_w1` compares the highest-rate
+//! shed-oldest cells; `speedup_coalesce_w1` compares the 80 Hz
+//! single-worker coalesced cell against the per-item sharded baseline.
 //!
 //! Run with `cargo run --release -p ifot-bench --bin pipeline_scaling`
 //! (add `--quick` for a CI smoke run with two cells).
@@ -36,12 +47,25 @@ const SHARDS: u64 = 4;
 /// Per-stage mailbox bound: small enough that an 80 Hz overload engages
 /// the shed policy within a cell's runtime.
 const MAILBOX: usize = 32;
+/// Stage-ingress re-coalescing target on the analysis node: sub-batches
+/// accumulate per sharded stage up to this size before delivery.
+const COALESCE_BATCH_MAX: usize = 8;
+
+struct CellSpec {
+    rate_hz: f64,
+    workers: usize,
+    policy: ShedPolicy,
+    batch: Option<(usize, u64)>,
+    /// Re-coalesce sharded sub-batches at the analysis stage ingress.
+    coalesce: bool,
+}
 
 struct CellResult {
     rate_hz: f64,
     workers: usize,
     policy: ShedPolicy,
     batch: Option<(usize, u64)>,
+    coalesce: bool,
     sensed: u64,
     ingested: u64,
     predicted: u64,
@@ -51,6 +75,9 @@ struct CellResult {
     shed: u64,
     delay_mean_ms: f64,
     delay_max_ms: f64,
+    /// Mean executed batch size across the sharded predict stages
+    /// (`Σ batched_items / Σ batch_entries` over their `StageStats`).
+    mean_sub_batch: f64,
 }
 
 fn policy_name(policy: ShedPolicy) -> &'static str {
@@ -65,14 +92,17 @@ fn policy_name(policy: ShedPolicy) -> &'static str {
 /// analysis node's executor configured to `workers`/`policy`. With
 /// `batch = Some((max, linger_ms))` the sensor node coalesces samples
 /// into compact binary `FlowBatch` frames instead of the seed's
-/// one-frame-per-sample publishes.
-fn run_cell(
-    rate_hz: f64,
-    workers: usize,
-    policy: ShedPolicy,
-    batch: Option<(usize, u64)>,
-    seconds: f64,
-) -> CellResult {
+/// one-frame-per-sample publishes. With `coalesce` the analysis node
+/// re-coalesces per-shard sub-batches up to [`COALESCE_BATCH_MAX`] at
+/// stage ingress before delivering to the predict replicas.
+fn run_cell(spec: &CellSpec, seconds: f64) -> CellResult {
+    let &CellSpec {
+        rate_hz,
+        workers,
+        policy,
+        batch,
+        coalesce,
+    } = spec;
     // Multi-stage recipe: an ingest accounting stage plus `SHARDS`
     // replicas of the predict task with complementary sequence shards,
     // all fed from the raw sensor stream (binary sample payloads; the
@@ -88,6 +118,11 @@ fn run_cell(
         ))
         .with_workers(workers)
         .with_mailbox(MAILBOX, policy);
+    if coalesce {
+        analysis = analysis
+            .with_batching(COALESCE_BATCH_MAX, 50)
+            .with_stage_coalescing();
+    }
     for k in 0..SHARDS {
         analysis = analysis.with_operator(
             OperatorSpec::sink(
@@ -124,18 +159,27 @@ fn run_cell(
 
     let predicted = report.metrics.counter("predicted");
     let delay = report.metrics.latency_summary("sensing_to_predicting");
-    let shed: u64 = report
+    let stats = report
         .node("analysis")
         .expect("analysis node present")
-        .stage_stats()
-        .iter()
-        .map(|s| s.shed_oldest + s.shed_newest)
-        .sum();
+        .stage_stats();
+    let shed: u64 = stats.iter().map(|s| s.shed_oldest + s.shed_newest).sum();
+    // Stage 0 is the unsharded ingest stage; 1..=SHARDS are the predict
+    // replicas whose executed batch sizes the coalescer is meant to lift.
+    let predict_stats = &stats[1..=SHARDS as usize];
+    let batched_items: u64 = predict_stats.iter().map(|s| s.batched_items).sum();
+    let batch_entries: u64 = predict_stats.iter().map(|s| s.batch_entries).sum();
+    let mean_sub_batch = if batch_entries > 0 {
+        batched_items as f64 / batch_entries as f64
+    } else {
+        0.0
+    };
     CellResult {
         rate_hz,
         workers,
         policy,
         batch,
+        coalesce,
         // Per-item accounting: `published` counts MQTT frames (1 per
         // batch), `flow_items_published` counts the samples inside.
         sensed: report.metrics.counter("flow_items_published"),
@@ -147,24 +191,36 @@ fn run_cell(
         shed,
         delay_mean_ms: delay.mean_ms,
         delay_max_ms: delay.max_ms,
+        mean_sub_batch,
     }
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let seconds = if quick { 1.5 } else { 3.0 };
-    type CellSpec = (f64, usize, ShedPolicy, Option<(usize, u64)>);
+    let cell = |rate_hz: f64, workers: usize, policy: ShedPolicy, batch, coalesce| CellSpec {
+        rate_hz,
+        workers,
+        policy,
+        batch,
+        coalesce,
+    };
     let cells: Vec<CellSpec> = if quick {
         vec![
             // Sub-saturation accounting check: every sensed sample must
             // be ingested and predicted (the phased shutdown drains
             // in-flight items instead of dropping the tail).
-            (5.0, 1, ShedPolicy::Block, None),
-            (80.0, 1, ShedPolicy::ShedOldest, None),
-            (80.0, 4, ShedPolicy::ShedOldest, None),
+            cell(5.0, 1, ShedPolicy::Block, None, false),
+            cell(80.0, 1, ShedPolicy::ShedOldest, None, false),
+            cell(80.0, 4, ShedPolicy::ShedOldest, None, false),
             // Codec x batch smoke: the binary micro-batched flow path
             // through the same sharded recipe.
-            (80.0, 4, ShedPolicy::ShedOldest, Some((16, 50))),
+            cell(80.0, 4, ShedPolicy::ShedOldest, Some((16, 50)), false),
+            // Sharded x coalesced smoke: re-coalescing at stage ingress
+            // must conserve the flow and rebuild near-batch_max batches
+            // on the predict shards.
+            cell(80.0, 1, ShedPolicy::ShedOldest, Some((16, 50)), true),
+            cell(80.0, 4, ShedPolicy::ShedOldest, Some((16, 50)), true),
         ]
     } else {
         let mut cells: Vec<CellSpec> = Vec::new();
@@ -175,14 +231,28 @@ fn main() {
                     ShedPolicy::ShedOldest,
                     ShedPolicy::ShedNewest,
                 ] {
-                    cells.push((rate, workers, policy, None));
+                    cells.push(cell(rate, workers, policy, None, false));
                 }
             }
         }
-        // Binary micro-batched variants of the shed-oldest column.
+        // Binary micro-batched variants of the shed-oldest column, with
+        // and without stage-ingress re-coalescing.
         for &rate in &[5.0, 20.0, 80.0] {
             for &workers in &[1usize, 4] {
-                cells.push((rate, workers, ShedPolicy::ShedOldest, Some((16, 50))));
+                cells.push(cell(
+                    rate,
+                    workers,
+                    ShedPolicy::ShedOldest,
+                    Some((16, 50)),
+                    false,
+                ));
+                cells.push(cell(
+                    rate,
+                    workers,
+                    ShedPolicy::ShedOldest,
+                    Some((16, 50)),
+                    true,
+                ));
             }
         }
         cells
@@ -201,35 +271,56 @@ fn main() {
     println!("  \"results\": [");
     let mut w1_peak: Option<f64> = None;
     let mut w4_peak: Option<f64> = None;
+    let mut coalesce_w1: Option<f64> = None;
     let mut subsat: Option<(u64, u64, u64)> = None;
+    let mut coalesced_conservation: Vec<(u64, u64, u64)> = Vec::new();
+    let mut coalesced_mean_sub_batch: Option<f64> = None;
     let mut batched_predictions: u64 = 0;
-    let max_rate = cells.iter().map(|&(r, _, _, _)| r).fold(0.0f64, f64::max);
-    for (i, &(rate, workers, policy, batch)) in cells.iter().enumerate() {
-        let r = run_cell(rate, workers, policy, batch, seconds);
-        if rate == max_rate && policy == ShedPolicy::ShedOldest && batch.is_none() {
-            if workers == 1 {
-                w1_peak = Some(r.items_per_sec);
+    let max_rate = cells.iter().map(|c| c.rate_hz).fold(0.0f64, f64::max);
+    for (i, spec) in cells.iter().enumerate() {
+        let r = run_cell(spec, seconds);
+        if spec.rate_hz == max_rate && spec.policy == ShedPolicy::ShedOldest {
+            if spec.batch.is_none() && !spec.coalesce {
+                if spec.workers == 1 {
+                    w1_peak = Some(r.items_per_sec);
+                }
+                if spec.workers == 4 {
+                    w4_peak = Some(r.items_per_sec);
+                }
             }
-            if workers == 4 {
-                w4_peak = Some(r.items_per_sec);
+            if spec.coalesce {
+                if spec.workers == 1 {
+                    coalesce_w1 = Some(r.items_per_sec);
+                }
+                if spec.workers == 4 {
+                    coalesced_mean_sub_batch = Some(r.mean_sub_batch);
+                }
             }
         }
-        if rate == 5.0 && policy == ShedPolicy::Block && batch.is_none() && subsat.is_none() {
+        if spec.rate_hz == 5.0
+            && spec.policy == ShedPolicy::Block
+            && spec.batch.is_none()
+            && subsat.is_none()
+        {
             subsat = Some((r.sensed, r.ingested, r.predicted));
         }
-        if batch.is_some() {
+        if spec.coalesce {
+            coalesced_conservation.push((r.sensed, r.ingested, r.predicted));
+        }
+        if spec.batch.is_some() {
             batched_predictions += r.predicted;
         }
         let (batch_max, linger_ms) = r.batch.unwrap_or((1, 0));
         let comma = if i + 1 == cells.len() { "" } else { "," };
         println!(
-            "    {{ \"rate_hz\": {}, \"workers\": {}, \"policy\": \"{}\", \"wire\": \"{}\", \"batch_max\": {}, \"linger_ms\": {}, \"sensed\": {}, \"ingested\": {}, \"predicted\": {}, \"frames\": {}, \"seconds\": {:.2}, \"items_per_sec\": {:.1}, \"shed\": {}, \"delay_mean_ms\": {:.2}, \"delay_max_ms\": {:.2} }}{comma}",
+            "    {{ \"rate_hz\": {}, \"workers\": {}, \"policy\": \"{}\", \"wire\": \"{}\", \"batch_max\": {}, \"linger_ms\": {}, \"coalesce\": {}, \"sensed\": {}, \"ingested\": {}, \"predicted\": {}, \"frames\": {}, \"seconds\": {:.2}, \"items_per_sec\": {:.1}, \"shed\": {}, \"delay_mean_ms\": {:.2}, \"delay_max_ms\": {:.2}, \"mean_sub_batch\": {:.2} }}{comma}",
             r.rate_hz,
             r.workers,
             policy_name(r.policy),
             if r.batch.is_some() { "binary" } else { "raw" },
             batch_max,
             linger_ms,
+            r.coalesce,
             r.sensed,
             r.ingested,
             r.predicted,
@@ -239,6 +330,7 @@ fn main() {
             r.shed,
             r.delay_mean_ms,
             r.delay_max_ms,
+            r.mean_sub_batch,
         );
     }
     println!("  ],");
@@ -246,7 +338,15 @@ fn main() {
         (Some(one), Some(four)) if one > 0.0 => four / one,
         _ => 0.0,
     };
-    println!("  \"speedup_w4_over_w1\": {speedup:.2}");
+    println!("  \"speedup_w4_over_w1\": {speedup:.2},");
+    // Re-coalescing vs the per-item sharded baseline on one worker: the
+    // CPU-bound configuration where amortizing the per-call model cost
+    // shows up directly as throughput.
+    let speedup_coalesce = match (w1_peak, coalesce_w1) {
+        (Some(base), Some(co)) if base > 0.0 => co / base,
+        _ => 0.0,
+    };
+    println!("  \"speedup_coalesce_w1\": {speedup_coalesce:.2}");
     println!("}}");
     if quick {
         // CI smoke: the pooled path must make progress on both cells.
@@ -265,6 +365,30 @@ fn main() {
         assert!(
             batched_predictions > 0,
             "codec x batch cell produced no predictions"
+        );
+        // Sharded x coalesced accounting: stage-ingress re-coalescing
+        // buffers sub-batches, so the drain must hand every buffered
+        // item to its shard — nothing lost across the shard cover.
+        for (sensed, ingested, predicted) in &coalesced_conservation {
+            assert!(
+                sensed == ingested && sensed == predicted,
+                "coalesced cell lost items: sensed={sensed} ingested={ingested} predicted={predicted}"
+            );
+        }
+        // Re-coalescing must rebuild near-batch_max batches on the
+        // 4-way sharded predict stages (>= 0.75 x batch_max), not
+        // deliver the ~1-item splinters sharding produces.
+        let mean = coalesced_mean_sub_batch.expect("coalesced cell present");
+        assert!(
+            mean >= 0.75 * COALESCE_BATCH_MAX as f64,
+            "coalesced predict stages saw mean sub-batch {mean:.2} < 0.75 x {COALESCE_BATCH_MAX}"
+        );
+        // The point of re-coalescing: a single worker amortizes the
+        // per-call model cost and must clearly beat the per-item
+        // sharded baseline at the same rate.
+        assert!(
+            speedup_coalesce >= 1.5,
+            "coalesced w1 cell did not reach 1.5x the per-item sharded baseline: {speedup_coalesce:.2}"
         );
     }
 }

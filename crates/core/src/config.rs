@@ -348,6 +348,19 @@ pub struct NodeConfig {
     /// to roughly the time a full batch takes to accumulate. The
     /// configured `batch_linger_ms` stays the upper bound.
     pub adaptive_linger: bool,
+    /// Ingress re-coalescing for sequence-sharded stages: a sharded
+    /// replica receives `1/modulus` of every frame, so batch
+    /// amortization collapses exactly where replication should buy
+    /// throughput. When enabled, dispatch accumulates each sharded
+    /// stage's sub-batches across consecutive frames up to `batch_max`
+    /// items, bounded by a linger derived from the observed frame
+    /// inter-arrival EWMA (same constants as the adaptive publish
+    /// linger, capped well inside the 1.6 s real-time bound), and
+    /// flushes on the size trigger, the linger timer, any control
+    /// message or stage timer for that stage, and shutdown. Off by
+    /// default: per-frame dispatch order — and therefore seeded netsim
+    /// trace digests — is unchanged at defaults.
+    pub stage_coalesce: bool,
 }
 
 impl NodeConfig {
@@ -375,6 +388,7 @@ impl NodeConfig {
             batch_max: 32,
             batch_linger_ms: 0,
             adaptive_linger: false,
+            stage_coalesce: false,
         }
     }
 
@@ -398,6 +412,15 @@ impl NodeConfig {
     /// meaningful together with [`NodeConfig::with_batching`].
     pub fn with_adaptive_linger(mut self) -> Self {
         self.adaptive_linger = true;
+        self
+    }
+
+    /// Re-coalesces sequence-shard sub-batches at dispatch so sharded
+    /// replicas see full batches again (builder style; see
+    /// [`NodeConfig::stage_coalesce`]). `batch_max` bounds the merged
+    /// batch size.
+    pub fn with_stage_coalescing(mut self) -> Self {
+        self.stage_coalesce = true;
         self
     }
 

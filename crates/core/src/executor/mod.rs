@@ -24,6 +24,7 @@
 
 pub mod ops;
 pub mod pool;
+pub mod router;
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -103,6 +104,11 @@ pub enum WorkItem {
     /// A coalesced batch of flow items: occupies one mailbox slot and
     /// is dispatched as one [`StreamOperator::on_batch`] call.
     Batch(Vec<FlowItem>),
+    /// A batch fanned out to several stages without copying: every
+    /// consumer holds one reference; at execution the last holder
+    /// unwraps the allocation for free and earlier holders clone
+    /// lazily. Semantically identical to [`WorkItem::Batch`].
+    SharedBatch(Arc<Vec<FlowItem>>),
     /// A control-plane message.
     Control(ControlMsg),
     /// A periodic tick.
@@ -116,12 +122,16 @@ impl WorkItem {
         match self {
             WorkItem::Item(_) => 1,
             WorkItem::Batch(items) => items.len(),
+            WorkItem::SharedBatch(items) => items.len(),
             WorkItem::Control(_) | WorkItem::Timer(_) => 0,
         }
     }
 
     fn sheddable(&self) -> bool {
-        matches!(self, WorkItem::Item(_) | WorkItem::Batch(_))
+        matches!(
+            self,
+            WorkItem::Item(_) | WorkItem::Batch(_) | WorkItem::SharedBatch(_)
+        )
     }
 }
 
@@ -142,8 +152,12 @@ pub struct StageStats {
     pub max_depth: usize,
     /// Total nanoseconds items spent queued before execution.
     pub wait_ns_total: u64,
-    /// Flow items delivered inside [`WorkItem::Batch`] entries.
+    /// Flow items delivered inside [`WorkItem::Batch`] /
+    /// [`WorkItem::SharedBatch`] entries.
     pub batched_items: u64,
+    /// Batch entries executed (the divisor of the mean batch size —
+    /// single-item and control/timer deliveries are not counted).
+    pub batch_entries: u64,
     /// High-water queue wait (nanoseconds) of any executed entry.
     pub max_wait_ns: u64,
     /// Shed-policy escalations (`Block` → `ShedOldest`) this stage
@@ -163,6 +177,16 @@ impl StageStats {
             0.0
         } else {
             self.wait_ns_total as f64 / self.processed as f64 / 1e6
+        }
+    }
+
+    /// Mean items per executed batch entry — the sub-batch size a stage
+    /// actually sees, which shard routing would otherwise collapse.
+    pub fn mean_batch_items(&self) -> f64 {
+        if self.batch_entries == 0 {
+            0.0
+        } else {
+            self.batched_items as f64 / self.batch_entries as f64
         }
     }
 }
@@ -289,6 +313,15 @@ impl ExecutorStage {
             WorkItem::Item(item) => self.op.on_item(env, item),
             WorkItem::Batch(items) => {
                 self.stats.batched_items += items.len() as u64;
+                self.stats.batch_entries += 1;
+                self.op.on_batch(env, items)
+            }
+            WorkItem::SharedBatch(shared) => {
+                self.stats.batched_items += shared.len() as u64;
+                self.stats.batch_entries += 1;
+                // Last holder takes the allocation, earlier fan-out
+                // consumers clone here (lazily, at execution time).
+                let items = Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone());
                 self.op.on_batch(env, items)
             }
             WorkItem::Control(msg) => self.op.on_control(env, &msg),
@@ -391,11 +424,14 @@ impl StageCell {
 
 /// The compiled executor graph of a node: one stage per configured
 /// operator, plus a lock-free copy of every spec so admission checks
-/// (topic filters, shards) never take a stage lock.
+/// (topic filters, shards) never take a stage lock, and a memoized
+/// topic→accepting-stages cache derived from those specs (any future
+/// spec mutation must call [`ExecutorGraph::invalidate_routes`]).
 #[derive(Debug)]
 pub struct ExecutorGraph {
     cells: Vec<Arc<StageCell>>,
     specs: Vec<OperatorSpec>,
+    routes: router::RouteCache,
 }
 
 impl ExecutorGraph {
@@ -413,7 +449,23 @@ impl ExecutorGraph {
                 Arc::new(StageCell::new(stage))
             })
             .collect();
-        ExecutorGraph { cells, specs }
+        ExecutorGraph {
+            cells,
+            specs,
+            routes: router::RouteCache::new(),
+        }
+    }
+
+    /// The memoized route plan for `topic` (resolved on first use; hits
+    /// are allocation-free and never re-parse a topic filter).
+    pub fn route(&self, topic: &str) -> Arc<router::RoutePlan> {
+        self.routes.resolve(&self.specs, topic)
+    }
+
+    /// Drops the memoized route plans. Must accompany any mutation of
+    /// the specs, mirroring the MQTT tree's match-cache contract.
+    pub fn invalidate_routes(&self) {
+        self.routes.invalidate();
     }
 
     /// Number of stages.
@@ -434,6 +486,11 @@ impl ExecutorGraph {
     /// Shared handles to every stage, for the worker pool.
     pub fn cells(&self) -> Vec<Arc<StageCell>> {
         self.cells.clone()
+    }
+
+    /// Inline: runs any work item through stage `index` to completion.
+    pub fn offer(&self, env: &mut dyn NodeEnv, index: usize, work: WorkItem) -> Vec<OpOutput> {
+        self.cells[index].offer_inline(env, work)
     }
 
     /// Inline: runs one item through stage `index` to completion.

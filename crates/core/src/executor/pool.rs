@@ -7,6 +7,15 @@
 //! (operators are stateful) — so parallel speedup comes from *multiple*
 //! stages, e.g. a sequence-sharded operator replicated across stages.
 //!
+//! Zero-clone fan-out crosses this boundary: when the router enqueues
+//! one `WorkItem::SharedBatch` to several stages, those stages may pop
+//! their `Arc` handles on different workers concurrently. `step_pooled`
+//! resolves ownership per handle at execution time — the last handle
+//! alive unwraps the batch in place, earlier ones clone — so in pooled
+//! mode the clone count depends on drain order (between zero and
+//! `consumers - 1` copies) while inline mode, which executes stages in
+//! order, always gets the free unwrap on the final consumer.
+//!
 //! Workers perform no routing: every output batch is handed to the
 //! `deliver` callback, which the thread runtime wires back to the node
 //! thread's own channel. The node thread stays the sole router,

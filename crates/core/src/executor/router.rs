@@ -1,0 +1,276 @@
+//! Shard-aware flow routing: memoized topic→stage resolution and the
+//! single-pass sequence partitioner.
+//!
+//! Dispatching a decoded frame used to re-scan the operator specs per
+//! stage (`TopicFilter` parse per filter per frame) and re-filter the
+//! item list per sequence shard (one pass + one clone per replica). The
+//! [`RouteCache`] memoizes the topic→accepting-stages resolution the way
+//! the MQTT tree memoizes topic matches — every mutation of the
+//! underlying specs invalidates the whole cache, a capacity cap clears
+//! it when full — and [`partition_by_seq`] splits a frame into per-shard
+//! sub-batches in one pass over the items.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::config::OperatorSpec;
+use crate::flow::FlowItem;
+
+/// Resolved plans cached per topic; cleared when full (same policy as
+/// the MQTT tree's match cache).
+const ROUTE_CACHE_CAP: usize = 1024;
+
+/// One accepting stage in a [`RoutePlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageRoute {
+    /// Stage index into the executor graph.
+    pub stage: usize,
+    /// The stage's sequence shard, if any.
+    pub shard: Option<(u64, u64)>,
+    /// Whether this is the last route claiming its delivery source (the
+    /// whole frame for unsharded routes, one `(modulus, index)` bucket
+    /// for sharded ones). The last claimant takes the source by move;
+    /// earlier claimants receive clones — so single-consumer topologies
+    /// never copy an item list.
+    pub last: bool,
+}
+
+/// The accepting stages for one topic, in stage order, with the shard
+/// bookkeeping dispatch needs to partition a frame in a single pass.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoutePlan {
+    /// Accepting stages in executor-graph order.
+    pub stages: Vec<StageRoute>,
+    /// Distinct shard moduli among the sharded routes, in
+    /// first-appearance order.
+    pub moduli: Vec<u64>,
+    /// Number of unsharded routes in `stages`.
+    pub unsharded: usize,
+}
+
+impl RoutePlan {
+    /// Resolves the accepting stages for `topic` against `specs`.
+    pub fn resolve(specs: &[OperatorSpec], topic: &str) -> Self {
+        let mut plan = RoutePlan::default();
+        for (i, spec) in specs.iter().enumerate() {
+            if !spec.accepts(topic) {
+                continue;
+            }
+            match spec.shard {
+                Some((modulus, _)) => {
+                    if !plan.moduli.contains(&modulus) {
+                        plan.moduli.push(modulus);
+                    }
+                }
+                None => plan.unsharded += 1,
+            }
+            plan.stages.push(StageRoute {
+                stage: i,
+                shard: spec.shard,
+                last: false,
+            });
+        }
+        // Mark the last claimant of every delivery source: `None` keys
+        // the whole frame, `Some((m, i))` keys one shard bucket (two
+        // replicas configured with the same shard both claim it; only
+        // the later one may take it by move).
+        let mut seen: HashSet<Option<(u64, u64)>> = HashSet::new();
+        for route in plan.stages.iter_mut().rev() {
+            route.last = seen.insert(route.shard);
+        }
+        plan
+    }
+
+    /// Whether no stage accepts the topic.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Position of `modulus` in [`RoutePlan::moduli`].
+    pub fn modulus_slot(&self, modulus: u64) -> usize {
+        self.moduli
+            .iter()
+            .position(|&m| m == modulus)
+            .expect("modulus registered during resolve")
+    }
+}
+
+/// A mutation-invalidated memo of topic→[`RoutePlan`] resolutions.
+///
+/// Owned by [`crate::executor::ExecutorGraph`] next to the specs it is
+/// derived from: the graph clears it on any spec mutation (none exist
+/// today — the graph is compiled once per node — but the coupling keeps
+/// the invariant structural, exactly like the subscription tree owning
+/// its match cache).
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    cache: RefCell<HashMap<String, Arc<RoutePlan>>>,
+}
+
+impl RouteCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized plan for `topic`, resolving and inserting on miss.
+    /// A hit returns the shared plan without touching the specs.
+    pub fn resolve(&self, specs: &[OperatorSpec], topic: &str) -> Arc<RoutePlan> {
+        if let Some(plan) = self.cache.borrow().get(topic) {
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(RoutePlan::resolve(specs, topic));
+        let mut cache = self.cache.borrow_mut();
+        if cache.len() >= ROUTE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(topic.to_owned(), Arc::clone(&plan));
+        plan
+    }
+
+    /// Drops every memoized plan (call after any spec mutation).
+    pub fn invalidate(&self) {
+        self.cache.borrow_mut().clear();
+    }
+
+    /// Memoized topics (monitoring/tests).
+    pub fn len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Whether nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.cache.borrow().is_empty()
+    }
+}
+
+/// Partitions `items` by `seq % modulus` into `modulus` buckets in one
+/// pass, consuming the input (no clones). Every item lands in exactly
+/// one bucket and intra-bucket order preserves input order.
+pub fn partition_by_seq(items: Vec<FlowItem>, modulus: u64) -> Vec<Vec<FlowItem>> {
+    let modulus = modulus.max(1);
+    let mut buckets = new_buckets(items.len(), modulus);
+    for item in items {
+        buckets[(item.seq % modulus) as usize].push(item);
+    }
+    buckets
+}
+
+/// Like [`partition_by_seq`] but clones out of a borrowed frame (used
+/// when the frame must also survive for unsharded consumers).
+pub fn partition_by_seq_cloned(items: &[FlowItem], modulus: u64) -> Vec<Vec<FlowItem>> {
+    let modulus = modulus.max(1);
+    let mut buckets = new_buckets(items.len(), modulus);
+    for item in items {
+        buckets[(item.seq % modulus) as usize].push(item.clone());
+    }
+    buckets
+}
+
+fn new_buckets(len: usize, modulus: u64) -> Vec<Vec<FlowItem>> {
+    let m = usize::try_from(modulus).unwrap_or(usize::MAX).max(1);
+    // Uniform sequences fill buckets evenly; reserve that expectation.
+    let per_bucket = len / m + 1;
+    (0..m).map(|_| Vec::with_capacity(per_bucket)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OperatorKind;
+    use ifot_ml::feature::Datum;
+
+    fn item(seq: u64) -> FlowItem {
+        FlowItem {
+            topic: "sensor/p".into(),
+            origin_ts_ns: seq,
+            seq,
+            datum: Datum::new().with("x", seq as f64),
+            label: None,
+            score: None,
+        }
+    }
+
+    fn custom(id: &str, inputs: Vec<String>) -> OperatorSpec {
+        OperatorSpec::sink(
+            id,
+            OperatorKind::Custom {
+                operator: id.to_owned(),
+            },
+            inputs,
+        )
+    }
+
+    #[test]
+    fn partition_is_an_exact_cover_in_order() {
+        let items: Vec<FlowItem> = (0..37).map(item).collect();
+        let buckets = partition_by_seq(items, 4);
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 37);
+        for (idx, bucket) in buckets.iter().enumerate() {
+            assert!(bucket.iter().all(|i| i.seq % 4 == idx as u64));
+            assert!(bucket.windows(2).all(|w| w[0].seq < w[1].seq));
+        }
+    }
+
+    #[test]
+    fn partition_clamps_zero_modulus() {
+        let buckets = partition_by_seq((0..5).map(item).collect(), 0);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].len(), 5);
+    }
+
+    #[test]
+    fn cloned_partition_matches_owning_partition() {
+        let items: Vec<FlowItem> = (0..20).map(item).collect();
+        let cloned = partition_by_seq_cloned(&items, 3);
+        let owned = partition_by_seq(items, 3);
+        assert_eq!(cloned, owned);
+    }
+
+    #[test]
+    fn plan_marks_last_claimants() {
+        let specs = vec![
+            custom("a", vec!["s/#".into()]),
+            custom("b", vec!["s/#".into()]),
+            custom("p0", vec!["s/#".into()]).sharded(2, 0),
+            custom("p1", vec!["s/#".into()]).sharded(2, 1),
+            custom("dup", vec!["s/#".into()]).sharded(2, 0),
+            custom("other", vec!["t/#".into()]),
+        ];
+        let plan = RoutePlan::resolve(&specs, "s/1");
+        assert_eq!(
+            plan.stages.iter().map(|r| r.stage).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(plan.unsharded, 2);
+        assert_eq!(plan.moduli, vec![2]);
+        let last: Vec<bool> = plan.stages.iter().map(|r| r.last).collect();
+        // Second unsharded stage owns the frame; the duplicate (2, 0)
+        // shard's later replica owns its bucket.
+        assert_eq!(last, vec![false, true, false, true, true]);
+    }
+
+    #[test]
+    fn cache_hits_share_the_plan_and_invalidate_clears() {
+        let specs = vec![custom("a", vec!["s/#".into()])];
+        let cache = RouteCache::new();
+        let first = cache.resolve(&specs, "s/1");
+        let second = cache.resolve(&specs, "s/1");
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the plan");
+        assert_eq!(cache.len(), 1);
+        cache.invalidate();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_cap_clears_instead_of_growing() {
+        let specs = vec![custom("a", vec!["s/#".into()])];
+        let cache = RouteCache::new();
+        for i in 0..(ROUTE_CACHE_CAP + 8) {
+            cache.resolve(&specs, &format!("s/{i}"));
+        }
+        assert!(cache.len() <= ROUTE_CACHE_CAP);
+    }
+}

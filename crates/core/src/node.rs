@@ -37,10 +37,11 @@ use ifot_sensors::inject::AnomalyInjector;
 use crate::config::{ActuatorKindSpec, NodeConfig, ShedPolicy};
 use crate::costs;
 use crate::env::NodeEnv;
+use crate::executor::router::{self, RoutePlan};
 use crate::executor::{ControlMsg, ExecutorGraph, OpTimer, StageCell, StageStats, WorkItem};
 use crate::flow::{topics, FlowBatch, FlowItem, FlowMessage};
 use crate::operators::{ClassifierModel, MixEnvelope, NodeEvent, OpOutput};
-use crate::wire::FlowCodec;
+use crate::wire::{DecodedItems, FlowCodec};
 
 /// Port MQTT clients send to (broker ingress).
 pub const MQTT_BROKER_PORT: u16 = 1883;
@@ -54,6 +55,7 @@ const TAG_BROKER_POLL: u64 = 3;
 const TAG_FLUSH: u64 = 4;
 const TAG_MIX: u64 = 5;
 const TAG_BATCH: u64 = 6;
+const TAG_STAGE: u64 = 7;
 
 const CLIENT_POLL_NS: u64 = 200_000_000;
 const BROKER_POLL_NS: u64 = 500_000_000;
@@ -113,6 +115,14 @@ struct SeqTracker {
 }
 
 impl SeqTracker {
+    /// Observes every item of a decoded frame (one ledger resolution
+    /// per frame; the per-item work is just the sequence arithmetic).
+    fn observe_batch<'a>(&mut self, items: impl IntoIterator<Item = &'a FlowItem>) {
+        for item in items {
+            self.observe(item.seq);
+        }
+    }
+
     fn observe(&mut self, seq: u64) {
         if !self.started {
             self.started = true;
@@ -232,6 +242,16 @@ pub struct MiddlewareNode {
     linger_ewma_ns: u64,
     /// Timestamp of the previous `enqueue_batch` call; 0 = none.
     last_batch_arrival_ns: u64,
+    /// Per-stage ingress accumulators re-coalescing sequence-shard
+    /// sub-batches across frames (only populated under
+    /// [`NodeConfig::stage_coalesce`]).
+    stage_batches: Vec<Vec<FlowItem>>,
+    stage_timer_armed: bool,
+    /// EWMA of flow-frame inter-arrival at dispatch (ns); 0 = no
+    /// estimate yet. Bounds the stage-coalescing linger.
+    ingress_ewma_ns: u64,
+    /// Timestamp of the previous dispatched flow frame; 0 = none.
+    last_ingress_ns: u64,
     /// Last published shed policy per stage, for `$SYS` transition
     /// notifications when adaptive escalation flips a stage.
     shed_policy_seen: Vec<ShedPolicy>,
@@ -314,6 +334,7 @@ impl MiddlewareNode {
         });
         let supervisor = ReconnectSupervisor::new(config.reconnect.clone(), config.keep_alive_secs);
         let shed_policy_seen = (0..executor.len()).map(|i| executor.policy(i)).collect();
+        let stage_batches = (0..executor.len()).map(|_| Vec::new()).collect();
         MiddlewareNode {
             broker: config.run_broker.then(|| {
                 ShardedBroker::new(BrokerConfig {
@@ -345,6 +366,10 @@ impl MiddlewareNode {
             batch_timer_armed: false,
             linger_ewma_ns: 0,
             last_batch_arrival_ns: 0,
+            stage_batches,
+            stage_timer_armed: false,
+            ingress_ewma_ns: 0,
+            last_ingress_ns: 0,
             shed_policy_seen,
             config,
         }
@@ -571,6 +596,7 @@ impl MiddlewareNode {
             TAG_FLUSH => self.on_stage_timer(env, index, OpTimer::Flush),
             TAG_MIX => self.on_stage_timer(env, index, OpTimer::Mix),
             TAG_BATCH => self.flush_pending_batches(env),
+            TAG_STAGE => self.flush_stage_coalescers(env),
             _ => env.incr("unknown_timer"),
         }
     }
@@ -585,6 +611,9 @@ impl MiddlewareNode {
             OpTimer::Mix => spec.mix_period_ms(),
         };
         let period = period_ms.unwrap_or(0) * 1_000_000;
+        // Coalesced ingress must reach the operator before its periodic
+        // tick, or a Flush/Mix would act on a stale view of the stream.
+        self.flush_stage_then_drain(env, index);
         if self.pooled {
             self.executor
                 .enqueue(index, WorkItem::Timer(timer), env.now_ns());
@@ -844,6 +873,131 @@ impl MiddlewareNode {
         };
         note_flow_frame(env, n, encoded.len());
         self.publish(env, topic, encoded.into());
+    }
+
+    // ------------------------------------------------------------------
+    // Stage ingress coalescing (sharded re-batching)
+    // ------------------------------------------------------------------
+
+    /// Whether sharded stages re-coalesce their ingress sub-batches.
+    fn stage_coalescing_enabled(&self) -> bool {
+        self.config.stage_coalesce
+    }
+
+    /// Appends items to a sharded stage's ingress accumulator. A full
+    /// accumulator (`batch_max`) flushes immediately; otherwise one
+    /// shared linger timer bounds how long a partial batch may wait.
+    fn coalesce_items(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        stage: usize,
+        items: impl Iterator<Item = FlowItem>,
+        queue: &mut VecDeque<(String, Bytes)>,
+    ) {
+        let batch_max = self.config.batch_max.max(1);
+        let pending = &mut self.stage_batches[stage];
+        pending.extend(items);
+        if pending.len() >= batch_max {
+            self.flush_stage_batch(env, stage, queue);
+            return;
+        }
+        let linger_ns = self.stage_linger_ns();
+        if linger_ns == 0 {
+            // Frames arrive slower than the linger cap: holding the
+            // sub-batch would add latency without amortizing anything.
+            env.incr("stage_coalesce_immediate");
+            self.flush_stage_batch(env, stage, queue);
+            return;
+        }
+        if !self.stage_timer_armed {
+            self.stage_timer_armed = true;
+            env.set_timer_after_ns(linger_ns, tag(TAG_STAGE, 0));
+        }
+    }
+
+    /// Delivers a stage's accumulated ingress batch (no-op when empty,
+    /// so it is safe to call on the non-coalescing path).
+    fn flush_stage_batch(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        stage: usize,
+        queue: &mut VecDeque<(String, Bytes)>,
+    ) {
+        if self.stage_batches.get(stage).is_none_or(Vec::is_empty) {
+            return;
+        }
+        let pending = std::mem::take(&mut self.stage_batches[stage]);
+        env.incr("stage_coalesce_flushes");
+        env.add("stage_coalesced_items", pending.len() as u64);
+        self.deliver_items(env, stage, pending, queue);
+    }
+
+    /// Flushes one stage's accumulator and drains any local chain
+    /// output it produces (used before timers and control deliveries).
+    fn flush_stage_then_drain(&mut self, env: &mut dyn NodeEnv, stage: usize) {
+        if self.stage_batches.get(stage).is_none_or(Vec::is_empty) {
+            return;
+        }
+        let mut queue = VecDeque::new();
+        self.flush_stage_batch(env, stage, &mut queue);
+        while let Some((topic, payload)) = queue.pop_front() {
+            self.dispatch_flow(env, topic, payload);
+        }
+    }
+
+    /// Flushes every stage's ingress accumulator (linger expiry and the
+    /// runtime's shutdown drain), then follows local operator chains.
+    pub(crate) fn flush_stage_coalescers(&mut self, env: &mut dyn NodeEnv) {
+        self.stage_timer_armed = false;
+        let mut queue = VecDeque::new();
+        for stage in 0..self.stage_batches.len() {
+            self.flush_stage_batch(env, stage, &mut queue);
+        }
+        while let Some((topic, payload)) = queue.pop_front() {
+            self.dispatch_flow(env, topic, payload);
+        }
+    }
+
+    /// Whether any stage ingress accumulator still holds items (drives
+    /// the runtime's shutdown drain).
+    pub(crate) fn has_stage_backlog(&self) -> bool {
+        self.stage_batches.iter().any(|b| !b.is_empty())
+    }
+
+    /// The ingress-coalescing linger: `batch_max ×` the observed frame
+    /// inter-arrival EWMA, clamped to the adaptive bounds. Before an
+    /// estimate exists a quarter of the cap is used; once frames are
+    /// known to arrive slower than the cap, 0 disables lingering.
+    fn stage_linger_ns(&self) -> u64 {
+        if self.ingress_ewma_ns == 0 {
+            return ADAPTIVE_LINGER_CAP_NS / 4;
+        }
+        if self.ingress_ewma_ns >= ADAPTIVE_LINGER_CAP_NS {
+            return 0;
+        }
+        let target = batch_max_u64(self.config.batch_max).saturating_mul(self.ingress_ewma_ns);
+        target.clamp(ADAPTIVE_LINGER_FLOOR_NS, ADAPTIVE_LINGER_CAP_NS)
+    }
+
+    /// Tracks the ingress frame inter-arrival EWMA (`α = 1/8`, same
+    /// estimator as the publish-side adaptive linger) feeding
+    /// [`Self::stage_linger_ns`]. Only sampled when stage coalescing is
+    /// on and the plan has sharded consumers — unused otherwise.
+    fn note_ingress_arrival(&mut self, now_ns: u64, plan: &RoutePlan) {
+        if !self.config.stage_coalesce || plan.moduli.is_empty() {
+            return;
+        }
+        let last = self.last_ingress_ns;
+        self.last_ingress_ns = now_ns;
+        if last == 0 || now_ns < last {
+            return;
+        }
+        let interval = (now_ns - last).min(ADAPTIVE_INTERVAL_CLAMP_NS);
+        self.ingress_ewma_ns = if self.ingress_ewma_ns == 0 {
+            interval
+        } else {
+            (self.ingress_ewma_ns * 7 + interval) / 8
+        };
     }
 
     // ------------------------------------------------------------------
@@ -1215,25 +1369,31 @@ impl MiddlewareNode {
                     env.incr("mix_decode_errors");
                     continue;
                 };
-                for i in 0..self.executor.len() {
-                    if !self.executor.specs()[i].accepts(&topic) {
-                        continue;
-                    }
-                    let msg = ControlMsg::Mix(envelope.clone());
-                    if self.pooled {
-                        self.executor
-                            .enqueue(i, WorkItem::Control(msg), env.now_ns());
+                let plan = self.executor.route(&topic);
+                let count = plan.stages.len();
+                let mut envelope = Some(envelope);
+                for (k, route) in plan.stages.iter().enumerate() {
+                    // A control message is a flush barrier for the
+                    // stage's ingress coalescer: pending sub-batches are
+                    // delivered first so arrival order is preserved.
+                    self.flush_stage_batch(env, route.stage, &mut queue);
+                    // The last accepting stage takes the envelope by
+                    // move; earlier fan-out consumers clone.
+                    let msg = if k + 1 == count {
+                        ControlMsg::Mix(envelope.take().expect("taken only here"))
                     } else {
-                        let outputs = self.executor.offer_control(env, i, msg);
-                        self.process_outputs(env, i, outputs, &mut queue);
-                    }
+                        ControlMsg::Mix(envelope.as_ref().expect("taken only by last").clone())
+                    };
+                    self.deliver_work(env, route.stage, WorkItem::Control(msg), &mut queue);
                 }
                 continue;
             }
             // Normalized decode: raw sample, binary/JSON message, or a
-            // coalesced batch frame — one to N items per payload.
-            let items = match crate::wire::decode_items(&topic, &payload) {
-                Ok(items) => items,
+            // coalesced batch frame — one to N items per payload. The
+            // lean form keeps the dominant single-sample path free of a
+            // one-element `Vec` allocation.
+            let decoded = match crate::wire::decode_items_lean(&topic, &payload) {
+                Ok(decoded) => decoded,
                 Err(_) => {
                     env.incr("flow_decode_errors");
                     continue;
@@ -1242,44 +1402,198 @@ impl MiddlewareNode {
             // Sequence ledger: sensor streams carry a per-device monotone
             // seq, so received flows can be audited for permanent gaps
             // (loss) and duplicates after faults and session resumes.
+            // One ledger resolution per frame, and the topic key is only
+            // cloned when a stream is first seen.
             if topic.starts_with("sensor/") {
-                let ledger = self.seq_ledger.entry(topic.clone()).or_default();
-                for item in &items {
-                    ledger.observe(item.seq);
+                match self.seq_ledger.get_mut(&topic) {
+                    Some(ledger) => ledger.observe_batch(decoded.iter()),
+                    None => {
+                        let mut ledger = SeqTracker::default();
+                        ledger.observe_batch(decoded.iter());
+                        self.seq_ledger.insert(topic.clone(), ledger);
+                    }
                 }
             }
-            for i in 0..self.executor.len() {
-                if !self.executor.specs()[i].accepts(&topic) {
-                    continue;
-                }
-                // Sequence sharding: replicated operators split the flow
-                // (applied per item, so one batch frame feeds every
-                // shard its own sub-batch).
-                let accepted: Vec<FlowItem> = match self.executor.specs()[i].shard {
-                    Some((modulus, index)) => items
-                        .iter()
-                        .filter(|item| item.seq % modulus == index)
-                        .cloned()
-                        .collect(),
-                    None => items.clone(),
-                };
-                if accepted.is_empty() {
-                    continue;
-                }
-                if accepted.len() == 1 {
-                    let item = accepted.into_iter().next().expect("length checked");
-                    if self.pooled {
-                        self.executor.enqueue(i, WorkItem::Item(item), env.now_ns());
-                    } else {
-                        let outputs = self.executor.offer_item(env, i, item);
-                        self.process_outputs(env, i, outputs, &mut queue);
+            // Single-pass shard-aware routing: the accepting stages are
+            // resolved once per topic (memoized), the frame is
+            // partitioned once per distinct shard modulus, and ownership
+            // moves to the last claimant of each delivery source.
+            let plan = self.executor.route(&topic);
+            if plan.is_empty() {
+                continue;
+            }
+            self.note_ingress_arrival(env.now_ns(), &plan);
+            match decoded {
+                DecodedItems::One(item) => self.dispatch_one(env, &plan, item, &mut queue),
+                DecodedItems::Many(items) => self.dispatch_many(env, &plan, items, &mut queue),
+            }
+        }
+    }
+
+    /// Hands one work item to a stage: pooled nodes enqueue for the
+    /// worker pool, inline nodes run the stage to completion and feed
+    /// any emitted output back into the local dispatch chain.
+    fn deliver_work(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        stage: usize,
+        work: WorkItem,
+        queue: &mut VecDeque<(String, Bytes)>,
+    ) {
+        if self.pooled {
+            self.executor.enqueue(stage, work, env.now_ns());
+        } else {
+            let outputs = self.executor.offer(env, stage, work);
+            self.process_outputs(env, stage, outputs, queue);
+        }
+    }
+
+    /// Delivers an owned item list as `Item` (one element) or `Batch`,
+    /// matching the wire-ingress framing rules. Empty lists are dropped.
+    fn deliver_items(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        stage: usize,
+        mut items: Vec<FlowItem>,
+        queue: &mut VecDeque<(String, Bytes)>,
+    ) {
+        match items.len() {
+            0 => {}
+            1 => {
+                let item = items.pop().expect("length checked");
+                self.deliver_work(env, stage, WorkItem::Item(item), queue);
+            }
+            _ => self.deliver_work(env, stage, WorkItem::Batch(items), queue),
+        }
+    }
+
+    /// Routes a single-item frame. Shard membership is checked per
+    /// route; the last route that actually receives the item takes it
+    /// by move, so sole-consumer topologies never clone.
+    fn dispatch_one(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        plan: &RoutePlan,
+        item: FlowItem,
+        queue: &mut VecDeque<(String, Bytes)>,
+    ) {
+        let seq = item.seq;
+        let matches = |route: &router::StageRoute| match route.shard {
+            Some((modulus, index)) => seq % modulus.max(1) == index,
+            None => true,
+        };
+        let Some(last_idx) = plan.stages.iter().rposition(matches) else {
+            return;
+        };
+        let coalesce = self.stage_coalescing_enabled();
+        let mut item = Some(item);
+        for (k, route) in plan.stages.iter().enumerate() {
+            if !matches(route) {
+                continue;
+            }
+            let it = if k == last_idx {
+                item.take().expect("taken only by the last match")
+            } else {
+                item.as_ref().expect("taken only by the last match").clone()
+            };
+            if coalesce && route.shard.is_some() {
+                self.coalesce_items(env, route.stage, std::iter::once(it), queue);
+            } else {
+                self.deliver_work(env, route.stage, WorkItem::Item(it), queue);
+            }
+            if k == last_idx {
+                break;
+            }
+        }
+    }
+
+    /// Routes a multi-item frame: one partition pass per distinct shard
+    /// modulus, zero-clone fan-out for unsharded consumers (a sole
+    /// consumer takes the `Vec`; several share one `Arc` and the last
+    /// takes the handle, unwrapping it for free once the earlier
+    /// borrows are gone).
+    fn dispatch_many(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        plan: &RoutePlan,
+        items: Vec<FlowItem>,
+        queue: &mut VecDeque<(String, Bytes)>,
+    ) {
+        if items.is_empty() {
+            return;
+        }
+        let frame_len = items.len();
+        let mut items = Some(items);
+        // Partition once per distinct modulus; the final pass may
+        // consume the frame when no unsharded route still needs it.
+        let mut partitions: Vec<Vec<Vec<FlowItem>>> = Vec::with_capacity(plan.moduli.len());
+        for (mi, &modulus) in plan.moduli.iter().enumerate() {
+            let consuming = plan.unsharded == 0 && mi + 1 == plan.moduli.len();
+            let buckets = if consuming {
+                router::partition_by_seq(items.take().expect("consumed once"), modulus)
+            } else {
+                let frame = items.as_ref().expect("consumed only by the last partition");
+                router::partition_by_seq_cloned(frame, modulus)
+            };
+            partitions.push(buckets);
+        }
+        // Several unsharded consumers of a true batch share the frame
+        // through one allocation instead of cloning it per stage.
+        let mut shared: Option<Arc<Vec<FlowItem>>> = None;
+        if plan.unsharded > 1 && frame_len > 1 {
+            shared = Some(Arc::new(items.take().expect("partitions only cloned")));
+        }
+        let coalesce = self.stage_coalescing_enabled();
+        for route in &plan.stages {
+            match route.shard {
+                Some((modulus, index)) => {
+                    let slot = plan.modulus_slot(modulus);
+                    let bucket = &mut partitions[slot][index as usize];
+                    if bucket.is_empty() {
+                        continue;
                     }
-                } else if self.pooled {
-                    self.executor
-                        .enqueue(i, WorkItem::Batch(accepted), env.now_ns());
-                } else {
-                    let outputs = self.executor.offer_batch(env, i, accepted);
-                    self.process_outputs(env, i, outputs, &mut queue);
+                    let sub = if route.last {
+                        std::mem::take(bucket)
+                    } else {
+                        bucket.clone()
+                    };
+                    if coalesce {
+                        self.coalesce_items(env, route.stage, sub.into_iter(), queue);
+                    } else {
+                        self.deliver_items(env, route.stage, sub, queue);
+                    }
+                }
+                None if shared.is_some() => {
+                    let work = if route.last {
+                        WorkItem::SharedBatch(shared.take().expect("last unsharded route"))
+                    } else {
+                        let arc = shared.as_ref().expect("taken only by the last route");
+                        WorkItem::SharedBatch(Arc::clone(arc))
+                    };
+                    self.deliver_work(env, route.stage, work, queue);
+                }
+                None if frame_len == 1 => {
+                    // One-item batch frame: deliver as `Item` (framing
+                    // rule), cloning only for non-final consumers.
+                    let it = if route.last {
+                        let mut frame = items.take().expect("taken only by the last route");
+                        frame.pop().expect("frame length checked")
+                    } else {
+                        items.as_ref().expect("taken only by the last route")[0].clone()
+                    };
+                    self.deliver_work(env, route.stage, WorkItem::Item(it), queue);
+                }
+                None => {
+                    // Sole unsharded consumer: takes the frame whole.
+                    let frame = if route.last {
+                        items.take().expect("sole consumer takes once")
+                    } else {
+                        items
+                            .as_ref()
+                            .expect("taken only by the last route")
+                            .clone()
+                    };
+                    self.deliver_items(env, route.stage, frame, queue);
                 }
             }
         }
@@ -1327,10 +1641,10 @@ impl MiddlewareNode {
     ) {
         let has_local_consumer = self
             .executor
-            .specs()
+            .route(topic)
+            .stages
             .iter()
-            .enumerate()
-            .any(|(j, s)| Some(j) != op_index && s.accepts(topic));
+            .any(|r| Some(r.stage) != op_index);
         let echoed_back = publish && self.connected && self.subscription_covers(topic);
         if has_local_consumer && !echoed_back {
             queue.push_back((topic.to_owned(), payload.clone()));
@@ -1360,10 +1674,10 @@ impl MiddlewareNode {
                         // broker echo will not reach still get it now.
                         let has_local_consumer = self
                             .executor
-                            .specs()
+                            .route(&topic)
+                            .stages
                             .iter()
-                            .enumerate()
-                            .any(|(j, s)| j != op_index && s.accepts(&topic));
+                            .any(|r| r.stage != op_index);
                         if has_local_consumer && !self.subscription_covers(&topic) {
                             let payload = self.codec().encode_message(&message).into();
                             queue.push_back((topic.clone(), payload));
@@ -1577,6 +1891,177 @@ mod tests {
         for _ in 0..16 {
             now += 50_000_000;
             assert!(node.effective_linger_ns(now) <= ADAPTIVE_LINGER_CAP_NS);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shard routing + stage ingress coalescing
+    // ------------------------------------------------------------------
+
+    use crate::config::{OperatorKind, OperatorSpec};
+
+    fn probe_sink(id: impl Into<String>) -> OperatorSpec {
+        OperatorSpec::sink(
+            id,
+            OperatorKind::Custom {
+                operator: "probe".into(),
+            },
+            vec!["sensor/#".into()],
+        )
+    }
+
+    fn sharded_node(coalesce: bool, shards: u64, batch_max: usize) -> MiddlewareNode {
+        let mut config = NodeConfig::new("n")
+            .with_broker()
+            .with_wire_format(crate::wire::WireFormat::Binary)
+            .with_batching(batch_max, 50);
+        for i in 0..shards {
+            config = config.with_operator(probe_sink(format!("p{i}")).sharded(shards, i));
+        }
+        if coalesce {
+            config = config.with_stage_coalescing();
+        }
+        MiddlewareNode::new(config)
+    }
+
+    /// One encoded batch frame covering the given sequence range.
+    fn batch_frame(node: &MiddlewareNode, seqs: std::ops::Range<u64>) -> Bytes {
+        let items: Vec<FlowMessage> = seqs.map(flow_message).collect();
+        node.codec()
+            .encode_batch(&FlowBatch { items })
+            .expect("non-empty batch encodes")
+            .into()
+    }
+
+    #[test]
+    fn sharded_ingress_recoalesces_to_batch_max() {
+        let mut node = sharded_node(true, 4, 8);
+        let mut env = MockEnv::new();
+        // 80 Hz-style ingress: each 4-item frame feeds every shard one
+        // item; re-coalescing should deliver full batches of 8, not 16
+        // single-item dribbles per replica.
+        for frame in 0..16u64 {
+            env.now_ns = (frame + 1) * 12_500_000;
+            let payload = batch_frame(&node, frame * 4..frame * 4 + 4);
+            node.dispatch_flow(&mut env, "sensor/a".into(), payload);
+        }
+        for i in 0..4 {
+            let stats = node.executor.stats(i);
+            assert_eq!(stats.batched_items, 16, "each shard sees its 16 items");
+            assert_eq!(stats.batch_entries, 2, "two full batches, no dribbles");
+            assert_eq!(stats.mean_batch_items(), 8.0);
+        }
+        assert_eq!(env.counter("stage_coalesce_flushes"), 8);
+        assert_eq!(env.counter("stage_coalesced_items"), 64);
+        assert!(!node.has_stage_backlog());
+    }
+
+    #[test]
+    fn stage_linger_timer_flushes_partial_batches() {
+        let mut node = sharded_node(true, 4, 8);
+        let mut env = MockEnv::new();
+        for frame in 0..3u64 {
+            env.now_ns = (frame + 1) * 12_500_000;
+            let payload = batch_frame(&node, frame * 4..frame * 4 + 4);
+            node.dispatch_flow(&mut env, "sensor/a".into(), payload);
+        }
+        assert!(node.has_stage_backlog(), "partial batches accumulate");
+        assert!(
+            env.timers_rel.iter().any(|(_, t)| *t == tag(TAG_STAGE, 0)),
+            "a linger timer bounds the wait: {:?}",
+            env.timers_rel
+        );
+        node.on_timer(&mut env, tag(TAG_STAGE, 0));
+        assert!(!node.has_stage_backlog(), "expiry drains every stage");
+        for i in 0..4 {
+            let stats = node.executor.stats(i);
+            assert_eq!(stats.batched_items, 3);
+            assert_eq!(stats.batch_entries, 1);
+        }
+        assert_eq!(env.counter("stage_coalesce_flushes"), 4);
+    }
+
+    #[test]
+    fn stage_timer_delivery_flushes_coalesced_ingress_first() {
+        // Periodic ticks act on the post-ingress view: the accumulated
+        // sub-batch must reach the operator before the tick itself.
+        let mut node = sharded_node(true, 2, 8);
+        let mut env = MockEnv::new();
+        env.now_ns = 12_500_000;
+        let payload = batch_frame(&node, 0..4);
+        node.dispatch_flow(&mut env, "sensor/a".into(), payload);
+        assert!(node.has_stage_backlog());
+        env.traces.clear();
+        node.on_stage_timer(&mut env, 0, OpTimer::Flush);
+        let enqs: Vec<&String> = env
+            .traces
+            .iter()
+            .filter(|t| t.starts_with("stage_enq(p0"))
+            .collect();
+        assert_eq!(enqs.len(), 2, "batch then tick: {enqs:?}");
+        assert!(
+            enqs[0].contains("batch=2"),
+            "coalesced batch first: {enqs:?}"
+        );
+        assert!(enqs[1].contains("batch=0"), "tick second: {enqs:?}");
+        // Only the ticked stage flushed; the other keeps accumulating.
+        assert!(node.has_stage_backlog());
+    }
+
+    #[test]
+    fn unsharded_fanout_and_shard_cover_conserve_items() {
+        // Two unsharded consumers share the frame through one `Arc` and
+        // the shard replicas partition it exactly once.
+        let mut config = NodeConfig::new("n")
+            .with_broker()
+            .with_wire_format(crate::wire::WireFormat::Binary);
+        config = config.with_operator(probe_sink("a"));
+        config = config.with_operator(probe_sink("b"));
+        for i in 0..4u64 {
+            config = config.with_operator(probe_sink(format!("p{i}")).sharded(4, i));
+        }
+        let mut node = MiddlewareNode::new(config);
+        let mut env = MockEnv::new();
+        let payload = batch_frame(&node, 0..8);
+        node.dispatch_flow(&mut env, "sensor/a".into(), payload);
+        // Unsharded stages both see the whole frame...
+        assert_eq!(node.executor.stats(0).batched_items, 8);
+        assert_eq!(node.executor.stats(1).batched_items, 8);
+        // ...and the shard replicas see an exact cover of it.
+        for i in 2..6 {
+            assert_eq!(node.executor.stats(i).batched_items, 2);
+        }
+    }
+
+    #[test]
+    fn route_cache_shares_resolution_across_dispatches() {
+        let node = sharded_node(false, 2, 8);
+        let first = node.executor.route("sensor/a");
+        let second = node.executor.route("sensor/a");
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "repeat dispatch must hit the memoized plan"
+        );
+        assert_eq!(first.stages.len(), 2);
+        assert_eq!(first.moduli, vec![2]);
+        assert_eq!(first.unsharded, 0);
+    }
+
+    #[test]
+    fn coalescing_off_by_default_delivers_per_frame() {
+        let mut node = sharded_node(false, 4, 8);
+        let mut env = MockEnv::new();
+        for frame in 0..4u64 {
+            env.now_ns = (frame + 1) * 12_500_000;
+            let payload = batch_frame(&node, frame * 8..frame * 8 + 8);
+            node.dispatch_flow(&mut env, "sensor/a".into(), payload);
+        }
+        assert!(!node.has_stage_backlog());
+        assert_eq!(env.counter("stage_coalesce_flushes"), 0);
+        for i in 0..4 {
+            let stats = node.executor.stats(i);
+            assert_eq!(stats.batch_entries, 4, "one delivery per frame");
+            assert_eq!(stats.batched_items, 8, "two items per frame per shard");
         }
     }
 }

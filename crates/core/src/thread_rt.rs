@@ -494,10 +494,12 @@ fn run_node(
                 rng_state = env.rng_state;
             }
             Ok(ThreadMsg::Stop) => {
-                // Publish any lingering micro-batches before exiting so
-                // coalesced tail samples reach the broker (it stops
+                // Deliver coalesced stage ingress first (it can emit new
+                // publishes), then publish any lingering micro-batches,
+                // so coalesced tail samples reach the broker (it stops
                 // after us in the cluster's phased shutdown).
                 let mut env = env!();
+                node.flush_stage_coalescers(&mut env);
                 node.flush_pending_batches(&mut env);
                 rng_state = env.rng_state;
                 break;
@@ -515,6 +517,15 @@ fn run_node(
         let cells = node.executor_cells();
         for _pass in 0..10_000 {
             let mut progressed = false;
+            // Re-coalesced ingress held back by the linger timer must
+            // reach the mailboxes before the cells are stepped, or the
+            // tail sub-batches of a run would never be executed.
+            if node.has_stage_backlog() {
+                progressed = true;
+                let mut env = env!();
+                node.flush_stage_coalescers(&mut env);
+                rng_state = env.rng_state;
+            }
             for (index, cell) in cells.iter().enumerate() {
                 let mut env = env!();
                 let stepped = cell.step_pooled(&mut env);
@@ -540,6 +551,10 @@ fn run_node(
                 break;
             }
         }
+        // Outputs handled during the drain may have re-entered the
+        // publish micro-batcher; flush once more so nothing is stranded.
+        let mut env = env!();
+        node.flush_pending_batches(&mut env);
     }
     node
 }

@@ -111,32 +111,76 @@ impl FlowCodec {
     }
 }
 
+/// A decoded flow payload, kept allocation-lean: the dominant
+/// single-sample/single-message path never builds a one-element `Vec`,
+/// which the dispatch hot loop would immediately tear apart again.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodedItems {
+    /// A raw sample or single message.
+    One(FlowItem),
+    /// A batch frame (publish order preserved).
+    Many(Vec<FlowItem>),
+}
+
+impl DecodedItems {
+    /// Number of decoded items.
+    pub fn len(&self) -> usize {
+        match self {
+            DecodedItems::One(_) => 1,
+            DecodedItems::Many(items) => items.len(),
+        }
+    }
+
+    /// Whether nothing was decoded (empty batch frames only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collapses into a `Vec` (allocates only for the `One` case).
+    pub fn into_vec(self) -> Vec<FlowItem> {
+        match self {
+            DecodedItems::One(item) => vec![item],
+            DecodedItems::Many(items) => items,
+        }
+    }
+
+    /// Iterates the decoded items in order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowItem> {
+        match self {
+            DecodedItems::One(item) => std::slice::from_ref(item).iter(),
+            DecodedItems::Many(items) => items.iter(),
+        }
+    }
+}
+
 /// Decodes any flow-plane payload arriving on `topic` into normalized
 /// items: a raw 32-byte sensor sample, a binary or JSON [`FlowMessage`]
 /// (one item), or a binary or JSON [`FlowBatch`] (N items, publish order
-/// preserved).
+/// preserved). The single-item families return [`DecodedItems::One`]
+/// without a heap `Vec`.
 ///
 /// # Errors
 ///
 /// Returns a description when no decoding applies.
-pub fn decode_items(topic: &str, payload: &[u8]) -> Result<Vec<FlowItem>, String> {
+pub fn decode_items_lean(topic: &str, payload: &[u8]) -> Result<DecodedItems, String> {
     if payload.len() == ifot_sensors::sample::SAMPLE_WIRE_SIZE
         && payload.first() != Some(&FRAME_MAGIC)
     {
         if let Ok(item) = FlowItem::from_payload(topic, payload) {
-            return Ok(vec![item]);
+            return Ok(DecodedItems::One(item));
         }
     }
     if payload.first() == Some(&FRAME_MAGIC) {
         return match frame_kind(payload)? {
-            KIND_MESSAGE => {
-                decode_message_binary(payload).map(|m| vec![FlowItem::from_message(topic, m)])
-            }
+            KIND_MESSAGE => decode_message_binary(payload)
+                .map(|m| DecodedItems::One(FlowItem::from_message(topic, m))),
             KIND_BATCH => decode_batch_binary(payload).map(|b| {
-                b.items
-                    .into_iter()
-                    .map(|m| FlowItem::from_message(topic, m))
-                    .collect()
+                DecodedItems::Many(
+                    b.items
+                        .into_iter()
+                        .map(|m| FlowItem::from_message(topic, m))
+                        .collect(),
+                )
             }),
             other => Err(format!(
                 "flow frame kind {other:#04x} is not a flow payload"
@@ -145,15 +189,27 @@ pub fn decode_items(topic: &str, payload: &[u8]) -> Result<Vec<FlowItem>, String
     }
     // JSON: a single message first (the common case), then a batch.
     if let Ok(msg) = FlowMessage::decode(payload) {
-        return Ok(vec![FlowItem::from_message(topic, msg)]);
+        return Ok(DecodedItems::One(FlowItem::from_message(topic, msg)));
     }
     let batch: FlowBatch =
         serde_json::from_slice(payload).map_err(|e| format!("not a flow payload: {e}"))?;
-    Ok(batch
-        .items
-        .into_iter()
-        .map(|m| FlowItem::from_message(topic, m))
-        .collect())
+    Ok(DecodedItems::Many(
+        batch
+            .items
+            .into_iter()
+            .map(|m| FlowItem::from_message(topic, m))
+            .collect(),
+    ))
+}
+
+/// [`decode_items_lean`] collapsed to a `Vec` for callers that want a
+/// uniform shape.
+///
+/// # Errors
+///
+/// Returns a description when no decoding applies.
+pub fn decode_items(topic: &str, payload: &[u8]) -> Result<Vec<FlowItem>, String> {
+    decode_items_lean(topic, payload).map(DecodedItems::into_vec)
 }
 
 /// Peeks the earliest `origin_ts_ns` out of a binary message or batch

@@ -338,6 +338,108 @@ fn batch_dispatch_equals_per_item_loop_for_every_operator_kind() {
     }
 }
 
+/// A shared (zero-clone fan-out) batch must be indistinguishable from
+/// an owned batch at the operator boundary — whether the stage ends up
+/// unwrapping the sole reference or cloning behind an outstanding one.
+#[test]
+fn shared_batch_delivery_is_identical_to_owned_batch() {
+    use std::sync::Arc;
+    let items: Vec<FlowItem> = (0..6).map(probe_item).collect();
+
+    let mut owned_env = MockEnv::new();
+    let mut owned_stage = probe_stage(16, ShedPolicy::Block);
+    owned_stage.enqueue(WorkItem::Batch(items.clone()), 0);
+    let owned = drain_origins(&mut owned_stage, &mut owned_env);
+    assert_eq!(owned.len(), 6);
+
+    // Sole reference: execution unwraps the allocation for free.
+    let mut sole_env = MockEnv::new();
+    let mut sole_stage = probe_stage(16, ShedPolicy::Block);
+    sole_stage.enqueue(WorkItem::SharedBatch(Arc::new(items.clone())), 0);
+    let sole = drain_origins(&mut sole_stage, &mut sole_env);
+
+    // Outstanding fan-out reference: execution clones lazily and drops
+    // its handle, leaving the other consumer's reference untouched.
+    let keep = Arc::new(items);
+    let mut fan_env = MockEnv::new();
+    let mut fan_stage = probe_stage(16, ShedPolicy::Block);
+    fan_stage.enqueue(WorkItem::SharedBatch(Arc::clone(&keep)), 0);
+    let fanned = drain_origins(&mut fan_stage, &mut fan_env);
+    assert_eq!(Arc::strong_count(&keep), 1, "execution drops its handle");
+
+    assert_eq!(owned, sole, "sole-reference delivery diverged");
+    assert_eq!(owned, fanned, "cloning delivery diverged");
+    assert_eq!(owned_env.counters, sole_env.counters);
+    assert_eq!(owned_env.counters, fan_env.counters);
+    assert_eq!(owned_stage.stats, sole_stage.stats);
+    assert_eq!(owned_stage.stats, fan_stage.stats);
+}
+
+/// Sharded analysis pipeline with ingress re-coalescing enabled: four
+/// anomaly replicas splitting the stream by `seq % 4`.
+fn coalesced_pipeline(seed: u64) -> Simulation {
+    let mut sim = Simulation::with_wlan(WlanConfig::ideal(), seed);
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("broker").with_broker(),
+    );
+    add_middleware_node(
+        &mut sim,
+        CpuProfile::RASPBERRY_PI_2,
+        NodeConfig::new("sensor-node")
+            .with_broker_node("broker")
+            .with_sensor(SensorSpec::new(SensorKind::Sound, 1, 40.0, seed))
+            .with_wire_format(ifot::core::wire::WireFormat::Binary)
+            .with_batching(8, 50)
+            .with_qos(QoS::AtLeastOnce),
+    );
+    let mut analysis = NodeConfig::new("analysis")
+        .with_broker_node("broker")
+        .with_wire_format(ifot::core::wire::WireFormat::Binary)
+        .with_batching(8, 50)
+        .with_stage_coalescing()
+        .with_qos(QoS::AtLeastOnce);
+    for i in 0..4 {
+        analysis = analysis.with_operator(
+            OperatorSpec::sink(
+                format!("score{i}"),
+                OperatorKind::Anomaly {
+                    detector: "zscore".into(),
+                    threshold: 4.0,
+                },
+                vec!["sensor/#".into()],
+            )
+            .sharded(4, i),
+        );
+    }
+    add_middleware_node(&mut sim, CpuProfile::RASPBERRY_PI_2, analysis);
+    sim
+}
+
+/// Re-coalesced dispatch stays bit-identical across same-seed runs and
+/// conserves the flow: linger timers, shard partitioning and batch
+/// re-assembly all replay exactly on the deterministic runtime.
+#[test]
+fn coalesced_sharded_run_is_deterministic_and_conserves_flow() {
+    let run = |seed: u64| {
+        let mut sim = coalesced_pipeline(seed);
+        sim.enable_trace();
+        sim.run_until(SimTime::from_secs(6));
+        let scored = sim.metrics().counter("anomaly_scored");
+        let coalesced = sim.metrics().counter("stage_coalesced_items");
+        (sim.take_trace().digest(), scored, coalesced)
+    };
+    let first = run(11);
+    let second = run(11);
+    assert_eq!(first, second, "coalesced mode must stay deterministic");
+    assert!(
+        first.1 > 100,
+        "scoring must progress under coalescing: {first:?}"
+    );
+    assert!(first.2 > 0, "re-coalescing must actually batch: {first:?}");
+}
+
 #[test]
 fn shed_newest_rejects_at_the_door_and_counts_them() {
     let mut env = MockEnv::new();

@@ -1428,3 +1428,44 @@ proptest! {
         prop_assert_eq!(delays, run(seed));
     }
 }
+
+// ---------------------------------------------------------------------
+// Shard routing (DESIGN.md §5)
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Sequence partitioning is an exact cover: every item lands in
+    /// exactly the `seq % modulus` bucket, intra-bucket order preserves
+    /// input order, and the borrowing partitioner agrees with the
+    /// consuming one.
+    #[test]
+    fn shard_partition_is_an_exact_cover(
+        msgs in prop::collection::vec(arb_flow_message(), 0..64),
+        modulus in 0u64..9,
+    ) {
+        use ifot::core::executor::router::{partition_by_seq, partition_by_seq_cloned};
+        use ifot::core::flow::FlowItem;
+        let items: Vec<FlowItem> = msgs
+            .iter()
+            .map(|m| FlowItem::from_message("flow/x", m.clone()))
+            .collect();
+
+        let cloned = partition_by_seq_cloned(&items, modulus);
+        let owned = partition_by_seq(items.clone(), modulus);
+        prop_assert_eq!(&cloned, &owned, "borrowing and consuming partitioners disagree");
+
+        let m = modulus.max(1);
+        prop_assert_eq!(owned.len() as u64, m, "one bucket per shard index");
+        let total: usize = owned.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, items.len(), "partition must not drop or duplicate");
+        for (index, bucket) in owned.iter().enumerate() {
+            for item in bucket {
+                prop_assert_eq!(item.seq % m, index as u64, "item in the wrong bucket");
+            }
+        }
+        // Intra-bucket order preserves input order: re-partitioning the
+        // concatenation in bucket order is a fixpoint.
+        let replayed: Vec<FlowItem> = owned.iter().flatten().cloned().collect();
+        prop_assert_eq!(partition_by_seq(replayed, modulus), owned);
+    }
+}
