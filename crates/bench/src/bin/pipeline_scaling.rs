@@ -32,12 +32,23 @@
 //! shed-oldest cells; `speedup_coalesce_w1` compares the 80 Hz
 //! single-worker coalesced cell against the per-item sharded baseline.
 //!
+//! A final `hotspot` section exercises the elastic placement runtime:
+//! a 2-shard predict pipeline with shard 0 pinned on a 4×-slowed
+//! module (speed 0.25, ~120 ms per prediction against a 25 ms
+//! inter-arrival), measured with and without a rebalancing controller
+//! (`NodeConfig::with_rebalancer`). With the controller, load
+//! heartbeats flag the hot shard and a live migration moves it to the
+//! full-speed module mid-run; `recovery` reports the drain-inclusive
+//! predictions/s ratio over the no-rebalance baseline, with exact
+//! sensed == ingested == predicted conservation across the handover.
+//!
 //! Run with `cargo run --release -p ifot-bench --bin pipeline_scaling`
 //! (add `--quick` for a CI smoke run with two cells).
 
 use std::time::{Duration, Instant};
 
 use ifot_core::config::{NodeConfig, OperatorKind, OperatorSpec, SensorSpec, ShedPolicy};
+use ifot_core::rebalance::RebalanceConfig;
 use ifot_core::thread_rt::ClusterBuilder;
 use ifot_core::wire::WireFormat;
 use ifot_sensors::sample::SensorKind;
@@ -195,6 +206,125 @@ fn run_cell(spec: &CellSpec, seconds: f64) -> CellResult {
     }
 }
 
+/// One hotspot-recovery cell (DESIGN.md §5, elastic placement): the
+/// sensor stream splits over two complementary predict shards, but
+/// shard 0's host runs 4×-slowed (speed 0.25 → ~120 ms per prediction
+/// against a 50 ms inter-arrival), so it falls behind without bound.
+/// With `rebalance` a controller node watches the load heartbeats and
+/// migrates the hot shard to the full-speed module; without it the
+/// backlog must be slept out at the 4×-slowed pace during the drain,
+/// and the honest (drain-inclusive) predictions/s collapses.
+struct HotspotResult {
+    rebalance: bool,
+    sensed: u64,
+    ingested: u64,
+    predicted: u64,
+    migrations_in: u64,
+    migrations_out: u64,
+    decisions: u64,
+    seconds: f64,
+    items_per_sec: f64,
+}
+
+fn run_hotspot_cell(rebalance: bool, seconds: f64) -> HotspotResult {
+    const RATE_HZ: f64 = 40.0;
+    let predict = |k: u64| {
+        OperatorSpec::sink(
+            format!("predict-{k}"),
+            OperatorKind::Predict {
+                algorithm: "pa".into(),
+            },
+            vec!["sensor/#".into()],
+        )
+        .sharded(2, k)
+    };
+    // The hotspot: one predict shard alone on the slowed module. Block
+    // policy with a deep mailbox so nothing is shed — conservation must
+    // hold in both cells, with and without the migration.
+    let slow = NodeConfig::new("analysis-slow")
+        .with_broker_node("broker")
+        .with_operator(predict(0))
+        .with_workers(1)
+        .with_mailbox(512, ShedPolicy::Block)
+        .with_load_reports(100)
+        .with_migrations();
+    let fast = NodeConfig::new("analysis-fast")
+        .with_broker_node("broker")
+        .with_operator(OperatorSpec::sink(
+            "ingest",
+            OperatorKind::Custom {
+                operator: "ingest".into(),
+            },
+            vec!["sensor/#".into()],
+        ))
+        .with_operator(predict(1))
+        .with_workers(2)
+        .with_mailbox(512, ShedPolicy::Block)
+        .with_load_reports(100)
+        .with_migrations();
+    // Same topology either way; only the controller's rebalancer knob
+    // differs, so the cells are comparable.
+    let mut controller = NodeConfig::new("controller").with_broker_node("broker");
+    if rebalance {
+        // Aggressive detection: the earlier the hot shard is flagged,
+        // the smaller the backlog the source must drain (at its slowed
+        // pace) before the handover — which is exactly when migrating
+        // is cheap. One hysteresis tick is enough here because the 4×
+        // imbalance is unambiguous within a single load window.
+        controller = controller.with_rebalancer(RebalanceConfig {
+            interval_ms: 150,
+            hot_wait_ms: 30.0,
+            ratio: 2.0,
+            hysteresis_ticks: 1,
+            // Longer than any cell: at most one migration, and the hot
+            // shard never flaps back to the drained slow module.
+            cooldown_ms: 60_000,
+        });
+    }
+    let cluster = ClusterBuilder::new()
+        .node(NodeConfig::new("broker").with_broker())
+        .node(
+            NodeConfig::new("sensor-node")
+                .with_broker_node("broker")
+                .with_sensor(SensorSpec::new(SensorKind::Sound, 1, RATE_HZ, 7)),
+        )
+        // The 4×-slowed module: reference CPU cost slept out at 0.25.
+        .node_with_speed(slow, 0.25)
+        .node_with_speed(fast, 1.0)
+        .node(controller)
+        .start();
+    let start = Instant::now();
+    let report = cluster.run_for(Duration::from_secs_f64(seconds));
+    let elapsed = start.elapsed().as_secs_f64();
+    let predicted = report.metrics.counter("predicted");
+    HotspotResult {
+        rebalance,
+        sensed: report.metrics.counter("flow_items_published"),
+        ingested: report.metrics.counter("custom_ingest"),
+        predicted,
+        migrations_in: report.metrics.counter("migrations_in"),
+        migrations_out: report.metrics.counter("migrations_out"),
+        decisions: report.metrics.counter("rebalance_decisions"),
+        seconds: elapsed,
+        items_per_sec: predicted as f64 / elapsed,
+    }
+}
+
+fn hotspot_json(r: &HotspotResult) -> String {
+    format!(
+        "{{ \"rebalance\": {}, \"sensed\": {}, \"ingested\": {}, \"predicted\": {}, \"migrations_out\": {}, \"migrations_in\": {}, \"decisions\": {}, \"seconds\": {:.2}, \"items_per_sec\": {:.1} }}",
+        r.rebalance,
+        r.sensed,
+        r.ingested,
+        r.predicted,
+        r.migrations_out,
+        r.migrations_in,
+        r.decisions,
+        r.seconds,
+        r.items_per_sec,
+    )
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let seconds = if quick { 1.5 } else { 3.0 };
@@ -346,7 +476,24 @@ fn main() {
         (Some(base), Some(co)) if base > 0.0 => co / base,
         _ => 0.0,
     };
-    println!("  \"speedup_coalesce_w1\": {speedup_coalesce:.2}");
+    println!("  \"speedup_coalesce_w1\": {speedup_coalesce:.2},");
+    // Hotspot recovery (elastic placement, DESIGN.md §5): the same
+    // 2-shard predict pipeline with shard 0 pinned on a 4×-slowed
+    // module, measured with and without the rebalancing controller.
+    // The honest drain-inclusive predictions/s is what recovers.
+    let hotspot_seconds = if quick { 4.0 } else { 8.0 };
+    let baseline = run_hotspot_cell(false, hotspot_seconds);
+    let rebalanced = run_hotspot_cell(true, hotspot_seconds);
+    let recovery = if baseline.items_per_sec > 0.0 {
+        rebalanced.items_per_sec / baseline.items_per_sec
+    } else {
+        0.0
+    };
+    println!("  \"hotspot\": {{");
+    println!("    \"baseline\": {},", hotspot_json(&baseline));
+    println!("    \"rebalanced\": {},", hotspot_json(&rebalanced));
+    println!("    \"recovery\": {recovery:.2}");
+    println!("  }}");
     println!("}}");
     if quick {
         // CI smoke: the pooled path must make progress on both cells.
@@ -389,6 +536,29 @@ fn main() {
         assert!(
             speedup_coalesce >= 1.5,
             "coalesced w1 cell did not reach 1.5x the per-item sharded baseline: {speedup_coalesce:.2}"
+        );
+        // Hotspot recovery: the migration must actually happen, must
+        // lose nothing across the handover (Block mailboxes + the
+        // fence protocol: sensed == ingested == predicted in BOTH
+        // cells), and must buy back >= 1.5x throughput.
+        for r in [&baseline, &rebalanced] {
+            assert!(
+                r.sensed == r.ingested && r.sensed == r.predicted,
+                "hotspot cell (rebalance={}) lost items: sensed={} ingested={} predicted={}",
+                r.rebalance,
+                r.sensed,
+                r.ingested,
+                r.predicted
+            );
+        }
+        assert!(
+            rebalanced.migrations_in >= 1 && rebalanced.migrations_out >= 1,
+            "rebalancer never migrated the hot shard (decisions={})",
+            rebalanced.decisions
+        );
+        assert!(
+            recovery >= 1.5,
+            "hotspot recovery {recovery:.2} < 1.5x the no-rebalance baseline"
         );
     }
 }

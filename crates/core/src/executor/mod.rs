@@ -26,7 +26,8 @@ pub mod ops;
 pub mod pool;
 pub mod router;
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -206,6 +207,10 @@ pub struct ExecutorStage {
     escalate_after_ns: u64,
     /// Mailbox and throughput counters.
     pub stats: StageStats,
+    /// Highest sequence number executed, per input topic. The migration
+    /// handover fence: the new owner of a shard drops buffered items at
+    /// or below this mark because the old owner already processed them.
+    last_seqs: BTreeMap<String, u64>,
 }
 
 impl ExecutorStage {
@@ -221,6 +226,22 @@ impl ExecutorStage {
             policy,
             escalate_after_ns: crate::costs::REALTIME_BOUND_MS * 1_000_000,
             stats: StageStats::default(),
+            last_seqs: BTreeMap::new(),
+        }
+    }
+
+    /// Highest sequence number executed per input topic (the handover
+    /// fence snapshot).
+    pub fn last_seqs(&self) -> &BTreeMap<String, u64> {
+        &self.last_seqs
+    }
+
+    fn note_seq(&mut self, item: &FlowItem) {
+        match self.last_seqs.get_mut(&item.topic) {
+            Some(high) => *high = (*high).max(item.seq),
+            None => {
+                self.last_seqs.insert(item.topic.clone(), item.seq);
+            }
         }
     }
 
@@ -310,10 +331,16 @@ impl ExecutorStage {
             ));
         }
         Some(match work {
-            WorkItem::Item(item) => self.op.on_item(env, item),
+            WorkItem::Item(item) => {
+                self.note_seq(&item);
+                self.op.on_item(env, item)
+            }
             WorkItem::Batch(items) => {
                 self.stats.batched_items += items.len() as u64;
                 self.stats.batch_entries += 1;
+                for item in &items {
+                    self.note_seq(item);
+                }
                 self.op.on_batch(env, items)
             }
             WorkItem::SharedBatch(shared) => {
@@ -322,6 +349,9 @@ impl ExecutorStage {
                 // Last holder takes the allocation, earlier fan-out
                 // consumers clone here (lazily, at execution time).
                 let items = Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone());
+                for item in &items {
+                    self.note_seq(item);
+                }
                 self.op.on_batch(env, items)
             }
             WorkItem::Control(msg) => self.op.on_control(env, &msg),
@@ -349,27 +379,114 @@ impl ExecutorStage {
     }
 }
 
-/// A stage behind a lock, shareable with the worker pool. The condvar
-/// signals mailbox space to producers blocked under
-/// [`ShedPolicy::Block`].
+/// A stage behind a lock, shareable with the worker pool.
+///
+/// Producers never touch the stage lock: a worker executes the operator
+/// (and sleeps out its emulated CPU cost) *under* that lock, so a
+/// producer enqueueing through it would stall a full execution per item
+/// — on a saturated stage the routing thread falls behind real time and
+/// everything it routes (including the migration control plane, which
+/// is how an overloaded shard gets rescued) arrives seconds late.
+/// Instead producers append to a separate `ingress` buffer that workers
+/// fold into the mailbox at every step boundary. [`ShedPolicy::Block`]
+/// backpressure is enforced against a lock-free depth mirror, with the
+/// condvar (paired with the ingress lock) signalled after every pop.
 #[derive(Debug)]
 pub struct StageCell {
     stage: Mutex<ExecutorStage>,
+    /// Producer-side admission buffer; drained under the stage lock at
+    /// every pooled step, preserving FIFO order into the mailbox.
+    ingress: Mutex<VecDeque<(WorkItem, u64)>>,
+    /// Mailbox depth as of the last step boundary, readable without the
+    /// stage lock (blocking producers gate on `ingress + depth`).
+    depth: AtomicUsize,
+    /// Whether the stage still blocks when full (cleared when adaptive
+    /// shed escalation flips the policy away from `Block`).
+    blocking: AtomicBool,
+    /// Current shed policy, mirrored for lock-free monitoring reads
+    /// (0 = Block, 1 = ShedOldest, 2 = ShedNewest).
+    policy: AtomicU8,
+    /// Stats snapshot from the last step boundary, so monitoring and
+    /// load heartbeats never wait behind an executing operator.
+    stats: Mutex<StageStats>,
+    /// Mailbox capacity (immutable after build).
+    capacity: usize,
     space: Condvar,
+}
+
+fn policy_to_u8(policy: ShedPolicy) -> u8 {
+    match policy {
+        ShedPolicy::Block => 0,
+        ShedPolicy::ShedOldest => 1,
+        ShedPolicy::ShedNewest => 2,
+    }
+}
+
+fn policy_from_u8(raw: u8) -> ShedPolicy {
+    match raw {
+        0 => ShedPolicy::Block,
+        1 => ShedPolicy::ShedOldest,
+        _ => ShedPolicy::ShedNewest,
+    }
 }
 
 impl StageCell {
     fn new(stage: ExecutorStage) -> Self {
+        let blocking = stage.policy == ShedPolicy::Block;
+        let policy = policy_to_u8(stage.policy);
+        let capacity = stage.capacity;
+        let stats = stage.stats.clone();
         StageCell {
             stage: Mutex::new(stage),
+            ingress: Mutex::new(VecDeque::new()),
+            depth: AtomicUsize::new(0),
+            blocking: AtomicBool::new(blocking),
+            policy: AtomicU8::new(policy),
+            stats: Mutex::new(stats),
+            capacity,
             space: Condvar::new(),
         }
+    }
+
+    /// Folds buffered ingress into the mailbox (caller holds the stage
+    /// lock) and refreshes the lock-free mirrors.
+    fn admit_ingress(&self, stage: &mut ExecutorStage) {
+        let mut ingress = self.ingress.lock();
+        while let Some((work, at)) = ingress.pop_front() {
+            stage.enqueue(work, at);
+        }
+        drop(ingress);
+        self.sync_mirrors(stage);
+    }
+
+    fn sync_mirrors(&self, stage: &ExecutorStage) {
+        self.depth.store(stage.depth(), Ordering::Release);
+        self.blocking
+            .store(stage.policy == ShedPolicy::Block, Ordering::Release);
+        self.policy
+            .store(policy_to_u8(stage.policy), Ordering::Release);
+        *self.stats.lock() = stage.stats.clone();
+    }
+
+    /// The stage's shed policy as of the last step boundary, without
+    /// touching the stage lock.
+    pub fn policy_snapshot(&self) -> ShedPolicy {
+        policy_from_u8(self.policy.load(Ordering::Acquire))
+    }
+
+    /// The stage's mailbox counters as of the last step boundary,
+    /// without touching the stage lock — an executing operator (which
+    /// sleeps out its emulated CPU cost *under* that lock) never delays
+    /// a monitoring read or a load heartbeat.
+    pub fn stats_snapshot(&self) -> StageStats {
+        self.stats.lock().clone()
     }
 
     /// Enqueues and immediately drains the stage on the caller's thread,
     /// returning every output in order (the inline driver).
     pub fn offer_inline(&self, env: &mut dyn NodeEnv, work: WorkItem) -> Vec<OpOutput> {
         let mut stage = self.stage.lock();
+        self.admit_ingress(&mut stage);
         if env.trace_enabled() {
             env.trace_event(&format!(
                 "stage_enq({}, depth={}, batch={})",
@@ -383,24 +500,31 @@ impl StageCell {
         while let Some(mut outputs) = stage.step(env) {
             out.append(&mut outputs);
         }
+        self.sync_mirrors(&stage);
         out
     }
 
-    /// Enqueues for asynchronous execution by the worker pool. Under
-    /// [`ShedPolicy::Block`] the caller waits here until the mailbox has
-    /// space (workers signal after every pop).
+    /// Enqueues for asynchronous execution by the worker pool, without
+    /// contending with an executing worker. Under [`ShedPolicy::Block`]
+    /// the caller waits here until the stage has space (workers signal
+    /// after every pop).
     pub fn enqueue_pooled(&self, work: WorkItem, now_ns: u64) {
-        let mut stage = self.stage.lock();
-        if matches!(work, WorkItem::Item(_)) && stage.policy == ShedPolicy::Block {
-            while !stage.has_space() {
-                self.space.wait(&mut stage);
+        let mut ingress = self.ingress.lock();
+        if matches!(work, WorkItem::Item(_)) {
+            while self.blocking.load(Ordering::Acquire)
+                && ingress.len() + self.depth.load(Ordering::Acquire) >= self.capacity
+            {
+                self.space.wait(&mut ingress);
             }
         }
-        stage.enqueue(work, now_ns);
+        ingress.push_back((work, now_ns));
     }
 
     /// Pops and executes one work item if any is queued (the pooled
-    /// driver; called from worker threads). Signals waiting producers.
+    /// driver; called from worker threads). Buffered ingress is admitted
+    /// first, so arrival order — and the arrival timestamps the wait
+    /// accounting is measured from — survive the detour. Signals waiting
+    /// producers after the pop.
     ///
     /// Uses `try_lock`: a stage already executing on another worker is
     /// skipped rather than waited on — the operator runs (and sleeps out
@@ -409,16 +533,24 @@ impl StageCell {
     /// whole pool.
     pub fn step_pooled(&self, env: &mut dyn NodeEnv) -> Option<Vec<OpOutput>> {
         let mut stage = self.stage.try_lock()?;
+        self.admit_ingress(&mut stage);
         let outputs = stage.step(env);
+        self.sync_mirrors(&stage);
         if outputs.is_some() {
             self.space.notify_one();
         }
         outputs
     }
 
-    /// Runs `f` on the locked stage (monitoring, tests).
+    /// Runs `f` on the locked stage after folding in buffered ingress,
+    /// so drains that must account for every delivered item (migration
+    /// release, monitoring, tests) see the full queue.
     pub fn with_stage<R>(&self, f: impl FnOnce(&mut ExecutorStage) -> R) -> R {
-        f(&mut self.stage.lock())
+        let mut stage = self.stage.lock();
+        self.admit_ingress(&mut stage);
+        let out = f(&mut stage);
+        self.sync_mirrors(&stage);
+        out
     }
 }
 
@@ -431,6 +563,7 @@ impl StageCell {
 pub struct ExecutorGraph {
     cells: Vec<Arc<StageCell>>,
     specs: Vec<OperatorSpec>,
+    retired: Vec<bool>,
     routes: router::RouteCache,
 }
 
@@ -439,21 +572,61 @@ impl ExecutorGraph {
     pub fn compile(specs: Vec<OperatorSpec>, config: &ExecutorConfig) -> Self {
         let cells = specs
             .iter()
-            .map(|spec| {
-                let mut stage = ExecutorStage::new(
-                    ops::build_operator(spec.clone()),
-                    config.mailbox_capacity,
-                    config.shed_policy,
-                );
-                stage.set_escalation_ms(config.escalate_wait_ms);
-                Arc::new(StageCell::new(stage))
-            })
+            .map(|spec| Arc::new(StageCell::new(Self::build_stage(spec, config))))
             .collect();
+        let retired = vec![false; specs.len()];
         ExecutorGraph {
             cells,
             specs,
+            retired,
             routes: router::RouteCache::new(),
         }
+    }
+
+    fn build_stage(spec: &OperatorSpec, config: &ExecutorConfig) -> ExecutorStage {
+        let mut stage = ExecutorStage::new(
+            ops::build_operator(spec.clone()),
+            config.mailbox_capacity,
+            config.shed_policy,
+        );
+        stage.set_escalation_ms(config.escalate_wait_ms);
+        stage
+    }
+
+    /// Installs a new stage at runtime (live shard migration) and
+    /// returns its index. Stage indices are stable: installation only
+    /// appends, so worker-pool deliveries and armed per-stage timers
+    /// keep addressing the right stage.
+    pub fn install(&mut self, spec: OperatorSpec, config: &ExecutorConfig) -> usize {
+        self.cells
+            .push(Arc::new(StageCell::new(Self::build_stage(&spec, config))));
+        self.specs.push(spec);
+        self.retired.push(false);
+        self.invalidate_routes();
+        self.cells.len() - 1
+    }
+
+    /// Retires a stage at runtime: it keeps its index (a tombstone, so
+    /// nothing shifts under the worker pool) but stops accepting flow —
+    /// its input filters are cleared and future route plans skip it.
+    /// The caller must drain the mailbox first.
+    pub fn retire(&mut self, index: usize) {
+        self.retired[index] = true;
+        self.specs[index].inputs = Vec::new();
+        self.invalidate_routes();
+    }
+
+    /// Whether the stage at `index` has been retired.
+    pub fn is_retired(&self, index: usize) -> bool {
+        self.retired.get(index).copied().unwrap_or(true)
+    }
+
+    /// The index of the live (non-retired) stage running operator `id`.
+    pub fn find(&self, id: &str) -> Option<usize> {
+        self.specs
+            .iter()
+            .enumerate()
+            .position(|(i, s)| s.id == id && !self.retired[i])
     }
 
     /// The memoized route plan for `topic` (resolved on first use; hits
@@ -509,9 +682,10 @@ impl ExecutorGraph {
         self.cells[index].offer_inline(env, WorkItem::Batch(items))
     }
 
-    /// A stage's current shed policy (post-escalation).
+    /// A stage's current shed policy (post-escalation), read from the
+    /// lock-free mirror so callers never wait behind an execution.
     pub fn policy(&self, index: usize) -> ShedPolicy {
-        self.cells[index].with_stage(|stage| stage.policy())
+        self.cells[index].policy_snapshot()
     }
 
     /// Inline: runs one control message through stage `index`.
@@ -540,15 +714,17 @@ impl ExecutorGraph {
     }
 
     /// The classifier served by the operator with the given id, cloned
-    /// out of its stage (train/predict operators only).
+    /// out of its stage (train/predict operators only; retired stages
+    /// are skipped so a re-installed id resolves to the live stage).
     pub fn classifier(&self, id: &str) -> Option<AnyClassifier> {
-        let index = self.specs.iter().position(|s| s.id == id)?;
+        let index = self.find(id)?;
         self.cells[index].with_stage(|stage| stage.model().cloned())
     }
 
-    /// A stage's mailbox counters.
+    /// A stage's mailbox counters, from the last step boundary's
+    /// snapshot (never waits behind an executing operator).
     pub fn stats(&self, index: usize) -> StageStats {
-        self.cells[index].with_stage(|stage| stage.stats.clone())
+        self.cells[index].stats_snapshot()
     }
 
     /// Monitor lines: each operator's summary followed by its stage
@@ -556,7 +732,10 @@ impl ExecutorGraph {
     /// keep idle screens compact).
     pub fn describe(&self) -> Vec<String> {
         let mut out = Vec::new();
-        for cell in &self.cells {
+        for (index, cell) in self.cells.iter().enumerate() {
+            if self.retired[index] {
+                continue;
+            }
             cell.with_stage(|stage| {
                 out.push(stage.describe());
                 if stage.stats.enqueued > 0 {

@@ -500,6 +500,9 @@ fn run_node(
                 // after us in the cluster's phased shutdown).
                 let mut env = env!();
                 node.flush_stage_coalescers(&mut env);
+                // A takeover whose fence never arrived still holds
+                // buffered items — execute them rather than drop them.
+                node.flush_pending_takeovers(&mut env);
                 node.flush_pending_batches(&mut env);
                 rng_state = env.rng_state;
                 break;

@@ -14,6 +14,11 @@ pub struct ModuleStatus {
     pub connected: bool,
     /// One line per hosted class.
     pub classes: Vec<String>,
+    /// One entry per live operator spec with its sequence-shard filter —
+    /// the *current* placement, tracking live migrations.
+    pub placement: Vec<String>,
+    /// Completed shard migrations: `(given_up, taken_over)`.
+    pub migrations: (u64, u64),
     /// Connection-resilience counters (reconnects, offline buffering,
     /// session replay, sequence-ledger loss accounting).
     pub resilience: ResilienceStats,
@@ -26,6 +31,8 @@ impl ModuleStatus {
             name: node.name().to_owned(),
             connected: node.is_connected(),
             classes: node.describe_classes(),
+            placement: node.placement(),
+            migrations: node.migrations(),
             resilience: node.resilience(),
         }
     }
@@ -65,6 +72,13 @@ pub fn render_screen(statuses: &[ModuleStatus], now_label: &str) -> String {
         }
         for class in &status.classes {
             out.push_str(&format!("    {class}\n"));
+        }
+        if !status.placement.is_empty() {
+            out.push_str(&format!("    placement: {}\n", status.placement.join(", ")));
+        }
+        let (given_up, taken_over) = status.migrations;
+        if given_up > 0 || taken_over > 0 {
+            out.push_str(&format!("    migrations: out={given_up} in={taken_over}\n"));
         }
         let r = &status.resilience;
         if r.reconnects > 0 || r.transport_lost > 0 || r.offline_buffered > 0 || r.seq_gaps > 0 {
@@ -113,13 +127,39 @@ mod tests {
             name: "idle".into(),
             connected: false,
             classes: vec![],
+            placement: vec![],
+            migrations: (0, 0),
             resilience: ResilienceStats::default(),
         };
         let screen = render_screen(&[status], "t=0");
         assert!(screen.contains("no classes deployed"));
         assert!(screen.contains("offline"));
-        // A module that never struggled shows no resilience line.
+        // A module that never struggled shows no resilience line, and a
+        // module that never migrated shows no migrations line.
         assert!(!screen.contains("resilience:"));
+        assert!(!screen.contains("migrations:"));
+        assert!(!screen.contains("placement:"));
+    }
+
+    #[test]
+    fn placement_and_migrations_render_when_active() {
+        let status = ModuleStatus {
+            name: "edge".into(),
+            connected: true,
+            classes: vec![],
+            placement: vec!["predict shard 1/3".into(), "train".into()],
+            migrations: (1, 2),
+            resilience: ResilienceStats::default(),
+        };
+        let screen = render_screen(&[status], "t=4");
+        assert!(
+            screen.contains("placement: predict shard 1/3, train"),
+            "screen:\n{screen}"
+        );
+        assert!(
+            screen.contains("migrations: out=1 in=2"),
+            "screen:\n{screen}"
+        );
     }
 
     #[test]
@@ -128,6 +168,8 @@ mod tests {
             name: "edge".into(),
             connected: true,
             classes: vec![],
+            placement: vec![],
+            migrations: (0, 0),
             resilience: ResilienceStats {
                 reconnects: 2,
                 transport_lost: 2,

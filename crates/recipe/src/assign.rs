@@ -98,6 +98,80 @@ pub trait AssignmentStrategy {
     /// capability is offered by no module.
     fn assign(&self, recipe: &Recipe, modules: &[ModuleInfo]) -> Result<Assignment, AssignError>;
 
+    /// Picks distinct host modules for the sequence shards of a
+    /// `replicas = N` task. Returns up to `replicas` module names —
+    /// fewer when too few capable modules exist (callers decide whether
+    /// that is an error).
+    ///
+    /// The default routes replicas through the same rules as `assign`:
+    /// only capable modules are eligible, the anchor module the
+    /// assignment chose hosts the first shard, and every shard charges
+    /// `nominal / replicas` speed-normalized cost on top of the load
+    /// the rest of the assignment already put on each module — so extra
+    /// replicas prefer idle modules instead of whoever sits next to the
+    /// anchor in declaration order.
+    fn place_replicas(
+        &self,
+        recipe: &Recipe,
+        assignment: &Assignment,
+        task_id: &str,
+        modules: &[ModuleInfo],
+        replicas: u64,
+    ) -> Vec<String> {
+        let Some(task) = recipe.task(task_id) else {
+            return Vec::new();
+        };
+        let cap = task.kind.required_capability();
+        let candidates = capable(modules, cap.as_deref());
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        // Load each module already carries from the rest of the recipe
+        // (excluding the replicated task itself — its cost is re-charged
+        // shard by shard below).
+        let mut load: BTreeMap<&str, f64> =
+            modules.iter().map(|m| (m.name.as_str(), 0.0)).collect();
+        for (t, m) in assignment.iter() {
+            if t == task_id {
+                continue;
+            }
+            let cost = recipe.task(t).map(|t| t.kind.nominal_cost()).unwrap_or(0.0);
+            let speed = modules
+                .iter()
+                .find(|module| module.name == m)
+                .map(|module| module.speed.max(1e-9))
+                .unwrap_or(1.0);
+            if let Some(l) = load.get_mut(m) {
+                *l += cost / speed;
+            }
+        }
+        let shard_cost = task.kind.nominal_cost() / replicas.max(1) as f64;
+        let mut hosts: Vec<String> = Vec::new();
+        // The anchor the assignment picked keeps shard 0.
+        if let Some(anchor) = assignment.module_of(task_id) {
+            if let Some(m) = candidates.iter().find(|m| m.name == anchor) {
+                *load.get_mut(anchor).expect("known module") += shard_cost / m.speed.max(1e-9);
+                hosts.push(anchor.to_owned());
+            }
+        }
+        while (hosts.len() as u64) < replicas {
+            let Some(m) = candidates
+                .iter()
+                .filter(|m| !hosts.iter().any(|h| h == &m.name))
+                .min_by(|a, b| {
+                    let la = load[a.name.as_str()];
+                    let lb = load[b.name.as_str()];
+                    la.partial_cmp(&lb).expect("finite loads")
+                })
+            else {
+                break; // fewer capable modules than replicas
+            };
+            *load.get_mut(m.name.as_str()).expect("known module") += shard_cost / m.speed.max(1e-9);
+            hosts.push(m.name.clone());
+        }
+        hosts
+    }
+
     /// A short strategy name for reports.
     fn name(&self) -> &'static str;
 }
@@ -387,6 +461,67 @@ mod tests {
         assert!(!a.tasks_on("m1").is_empty());
         assert!(!a.tasks_on("m2").is_empty());
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn replica_hosts_prefer_idle_modules_over_loaded_ones() {
+        // "t" (cost 10) sits on m1; the anchor of "p" keeps shard 0 and
+        // the extra replica must go to idle m3, not loaded m1.
+        let r = Recipe::builder("r")
+            .task(Task::new(
+                "t",
+                TaskKind::Train {
+                    algorithm: "pa".into(),
+                },
+            ))
+            .task(Task::new(
+                "p",
+                TaskKind::Predict {
+                    algorithm: "pa".into(),
+                },
+            ))
+            .build()
+            .expect("valid");
+        let ms = vec![
+            ModuleInfo::new("m1", 1.0),
+            ModuleInfo::new("m2", 1.0),
+            ModuleInfo::new("m3", 1.0),
+        ];
+        let a = LoadAware.assign(&r, &ms).expect("assigns");
+        let anchor = a.module_of("p").expect("p placed").to_owned();
+        let hosts = LoadAware.place_replicas(&r, &a, "p", &ms, 2);
+        assert_eq!(hosts.len(), 2);
+        assert_eq!(hosts[0], anchor, "anchor keeps shard 0");
+        assert!(!hosts.contains(&"m1".to_owned()) || anchor == "m1");
+        assert_ne!(hosts[0], hosts[1], "replica hosts are distinct");
+    }
+
+    #[test]
+    fn replica_hosts_are_capability_filtered() {
+        // Only two modules offer the actuator; asking for three replicas
+        // returns the two capable hosts, never the incapable module.
+        let r = Recipe::builder("r")
+            .task(Task::new(
+                "act",
+                TaskKind::Actuate {
+                    actuator: "alert".into(),
+                },
+            ))
+            .build()
+            .expect("valid");
+        let ms = vec![
+            ModuleInfo::new("m1", 1.0).with_capability("actuator:alert"),
+            ModuleInfo::new("m2", 1.0),
+            ModuleInfo::new("m3", 1.0).with_capability("actuator:alert"),
+        ];
+        let a = CapabilityAware.assign(&r, &ms).expect("assigns");
+        let hosts = CapabilityAware.place_replicas(&r, &a, "act", &ms, 3);
+        let mut sorted = hosts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec!["m1".to_owned(), "m3".to_owned()]);
+        assert!(CapabilityAware
+            .place_replicas(&r, &a, "ghost", &ms, 2)
+            .is_empty());
     }
 
     #[test]
