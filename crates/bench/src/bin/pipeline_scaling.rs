@@ -206,6 +206,196 @@ fn run_cell(spec: &CellSpec, seconds: f64) -> CellResult {
     }
 }
 
+/// One direct-handoff chain cell (DESIGN.md §5, direct handoff): the
+/// sensor stream is refined through a three-stage intra-node chain of
+/// `local_only` Custom operators and lands on four sequence-sharded
+/// predict replicas — three intra-node flow hops per item, none of them
+/// egress. With direct handoff (the default) the executing worker
+/// routes every hop itself and preserves the batch structure across the
+/// chain, so each predict replica keeps amortizing its per-call model
+/// cost over the frame's sub-batch. With the handoff disabled
+/// (`NodeConfig::without_direct_handoff`) every hop detours through the
+/// node thread, which re-dispatches the emissions one item at a time —
+/// the predict replicas pay the full per-call cost per item and the
+/// node thread becomes the serialization point the handoff exists to
+/// bypass.
+struct ChainResult {
+    direct: bool,
+    devices: u16,
+    rate_hz: f64,
+    policy: ShedPolicy,
+    sensed: u64,
+    ingested: u64,
+    predicted: u64,
+    shed: u64,
+    seconds: f64,
+    items_per_sec: f64,
+    handoff_direct: u64,
+    handoff_fallback: u64,
+    handoff_stale: u64,
+    /// `handoff_direct / (handoff_direct + fallback + stale)` — the
+    /// fraction of intra-node flow hops the workers routed themselves.
+    handoff_direct_ratio: f64,
+    mean_sub_batch: f64,
+    delay_mean_ms: f64,
+    delay_max_ms: f64,
+}
+
+fn run_chain_cell(
+    direct: bool,
+    devices: u16,
+    rate_hz: f64,
+    policy: ShedPolicy,
+    mailbox: usize,
+    seconds: f64,
+) -> ChainResult {
+    // Binary wire on the analysis node too: its chain emissions re-enter
+    // the node codec on the fallback/node-thread path.
+    let mut analysis = NodeConfig::new("analysis")
+        .with_broker_node("broker")
+        .with_wire_format(WireFormat::Binary)
+        .with_workers(4)
+        .with_mailbox(mailbox, policy)
+        .with_operator(
+            OperatorSpec::through(
+                "refine-0",
+                OperatorKind::Custom {
+                    operator: "ingest".into(),
+                },
+                vec!["sensor/#".into()],
+                "flow/chain0",
+            )
+            .local_only(),
+        )
+        .with_operator(
+            OperatorSpec::through(
+                "refine-1",
+                OperatorKind::Custom {
+                    operator: "refine1".into(),
+                },
+                vec!["flow/chain0".into()],
+                "flow/chain1",
+            )
+            .local_only(),
+        )
+        .with_operator(
+            OperatorSpec::through(
+                "refine-2",
+                OperatorKind::Custom {
+                    operator: "refine2".into(),
+                },
+                vec!["flow/chain1".into()],
+                "flow/chain2",
+            )
+            .local_only(),
+        );
+    for k in 0..SHARDS {
+        analysis = analysis.with_operator(
+            OperatorSpec::sink(
+                format!("predict-{k}"),
+                OperatorKind::Predict {
+                    algorithm: "pa".into(),
+                },
+                vec!["flow/chain2".into()],
+            )
+            .sharded(SHARDS, k),
+        );
+    }
+    if !direct {
+        analysis = analysis.without_direct_handoff();
+    }
+    // Linger above the 32-sample fill time (400 ms at 80 Hz), so frames
+    // actually reach `batch_max` — the batch structure whose survival
+    // across the chain is exactly what this cell measures: a full frame
+    // shard-splits into 8-item sub-batches, amortizing the predict
+    // call 8× when the hops preserve it.
+    let mut sensor = NodeConfig::new("sensor-node")
+        .with_broker_node("broker")
+        .with_wire_format(WireFormat::Binary)
+        .with_batching(32, 450);
+    for d in 0..devices {
+        sensor = sensor.with_sensor(SensorSpec::new(
+            SensorKind::Sound,
+            d + 1,
+            rate_hz,
+            7 + d as u64,
+        ));
+    }
+    let cluster = ClusterBuilder::new()
+        .node(NodeConfig::new("broker").with_broker())
+        .node(sensor)
+        .node_with_speed(analysis, 1.0)
+        .start();
+    let start = Instant::now();
+    let report = cluster.run_for(Duration::from_secs_f64(seconds));
+    let elapsed = start.elapsed().as_secs_f64();
+    let predicted = report.metrics.counter("predicted");
+    let delay = report.metrics.latency_summary("sensing_to_predicting");
+    let handoff_direct = report.metrics.counter("handoff_direct");
+    let handoff_fallback = report.metrics.counter("handoff_fallback");
+    let handoff_stale = report.metrics.counter("handoff_stale_route");
+    let hops = handoff_direct + handoff_fallback + handoff_stale;
+    let stats = report
+        .node("analysis")
+        .expect("analysis node present")
+        .stage_stats();
+    let shed: u64 = stats.iter().map(|s| s.shed_oldest + s.shed_newest).sum();
+    // Stages 0..3 are the refine chain; 3..3+SHARDS the predict shards.
+    let predict_stats = &stats[3..3 + SHARDS as usize];
+    let batched_items: u64 = predict_stats.iter().map(|s| s.batched_items).sum();
+    let batch_entries: u64 = predict_stats.iter().map(|s| s.batch_entries).sum();
+    ChainResult {
+        direct,
+        devices,
+        rate_hz,
+        policy,
+        sensed: report.metrics.counter("flow_items_published"),
+        ingested: report.metrics.counter("custom_ingest"),
+        predicted,
+        shed,
+        seconds: elapsed,
+        items_per_sec: predicted as f64 / elapsed,
+        handoff_direct,
+        handoff_fallback,
+        handoff_stale,
+        handoff_direct_ratio: if hops > 0 {
+            handoff_direct as f64 / hops as f64
+        } else {
+            0.0
+        },
+        mean_sub_batch: if batch_entries > 0 {
+            batched_items as f64 / batch_entries as f64
+        } else {
+            0.0
+        },
+        delay_mean_ms: delay.mean_ms,
+        delay_max_ms: delay.max_ms,
+    }
+}
+
+fn chain_json(r: &ChainResult) -> String {
+    format!(
+        "{{ \"direct_handoff\": {}, \"devices\": {}, \"rate_hz\": {}, \"workers\": 4, \"policy\": \"{}\", \"sensed\": {}, \"ingested\": {}, \"predicted\": {}, \"shed\": {}, \"seconds\": {:.2}, \"items_per_sec\": {:.1}, \"handoff_direct\": {}, \"handoff_fallback\": {}, \"handoff_stale_route\": {}, \"handoff_direct_ratio\": {:.3}, \"mean_sub_batch\": {:.2}, \"delay_mean_ms\": {:.2}, \"delay_max_ms\": {:.2} }}",
+        r.direct,
+        r.devices,
+        r.rate_hz,
+        policy_name(r.policy),
+        r.sensed,
+        r.ingested,
+        r.predicted,
+        r.shed,
+        r.seconds,
+        r.items_per_sec,
+        r.handoff_direct,
+        r.handoff_fallback,
+        r.handoff_stale,
+        r.handoff_direct_ratio,
+        r.mean_sub_batch,
+        r.delay_mean_ms,
+        r.delay_max_ms,
+    )
+}
+
 /// One hotspot-recovery cell (DESIGN.md §5, elastic placement): the
 /// sensor stream splits over two complementary predict shards, but
 /// shard 0's host runs 4×-slowed (speed 0.25 → ~120 ms per prediction
@@ -477,6 +667,47 @@ fn main() {
         _ => 0.0,
     };
     println!("  \"speedup_coalesce_w1\": {speedup_coalesce:.2},");
+    // Direct stage-to-stage handoff (DESIGN.md §5): the ≥3-stage
+    // intra-node chain, once with workers routing their own hops (the
+    // default) and once with every hop detouring through the node
+    // thread. The sub-saturation Block cell pins exact conservation
+    // through the chain; the 80 Hz × 4-device pair is the throughput
+    // contrast the handoff exists for.
+    // Longer windows than the sweep cells: the chain cells are measured
+    // drain-inclusive, and the fixed shutdown tail must not drown the
+    // steady-state contrast.
+    let chain_seconds = if quick { 4.0 } else { 6.0 };
+    let chain_conserve = run_chain_cell(true, 1, 20.0, ShedPolicy::Block, 512, chain_seconds);
+    let chain_on = run_chain_cell(
+        true,
+        4,
+        80.0,
+        ShedPolicy::ShedOldest,
+        MAILBOX,
+        chain_seconds,
+    );
+    let chain_off = run_chain_cell(
+        false,
+        4,
+        80.0,
+        ShedPolicy::ShedOldest,
+        MAILBOX,
+        chain_seconds,
+    );
+    let speedup_handoff = if chain_off.items_per_sec > 0.0 {
+        chain_on.items_per_sec / chain_off.items_per_sec
+    } else {
+        0.0
+    };
+    println!("  \"handoff_chain\": {{");
+    println!("    \"stages\": \"sensor/# -> refine-0 -> refine-1 -> refine-2 -> predict x{SHARDS} (3 intra-node hops)\",");
+    println!("    \"cells\": [");
+    println!("      {},", chain_json(&chain_conserve));
+    println!("      {},", chain_json(&chain_on));
+    println!("      {}", chain_json(&chain_off));
+    println!("    ],");
+    println!("    \"speedup_direct_over_node_path\": {speedup_handoff:.2}");
+    println!("  }},");
     // Hotspot recovery (elastic placement, DESIGN.md §5): the same
     // 2-shard predict pipeline with shard 0 pinned on a 4×-slowed
     // module, measured with and without the rebalancing controller.
@@ -536,6 +767,35 @@ fn main() {
         assert!(
             speedup_coalesce >= 1.5,
             "coalesced w1 cell did not reach 1.5x the per-item sharded baseline: {speedup_coalesce:.2}"
+        );
+        // Direct-handoff chain: below saturation the three-hop chain
+        // must conserve the flow exactly — every sensed sample is
+        // refined three times and predicted by exactly one shard.
+        assert!(
+            chain_conserve.sensed == chain_conserve.ingested
+                && chain_conserve.sensed == chain_conserve.predicted,
+            "chain cell lost items: sensed={} ingested={} predicted={}",
+            chain_conserve.sensed,
+            chain_conserve.ingested,
+            chain_conserve.predicted
+        );
+        // The workers must route the intra-node hot path themselves:
+        // >= 90% of flow hops handed off directly, not via the node
+        // thread.
+        assert!(
+            chain_on.handoff_direct_ratio >= 0.9,
+            "direct handoff covered only {:.3} of intra-node hops ({} direct, {} fallback, {} stale)",
+            chain_on.handoff_direct_ratio,
+            chain_on.handoff_direct,
+            chain_on.handoff_fallback,
+            chain_on.handoff_stale
+        );
+        // And bypassing the node-thread router must buy real
+        // throughput: >= 1.5x predictions/s over the same cell with the
+        // handoff disabled.
+        assert!(
+            speedup_handoff >= 1.5,
+            "direct handoff chain speedup {speedup_handoff:.2} < 1.5x the node-thread path"
         );
         // Hotspot recovery: the migration must actually happen, must
         // lose nothing across the handover (Block mailboxes + the

@@ -245,6 +245,22 @@ pub struct ExecutorConfig {
     /// default is the paper's 1.6 s real-time bound
     /// ([`crate::costs::REALTIME_BOUND_MS`]).
     pub escalate_wait_ms: u64,
+    /// Direct stage-to-stage handoff on the pooled hot path: when a
+    /// stage's output is flow data consumed only by other stages on the
+    /// same node, the worker enqueues it straight into the destination
+    /// stage's ingress queue instead of round-tripping through the node
+    /// thread's router. Egress outputs (publishes, MIX envelopes,
+    /// commands, events) always go through the node thread. Has no
+    /// effect in inline mode (`workers == 0`).
+    #[serde(default = "default_direct_handoff")]
+    pub direct_handoff: bool,
+}
+
+// Referenced only from the serde attribute above (configs predating the
+// field must deserialize with the handoff on, not `bool::default()`).
+#[allow(dead_code)]
+fn default_direct_handoff() -> bool {
+    true
 }
 
 impl Default for ExecutorConfig {
@@ -254,6 +270,7 @@ impl Default for ExecutorConfig {
             mailbox_capacity: 256,
             shed_policy: ShedPolicy::Block,
             escalate_wait_ms: crate::costs::REALTIME_BOUND_MS,
+            direct_handoff: true,
         }
     }
 }
@@ -482,6 +499,14 @@ impl NodeConfig {
     /// Sets the executor worker-pool size (builder style; `0` = inline).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.executor.workers = workers;
+        self
+    }
+
+    /// Disables direct stage-to-stage handoff in the worker pool, forcing
+    /// every operator output back through the node-thread router (builder
+    /// style; the baseline arm of the handoff benchmark).
+    pub fn without_direct_handoff(mut self) -> Self {
+        self.executor.direct_handoff = false;
         self
     }
 

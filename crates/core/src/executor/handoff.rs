@@ -1,0 +1,727 @@
+//! Direct stage-to-stage handoff: workers route the intra-node hot path.
+//!
+//! The pooled executor historically shipped **every** operator output
+//! back to the node thread — the sole router — even when the output's
+//! only consumers were other stages on the same node. Each intra-node
+//! hop then cost an unbounded-channel send, a node-thread wakeup, a
+//! codec round-trip and a re-enqueue, making the node thread the
+//! serialization point that caps worker scaling. [`DirectHandoff`] lets
+//! the executing worker resolve the route itself (against the graph's
+//! mutation-versioned [`SharedRouteView`]) and push eligible flow
+//! emissions straight into the destination stages' ingress queues.
+//!
+//! The hop also preserves **batch structure**: a step's emissions all
+//! carry the stage's single output topic, so the worker delivers them as
+//! one work item per destination ([`WorkItem::Batch`] for more than one
+//! emission). Downstream ML stages charge their model cost per *call*,
+//! so a refined sensor frame that stays a batch across the chain keeps
+//! amortizing that cost — the node-thread round trip re-dispatches the
+//! same emissions one item at a time and loses the amortization.
+//!
+//! ## Routing ownership rules
+//!
+//! The node thread remains the *owner* of routing: workers only apply a
+//! **versioned snapshot** of its decision. An output is handed off
+//! directly iff every condition holds, otherwise it falls back to the
+//! ordinary `deliver` callback and the node thread routes it exactly as
+//! before:
+//!
+//! * the emitting spec declares an output topic with `publish_output`
+//!   off (egress — MQTT publishes, MIX envelopes, commands, events —
+//!   always goes through the node thread);
+//! * the topic is plain flow data: discovery (`ifot/announce`), broker
+//!   sys (`$SYS/`), control (`ifot/control`), model (`mix/`) and sensor
+//!   (`sensor/`, which feeds the node's sequence ledger) planes are
+//!   node-thread business;
+//! * the route plan resolves at the worker's pinned version — a stale
+//!   pin (a stage was installed or retired concurrently) falls back, so
+//!   the node thread re-routes on the fresh topology;
+//! * every destination is a stage the pool snapshot knows (stages
+//!   installed after `engage_pool` run inline on the node thread);
+//! * no blocking destination is saturated (see below).
+//!
+//! ## Why try-enqueue keeps `Block` deadlock-free
+//!
+//! The blocking variant of mailbox backpressure parks the *node thread*
+//! in `enqueue_pooled` until a worker pops. That is safe precisely
+//! because workers never wait on mailbox space: if a worker could block
+//! on a full downstream stage while holding its upstream stage lock,
+//! a full cycle of stages (or just one self-loop) would park every
+//! worker and nobody would ever pop. Direct handoff therefore only
+//! *tries*: the capacity check happens under the destination's ingress
+//! lock, and a saturated (or version-stale) destination turns the whole
+//! emission into a fallback delivered by the node thread — which is
+//! allowed to block, exactly as it did before this optimization, and is
+//! guaranteed to make progress because workers keep draining. Lock
+//! order is just as static: a worker holds one *stage* lock (its own)
+//! and then destination *ingress* locks in ascending stage order;
+//! ingress locks are leaves (nothing is acquired under them), so no
+//! cycle exists.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::config::OperatorSpec;
+use crate::env::NodeEnv;
+use crate::flow::FlowItem;
+use crate::operators::OpOutput;
+
+use super::router::{RoutePlan, SharedRouteView};
+use super::{StageCell, WorkItem};
+
+/// Per-worker memoized plans, cleared whenever the shared view moves.
+const PLAN_CACHE_CAP: usize = 1024;
+
+/// What [`DirectHandoff::apply`] did with one step's outputs.
+#[derive(Debug, Default)]
+pub struct HandoffOutcome {
+    /// Outputs the worker could not (or must not) deliver itself, in
+    /// emission order — the caller ships them to the node thread.
+    pub leftover: Vec<OpOutput>,
+    /// Destination hops delivered directly.
+    pub direct: u64,
+    /// Eligible emissions that fell back because a destination mailbox
+    /// was saturated.
+    pub fallback: u64,
+    /// Eligible emissions that fell back because the route topology
+    /// version moved under the worker.
+    pub stale: u64,
+}
+
+impl HandoffOutcome {
+    fn passthrough(outputs: Vec<OpOutput>) -> Self {
+        HandoffOutcome {
+            leftover: outputs,
+            ..HandoffOutcome::default()
+        }
+    }
+}
+
+/// A worker-private route-plan memo pinned to one topology version.
+///
+/// Validating a cached plan costs one acquire load of the shared
+/// version; the shared view's mutex is touched only on a topic miss.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    version: u64,
+    plans: HashMap<String, Arc<RoutePlan>>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache pinned to version 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The topology version the cache is currently pinned to.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The plan for `topic` at the view's current version; `None` when
+    /// the view moved between the version load and the resolve (the
+    /// caller treats that as a stale route).
+    fn plan(&mut self, view: &SharedRouteView, topic: &str) -> Option<Arc<RoutePlan>> {
+        let current = view.version();
+        if current != self.version {
+            self.plans.clear();
+            self.version = current;
+        }
+        if let Some(plan) = self.plans.get(topic) {
+            return Some(Arc::clone(plan));
+        }
+        let plan = view.resolve(topic, self.version)?;
+        if self.plans.len() >= PLAN_CACHE_CAP {
+            self.plans.clear();
+        }
+        self.plans.insert(topic.to_owned(), Arc::clone(&plan));
+        Some(plan)
+    }
+}
+
+/// The worker-side router: a pool-engage-time snapshot of the stage
+/// cells plus the live, versioned route view they are validated
+/// against. Shared (via `Arc`) by every worker of a pool.
+#[derive(Debug)]
+pub struct DirectHandoff {
+    view: Arc<SharedRouteView>,
+    cells: Vec<Arc<StageCell>>,
+    /// Per-source handoff-eligible output topic (`None` = every output
+    /// of that stage goes through the node thread). Source specs are
+    /// immutable in the fields this reads (retirement only clears
+    /// *inputs*), so the snapshot cannot go stale.
+    eligible: Vec<Option<String>>,
+}
+
+impl DirectHandoff {
+    /// Builds the handoff router over the pool's cell snapshot.
+    pub fn new(
+        view: Arc<SharedRouteView>,
+        cells: Vec<Arc<StageCell>>,
+        specs: &[OperatorSpec],
+    ) -> Self {
+        let eligible = specs.iter().take(cells.len()).map(eligible_topic).collect();
+        DirectHandoff {
+            view,
+            cells,
+            eligible,
+        }
+    }
+
+    /// Number of stages in the pool snapshot.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the snapshot has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Routes one step's outputs from stage `src`: eligible flow
+    /// emissions are pushed straight into their destination stages'
+    /// ingress queues; everything else (and every fallback) is returned
+    /// in `leftover` for node-thread delivery, preserving emission
+    /// order among the leftovers.
+    ///
+    /// The step's emissions all carry the source stage's one output
+    /// topic, so they are routed **as a group**: each destination
+    /// receives a single work item — [`WorkItem::Batch`] when more than
+    /// one emission lands there — instead of one push per emission. That
+    /// preserves the batch structure across the hop, which is what lets
+    /// the downstream ML stages keep amortizing their per-call model
+    /// cost; the node-thread round trip shatters a step's emissions into
+    /// per-item deliveries. The group is all-or-nothing: a stale route
+    /// or one saturated blocking destination falls the whole group back
+    /// to node-thread delivery, so every consumer still sees every
+    /// emission exactly once.
+    pub fn apply(
+        &self,
+        env: &mut dyn NodeEnv,
+        src: usize,
+        outputs: Vec<OpOutput>,
+        cache: &mut PlanCache,
+    ) -> HandoffOutcome {
+        let Some(topic) = self.eligible.get(src).and_then(Option::as_deref) else {
+            return HandoffOutcome::passthrough(outputs);
+        };
+        // Split the emissions out while remembering where they sat, so a
+        // group fallback can rebuild the original output order.
+        let mut emits: Vec<crate::flow::FlowMessage> = Vec::new();
+        let mut skeleton: Vec<Option<OpOutput>> = Vec::with_capacity(outputs.len());
+        for output in outputs {
+            match output {
+                OpOutput::Emit(msg) => {
+                    emits.push(msg);
+                    skeleton.push(None);
+                }
+                other => skeleton.push(Some(other)),
+            }
+        }
+        let others = |skeleton: Vec<Option<OpOutput>>| -> Vec<OpOutput> {
+            skeleton.into_iter().flatten().collect()
+        };
+        let rebuild = |skeleton: Vec<Option<OpOutput>>,
+                       emits: Vec<crate::flow::FlowMessage>|
+         -> Vec<OpOutput> {
+            let mut emits = emits.into_iter();
+            skeleton
+                .into_iter()
+                .map(|slot| match slot {
+                    Some(other) => other,
+                    None => OpOutput::Emit(emits.next().expect("one emission per slot")),
+                })
+                .collect()
+        };
+        let mut outcome = HandoffOutcome::default();
+        if emits.is_empty() {
+            outcome.leftover = others(skeleton);
+            return outcome;
+        }
+        let group = emits.len() as u64;
+        'route: {
+            let Some(plan) = cache.plan(&self.view, topic) else {
+                outcome.stale = group;
+                break 'route;
+            };
+            // Mirror of `route_output`: an unpublished output with no
+            // consumer besides its emitter is dropped.
+            if !plan.stages.iter().any(|r| r.stage != src) {
+                outcome.leftover = others(skeleton);
+                return outcome;
+            }
+            // Bucket the emissions per shard-matching destination (the
+            // emitter included, if it accepts its own output — exactly
+            // what the node-thread dispatch would deliver). Buckets hold
+            // indices so the group survives intact for a late fallback.
+            let mut buckets: Vec<(usize, Vec<usize>)> = Vec::with_capacity(plan.stages.len());
+            for route in &plan.stages {
+                let idxs: Vec<usize> = match route.shard {
+                    Some((modulus, index)) => emits
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| m.seq % modulus.max(1) == index)
+                        .map(|(i, _)| i)
+                        .collect(),
+                    None => (0..emits.len()).collect(),
+                };
+                if idxs.is_empty() {
+                    // No sequence of this group lands on the shard; an
+                    // emission claimed by no shard at all is dropped,
+                    // exactly like the node path.
+                    continue;
+                }
+                if route.stage >= self.cells.len() {
+                    // A post-snapshot (inline) stage accepts this topic;
+                    // the node thread must deliver the whole group so
+                    // every consumer sees it exactly once.
+                    outcome.fallback = group;
+                    break 'route;
+                }
+                buckets.push((route.stage, idxs));
+            }
+            if buckets.is_empty() {
+                outcome.leftover = others(skeleton);
+                return outcome;
+            }
+            // Lock every destination ingress in ascending stage order
+            // (the static order that keeps multi-destination handoffs
+            // cycle-free) and re-validate the topology version *under*
+            // those locks: a migration bumps the version before draining
+            // a retired stage, and the ingress mutex gives the
+            // happens-before edge that makes the bump visible here — so
+            // nothing can land behind a drain.
+            buckets.sort_unstable_by_key(|(dest, _)| *dest);
+            let mut guards = Vec::with_capacity(buckets.len());
+            for (dest, _) in &buckets {
+                guards.push(self.cells[*dest].ingress.lock());
+            }
+            if self.view.version() != cache.version() {
+                drop(guards);
+                outcome.stale = group;
+                break 'route;
+            }
+            // Non-blocking capacity check (a batched bucket occupies one
+            // mailbox entry, like any node-dispatched frame): a saturated
+            // `Block` destination turns the whole group into a
+            // node-thread fallback — workers never wait on mailbox space
+            // (see module docs).
+            for ((dest, _), guard) in buckets.iter().zip(&guards) {
+                let cell = &self.cells[*dest];
+                if cell.blocking.load(Ordering::Acquire)
+                    && guard.len() + cell.depth.load(Ordering::Acquire) >= cell.capacity
+                {
+                    drop(guards);
+                    outcome.fallback = group;
+                    break 'route;
+                }
+            }
+            // Deliver: the last bucket using an emission takes it by
+            // move, earlier fan-out buckets clone.
+            let mut uses = vec![0usize; emits.len()];
+            for (_, idxs) in &buckets {
+                for &i in idxs {
+                    uses[i] += 1;
+                }
+            }
+            let now_ns = env.now_ns();
+            let mut slots: Vec<Option<crate::flow::FlowMessage>> =
+                emits.into_iter().map(Some).collect();
+            for ((_, idxs), guard) in buckets.iter().zip(guards.iter_mut()) {
+                let mut items = Vec::with_capacity(idxs.len());
+                for &i in idxs {
+                    uses[i] -= 1;
+                    let msg = if uses[i] == 0 {
+                        slots[i].take().expect("last bucket takes the emission")
+                    } else {
+                        slots[i].clone().expect("cloned for fan-out")
+                    };
+                    items.push(FlowItem::from_message(topic, msg));
+                }
+                outcome.direct += items.len() as u64;
+                let work = if items.len() == 1 {
+                    WorkItem::Item(items.pop().expect("one item"))
+                } else {
+                    WorkItem::Batch(items)
+                };
+                guard.push_back((work, now_ns));
+            }
+            outcome.leftover = others(skeleton);
+            if outcome.direct > 0 {
+                env.add("handoff_direct", outcome.direct);
+            }
+            return outcome;
+        }
+        // Group fallback: ship every output — emissions in their
+        // original positions — to the node thread.
+        outcome.leftover = rebuild(skeleton, emits);
+        if outcome.fallback > 0 {
+            env.add("handoff_fallback", outcome.fallback);
+        }
+        if outcome.stale > 0 {
+            env.add("handoff_stale_route", outcome.stale);
+        }
+        outcome
+    }
+}
+
+/// The output topic stage `spec` may hand off directly, if any.
+pub(crate) fn eligible_topic(spec: &OperatorSpec) -> Option<String> {
+    let topic = spec.output.as_ref()?;
+    if spec.publish_output {
+        return None;
+    }
+    let special = topic.starts_with(crate::discovery::ANNOUNCE_PREFIX)
+        || topic.starts_with("$SYS/")
+        || topic.starts_with(crate::rebalance::CONTROL_PREFIX)
+        || topic.starts_with("mix/")
+        || topic.starts_with("sensor/");
+    if special {
+        return None;
+    }
+    Some(topic.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExecutorConfig, OperatorKind, OperatorSpec, ShedPolicy};
+    use crate::env::MockEnv;
+    use crate::executor::{ExecutorGraph, WorkItem};
+    use ifot_ml::feature::Datum;
+
+    fn kind(op: &str) -> OperatorKind {
+        OperatorKind::Custom {
+            operator: op.into(),
+        }
+    }
+
+    fn chain(id: &str, input: &str, output: &str) -> OperatorSpec {
+        OperatorSpec::through(id, kind(id), vec![input.into()], output).local_only()
+    }
+
+    fn sink(id: &str, input: &str) -> OperatorSpec {
+        OperatorSpec::sink(id, kind(id), vec![input.into()])
+    }
+
+    fn item(topic: &str, seq: u64) -> FlowItem {
+        FlowItem {
+            topic: topic.into(),
+            origin_ts_ns: seq,
+            seq,
+            datum: Datum::new().with("x", seq as f64),
+            label: None,
+            score: None,
+        }
+    }
+
+    fn config() -> ExecutorConfig {
+        ExecutorConfig {
+            workers: 1,
+            ..ExecutorConfig::default()
+        }
+    }
+
+    #[test]
+    fn eligible_emit_lands_in_destination_ingress() {
+        let graph = ExecutorGraph::compile(
+            vec![chain("a", "in/#", "flow/a"), sink("b", "flow/a")],
+            &config(),
+        );
+        let handoff = graph.direct_handoff();
+        let cells = graph.cells();
+        let mut env = MockEnv::new();
+        let mut cache = PlanCache::new();
+
+        cells[0].enqueue_pooled(WorkItem::Item(item("in/x", 1)), 0);
+        let outcome = cells[0]
+            .step_pooled_handoff(&mut env, 0, &handoff, &mut cache)
+            .expect("stage a has work");
+        assert_eq!(outcome.direct, 1);
+        assert_eq!(outcome.fallback, 0);
+        assert_eq!(outcome.stale, 0);
+        assert!(
+            outcome.leftover.is_empty(),
+            "intra-node hop needs no deliver"
+        );
+        assert_eq!(env.counter("handoff_direct"), 1);
+        assert_eq!(graph.stats(0).handoff_direct, 1);
+
+        // The destination drains the handed-off item without any node
+        // thread involvement.
+        let outputs = cells[1]
+            .step_pooled(&mut env)
+            .expect("stage b received the item");
+        assert!(outputs.is_empty(), "sink emits nothing");
+        assert_eq!(env.counter("custom_b"), 1);
+        assert_eq!(graph.stats(1).processed, 1);
+    }
+
+    #[test]
+    fn egress_emissions_pass_through_to_the_deliver_path() {
+        // `publish_output` stays on: the node thread must publish, so the
+        // worker hands the whole output batch back even though a local
+        // consumer exists.
+        let specs = vec![
+            OperatorSpec::through("a", kind("a"), vec!["in/#".into()], "flow/a"),
+            sink("b", "flow/a"),
+        ];
+        let graph = ExecutorGraph::compile(specs, &config());
+        let handoff = graph.direct_handoff();
+        let cells = graph.cells();
+        let mut env = MockEnv::new();
+        let mut cache = PlanCache::new();
+
+        cells[0].enqueue_pooled(WorkItem::Item(item("in/x", 1)), 0);
+        let outcome = cells[0]
+            .step_pooled_handoff(&mut env, 0, &handoff, &mut cache)
+            .expect("stage a has work");
+        assert_eq!(outcome.direct, 0);
+        assert_eq!(outcome.leftover.len(), 1);
+        assert!(matches!(outcome.leftover[0], OpOutput::Emit(_)));
+        // Nothing landed in b's ingress.
+        assert!(cells[1].step_pooled(&mut env).is_none());
+    }
+
+    #[test]
+    fn unconsumed_local_emission_is_dropped_like_the_node_path() {
+        let graph = ExecutorGraph::compile(vec![chain("a", "in/#", "flow/nobody")], &config());
+        let handoff = graph.direct_handoff();
+        let cells = graph.cells();
+        let mut env = MockEnv::new();
+        let mut cache = PlanCache::new();
+
+        cells[0].enqueue_pooled(WorkItem::Item(item("in/x", 1)), 0);
+        let outcome = cells[0]
+            .step_pooled_handoff(&mut env, 0, &handoff, &mut cache)
+            .expect("stage a has work");
+        assert_eq!(outcome.direct, 0);
+        assert_eq!(outcome.fallback, 0);
+        assert!(
+            outcome.leftover.is_empty(),
+            "dropped, exactly as route_output"
+        );
+    }
+
+    #[test]
+    fn saturated_block_destination_falls_back_whole() {
+        let config = ExecutorConfig {
+            workers: 1,
+            mailbox_capacity: 1,
+            shed_policy: ShedPolicy::Block,
+            ..ExecutorConfig::default()
+        };
+        let graph = ExecutorGraph::compile(
+            vec![chain("a", "in/#", "flow/a"), sink("b", "flow/a")],
+            &config,
+        );
+        let handoff = graph.direct_handoff();
+        let cells = graph.cells();
+        let mut env = MockEnv::new();
+        let mut cache = PlanCache::new();
+
+        // Saturate b: capacity 1, one queued item.
+        cells[1].enqueue_pooled(WorkItem::Item(item("flow/a", 9)), 0);
+        cells[0].enqueue_pooled(WorkItem::Item(item("in/x", 1)), 0);
+        let outcome = cells[0]
+            .step_pooled_handoff(&mut env, 0, &handoff, &mut cache)
+            .expect("stage a has work");
+        assert_eq!(outcome.direct, 0);
+        assert_eq!(outcome.fallback, 1);
+        assert_eq!(
+            outcome.leftover.len(),
+            1,
+            "the emission goes via the node thread"
+        );
+        assert_eq!(graph.stats(0).handoff_fallback, 1);
+        assert_eq!(env.counter("handoff_fallback"), 1);
+
+        // A shedding destination never blocks the handoff: drain b, flip
+        // nothing — ShedOldest admission happens at the mailbox fold.
+        let shed_config = ExecutorConfig {
+            shed_policy: ShedPolicy::ShedOldest,
+            ..config
+        };
+        let graph = ExecutorGraph::compile(
+            vec![chain("a", "in/#", "flow/a"), sink("b", "flow/a")],
+            &shed_config,
+        );
+        let handoff = graph.direct_handoff();
+        let cells = graph.cells();
+        let mut cache = PlanCache::new();
+        cells[1].enqueue_pooled(WorkItem::Item(item("flow/a", 9)), 0);
+        cells[0].enqueue_pooled(WorkItem::Item(item("in/x", 1)), 0);
+        let outcome = cells[0]
+            .step_pooled_handoff(&mut env, 0, &handoff, &mut cache)
+            .expect("stage a has work");
+        assert_eq!(outcome.direct, 1, "shed policies accept the push");
+        assert_eq!(outcome.fallback, 0);
+    }
+
+    #[test]
+    fn sharded_fanout_delivers_to_matching_shards_only() {
+        let graph = ExecutorGraph::compile(
+            vec![
+                chain("a", "in/#", "flow/a"),
+                sink("b0", "flow/a").sharded(2, 0),
+                sink("b1", "flow/a").sharded(2, 1),
+                sink("c", "flow/a"),
+            ],
+            &config(),
+        );
+        let handoff = graph.direct_handoff();
+        let cells = graph.cells();
+        let mut env = MockEnv::new();
+        let mut cache = PlanCache::new();
+
+        // CustomOp re-stamps its emission with its own monotone counter:
+        // the first emit carries seq 1, which shard (2, 1) claims.
+        cells[0].enqueue_pooled(WorkItem::Item(item("in/x", 42)), 0);
+        let outcome = cells[0]
+            .step_pooled_handoff(&mut env, 0, &handoff, &mut cache)
+            .expect("stage a has work");
+        assert_eq!(outcome.direct, 2, "shard b1 plus unsharded c");
+        assert!(cells[1].step_pooled(&mut env).is_none(), "b0: wrong shard");
+        assert!(cells[2].step_pooled(&mut env).is_some(), "b1 claims seq 1");
+        assert!(cells[3].step_pooled(&mut env).is_some(), "c sees the frame");
+    }
+
+    #[test]
+    fn burst_lands_as_one_batch_per_destination() {
+        // A step that emits a burst (a batched frame refined by a chain
+        // stage) hands the whole burst off as ONE WorkItem::Batch per
+        // destination: the batch structure — and with it the per-call ML
+        // cost amortization — survives the hop.
+        let graph = ExecutorGraph::compile(
+            vec![chain("a", "in/#", "flow/a"), sink("b", "flow/a")],
+            &config(),
+        );
+        let handoff = graph.direct_handoff();
+        let cells = graph.cells();
+        let mut env = MockEnv::new();
+        let mut cache = PlanCache::new();
+
+        const BURST: u64 = 8;
+        let frame: Vec<FlowItem> = (0..BURST).map(|i| item("in/x", i)).collect();
+        cells[0].enqueue_pooled(WorkItem::Batch(frame), 0);
+        let outcome = cells[0]
+            .step_pooled_handoff(&mut env, 0, &handoff, &mut cache)
+            .expect("stage a has work");
+        assert_eq!(outcome.direct, BURST, "every item counts as a direct hop");
+        assert_eq!(outcome.fallback, 0);
+        assert!(outcome.leftover.is_empty());
+
+        // b received exactly one mailbox entry carrying all eight items,
+        // in emission order.
+        cells[1].with_stage(|stage| {
+            assert_eq!(stage.depth(), 1, "one batched entry, not eight items");
+        });
+        assert!(cells[1].step_pooled(&mut env).is_some());
+        let stats = graph.stats(1);
+        assert_eq!(stats.batch_entries, 1);
+        assert_eq!(stats.batched_items, BURST);
+        assert_eq!(stats.processed, 1);
+        // CustomOp touched the items in batch order.
+        assert_eq!(env.counter("custom_b"), BURST);
+    }
+
+    #[test]
+    fn burst_partitions_across_shards_and_fans_out_whole() {
+        // A burst splits per shard by sequence, while an unsharded
+        // consumer sees the whole burst as one batch.
+        let graph = ExecutorGraph::compile(
+            vec![
+                chain("a", "in/#", "flow/a"),
+                sink("b0", "flow/a").sharded(2, 0),
+                sink("b1", "flow/a").sharded(2, 1),
+                sink("c", "flow/a"),
+            ],
+            &config(),
+        );
+        let handoff = graph.direct_handoff();
+        let cells = graph.cells();
+        let mut env = MockEnv::new();
+        let mut cache = PlanCache::new();
+
+        // CustomOp re-stamps its emissions 1..=4.
+        let frame: Vec<FlowItem> = (0..4).map(|i| item("in/x", i)).collect();
+        cells[0].enqueue_pooled(WorkItem::Batch(frame), 0);
+        let outcome = cells[0]
+            .step_pooled_handoff(&mut env, 0, &handoff, &mut cache)
+            .expect("stage a has work");
+        // b0 takes seqs {2, 4}, b1 takes {1, 3}, c takes all four.
+        assert_eq!(outcome.direct, 2 + 2 + 4);
+        for (dest, want) in [(1usize, 2u64), (2, 2), (3, 4)] {
+            cells[dest].with_stage(|stage| {
+                assert_eq!(stage.depth(), 1, "stage {dest}: one batched entry");
+            });
+            assert!(cells[dest].step_pooled(&mut env).is_some());
+            let stats = graph.stats(dest);
+            assert_eq!(stats.batched_items, want, "stage {dest} item share");
+        }
+    }
+
+    #[test]
+    fn route_churn_never_loses_an_emission() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        // One producer hands off while another thread keeps bumping the
+        // route version: every emission must be either delivered directly
+        // or returned as leftover — never both, never neither.
+        let graph = ExecutorGraph::compile(
+            vec![chain("a", "in/#", "flow/a"), sink("b", "flow/a")],
+            &config(),
+        );
+        let handoff = graph.direct_handoff();
+        let cells = graph.cells();
+        let stop = Arc::new(AtomicBool::new(false));
+        let churn = {
+            let view = graph.shared_routes();
+            let specs = graph.specs().to_vec();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    view.refresh(specs.clone());
+                }
+            })
+        };
+
+        let mut env = MockEnv::new();
+        let mut cache = PlanCache::new();
+        const N: u64 = 500;
+        let mut direct = 0u64;
+        let mut leftover_emits = 0u64;
+        for seq in 0..N {
+            cells[0].enqueue_pooled(WorkItem::Item(item("in/x", seq)), 0);
+            let outcome = cells[0]
+                .step_pooled_handoff(&mut env, 0, &handoff, &mut cache)
+                .expect("stage a has work");
+            direct += outcome.direct;
+            leftover_emits += outcome
+                .leftover
+                .iter()
+                .filter(|o| matches!(o, OpOutput::Emit(_)))
+                .count() as u64;
+        }
+        stop.store(true, Ordering::Release);
+        churn.join().unwrap();
+
+        assert_eq!(direct + leftover_emits, N, "exact conservation under churn");
+        let stats = graph.stats(0);
+        assert_eq!(stats.handoff_direct, direct);
+        // A leftover is either a stale route (the churn thread won the
+        // race) or a capacity fallback (b saturates: nothing drains it
+        // during the loop) — each counted exactly once.
+        assert_eq!(
+            stats.handoff_stale_route + stats.handoff_fallback,
+            leftover_emits
+        );
+        // Everything handed off directly is really sitting in b.
+        let mut drained = 0u64;
+        while cells[1].step_pooled(&mut env).is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, direct);
+    }
+}

@@ -22,6 +22,7 @@
 //! shed the newcomer — each counted in per-stage [`StageStats`] that the
 //! management monitor surfaces.
 
+pub mod handoff;
 pub mod ops;
 pub mod pool;
 pub mod router;
@@ -164,6 +165,17 @@ pub struct StageStats {
     /// Shed-policy escalations (`Block` → `ShedOldest`) this stage
     /// performed after its queue wait crossed the real-time bound.
     pub escalations: u64,
+    /// Outputs of this stage delivered straight into another stage's
+    /// ingress by the executing worker (per destination hop), bypassing
+    /// the node-thread router.
+    pub handoff_direct: u64,
+    /// Handoff-eligible outputs routed through the node thread anyway
+    /// because a destination mailbox was saturated (workers never block).
+    pub handoff_fallback: u64,
+    /// Handoff-eligible outputs routed through the node thread because
+    /// the route topology changed under the worker (install/retire race;
+    /// the node thread re-routes on the fresh plan).
+    pub handoff_stale_route: u64,
 }
 
 impl StageStats {
@@ -542,6 +554,31 @@ impl StageCell {
         outputs
     }
 
+    /// Like [`StageCell::step_pooled`], but routes the step's outputs
+    /// through the worker-side direct handoff before returning: eligible
+    /// flow emissions land straight in their destination stages' ingress
+    /// queues and only the leftovers (egress, fallbacks) are returned
+    /// for node-thread delivery. The handoff counters are folded into
+    /// this stage's stats while its lock is still held.
+    pub fn step_pooled_handoff(
+        &self,
+        env: &mut dyn NodeEnv,
+        src: usize,
+        handoff: &handoff::DirectHandoff,
+        cache: &mut handoff::PlanCache,
+    ) -> Option<handoff::HandoffOutcome> {
+        let mut stage = self.stage.try_lock()?;
+        self.admit_ingress(&mut stage);
+        let outputs = stage.step(env)?;
+        let outcome = handoff.apply(env, src, outputs, cache);
+        stage.stats.handoff_direct += outcome.direct;
+        stage.stats.handoff_fallback += outcome.fallback;
+        stage.stats.handoff_stale_route += outcome.stale;
+        self.sync_mirrors(&stage);
+        self.space.notify_one();
+        Some(outcome)
+    }
+
     /// Runs `f` on the locked stage after folding in buffered ingress,
     /// so drains that must account for every delivered item (migration
     /// release, monitoring, tests) see the full queue.
@@ -565,6 +602,9 @@ pub struct ExecutorGraph {
     specs: Vec<OperatorSpec>,
     retired: Vec<bool>,
     routes: router::RouteCache,
+    /// Mutation-versioned route view shared with the worker pool (the
+    /// node thread keeps using the faster single-threaded `routes`).
+    shared_routes: Arc<router::SharedRouteView>,
 }
 
 impl ExecutorGraph {
@@ -575,11 +615,14 @@ impl ExecutorGraph {
             .map(|spec| Arc::new(StageCell::new(Self::build_stage(spec, config))))
             .collect();
         let retired = vec![false; specs.len()];
+        let shared_routes = Arc::new(router::SharedRouteView::new());
+        shared_routes.refresh(specs.clone());
         ExecutorGraph {
             cells,
             specs,
             retired,
             routes: router::RouteCache::new(),
+            shared_routes,
         }
     }
 
@@ -635,10 +678,32 @@ impl ExecutorGraph {
         self.routes.resolve(&self.specs, topic)
     }
 
-    /// Drops the memoized route plans. Must accompany any mutation of
-    /// the specs, mirroring the MQTT tree's match-cache contract.
+    /// Drops the memoized route plans and bumps the shared view's
+    /// version (workers pinned to the old topology fall back to
+    /// node-thread delivery). Must accompany any mutation of the specs,
+    /// mirroring the MQTT tree's match-cache contract — and must run
+    /// *before* the mutation is acted upon (e.g. before a retired
+    /// stage's mailbox is drained), so in-flight direct handoffs cannot
+    /// land behind the action.
     pub fn invalidate_routes(&self) {
         self.routes.invalidate();
+        self.shared_routes.refresh(self.specs.clone());
+    }
+
+    /// The mutation-versioned route view shared with the worker pool.
+    pub fn shared_routes(&self) -> Arc<router::SharedRouteView> {
+        Arc::clone(&self.shared_routes)
+    }
+
+    /// Builds the worker-side direct-handoff router over the current
+    /// stage snapshot (call at pool-engage time, like
+    /// [`ExecutorGraph::cells`]).
+    pub fn direct_handoff(&self) -> Arc<handoff::DirectHandoff> {
+        Arc::new(handoff::DirectHandoff::new(
+            self.shared_routes(),
+            self.cells(),
+            &self.specs,
+        ))
     }
 
     /// Number of stages.

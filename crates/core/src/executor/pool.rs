@@ -16,40 +16,74 @@
 //! `consumers - 1` copies) while inline mode, which executes stages in
 //! order, always gets the free unwrap on the final consumer.
 //!
-//! Workers perform no routing: every output batch is handed to the
-//! `deliver` callback, which the thread runtime wires back to the node
-//! thread's own channel. The node thread stays the sole router,
-//! publisher and mailbox producer, which is what makes the blocking
-//! backpressure policy deadlock-free (workers only ever *drain*
-//! mailboxes and push to an unbounded channel).
+//! With a [`DirectHandoff`] router, workers *do* route the intra-node
+//! hot path: a stage's eligible flow emissions go straight into the
+//! destination stages' ingress queues, and only egress outputs and
+//! fallbacks are handed to the `deliver` callback (wired back to the
+//! node thread, which stays the sole publisher and the owner of route
+//! mutations). Blocking backpressure stays deadlock-free because the
+//! handoff only *try*-enqueues — workers never wait on mailbox space;
+//! see [`crate::executor::handoff`] for the full argument.
+//!
+//! The idle path is event-driven: a worker that finds no runnable stage
+//! parks on the pool condvar with **no timeout** and is woken by
+//! `notify_work` (node-thread enqueues), by peers that handed work off
+//! directly, or by stop. An idle pool makes zero periodic wakeups —
+//! asserted the same way as the broker's timer wheel — and each worker
+//! buffers its metric updates in a private [`MetricsDelta`] shard,
+//! paying the shared-hub lock once per flush instead of once per
+//! counter bump in hot operator code.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
-use ifot_netsim::metrics::Metrics;
-use ifot_netsim::time::SimDuration;
+use ifot_netsim::metrics::{Metrics, MetricsDelta};
 
 use crate::env::NodeEnv;
+use crate::executor::handoff::{DirectHandoff, PlanCache};
 use crate::executor::StageCell;
 use crate::operators::OpOutput;
 
 /// Receives `(stage_index, outputs)` batches from worker threads.
 pub type DeliverFn = Arc<dyn Fn(usize, Vec<OpOutput>) + Send + Sync>;
 
+/// Buffered metric entries that trigger a shard flush mid-stream (idle
+/// transitions and worker exit always flush regardless).
+const METRIC_SHARD_FLUSH: usize = 256;
+
 /// The [`NodeEnv`] worker threads execute operators against: live
-/// monotone time, the cluster's shared metrics hub, optional CPU speed
-/// emulation, and a per-worker deterministic RNG. Operators never send
-/// packets or arm timers themselves (the node routes their outputs), so
-/// those environment calls only count a diagnostic metric.
+/// monotone time, a per-worker metric shard flushed in bulk to the
+/// cluster's shared hub, optional CPU speed emulation, and a per-worker
+/// deterministic RNG. Operators never send packets or arm timers
+/// themselves (the node routes their outputs), so those environment
+/// calls only count a diagnostic metric.
 struct WorkerEnv {
     epoch: Instant,
     metrics: Arc<Mutex<Metrics>>,
+    shard: MetricsDelta,
     speed: Option<f64>,
     rng_state: u64,
+}
+
+impl WorkerEnv {
+    /// Merges the private shard into the shared hub (one lock per
+    /// flush). Called on idle transitions, at worker exit, and when the
+    /// shard outgrows [`METRIC_SHARD_FLUSH`].
+    fn flush_metrics(&mut self) {
+        if !self.shard.is_empty() {
+            self.metrics.lock().absorb(&mut self.shard);
+        }
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.shard.len() >= METRIC_SHARD_FLUSH {
+            self.flush_metrics();
+        }
+    }
 }
 
 impl NodeEnv for WorkerEnv {
@@ -78,17 +112,17 @@ impl NodeEnv for WorkerEnv {
 
     fn record_latency_since_ns(&mut self, name: &str, since_ns: u64) {
         let d = self.now_ns().saturating_sub(since_ns);
-        self.metrics
-            .lock()
-            .record_latency(name, SimDuration::from_nanos(d));
+        self.shard.record_latency_ns(name, d);
+        self.maybe_flush();
     }
 
     fn incr(&mut self, counter: &str) {
-        self.metrics.lock().incr(counter);
+        self.add(counter, 1);
     }
 
     fn add(&mut self, counter: &str, delta: u64) {
-        self.metrics.lock().add(counter, delta);
+        self.shard.add(counter, delta);
+        self.maybe_flush();
     }
 
     fn rand_u64(&mut self) -> u64 {
@@ -128,6 +162,7 @@ impl std::fmt::Debug for WorkerRuntime {
 pub struct WorkerPool {
     stop: Arc<AtomicBool>,
     signal: Arc<(Mutex<u64>, Condvar)>,
+    scans: Arc<AtomicU64>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -141,25 +176,31 @@ impl std::fmt::Debug for WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` threads draining `cells`; outputs go to
-    /// `deliver`.
+    /// `deliver`, except the intra-node flow hops `handoff` (when given)
+    /// delivers worker-to-stage directly.
     pub fn spawn(
         name: &str,
         workers: usize,
         cells: Vec<Arc<StageCell>>,
         deliver: DeliverFn,
+        handoff: Option<Arc<DirectHandoff>>,
         runtime: WorkerRuntime,
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let signal = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let scans = Arc::new(AtomicU64::new(0));
         let handles = (0..workers)
             .map(|w| {
                 let cells = cells.clone();
                 let deliver = Arc::clone(&deliver);
+                let handoff = handoff.clone();
                 let stop = Arc::clone(&stop);
                 let signal = Arc::clone(&signal);
+                let scans = Arc::clone(&scans);
                 let mut env = WorkerEnv {
                     epoch: runtime.epoch,
                     metrics: Arc::clone(&runtime.metrics),
+                    shard: MetricsDelta::new(),
                     speed: runtime.speed,
                     rng_state: runtime.seed
                         ^ (0xA076_1D64_78BD_642F_u64.wrapping_mul(w as u64 + 1)),
@@ -167,9 +208,13 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("ifot-{name}-w{w}"))
                     .spawn(move || {
+                        let mut plans = PlanCache::new();
+                        let mut woke_from_wait = false;
                         while !stop.load(Ordering::Acquire) {
                             let observed = *signal.0.lock();
+                            scans.fetch_add(1, Ordering::Relaxed);
                             let mut did_work = false;
+                            let mut handed_off = false;
                             // One item per stage per pass: fairness over
                             // throughput so no stage starves. Each worker
                             // starts its scan at a different stage so the
@@ -177,21 +222,57 @@ impl WorkerPool {
                             // convoying on the first busy one.
                             for i in 0..cells.len() {
                                 let index = (w + i) % cells.len();
-                                if let Some(outputs) = cells[index].step_pooled(&mut env) {
-                                    did_work = true;
-                                    if !outputs.is_empty() {
-                                        deliver(index, outputs);
+                                match handoff.as_deref() {
+                                    Some(handoff) => {
+                                        if let Some(outcome) = cells[index].step_pooled_handoff(
+                                            &mut env, index, handoff, &mut plans,
+                                        ) {
+                                            did_work = true;
+                                            handed_off |= outcome.direct > 0;
+                                            if !outcome.leftover.is_empty() {
+                                                deliver(index, outcome.leftover);
+                                            }
+                                        }
+                                    }
+                                    None => {
+                                        if let Some(outputs) = cells[index].step_pooled(&mut env) {
+                                            did_work = true;
+                                            if !outputs.is_empty() {
+                                                deliver(index, outputs);
+                                            }
+                                        }
                                     }
                                 }
                             }
+                            // A wakeup that found nothing runnable was
+                            // spurious (e.g. a peer raced us to the work).
+                            if woke_from_wait && !did_work {
+                                env.add("worker_spurious_wakeups", 1);
+                            }
+                            woke_from_wait = false;
+                            if handed_off {
+                                // Direct deliveries bypass the node
+                                // thread's notify: wake idle peers so the
+                                // destination stage is drained promptly.
+                                let (lock, cvar) = &*signal;
+                                *lock.lock() += 1;
+                                cvar.notify_all();
+                            }
                             if !did_work {
+                                // Going idle: surface buffered metrics
+                                // before parking, then wait with no
+                                // timeout — an idle pool makes zero
+                                // periodic wakeups.
+                                env.flush_metrics();
                                 let (lock, cvar) = &*signal;
                                 let mut version = lock.lock();
                                 if *version == observed && !stop.load(Ordering::Acquire) {
-                                    cvar.wait_for(&mut version, Duration::from_millis(5));
+                                    cvar.wait(&mut version);
+                                    woke_from_wait = true;
                                 }
                             }
                         }
+                        env.flush_metrics();
                     })
                     .expect("spawning a stage worker succeeds")
             })
@@ -199,6 +280,7 @@ impl WorkerPool {
         WorkerPool {
             stop,
             signal,
+            scans,
             handles,
         }
     }
@@ -210,13 +292,111 @@ impl WorkerPool {
         cvar.notify_all();
     }
 
+    /// Total scan passes performed by all workers. Strictly monotone
+    /// while any worker is runnable; *constant* while the pool is idle —
+    /// the zero-periodic-wakeup assertion reads it twice.
+    pub fn scan_count(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
+    }
+
     /// Stops and joins every worker (queued work may remain unprocessed;
-    /// the caller drains or discards it).
+    /// the caller drains or discards it). Worker metric shards are
+    /// flushed on the way out.
     pub fn stop(self) {
         self.stop.store(true, Ordering::Release);
         self.notify_work();
         for handle in self.handles {
             let _ = handle.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExecutorConfig, OperatorKind, OperatorSpec};
+    use crate::executor::ExecutorGraph;
+
+    fn idle_pool() -> (WorkerPool, Arc<Mutex<Metrics>>) {
+        let specs = vec![OperatorSpec::sink(
+            "ingest",
+            OperatorKind::Custom {
+                operator: "ingest".into(),
+            },
+            vec!["sensor/#".into()],
+        )];
+        let config = ExecutorConfig {
+            workers: 2,
+            ..ExecutorConfig::default()
+        };
+        let graph = ExecutorGraph::compile(specs, &config);
+        let metrics = Arc::new(Mutex::new(Metrics::new()));
+        let pool = WorkerPool::spawn(
+            "idle-test",
+            2,
+            graph.cells(),
+            Arc::new(|_, _| {}),
+            Some(graph.direct_handoff()),
+            WorkerRuntime {
+                epoch: Instant::now(),
+                metrics: Arc::clone(&metrics),
+                speed: None,
+                seed: 7,
+            },
+        );
+        (pool, metrics)
+    }
+
+    /// The broker-timer-wheel assertion, ported to the pool: once every
+    /// worker has parked, the scan counter must not move — an idle pool
+    /// makes zero periodic wakeups (the old 5 ms poll made ~200/s per
+    /// worker).
+    #[test]
+    fn idle_pool_makes_zero_periodic_wakeups() {
+        let (pool, _metrics) = idle_pool();
+        // Let the initial scans settle: wait until the counter is stable
+        // across a full settle window.
+        let mut last = pool.scan_count();
+        for _ in 0..200 {
+            std::thread::sleep(Duration::from_millis(5));
+            let now = pool.scan_count();
+            if now == last {
+                break;
+            }
+            last = now;
+        }
+        let settled = pool.scan_count();
+        // A quarter second is 50 poll periods of the old 5 ms timeout:
+        // any surviving periodic wakeup would move the counter.
+        std::thread::sleep(Duration::from_millis(250));
+        assert_eq!(
+            pool.scan_count(),
+            settled,
+            "idle workers must not wake periodically"
+        );
+        // notify_work still wakes them (one scan pass per worker, then
+        // they park again).
+        pool.notify_work();
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            pool.scan_count() > settled,
+            "notify_work must wake the pool"
+        );
+        pool.stop();
+    }
+
+    /// Worker metric shards flush at exit: counters buffered privately
+    /// must land in the shared hub after `stop()`.
+    #[test]
+    fn worker_metric_shards_flush_on_stop() {
+        let (pool, metrics) = idle_pool();
+        std::thread::sleep(Duration::from_millis(20));
+        pool.notify_work();
+        std::thread::sleep(Duration::from_millis(20));
+        pool.stop();
+        // Waking an idle pool with no work produces spurious wakeups,
+        // which reach the hub through the shard path.
+        let hub = metrics.lock();
+        assert!(hub.counter("worker_spurious_wakeups") >= 1);
     }
 }

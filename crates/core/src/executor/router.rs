@@ -12,7 +12,10 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::config::OperatorSpec;
 use crate::flow::FlowItem;
@@ -145,6 +148,81 @@ impl RouteCache {
     }
 }
 
+/// A thread-safe, mutation-versioned route-plan view shared with the
+/// worker pool (the node-thread side keeps its faster single-threaded
+/// [`RouteCache`]).
+///
+/// Workers resolve against a *pinned* version: [`SharedRouteView::resolve`]
+/// returns `None` whenever the view has moved past the caller's pinned
+/// version, forcing the worker to fall back to node-thread delivery
+/// instead of routing on a stale topology. The version counter is the
+/// fence the migration protocol leans on — [`SharedRouteView::refresh`]
+/// bumps it (release-ordered) *before* the mutated graph is acted upon,
+/// so a worker that re-reads the version under a destination's ingress
+/// lock is guaranteed to observe the bump made before that destination
+/// was drained (the ingress mutex provides the happens-before edge).
+#[derive(Debug, Default)]
+pub struct SharedRouteView {
+    /// Fast-path version stamp: readers validate a locally cached plan
+    /// with one acquire load instead of taking the mutex.
+    version: AtomicU64,
+    inner: Mutex<SharedRouteInner>,
+}
+
+#[derive(Debug, Default)]
+struct SharedRouteInner {
+    specs: Vec<OperatorSpec>,
+    plans: HashMap<String, Arc<RoutePlan>>,
+    version: u64,
+}
+
+impl SharedRouteView {
+    /// Creates an empty view at version 0 (resolves nothing until the
+    /// first [`SharedRouteView::refresh`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current route-topology version (acquire-ordered).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Replaces the spec snapshot, drops every memoized plan and bumps
+    /// the version. Call on *any* mutation of the underlying operator
+    /// set (install, retire, recompile) — before the mutation is acted
+    /// upon, so in-flight workers pinned to the old version go stale.
+    pub fn refresh(&self, specs: Vec<OperatorSpec>) {
+        let mut inner = self.inner.lock();
+        inner.specs = specs;
+        inner.plans.clear();
+        inner.version += 1;
+        let version = inner.version;
+        // Publish under the lock so version() never runs ahead of the
+        // specs it stamps.
+        self.version.store(version, Ordering::Release);
+    }
+
+    /// The memoized plan for `topic` at `pinned_version`, resolving and
+    /// inserting on miss; `None` when the view has moved on (caller must
+    /// fall back to node-thread delivery and re-pin).
+    pub fn resolve(&self, topic: &str, pinned_version: u64) -> Option<Arc<RoutePlan>> {
+        let mut inner = self.inner.lock();
+        if inner.version != pinned_version {
+            return None;
+        }
+        if let Some(plan) = inner.plans.get(topic) {
+            return Some(Arc::clone(plan));
+        }
+        let plan = Arc::new(RoutePlan::resolve(&inner.specs, topic));
+        if inner.plans.len() >= ROUTE_CACHE_CAP {
+            inner.plans.clear();
+        }
+        inner.plans.insert(topic.to_owned(), Arc::clone(&plan));
+        Some(plan)
+    }
+}
+
 /// Partitions `items` by `seq % modulus` into `modulus` buckets in one
 /// pass, consuming the input (no clones). Every item lands in exactly
 /// one bucket and intra-bucket order preserves input order.
@@ -262,6 +340,37 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.invalidate();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_view_resolves_only_at_the_pinned_version() {
+        let view = SharedRouteView::new();
+        view.refresh(vec![custom("a", vec!["s/#".into()])]);
+        let v = view.version();
+        assert_eq!(v, 1);
+
+        let plan = view.resolve("s/1", v).expect("current version resolves");
+        assert_eq!(plan.stages.len(), 1);
+        // A hit shares the memoized plan.
+        let again = view.resolve("s/1", v).unwrap();
+        assert!(Arc::ptr_eq(&plan, &again));
+
+        // A stale pin resolves nothing, even for memoized topics.
+        view.refresh(vec![
+            custom("a", vec!["s/#".into()]),
+            custom("b", vec!["s/#".into()]),
+        ]);
+        assert!(view.resolve("s/1", v).is_none());
+        let v2 = view.version();
+        assert_eq!(view.resolve("s/1", v2).unwrap().stages.len(), 2);
+    }
+
+    #[test]
+    fn shared_view_version_zero_resolves_empty_spec_set() {
+        let view = SharedRouteView::new();
+        // Before the first refresh the view is valid but routes nothing.
+        let plan = view.resolve("s/1", 0).expect("version 0 is current");
+        assert!(plan.is_empty());
     }
 
     #[test]

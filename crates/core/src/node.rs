@@ -498,6 +498,15 @@ impl MiddlewareNode {
         self.executor.cells()
     }
 
+    /// The worker-side direct-handoff router for the pool, when the
+    /// configuration permits workers to route intra-node flow hops
+    /// themselves. Stage-ingress coalescing re-batches at *this*
+    /// thread's dispatch, so it keeps routing exclusive.
+    pub(crate) fn worker_handoff(&self) -> Option<Arc<crate::executor::handoff::DirectHandoff>> {
+        (self.config.executor.direct_handoff && !self.config.stage_coalesce)
+            .then(|| self.executor.direct_handoff())
+    }
+
     /// Switches dispatch to pooled mode: stages are enqueued for a
     /// worker pool instead of being drained inline on this thread.
     pub(crate) fn engage_pool(&mut self) {
@@ -1601,6 +1610,15 @@ impl MiddlewareNode {
         // covers everything delivered before the release arrived.
         self.flush_stage_batch(env, stage, queue);
         let cell = self.executor.cells()[stage].clone();
+        // Retire *before* draining: retiring bumps the shared route
+        // version, so a worker racing a direct handoff at this stage
+        // either already landed in the ingress (folded into the drain
+        // below, hence covered by the fence) or re-reads the version
+        // under the ingress lock, aborts, and falls back to this thread
+        // — where the fresh route plan no longer includes the stage.
+        // Draining first would leave a window for an item to land
+        // *behind* the fence and be silently lost.
+        self.executor.retire(stage);
         loop {
             let outputs = cell.with_stage(|s| s.step(env));
             match outputs {
@@ -1609,12 +1627,15 @@ impl MiddlewareNode {
             }
         }
         let fence = cell.with_stage(|s| s.last_seqs().clone());
-        let envelope = self.executor.classifier(&op).map(|model| MixEnvelope {
-            role: "avg".into(),
-            task: op.clone(),
-            diff: model.export_diff(),
-        });
-        self.executor.retire(stage);
+        // The stage is already retired (invisible to `find`), so read
+        // the model straight off its cell.
+        let envelope = cell
+            .with_stage(|s| s.model().cloned())
+            .map(|model| MixEnvelope {
+                role: "avg".into(),
+                task: op.clone(),
+                diff: model.export_diff(),
+            });
         self.config.operators.retain(|o| o.id != op);
         let cmd = crate::rebalance::ControlCommand::Handover {
             op,

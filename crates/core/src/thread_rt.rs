@@ -427,6 +427,7 @@ fn run_node(
             workers,
             node.executor_cells(),
             deliver,
+            node.worker_handoff(),
             WorkerRuntime {
                 epoch,
                 metrics: Arc::clone(&metrics),
@@ -492,6 +493,12 @@ fn run_node(
                 let mut env = env!();
                 node.handle_outputs(&mut env, op_index, outputs);
                 rng_state = env.rng_state;
+                // Routing the outputs may have enqueued new stage work;
+                // with the unbounded idle wait the pool only runs when
+                // told (the old 5 ms poll used to paper over this).
+                if let Some(pool) = pool.as_ref() {
+                    pool.notify_work();
+                }
             }
             Ok(ThreadMsg::Stop) => {
                 // Deliver coalesced stage ingress first (it can emit new

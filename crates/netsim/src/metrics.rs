@@ -172,6 +172,67 @@ impl Metrics {
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
+
+    /// Merges a buffered [`MetricsDelta`] into the hub in one pass.
+    ///
+    /// This is the bulk entry point for per-worker metric shards: hot
+    /// threads accumulate into a private delta and pay the hub lock once
+    /// per flush instead of once per observation. The delta is drained.
+    pub fn absorb(&mut self, delta: &mut MetricsDelta) {
+        for (name, v) in delta.counters.drain(..) {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, ns) in delta.latencies_ns.drain(..) {
+            self.latencies
+                .entry(name)
+                .or_default()
+                .record(SimDuration::from_nanos(ns));
+        }
+    }
+}
+
+/// A thread-private buffer of metric observations awaiting a bulk merge.
+///
+/// Order within the buffer is preserved on absorb, so latency series keep
+/// their recording order. Counter entries are appended raw (not coalesced)
+/// — flush cadence keeps the buffer small, and the hub sums on merge.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsDelta {
+    counters: Vec<(String, u64)>,
+    latencies_ns: Vec<(String, u64)>,
+}
+
+impl MetricsDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers `delta` against counter `name`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(last) = self.counters.last_mut() {
+            if last.0 == name {
+                last.1 += delta;
+                return;
+            }
+        }
+        self.counters.push((name.to_owned(), delta));
+    }
+
+    /// Buffers one latency observation (nanoseconds) under `name`.
+    pub fn record_latency_ns(&mut self, name: &str, ns: u64) {
+        self.latencies_ns.push((name.to_owned(), ns));
+    }
+
+    /// Number of buffered entries (counters + latency samples).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.latencies_ns.len()
+    }
+
+    /// Whether the buffer holds nothing to flush.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.latencies_ns.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +298,31 @@ mod tests {
         assert_eq!(m.latency_summary("absent").count, 0);
         assert_eq!(m.latencies().count(), 2);
         assert_eq!(m.counters().count(), 0);
+    }
+
+    #[test]
+    fn absorb_merges_and_drains_a_delta() {
+        let mut m = Metrics::new();
+        m.add("sent", 2);
+        m.record_latency("lat", ms(10));
+
+        let mut d = MetricsDelta::new();
+        d.add("sent", 3);
+        d.add("sent", 1); // coalesces with the previous entry
+        d.add("other", 7);
+        d.record_latency_ns("lat", 20_000_000);
+        d.record_latency_ns("lat", 30_000_000);
+        assert_eq!(d.len(), 4);
+
+        m.absorb(&mut d);
+        assert!(d.is_empty());
+        assert_eq!(m.counter("sent"), 6);
+        assert_eq!(m.counter("other"), 7);
+        let sum = m.latency_summary("lat");
+        assert_eq!(sum.count, 3);
+        assert_eq!(sum.mean_ms, 20.0);
+        // Recording order is preserved across the merge boundary.
+        assert_eq!(m.latency("lat").unwrap().samples_ms(), &[10.0, 20.0, 30.0]);
     }
 
     #[test]
